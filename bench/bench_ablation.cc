@@ -1,0 +1,130 @@
+// Ablations of the design choices DESIGN.md calls out.
+//
+//   A. Benefit model: the paper's upper-bound GPU-idle estimate
+//      (min(wait, CPU work to the next sync)) vs the naive
+//      "benefit = consumption" model, judged against the measured truth
+//      (pathological minus fixed execution time) for all four apps.
+//   B. Misplaced-sync handling: Figure 5's uncapped FirstUseTime return
+//      vs the physically-capped variant, on a graph where they diverge.
+//   C. Stage split: measuring FirstUseTime under stage-3's heavy
+//      instrumentation vs stage-4's light re-run — why FFM pays for a
+//      fourth execution.
+#include "bench_common.h"
+#include "core/stage1_baseline.h"
+#include "core/stage4_syncuse.h"
+#include "gpusim/api.h"
+#include "gpusim/host_buffer.h"
+
+int main() {
+  using namespace diog;
+  using namespace diog::bench;
+  using ffm::Node;
+
+  // --- A: benefit model vs naive consumption --------------------------------
+  print_header("Ablation A — expected-benefit model vs naive consumption",
+               "SC'19 §3.5 (critical-path insight)");
+  std::printf("\n%-10s %14s %14s %14s\n", "App", "naive(consumed)",
+              "Figure-5 est", "actual fix");
+  for (const auto& app : apps::all_apps()) {
+    ffm::Diogenes tool(app.pathological);
+    const ffm::AnalysisResult r = tool.analyze();
+
+    Duration naive{0};
+    for (const std::size_t i : r.graph.problematic_indices()) {
+      naive += r.graph.nodes()[i].duration;
+    }
+    const Duration native = ffm::run_uninstrumented(app.pathological);
+    const Duration actual = native - ffm::run_uninstrumented(app.fixed);
+
+    std::printf("%-10s %13.1f%% %13.1f%% %13.1f%%\n", app.name.c_str(),
+                r.fraction_of_exec(naive) * 100.0,
+                r.fraction_of_exec(r.benefit.total) * 100.0,
+                100.0 * static_cast<double>(actual.count()) /
+                    static_cast<double>(native.count()));
+  }
+  std::printf("\nRodinia is the decisive row: naive pricing claims nearly\n"
+              "the whole run is recoverable; the model (and reality) say\n"
+              "~2%%.\n");
+
+  // --- B: misplaced-sync cap -------------------------------------------------
+  print_header("Ablation B — misplaced sync: paper-faithful vs capped",
+               "SC'19 Figure 5 (MisplacedSynchronization)");
+  {
+    std::vector<Node> nodes(2);
+    nodes[0].type = ffm::NType::kCWait;
+    nodes[0].duration = ms(3);
+    nodes[0].problem = ffm::ProblemType::kMisplacedSync;
+    nodes[0].first_use_time = ms(10);  // first use far beyond the wait
+    nodes[1].type = ffm::NType::kCWait;
+    const ffm::ExecutionGraph g(std::move(nodes), ms(3));
+
+    ffm::BenefitOptions paper_faithful;
+    paper_faithful.cap_misplaced_at_duration = false;
+    ffm::BenefitOptions capped;
+    capped.cap_misplaced_at_duration = true;
+
+    std::printf("\nwait = 3 ms, FirstUseTime = 10 ms\n");
+    std::printf("  paper-faithful estimate (uncapped): %s\n",
+                format_seconds(ffm::expected_benefit(g, paper_faithful).total)
+                    .c_str());
+    std::printf("  capped estimate:                    %s\n",
+                format_seconds(ffm::expected_benefit(g, capped).total)
+                    .c_str());
+    std::printf("Moving a 3 ms wait cannot save 10 ms: the pseudocode's\n"
+                "uncapped return overestimates whenever the first use\n"
+                "lags far behind a short wait. This library defaults to\n"
+                "the capped variant.\n");
+  }
+
+  // --- C: why stage 4 exists --------------------------------------------------
+  print_header("Ablation C — FirstUseTime under heavy vs light runs",
+               "SC'19 §3.3/§3.4 (stage split rationale)");
+  {
+    auto out = std::make_shared<gpusim::HostBuffer<float>>(256 * 1024);
+    ffm::Workload w;
+    w.name = "first_use_probe";
+    w.device = gpusim::DeviceConfig{};
+    w.body = [out] {
+      void* dev = nullptr;
+      (void)gpusim::cudaMalloc(&dev, out->size_bytes());
+      gpusim::KernelDesc k;
+      k.name = "k";
+      k.duration = ms(2);
+      (void)gpusim::cudaLaunchKernel(k);
+      (void)gpusim::cudaMemcpy(out->data(), dev, out->size_bytes(),
+                               hooks::MemcpyKind::kDeviceToHost);
+      gpusim::cpu_work(ms(4));  // TRUE first-use gap: 4 ms
+      volatile float v = (*out)[0];
+      (void)v;
+      (void)gpusim::cudaFree(dev);
+    };
+
+    const ffm::ToolConfig cfg;
+    const ffm::Stage1Result s1 = ffm::run_stage1(w, cfg);
+
+    // Stage 4 as shipped (light instrumentation).
+    const ffm::Stage4Result light = ffm::run_stage4(w, cfg, s1);
+
+    // The counterfactual: take first-use timing from the heavy stage-3
+    // configuration (what a 4-stage-in-3-runs design would do).
+    ffm::ToolConfig heavy_cfg = cfg;
+    heavy_cfg.stage4_cpu_dilation = cfg.stage3_cpu_dilation;
+    heavy_cfg.stage4_probe_cost = cfg.stage3_probe_cost;
+    const ffm::Stage4Result heavy = ffm::run_stage4(w, heavy_cfg, s1);
+
+    std::printf("\ntrue first-use gap:                      %s\n",
+                format_seconds(ms(4)).c_str());
+    if (!light.uses.empty()) {
+      std::printf("measured in a light stage-4 run:         %s\n",
+                  format_seconds(light.uses[0].first_use_time).c_str());
+    }
+    if (!heavy.uses.empty()) {
+      std::printf("measured under stage-3-weight collection: %s\n",
+                  format_seconds(heavy.uses[0].first_use_time).c_str());
+    }
+    std::printf("\nHeavy instrumentation dilates the very gap being\n"
+                "measured — the reason FFM pays for a separate, lightly\n"
+                "instrumented fourth run.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,161 @@
+// §2.2 / Figure 3 — what the vendor interface misses and binary
+// instrumentation sees.
+//
+// A synthetic workload issues one synchronization of every class the
+// paper enumerates:
+//   explicit      cudaDeviceSynchronize, cudaStreamSynchronize
+//   implicit      cudaMemcpy (blocking copy), cudaFree
+//   conditional   cudaMemcpyAsync D2H -> pageable, cudaMemset -> managed
+//   private API   cuPrivSync, cuPrivMemFree (vendor-library internals)
+//
+// Two observers watch the same run: a CUPTI-like subscriber (what
+// NVProf/HPCToolkit build on) and a probe on the internal wait funnel
+// that stage-1 discovery finds. The table counts the synchronizations
+// each observer reported.
+#include <cstdio>
+
+#include "core/stage1_baseline.h"
+#include "cuptilike/cupti.h"
+#include "gpusim/api.h"
+#include "gpusim/blaslike.h"
+#include "gpusim/host_buffer.h"
+#include "gpusim/private_api.h"
+#include "support/strings.h"
+
+using namespace diog;
+using gpusim::KernelDesc;
+using hooks::Fn;
+using hooks::MemcpyKind;
+
+namespace {
+
+struct SyncClass {
+  const char* name;
+  std::function<void()> issue;
+};
+
+void busy_kernel() {
+  KernelDesc k;
+  k.name = "busy";
+  k.duration = ms(5);
+  (void)gpusim::cudaLaunchKernel(k);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "================================================================\n"
+      "Synchronization coverage — CUPTI-like vs internal-wait probe\n"
+      "Reproduces: SC'19 §2.2 + Figure 3\n"
+      "================================================================\n");
+
+  // First: the stage-1 discovery experiment itself.
+  const Fn wait_fn = ffm::discover_wait_fn(gpusim::DeviceConfig{});
+  std::printf("\nwait-function discovery (never-completing kernel + known\n"
+              "synchronous call): CPU blocked inside '%s'\n",
+              std::string(hooks::fn_name(wait_fn)).c_str());
+
+  std::printf("\n%-44s %14s %14s\n", "synchronization class",
+              "CUPTI records", "probe records");
+  std::printf("%s\n", std::string(74, '-').c_str());
+
+  void* dev = nullptr;
+  void* managed = nullptr;
+  void* pinned = nullptr;
+  auto pageable = std::make_shared<gpusim::HostBuffer<char>>(1 << 16);
+
+  const std::vector<SyncClass> classes = {
+      {"explicit: cudaDeviceSynchronize",
+       [] {
+         busy_kernel();
+         (void)gpusim::cudaDeviceSynchronize();
+       }},
+      {"explicit: cudaStreamSynchronize",
+       [] {
+         busy_kernel();
+         (void)gpusim::cudaStreamSynchronize(gpusim::kDefaultStream);
+       }},
+      {"implicit: cudaMemcpy (blocking copy)",
+       [&] {
+         busy_kernel();
+         char buf[256];
+         (void)gpusim::cudaMemcpy(dev, buf, 256, MemcpyKind::kHostToDevice);
+       }},
+      {"implicit: cudaFree",
+       [&] {
+         busy_kernel();
+         void* tmp = nullptr;
+         (void)gpusim::cudaMalloc(&tmp, 64);
+         (void)gpusim::cudaFree(tmp);
+       }},
+      {"conditional: cudaMemcpyAsync D2H -> pageable",
+       [&] {
+         busy_kernel();
+         (void)gpusim::cudaMemcpyAsync(pageable->data(), dev, 1 << 16,
+                                       MemcpyKind::kDeviceToHost);
+       }},
+      {"control: cudaMemcpyAsync D2H -> pinned (no sync)",
+       [&] {
+         busy_kernel();
+         (void)gpusim::cudaMemcpyAsync(pinned, dev, 1 << 16,
+                                       MemcpyKind::kDeviceToHost);
+       }},
+      {"conditional: cudaMemset -> managed",
+       [&] {
+         busy_kernel();
+         (void)gpusim::cudaMemset(managed, 0, 4096);
+       }},
+      {"private API: cuPrivSync (vendor library)",
+       [] {
+         busy_kernel();
+         gpusim::priv::cuPrivSync();
+       }},
+      {"private API: cuPrivMemFree (vendor library)",
+       [] {
+         void* tmp = gpusim::priv::cuPrivMemAlloc(64);
+         busy_kernel();
+         gpusim::priv::cuPrivMemFree(tmp);
+       }},
+  };
+
+  for (const SyncClass& sc : classes) {
+    gpusim::Runtime rt;
+    cupti::Subscriber sub;
+    sub.attach(rt);
+
+    // The binary-instrumentation observer: a probe on the discovered
+    // wait funnel counting real blocking events.
+    int probe_syncs = 0;
+    hooks::Probe probe;
+    probe.on_exit = [&](const hooks::HookContext& ctx) {
+      if (ctx.info->sync_wait > Duration{0}) ++probe_syncs;
+    };
+    rt.hooks().attach(wait_fn, probe);
+
+    {
+      gpusim::RuntimeScope scope(rt);
+      (void)gpusim::cudaMalloc(&dev, 1 << 16);
+      (void)gpusim::cudaMallocManaged(&managed, 4096);
+      (void)gpusim::cudaMallocHost(&pinned, 1 << 16);
+      probe_syncs = 0;  // ignore setup
+      sc.issue();
+    }
+
+    int cupti_syncs = 0;
+    for (const auto& a : sub.activities()) {
+      if (a.kind == gpusim::CuptiActivity::Kind::kSynchronization) {
+        ++cupti_syncs;
+      }
+    }
+    std::printf("%-44s %14d %14d\n", sc.name, cupti_syncs, probe_syncs);
+  }
+
+  std::printf(
+      "\nReading the table: every class blocks the CPU (probe column),\n"
+      "but the vendor interface reports synchronization records only\n"
+      "for the explicit calls — implicit, conditional, and private-API\n"
+      "waits are invisible to CUPTI-based tools (pinned-destination\n"
+      "async copies genuinely do not block, hence 0/0 before cleanup).\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 7 — the cuIBM overview display and the expansion of the
+// cudaFree fold into template-folded functions.
+//
+// Left pane: groupings sorted by recoverable time ("Fold on cudaFree",
+// sequences, ...). Right pane: the cudaFree fold expanded by demangled
+// base function name with template parameters discarded — Thrust's
+// contiguous_storage instantiations collapse into one entry, annotated
+// "Conditionally unnecessary" because removing an implicit sync is only
+// safe under conditions the user must check.
+#include "bench_common.h"
+
+int main() {
+  using namespace diog;
+  using namespace diog::bench;
+
+  print_header("Figure 7 — cuIBM overview + cudaFree fold expansion",
+               "SC'19 Figure 7");
+
+  ffm::Diogenes tool(apps::make_cuibm());
+  const ffm::AnalysisResult r = tool.analyze();
+
+  // --- Left pane: the overview -------------------------------------------
+  std::printf("\n%s", ffm::render_overview(r, 6).c_str());
+  std::printf("[paper overview: 421.716s (22.52%%) Fold on cudaFree;\n"
+              " 150.353s (8.03%%) Sequence...; 136.150s (7.27%%) Fold on\n"
+              " cudaDeviceSynchronize; 80.938s (4.32%%) Fold on\n"
+              " cudaMemcpyAsync]\n");
+
+  // --- Right pane: expansion of the cudaFree fold --------------------------
+  for (const ffm::Group& fold : r.folds) {
+    if (fold.title != "Fold on cudaFree") continue;
+    std::printf("\nExpansion of Problem\n%s",
+                ffm::render_fold_expansion(r, fold).c_str());
+    std::printf(
+        "[paper expansion: 202.985s (10.84%%)\n"
+        " thrust::detail::contiguous_storage<...> — Conditionally\n"
+        " unnecessary; 113.375s (6.06%%) thrust::pair<...>; 65.258s\n"
+        " (3.49%%) void cusp::system::detail::generic::multiply<...>]\n");
+  }
+
+  // The issue the paper narrates: one template function accounting for a
+  // double-digit share of execution via millions of hidden frees.
+  std::printf("\nNarrative check (§5.1): the top expansion entry is the\n"
+              "Thrust temporary-storage template — the single source-level\n"
+              "fix (a reusing pool) that recovered 17.6%% of execution.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Figures 6 & 8 — the cumf_als sequence display and the subsequence
+// refinement.
+//
+// Figure 6: Diogenes' listing of a sequence of unnecessary operations
+// spanning two functions (duplicate uploads, per-iteration frees, a
+// redundant deviceSynchronize), with recoverable time and issue counts.
+// Figure 8: the user selects a subsequence (the paper chose entries
+// 10..23, starting at the first easily fixable operation) and gets a
+// refined estimate with NO additional data collection — pure re-analysis
+// of the stored graph.
+//
+// Also includes the sequence-vs-independent ablation: the same member
+// set priced as one sequence (overflow carried forward through the run,
+// §3.5.2) vs as isolated single points.
+#include "bench_common.h"
+
+int main() {
+  using namespace diog;
+  using namespace diog::bench;
+
+  print_header("Figures 6 & 8 — cumf_als sequence and subsequence",
+               "SC'19 Figures 6, 8");
+
+  ffm::Diogenes tool(apps::make_cumf_als());
+  const ffm::AnalysisResult r = tool.analyze();
+
+  if (r.sequences.empty()) {
+    std::printf("no sequences found (unexpected)\n");
+    return 1;
+  }
+  const ffm::Group& seq = r.sequences[0];
+
+  // --- Figure 6: the sequence listing ------------------------------------
+  std::printf("\n%s", ffm::render_sequence(r, seq).c_str());
+  std::printf("[paper: 155.785s (11.45%%), 23 sync issues, 5 transfer "
+              "issues, entries 'cudaMemcpy in als.cpp at line 738' ...]\n");
+
+  // --- Figure 8: subsequence refinement ----------------------------------
+  const auto entries = ffm::sequence_entries(r.graph, seq);
+  // The paper's subsequence starts at the first cudaFree the authors
+  // could fix easily; ours starts at the first free entry too.
+  std::size_t first = 1;
+  for (const auto& e : entries) {
+    if (e.description.find("cudaFree") != std::string::npos) {
+      first = e.ordinal;
+      break;
+    }
+  }
+  const ffm::Group sub =
+      ffm::subsequence(r.graph, seq, first, entries.size());
+  std::printf("\n%s",
+              ffm::render_subsequence(r, sub, first, entries.size()).c_str());
+  std::printf("[paper: subsequence 10..23 recovers 137.136s (10.08%%) of "
+              "the full sequence's 155.785s (11.45%%) — no additional "
+              "collection needed]\n");
+
+  // --- Ablation: sequence pricing vs independent single-point pricing ----
+  print_header("Ablation — sequence carry-forward vs independent pricing",
+               "SC'19 §3.5.2 (sequence grouping)");
+  {
+    // As one sequence: one subset pass over all members; unrealized
+    // savings flow forward into later members' windows.
+    std::vector<std::size_t> all_members;
+    for (const auto& inst : seq.instances) {
+      all_members.insert(all_members.end(), inst.begin(), inst.end());
+    }
+    std::sort(all_members.begin(), all_members.end());
+    const Duration together =
+        ffm::expected_benefit_subset(r.graph, all_members).total;
+
+    // Priced independently: each member alone in its own pass (no
+    // carry-forward between members).
+    Duration independent{0};
+    for (const std::size_t m : all_members) {
+      const std::vector<std::size_t> solo{m};
+      independent += ffm::expected_benefit_subset(r.graph, solo).total;
+    }
+    std::printf("sequence members priced together:     %s (%s)\n",
+                format_seconds(together).c_str(),
+                format_percent(r.fraction_of_exec(together)).c_str());
+    std::printf("same members priced independently:    %s (%s)\n",
+                format_seconds(independent).c_str(),
+                format_percent(r.fraction_of_exec(independent)).c_str());
+    std::printf(
+        "\nThe gap is the carry-forward effect: an isolated fix's freed\n"
+        "time is re-absorbed by the neighbouring unnecessary syncs, so\n"
+        "pricing members independently under-credits fixing them all.\n");
+  }
+  return 0;
+}

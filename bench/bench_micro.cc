@@ -1,0 +1,170 @@
+// Infrastructure microbenchmarks (google-benchmark): the per-event costs
+// that determine how much real time the tool spends per simulated run —
+// content hashing throughput, hook dispatch, frame interning, stack
+// keys, JSON round-trips, and the expected-benefit pass on large graphs.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/benefit.h"
+#include "gpusim/api.h"
+#include "gpusim/runtime.h"
+#include "hashing/content_hash.h"
+#include "hashing/dedup_store.h"
+#include "hooks/hook_table.h"
+#include "json/json.h"
+#include "support/rng.h"
+#include "trace/callstack.h"
+
+namespace {
+
+using namespace diog;
+
+std::vector<std::byte> random_bytes(std::size_t n) {
+  Rng rng(42);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.next_below(256));
+  return out;
+}
+
+void BM_Hash64(benchmark::State& state) {
+  const auto data = random_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash::hash64(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Hash64)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_Fnv1a(benchmark::State& state) {
+  const auto data = random_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash::fnv1a64(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Fnv1a)->Arg(4096)->Arg(1 << 20);
+
+void BM_DedupObserve(benchmark::State& state) {
+  hash::DedupStore store;
+  const auto data = random_bytes(4096);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.observe(
+        data, hash::TransferDirection::kHostToDevice, id++));
+  }
+}
+BENCHMARK(BM_DedupObserve);
+
+void BM_HookDispatchNoProbe(benchmark::State& state) {
+  hooks::HookTable table;
+  VirtualClock clock;
+  hooks::OpInfo info;
+  for (auto _ : state) {
+    const auto id =
+        table.fire_entry(hooks::Fn::kCudaFree, info, clock, 1, false);
+    table.fire_exit(hooks::Fn::kCudaFree, id, TimePoint{0}, info, clock, 1,
+                    false);
+  }
+}
+BENCHMARK(BM_HookDispatchNoProbe);
+
+void BM_HookDispatchWithProbe(benchmark::State& state) {
+  hooks::HookTable table;
+  VirtualClock clock;
+  hooks::OpInfo info;
+  std::uint64_t count = 0;
+  hooks::Probe p;
+  p.on_entry = [&](const hooks::HookContext&) { ++count; };
+  p.on_exit = [&](const hooks::HookContext&) { ++count; };
+  table.attach(hooks::Fn::kCudaFree, p);
+  for (auto _ : state) {
+    const auto id =
+        table.fire_entry(hooks::Fn::kCudaFree, info, clock, 1, false);
+    table.fire_exit(hooks::Fn::kCudaFree, id, TimePoint{0}, info, clock, 1,
+                    false);
+  }
+  benchmark::DoNotOptimize(count);
+}
+BENCHMARK(BM_HookDispatchWithProbe);
+
+void BM_RuntimeApiCall(benchmark::State& state) {
+  gpusim::Runtime rt;
+  gpusim::RuntimeScope scope(rt);
+  for (auto _ : state) {
+    int dev = 0;
+    benchmark::DoNotOptimize(gpusim::cudaGetDevice(&dev));
+  }
+}
+BENCHMARK(BM_RuntimeApiCall);
+
+void BM_StackCapture(benchmark::State& state) {
+  trace::ScopedFrame f1("main", "app.cc", 1);
+  trace::ScopedFrame f2("update", "app.cc", 2);
+  trace::ScopedFrame f3("solve", "app.cc", 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::CallContext::current().capture());
+  }
+}
+BENCHMARK(BM_StackCapture);
+
+void BM_StackKeys(benchmark::State& state) {
+  trace::ScopedFrame f1("main", "app.cc", 1);
+  trace::ScopedFrame f2("storage<float>::deallocate", "t.h", 31);
+  const trace::StackTrace st = trace::CallContext::current().capture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(st.exact_key());
+    benchmark::DoNotOptimize(st.folded_key());
+  }
+}
+BENCHMARK(BM_StackKeys);
+
+void BM_JsonRoundTrip(benchmark::State& state) {
+  json::Value v;
+  json::Array ops;
+  for (int i = 0; i < 100; ++i) {
+    json::Object op;
+    op["index"] = i;
+    op["api_name"] = "cudaFree";
+    op["t_enter_ns"] = i * 1000;
+    op["sync_wait_ns"] = 12345;
+    ops.emplace_back(std::move(op));
+  }
+  v["ops"] = std::move(ops);
+  const std::string text = v.dump();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(json::parse(text));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_JsonRoundTrip);
+
+void BM_ExpectedBenefit(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<ffm::Node> nodes;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    ffm::Node node;
+    const auto roll = rng.next_below(3);
+    node.type = roll == 0   ? ffm::NType::kCWork
+                : roll == 1 ? ffm::NType::kCLaunch
+                            : ffm::NType::kCWait;
+    node.duration = us(rng.next_in(1, 1000));
+    if (node.type == ffm::NType::kCWait && rng.next_bool(0.4)) {
+      node.problem = ffm::ProblemType::kUnnecessarySync;
+    }
+    nodes.push_back(node);
+  }
+  const ffm::ExecutionGraph g(std::move(nodes), secs(1.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ffm::expected_benefit(g));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ExpectedBenefit)->Arg(1000)->Arg(10000);
+
+}  // namespace

@@ -1,0 +1,110 @@
+// Ablation — single-run adaptive instrumentation (Paradyn's model, §2.1)
+// vs FFM's multi-run model.
+//
+// "Operations that are impactful can be missed if the operation
+// completes before Paradyn determines the operation is important."
+//
+// Two workload shapes decide the comparison:
+//   * steady loops (Rodinia-like): every site repeats, single-run
+//     coverage is nearly perfect — one run is cheaper, and this is the
+//     regime Paradyn was designed for;
+//   * one-shot problems (an initialization phase that blocks for tens of
+//     milliseconds exactly twice): the site never crosses the promotion
+//     threshold, the detail is gone, and no amount of post-processing
+//     brings it back. FFM's stage 1 records the site and stage 2 traces
+//     every occurrence on the next run.
+#include "bench_common.h"
+#include "core/single_run.h"
+#include "core/stage1_baseline.h"
+#include "core/stage2_tracing.h"
+#include "gpusim/api.h"
+#include "trace/callstack.h"
+
+using namespace diog;
+using namespace diog::bench;
+using gpusim::KernelDesc;
+
+namespace {
+
+ffm::Workload startup_heavy() {
+  ffm::Workload w;
+  w.name = "startup_heavy";
+  w.device = gpusim::DeviceConfig{};
+  w.body = [] {
+    DIOG_APP_FRAME("main", "init.cu", 1);
+    KernelDesc big;
+    big.name = "init_kernel";
+    big.duration = ms(40);
+    for (int site = 0; site < 2; ++site) {
+      (void)gpusim::cudaLaunchKernel(big);
+      DIOG_APP_FRAME("init", "init.cu", 14);
+      (void)gpusim::cudaDeviceSynchronize();  // happens ONCE per site
+    }
+    for (int i = 0; i < 200; ++i) {
+      KernelDesc k;
+      k.name = "k";
+      k.duration = us(200);
+      (void)gpusim::cudaLaunchKernel(k);
+      DIOG_APP_FRAME("tail", "init.cu", 28);
+      (void)gpusim::cudaStreamSynchronize(gpusim::kDefaultStream);
+    }
+  };
+  return w;
+}
+
+void compare(const ffm::Workload& w) {
+  const ffm::ToolConfig cfg;
+
+  // Single-run adaptive instrumentation.
+  const ffm::SingleRunResult sr =
+      ffm::run_single_run_analysis(w, cfg, {});
+
+  // FFM: stage 1 discovers, stage 2 traces everything on a second run.
+  const ffm::Stage1Result s1 = ffm::run_stage1(w, cfg);
+  const ffm::Stage2Result s2 = ffm::run_stage2(w, cfg, s1);
+  Duration ffm_wait{0};
+  std::size_t ffm_syncs = 0;
+  for (const ffm::OpRecord& op : s2.ops) {
+    if (op.performed_sync) {
+      ++ffm_syncs;
+      ffm_wait += op.sync_wait;
+    }
+  }
+  Duration sr_wait{0};
+  for (const ffm::OpRecord& op : sr.ops) sr_wait += op.sync_wait;
+
+  std::printf("\n--- %s ---\n", w.name.c_str());
+  std::printf("%-34s %14s %14s\n", "", "single-run", "FFM (2 runs)");
+  std::printf("%-34s %14zu %14zu\n", "sync occurrences traced in detail",
+              sr.ops.size(), ffm_syncs);
+  std::printf("%-34s %14zu %14d\n", "occurrences missed",
+              sr.occurrences_missed, 0);
+  std::printf("%-34s %14s %14s\n", "blocked time captured",
+              format_seconds(sr_wait).c_str(),
+              format_seconds(ffm_wait).c_str());
+  std::printf("%-34s %14s %14s\n", "blocked time LOST",
+              format_seconds(sr.missed_wait).c_str(),
+              format_seconds(Duration{0}).c_str());
+  std::printf("%-34s %13.1f%% %13.1f%%\n", "coverage",
+              sr.coverage() * 100.0, 100.0);
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation — single-run (Paradyn-style) vs multi-run (FFM)",
+               "SC'19 §2.1");
+
+  apps::RodiniaGaussianConfig rodinia_cfg;
+  rodinia_cfg.matrix_dim = 128;
+  compare(apps::make_rodinia_gaussian(rodinia_cfg));
+
+  compare(startup_heavy());
+
+  std::printf(
+      "\nSteady loops forgive the single-run model; one-shot problems do\n"
+      "not. The startup workload's ~80 ms of blocking never crosses the\n"
+      "promotion threshold and is simply absent from the single-run\n"
+      "trace — the gap that motivated FFM's multi-run design.\n");
+  return 0;
+}

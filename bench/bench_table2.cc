@@ -1,0 +1,130 @@
+// Table 2 — "Comparison of cuda function call profiling results between
+// Diogenes, HPCToolkit, and NVProf."
+//
+// For each application, three tools run:
+//   nvprof_like      consumption per API call via the CUPTI-like
+//                    interface (crashes on cuIBM's call volume, as the
+//                    real NVProf did);
+//   hpctoolkit_like  sampling-based consumption (systematically lower);
+//   Diogenes         expected BENEFIT per API call.
+// The table shows the paper's headline: consumption and benefit disagree
+// wildly in both magnitude and rank (e.g. cudaDeviceSynchronize in
+// cumf_als: >40% consumed, ~0% recoverable), and Diogenes reports
+// nothing at all for calls that neither synchronize nor transfer
+// (cudaMalloc, cudaLaunchKernel).
+#include <map>
+#include <set>
+
+#include "baselines/profilers.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace diog;
+  using namespace diog::bench;
+
+  print_header(
+      "Table 2 — consumption (NVProf/HPCToolkit) vs benefit (Diogenes)",
+      "SC'19 Table 2 + §5.2");
+
+  for (const auto& app : apps::all_apps()) {
+    std::printf("\n--- %s ---\n", app.name.c_str());
+
+    const baselines::ProfileResult nv =
+        baselines::run_nvprof_like(app.pathological);
+    const baselines::ProfileResult hp =
+        baselines::run_hpctoolkit_like(app.pathological);
+    ffm::Diogenes tool(app.pathological);
+    const ffm::AnalysisResult r = tool.analyze();
+    const auto savings = r.api_savings();
+
+    // Row set: union of the top profiler entries and Diogenes' list.
+    std::set<std::string> api_names;
+    if (!nv.crashed) {
+      for (std::size_t i = 0; i < nv.entries.size() && i < 7; ++i) {
+        api_names.insert(nv.entries[i].api_name);
+      }
+    }
+    for (std::size_t i = 0; i < hp.entries.size() && i < 7; ++i) {
+      api_names.insert(hp.entries[i].api_name);
+    }
+    for (const auto& s : savings) {
+      api_names.insert(std::string(hooks::fn_name(s.api)));
+    }
+
+    std::printf("%-24s | %-22s | %-22s | %-22s\n", "Operation",
+                "NVProf time (% , pos)", "HPCToolkit time (%, pos)",
+                "Diogenes savings (%, pos)");
+    std::printf("%s\n", std::string(98, '-').c_str());
+    for (const std::string& name : api_names) {
+      std::string nv_cell = nv.crashed ? "Profiler Crashed" : "-";
+      if (!nv.crashed) {
+        if (const auto* e = nv.find(name)) {
+          nv_cell = format_seconds(e->time) + " (" +
+                    format_percent(e->fraction_of_exec, 1) + ", " +
+                    std::to_string(e->position) + ")";
+        }
+      }
+      std::string hp_cell = "-";
+      if (const auto* e = hp.find(name)) {
+        hp_cell = format_seconds(e->time) + " (" +
+                  format_percent(e->fraction_of_exec, 1) + ", " +
+                  std::to_string(e->position) + ")";
+      }
+      std::string di_cell = "-";
+      int pos = 1;
+      for (const auto& s : savings) {
+        if (std::string(hooks::fn_name(s.api)) == name) {
+          di_cell = format_seconds(s.savings) + " (" +
+                    format_percent(r.fraction_of_exec(s.savings), 1) +
+                    ", " + std::to_string(pos) + ")";
+          break;
+        }
+        ++pos;
+      }
+      std::printf("%-24s | %-22s | %-22s | %-22s\n", name.c_str(),
+                  nv_cell.c_str(), hp_cell.c_str(), di_cell.c_str());
+    }
+    if (nv.crashed) {
+      std::printf("  [nvprof_like: %s — the paper's NVProf also crashed "
+                  "on cuIBM]\n",
+                  nv.crash_reason.c_str());
+    }
+  }
+
+  // §5.2's verification claim: removing only the cudaDeviceSynchronize
+  // calls from cumf_als should change execution time by ~nothing.
+  print_header("§5.2 verification — cumf_als without deviceSynchronize",
+               "SC'19 §5.2 (\"no impact on the execution time\")");
+  {
+    apps::CumfAlsConfig cfg;
+    const Duration base =
+        ffm::run_uninstrumented(apps::make_cumf_als(cfg));
+    apps::CumfAlsConfig stripped_cfg = cfg;
+    stripped_cfg.omit_device_syncs = true;
+    const Duration stripped =
+        ffm::run_uninstrumented(apps::make_cumf_als(stripped_cfg));
+
+    ffm::Diogenes tool(apps::make_cumf_als(cfg));
+    const ffm::AnalysisResult r = tool.analyze();
+    Duration sync_savings{0};
+    for (const auto& s : r.api_savings()) {
+      if (s.api == hooks::Fn::kCudaDeviceSynchronize) {
+        sync_savings = s.savings;
+      }
+    }
+    const Duration actual = base - stripped;
+    std::printf("cumf_als exec: %s  |  with deviceSynchronize stripped: %s\n",
+                format_seconds(base).c_str(),
+                format_seconds(stripped).c_str());
+    std::printf("actual change: %s (%.2f%%)  |  Diogenes predicted: %s "
+                "(%.2f%%)\n",
+                format_seconds(actual).c_str(),
+                100.0 * static_cast<double>(actual.count()) /
+                    static_cast<double>(base.count()),
+                format_seconds(sync_savings).c_str(),
+                r.fraction_of_exec(sync_savings) * 100.0);
+    std::printf("[paper: 745s consumed by the calls, ~1s (0.07%%) "
+                "recoverable — verified no measurable impact]\n");
+  }
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Hidden-synchronization audit: how much of your application's blocking
+// is invisible to vendor tooling?
+//
+// This example instruments the same run twice — once through the
+// CUPTI-like vendor interface (what NVProf/HPCToolkit see) and once with
+// a probe on the internal driver wait function that Diogenes' stage-1
+// discovery locates — and prints a per-API accounting of reported vs
+// actual CPU blocking time. The workload mixes explicit, implicit,
+// conditional, and private-API synchronizations (paper §2.2, Figure 3).
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "core/stage1_baseline.h"
+#include "cuptilike/cupti.h"
+#include "gpusim/api.h"
+#include "gpusim/blaslike.h"
+#include "gpusim/host_buffer.h"
+#include "support/strings.h"
+#include "trace/callstack.h"
+
+using namespace diog;
+using gpusim::KernelDesc;
+using hooks::Fn;
+using hooks::MemcpyKind;
+
+namespace {
+
+void run_workload(gpusim::HostBuffer<float>& pageable_buf) {
+  DIOG_APP_FRAME("audit_main", "audit.cu", 10);
+  void* d_data = nullptr;
+  (void)gpusim::cudaMalloc(&d_data, pageable_buf.size_bytes());
+  void* managed = nullptr;
+  (void)gpusim::cudaMallocManaged(&managed, 64 * 1024);
+
+  blaslike::Handle blas;
+
+  for (int i = 0; i < 10; ++i) {
+    KernelDesc k;
+    k.name = "work";
+    k.duration = ms(3);
+    (void)gpusim::cudaLaunchKernel(k);
+
+    // Explicit sync (CUPTI sees this one).
+    (void)gpusim::cudaDeviceSynchronize();
+
+    (void)gpusim::cudaLaunchKernel(k);
+    // Conditional sync: async D2H into pageable memory blocks silently.
+    (void)gpusim::cudaMemcpyAsync(pageable_buf.data(), d_data,
+                                  pageable_buf.size_bytes(),
+                                  MemcpyKind::kDeviceToHost);
+
+    (void)gpusim::cudaLaunchKernel(k);
+    // Conditional sync: memset on unified memory.
+    (void)gpusim::cudaMemset(managed, 0, 64 * 1024);
+
+    (void)gpusim::cudaLaunchKernel(k);
+    // Implicit sync: temporary teardown.
+    void* tmp = nullptr;
+    (void)gpusim::cudaMalloc(&tmp, 4096);
+    (void)gpusim::cudaFree(tmp);
+
+    // Private-API sync inside the vendor math library.
+    blaslike::cholesky_solve_batched(blas, nullptr, nullptr, 2, 8);
+  }
+  (void)gpusim::cudaFree(managed);
+  (void)gpusim::cudaFree(d_data);
+}
+
+}  // namespace
+
+int main() {
+  // Step 1: discover the internal wait function by probing, exactly as
+  // stage 1 does — no hardcoded knowledge of the driver.
+  const Fn wait_fn = ffm::discover_wait_fn(gpusim::DeviceConfig{});
+  std::printf("discovered wait funnel: %s\n\n",
+              std::string(hooks::fn_name(wait_fn)).c_str());
+
+  gpusim::Runtime rt;
+  cupti::Subscriber cupti_view;
+  cupti_view.attach(rt);
+
+  // Per-API ground-truth blocking, observed at the wait funnel.
+  std::map<Fn, Duration> actual_blocking;
+  std::vector<Fn> api_stack;
+  hooks::Probe ctx_probe;
+  ctx_probe.on_entry = [&](const hooks::HookContext& ctx) {
+    api_stack.push_back(ctx.fn);
+  };
+  ctx_probe.on_exit = [&](const hooks::HookContext&) { api_stack.pop_back(); };
+  rt.hooks().attach_matching(
+      [](Fn f) { return hooks::is_public_api(f) || hooks::is_private_api(f); },
+      ctx_probe);
+  hooks::Probe wait_probe;
+  wait_probe.on_exit = [&](const hooks::HookContext& ctx) {
+    if (!api_stack.empty()) {
+      actual_blocking[api_stack.back()] += ctx.info->sync_wait;
+    }
+  };
+  rt.hooks().attach(wait_fn, wait_probe);
+
+  gpusim::HostBuffer<float> pageable(256 * 1024);
+  Duration exec;
+  {
+    gpusim::RuntimeScope scope(rt);
+    run_workload(pageable);
+    exec = rt.clock().now();
+  }
+
+  // What CUPTI reported as synchronization.
+  std::map<Fn, Duration> cupti_blocking;
+  for (const auto& a : cupti_view.activities()) {
+    if (a.kind == gpusim::CuptiActivity::Kind::kSynchronization) {
+      cupti_blocking[a.api] += a.end - a.start;
+    }
+  }
+
+  std::printf("%-26s %14s %16s\n", "API call", "CUPTI-reported",
+              "actual blocking");
+  std::printf("%s\n", std::string(58, '-').c_str());
+  Duration total_actual{0}, total_reported{0};
+  for (const auto& [fn, blocked] : actual_blocking) {
+    const Duration reported = cupti_blocking.contains(fn)
+                                  ? cupti_blocking[fn]
+                                  : Duration{0};
+    total_actual += blocked;
+    total_reported += reported;
+    std::printf("%-26s %14s %16s\n",
+                std::string(hooks::fn_name(fn)).c_str(),
+                format_seconds(reported).c_str(),
+                format_seconds(blocked).c_str());
+  }
+  std::printf("%s\n", std::string(58, '-').c_str());
+  std::printf("%-26s %14s %16s\n", "total", format_seconds(total_reported).c_str(),
+              format_seconds(total_actual).c_str());
+  const double hidden =
+      1.0 - static_cast<double>(total_reported.count()) /
+                static_cast<double>(total_actual.count());
+  std::printf("\n%s of blocking time (%s of a %s run) is invisible to the\n"
+              "vendor interface — the gap Diogenes exists to close.\n",
+              format_percent(hidden).c_str(),
+              format_seconds(total_actual - total_reported).c_str(),
+              format_seconds(exec).c_str());
+  return 0;
+}

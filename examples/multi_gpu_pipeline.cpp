@@ -1,0 +1,150 @@
+// Multi-GPU pipeline: the four-GPU node (like the paper's Ray machines)
+// with a producer/consumer pipeline across two devices.
+//
+// Two versions of the same pipeline:
+//   naive    — the producer result is dragged through host memory with a
+//              blocking cudaMemcpy on each side, and a gratuitous
+//              cudaDeviceSynchronize guards every hop;
+//   peered   — cudaDeviceEnablePeerAccess + cudaMemcpyPeer move the data
+//              directly over the P2P fabric, and events order the work.
+// Diogenes analyzes the naive version; the per-device hidden syncs show
+// up like any other, and the actual win of the peered version is
+// measured alongside.
+#include <cstdio>
+#include <memory>
+
+#include "core/diogenes.h"
+#include "core/report.h"
+#include "gpusim/api.h"
+#include "gpusim/host_buffer.h"
+#include "support/strings.h"
+#include "trace/callstack.h"
+
+using namespace diog;
+using gpusim::KernelDesc;
+using hooks::MemcpyKind;
+
+namespace {
+
+gpusim::DeviceConfig node_config() {
+  gpusim::DeviceConfig d;
+  d.device_count = 4;
+  d.p2p_bandwidth_bytes_per_s = 35e9;  // NVLink-class
+  return d;
+}
+
+constexpr std::size_t kTileBytes = 8 << 20;  // 8 MiB per hop
+constexpr int kSteps = 12;
+
+void producer_step(void* d_out, int step) {
+  KernelDesc k;
+  k.name = "produce";
+  k.duration = ms(4);
+  float* out = static_cast<float*>(d_out);
+  k.body = [out, step] { out[0] = static_cast<float>(step); };
+  (void)gpusim::cudaLaunchKernel(k);
+}
+
+void consumer_step(void* d_in) {
+  (void)d_in;
+  KernelDesc k;
+  k.name = "consume";
+  k.duration = ms(4);
+  (void)gpusim::cudaLaunchKernel(k);
+}
+
+ffm::Workload naive_pipeline() {
+  auto staging = std::make_shared<gpusim::HostBuffer<char>>(kTileBytes);
+  ffm::Workload w;
+  w.name = "pipeline_naive";
+  w.device = node_config();
+  w.body = [staging] {
+    DIOG_APP_FRAME("pipeline_main", "pipeline.cu", 10);
+    (void)gpusim::cudaSetDevice(0);
+    void* d_prod = nullptr;
+    (void)gpusim::cudaMalloc(&d_prod, kTileBytes);
+    (void)gpusim::cudaSetDevice(1);
+    void* d_cons = nullptr;
+    (void)gpusim::cudaMalloc(&d_cons, kTileBytes);
+
+    for (int step = 0; step < kSteps; ++step) {
+      DIOG_APP_FRAME("hop", "pipeline.cu", 25);
+      (void)gpusim::cudaSetDevice(0);
+      producer_step(d_prod, step);
+      (void)gpusim::cudaDeviceSynchronize();  // gratuitous
+      // Staged through the host: two bus crossings, both blocking.
+      (void)gpusim::cudaMemcpy(staging->data(), d_prod, kTileBytes,
+                               MemcpyKind::kDeviceToHost);
+      (void)gpusim::cudaSetDevice(1);
+      (void)gpusim::cudaMemcpy(d_cons, staging->data(), kTileBytes,
+                               MemcpyKind::kHostToDevice);
+      consumer_step(d_cons);
+      (void)gpusim::cudaDeviceSynchronize();  // gratuitous
+    }
+    (void)gpusim::cudaFree(d_cons);
+    (void)gpusim::cudaSetDevice(0);
+    (void)gpusim::cudaFree(d_prod);
+  };
+  return w;
+}
+
+ffm::Workload peered_pipeline() {
+  ffm::Workload w;
+  w.name = "pipeline_peered";
+  w.device = node_config();
+  w.body = [] {
+    DIOG_APP_FRAME("pipeline_main", "pipeline.cu", 60);
+    (void)gpusim::cudaSetDevice(0);
+    (void)gpusim::cudaDeviceEnablePeerAccess(1);
+    void* d_prod = nullptr;
+    (void)gpusim::cudaMalloc(&d_prod, kTileBytes);
+    (void)gpusim::cudaSetDevice(1);
+    void* d_cons = nullptr;
+    (void)gpusim::cudaMalloc(&d_cons, kTileBytes);
+
+    for (int step = 0; step < kSteps; ++step) {
+      DIOG_APP_FRAME("hop", "pipeline.cu", 73);
+      (void)gpusim::cudaSetDevice(0);
+      producer_step(d_prod, step);
+      // One direct hop over the fabric; its own completion is the only
+      // synchronization.
+      (void)gpusim::cudaMemcpyPeer(d_cons, 1, d_prod, 0, kTileBytes);
+      (void)gpusim::cudaSetDevice(1);
+      consumer_step(d_cons);
+    }
+    (void)gpusim::cudaSetDevice(1);
+    (void)gpusim::cudaDeviceSynchronize();
+    (void)gpusim::cudaFree(d_cons);
+    (void)gpusim::cudaSetDevice(0);
+    (void)gpusim::cudaFree(d_prod);
+  };
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  const ffm::Workload naive = naive_pipeline();
+  const ffm::Workload peered = peered_pipeline();
+
+  const Duration naive_time = ffm::run_uninstrumented(naive);
+  const Duration peered_time = ffm::run_uninstrumented(peered);
+  std::printf("host-staged pipeline: %s\n",
+              format_seconds(naive_time).c_str());
+  std::printf("peer-to-peer pipeline: %s  (%.1f%% faster)\n\n",
+              format_seconds(peered_time).c_str(),
+              100.0 *
+                  static_cast<double>((naive_time - peered_time).count()) /
+                  static_cast<double>(naive_time.count()));
+
+  ffm::Diogenes tool(naive);
+  const ffm::AnalysisResult r = tool.analyze();
+  std::printf("%s\n", ffm::render_overview(r, 5).c_str());
+  std::printf("%s", ffm::render_api_savings(r).c_str());
+  std::printf(
+      "\nThe gratuitous per-hop deviceSynchronize calls price near zero\n"
+      "(their waits migrate to the blocking copies); the copies\n"
+      "themselves are the recoverable item — which the peer-to-peer\n"
+      "variant eliminates.\n");
+  return 0;
+}

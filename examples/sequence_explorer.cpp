@@ -1,0 +1,107 @@
+// Sequence explorer: the paper's terminal workflow (§4, Figures 6-8) as
+// a command-line tool over the four evaluation applications.
+//
+//   sequence_explorer                          # overview of cumf_als
+//   sequence_explorer cuIBM                    # overview of another app
+//   sequence_explorer cumf_als seq 1           # list sequence #1
+//   sequence_explorer cumf_als sub 1 10 23     # refine a subsequence
+//   sequence_explorer AMG fold cudaMemset      # expand one fold
+//
+// Subsequence refinement re-analyzes the already-collected graph — no
+// additional run of the application happens for it.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "apps/apps.h"
+#include "core/diogenes.h"
+#include "core/report.h"
+#include "support/strings.h"
+
+using namespace diog;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sequence_explorer [app] [overview|seq N|sub N A B|"
+               "fold API]\n"
+               "  app: cumf_als | cuIBM | AMG | Rodinia (default cumf_als)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string app_name = argc > 1 ? argv[1] : "cumf_als";
+  const auto apps_list = apps::all_apps();
+  const apps::AppPair* app = nullptr;
+  for (const auto& a : apps_list) {
+    if (a.name == app_name) app = &a;
+  }
+  if (app == nullptr) return usage();
+
+  std::fprintf(stderr, "[running the 5-stage pipeline on %s...]\n",
+               app_name.c_str());
+  ffm::Diogenes tool(app->pathological);
+  const ffm::AnalysisResult r = tool.analyze();
+
+  const std::string mode = argc > 2 ? argv[2] : "overview";
+
+  if (mode == "overview") {
+    std::printf("%s", ffm::render_overview(r).c_str());
+    std::printf("\n%zu sequences found; 'seq N' to list one, "
+                "'sub N first last' to refine.\n",
+                r.sequences.size());
+    return 0;
+  }
+
+  if (mode == "seq" || mode == "sub") {
+    if (argc < 4) return usage();
+    const std::size_t n = std::strtoul(argv[3], nullptr, 10);
+    if (n < 1 || n > r.sequences.size()) {
+      std::fprintf(stderr, "no sequence #%zu (have %zu)\n", n,
+                   r.sequences.size());
+      return 1;
+    }
+    const ffm::Group& seq = r.sequences[n - 1];
+    if (mode == "seq") {
+      std::printf("%s", ffm::render_sequence(r, seq).c_str());
+      return 0;
+    }
+    if (argc < 6) return usage();
+    const std::size_t first = std::strtoul(argv[4], nullptr, 10);
+    const std::size_t last = std::strtoul(argv[5], nullptr, 10);
+    const auto entries = ffm::sequence_entries(r.graph, seq);
+    if (first < 1 || last < first || last > entries.size()) {
+      std::fprintf(stderr, "bounds must satisfy 1 <= first <= last <= %zu\n",
+                   entries.size());
+      return 1;
+    }
+    const ffm::Group sub = ffm::subsequence(r.graph, seq, first, last);
+    std::printf("%s", ffm::render_subsequence(r, sub, first, last).c_str());
+    std::printf("(full sequence recovers %s; this slice %s — refined with "
+                "no new data collection)\n",
+                format_seconds(seq.benefit).c_str(),
+                format_seconds(sub.benefit).c_str());
+    return 0;
+  }
+
+  if (mode == "fold") {
+    if (argc < 4) return usage();
+    for (const ffm::Group& fold : r.folds) {
+      if (fold.title == std::string("Fold on ") + argv[3]) {
+        std::printf("%s", ffm::render_fold_expansion(r, fold).c_str());
+        return 0;
+      }
+    }
+    std::fprintf(stderr, "no fold on '%s'; available:\n", argv[3]);
+    for (const ffm::Group& fold : r.folds) {
+      std::fprintf(stderr, "  %s\n", fold.title.c_str());
+    }
+    return 1;
+  }
+
+  return usage();
+}

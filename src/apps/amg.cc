@@ -1,0 +1,161 @@
+// AMG reproduction (paper §5.1, Tables 1-2), modeled on the ij matrix
+// benchmark's GPU solve phase.
+//
+// The pathology: each V-cycle level clears a unified-memory work buffer
+// with cudaMemset. The buffer's pages are CPU-resident — the CPU fills
+// boundary values right after — yet cudaMemset on a managed address
+// performs a conditional synchronization with the device, stalling the
+// cycle behind the previous level's relaxation kernels. CUPTI reports no
+// synchronization for it. The fix replaces the call with a plain C
+// memset (`fixed = true`), exactly as the paper did.
+//
+// The solve also recreates a coarse-grid temporary per cycle
+// (cudaFree's implicit sync — AMG's second-ranked problem) and ends each
+// cycle with a stream synchronize + residual readback the CPU consumes.
+#include <cstring>
+
+#include "apps/apps.h"
+#include "gpusim/api.h"
+#include "gpusim/host_buffer.h"
+#include "trace/callstack.h"
+
+namespace diog::apps {
+
+using gpusim::HostBuffer;
+using gpusim::KernelDesc;
+using gpusim::MemcpyKind;
+
+namespace {
+
+gpusim::DeviceConfig amg_device_config() {
+  gpusim::DeviceConfig d;
+  d.malloc_cost = diog::us(60);
+  d.free_cost = diog::us(40);
+  d.d2h_bandwidth_bytes_per_s = 4.0e9;
+  return d;
+}
+
+struct Amg {
+  AmgConfig cfg;
+  bool fixed;
+
+  void operator()() const {
+    DIOG_APP_FRAME("hypre_BoomerAMGSolve", "par_amg_solve.c", 92);
+    gpusim::cpu_work(cfg.setup_cpu);  // grid hierarchy setup
+
+    HostBuffer<double> residual(cfg.residual_elems);
+
+    std::vector<void*> managed(cfg.levels, nullptr);
+    const std::size_t managed_bytes = cfg.managed_elems * sizeof(double);
+    for (void*& m : managed) (void)gpusim::cudaMallocManaged(&m, managed_bytes);
+
+    void* d_matrix = nullptr;
+    void* d_residual = nullptr;
+    (void)gpusim::cudaMalloc(&d_matrix, managed_bytes * cfg.levels);
+    (void)gpusim::cudaMalloc(&d_residual, residual.size_bytes());
+
+    std::vector<void*> coarse(cfg.coarse_temp_count, nullptr);
+    const std::size_t coarse_bytes = cfg.coarse_temp_elems * sizeof(double);
+    for (void*& c : coarse) (void)gpusim::cudaMalloc(&c, coarse_bytes);
+
+    for (std::size_t iter = 0; iter < cfg.solve_iterations; ++iter) {
+      v_cycle(iter, managed, d_residual, residual, coarse, coarse_bytes);
+    }
+    (void)gpusim::cudaDeviceSynchronize();  // drain the final boundary kernel
+
+    for (void* c : coarse) (void)gpusim::cudaFree(c);
+    for (void* m : managed) (void)gpusim::cudaFree(m);
+    (void)gpusim::cudaFree(d_matrix);
+    (void)gpusim::cudaFree(d_residual);
+  }
+
+  void v_cycle(std::size_t iter, const std::vector<void*>& managed,
+               void* d_residual, HostBuffer<double>& residual,
+               std::vector<void*>& coarse, std::size_t coarse_bytes) const {
+    DIOG_APP_FRAME("hypre_BoomerAMGCycle", "par_cycle.c", 140);
+
+    // The cycle's sparse CPU assembly (AMG is CPU-heavy between GPU
+    // phases). The boundary kernel launched at the end of the previous
+    // cycle runs underneath it.
+    gpusim::cpu_work(cfg.cycle_cpu);
+
+    for (std::size_t level = 0; level < managed.size(); ++level) {
+      DIOG_APP_FRAME("hypre_BoomerAMGRelax", "par_relax.c", 512);
+
+      const std::size_t bytes = cfg.managed_elems * sizeof(double);
+      if (!fixed) {
+        // The problematic call: unified-memory address, so this memset
+        // synchronizes with the device (stalling behind the kernels
+        // still in flight) — a conditional sync CUPTI never reports.
+        DIOG_APP_FRAME("hypre_BoomerAMGRelax", "par_relax.c", 533);
+        (void)gpusim::cudaMemset(managed[level], 0, bytes);
+      } else {
+        // The fix: the pages are CPU-resident; a plain memset suffices.
+        std::memset(managed[level], 0, bytes);
+        gpusim::cpu_work(diog::us(12));  // host-side clear cost
+      }
+
+      // The CPU seeds boundary values — proof the pages live CPU-side —
+      // and prepares the level's operator before launching.
+      static_cast<double*>(managed[level])[0] = static_cast<double>(iter + 1);
+      gpusim::cpu_work(cfg.level_cpu);
+
+      KernelDesc relax;
+      relax.name = "hypre_relax_kernel";
+      relax.duration = cfg.relax_kernel_gpu;
+      double* res = static_cast<double*>(d_residual);
+      relax.body = [res, iter] {
+        res[0] = 1.0 / static_cast<double>(iter + 1);
+      };
+      (void)gpusim::cudaLaunchKernel(relax);
+    }
+
+    // Per-cycle coarse-grid temporaries: each free hides a sync against
+    // the relaxation kernels still in flight.
+    for (std::size_t c = 0; c < coarse.size(); ++c) {
+      DIOG_APP_FRAME("hypre_BoomerAMGCycle", "par_cycle.c",
+                     233 + static_cast<int>(c) * 4);
+      (void)gpusim::cudaFree(coarse[c]);
+    }
+
+    // Prolongation back to the fine grid.
+    KernelDesc prolong;
+    prolong.name = "hypre_prolong_kernel";
+    prolong.duration = cfg.prolong_kernel_gpu;
+    (void)gpusim::cudaLaunchKernel(prolong);
+
+    gpusim::cpu_work(cfg.post_cycle_cpu);
+    (void)gpusim::cudaStreamSynchronize(gpusim::kDefaultStream);
+    {
+      DIOG_APP_FRAME("hypre_BoomerAMGCycle", "par_cycle.c", 260);
+      (void)gpusim::cudaMemcpy(residual.data(), d_residual,
+                               residual.size_bytes(),
+                               MemcpyKind::kDeviceToHost);
+    }
+    volatile double sink = residual[0];
+    (void)sink;
+
+    // Reallocate the coarse temporaries for the next cycle.
+    for (void*& c : coarse) (void)gpusim::cudaMalloc(&c, coarse_bytes);
+
+    // Restriction/boundary work for the next cycle: launched after the
+    // readback, it runs under the next cycle's CPU assembly and is what
+    // the next first memset stalls behind.
+    KernelDesc boundary;
+    boundary.name = "hypre_boundary_exchange_kernel";
+    boundary.duration = cfg.boundary_kernel_gpu;
+    (void)gpusim::cudaLaunchKernel(boundary);
+  }
+};
+
+}  // namespace
+
+Workload make_amg(const AmgConfig& cfg, bool fixed) {
+  Workload w;
+  w.name = fixed ? "amg_fixed" : "amg";
+  w.device = amg_device_config();
+  w.body = Amg{cfg, fixed};
+  return w;
+}
+
+}  // namespace diog::apps

@@ -1,0 +1,221 @@
+// cuIBM reproduction (paper §5.1, Figure 7, Tables 1-2).
+//
+// Every timestep calls Thrust-style templated helpers that allocate
+// temporary device storage and free it on exit — each free a hidden
+// full-device synchronization. Three template families appear in the
+// stacks, matching Figure 7's folded expansion:
+//
+//   thrust::detail::contiguous_storage<...>   residual reductions
+//   thrust::pair<...> thrust::minmax_element<...>  CFL estimation
+//   void cusp::system::detail::generic::multiply<...>  sparse matvec
+//
+// The step also issues many tiny kernel launches and frequent
+// cudaFuncGetAttributes calls (both visible in HPCToolkit's profile), a
+// redundant per-step cudaDeviceSynchronize, and a cudaMemcpyAsync of the
+// residual into PAGEABLE host memory — the conditional synchronization
+// CUPTI never reports. The residual is only examined every
+// `residual_check_interval` steps, so most of those syncs protect data
+// nobody reads.
+//
+// The fix (`fixed = true`) is the paper's: a reusing temporary-storage
+// pool replaces the per-call allocate/free. It also eliminates the
+// malloc/free churn itself, which is why the actual benefit exceeds the
+// estimate (the 61 % accuracy outlier in Table 1).
+#include "apps/apps.h"
+#include "gpusim/api.h"
+#include "gpusim/host_buffer.h"
+#include "gpusim/thrustlike.h"
+#include "trace/callstack.h"
+
+namespace diog::apps {
+
+using gpusim::HostBuffer;
+using gpusim::KernelDesc;
+using gpusim::MemcpyKind;
+
+namespace {
+
+gpusim::DeviceConfig cuibm_device_config() {
+  gpusim::DeviceConfig d;
+  // cuIBM's profile is dominated by driver-call volume: expensive
+  // allocation paths and frequent tiny launches.
+  d.malloc_cost = diog::us(120);
+  d.free_cost = diog::us(60);
+  d.launch_cost = diog::us(45);
+  d.misc_api_cost = diog::us(8);
+  d.d2h_bandwidth_bytes_per_s = 2.0e9;
+  return d;
+}
+
+struct Cuibm {
+  CuibmConfig cfg;
+  bool fixed;
+
+  void operator()() const {
+    DIOG_APP_FRAME("main", "cuIBM.cu", 58);
+    HostBuffer<float> residual(cfg.residual_elems);
+
+    void* d_grid = nullptr;
+    void* d_residual = nullptr;
+    (void)gpusim::cudaMalloc(&d_grid, cfg.grid_elems * sizeof(float) * 4);
+    (void)gpusim::cudaMalloc(&d_residual, residual.size_bytes());
+
+    thrustlike::TempPool pool;
+    thrustlike::TempPool* pool_ptr = fixed ? &pool : nullptr;
+
+    for (std::size_t step = 0; step < cfg.timesteps; ++step) {
+      time_step(step, d_grid, d_residual, residual, pool_ptr);
+    }
+
+    (void)gpusim::cudaFree(d_grid);
+    (void)gpusim::cudaFree(d_residual);
+  }
+
+  void time_step(std::size_t step, void* d_grid, void* d_residual,
+                 HostBuffer<float>& residual,
+                 thrustlike::TempPool* pool) const {
+    DIOG_APP_FRAME("TimeStep::execute", "TimeStep.cu", 114);
+
+    // cuIBM queries launch configurations constantly.
+    for (std::size_t i = 0; i < cfg.func_attr_calls_per_step; ++i) {
+      gpusim::cudaFuncAttributes attr;
+      (void)gpusim::cudaFuncGetAttributes(
+          &attr, reinterpret_cast<const void*>(&Cuibm::time_step));
+    }
+
+    // Boundary-condition kernels: many tiny launches.
+    for (std::size_t i = 0; i < cfg.boundary_kernels_per_step; ++i) {
+      KernelDesc bc;
+      bc.name = "updateBoundary_kernel";
+      bc.duration = cfg.boundary_kernel_gpu;
+      (void)gpusim::cudaLaunchKernel(bc);
+    }
+
+    // Two float residual reductions through the Thrust veneer: per-call
+    // temporary storage, freed on exit (hidden sync).
+    residual_norm(d_grid, pool);
+    residual_norm(d_grid, pool);
+
+    // CFL bound via a minmax over the velocity field (double).
+    velocity_minmax(d_grid, pool);
+
+    // Sparse matvec of the Poisson system (cusp-like).
+    poisson_multiply(d_grid, pool);
+
+    // Projection/velocity-update kernel; its wait lands in the redundant
+    // per-step deviceSynchronize below. The kernel refreshes the
+    // residual buffer's content each step.
+    {
+      KernelDesc vk;
+      vk.name = "velocity_update_kernel";
+      vk.duration = cfg.velocity_kernel_gpu;
+      float* res = static_cast<float*>(d_residual);
+      vk.body = [res, step] { res[0] = 1.0f / static_cast<float>(step + 1); };
+      (void)gpusim::cudaLaunchKernel(vk);
+    }
+
+    gpusim::cpu_work(cfg.pre_copy_cpu);
+
+    {
+      // Async D2H of the residual into pageable memory: the conditional
+      // synchronization of §2.2 — it blocks behind the velocity kernel,
+      // and CUPTI reports no synchronization for it. On most steps the
+      // residual is never examined, so the stall bought nothing.
+      DIOG_APP_FRAME("TimeStep::residual", "TimeStep.cu", 171);
+      (void)gpusim::cudaMemcpyAsync(residual.data(), d_residual,
+                                    residual.size_bytes(),
+                                    MemcpyKind::kDeviceToHost);
+    }
+
+    if (cfg.residual_check_interval != 0 &&
+        step % cfg.residual_check_interval == 0) {
+      DIOG_APP_FRAME("TimeStep::checkConvergence", "TimeStep.cu", 180);
+      volatile float sink = residual[0];
+      (void)sink;
+    }
+
+    // Pressure correction, then the per-step blanket synchronize (the
+    // redundant habit Diogenes prices at a fraction of its cost).
+    {
+      KernelDesc pk;
+      pk.name = "pressure_correction_kernel";
+      pk.duration = cfg.pressure_kernel_gpu;
+      (void)gpusim::cudaLaunchKernel(pk);
+    }
+    gpusim::cpu_work(cfg.pre_sync_cpu);
+    (void)gpusim::cudaDeviceSynchronize();
+
+    (void)gpusim::cudaStreamSynchronize(gpusim::kDefaultStream);
+    gpusim::cpu_work(cfg.step_cpu);
+  }
+
+  void residual_norm(void* d_grid, thrustlike::TempPool* pool) const {
+    // thrust::reduce over the grid: frames carry the templated
+    // contiguous_storage names Figure 7 folds. The element count is
+    // chosen so the reduction kernel runs for reduce_kernel_gpu — the
+    // temporary's cudaFree then hides a wait of that length.
+    thrustlike::reduce_into<float>(static_cast<float*>(d_grid),
+                                   elems_for(cfg.reduce_kernel_gpu), nullptr,
+                                   pool);
+  }
+
+  // Inverse of thrustlike::algo_kernel_duration.
+  static std::size_t elems_for(Duration gpu) {
+    const double seconds = diog::to_seconds(gpu);
+    if (seconds <= 3e-6) return 1;
+    return static_cast<std::size_t>((seconds - 3e-6) * 400.0e9 / 8.0);
+  }
+
+  void velocity_minmax(void* d_grid, thrustlike::TempPool* pool) const {
+    DIOG_APP_FRAME(
+        "thrust::pair<thrust::device_ptr<double>, thrust::device_ptr<double> "
+        "> thrust::minmax_element<thrust::device_ptr<double> >",
+        "thrustlike.h", 90);
+    run_temp_kernel("minmax_element_kernel", cfg.minmax_kernel_gpu,
+                    cfg.temp_elems * sizeof(double), pool);
+    (void)d_grid;
+  }
+
+  void poisson_multiply(void* d_grid, thrustlike::TempPool* pool) const {
+    DIOG_APP_FRAME(
+        "void cusp::system::detail::generic::multiply<float, "
+        "cusp::csr_format, cusp::array1d_format>",
+        "cusp_multiply.h", 44);
+    run_temp_kernel("cusp_spmv_kernel", cfg.multiply_kernel_gpu,
+                    cfg.temp_elems * sizeof(float), pool);
+    (void)d_grid;
+  }
+
+  // A kernel that needs temporary device storage for its lifetime: the
+  // Thrust-default path allocates and frees per call (the free is the
+  // hidden sync); the fixed path borrows from the pool.
+  static void run_temp_kernel(const char* name, Duration gpu,
+                              std::size_t temp_bytes,
+                              thrustlike::TempPool* pool) {
+    KernelDesc k;
+    k.name = name;
+    k.duration = gpu;
+    if (pool != nullptr) {
+      (void)pool->acquire(temp_bytes);
+      (void)gpusim::cudaLaunchKernel(k);
+      return;
+    }
+    void* temp = nullptr;
+    (void)gpusim::cudaMalloc(&temp, temp_bytes);
+    (void)gpusim::cudaLaunchKernel(k);
+    (void)gpusim::cudaFree(temp);  // implicit full-device sync
+  }
+
+};
+
+}  // namespace
+
+Workload make_cuibm(const CuibmConfig& cfg, bool fixed) {
+  Workload w;
+  w.name = fixed ? "cuibm_fixed" : "cuibm";
+  w.device = cuibm_device_config();
+  w.body = Cuibm{cfg, fixed};
+  return w;
+}
+
+}  // namespace diog::apps

@@ -1,0 +1,118 @@
+// UVM stencil — the extension workload for unified-memory analysis
+// (paper §5.3 future work).
+//
+// Pathological variant: the grid and the per-step halo both live in
+// managed memory with the migration model enabled. Every timestep the
+// CPU updates boundary values in the halo (faulting its pages back from
+// the device — a stall hidden from every vendor record) and the stencil
+// kernel pulls them to the GPU again. The halo thrashes once per step;
+// the grid migrates once and stays device-side.
+//
+// Fixed variant: the halo is staged through a pinned host buffer with an
+// explicit cudaMemcpyAsync into device memory — no faults, full overlap.
+#include "apps/apps.h"
+#include "gpusim/api.h"
+#include "trace/callstack.h"
+
+namespace diog::apps {
+
+using gpusim::KernelDesc;
+using hooks::MemcpyKind;
+
+namespace {
+
+gpusim::DeviceConfig uvm_device_config() {
+  gpusim::DeviceConfig d;
+  d.model_managed_migration = true;
+  return d;
+}
+
+struct UvmStencil {
+  UvmStencilConfig cfg;
+  bool fixed;
+
+  void operator()() const {
+    DIOG_APP_FRAME("stencil_main", "stencil.cu", 15);
+    const std::size_t grid_bytes = cfg.grid_elems * sizeof(double);
+    const std::size_t halo_bytes = cfg.halo_elems * sizeof(double);
+
+    void* grid = nullptr;
+    (void)gpusim::cudaMallocManaged(&grid, grid_bytes);
+
+    void* halo_managed = nullptr;
+    void* halo_pinned = nullptr;
+    void* halo_device = nullptr;
+    if (!fixed) {
+      (void)gpusim::cudaMallocManaged(&halo_managed, halo_bytes);
+    } else {
+      (void)gpusim::cudaMallocHost(&halo_pinned, halo_bytes);
+      (void)gpusim::cudaMalloc(&halo_device, halo_bytes);
+    }
+
+    for (std::size_t step = 0; step < cfg.timesteps; ++step) {
+      time_step(step, grid, halo_managed, halo_pinned, halo_device,
+                halo_bytes);
+    }
+
+    // Final result readback: one legitimate fault of the grid.
+    {
+      DIOG_APP_FRAME("read_result", "stencil.cu", 88);
+      (void)gpusim::managed_cpu_access(grid);
+      volatile double sink = static_cast<double*>(grid)[0];
+      (void)sink;
+    }
+
+    (void)gpusim::cudaFree(grid);
+    if (!fixed) {
+      (void)gpusim::cudaFree(halo_managed);
+    } else {
+      (void)gpusim::cudaFreeHost(halo_pinned);
+      (void)gpusim::cudaFree(halo_device);
+    }
+  }
+
+  void time_step(std::size_t step, void* grid, void* halo_managed,
+                 void* halo_pinned, void* halo_device,
+                 std::size_t halo_bytes) const {
+    DIOG_APP_FRAME("stencil_step", "stencil.cu", 40);
+
+    // The CPU computes new boundary values each step.
+    gpusim::cpu_work(cfg.halo_cpu);
+    if (!fixed) {
+      DIOG_APP_FRAME("update_halo", "stencil.cu", 45);
+      // Touching the managed halo faults its pages back from the GPU —
+      // the hidden stall this workload exists to expose.
+      (void)gpusim::managed_cpu_access(halo_managed);
+      static_cast<double*>(halo_managed)[0] = static_cast<double>(step);
+    } else {
+      DIOG_APP_FRAME("update_halo", "stencil.cu", 50);
+      static_cast<double*>(halo_pinned)[0] = static_cast<double>(step);
+      (void)gpusim::cudaMemcpyAsync(halo_device, halo_pinned, halo_bytes,
+                                    MemcpyKind::kHostToDevice);
+    }
+
+    KernelDesc k;
+    k.name = "stencil_kernel";
+    k.duration = cfg.stencil_kernel_gpu;
+    if (!fixed) {
+      k.managed_accesses = {grid, halo_managed};
+    } else {
+      k.managed_accesses = {grid};
+    }
+    (void)gpusim::cudaLaunchKernel(k);
+
+    gpusim::cpu_work(cfg.step_cpu);
+  }
+};
+
+}  // namespace
+
+Workload make_uvm_stencil(const UvmStencilConfig& cfg, bool fixed) {
+  Workload w;
+  w.name = fixed ? "uvm_stencil_fixed" : "uvm_stencil";
+  w.device = uvm_device_config();
+  w.body = UvmStencil{cfg, fixed};
+  return w;
+}
+
+}  // namespace diog::apps

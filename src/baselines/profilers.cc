@@ -1,0 +1,134 @@
+#include "baselines/profilers.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/strings.h"
+
+namespace diog::baselines {
+
+const ProfileEntry* ProfileResult::find(std::string_view api_name) const {
+  for (const ProfileEntry& e : entries) {
+    if (e.api_name == api_name) return &e;
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::vector<ProfileEntry> rank_entries(std::map<std::string, ProfileEntry> by_name,
+                                       Duration exec_time) {
+  std::vector<ProfileEntry> out;
+  out.reserve(by_name.size());
+  for (auto& [name, e] : by_name) out.push_back(std::move(e));
+  std::sort(out.begin(), out.end(),
+            [](const ProfileEntry& a, const ProfileEntry& b) {
+              return a.time > b.time;
+            });
+  int pos = 1;
+  for (ProfileEntry& e : out) {
+    e.position = pos++;
+    e.fraction_of_exec =
+        exec_time.count() > 0
+            ? static_cast<double>(e.time.count()) /
+                  static_cast<double>(exec_time.count())
+            : 0.0;
+  }
+  return out;
+}
+
+}  // namespace
+
+ProfileResult run_nvprof_like(const ffm::Workload& w,
+                              const NvprofOptions& opts) {
+  ProfileResult result;
+  result.profiler = "nvprof_like";
+
+  gpusim::Runtime rt(w.device);
+  cupti::Subscriber::Options sub_opts;
+  sub_opts.max_records = opts.max_records;
+  sub_opts.record_cost = opts.callback_cost;
+  cupti::Subscriber sub(sub_opts);
+  sub.attach(rt);
+
+  {
+    gpusim::RuntimeScope scope(rt);
+    w.body();
+    result.exec_time = rt.clock().now();
+  }
+  if (sub.overflowed()) {
+    result.crashed = true;
+    result.crash_reason = "record buffer overflow after " +
+                          std::to_string(sub.records_at_overflow()) +
+                          " records";
+    return result;
+  }
+
+  std::map<std::string, ProfileEntry> by_name;
+  for (const cupti::ApiCallbackRecord& r : sub.api_records()) {
+    ProfileEntry& e = by_name[std::string(hooks::fn_name(r.fn))];
+    if (e.calls == 0) e.api_name = std::string(hooks::fn_name(r.fn));
+    e.time += r.duration();
+    ++e.calls;
+  }
+  result.entries = rank_entries(std::move(by_name), result.exec_time);
+  return result;
+}
+
+ProfileResult run_hpctoolkit_like(const ffm::Workload& w,
+                                  const HpctoolkitOptions& opts) {
+  ProfileResult result;
+  result.profiler = "hpctoolkit_like";
+
+  gpusim::Runtime rt(w.device);
+  cupti::Subscriber::Options sub_opts;
+  sub_opts.record_cost = opts.per_sample_cost;
+  cupti::Subscriber sub(sub_opts);
+  sub.attach(rt);
+
+  {
+    gpusim::RuntimeScope scope(rt);
+    w.body();
+    result.exec_time = rt.clock().now();
+  }
+
+  // Sampling attribution: a call is credited one whole period per
+  // sampling tick that lands inside it. Calls shorter than the period
+  // are mostly invisible; totals systematically undershoot NVProf's.
+  const std::int64_t period = opts.sampling_period.count();
+  std::map<std::string, ProfileEntry> by_name;
+  for (const cupti::ApiCallbackRecord& r : sub.api_records()) {
+    const std::int64_t samples =
+        r.exit.count() / period - r.enter.count() / period;
+    ProfileEntry& e = by_name[std::string(hooks::fn_name(r.fn))];
+    if (e.calls == 0) e.api_name = std::string(hooks::fn_name(r.fn));
+    e.time += Duration{samples * period};
+    ++e.calls;
+  }
+  // Drop calls that never caught a sample (a sampling profiler simply
+  // does not list them).
+  std::erase_if(by_name,
+                [](const auto& kv) { return kv.second.time == Duration{0}; });
+  result.entries = rank_entries(std::move(by_name), result.exec_time);
+  return result;
+}
+
+std::string render_profile(const ProfileResult& r, std::size_t max_entries) {
+  std::string out = r.profiler + " profile\n";
+  if (r.crashed) {
+    out += "  Profiler Crashed (" + r.crash_reason + ")\n";
+    return out;
+  }
+  out += "  exec time: " + format_seconds(r.exec_time) + "\n";
+  std::size_t shown = 0;
+  for (const ProfileEntry& e : r.entries) {
+    if (shown++ == max_entries) break;
+    out += "  " + pad_left(format_seconds(e.time), 12) + " (" +
+           pad_left(format_percent(e.fraction_of_exec, 1), 6) + ", " +
+           std::to_string(e.position) + ")  " + e.api_name + "  [" +
+           std::to_string(e.calls) + " calls]\n";
+  }
+  return out;
+}
+
+}  // namespace diog::baselines

@@ -1,0 +1,238 @@
+// diogenes — the command-line front end (paper §4).
+//
+// "Diogenes is launched in a similar fashion to HPCToolkit's hpcprof and
+// NVProf, no user involvement is necessary to advance diogenes through
+// the stages of FFM. Diogenes has a simple terminal-based command line
+// interface to explore data analyzed by FFM. The results are sorted by
+// potential benefit and then exported in the JSON format."
+//
+// Usage:
+//   diogenes <app> [command] [args...]
+//
+//   apps:     cumf_als | cuIBM | AMG | Rodinia
+//   commands:
+//     overview              grouped problems sorted by benefit (default)
+//     api                   per-API estimated savings (Table-2 column)
+//     folds                 every fold with its template expansion
+//     seq <N>               member listing of sequence N (Figure 6)
+//     sub <N> <first> <last> subsequence refinement (Figure 8)
+//     fixes                 automatic-correction candidates (§6)
+//     compare               run nvprof_like/hpctoolkit_like alongside
+//     export <file.json>    write the full analysis as JSON
+//     stages <dir>          also persist per-stage JSON files to <dir>
+//
+// Flags (before the app name):
+//   --verbose               narrate stages on stderr
+//   --misplaced-us <N>      misplaced-sync threshold (default 50)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "baselines/profilers.h"
+#include "core/autofix.h"
+#include "core/diogenes.h"
+#include "core/compare.h"
+#include "core/replay.h"
+#include "core/uvm_analysis.h"
+#include "core/report.h"
+#include "support/strings.h"
+
+using namespace diog;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: diogenes [--verbose] [--misplaced-us N] <app> [command]\n"
+      "       diogenes replay <dir> <workload> [command]\n"
+      "  apps: cumf_als | cuIBM | AMG | Rodinia\n"
+      "  commands: overview | api | folds | seq N | sub N A B | fixes |\n"
+      "            compare | uvm | diff | export FILE | stages DIR\n");
+  return 2;
+}
+
+int cmd_folds(const ffm::AnalysisResult& r) {
+  for (const ffm::Group& fold : r.folds) {
+    std::printf("%s\n", ffm::render_fold_expansion(r, fold).c_str());
+  }
+  return 0;
+}
+
+int cmd_seq(const ffm::AnalysisResult& r, std::size_t n) {
+  if (n < 1 || n > r.sequences.size()) {
+    std::fprintf(stderr, "no sequence #%zu (have %zu)\n", n,
+                 r.sequences.size());
+    return 1;
+  }
+  std::printf("%s", ffm::render_sequence(r, r.sequences[n - 1]).c_str());
+  return 0;
+}
+
+int cmd_sub(const ffm::AnalysisResult& r, std::size_t n, std::size_t first,
+            std::size_t last) {
+  if (n < 1 || n > r.sequences.size()) {
+    std::fprintf(stderr, "no sequence #%zu\n", n);
+    return 1;
+  }
+  const ffm::Group& seq = r.sequences[n - 1];
+  const auto entries = ffm::sequence_entries(r.graph, seq);
+  if (first < 1 || last < first || last > entries.size()) {
+    std::fprintf(stderr, "bounds must satisfy 1 <= first <= last <= %zu\n",
+                 entries.size());
+    return 1;
+  }
+  const ffm::Group sub = ffm::subsequence(r.graph, seq, first, last);
+  std::printf("%s", ffm::render_subsequence(r, sub, first, last).c_str());
+  return 0;
+}
+
+int cmd_compare(const apps::AppPair& app, const ffm::AnalysisResult& r) {
+  std::printf("%s\n",
+              baselines::render_profile(
+                  baselines::run_nvprof_like(app.pathological))
+                  .c_str());
+  std::printf("%s\n",
+              baselines::render_profile(
+                  baselines::run_hpctoolkit_like(app.pathological))
+                  .c_str());
+  std::printf("%s", ffm::render_api_savings(r).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ffm::ToolConfig cfg;
+  int arg = 1;
+  while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
+    if (std::strcmp(argv[arg], "--verbose") == 0) {
+      cfg.verbose = true;
+      ++arg;
+    } else if (std::strcmp(argv[arg], "--misplaced-us") == 0 &&
+               arg + 1 < argc) {
+      cfg.misplaced_threshold = us(std::strtol(argv[arg + 1], nullptr, 10));
+      arg += 2;
+    } else {
+      return usage();
+    }
+  }
+  if (arg >= argc) return usage();
+
+  const std::string app_name = argv[arg++];
+  const auto app_list = apps::all_apps();
+  const apps::AppPair* app = nullptr;
+
+  ffm::AnalysisResult r;
+  std::string command;
+  if (app_name == "replay") {
+    // Offline mode: re-run the analysis stage over persisted stage
+    // files — no application required.
+    if (arg + 1 >= argc) return usage();
+    const std::string dir = argv[arg++];
+    const std::string workload = argv[arg++];
+    command = arg < argc ? argv[arg++] : "overview";
+    std::fprintf(stderr, "[diogenes] offline analysis of %s from %s\n",
+                 workload.c_str(), dir.c_str());
+    r = ffm::analyze_offline(ffm::load_stage_files(dir, workload), cfg);
+  } else {
+    for (const auto& a : app_list) {
+      if (a.name == app_name) app = &a;
+    }
+    if (app == nullptr) {
+      std::fprintf(stderr, "unknown app '%s'\n", app_name.c_str());
+      return usage();
+    }
+    command = arg < argc ? argv[arg++] : "overview";
+    if (command == "stages") {
+      if (arg >= argc) return usage();
+      cfg.stage_dir = argv[arg++];
+    }
+    std::fprintf(stderr, "[diogenes] analyzing %s (4 collection runs + "
+                         "analysis)...\n",
+                 app_name.c_str());
+    ffm::Diogenes tool(app->pathological, cfg);
+    r = tool.analyze();
+  }
+
+  if (command == "overview" || command == "stages") {
+    std::printf("%s", ffm::render_overview(r).c_str());
+    std::printf("\ntotal estimated benefit: %s (%s of execution); "
+                "collection cost %.1fx\n",
+                format_seconds(r.benefit.total).c_str(),
+                format_percent(r.fraction_of_exec(r.benefit.total)).c_str(),
+                r.overhead_factor);
+    if (command == "stages") {
+      std::printf("stage files written under %s\n", cfg.stage_dir.c_str());
+    }
+    return 0;
+  }
+  if (command == "api") {
+    std::printf("%s", ffm::render_api_savings(r).c_str());
+    return 0;
+  }
+  if (command == "folds") return cmd_folds(r);
+  if (command == "seq") {
+    if (arg >= argc) return usage();
+    return cmd_seq(r, std::strtoul(argv[arg], nullptr, 10));
+  }
+  if (command == "sub") {
+    if (arg + 2 >= argc) return usage();
+    return cmd_sub(r, std::strtoul(argv[arg], nullptr, 10),
+                   std::strtoul(argv[arg + 1], nullptr, 10),
+                   std::strtoul(argv[arg + 2], nullptr, 10));
+  }
+  if (command == "fixes") {
+    const auto recs = ffm::recommend_fixes(r);
+    std::printf("%s", ffm::render_recommendations(r, recs).c_str());
+    return 0;
+  }
+  if (command == "compare") {
+    if (app == nullptr) {
+      std::fprintf(stderr, "compare requires a live app, not replay\n");
+      return 1;
+    }
+    return cmd_compare(*app, r);
+  }
+  if (command == "diff") {
+    // Table-1 methodology: estimate on the pathological variant, measure
+    // the shipped fix, report per-fold resolution and accuracy.
+    if (app == nullptr) {
+      std::fprintf(stderr, "diff requires a live app, not replay\n");
+      return 1;
+    }
+    ffm::Diogenes after_tool(app->fixed, cfg);
+    const ffm::FixOutcome o =
+        ffm::compare_analyses(r, after_tool.analyze());
+    std::printf("%s", ffm::render_fix_outcome(o).c_str());
+    return 0;
+  }
+  if (command == "uvm") {
+    if (app == nullptr) {
+      std::fprintf(stderr, "uvm requires a live app, not replay\n");
+      return 1;
+    }
+    // The §5.3 extension: a dedicated run instrumenting the driver's
+    // unified-memory migration path.
+    std::printf("%s", ffm::render_uvm(
+                          ffm::analyze_unified_memory(app->pathological))
+                          .c_str());
+    return 0;
+  }
+  if (command == "export") {
+    if (arg >= argc) return usage();
+    json::Value v = ffm::export_json(r);
+    json::Array recs;
+    for (const auto& rec : ffm::recommend_fixes(r)) {
+      recs.push_back(rec.to_json());
+    }
+    v["fix_recommendations"] = std::move(recs);
+    json::save_file(argv[arg], v);
+    std::printf("wrote %s\n", argv[arg]);
+    return 0;
+  }
+  return usage();
+}

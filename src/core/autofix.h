@@ -1,0 +1,88 @@
+// Automatic-correction prototype (paper §6, future work).
+//
+// "The problems identified by Diogenes in the applications we tested
+// typically had a similar underlying cause with a common remedy ...
+// they may be automatically correctable if the cause and remedy can be
+// automatically identified."
+//
+// This module implements the recognition half: it classifies each
+// problem group into one of the remedy patterns the paper's four fixes
+// instantiate, and emits structured recommendations ranked by expected
+// benefit. The patterns:
+//
+//   kHoistAllocFree      the same cudaFree site fires once per loop
+//                        iteration (many instances, per-iteration
+//                        frees): allocate once outside the loop / pool
+//                        the temporaries (cumf_als, cuIBM fixes).
+//   kHostMemset          a conditional sync at cudaMemset on managed
+//                        memory never protecting GPU data: replace with
+//                        a plain C memset (AMG fix).
+//   kRemoveSync          an explicit synchronize call classified
+//                        unnecessary: delete it (Rodinia fix). Flagged
+//                        low-priority when the benefit is negligible —
+//                        the paper's point is that most of these are
+//                        not worth the edit.
+//   kCacheTransfer       duplicate transfers from one site: upload
+//                        once, reuse the device copy (cumf_als fix),
+//                        guarded by const/mprotect as §5.1 describes.
+//   kMoveSyncLater       a required but misplaced synchronization:
+//                        move it just before the first use.
+//
+// Each recommendation carries the evidence (sites, instance counts,
+// expected benefit) and the safety caveats the paper insists on (e.g.
+// transfer removal must be guarded against data changes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/diogenes.h"
+
+namespace diog::ffm {
+
+enum class RemedyKind : std::uint8_t {
+  kHoistAllocFree,
+  kHostMemset,
+  kRemoveSync,
+  kCacheTransfer,
+  kMoveSyncLater,
+};
+std::string_view to_string(RemedyKind k);
+
+struct FixRecommendation {
+  RemedyKind remedy;
+  // Where to apply it: "cudaFree in als.cpp at line 856" style site
+  // descriptions, one per distinct source location involved.
+  std::vector<std::string> sites;
+  std::size_t occurrences = 0;  // dynamic instances covered
+  Duration expected_benefit{0};
+  double fraction_of_exec = 0.0;
+  // What must hold for the fix to be safe (the paper's const/mprotect
+  // guard discussion, the "conditionally unnecessary" caveat, ...).
+  std::string safety_note;
+  // Human-readable action, e.g. "hoist the allocation/free pair out of
+  // the enclosing loop (8 frees x 60 iterations)".
+  std::string action;
+
+  [[nodiscard]] json::Value to_json() const;
+};
+
+struct AutofixOptions {
+  // Recommendations below this fraction of execution time are dropped
+  // (fixing them costs more programmer time than they return — the
+  // paper's "issues that offer low benefit").
+  double min_benefit_fraction = 0.005;
+  // A site must repeat at least this many times to be treated as a
+  // per-iteration pattern (kHoistAllocFree / kCacheTransfer).
+  std::size_t loop_threshold = 4;
+};
+
+// Derive ranked fix recommendations from a completed analysis.
+std::vector<FixRecommendation> recommend_fixes(
+    const AnalysisResult& r, const AutofixOptions& opts = {});
+
+// Render as the terminal report section.
+std::string render_recommendations(
+    const AnalysisResult& r, const std::vector<FixRecommendation>& recs);
+
+}  // namespace diog::ffm

@@ -1,0 +1,109 @@
+#include "core/benefit.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace diog::ffm {
+
+Duration BenefitReport::benefit_of(std::size_t node_index) const {
+  for (const NodeBenefit& nb : per_node) {
+    if (nb.node == node_index) return nb.benefit;
+  }
+  return Duration{0};
+}
+
+Duration remove_synchronization(ExecutionGraph& g, std::size_t i) {
+  auto& nodes = g.nodes();
+  DIOG_CHECK(i < nodes.size() && nodes[i].is_sync_node(),
+             "remove_synchronization on a non-sync node");
+  const std::optional<std::size_t> next = g.next_sync_after(i);
+  const std::size_t end = next.value_or(nodes.size());
+
+  // EstMaxGPUIdle: all CLaunch/CWork duration between this sync and the
+  // next — the upper bound on GPU idle contraction (Fig 5 line 16).
+  const Duration est_max_idle = g.work_between(i, end);
+  const Duration benefit = std::min(est_max_idle, nodes[i].duration);
+
+  // The next synchronization absorbs what could not be saved (line 19).
+  if (next.has_value()) {
+    const Duration overflow = nodes[i].duration - benefit;
+    if (overflow > Duration{0}) nodes[*next].duration += overflow;
+  }
+  nodes[i].duration = Duration{0};  // line 21
+  return benefit;
+}
+
+Duration move_synchronization(ExecutionGraph& g, std::size_t i,
+                              const BenefitOptions& opts) {
+  auto& nodes = g.nodes();
+  DIOG_CHECK(i < nodes.size() && nodes[i].is_sync_node(),
+             "move_synchronization on a non-sync node");
+  Duration benefit = nodes[i].first_use_time;  // line 25
+  if (opts.cap_misplaced_at_duration) {
+    benefit = std::min(benefit, nodes[i].duration);
+  }
+  // line 26: the wait shrinks by the first-use gap.
+  nodes[i].duration =
+      std::max(Duration{0}, nodes[i].duration - nodes[i].first_use_time);
+  return benefit;
+}
+
+Duration remove_memory_transfer(ExecutionGraph& g, std::size_t i) {
+  auto& nodes = g.nodes();
+  DIOG_CHECK(i < nodes.size(), "bad node index");
+  const Duration benefit = nodes[i].duration;  // line 31
+  nodes[i].duration = Duration{0};             // line 32
+  return benefit;
+}
+
+namespace {
+
+BenefitReport evaluate(ExecutionGraph& g,
+                       const std::vector<std::size_t>& targets,
+                       const BenefitOptions& opts) {
+  BenefitReport report;
+  report.per_node.reserve(targets.size());
+  for (const std::size_t i : targets) {
+    const Node& n = g.nodes()[i];
+    Duration b{0};
+    switch (n.problem) {
+      case ProblemType::kUnnecessarySync:
+        b = remove_synchronization(g, i);
+        break;
+      case ProblemType::kMisplacedSync:
+        b = move_synchronization(g, i, opts);
+        break;
+      case ProblemType::kUnnecessaryTransfer:
+        b = remove_memory_transfer(g, i);
+        break;
+      case ProblemType::kNone:
+        continue;
+    }
+    report.per_node.push_back(NodeBenefit{i, b, n.problem});
+    report.total += b;
+    if (n.problem == ProblemType::kUnnecessaryTransfer) {
+      report.transfer_benefit += b;
+    } else {
+      report.sync_benefit += b;
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+BenefitReport expected_benefit(ExecutionGraph g, const BenefitOptions& opts) {
+  return evaluate(g, g.problematic_indices(), opts);
+}
+
+BenefitReport expected_benefit_subset(ExecutionGraph g,
+                                      std::span<const std::size_t> nodes,
+                                      const BenefitOptions& opts) {
+  DIOG_CHECK(std::is_sorted(nodes.begin(), nodes.end()),
+             "subset indices must be sorted (graph order)");
+  const std::vector<std::size_t> targets(nodes.begin(), nodes.end());
+  return evaluate(g, targets, opts);
+}
+
+}  // namespace diog::ffm

@@ -1,0 +1,123 @@
+#include "core/chrome_trace.h"
+
+#include <unordered_map>
+
+#include "gpusim/runtime.h"
+
+namespace diog::ffm {
+
+namespace {
+
+constexpr int kCpuTid = 1;
+constexpr int kGpuTidBase = 100;  // + stream id
+
+// TimePoint and Duration share one representation (ns since run start).
+double to_us(Duration d) { return static_cast<double>(d.count()) / 1e3; }
+
+json::Value meta_event(const char* name, int tid, const std::string& label) {
+  json::Object e;
+  e["ph"] = "M";
+  e["pid"] = 1;
+  e["tid"] = tid;
+  e["name"] = name;
+  json::Object args;
+  args["name"] = label;
+  e["args"] = std::move(args);
+  return json::Value(std::move(e));
+}
+
+json::Value complete_event(const std::string& name, int tid, TimePoint start,
+                           Duration dur, json::Object args) {
+  json::Object e;
+  e["ph"] = "X";
+  e["pid"] = 1;
+  e["tid"] = tid;
+  e["name"] = name;
+  e["ts"] = to_us(start);
+  e["dur"] = to_us(dur);
+  if (!args.empty()) e["args"] = std::move(args);
+  return json::Value(std::move(e));
+}
+
+}  // namespace
+
+json::Value chrome_trace(const Stage2Result& cpu_ops,
+                         const Stage3Result* problems,
+                         const gpusim::Runtime* rt,
+                         const ChromeTraceOptions& opts) {
+  json::Array events;
+  events.push_back(meta_event("process_name", kCpuTid, opts.process_name));
+  events.push_back(meta_event("thread_name", kCpuTid, "CPU driver calls"));
+
+  // Index stage-3 annotations.
+  std::unordered_map<std::uint64_t, bool> sync_required;
+  std::unordered_map<std::uint64_t, bool> duplicate;
+  if (problems != nullptr) {
+    for (const auto& c : problems->syncs) {
+      sync_required[c.op_index] = c.required;
+    }
+    for (const auto& d : problems->duplicate_transfers) {
+      duplicate[d.op_index] = true;
+    }
+  }
+
+  if (opts.include_cpu_ops) {
+    for (const OpRecord& op : cpu_ops.ops) {
+      json::Object args;
+      args["sync_wait_us"] = to_us(op.sync_wait);
+      if (op.performed_transfer) {
+        args["bytes"] = op.bytes;
+        args["direction"] =
+            std::string(hooks::to_string(op.direction));
+      }
+      if (const trace::Frame* leaf = op.stack.leaf()) {
+        args["source"] = leaf->file + ":" + std::to_string(leaf->line);
+      }
+      if (const auto it = sync_required.find(op.index);
+          it != sync_required.end()) {
+        args["sync"] = it->second ? "required" : "unnecessary";
+      }
+      if (duplicate.contains(op.index)) args["duplicate_transfer"] = true;
+      events.push_back(complete_event(
+          std::string(hooks::fn_name(op.api)), kCpuTid, op.t_enter,
+          op.t_exit - op.t_enter, std::move(args)));
+    }
+  }
+
+  if (opts.include_gpu_timeline && rt != nullptr) {
+    std::unordered_map<gpusim::StreamId, bool> named;
+    for (const gpusim::GpuOp& op : rt->device().timeline()) {
+      const int tid = kGpuTidBase + static_cast<int>(op.stream);
+      if (!named[op.stream]) {
+        named[op.stream] = true;
+        events.push_back(meta_event(
+            "thread_name", tid,
+            "GPU stream " + std::to_string(op.stream)));
+      }
+      json::Object args;
+      if (op.bytes > 0) args["bytes"] = op.bytes;
+      args["kind"] = op.kind == gpusim::GpuOp::Kind::kKernel ? "kernel"
+                     : op.kind == gpusim::GpuOp::Kind::kTransfer
+                         ? "transfer"
+                         : "memset";
+      events.push_back(
+          complete_event(op.name, tid, op.start, op.end - op.start,
+                         std::move(args)));
+    }
+  }
+
+  json::Object root;
+  root["traceEvents"] = std::move(events);
+  root["displayTimeUnit"] = "ms";
+  return json::Value(std::move(root));
+}
+
+void save_chrome_trace(const std::string& path,
+                       const Stage2Result& cpu_ops,
+                       const Stage3Result* problems,
+                       const gpusim::Runtime* rt,
+                       const ChromeTraceOptions& opts) {
+  json::save_file(path, chrome_trace(cpu_ops, problems, rt, opts));
+}
+
+}  // namespace diog::ffm

@@ -1,0 +1,46 @@
+// Chrome-trace export: visualize a run in chrome://tracing / Perfetto.
+//
+// The paper stores Diogenes data "in a standard format (JSON) that can
+// be read by other tools"; this module takes that one step further and
+// emits the de-facto standard trace-viewer format, with one track for
+// the CPU-side driver calls (from a stage-2 trace) and one per GPU
+// stream (from the simulator's ground-truth timeline). Problematic
+// operations carry their classification as event arguments, so the
+// viewer shows at a glance where the recoverable time sits.
+#pragma once
+
+#include <string>
+
+#include "core/model.h"
+#include "json/json.h"
+
+namespace gpusim {
+class Runtime;
+}
+
+namespace diog::ffm {
+
+struct ChromeTraceOptions {
+  // Track names shown in the viewer.
+  std::string process_name = "diogenes";
+  bool include_gpu_timeline = true;
+  bool include_cpu_ops = true;
+};
+
+// Build the trace document from a stage-2 trace (CPU ops, with optional
+// stage-3 problem annotations) and the runtime whose device executed
+// the run (GPU timeline; pass nullptr to skip).
+json::Value chrome_trace(const Stage2Result& cpu_ops,
+                         const Stage3Result* problems,
+                         const gpusim::Runtime* rt,
+                         const ChromeTraceOptions& opts = {});
+
+// Convenience: serialize straight to a .json file loadable by
+// chrome://tracing or ui.perfetto.dev.
+void save_chrome_trace(const std::string& path,
+                       const Stage2Result& cpu_ops,
+                       const Stage3Result* problems,
+                       const gpusim::Runtime* rt,
+                       const ChromeTraceOptions& opts = {});
+
+}  // namespace diog::ffm

@@ -1,0 +1,111 @@
+#include "core/diogenes.h"
+
+#include <cstdio>
+#include <map>
+
+#include "core/stage1_baseline.h"
+#include "core/stage2_tracing.h"
+#include "core/stage3_memhash.h"
+#include "core/stage4_syncuse.h"
+#include "support/error.h"
+
+namespace diog::ffm {
+
+std::vector<AnalysisResult::ApiSavings> AnalysisResult::api_savings() const {
+  std::map<hooks::Fn, ApiSavings> by_api;
+  for (const NodeBenefit& nb : benefit.per_node) {
+    const Node& n = graph.nodes()[nb.node];
+    if (n.api == hooks::Fn::kCount_) continue;
+    ApiSavings& s = by_api[n.api];
+    s.api = n.api;
+    s.savings += nb.benefit;
+    ++s.problem_count;
+  }
+  std::vector<ApiSavings> out;
+  out.reserve(by_api.size());
+  for (auto& [api, s] : by_api) out.push_back(s);
+  std::sort(out.begin(), out.end(),
+            [](const ApiSavings& a, const ApiSavings& b) {
+              return a.savings > b.savings;
+            });
+  return out;
+}
+
+Diogenes::Diogenes(Workload workload, ToolConfig cfg)
+    : workload_(std::move(workload)), cfg_(std::move(cfg)) {
+  DIOG_CHECK(workload_.body != nullptr, "workload has no body");
+}
+
+void Diogenes::maybe_persist(const std::string& stage,
+                             const json::Value& v) const {
+  if (cfg_.stage_dir.empty()) return;
+  json::save_file(cfg_.stage_dir + "/" + workload_.name + "_" + stage +
+                      ".json",
+                  v);
+}
+
+AnalysisResult run_analysis_stage(std::string workload_name,
+                                  Stage1Result s1, Stage2Result s2,
+                                  Stage3Result s3, Stage4Result s4,
+                                  const ToolConfig& cfg) {
+  AnalysisResult r;
+  r.workload_name = std::move(workload_name);
+  r.s1 = std::move(s1);
+  r.s2 = std::move(s2);
+  r.s3 = std::move(s3);
+  r.s4 = std::move(s4);
+
+  r.graph = build_graph(r.s2, r.s3, r.s4, cfg.misplaced_threshold);
+  r.benefit = expected_benefit(r.graph);
+  r.single_points = single_point_groups(r.graph);
+  r.folds = folded_api_groups(r.graph);
+  r.sequences = sequence_groups(r.graph);
+
+  r.collection_time =
+      r.s1.exec_time + r.s2.exec_time + r.s3.exec_time + r.s4.exec_time;
+  r.overhead_factor =
+      r.s1.exec_time.count() > 0
+          ? static_cast<double>(r.collection_time.count()) /
+                static_cast<double>(r.s1.exec_time.count())
+          : 0.0;
+  return r;
+}
+
+AnalysisResult Diogenes::analyze() {
+  AnalysisResult r;
+  r.workload_name = workload_.name;
+
+  if (cfg_.verbose) {
+    std::fprintf(stderr, "[diogenes] stage 1: baseline measurement (%s)\n",
+                 workload_.name.c_str());
+  }
+  r.s1 = run_stage1(workload_, cfg_);
+  maybe_persist("stage1", r.s1.to_json());
+
+  if (cfg_.verbose) {
+    std::fprintf(stderr, "[diogenes] stage 2: detailed tracing\n");
+  }
+  r.s2 = run_stage2(workload_, cfg_, r.s1);
+  maybe_persist("stage2", r.s2.to_json());
+
+  if (cfg_.verbose) {
+    std::fprintf(stderr, "[diogenes] stage 3: memory tracing + hashing\n");
+  }
+  r.s3 = run_stage3(workload_, cfg_, r.s1);
+  maybe_persist("stage3", r.s3.to_json());
+
+  if (cfg_.verbose) {
+    std::fprintf(stderr, "[diogenes] stage 4: sync-use analysis\n");
+  }
+  r.s4 = run_stage4(workload_, cfg_, r.s1);
+  maybe_persist("stage4", r.s4.to_json());
+
+  if (cfg_.verbose) {
+    std::fprintf(stderr, "[diogenes] stage 5: analysis\n");
+  }
+  return run_analysis_stage(workload_.name, std::move(r.s1),
+                            std::move(r.s2), std::move(r.s3),
+                            std::move(r.s4), cfg_);
+}
+
+}  // namespace diog::ffm

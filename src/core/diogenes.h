@@ -1,0 +1,85 @@
+// Diogenes: the FFM driver (paper §4).
+//
+// Orchestrates the four collection runs and the analysis stage with no
+// user interaction between stages, mirroring the real tool's automated
+// multi-run flow. Stage outputs are (optionally) persisted as JSON files
+// between runs; the analysis consumes only the serialized stage data.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/benefit.h"
+#include "core/graph.h"
+#include "core/groupings.h"
+#include "core/model.h"
+#include "core/tool_config.h"
+#include "core/workload.h"
+
+namespace diog::ffm {
+
+struct AnalysisResult {
+  std::string workload_name;
+
+  // Per-stage outputs.
+  Stage1Result s1;
+  Stage2Result s2;
+  Stage3Result s3;
+  Stage4Result s4;
+
+  // Analysis-stage products.
+  ExecutionGraph graph;
+  BenefitReport benefit;  // one ExpectedBenefit pass over all problems
+  std::vector<Group> single_points;
+  std::vector<Group> folds;
+  std::vector<Group> sequences;
+
+  // Overhead accounting (§5.3): total collection time across the four
+  // runs, relative to the baseline-stage execution time.
+  Duration collection_time{0};
+  double overhead_factor = 0.0;
+
+  // The denominator for "% of execution time" displays: the baseline
+  // (stage 1) measurement, which is designed to run near-native.
+  [[nodiscard]] Duration exec_time() const { return s1.exec_time; }
+  [[nodiscard]] double fraction_of_exec(Duration d) const {
+    return s1.exec_time.count() > 0
+               ? static_cast<double>(d.count()) /
+                     static_cast<double>(s1.exec_time.count())
+               : 0.0;
+  }
+
+  // Per-API estimated savings (the Diogenes column of Table 2), sorted
+  // by descending savings.
+  struct ApiSavings {
+    hooks::Fn api;
+    Duration savings{0};
+    std::size_t problem_count = 0;
+  };
+  [[nodiscard]] std::vector<ApiSavings> api_savings() const;
+};
+
+// Stage 5 in isolation: build the graph, run the expected-benefit pass,
+// compute the groupings, and fill the overhead bookkeeping from
+// already-collected stage outputs. Used by the live driver and by
+// offline replay (core/replay.h).
+AnalysisResult run_analysis_stage(std::string workload_name,
+                                  Stage1Result s1, Stage2Result s2,
+                                  Stage3Result s3, Stage4Result s4,
+                                  const ToolConfig& cfg);
+
+class Diogenes {
+ public:
+  explicit Diogenes(Workload workload, ToolConfig cfg = {});
+
+  // Run all five stages and return the complete analysis.
+  AnalysisResult analyze();
+
+ private:
+  void maybe_persist(const std::string& stage, const json::Value& v) const;
+
+  Workload workload_;
+  ToolConfig cfg_;
+};
+
+}  // namespace diog::ffm

@@ -1,0 +1,179 @@
+#include "core/graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/error.h"
+
+namespace diog::ffm {
+
+std::string_view to_string(NType t) {
+  switch (t) {
+    case NType::kCWork: return "CWork";
+    case NType::kCLaunch: return "CLaunch";
+    case NType::kCWait: return "CWait";
+  }
+  return "?";
+}
+
+std::optional<std::size_t> ExecutionGraph::next_sync_after(
+    std::size_t i) const {
+  for (std::size_t j = i + 1; j < nodes_.size(); ++j) {
+    if (nodes_[j].is_sync_node()) return j;
+  }
+  return std::nullopt;
+}
+
+Duration ExecutionGraph::work_between(std::size_t a, std::size_t b) const {
+  DIOG_CHECK(a <= b && b <= nodes_.size(), "bad work_between range");
+  Duration sum{0};
+  for (std::size_t j = a + 1; j < b; ++j) {
+    const Node& n = nodes_[j];
+    if (n.type == NType::kCWork || n.type == NType::kCLaunch) {
+      sum += n.duration;
+    }
+  }
+  return sum;
+}
+
+std::vector<std::size_t> ExecutionGraph::problematic_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].is_problematic()) out.push_back(i);
+  }
+  return out;
+}
+
+Duration ExecutionGraph::total_duration() const {
+  Duration sum{0};
+  for (const Node& n : nodes_) sum += n.duration;
+  return sum;
+}
+
+json::Value ExecutionGraph::to_json() const {
+  json::Array arr;
+  arr.reserve(nodes_.size());
+  for (const Node& n : nodes_) {
+    json::Object o;
+    o["type"] = std::string(to_string(n.type));
+    o["stime_ns"] = static_cast<std::int64_t>(n.stime.count());
+    o["duration_ns"] = duration_to_json(n.duration);
+    o["problem"] = std::string(to_string(n.problem));
+    o["first_use_time_ns"] = duration_to_json(n.first_use_time);
+    o["op_index"] = n.op_index;
+    if (n.api != hooks::Fn::kCount_) {
+      o["api"] = std::string(hooks::fn_name(n.api));
+    }
+    arr.emplace_back(std::move(o));
+  }
+  json::Object root;
+  root["exec_time_ns"] = duration_to_json(exec_time_);
+  root["nodes"] = std::move(arr);
+  return json::Value(std::move(root));
+}
+
+ExecutionGraph build_graph(const Stage2Result& s2, const Stage3Result& s3,
+                           const Stage4Result& s4,
+                           Duration misplaced_threshold) {
+  // Index the stage 3/4 annotations by op index.
+  std::unordered_map<std::uint64_t, const SyncClassification*> sync_class;
+  for (const SyncClassification& c : s3.syncs) sync_class[c.op_index] = &c;
+  std::unordered_map<std::uint64_t, const DuplicateTransfer*> dup;
+  for (const DuplicateTransfer& d : s3.duplicate_transfers) {
+    dup[d.op_index] = &d;
+  }
+  std::unordered_map<std::uint64_t, Duration> first_use;
+  for (const SyncUse& u : s4.uses) first_use[u.op_index] = u.first_use_time;
+
+  std::vector<Node> nodes;
+  nodes.reserve(s2.ops.size() * 2 + 2);
+  TimePoint cursor{0};
+
+  for (const OpRecord& op : s2.ops) {
+    // Gap since the previous traced call: pure CPU work (subsumes
+    // untraced calls).
+    if (op.t_enter > cursor) {
+      Node w;
+      w.type = NType::kCWork;
+      w.stime = cursor;
+      w.duration = op.t_enter - cursor;
+      nodes.push_back(std::move(w));
+    }
+
+    const Duration call = op.t_exit - op.t_enter;
+    Duration wait = op.sync_wait <= call ? op.sync_wait : call;
+    // Paper §3.5.1: "The CLaunch event performs setup and initiates the
+    // transfer while the GWait event waits for the transfer to
+    // complete." For a blocking transfer, the tail of the measured wait
+    // is the transfer itself — it belongs to the CLaunch side (it is
+    // what RemoveMemoryTransfer recovers); only the drain of *prior*
+    // stream work is CWait.
+    if (op.performed_transfer && op.gpu_op_duration > Duration{0}) {
+      wait -= std::min(wait, op.gpu_op_duration);
+    }
+    const Duration launch_part = call - wait;
+
+    // The non-blocked portion: setup + submission (CLaunch).
+    if (launch_part > Duration{0} || op.performed_transfer) {
+      Node l;
+      l.type = NType::kCLaunch;
+      l.stime = op.t_enter;
+      l.duration = launch_part;
+      l.op_index = static_cast<std::int64_t>(op.index);
+      l.api = op.api;
+      l.stack = op.stack;
+      l.bytes = op.bytes;
+      if (const auto it = dup.find(op.index); it != dup.end()) {
+        l.problem = ProblemType::kUnnecessaryTransfer;
+      }
+      nodes.push_back(std::move(l));
+    }
+
+    // The blocked portion (CWait) for synchronizing calls.
+    if (op.performed_sync) {
+      Node s;
+      s.type = NType::kCWait;
+      s.stime = op.t_enter + launch_part;
+      s.duration = wait;
+      s.op_index = static_cast<std::int64_t>(op.index);
+      s.api = op.api;
+      s.stack = op.stack;
+      s.bytes = op.bytes;
+      const auto cls = sync_class.find(op.index);
+      if (cls != sync_class.end() && !cls->second->required) {
+        s.problem = ProblemType::kUnnecessarySync;
+      } else {
+        const auto fu = first_use.find(op.index);
+        if (fu != first_use.end()) {
+          s.first_use_time = fu->second;
+          if (fu->second > misplaced_threshold) {
+            s.problem = ProblemType::kMisplacedSync;
+          }
+        }
+      }
+      nodes.push_back(std::move(s));
+    }
+
+    cursor = op.t_exit;
+  }
+
+  // Trailing CPU work after the last traced call.
+  if (s2.exec_time > cursor) {
+    Node w;
+    w.type = NType::kCWork;
+    w.stime = cursor;
+    w.duration = s2.exec_time - cursor;
+    nodes.push_back(std::move(w));
+  }
+
+  // Terminal join with the device at program exit.
+  Node exit_node;
+  exit_node.type = NType::kCWait;
+  exit_node.stime = s2.exec_time;
+  exit_node.duration = Duration{0};
+  nodes.push_back(std::move(exit_node));
+
+  return ExecutionGraph(std::move(nodes), s2.exec_time);
+}
+
+}  // namespace diog::ffm

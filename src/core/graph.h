@@ -1,0 +1,94 @@
+// The application execution graph of §3.5.
+//
+// The paper models execution as G = (N, V) with CPU and GPU node sets;
+// its key insight is that the expected-benefit estimate needs only the
+// CPU side ("an effective estimate ... can be made with only the CPU
+// graph"). The CPU side is a chain of nodes in time order, each carrying
+// the paper's attributes (NType, STime, Problem, FirstUseTime) plus the
+// label of its out-edge to the next CPU node (Duration) — in a chain,
+// OutCPUEdge(N).duration is simply N.duration.
+//
+// Construction from a stage-2 trace:
+//   * each traced call contributes a CLaunch node for its non-blocked
+//     portion (setup + asynchronous submission) and, if it blocked, a
+//     CWait node for the blocked portion;
+//   * the gap between consecutive traced calls becomes a CWork node
+//     (pure CPU computation, which subsumes untraced cheap calls such as
+//     cudaLaunchKernel — Diogenes deliberately collects nothing on
+//     calls that neither synchronize nor transfer);
+//   * a zero-duration terminal CWait marks program exit (the implicit
+//     join with the device).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/model.h"
+
+namespace diog::ffm {
+
+enum class NType : std::uint8_t { kCWork, kCLaunch, kCWait };
+std::string_view to_string(NType t);
+
+struct Node {
+  NType type = NType::kCWork;
+  TimePoint stime{0};
+  Duration duration{0};  // the out-CPU-edge label
+  ProblemType problem = ProblemType::kNone;
+  Duration first_use_time{0};
+
+  // Provenance (absent for synthesized CWork / terminal nodes).
+  std::int64_t op_index = -1;
+  hooks::Fn api = hooks::Fn::kCount_;
+  trace::StackTrace stack;
+  std::uint64_t bytes = 0;
+
+  [[nodiscard]] bool is_sync_node() const { return type == NType::kCWait; }
+  [[nodiscard]] bool is_problematic() const {
+    return problem != ProblemType::kNone;
+  }
+};
+
+class ExecutionGraph {
+ public:
+  ExecutionGraph() = default;
+  explicit ExecutionGraph(std::vector<Node> nodes, Duration exec_time)
+      : nodes_(std::move(nodes)), exec_time_(exec_time) {}
+
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] std::vector<Node>& nodes() { return nodes_; }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] Duration exec_time() const { return exec_time_; }
+
+  // GetNextSyncNode(Node): index of the next CWait node strictly after
+  // `i`, or nullopt (callers treat program exit as an implicit join).
+  [[nodiscard]] std::optional<std::size_t> next_sync_after(
+      std::size_t i) const;
+
+  // SumDuration(CPUNodesBetween(a, b, CLaunch|CWork)): total duration of
+  // the non-waiting nodes strictly between indices a and b — the paper's
+  // upper bound on how much GPU idle time can contract.
+  [[nodiscard]] Duration work_between(std::size_t a, std::size_t b) const;
+
+  [[nodiscard]] std::vector<std::size_t> problematic_indices() const;
+
+  // Sum of all node durations (== exec time when built from a trace).
+  [[nodiscard]] Duration total_duration() const;
+
+  [[nodiscard]] json::Value to_json() const;
+
+ private:
+  std::vector<Node> nodes_;
+  Duration exec_time_{0};
+};
+
+// Assemble the graph from the stage outputs. Stage 2 provides timing and
+// node structure; stage 3 classifies problems; stage 4 supplies
+// FirstUseTime. `misplaced_threshold` separates required-but-misplaced
+// synchronizations from healthy ones.
+ExecutionGraph build_graph(const Stage2Result& s2, const Stage3Result& s3,
+                           const Stage4Result& s4,
+                           Duration misplaced_threshold);
+
+}  // namespace diog::ffm

@@ -1,0 +1,25 @@
+#include "core/replay.h"
+
+#include "support/error.h"
+
+namespace diog::ffm {
+
+StageBundle load_stage_files(const std::string& dir,
+                             const std::string& workload_name) {
+  StageBundle b;
+  b.workload_name = workload_name;
+  const std::string base = dir + "/" + workload_name + "_stage";
+  b.s1 = Stage1Result::from_json(json::load_file(base + "1.json"));
+  b.s2 = Stage2Result::from_json(json::load_file(base + "2.json"));
+  b.s3 = Stage3Result::from_json(json::load_file(base + "3.json"));
+  b.s4 = Stage4Result::from_json(json::load_file(base + "4.json"));
+  return b;
+}
+
+AnalysisResult analyze_offline(const StageBundle& bundle,
+                               const ToolConfig& cfg) {
+  return run_analysis_stage(bundle.workload_name, bundle.s1, bundle.s2,
+                            bundle.s3, bundle.s4, cfg);
+}
+
+}  // namespace diog::ffm

@@ -1,0 +1,39 @@
+// Offline re-analysis of persisted stage data.
+//
+// The multi-run driver writes each stage's output as JSON; everything
+// stage 5 does — graph construction, expected benefit, groupings,
+// subsequence refinement, reports — needs only those files. This module
+// loads them back and re-runs the analysis without touching the
+// application, which is how the paper's subsequence workflow operates
+// ("does not require additional data collection. It can be invoked
+// directly from the command line interface") and what makes the JSON
+// export genuinely consumable by other tools.
+#pragma once
+
+#include <string>
+
+#include "core/diogenes.h"
+
+namespace diog::ffm {
+
+struct StageBundle {
+  std::string workload_name;
+  Stage1Result s1;
+  Stage2Result s2;
+  Stage3Result s3;
+  Stage4Result s4;
+};
+
+// Load <dir>/<name>_stage{1..4}.json (the files Diogenes persists when
+// ToolConfig::stage_dir is set). Throws diog::Error on missing or
+// malformed files.
+StageBundle load_stage_files(const std::string& dir,
+                             const std::string& workload_name);
+
+// Run the analysis stage over already-collected data. The result is
+// identical to what the live pipeline would have produced from the same
+// stage outputs (no collection-time fields beyond the stages' own).
+AnalysisResult analyze_offline(const StageBundle& bundle,
+                               const ToolConfig& cfg = {});
+
+}  // namespace diog::ffm

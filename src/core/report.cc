@@ -1,0 +1,146 @@
+#include "core/report.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace diog::ffm {
+
+namespace {
+
+std::string time_and_pct(const AnalysisResult& r, Duration d) {
+  return format_seconds(d) + " (" + format_percent(r.fraction_of_exec(d)) +
+         ")";
+}
+
+}  // namespace
+
+std::string render_overview(const AnalysisResult& r,
+                            std::size_t max_entries) {
+  // Merge folds and sequences into one benefit-sorted display.
+  struct Entry {
+    Duration benefit;
+    std::string line;
+  };
+  std::vector<Entry> entries;
+  for (const Group& g : r.folds) {
+    entries.push_back({g.benefit, g.title});
+  }
+  for (const Group& g : r.sequences) {
+    entries.push_back({g.benefit, g.title});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.benefit > b.benefit; });
+
+  std::string out;
+  out += "Diogenes Overview Display (" + r.workload_name + ")\n";
+  out += "Time(s) (% of execution time)\n";
+  std::size_t shown = 0;
+  for (const Entry& e : entries) {
+    if (shown++ == max_entries) break;
+    out += pad_left(time_and_pct(r, e.benefit), 22) + "  " + e.line + "\n";
+  }
+  out += "  Back/Previous\n  Exit\n";
+  return out;
+}
+
+std::string render_fold_expansion(const AnalysisResult& r,
+                                  const Group& fold) {
+  std::string out;
+  out += pad_left(time_and_pct(r, fold.benefit), 22) + "  " + fold.title +
+         "\n";
+  for (const Group::FoldEntry& e : fold.expansion) {
+    out += pad_left(time_and_pct(r, e.benefit), 26) + "  " + e.folded_name +
+           "\n";
+    if (e.conditionally_unnecessary) {
+      out += std::string(28, ' ') +
+             "Conditionally unnecessary (see: conditions)\n";
+    }
+  }
+  return out;
+}
+
+std::string render_sequence(const AnalysisResult& r, const Group& sequence) {
+  std::string out;
+  out += "Time Recoverable: " + format_seconds(sequence.benefit) + " (" +
+         format_percent(r.fraction_of_exec(sequence.benefit)) +
+         " of execution time)\n";
+  out += "Number of Sync Issues: " + std::to_string(sequence.sync_issues) +
+         "  Number of Transfer Issues: " +
+         std::to_string(sequence.transfer_issues);
+  if (sequence.instance_count() > 1) {
+    out += "  (x " + std::to_string(sequence.instance_count()) +
+           " loop instances)";
+  }
+  out += "\n\n";
+  out += "Select start/ending subsequence to get refined estimate\n";
+  for (const SequenceEntry& e : sequence_entries(r.graph, sequence)) {
+    out += std::to_string(e.ordinal) + ". " + e.description + "\n";
+  }
+  return out;
+}
+
+std::string render_subsequence(const AnalysisResult& r, const Group& sub,
+                               std::size_t first, std::size_t last) {
+  std::string out;
+  out += "Time Recoverable In Subsequence: " + format_seconds(sub.benefit) +
+         "\n(" + format_percent(r.fraction_of_exec(sub.benefit)) +
+         " of execution time)\n\n";
+  const std::vector<SequenceEntry> entries = sequence_entries(r.graph, sub);
+  std::size_t ordinal = first;
+  for (const SequenceEntry& e : entries) {
+    out += std::to_string(ordinal++) + ". " + e.description + "\n";
+  }
+  (void)last;
+  return out;
+}
+
+std::string render_api_savings(const AnalysisResult& r) {
+  std::string out;
+  out += "Diogenes Estimated Savings (" + r.workload_name + ")\n";
+  std::size_t pos = 1;
+  for (const AnalysisResult::ApiSavings& s : r.api_savings()) {
+    out += pad_left(format_seconds(s.savings), 12) + " (" +
+           format_percent(r.fraction_of_exec(s.savings)) + ", " +
+           std::to_string(pos++) + ")  " +
+           std::string(hooks::fn_name(s.api)) + "\n";
+  }
+  return out;
+}
+
+json::Value export_json(const AnalysisResult& r) {
+  json::Object o;
+  o["workload"] = r.workload_name;
+  o["exec_time_ns"] = duration_to_json(r.exec_time());
+  o["collection_time_ns"] = duration_to_json(r.collection_time);
+  o["overhead_factor"] = r.overhead_factor;
+  o["stage1"] = r.s1.to_json();
+  o["stage3"] = r.s3.to_json();
+  o["stage4"] = r.s4.to_json();
+  o["total_benefit_ns"] = duration_to_json(r.benefit.total);
+  o["sync_benefit_ns"] = duration_to_json(r.benefit.sync_benefit);
+  o["transfer_benefit_ns"] = duration_to_json(r.benefit.transfer_benefit);
+
+  json::Array folds;
+  for (const Group& g : r.folds) folds.push_back(g.to_json());
+  o["folds"] = std::move(folds);
+  json::Array seqs;
+  for (const Group& g : r.sequences) seqs.push_back(g.to_json());
+  o["sequences"] = std::move(seqs);
+  json::Array points;
+  for (const Group& g : r.single_points) points.push_back(g.to_json());
+  o["single_points"] = std::move(points);
+
+  json::Array apis;
+  for (const AnalysisResult::ApiSavings& s : r.api_savings()) {
+    json::Object so;
+    so["api"] = std::string(hooks::fn_name(s.api));
+    so["savings_ns"] = duration_to_json(s.savings);
+    so["problem_count"] = s.problem_count;
+    apis.emplace_back(std::move(so));
+  }
+  o["api_savings"] = std::move(apis);
+  return json::Value(std::move(o));
+}
+
+}  // namespace diog::ffm

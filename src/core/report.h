@@ -1,0 +1,34 @@
+// Terminal rendering + JSON export of the analysis (paper §4, Figures
+// 6-8). "Diogenes has a simple terminal-based command line interface to
+// explore data analyzed by FFM. The results are sorted by potential
+// benefit and then exported in the JSON format."
+#pragma once
+
+#include <string>
+
+#include "core/diogenes.h"
+
+namespace diog::ffm {
+
+// Figure 7 left pane: entries (folds + sequences) sorted by benefit.
+std::string render_overview(const AnalysisResult& r,
+                            std::size_t max_entries = 8);
+
+// Figure 7 right pane: expansion of one fold into template-folded
+// functions with "Conditionally unnecessary" annotations.
+std::string render_fold_expansion(const AnalysisResult& r, const Group& fold);
+
+// Figure 6: the numbered member listing of a sequence.
+std::string render_sequence(const AnalysisResult& r, const Group& sequence);
+
+// Figure 8: a subsequence's refined estimate.
+std::string render_subsequence(const AnalysisResult& r, const Group& sub,
+                               std::size_t first, std::size_t last);
+
+// The Diogenes column of Table 2: per-API estimated savings.
+std::string render_api_savings(const AnalysisResult& r);
+
+// Complete machine-readable export.
+json::Value export_json(const AnalysisResult& r);
+
+}  // namespace diog::ffm

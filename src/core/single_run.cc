@@ -1,0 +1,101 @@
+#include "core/single_run.h"
+
+#include <set>
+#include <unordered_map>
+
+#include "gpusim/runtime.h"
+#include "support/error.h"
+
+namespace diog::ffm {
+
+using hooks::Fn;
+using hooks::HookContext;
+using hooks::Probe;
+
+SingleRunResult run_single_run_analysis(const Workload& w,
+                                        const ToolConfig& cfg,
+                                        const SingleRunOptions& opts) {
+  SingleRunResult result;
+  gpusim::Runtime rt(w.device);
+
+  // API-context bookkeeping (same trick as stage 1).
+  std::vector<Fn> api_stack;
+  Probe ctx_probe;
+  ctx_probe.on_entry = [&](const HookContext& ctx) {
+    api_stack.push_back(ctx.fn);
+  };
+  ctx_probe.on_exit = [&](const HookContext&) { api_stack.pop_back(); };
+  rt.hooks().attach_matching(
+      [](Fn f) { return hooks::is_public_api(f) || hooks::is_private_api(f); },
+      ctx_probe);
+
+  // Sites seen so far and the API functions already promoted to
+  // detailed tracing. Promotion attaches a probe MID-RUN — the Paradyn
+  // move — so only later occurrences get detail.
+  struct SiteState {
+    std::size_t hits = 0;
+    bool promoted = false;
+  };
+  std::unordered_map<std::uint64_t, SiteState> sites;
+  std::set<Fn> promoted_fns;
+
+  Probe detail_probe;
+  detail_probe.entry_cost = cfg.stage2_probe_cost;
+  detail_probe.exit_cost = cfg.stage2_probe_cost;
+  detail_probe.on_exit = [&](const HookContext& ctx) {
+    if (ctx.dispatch_depth != 1) return;
+    OpRecord r;
+    r.index = result.ops.size();
+    r.api = ctx.fn;
+    r.stack = trace::CallContext::current().capture();
+    r.t_enter = ctx.entry_time;
+    r.t_exit = ctx.exit_time;
+    r.sync_wait = ctx.info->sync_wait;
+    r.performed_sync =
+        ctx.info->performed_sync || hooks::is_explicit_sync_fn(ctx.fn);
+    r.performed_transfer = ctx.info->performed_transfer;
+    r.bytes = ctx.info->bytes;
+    result.ops.push_back(std::move(r));
+  };
+
+  // The always-on lightweight counter at the wait funnel.
+  Probe wait_probe;
+  wait_probe.exit_cost = cfg.stage1_probe_cost;
+  wait_probe.on_exit = [&](const HookContext& ctx) {
+    if (api_stack.empty()) return;
+    const Fn api = api_stack.back();
+    const std::uint64_t key =
+        trace::CallContext::current().capture().exact_key() ^
+        (static_cast<std::uint64_t>(api) << 48);
+    SiteState& s = sites[key];
+    ++s.hits;
+    if (s.promoted || promoted_fns.contains(api)) return;
+
+    if (s.hits >= opts.promote_after) {
+      // Promote: attach detail to this API function for the REST of the
+      // run. Everything that already happened stays un-traced.
+      s.promoted = true;
+      promoted_fns.insert(api);
+      rt.hooks().attach(api, detail_probe);
+    } else {
+      // Below threshold: this occurrence's detail is lost.
+      ++result.occurrences_missed;
+      result.missed_wait += ctx.info->sync_wait;
+    }
+  };
+  rt.hooks().attach(Fn::kInternalWaitForStream, wait_probe);
+
+  {
+    gpusim::RuntimeScope scope(rt);
+    w.body();
+    result.exec_time = rt.clock().now();
+  }
+
+  result.sites_seen = sites.size();
+  for (const auto& [key, s] : sites) {
+    if (s.promoted) ++result.sites_promoted;
+  }
+  return result;
+}
+
+}  // namespace diog::ffm

@@ -1,0 +1,57 @@
+// Paradyn-style single-run adaptive instrumentation — the §2.1
+// comparison point.
+//
+// "Paradyn performs multiple stages of instrumentation over a single run
+// of the application. ... However, operations that are impactful can be
+// missed if the operation completes before Paradyn determines the
+// operation is important. To avoid potential gaps in collection and
+// analysis, FFM uses a multi-run model to ensure that all important
+// operations are known in advance so that detail is not missed."
+//
+// This module implements the single-run strategy honestly: one
+// execution, starting with only the lightweight wait-funnel counter;
+// when a synchronizing site has been seen `promote_after` times, a
+// detailed trace probe attaches to its API function *mid-run*. Every
+// occurrence before promotion is counted as missed detail. The
+// bench_single_run ablation contrasts its coverage with FFM's.
+#pragma once
+
+#include "core/model.h"
+#include "core/tool_config.h"
+#include "core/workload.h"
+
+namespace diog::ffm {
+
+struct SingleRunOptions {
+  // Occurrences of a site before it is judged worth detailed tracing.
+  std::size_t promote_after = 3;
+};
+
+struct SingleRunResult {
+  Duration exec_time{0};
+  // Detailed records collected after promotion (the single-run
+  // analogue of a stage-2 trace).
+  std::vector<OpRecord> ops;
+  // Sites that synchronized at least once.
+  std::size_t sites_seen = 0;
+  // Sites promoted to detailed tracing before the run ended.
+  std::size_t sites_promoted = 0;
+  // Synchronizing occurrences that happened before their site was
+  // promoted: detail the single-run model can never recover.
+  std::size_t occurrences_missed = 0;
+  // Blocked time carried by the missed occurrences.
+  Duration missed_wait{0};
+
+  [[nodiscard]] double coverage() const {
+    const std::size_t total = ops.size() + occurrences_missed;
+    return total == 0 ? 1.0
+                      : static_cast<double>(ops.size()) /
+                            static_cast<double>(total);
+  }
+};
+
+SingleRunResult run_single_run_analysis(const Workload& w,
+                                        const ToolConfig& cfg,
+                                        const SingleRunOptions& opts = {});
+
+}  // namespace diog::ffm

@@ -1,0 +1,130 @@
+#include "core/stage1_baseline.h"
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "gpusim/api.h"
+#include "support/error.h"
+
+namespace diog::ffm {
+
+using gpusim::Runtime;
+using gpusim::RuntimeScope;
+using hooks::Fn;
+using hooks::HookContext;
+using hooks::Probe;
+
+hooks::Fn discover_wait_fn(const gpusim::DeviceConfig& device) {
+  gpusim::Runtime rt(device);
+  rt.set_probe_mode(true);
+
+  // Accumulated in-function time per internal symbol.
+  std::array<Duration, hooks::kFnCount> in_fn_time{};
+  std::array<TimePoint, hooks::kFnCount> entry_at{};
+
+  Probe probe;
+  probe.on_entry = [&](const HookContext& ctx) {
+    entry_at[static_cast<std::size_t>(ctx.fn)] = ctx.entry_time;
+  };
+  probe.on_exit = [&](const HookContext& ctx) {
+    in_fn_time[static_cast<std::size_t>(ctx.fn)] +=
+        ctx.exit_time - entry_at[static_cast<std::size_t>(ctx.fn)];
+  };
+  rt.hooks().attach_matching(
+      [](Fn f) { return hooks::is_internal(f); }, probe);
+
+  // The probe application: a kernel that never completes, followed by a
+  // known synchronous call. The CPU gets stuck inside exactly one
+  // internal function; the watchdog then kills the run.
+  bool timed_out = false;
+  try {
+    RuntimeScope scope(rt);
+    gpusim::KernelDesc never;
+    never.name = "diogenes_probe_never_completing";
+    never.duration = diog::kInfiniteDuration;
+    (void)gpusim::cudaLaunchKernel(never);
+    (void)gpusim::cudaDeviceSynchronize();
+  } catch (const gpusim::ProbeTimeout&) {
+    timed_out = true;
+  }
+  DIOG_CHECK(timed_out, "discovery probe did not block as expected");
+
+  // The wait function is the internal symbol that absorbed the watchdog
+  // budget; decoys accumulate (near-)zero time.
+  Fn best = Fn::kCount_;
+  Duration best_time{0};
+  for (std::size_t i = 0; i < hooks::kFnCount; ++i) {
+    const Fn f = static_cast<Fn>(i);
+    if (!hooks::is_internal(f)) continue;
+    if (in_fn_time[i] > best_time) {
+      best_time = in_fn_time[i];
+      best = f;
+    }
+  }
+  DIOG_CHECK(best != Fn::kCount_ && best_time >= device.probe_watchdog / 2,
+             "no internal function absorbed the probe wait");
+  return best;
+}
+
+Stage1Result run_stage1(const Workload& w, const ToolConfig& cfg) {
+  Stage1Result result;
+  result.wait_fn = discover_wait_fn(w.device);
+
+  gpusim::Runtime rt(w.device);
+
+  // API-context bookkeeping: a stack of in-flight driver API calls so
+  // the wait probe can attribute the synchronization to the function the
+  // application actually called. (The real tool reads this off the
+  // native stack; we track it with negligible-cost probes.)
+  std::vector<Fn> api_stack;
+  Probe ctx_probe;
+  ctx_probe.on_entry = [&](const HookContext& ctx) {
+    api_stack.push_back(ctx.fn);
+  };
+  ctx_probe.on_exit = [&](const HookContext&) { api_stack.pop_back(); };
+  rt.hooks().attach_matching(
+      [](Fn f) { return hooks::is_public_api(f) || hooks::is_private_api(f); },
+      ctx_probe);
+
+  // The one real probe of this stage: the internal wait function.
+  struct SiteKey {
+    Fn api;
+    std::uint64_t stack_key;
+    bool operator==(const SiteKey&) const = default;
+  };
+  struct SiteKeyHash {
+    std::size_t operator()(const SiteKey& k) const {
+      return static_cast<std::size_t>(k.stack_key ^
+                                      (static_cast<std::uint64_t>(k.api)
+                                       << 48));
+    }
+  };
+  std::unordered_map<SiteKey, std::size_t, SiteKeyHash> site_index;
+
+  Probe wait_probe;
+  wait_probe.exit_cost = cfg.stage1_probe_cost;
+  wait_probe.on_exit = [&](const HookContext&) {
+    if (api_stack.empty()) return;  // wait outside any API call: ignore
+    const Fn api = api_stack.back();
+    const trace::StackTrace stack = trace::CallContext::current().capture();
+    const SiteKey key{api, stack.exact_key()};
+    const auto it = site_index.find(key);
+    if (it != site_index.end()) {
+      ++result.sync_sites[it->second].hits;
+      return;
+    }
+    site_index.emplace(key, result.sync_sites.size());
+    result.sync_sites.push_back(SyncSite{api, stack, 1});
+  };
+  rt.hooks().attach(result.wait_fn, wait_probe);
+
+  {
+    RuntimeScope scope(rt);
+    w.body();
+    result.exec_time = rt.clock().now();
+  }
+  return result;
+}
+
+}  // namespace diog::ffm

@@ -1,0 +1,29 @@
+// Stage 1 — Baseline Measurement (paper §3.1).
+//
+// Two parts:
+//   1. *Wait-function discovery*: before measuring anything, the tool
+//      must find the internal driver function that implements the wait.
+//      It does this the way the paper describes: probe every internal
+//      driver symbol, launch a never-completing kernel, call a known
+//      synchronous function, and see which probe the CPU gets stuck in.
+//   2. *Baseline run*: execute the workload with only a lightweight
+//      probe on the discovered wait function (plus negligible-cost
+//      API-context bookkeeping), recording total execution time and the
+//      distinct (API function, call stack) sites that synchronize.
+#pragma once
+
+#include "core/model.h"
+#include "core/tool_config.h"
+#include "core/workload.h"
+
+namespace diog::ffm {
+
+// Part 1 in isolation (also used by tests and the coverage bench).
+// Runs the probe experiment against a scratch runtime configured like
+// the workload's device; returns the discovered wait function.
+hooks::Fn discover_wait_fn(const gpusim::DeviceConfig& device);
+
+// Full stage 1: discovery + baseline measurement run.
+Stage1Result run_stage1(const Workload& w, const ToolConfig& cfg);
+
+}  // namespace diog::ffm

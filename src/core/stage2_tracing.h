@@ -1,0 +1,25 @@
+// Stage 2 — Detailed Tracing (paper §3.2).
+//
+// Re-runs the workload with entry/exit tracing on three classes of
+// functions: the synchronizing functions stage 1 discovered, the
+// documented transfer functions, and the internal wait function. Every
+// top-level traced call produces an OpRecord with its stack trace, call
+// interval, and — via the nested wait-funnel probe — the portion of the
+// call spent blocked on the GPU.
+//
+// OpRecord indices are the join key of the whole pipeline: because the
+// workload is deterministic and stages 2-4 trace the same function set,
+// "the k-th traced call" denotes the same application operation in every
+// run.
+#pragma once
+
+#include "core/model.h"
+#include "core/tool_config.h"
+#include "core/workload.h"
+
+namespace diog::ffm {
+
+Stage2Result run_stage2(const Workload& w, const ToolConfig& cfg,
+                        const Stage1Result& s1);
+
+}  // namespace diog::ffm

@@ -1,0 +1,34 @@
+#include "core/stage3_memhash.h"
+
+#include "core/memsync_engine.h"
+
+namespace diog::ffm {
+
+Stage3Result run_stage3(const Workload& w, const ToolConfig& cfg,
+                        const Stage1Result& s1) {
+  Stage3Result result;
+  gpusim::Runtime rt(w.device);
+  rt.set_cpu_dilation(cfg.stage3_cpu_dilation);
+  MemSyncEngine engine(rt, cfg, s1, /*hash_transfers=*/true);
+  {
+    gpusim::RuntimeScope scope(rt);
+    w.body();
+    engine.finish();
+    result.exec_time = rt.clock().now();
+  }
+
+  for (const MemSyncEngine::SyncObservation& obs : engine.syncs()) {
+    SyncClassification c;
+    c.op_index = obs.op_index;
+    c.required = obs.required;
+    c.access_stack = obs.access_stack;
+    c.access_ip = obs.access_ip;
+    result.syncs.push_back(std::move(c));
+  }
+  result.duplicate_transfers = engine.duplicates();
+  result.transfers_hashed = engine.transfers_hashed();
+  result.bytes_hashed = engine.bytes_hashed();
+  return result;
+}
+
+}  // namespace diog::ffm

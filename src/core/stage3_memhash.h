@@ -1,0 +1,20 @@
+// Stage 3 — Memory Tracing and Data Hashing (paper §3.3).
+//
+// Re-runs the workload with the heavy instrumentation: page-protection
+// memory tracing of GPU-written host ranges (identifying which
+// synchronizations protect data the CPU actually touches, and the
+// instruction/stack of the first touch) plus content hashing of every
+// transfer for duplicate detection. The hashing cost deliberately
+// perturbs timing — which is why FirstUseTime is re-measured in stage 4.
+#pragma once
+
+#include "core/model.h"
+#include "core/tool_config.h"
+#include "core/workload.h"
+
+namespace diog::ffm {
+
+Stage3Result run_stage3(const Workload& w, const ToolConfig& cfg,
+                        const Stage1Result& s1);
+
+}  // namespace diog::ffm

@@ -1,0 +1,30 @@
+#include "core/stage4_syncuse.h"
+
+#include "core/memsync_engine.h"
+
+namespace diog::ffm {
+
+Stage4Result run_stage4(const Workload& w, const ToolConfig& cfg,
+                        const Stage1Result& s1) {
+  Stage4Result result;
+  gpusim::Runtime rt(w.device);
+  rt.set_cpu_dilation(cfg.stage4_cpu_dilation);
+  MemSyncEngine engine(rt, cfg, s1, /*hash_transfers=*/false);
+  {
+    gpusim::RuntimeScope scope(rt);
+    w.body();
+    engine.finish();
+    result.exec_time = rt.clock().now();
+  }
+
+  for (const MemSyncEngine::SyncObservation& obs : engine.syncs()) {
+    if (!obs.required) continue;
+    SyncUse u;
+    u.op_index = obs.op_index;
+    u.first_use_time = obs.first_use_time;
+    result.uses.push_back(u);
+  }
+  return result;
+}
+
+}  // namespace diog::ffm

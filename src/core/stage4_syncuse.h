@@ -1,0 +1,19 @@
+// Stage 4 — Sync-Use Analysis (paper §3.4).
+//
+// Re-runs the workload with memory tracing only (no hashing): for every
+// synchronization stage 3 classified as required, measures the time
+// between the synchronization's completion and the first instruction
+// accessing the data it protects. Large gaps mean the synchronization is
+// misplaced — it could be moved later, recovering CPU/GPU overlap.
+#pragma once
+
+#include "core/model.h"
+#include "core/tool_config.h"
+#include "core/workload.h"
+
+namespace diog::ffm {
+
+Stage4Result run_stage4(const Workload& w, const ToolConfig& cfg,
+                        const Stage1Result& s1);
+
+}  // namespace diog::ffm

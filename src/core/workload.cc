@@ -1,0 +1,15 @@
+#include "core/workload.h"
+
+#include "support/error.h"
+
+namespace diog::ffm {
+
+Duration run_uninstrumented(const Workload& w) {
+  DIOG_CHECK(w.body != nullptr, "workload has no body");
+  gpusim::Runtime rt(w.device);
+  gpusim::RuntimeScope scope(rt);
+  w.body();
+  return rt.clock().now();
+}
+
+}  // namespace diog::ffm

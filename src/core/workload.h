@@ -1,0 +1,28 @@
+// A workload is an application the tool can re-execute: FFM's multi-run
+// model runs the same program once per collection stage. Workloads must
+// be deterministic for the stages' data to line up (paper §5.3 assumes
+// "the execution pattern of the application does not change dramatically
+// between runs with the same inputs").
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "gpusim/runtime.h"
+#include "support/clock.h"
+
+namespace diog::ffm {
+
+struct Workload {
+  std::string name;
+  gpusim::DeviceConfig device;
+  // The application body. Runs with a fresh gpusim::Runtime active; uses
+  // the CUDA-style API and DIOG_APP_FRAME markers like a real program.
+  std::function<void()> body;
+};
+
+// Execute the workload once with no instrumentation attached and return
+// its native virtual execution time.
+Duration run_uninstrumented(const Workload& w);
+
+}  // namespace diog::ffm

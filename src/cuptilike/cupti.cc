@@ -1,0 +1,87 @@
+#include "cuptilike/cupti.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/error.h"
+
+namespace diog::cupti {
+
+Subscriber::Subscriber(Options opts) : opts_(opts) {}
+
+Subscriber::~Subscriber() { detach(); }
+
+void Subscriber::attach(gpusim::Runtime& rt) {
+  DIOG_CHECK(attached_ == nullptr, "subscriber already attached");
+  DIOG_CHECK(rt.cupti_sink() == nullptr,
+             "runtime already has a CUPTI subscriber");
+  rt.set_cupti_sink(this);
+  attached_ = &rt;
+}
+
+void Subscriber::detach() {
+  if (attached_ != nullptr) {
+    attached_->set_cupti_sink(nullptr);
+    attached_ = nullptr;
+  }
+}
+
+void Subscriber::check_capacity() {
+  if (!overflowed_ && opts_.max_records != 0 &&
+      total_records() > opts_.max_records) {
+    overflowed_ = true;
+    records_at_overflow_ = total_records();
+  }
+}
+
+void Subscriber::on_api_enter(hooks::Fn f, const hooks::OpInfo& info,
+                              TimePoint now) {
+  // Enter/exit are paired in on_api_exit; nothing to buffer here.
+  (void)f;
+  (void)info;
+  (void)now;
+}
+
+void Subscriber::on_api_exit(hooks::Fn f, const hooks::OpInfo& info,
+                             TimePoint enter, TimePoint now) {
+  (void)info;
+  if (!opts_.collect_api_callbacks || overflowed_) return;
+  api_records_.push_back(ApiCallbackRecord{f, enter, now});
+  if (opts_.record_cost > Duration{0} && attached_ != nullptr) {
+    attached_->cpu_work(opts_.record_cost);
+  }
+  check_capacity();
+}
+
+void Subscriber::on_activity(const gpusim::CuptiActivity& a) {
+  if (!opts_.collect_activities || overflowed_) return;
+  activities_.push_back(a);
+  check_capacity();
+}
+
+void Subscriber::clear() {
+  api_records_.clear();
+  activities_.clear();
+  overflowed_ = false;
+  records_at_overflow_ = 0;
+}
+
+std::vector<ApiSummary> summarize_api_time(
+    const std::vector<ApiCallbackRecord>& records) {
+  std::map<hooks::Fn, ApiSummary> by_fn;
+  for (const ApiCallbackRecord& r : records) {
+    ApiSummary& s = by_fn[r.fn];
+    if (s.calls == 0) s.api_name = std::string(hooks::fn_name(r.fn));
+    s.total_time += r.duration();
+    ++s.calls;
+  }
+  std::vector<ApiSummary> out;
+  out.reserve(by_fn.size());
+  for (auto& [fn, s] : by_fn) out.push_back(std::move(s));
+  std::sort(out.begin(), out.end(), [](const ApiSummary& a, const ApiSummary& b) {
+    return a.total_time > b.total_time;
+  });
+  return out;
+}
+
+}  // namespace diog::cupti

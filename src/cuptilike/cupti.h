@@ -1,0 +1,115 @@
+// The tool-facing half of the vendor performance interface (CUPTI-like).
+//
+// Baseline profilers (nvprof_like, hpctoolkit_like) are built ONLY on
+// this interface, exactly as real CUPTI-based tools are. Its blind spots
+// are inherited from the driver side (gpusim/cupti_sink.h): no records
+// for implicit/conditional synchronizations, nothing from the private
+// API, public-API calls from inside vendor libraries omitted.
+//
+// The subscriber buffers API-callback intervals and activity records and
+// can enforce a record-capacity limit; exceeding it aborts the client
+// with SubscriberOverflow — modeling the NVProf crash the paper hit on
+// cuIBM ("the crash was likely caused by the large number of cuda calls
+// that take place during cuIBM's execution").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gpusim/cupti_sink.h"
+#include "gpusim/runtime.h"
+
+namespace diog::cupti {
+
+struct ApiCallbackRecord {
+  hooks::Fn fn;
+  TimePoint enter{0};
+  TimePoint exit{0};
+  [[nodiscard]] Duration duration() const { return exit - enter; }
+};
+
+// Reported when the subscriber's record capacity is exhausted. (This is
+// surfaced as a flag rather than an exception: the overflow is detected
+// inside driver-callback dispatch, where unwinding is not an option —
+// and a real CUPTI client discovers the condition exactly this way,
+// by its buffers failing.)
+struct SubscriberOverflow {
+  std::uint64_t records_at_overflow;
+};
+
+class Subscriber final : public gpusim::CuptiSink {
+ public:
+  struct Options {
+    bool collect_api_callbacks = true;
+    bool collect_activities = true;
+    // 0 = unlimited. A finite limit models tools that buffer records in
+    // bounded memory and fail beyond it.
+    std::uint64_t max_records = 0;
+    // CPU cost charged to the application per buffered record (the
+    // subscriber's own overhead).
+    Duration record_cost{0};
+  };
+
+  Subscriber() : Subscriber(Options{}) {}
+  explicit Subscriber(Options opts);
+  ~Subscriber() override;
+  Subscriber(const Subscriber&) = delete;
+  Subscriber& operator=(const Subscriber&) = delete;
+
+  // Attach to / detach from a runtime (one subscriber at a time, as with
+  // real CUPTI).
+  void attach(gpusim::Runtime& rt);
+  void detach();
+
+  // CuptiSink implementation (driven by the driver).
+  void on_api_enter(hooks::Fn f, const hooks::OpInfo& info,
+                    TimePoint now) override;
+  void on_api_exit(hooks::Fn f, const hooks::OpInfo& info, TimePoint enter,
+                   TimePoint now) override;
+  void on_activity(const gpusim::CuptiActivity& a) override;
+
+  [[nodiscard]] const std::vector<ApiCallbackRecord>& api_records() const {
+    return api_records_;
+  }
+  [[nodiscard]] const std::vector<gpusim::CuptiActivity>& activities() const {
+    return activities_;
+  }
+  [[nodiscard]] std::uint64_t total_records() const {
+    return api_records_.size() + activities_.size();
+  }
+
+  // Capacity exhaustion: once set, no further records are collected (the
+  // client tool has effectively died mid-run, as NVProf did on cuIBM).
+  [[nodiscard]] bool overflowed() const { return overflowed_; }
+  [[nodiscard]] std::uint64_t records_at_overflow() const {
+    return records_at_overflow_;
+  }
+
+  void clear();
+
+ private:
+  void check_capacity();
+  bool overflowed_ = false;
+  std::uint64_t records_at_overflow_ = 0;
+
+  Options opts_;
+  gpusim::Runtime* attached_ = nullptr;
+  std::vector<ApiCallbackRecord> api_records_;
+  std::vector<gpusim::CuptiActivity> activities_;
+};
+
+// Per-API-call aggregate, the summary unit both baseline profilers print.
+struct ApiSummary {
+  std::string api_name;
+  Duration total_time{0};
+  std::uint64_t calls = 0;
+};
+
+// Aggregate callback records by API function, sorted by descending total
+// time (the NVProf summary-view order used in Table 2).
+std::vector<ApiSummary> summarize_api_time(
+    const std::vector<ApiCallbackRecord>& records);
+
+}  // namespace diog::cupti

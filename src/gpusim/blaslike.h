@@ -1,0 +1,38 @@
+// A cuBLAS-like vendor math library.
+//
+// Mirrors the behaviour the paper attributes to Nvidia-created libraries:
+// its operations go through the proprietary driver API (invisible to
+// CUPTI), and the few public-API calls it makes from inside library code
+// are also omitted from vendor-interface callbacks. The hook table sees
+// everything. cumf_als uses this library for its solver steps.
+#pragma once
+
+#include <cstddef>
+
+#include "gpusim/types.h"
+
+namespace blaslike {
+
+using gpusim::Duration;
+using gpusim::StreamId;
+
+struct Handle {
+  StreamId stream = gpusim::kDefaultStream;
+};
+
+// Batched dense GEMM on device memory. `flops` scales the simulated
+// kernel duration. Launched via the private driver API.
+void gemm_batched(Handle& h, const float* a, const float* b, float* c,
+                  std::size_t batch, std::size_t m, std::size_t n,
+                  std::size_t k);
+
+// Batched Cholesky solve (the ALS inner step). Internally allocates and
+// frees temporary device workspace through the private API — each free
+// performs a hidden full-device synchronization.
+void cholesky_solve_batched(Handle& h, float* a, float* b, std::size_t batch,
+                            std::size_t n);
+
+// Library-internal synchronization through the private interface.
+void sync(Handle& h);
+
+}  // namespace blaslike

@@ -1,0 +1,51 @@
+// The driver-side half of the vendor performance interface.
+//
+// The simulated driver pushes callback and activity data to at most one
+// registered sink — the analog of CUPTI's subscriber. What gets pushed
+// encodes the gaps the paper documents (§2.2):
+//   * API enter/exit callbacks fire for PUBLIC API calls only, and are
+//     omitted when the call originates inside a vendor library;
+//   * activity records exist for kernels, memcpys and memsets, but
+//     SYNCHRONIZATION activity is produced only for explicit sync calls
+//     (cuda{Device,Thread,Stream,Event}Synchronize). Implicit syncs
+//     (inside cudaMemcpy/cudaFree), conditional syncs (cudaMemcpyAsync
+//     D2H to pageable, cudaMemset on managed) and everything reached via
+//     the private API produce no synchronization records at all;
+//   * private-API calls produce nothing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gpusim/types.h"
+
+namespace gpusim {
+
+struct CuptiActivity {
+  enum class Kind : std::uint8_t {
+    kKernel,
+    kMemcpy,
+    kMemset,
+    kSynchronization,
+  };
+  Kind kind;
+  diog::hooks::Fn api;  // the API call that produced the activity
+  TimePoint start{0};
+  TimePoint end{0};
+  std::uint64_t bytes = 0;
+  MemcpyKind direction = MemcpyKind::kHostToHost;
+  StreamId stream = kDefaultStream;
+  std::string name;  // kernel name, when applicable
+};
+
+class CuptiSink {
+ public:
+  virtual ~CuptiSink() = default;
+  virtual void on_api_enter(diog::hooks::Fn f, const diog::hooks::OpInfo& info,
+                            TimePoint now) = 0;
+  virtual void on_api_exit(diog::hooks::Fn f, const diog::hooks::OpInfo& info,
+                           TimePoint enter_time, TimePoint now) = 0;
+  virtual void on_activity(const CuptiActivity& activity) = 0;
+};
+
+}  // namespace gpusim

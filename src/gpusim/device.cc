@@ -1,0 +1,248 @@
+#include "gpusim/device.h"
+
+#include <algorithm>
+
+#include "gpusim/runtime.h"
+#include "support/error.h"
+
+namespace gpusim {
+
+using diog::hooks::Fn;
+using diog::hooks::OpInfo;
+
+Device::Device(Runtime& rt, const DeviceConfig& cfg,
+               StreamId first_stream_id)
+    : rt_(rt), cfg_(cfg), next_stream_(first_stream_id) {
+  streams_[kDefaultStream] = TimePoint{0};
+}
+
+StreamId Device::create_stream() {
+  const StreamId s = next_stream_++;
+  streams_[s] = rt_.clock().now();
+  return s;
+}
+
+bool Device::destroy_stream(StreamId s) {
+  if (s == kDefaultStream) return false;
+  return streams_.erase(s) > 0;
+}
+
+bool Device::valid_stream(StreamId s) const { return streams_.contains(s); }
+
+TimePoint Device::enqueue_common(StreamId s, GpuOp op, Duration duration) {
+  DIOG_CHECK(valid_stream(s), "enqueue on unknown stream");
+  // The submission itself passes through a (non-blocking) internal
+  // driver function — a decoy on the synchronization code path.
+  OpInfo submit_info;
+  submit_info.stream = s;
+  submit_info.gpu_op_duration = duration;
+  Runtime::CallScope submit_scope(rt_, Fn::kInternalQueueSubmit, submit_info);
+
+  const TimePoint now = rt_.clock().now();
+  const TimePoint start = std::max(streams_[s], now);
+  TimePoint end;
+  if (duration >= diog::kInfiniteDuration) {
+    end = diog::kNeverTime;
+  } else {
+    end = start + duration;
+  }
+  streams_[s] = end;
+
+  ++ops_executed_;
+  if (duration < diog::kInfiniteDuration) total_busy_ += duration;
+  if (timeline_.size() < kTimelineCapacity) {
+    op.stream = s;
+    op.start = start;
+    op.end = end;
+    timeline_.push_back(std::move(op));
+  } else {
+    ++ops_dropped_;
+  }
+  return end;
+}
+
+TimePoint Device::enqueue_kernel(StreamId s, const KernelDesc& k) {
+  // Unified-memory migration (opt-in): CPU-resident managed pages the
+  // kernel touches migrate to the device first, queued ahead of it.
+  if (rt_.config().model_managed_migration) {
+    for (void* m : k.managed_accesses) {
+      migrate_managed(s, m, /*to_gpu=*/true);
+    }
+  }
+
+  GpuOp op;
+  op.kind = GpuOp::Kind::kKernel;
+  op.name = k.name;
+  const TimePoint end = enqueue_common(s, std::move(op), k.duration);
+  // Device backing is host memory: apply the kernel's effect now. The
+  // CPU cannot legally observe device-side data before synchronizing, so
+  // eager application is indistinguishable in-model.
+  if (k.body) k.body();
+  return end;
+}
+
+TimePoint Device::enqueue_transfer(StreamId s, std::string_view name,
+                                   std::uint64_t bytes, Duration duration,
+                                   MemcpyKind dir) {
+  GpuOp op;
+  op.kind = GpuOp::Kind::kTransfer;
+  op.name = std::string(name);
+  op.bytes = bytes;
+  (void)dir;
+  return enqueue_common(s, std::move(op), duration);
+}
+
+TimePoint Device::enqueue_memset(StreamId s, std::uint64_t bytes,
+                                 Duration duration) {
+  GpuOp op;
+  op.kind = GpuOp::Kind::kMemset;
+  op.name = "memset";
+  op.bytes = bytes;
+  return enqueue_common(s, std::move(op), duration);
+}
+
+TimePoint Device::stream_busy_until(StreamId s) const {
+  const auto it = streams_.find(s);
+  DIOG_CHECK(it != streams_.end(), "unknown stream");
+  return it->second;
+}
+
+TimePoint Device::all_streams_busy_until() const {
+  TimePoint t{0};
+  for (const auto& [s, busy] : streams_) t = std::max(t, busy);
+  return t;
+}
+
+bool Device::idle(StreamId s) const {
+  const TimePoint now = rt_.clock().now();
+  if (s == kAllStreams) return all_streams_busy_until() <= now;
+  return stream_busy_until(s) <= now;
+}
+
+Duration Device::wait_until(TimePoint target, StreamId blamed_stream) {
+  const TimePoint begin = rt_.clock().now();
+
+  OpInfo info;
+  info.stream = blamed_stream;
+  Runtime::CallScope scope(rt_, Fn::kInternalWaitForStream, info);
+
+  if (target >= diog::kNeverTime) {
+    // Pending work never completes. Under probe mode this is expected:
+    // the discovery run launched an infinite kernel on purpose, and the
+    // watchdog kills the run after a fixed budget.
+    rt_.clock().advance(cfg_.probe_watchdog);
+    if (rt_.probe_mode()) {
+      throw ProbeTimeout{Fn::kInternalWaitForStream};
+    }
+    DIOG_CHECK(false, "wait on never-completing GPU work outside probe mode");
+  }
+
+  // The wait loop polls a fence a bounded number of times (decoy internal
+  // function on the blocking path).
+  if (target > begin) {
+    OpInfo poll_info;
+    poll_info.stream = blamed_stream;
+    Runtime::CallScope poll_scope(rt_, Fn::kInternalFencePoll, poll_info);
+  }
+
+  rt_.clock().advance_to(target);
+  const Duration waited = rt_.clock().now() - begin;
+  info.sync_wait = waited;
+  info.performed_sync = waited > Duration{0};
+  return waited;
+}
+
+Duration Device::wait_for_stream(StreamId s) {
+  if (s == kAllStreams) {
+    return wait_until(all_streams_busy_until(), kAllStreams);
+  }
+  DIOG_CHECK(valid_stream(s), "wait on unknown stream");
+  return wait_until(stream_busy_until(s), s);
+}
+
+EventId Device::create_event() {
+  const EventId e = next_event_++;
+  events_[e] = TimePoint{0};  // complete immediately until recorded
+  return e;
+}
+
+bool Device::destroy_event(EventId e) { return events_.erase(e) > 0; }
+
+bool Device::record_event(EventId e, StreamId s) {
+  if (!events_.contains(e) || !valid_stream(s)) return false;
+  events_[e] = stream_busy_until(s);
+  return true;
+}
+
+bool Device::make_stream_wait_event(StreamId s, EventId e) {
+  if (!valid_stream(s) || !events_.contains(e)) return false;
+  streams_[s] = std::max(streams_[s], events_[e]);
+  return true;
+}
+
+bool Device::event_known(EventId e) const { return events_.contains(e); }
+
+TimePoint Device::event_ready_time(EventId e) const {
+  const auto it = events_.find(e);
+  DIOG_CHECK(it != events_.end(), "unknown event");
+  return it->second;
+}
+
+Duration Device::wait_for_event(EventId e) {
+  return wait_until(event_ready_time(e), kAllStreams);
+}
+
+Duration Device::migrate_managed(StreamId s, void* ptr, bool to_gpu) {
+  Allocation* a = rt_.memory().find_mutable(ptr);
+  if (a == nullptr || a->kind != MemKind::kManaged) return Duration{0};
+  const auto want = to_gpu ? Allocation::Residency::kGpu
+                           : Allocation::Residency::kCpu;
+  if (a->residency == want) return Duration{0};
+
+  const DeviceConfig& cfg = rt_.config();
+  const Duration dur =
+      cfg.uvm_fault_latency +
+      Duration{static_cast<std::int64_t>(static_cast<double>(a->bytes) /
+                                         cfg.uvm_bandwidth_bytes_per_s *
+                                         1e9)};
+
+  OpInfo info;
+  info.stream = s;
+  info.ptr = a->ptr;
+  info.bytes = a->bytes;
+  info.memcpy_kind = to_gpu ? MemcpyKind::kHostToDevice
+                            : MemcpyKind::kDeviceToHost;
+  info.gpu_op_duration = dur;
+  info.performed_transfer = true;
+  Runtime::CallScope scope(rt_, Fn::kInternalUvmMigrate, info);
+
+  Duration stall{0};
+  if (to_gpu) {
+    // Kernel-driven pull: queued on the stream ahead of the kernel, no
+    // CPU blocking.
+    GpuOp op;
+    op.kind = GpuOp::Kind::kTransfer;
+    op.name = "uvm_migrate_htod";
+    op.bytes = a->bytes;
+    (void)enqueue_common(s, std::move(op), dur);
+  } else {
+    // CPU page fault: the faulting thread stalls until outstanding
+    // device work drains AND the pages come back. This is the hidden
+    // time §5.3's future work is after — it never appears in any
+    // vendor record, nor even at the regular wait funnel.
+    const TimePoint begin = rt_.clock().now();
+    GpuOp op;
+    op.kind = GpuOp::Kind::kTransfer;
+    op.name = "uvm_migrate_dtoh";
+    op.bytes = a->bytes;
+    const TimePoint done = enqueue_common(kDefaultStream, std::move(op), dur);
+    rt_.clock().advance_to(std::max(done, all_streams_busy_until()));
+    stall = rt_.clock().now() - begin;
+    info.sync_wait = stall;
+    info.performed_sync = stall > Duration{0};
+  }
+  a->residency = want;
+  return stall;
+}
+
+}  // namespace gpusim

@@ -1,0 +1,117 @@
+// The simulated GPU device.
+//
+// A discrete-event model driven by the shared virtual clock: each stream
+// is a FIFO whose occupancy is summarized by its completion time
+// (`busy_until`). Enqueuing work extends the stream; synchronizing
+// advances the CPU clock to the stream's completion time. Every blocking
+// path in the runtime funnels through `wait_for_stream` — the analog of
+// the internal driver function in the paper's Figure 3 that "waits for
+// completion of compute stream activity" and that Diogenes discovers and
+// instruments directly. Several non-blocking internal functions
+// (queue_submit, channel_flush, fence_poll) sit on the same code paths
+// as decoys: stage-1 discovery must tell them apart by probing, not by
+// being told.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "gpusim/types.h"
+
+namespace gpusim {
+
+class Runtime;
+
+using EventId = std::uint32_t;
+inline constexpr StreamId kAllStreams = 0xFFFFFFFFu;
+
+class Device {
+ public:
+  // `first_stream_id` keeps created-stream ids disjoint across devices;
+  // id 0 is this device's default stream.
+  Device(Runtime& rt, const DeviceConfig& cfg,
+         StreamId first_stream_id = 1);
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  // --- Streams -------------------------------------------------------------
+  StreamId create_stream();
+  bool destroy_stream(StreamId s);  // false for unknown/default stream
+  [[nodiscard]] bool valid_stream(StreamId s) const;
+  [[nodiscard]] std::size_t stream_count() const { return streams_.size(); }
+
+  // --- Enqueue (asynchronous with respect to the CPU) ----------------------
+  // Each returns the operation's simulated completion time. Work in a
+  // stream executes in FIFO order, starting no earlier than both the
+  // stream's prior completion time and the current CPU time.
+  TimePoint enqueue_kernel(StreamId s, const KernelDesc& k);
+  TimePoint enqueue_transfer(StreamId s, std::string_view name,
+                             std::uint64_t bytes, Duration duration,
+                             MemcpyKind dir);
+  TimePoint enqueue_memset(StreamId s, std::uint64_t bytes,
+                           Duration duration);
+
+  [[nodiscard]] TimePoint stream_busy_until(StreamId s) const;
+  [[nodiscard]] TimePoint all_streams_busy_until() const;
+  [[nodiscard]] bool idle(StreamId s = kAllStreams) const;
+
+  // --- The internal wait funnel (Figure 3) ---------------------------------
+  // Blocks the CPU until the stream (or the whole device for
+  // kAllStreams) drains. Returns the CPU time spent blocked. Dispatched
+  // through the hook table as kInternalWaitForStream. If the pending
+  // work never completes (a probe's infinite kernel), the runtime's
+  // probe watchdog fires: the clock advances by the watchdog budget and
+  // ProbeTimeout is thrown, modeling the tool killing the probe run.
+  Duration wait_for_stream(StreamId s);
+
+  // --- Events ---------------------------------------------------------------
+  EventId create_event();
+  bool destroy_event(EventId e);
+  // Marks the event complete when all work currently in `s` completes.
+  bool record_event(EventId e, StreamId s);
+  // cudaStreamWaitEvent: future work in `s` starts no earlier than the
+  // event's completion — a cross-stream ordering edge, no CPU blocking.
+  bool make_stream_wait_event(StreamId s, EventId e);
+  // Blocks until the event completes (through the wait funnel). Negative
+  // result = unknown event.
+  [[nodiscard]] bool event_known(EventId e) const;
+  [[nodiscard]] TimePoint event_ready_time(EventId e) const;
+  Duration wait_for_event(EventId e);
+
+  // --- Unified-memory migration (opt-in model, §5.3 extension) -------------
+  // Move a managed allocation's pages to the given side if not already
+  // there. to_gpu migrations queue on the stream (no CPU block); to-CPU
+  // migrations model the page-fault stall and return it. Dispatched
+  // through kInternalUvmMigrate so instrumentation can see them.
+  Duration migrate_managed(StreamId s, void* ptr, bool to_gpu);
+
+  // --- Ground truth for validation (never read by the tool) ----------------
+  [[nodiscard]] const std::vector<GpuOp>& timeline() const { return timeline_; }
+  [[nodiscard]] std::uint64_t ops_executed() const { return ops_executed_; }
+  [[nodiscard]] std::uint64_t ops_dropped_from_timeline() const {
+    return ops_dropped_;
+  }
+  [[nodiscard]] Duration total_gpu_busy() const { return total_busy_; }
+
+ private:
+  TimePoint enqueue_common(StreamId s, GpuOp op, Duration duration);
+  Duration wait_until(TimePoint target, StreamId blamed_stream);
+
+  Runtime& rt_;
+  const DeviceConfig& cfg_;
+  std::unordered_map<StreamId, TimePoint> streams_;
+  std::unordered_map<EventId, TimePoint> events_;
+  StreamId next_stream_;
+  EventId next_event_ = 1;
+
+  std::vector<GpuOp> timeline_;
+  std::uint64_t ops_executed_ = 0;
+  std::uint64_t ops_dropped_ = 0;
+  Duration total_busy_{0};
+  // Per-op timeline recording stops beyond this to bound memory on
+  // multi-million-call workloads (aggregates keep counting).
+  static constexpr std::size_t kTimelineCapacity = 1u << 21;
+};
+
+}  // namespace gpusim

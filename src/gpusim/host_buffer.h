@@ -1,0 +1,67 @@
+// Page-aligned pageable host buffers for workloads.
+//
+// Ordinary (pageable) application memory is exactly what the paper's
+// conditional-sync example involves (cudaMemcpyAsync D2H into memory not
+// allocated by cudaMallocHost). The page-protection tracer needs such
+// buffers to be page-aligned and page-padded so protecting one never
+// touches unrelated data; this RAII helper provides that without going
+// through the runtime's allocator (so the runtime still classifies the
+// memory as pageable).
+#pragma once
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <span>
+
+namespace gpusim {
+
+template <typename T>
+class HostBuffer {
+ public:
+  explicit HostBuffer(std::size_t count) : count_(count) {
+    const auto ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+    const std::size_t bytes = count_ * sizeof(T);
+    const std::size_t padded = (bytes + ps - 1) / ps * ps;
+    data_ = static_cast<T*>(std::aligned_alloc(ps, padded > 0 ? padded : ps));
+    if (data_ == nullptr) throw std::bad_alloc();
+    std::memset(static_cast<void*>(data_), 0, padded > 0 ? padded : ps);
+  }
+
+  ~HostBuffer() { std::free(data_); }
+
+  HostBuffer(const HostBuffer&) = delete;
+  HostBuffer& operator=(const HostBuffer&) = delete;
+  HostBuffer(HostBuffer&& other) noexcept
+      : data_(other.data_), count_(other.count_) {
+    other.data_ = nullptr;
+    other.count_ = 0;
+  }
+  HostBuffer& operator=(HostBuffer&& other) noexcept {
+    if (this != &other) {
+      std::free(data_);
+      data_ = other.data_;
+      count_ = other.count_;
+      other.data_ = nullptr;
+      other.count_ = 0;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::size_t size_bytes() const { return count_ * sizeof(T); }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] std::span<T> span() { return {data_, count_}; }
+  [[nodiscard]] std::span<const T> span() const { return {data_, count_}; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+}  // namespace gpusim

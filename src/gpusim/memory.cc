@@ -1,0 +1,148 @@
+#include "gpusim/memory.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "support/error.h"
+
+namespace gpusim {
+
+namespace {
+
+std::size_t page_size() {
+  static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+std::size_t round_up(std::size_t v, std::size_t align) {
+  return (v + align - 1) / align * align;
+}
+
+}  // namespace
+
+MemoryManager::MemoryManager(std::uint64_t device_capacity_bytes,
+                             int device_count)
+    : device_capacity_(device_capacity_bytes),
+      device_in_use_(static_cast<std::size_t>(device_count), 0) {}
+
+MemoryManager::~MemoryManager() {
+  for (auto& [addr, a] : allocations_) {
+    if (a.live) std::free(a.ptr);
+  }
+}
+
+void* MemoryManager::alloc_common(std::uint64_t bytes, MemKind kind) {
+  // Zero-byte allocations get a distinct one-byte block so every
+  // allocation has a unique, registrable address (CUDA permits
+  // cudaMalloc(&p, 0)).
+  const std::size_t usable = bytes > 0 ? bytes : 1;
+  // All host-visible memory is page-aligned and padded to whole pages so
+  // the memtrace layer can protect it without touching neighbours.
+  // Device backing gets the same treatment for uniformity.
+  const std::size_t padded = round_up(usable, page_size());
+  void* p = std::aligned_alloc(page_size(), padded);
+  if (p == nullptr) throw std::bad_alloc();
+  std::memset(p, 0, padded);
+
+  Allocation a;
+  a.ptr = p;
+  a.bytes = bytes;
+  a.kind = kind;
+  a.id = next_id_++;
+  allocations_[reinterpret_cast<std::uintptr_t>(p)] = a;
+  return p;
+}
+
+void* MemoryManager::alloc_device(std::uint64_t bytes, int device) {
+  auto& in_use = device_in_use_[static_cast<std::size_t>(device)];
+  if (in_use + bytes > device_capacity_) return nullptr;
+  void* p = alloc_common(bytes, MemKind::kDevice);
+  in_use += bytes;
+  allocations_[reinterpret_cast<std::uintptr_t>(p)].device = device;
+  return p;
+}
+
+void* MemoryManager::alloc_pinned(std::uint64_t bytes) {
+  return alloc_common(bytes, MemKind::kPinned);
+}
+
+void* MemoryManager::alloc_managed(std::uint64_t bytes) {
+  return alloc_common(bytes, MemKind::kManaged);
+}
+
+bool MemoryManager::free(void* ptr) {
+  const auto it = allocations_.find(reinterpret_cast<std::uintptr_t>(ptr));
+  if (it == allocations_.end() || !it->second.live) return false;
+  if (it->second.kind == MemKind::kDevice) {
+    device_in_use_[static_cast<std::size_t>(it->second.device)] -=
+        it->second.bytes;
+  }
+  std::free(it->second.ptr);
+  it->second.live = false;
+  it->second.ptr = nullptr;
+  return true;
+}
+
+const Allocation* MemoryManager::find(const void* p) const {
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  auto it = allocations_.upper_bound(addr);
+  if (it == allocations_.begin()) return nullptr;
+  --it;
+  const Allocation& a = it->second;
+  if (!a.live) return nullptr;
+  const std::uint64_t span = a.bytes > 0 ? a.bytes : 1;
+  if (addr < it->first + span) return &a;
+  return nullptr;
+}
+
+MemKind MemoryManager::classify(const void* p) const {
+  const Allocation* a = find(p);
+  if (a != nullptr) return a->kind;
+  if (is_host_registered(p)) return MemKind::kPinned;
+  return MemKind::kPageable;
+}
+
+bool MemoryManager::register_host_pinned(const void* p,
+                                         std::uint64_t bytes) {
+  if (p == nullptr || bytes == 0) return false;
+  if (find(p) != nullptr) return false;  // runtime-owned memory
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  // Reject overlap with an existing registration.
+  auto it = host_registered_.upper_bound(addr + bytes - 1);
+  if (it != host_registered_.begin()) {
+    --it;
+    if (it->first + it->second > addr) return false;
+  }
+  host_registered_[addr] = bytes;
+  return true;
+}
+
+bool MemoryManager::unregister_host(const void* p) {
+  return host_registered_.erase(reinterpret_cast<std::uintptr_t>(p)) > 0;
+}
+
+bool MemoryManager::is_host_registered(const void* p) const {
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  auto it = host_registered_.upper_bound(addr);
+  if (it == host_registered_.begin()) return false;
+  --it;
+  return addr < it->first + it->second;
+}
+
+Allocation* MemoryManager::find_mutable(const void* p) {
+  return const_cast<Allocation*>(
+      static_cast<const MemoryManager*>(this)->find(p));
+}
+
+std::uint64_t MemoryManager::live_allocation_count() const {
+  std::uint64_t n = 0;
+  for (const auto& [addr, a] : allocations_) {
+    if (a.live) ++n;
+  }
+  return n;
+}
+
+}  // namespace gpusim

@@ -1,0 +1,91 @@
+// Memory management for the simulated runtime.
+//
+// Device memory is backed by real host heap so that transfers genuinely
+// move bytes (stage 3 hashes transferred content) and kernels can
+// "compute" into it. Host-visible allocations (pageable registrations,
+// pinned, managed) are page-aligned so the page-protection tracer can
+// mprotect them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "gpusim/types.h"
+
+namespace gpusim {
+
+struct Allocation {
+  void* ptr = nullptr;
+  std::uint64_t bytes = 0;
+  MemKind kind = MemKind::kPageable;
+  std::uint64_t id = 0;  // monotonically increasing per runtime
+  bool live = true;
+  int device = 0;  // owning GPU for device allocations
+  // Managed allocations only (migration model): which side currently
+  // holds the pages. Fresh managed memory starts CPU-resident, as with
+  // real first-touch allocation.
+  enum class Residency : std::uint8_t { kCpu, kGpu };
+  Residency residency = Residency::kCpu;
+};
+
+class MemoryManager {
+ public:
+  explicit MemoryManager(std::uint64_t device_capacity_bytes,
+                         int device_count = 1);
+  ~MemoryManager();
+  MemoryManager(const MemoryManager&) = delete;
+  MemoryManager& operator=(const MemoryManager&) = delete;
+
+  // Returns nullptr when the device's capacity is exhausted.
+  void* alloc_device(std::uint64_t bytes, int device = 0);
+  void* alloc_pinned(std::uint64_t bytes);
+  void* alloc_managed(std::uint64_t bytes);
+
+  // Frees any allocation made through this manager; returns false for an
+  // unknown or already-freed pointer.
+  bool free(void* ptr);
+
+  // The allocation containing `p`, or nullptr when `p` is unknown
+  // (i.e. ordinary application host memory).
+  [[nodiscard]] const Allocation* find(const void* p) const;
+  // Mutable variant (residency updates by the migration model).
+  Allocation* find_mutable(const void* p);
+
+  // MemKind of `p`; unknown pointers classify as pageable host memory.
+  [[nodiscard]] MemKind classify(const void* p) const;
+
+  // cudaHostRegister semantics: pin an application-owned pageable range
+  // in place. Registered ranges classify as pinned (which changes the
+  // conditional-sync behaviour of async copies into them) without the
+  // manager taking ownership. Returns false on overlap with an existing
+  // registration or a managed allocation.
+  bool register_host_pinned(const void* p, std::uint64_t bytes);
+  bool unregister_host(const void* p);
+  [[nodiscard]] bool is_host_registered(const void* p) const;
+
+  [[nodiscard]] std::uint64_t device_bytes_in_use(int device = 0) const {
+    return device_in_use_[static_cast<std::size_t>(device)];
+  }
+  [[nodiscard]] std::uint64_t live_allocation_count() const;
+  [[nodiscard]] std::uint64_t total_allocations_made() const {
+    return next_id_ - 1;
+  }
+
+ private:
+  void* alloc_common(std::uint64_t bytes, MemKind kind);
+
+  // Keyed by start address; std::map enables containing-range lookup via
+  // upper_bound.
+  std::map<std::uintptr_t, Allocation> allocations_;
+  // cudaHostRegister'd ranges: start -> length.
+  std::map<std::uintptr_t, std::uint64_t> host_registered_;
+  std::uint64_t device_capacity_;
+  std::vector<std::uint64_t> device_in_use_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace gpusim

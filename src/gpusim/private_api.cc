@@ -1,0 +1,105 @@
+#include "gpusim/private_api.h"
+
+#include <cstring>
+
+#include "gpusim/api.h"
+#include "gpusim/device.h"
+#include "gpusim/runtime.h"
+#include "support/error.h"
+
+namespace gpusim::priv {
+
+using diog::hooks::Fn;
+using diog::hooks::OpInfo;
+
+void* cuPrivMemAlloc(std::size_t bytes) {
+  Runtime& rt = Runtime::current();
+  OpInfo info;
+  info.bytes = bytes;
+  Runtime::CallScope scope(rt, Fn::kPrivMemAlloc, info);
+  rt.clock().advance(rt.config().malloc_cost);
+  void* p = rt.memory().alloc_device(bytes);
+  info.ptr = p;
+  return p;
+}
+
+void cuPrivMemFree(void* dev_ptr) {
+  Runtime& rt = Runtime::current();
+  OpInfo info;
+  info.ptr = dev_ptr;
+  Runtime::CallScope scope(rt, Fn::kPrivMemFree, info);
+  rt.clock().advance(rt.config().free_cost);
+  if (dev_ptr == nullptr) return;
+  info.sync_wait = rt.device().wait_for_stream(kAllStreams);
+  info.performed_sync = true;
+  rt.memory().free(dev_ptr);
+}
+
+void cuPrivMemcpyHtoD(void* dst, const void* src, std::size_t bytes) {
+  Runtime& rt = Runtime::current();
+  OpInfo info;
+  info.dst = dst;
+  info.src = src;
+  info.bytes = bytes;
+  info.memcpy_kind = MemcpyKind::kHostToDevice;
+  info.dst_mem = rt.memory().classify(dst);
+  info.src_mem = rt.memory().classify(src);
+  Runtime::CallScope scope(rt, Fn::kPrivMemcpyHtoD, info);
+  rt.clock().advance(rt.config().memcpy_setup_cost);
+  info.performed_transfer = true;
+  const Duration dur =
+      transfer_duration(rt.config(), bytes, MemcpyKind::kHostToDevice);
+  info.gpu_op_duration = dur;
+  rt.device().enqueue_transfer(kDefaultStream, "priv_memcpy_htod", bytes, dur,
+                               MemcpyKind::kHostToDevice);
+  std::memmove(dst, src, bytes);
+  info.sync_wait = rt.device().wait_for_stream(kDefaultStream);
+  info.performed_sync = true;
+}
+
+void cuPrivMemcpyDtoH(void* dst, const void* src, std::size_t bytes) {
+  Runtime& rt = Runtime::current();
+  OpInfo info;
+  info.dst = dst;
+  info.src = src;
+  info.bytes = bytes;
+  info.memcpy_kind = MemcpyKind::kDeviceToHost;
+  info.dst_mem = rt.memory().classify(dst);
+  info.src_mem = rt.memory().classify(src);
+  Runtime::CallScope scope(rt, Fn::kPrivMemcpyDtoH, info);
+  rt.clock().advance(rt.config().memcpy_setup_cost);
+  info.performed_transfer = true;
+  const Duration dur =
+      transfer_duration(rt.config(), bytes, MemcpyKind::kDeviceToHost);
+  info.gpu_op_duration = dur;
+  rt.device().enqueue_transfer(kDefaultStream, "priv_memcpy_dtoh", bytes, dur,
+                               MemcpyKind::kDeviceToHost);
+  std::memmove(dst, src, bytes);
+  info.sync_wait = rt.device().wait_for_stream(kDefaultStream);
+  info.performed_sync = true;
+}
+
+void cuPrivLaunchKernel(const KernelDesc& kernel, StreamId stream) {
+  Runtime& rt = Runtime::current();
+  OpInfo info;
+  info.stream = stream;
+  info.kernel_name = kernel.name;
+  info.gpu_op_duration = kernel.duration;
+  Runtime::CallScope scope(rt, Fn::kPrivLaunchKernel, info);
+  rt.clock().advance(rt.config().launch_cost);
+  DIOG_CHECK(rt.device().valid_stream(stream),
+             "cuPrivLaunchKernel on unknown stream");
+  rt.device().enqueue_kernel(stream, kernel);
+}
+
+void cuPrivSync(StreamId stream) {
+  Runtime& rt = Runtime::current();
+  OpInfo info;
+  info.stream = stream;
+  Runtime::CallScope scope(rt, Fn::kPrivSync, info);
+  rt.clock().advance(rt.config().sync_call_cost);
+  info.sync_wait = rt.device().wait_for_stream(stream);
+  info.performed_sync = true;
+}
+
+}  // namespace gpusim::priv

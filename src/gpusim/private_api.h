@@ -1,0 +1,31 @@
+// The proprietary, non-public part of the simulated driver.
+//
+// Paper §2.2: "If an operation is performed via the proprietary
+// non-public part of Nvidia's driver, the call and the operation it
+// performs are not reported [by CUPTI]. The proprietary driver
+// components are used by Nvidia-created libraries like cuBLAS and can
+// perform all the same operations as the public facing driver API."
+//
+// These entry points perform the same operations as the public API —
+// including synchronizations through the same internal wait funnel — but
+// never produce vendor-interface callbacks or activity records. The hook
+// table (binary instrumentation) sees them; CUPTI-based tools do not.
+#pragma once
+
+#include <cstddef>
+
+#include "gpusim/device.h"
+#include "gpusim/types.h"
+
+namespace gpusim::priv {
+
+void* cuPrivMemAlloc(std::size_t bytes);
+void cuPrivMemFree(void* dev_ptr);  // implicit full-device sync, like cudaFree
+void cuPrivMemcpyHtoD(void* dst, const void* src, std::size_t bytes);  // syncs
+void cuPrivMemcpyDtoH(void* dst, const void* src, std::size_t bytes);  // syncs
+void cuPrivLaunchKernel(const KernelDesc& kernel,
+                        StreamId stream = kDefaultStream);
+// Explicit synchronization through the private interface.
+void cuPrivSync(StreamId stream = kAllStreams);
+
+}  // namespace gpusim::priv

@@ -1,0 +1,128 @@
+#include "gpusim/runtime.h"
+
+#include "support/error.h"
+
+namespace gpusim {
+
+using diog::hooks::Fn;
+using diog::hooks::OpInfo;
+
+namespace {
+thread_local Runtime* g_current_runtime = nullptr;
+}  // namespace
+
+std::string_view error_name(cudaError_t e) {
+  switch (e) {
+    case cudaError_t::cudaSuccess: return "cudaSuccess";
+    case cudaError_t::cudaErrorInvalidValue: return "cudaErrorInvalidValue";
+    case cudaError_t::cudaErrorMemoryAllocation:
+      return "cudaErrorMemoryAllocation";
+    case cudaError_t::cudaErrorInvalidDevicePointer:
+      return "cudaErrorInvalidDevicePointer";
+    case cudaError_t::cudaErrorInvalidResourceHandle:
+      return "cudaErrorInvalidResourceHandle";
+    case cudaError_t::cudaErrorNotReady: return "cudaErrorNotReady";
+    case cudaError_t::cudaErrorTimeout: return "cudaErrorTimeout";
+  }
+  return "cudaErrorUnknown";
+}
+
+Runtime::Runtime(DeviceConfig cfg)
+    : cfg_(cfg),
+      memory_(cfg_.device_memory_bytes,
+              cfg.device_count > 0 ? cfg.device_count : 1) {
+  DIOG_CHECK(cfg_.device_count >= 1, "device_count must be positive");
+  devices_.reserve(static_cast<std::size_t>(cfg_.device_count));
+  for (int i = 0; i < cfg_.device_count; ++i) {
+    // Stream ids are globally unique: each device numbers its created
+    // streams from a disjoint base (0 is every device's default stream).
+    devices_.push_back(
+        std::make_unique<Device>(*this, cfg_, 1 + i * 1'000'000));
+  }
+  peer_access_.assign(
+      static_cast<std::size_t>(cfg_.device_count * cfg_.device_count),
+      false);
+}
+
+bool Runtime::peer_access_enabled(int from, int to) const {
+  return peer_access_[static_cast<std::size_t>(from * cfg_.device_count +
+                                               to)];
+}
+
+void Runtime::set_peer_access(int from, int to, bool enabled) {
+  peer_access_[static_cast<std::size_t>(from * cfg_.device_count + to)] =
+      enabled;
+}
+
+Runtime::~Runtime() = default;
+
+Runtime& Runtime::current() {
+  DIOG_CHECK(g_current_runtime != nullptr,
+             "no active gpusim::Runtime (missing RuntimeScope)");
+  return *g_current_runtime;
+}
+
+Runtime* Runtime::current_or_null() { return g_current_runtime; }
+
+Runtime::CallScope::CallScope(Runtime& rt, Fn fn, OpInfo& info)
+    : rt_(rt), fn_(fn), info_(info) {
+  ++rt_.dispatch_depth_;
+  if (diog::hooks::is_public_api(fn) || diog::hooks::is_private_api(fn)) {
+    ++rt_.api_calls_;
+  }
+  from_vendor_library_ = rt_.in_vendor_library();
+  // CUPTI sees only top-level public API calls made outside vendor
+  // libraries (paper §2.2).
+  cupti_visible_ = rt_.cupti_sink_ != nullptr &&
+                   diog::hooks::is_public_api(fn) &&
+                   rt_.dispatch_depth_ == 1 && !from_vendor_library_;
+  entry_time_ = rt_.clock().now();
+  event_id_ = rt_.hooks_.fire_entry(fn, info, rt_.clock(),
+                                    rt_.dispatch_depth_, from_vendor_library_);
+  if (cupti_visible_) {
+    rt_.cupti_sink_->on_api_enter(fn, info, rt_.clock().now());
+  }
+}
+
+Runtime::CallScope::~CallScope() {
+  rt_.hooks_.fire_exit(fn_, event_id_, entry_time_, info_, rt_.clock(),
+                       rt_.dispatch_depth_, from_vendor_library_);
+  if (cupti_visible_) {
+    rt_.cupti_sink_->on_api_exit(fn_, info_, entry_time_, rt_.clock().now());
+    // Synchronization activity records exist only for explicit sync
+    // calls; the sync hidden inside e.g. cudaMemcpy or cudaFree produces
+    // none — the gap Diogenes exists to close.
+    if (diog::hooks::is_explicit_sync_fn(fn_) && info_.performed_sync) {
+      CuptiActivity a;
+      a.kind = CuptiActivity::Kind::kSynchronization;
+      a.api = fn_;
+      a.start = entry_time_;
+      a.end = rt_.clock().now();
+      a.stream = info_.stream;
+      rt_.emit_activity(a);
+    }
+  }
+  --rt_.dispatch_depth_;
+}
+
+void Runtime::emit_activity(const CuptiActivity& a) {
+  // Activity reporting shares CUPTI's blind spots: nothing from the
+  // private API, nothing from vendor-library-internal calls.
+  if (cupti_sink_ == nullptr) return;
+  if (diog::hooks::is_private_api(a.api)) return;
+  if (in_vendor_library()) return;
+  cupti_sink_->on_activity(a);
+}
+
+RuntimeScope::RuntimeScope(Runtime& rt) {
+  DIOG_CHECK(g_current_runtime == nullptr,
+             "RuntimeScope may not nest: one application run at a time");
+  g_current_runtime = &rt;
+  rt.clock().reset();
+}
+
+RuntimeScope::~RuntimeScope() { g_current_runtime = nullptr; }
+
+void cpu_work(Duration d) { Runtime::current().cpu_work(d); }
+
+}  // namespace gpusim

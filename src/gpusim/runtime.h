@@ -1,0 +1,176 @@
+// The simulated CUDA-like runtime: one object owns the virtual clock,
+// the device, the memory manager, the hook table (instrumentation) and
+// the vendor-interface sink for a single application run. The FFM
+// multi-run driver constructs a fresh Runtime per stage, mirroring the
+// real tool's separate complete executions of the application.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gpusim/cupti_sink.h"
+#include "gpusim/device.h"
+#include "gpusim/memory.h"
+#include "gpusim/types.h"
+#include "hooks/hook_table.h"
+#include "support/clock.h"
+
+namespace gpusim {
+
+class Runtime {
+ public:
+  explicit Runtime(DeviceConfig cfg = {});
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // The runtime active for the CUDA-style free functions in api.h.
+  // DIOG_CHECKs when none is active.
+  static Runtime& current();
+  static Runtime* current_or_null();
+
+  diog::VirtualClock& clock() { return clock_; }
+  const DeviceConfig& config() const { return cfg_; }
+  // The currently selected device (cudaSetDevice semantics).
+  Device& device() { return *devices_[static_cast<std::size_t>(current_device_)]; }
+  const Device& device() const {
+    return *devices_[static_cast<std::size_t>(current_device_)];
+  }
+  Device& device(int index) { return *devices_[static_cast<std::size_t>(index)]; }
+  [[nodiscard]] int device_count() const {
+    return static_cast<int>(devices_.size());
+  }
+  [[nodiscard]] int current_device() const { return current_device_; }
+  // Valid index required (the API validates before calling).
+  void set_current_device(int index) { current_device_ = index; }
+  MemoryManager& memory() { return memory_; }
+  diog::hooks::HookTable& hooks() { return hooks_; }
+
+  // --- Peer access (multi-GPU) -----------------------------------------------
+  [[nodiscard]] bool peer_access_enabled(int from, int to) const;
+  void set_peer_access(int from, int to, bool enabled);
+
+  // --- Vendor performance interface ----------------------------------------
+  void set_cupti_sink(CuptiSink* sink) { cupti_sink_ = sink; }
+  [[nodiscard]] CuptiSink* cupti_sink() const { return cupti_sink_; }
+
+  // --- Probe mode (stage-1 discovery) ---------------------------------------
+  void set_probe_mode(bool on) { probe_mode_ = on; }
+  [[nodiscard]] bool probe_mode() const { return probe_mode_; }
+
+  // --- Vendor-library context ------------------------------------------------
+  // While a vendor library (blaslike) is on the stack, CUPTI-visible
+  // callbacks are suppressed for nested public-API calls.
+  [[nodiscard]] bool in_vendor_library() const {
+    return vendor_library_depth_ > 0;
+  }
+
+  // --- Application-side time modeling ---------------------------------------
+  // Pure CPU computation (a CWork segment in the paper's graph model).
+  // Instrumented runs dilate it: binary instrumentation of application
+  // code (stackwalking probes, load/store snippets) slows every CPU
+  // instruction, not just driver calls. Stages set the dilation factor
+  // matching their instrumentation weight.
+  void cpu_work(Duration d) {
+    if (cpu_dilation_ != 1.0) {
+      d = Duration{static_cast<std::int64_t>(
+          static_cast<double>(d.count()) * cpu_dilation_)};
+    }
+    clock_.advance(d);
+  }
+
+  void set_cpu_dilation(double factor) { cpu_dilation_ = factor; }
+  [[nodiscard]] double cpu_dilation() const { return cpu_dilation_; }
+
+  // --- Error state (CUDA semantics: sticky until cudaGetLastError) ----------
+  void record_error(cudaError_t e) {
+    if (e != cudaSuccess) last_error_ = e;
+  }
+  cudaError_t take_last_error() {
+    const cudaError_t e = last_error_;
+    last_error_ = cudaSuccess;
+    return e;
+  }
+
+  [[nodiscard]] std::uint64_t api_call_count() const { return api_calls_; }
+
+  // --- Dispatch machinery ----------------------------------------------------
+  // RAII wrapper every driver entry point runs under: fires hook
+  // entry/exit, emits vendor-interface callbacks for CUPTI-visible
+  // calls, tracks dispatch depth and counts calls. The OpInfo must
+  // outlive the scope; outcome fields filled in during the call body are
+  // visible to exit probes and activity emission.
+  class CallScope {
+   public:
+    CallScope(Runtime& rt, diog::hooks::Fn fn, diog::hooks::OpInfo& info);
+    ~CallScope();
+    CallScope(const CallScope&) = delete;
+    CallScope& operator=(const CallScope&) = delete;
+
+    [[nodiscard]] std::uint64_t event_id() const { return event_id_; }
+    [[nodiscard]] TimePoint entry_time() const { return entry_time_; }
+
+   private:
+    Runtime& rt_;
+    diog::hooks::Fn fn_;
+    diog::hooks::OpInfo& info_;
+    std::uint64_t event_id_;
+    TimePoint entry_time_;
+    bool cupti_visible_;
+    bool from_vendor_library_;
+  };
+
+  class VendorLibraryScope {
+   public:
+    explicit VendorLibraryScope(Runtime& rt) : rt_(rt) {
+      ++rt_.vendor_library_depth_;
+    }
+    ~VendorLibraryScope() { --rt_.vendor_library_depth_; }
+    VendorLibraryScope(const VendorLibraryScope&) = delete;
+    VendorLibraryScope& operator=(const VendorLibraryScope&) = delete;
+
+   private:
+    Runtime& rt_;
+  };
+
+  [[nodiscard]] int dispatch_depth() const { return dispatch_depth_; }
+
+  // Activity emission helper used by API implementations after an
+  // operation's facts are known.
+  void emit_activity(const CuptiActivity& a);
+
+ private:
+  friend class RuntimeScope;
+
+  DeviceConfig cfg_;
+  diog::VirtualClock clock_;
+  MemoryManager memory_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  int current_device_ = 0;
+  // peer_access_[from * device_count + to]
+  std::vector<bool> peer_access_;
+  diog::hooks::HookTable hooks_;
+  CuptiSink* cupti_sink_ = nullptr;
+  bool probe_mode_ = false;
+  double cpu_dilation_ = 1.0;
+  int vendor_library_depth_ = 0;
+  int dispatch_depth_ = 0;
+  std::uint64_t api_calls_ = 0;
+  cudaError_t last_error_ = cudaSuccess;
+};
+
+// Activates a runtime for the current thread's CUDA-style free functions.
+// Scopes may not nest (one application run at a time).
+class RuntimeScope {
+ public:
+  explicit RuntimeScope(Runtime& rt);
+  ~RuntimeScope();
+  RuntimeScope(const RuntimeScope&) = delete;
+  RuntimeScope& operator=(const RuntimeScope&) = delete;
+};
+
+// Convenience: model CPU computation on the current runtime.
+void cpu_work(Duration d);
+
+}  // namespace gpusim

@@ -1,0 +1,169 @@
+// A Thrust-like parallel algorithms veneer.
+//
+// Reproduces the cuIBM pathology (paper §5.1): algorithm entry points
+// allocate temporary device storage through a templated
+// `contiguous_storage` and free it on scope exit — so every call performs
+// a cudaFree whose implicit full-device synchronization is invisible to
+// CUPTI-based tools. The templated frame names are what the
+// folded-function grouping collapses in Figure 7
+// ("thrust::detail::contiguous_storage<...>").
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "gpusim/api.h"
+#include "gpusim/types.h"
+#include "trace/callstack.h"
+
+namespace thrustlike {
+
+namespace detail {
+
+// RAII temporary device storage, Thrust-style. Allocation and
+// deallocation run under template-instantiated frames so the tool's
+// stack traces carry the instantiation, exactly as real demangled
+// Thrust frames do.
+template <typename T>
+class contiguous_storage {
+ public:
+  explicit contiguous_storage(std::size_t n) : n_(n) {
+    DIOG_APP_FRAME(allocate_frame_name(), "thrustlike.h", 31);
+    void* p = nullptr;
+    (void)gpusim::cudaMalloc(&p, n_ * sizeof(T));
+    data_ = static_cast<T*>(p);
+  }
+
+  ~contiguous_storage() {
+    DIOG_APP_FRAME(deallocate_frame_name(), "thrustlike.h", 38);
+    (void)gpusim::cudaFree(data_);
+  }
+
+  contiguous_storage(const contiguous_storage&) = delete;
+  contiguous_storage& operator=(const contiguous_storage&) = delete;
+
+  [[nodiscard]] T* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  static const std::string& allocate_frame_name() {
+    static const std::string name =
+        std::string("thrust::detail::contiguous_storage<") +
+        std::string(gpusim::type_name<T>()) +
+        ", thrust::device_allocator<" +
+        std::string(gpusim::type_name<T>()) + "> >::allocate";
+    return name;
+  }
+  static const std::string& deallocate_frame_name() {
+    static const std::string name =
+        std::string("thrust::detail::contiguous_storage<") +
+        std::string(gpusim::type_name<T>()) +
+        ", thrust::device_allocator<" +
+        std::string(gpusim::type_name<T>()) + "> >::deallocate";
+    return name;
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t n_;
+};
+
+}  // namespace detail
+
+// An opt-in replacement allocator: the cuIBM fix replaces per-call
+// allocation with a reusing pool ("we wrote a simple memory manager that
+// reuses temporary GPU data regions on subsequent calls"). When a pool
+// is installed, algorithms borrow from it instead of constructing
+// contiguous_storage.
+class TempPool {
+ public:
+  TempPool() = default;
+  ~TempPool() { release_all(); }
+  TempPool(const TempPool&) = delete;
+  TempPool& operator=(const TempPool&) = delete;
+
+  void* acquire(std::size_t bytes) {
+    if (bytes <= capacity_ && block_ != nullptr) return block_;
+    release_all();
+    (void)gpusim::cudaMalloc(&block_, bytes);
+    capacity_ = bytes;
+    return block_;
+  }
+
+  void release_all() {
+    if (block_ != nullptr) {
+      (void)gpusim::cudaFree(block_);
+      block_ = nullptr;
+      capacity_ = 0;
+    }
+  }
+
+ private:
+  void* block_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+// Duration model for device-wide element-wise algorithm kernels.
+inline gpusim::Duration algo_kernel_duration(std::size_t n) {
+  // ~400 GB/s effective traversal bandwidth, 3 us launch tail.
+  const double seconds =
+      static_cast<double>(n) * 8.0 / 400.0e9 + 3e-6;
+  return diog::Duration{static_cast<std::int64_t>(seconds * 1e9)};
+}
+
+// thrust::reduce-alike: launches a reduction kernel using temporary
+// device storage for partial sums. With no pool (Thrust default), the
+// temporary is allocated and freed per call — the hidden-sync pathology.
+template <typename T>
+void reduce_into(T* device_data, std::size_t n, T* device_result,
+                 TempPool* pool = nullptr,
+                 gpusim::StreamId stream = gpusim::kDefaultStream) {
+  static const std::string frame_name =
+      std::string("thrust::reduce<") + std::string(gpusim::type_name<T>()) +
+      ">";
+  DIOG_APP_FRAME(frame_name, "thrustlike.h", 122);
+  (void)device_data;
+  (void)device_result;
+
+  const std::size_t temp_elems = n / 256 + 1;
+  gpusim::KernelDesc kd;
+  kd.name = std::string("thrust_reduce_kernel<") +
+            std::string(gpusim::type_name<T>()) + ">";
+  kd.duration = algo_kernel_duration(n);
+
+  if (pool != nullptr) {
+    (void)pool->acquire(temp_elems * sizeof(T));
+    (void)gpusim::cudaLaunchKernel(kd, stream);
+    return;
+  }
+  detail::contiguous_storage<T> temp(temp_elems);
+  (void)gpusim::cudaLaunchKernel(kd, stream);
+  // temp's destructor frees the storage: implicit full-device sync.
+}
+
+// thrust::transform-alike (element-wise), same temporary-storage shape.
+template <typename T>
+void transform(T* device_in, T* device_out, std::size_t n,
+               TempPool* pool = nullptr,
+               gpusim::StreamId stream = gpusim::kDefaultStream) {
+  static const std::string frame_name =
+      std::string("thrust::transform<") +
+      std::string(gpusim::type_name<T>()) + ">";
+  DIOG_APP_FRAME(frame_name, "thrustlike.h", 151);
+  (void)device_in;
+  (void)device_out;
+
+  gpusim::KernelDesc kd;
+  kd.name = std::string("thrust_transform_kernel<") +
+            std::string(gpusim::type_name<T>()) + ">";
+  kd.duration = algo_kernel_duration(n);
+
+  if (pool != nullptr) {
+    (void)pool->acquire(256 * sizeof(T));
+    (void)gpusim::cudaLaunchKernel(kd, stream);
+    return;
+  }
+  detail::contiguous_storage<T> temp(256);
+  (void)gpusim::cudaLaunchKernel(kd, stream);
+}
+
+}  // namespace thrustlike

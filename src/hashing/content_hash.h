@@ -1,0 +1,50 @@
+// Content hashing for transfer deduplication (paper §3.3.2): "The data
+// being transferred is hashed and then compared to the stored hashes from
+// prior transfers."
+//
+// Two hash functions are provided:
+//   * fnv1a64   — simple, byte-at-a-time; reference implementation used
+//                 as an oracle in tests.
+//   * hash64    — an xxHash64-style block hash, the production function
+//                 (an order of magnitude faster on large buffers, which
+//                 matters because stage 3 hashes every transferred byte).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace diog::hash {
+
+using Digest = std::uint64_t;
+
+Digest fnv1a64(std::span<const std::byte> data);
+
+Digest hash64(std::span<const std::byte> data, std::uint64_t seed = 0);
+
+// Streaming interface for hash64 so large device buffers can be hashed
+// page-by-page while the tracer walks them.
+class Hasher64 {
+ public:
+  explicit Hasher64(std::uint64_t seed = 0);
+  void update(std::span<const std::byte> data);
+  [[nodiscard]] Digest digest() const;
+  [[nodiscard]] std::uint64_t bytes_consumed() const { return total_len_; }
+
+ private:
+  void process_stripe(const std::byte* p);
+
+  std::uint64_t seed_;
+  std::uint64_t acc_[4];
+  std::uint64_t total_len_ = 0;
+  std::byte buf_[32];
+  std::size_t buf_len_ = 0;
+};
+
+// Convenience for typed buffers.
+template <typename T>
+Digest hash_object_bytes(const T& v) {
+  return hash64(std::as_bytes(std::span<const T, 1>(&v, 1)));
+}
+
+}  // namespace diog::hash

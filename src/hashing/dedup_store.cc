@@ -1,0 +1,52 @@
+#include "hashing/dedup_store.h"
+
+#include <algorithm>
+
+namespace diog::hash {
+
+const char* to_string(TransferDirection d) {
+  switch (d) {
+    case TransferDirection::kHostToDevice: return "HtoD";
+    case TransferDirection::kDeviceToHost: return "DtoH";
+    case TransferDirection::kDeviceToDevice: return "DtoD";
+  }
+  return "?";
+}
+
+std::optional<FirstTransfer> DedupStore::observe(
+    std::span<const std::byte> data, TransferDirection direction,
+    std::uint64_t event_id) {
+  const Key key{hash64(data), data.size()};
+  const auto it = table_.find(key);
+  if (it != table_.end()) {
+    const bool same = mode_ == Mode::kDigestOnly ||
+                      std::equal(data.begin(), data.end(),
+                                 it->second.bytes_copy.begin(),
+                                 it->second.bytes_copy.end());
+    if (same) {
+      ++duplicates_;
+      duplicate_bytes_ += data.size();
+      return it->second.first;
+    }
+    // Verified digest collision with different bytes: fall through and
+    // treat as new content, but do not overwrite the original entry (the
+    // colliding content simply will not be dedup-tracked; this mirrors a
+    // hash-only tool's blind spot and is vanishingly rare).
+    return std::nullopt;
+  }
+  Entry e;
+  e.first = FirstTransfer{key.digest, key.bytes, direction, event_id};
+  if (mode_ == Mode::kVerifyBytes) {
+    e.bytes_copy.assign(data.begin(), data.end());
+  }
+  table_.emplace(key, std::move(e));
+  return std::nullopt;
+}
+
+void DedupStore::clear() {
+  table_.clear();
+  duplicates_ = 0;
+  duplicate_bytes_ = 0;
+}
+
+}  // namespace diog::hash

@@ -1,0 +1,91 @@
+// Content-based transfer deduplication (paper §3.3.2).
+//
+// The store remembers (digest, length, destination-kind) for every
+// transfer observed in stage 3. A lookup that hits means "this exact
+// content was already moved across the bus" — the new transfer is a
+// duplicate, and the store reports where the content was first moved so
+// the analysis can point the user at the original transfer site.
+//
+// A 64-bit digest can collide; callers that need certainty (tests use
+// this) can enable verify mode, which keeps a copy of each first-seen
+// buffer and byte-compares on digest hits. The tool itself runs without
+// verification, as the paper's implementation does — collisions would
+// only over-report duplicates at a probability of ~2^-64 per pair.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hashing/content_hash.h"
+
+namespace diog::hash {
+
+enum class TransferDirection : std::uint8_t {
+  kHostToDevice,
+  kDeviceToHost,
+  kDeviceToDevice,
+};
+
+const char* to_string(TransferDirection d);
+
+struct FirstTransfer {
+  Digest digest = 0;
+  std::uint64_t bytes = 0;
+  TransferDirection direction = TransferDirection::kHostToDevice;
+  // Opaque identifier of the transfer event that first moved this content
+  // (index into the stage-3 trace); lets the report name the original
+  // call site.
+  std::uint64_t first_event_id = 0;
+};
+
+class DedupStore {
+ public:
+  enum class Mode { kDigestOnly, kVerifyBytes };
+
+  explicit DedupStore(Mode mode = Mode::kDigestOnly) : mode_(mode) {}
+
+  // Record a transfer's content. Returns the first transfer of identical
+  // content if this one is a duplicate, or std::nullopt if the content is
+  // new (in which case it is remembered under `event_id`).
+  std::optional<FirstTransfer> observe(std::span<const std::byte> data,
+                                       TransferDirection direction,
+                                       std::uint64_t event_id);
+
+  [[nodiscard]] std::size_t unique_contents() const { return table_.size(); }
+  [[nodiscard]] std::uint64_t duplicate_count() const { return duplicates_; }
+  [[nodiscard]] std::uint64_t duplicate_bytes() const {
+    return duplicate_bytes_;
+  }
+
+  void clear();
+
+ private:
+  struct Entry {
+    FirstTransfer first;
+    std::vector<std::byte> bytes_copy;  // populated only in verify mode
+  };
+
+  // Key combines digest and length: different-length buffers are never
+  // the same content even if a digest collided.
+  struct Key {
+    Digest digest;
+    std::uint64_t bytes;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return static_cast<std::size_t>(k.digest ^ (k.bytes * 0x9E3779B97F4A7C15ULL));
+    }
+  };
+
+  Mode mode_;
+  std::unordered_map<Key, Entry, KeyHash> table_;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t duplicate_bytes_ = 0;
+};
+
+}  // namespace diog::hash

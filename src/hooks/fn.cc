@@ -1,0 +1,125 @@
+#include "hooks/fn.h"
+
+#include "support/error.h"
+
+namespace diog::hooks {
+
+std::string_view fn_name(Fn f) {
+  switch (f) {
+    case Fn::kCudaMalloc: return "cudaMalloc";
+    case Fn::kCudaFree: return "cudaFree";
+    case Fn::kCudaMallocHost: return "cudaMallocHost";
+    case Fn::kCudaFreeHost: return "cudaFreeHost";
+    case Fn::kCudaMallocManaged: return "cudaMallocManaged";
+    case Fn::kCudaMemcpy: return "cudaMemcpy";
+    case Fn::kCudaMemcpyAsync: return "cudaMemcpyAsync";
+    case Fn::kCudaMemset: return "cudaMemset";
+    case Fn::kCudaMemsetAsync: return "cudaMemsetAsync";
+    case Fn::kCudaDeviceSynchronize: return "cudaDeviceSynchronize";
+    case Fn::kCudaThreadSynchronize: return "cudaThreadSynchronize";
+    case Fn::kCudaStreamSynchronize: return "cudaStreamSynchronize";
+    case Fn::kCudaStreamCreate: return "cudaStreamCreate";
+    case Fn::kCudaStreamDestroy: return "cudaStreamDestroy";
+    case Fn::kCudaLaunchKernel: return "cudaLaunchKernel";
+    case Fn::kCudaEventCreate: return "cudaEventCreate";
+    case Fn::kCudaEventDestroy: return "cudaEventDestroy";
+    case Fn::kCudaEventRecord: return "cudaEventRecord";
+    case Fn::kCudaEventSynchronize: return "cudaEventSynchronize";
+    case Fn::kCudaFuncGetAttributes: return "cudaFuncGetAttributes";
+    case Fn::kCudaGetDevice: return "cudaGetDevice";
+    case Fn::kCudaSetDevice: return "cudaSetDevice";
+    case Fn::kCudaGetLastError: return "cudaGetLastError";
+    case Fn::kCudaStreamWaitEvent: return "cudaStreamWaitEvent";
+    case Fn::kCudaStreamQuery: return "cudaStreamQuery";
+    case Fn::kCudaEventQuery: return "cudaEventQuery";
+    case Fn::kCudaHostRegister: return "cudaHostRegister";
+    case Fn::kCudaHostUnregister: return "cudaHostUnregister";
+    case Fn::kCudaMemcpy2D: return "cudaMemcpy2D";
+    case Fn::kCudaGetDeviceProperties: return "cudaGetDeviceProperties";
+    case Fn::kCudaMemGetInfo: return "cudaMemGetInfo";
+    case Fn::kCudaGetDeviceCount: return "cudaGetDeviceCount";
+    case Fn::kCudaMemcpyPeer: return "cudaMemcpyPeer";
+    case Fn::kCudaDeviceEnablePeerAccess: return "cudaDeviceEnablePeerAccess";
+    case Fn::kCudaDeviceDisablePeerAccess: return "cudaDeviceDisablePeerAccess";
+    case Fn::kPrivLaunchKernel: return "cuPrivLaunchKernel";
+    case Fn::kPrivMemcpyHtoD: return "cuPrivMemcpyHtoD";
+    case Fn::kPrivMemcpyDtoH: return "cuPrivMemcpyDtoH";
+    case Fn::kPrivSync: return "cuPrivSync";
+    case Fn::kPrivMemAlloc: return "cuPrivMemAlloc";
+    case Fn::kPrivMemFree: return "cuPrivMemFree";
+    case Fn::kInternalQueueSubmit: return "nv_internal_queue_submit";
+    case Fn::kInternalChannelFlush: return "nv_internal_channel_flush";
+    case Fn::kInternalWaitForStream: return "nv_internal_wait_for_stream";
+    case Fn::kInternalFencePoll: return "nv_internal_fence_poll";
+    case Fn::kInternalUvmMigrate: return "nv_internal_uvm_migrate";
+    case Fn::kCount_: break;
+  }
+  DIOG_CHECK(false, "unknown Fn");
+}
+
+bool is_public_api(Fn f) {
+  return static_cast<std::uint16_t>(f) <=
+         static_cast<std::uint16_t>(Fn::kCudaDeviceDisablePeerAccess);
+}
+
+bool is_private_api(Fn f) {
+  const auto v = static_cast<std::uint16_t>(f);
+  return v >= static_cast<std::uint16_t>(Fn::kPrivLaunchKernel) &&
+         v <= static_cast<std::uint16_t>(Fn::kPrivMemFree);
+}
+
+bool is_internal(Fn f) {
+  const auto v = static_cast<std::uint16_t>(f);
+  return v >= static_cast<std::uint16_t>(Fn::kInternalQueueSubmit) &&
+         v <= static_cast<std::uint16_t>(Fn::kInternalUvmMigrate);
+}
+
+bool is_documented_transfer_fn(Fn f) {
+  switch (f) {
+    case Fn::kCudaMemcpy:
+    case Fn::kCudaMemcpyAsync:
+    case Fn::kCudaMemset:
+    case Fn::kCudaMemsetAsync:
+    case Fn::kCudaMemcpy2D:
+    case Fn::kCudaMemcpyPeer:
+    case Fn::kPrivMemcpyHtoD:
+    case Fn::kPrivMemcpyDtoH:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_explicit_sync_fn(Fn f) {
+  switch (f) {
+    case Fn::kCudaDeviceSynchronize:
+    case Fn::kCudaThreadSynchronize:
+    case Fn::kCudaStreamSynchronize:
+    case Fn::kCudaEventSynchronize:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view to_string(MemKind k) {
+  switch (k) {
+    case MemKind::kDevice: return "device";
+    case MemKind::kPageable: return "pageable";
+    case MemKind::kPinned: return "pinned";
+    case MemKind::kManaged: return "managed";
+  }
+  return "?";
+}
+
+std::string_view to_string(MemcpyKind k) {
+  switch (k) {
+    case MemcpyKind::kHostToDevice: return "HtoD";
+    case MemcpyKind::kDeviceToHost: return "DtoH";
+    case MemcpyKind::kDeviceToDevice: return "DtoD";
+    case MemcpyKind::kHostToHost: return "HtoH";
+  }
+  return "?";
+}
+
+}  // namespace diog::hooks

@@ -1,0 +1,153 @@
+// The symbol table of the simulated GPU driver, as seen by the
+// instrumentation layer.
+//
+// The real Diogenes uses Dyninst to parse libcuda.so and attach probes to
+// three classes of functions (paper Figure 3): the public driver API, the
+// proprietary non-public API used by vendor libraries, and internal
+// functions — among them the single function "that waits for completion
+// of compute stream activity", which every synchronizing operation
+// funnels through. This enum is our libcuda symbol table; the hook table
+// can attach to any entry, including internal ones, which is exactly the
+// observational power binary instrumentation provides and vendor
+// callback APIs do not.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "support/clock.h"
+
+namespace diog::hooks {
+
+enum class Fn : std::uint16_t {
+  // --- Public runtime API -------------------------------------------------
+  kCudaMalloc,
+  kCudaFree,
+  kCudaMallocHost,
+  kCudaFreeHost,
+  kCudaMallocManaged,
+  kCudaMemcpy,
+  kCudaMemcpyAsync,
+  kCudaMemset,
+  kCudaMemsetAsync,
+  kCudaDeviceSynchronize,
+  kCudaThreadSynchronize,  // deprecated alias, still used by Rodinia
+  kCudaStreamSynchronize,
+  kCudaStreamCreate,
+  kCudaStreamDestroy,
+  kCudaLaunchKernel,
+  kCudaEventCreate,
+  kCudaEventDestroy,
+  kCudaEventRecord,
+  kCudaEventSynchronize,
+  kCudaFuncGetAttributes,
+  kCudaGetDevice,
+  kCudaSetDevice,
+  kCudaGetLastError,
+  kCudaStreamWaitEvent,
+  kCudaStreamQuery,
+  kCudaEventQuery,
+  kCudaHostRegister,
+  kCudaHostUnregister,
+  kCudaMemcpy2D,
+  kCudaGetDeviceProperties,
+  kCudaMemGetInfo,
+  kCudaGetDeviceCount,
+  kCudaMemcpyPeer,
+  kCudaDeviceEnablePeerAccess,
+  kCudaDeviceDisablePeerAccess,
+
+  // --- Proprietary non-public driver API (used by vendor libraries) -------
+  kPrivLaunchKernel,
+  kPrivMemcpyHtoD,
+  kPrivMemcpyDtoH,
+  kPrivSync,
+  kPrivMemAlloc,
+  kPrivMemFree,
+
+  // --- Internal driver functions ------------------------------------------
+  // Exactly one of these is the wait funnel; stage 1 *discovers* which by
+  // probing (never-completing kernel + known-synchronous call), it is not
+  // told. The others are decoys that also sit on the synchronization code
+  // path but do not block.
+  kInternalQueueSubmit,
+  kInternalChannelFlush,
+  kInternalWaitForStream,
+  kInternalFencePoll,
+  // Unified-memory page migration (driver-internal; the extension of
+  // §5.3's future work instruments it directly).
+  kInternalUvmMigrate,
+
+  kCount_,
+};
+
+inline constexpr std::size_t kFnCount = static_cast<std::size_t>(Fn::kCount_);
+
+// The CUDA-style spelling used in reports and traces ("cudaFree", ...).
+std::string_view fn_name(Fn f);
+
+// Symbol classification, mirroring Figure 3's three call classes.
+bool is_public_api(Fn f);
+bool is_private_api(Fn f);
+bool is_internal(Fn f);
+
+// Functions documented by the driver API as performing memory transfers
+// (the stage-2 "predefined set of GPU driver function calls known to
+// perform memory transfers").
+bool is_documented_transfer_fn(Fn f);
+
+// Explicit synchronization entry points — the only ones CUPTI produces
+// synchronization records for (paper §2.2).
+bool is_explicit_sync_fn(Fn f);
+
+// --- Driver ABI types shared between the runtime and the hook layer -------
+
+using StreamId = std::uint32_t;
+inline constexpr StreamId kDefaultStream = 0;
+
+enum class MemKind : std::uint8_t {
+  kDevice,    // cudaMalloc
+  kPageable,  // ordinary host memory
+  kPinned,    // cudaMallocHost
+  kManaged,   // cudaMallocManaged (unified memory)
+};
+std::string_view to_string(MemKind k);
+
+enum class MemcpyKind : std::uint8_t {
+  kHostToDevice,
+  kDeviceToHost,
+  kDeviceToDevice,
+  kHostToHost,
+};
+std::string_view to_string(MemcpyKind k);
+
+// Facts about one driver call, filled in by the runtime as the call
+// executes. The entry hook sees the inputs; the exit hook additionally
+// sees outcome fields (sync_wait, performed_*). Only the fields relevant
+// to a given Fn are meaningful.
+struct OpInfo {
+  StreamId stream = kDefaultStream;
+
+  // Transfers / memset.
+  const void* dst = nullptr;
+  const void* src = nullptr;
+  std::uint64_t bytes = 0;
+  MemcpyKind memcpy_kind = MemcpyKind::kHostToHost;
+  bool async_requested = false;
+  MemKind dst_mem = MemKind::kPageable;
+  MemKind src_mem = MemKind::kPageable;
+
+  // Alloc / free.
+  const void* ptr = nullptr;
+
+  // Kernel launches.
+  std::string_view kernel_name{};
+  Duration gpu_op_duration{0};  // simulated duration of the enqueued op
+
+  // Outcome (exit hook only).
+  Duration sync_wait{0};          // CPU time spent blocked on the GPU
+  bool performed_sync = false;    // did this call block on the GPU?
+  bool performed_transfer = false;
+};
+
+}  // namespace diog::hooks

@@ -1,0 +1,90 @@
+#include "hooks/hook_table.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace diog::hooks {
+
+ProbeId HookTable::attach(Fn f, Probe probe) {
+  DIOG_CHECK(f != Fn::kCount_, "cannot attach to sentinel Fn");
+  const ProbeId id = next_probe_id_++;
+  slots_[static_cast<std::size_t>(f)].push_back(Slot{id, std::move(probe)});
+  return id;
+}
+
+std::vector<ProbeId> HookTable::attach_matching(
+    const std::function<bool(Fn)>& predicate, const Probe& probe) {
+  std::vector<ProbeId> ids;
+  for (std::size_t i = 0; i < kFnCount; ++i) {
+    const Fn f = static_cast<Fn>(i);
+    if (predicate(f)) ids.push_back(attach(f, probe));
+  }
+  return ids;
+}
+
+void HookTable::detach(ProbeId id) {
+  for (auto& slot_list : slots_) {
+    std::erase_if(slot_list, [id](const Slot& s) { return s.id == id; });
+  }
+}
+
+void HookTable::detach_all() {
+  for (auto& slot_list : slots_) slot_list.clear();
+}
+
+bool HookTable::any_attached(Fn f) const {
+  return !slots_[static_cast<std::size_t>(f)].empty();
+}
+
+std::size_t HookTable::probe_count() const {
+  std::size_t n = 0;
+  for (const auto& slot_list : slots_) n += slot_list.size();
+  return n;
+}
+
+std::uint64_t HookTable::fire_entry(Fn f, const OpInfo& info,
+                                    VirtualClock& clock, int dispatch_depth,
+                                    bool from_vendor_library) {
+  const std::uint64_t event_id = next_event_id_++;
+  auto& slot_list = slots_[static_cast<std::size_t>(f)];
+  if (slot_list.empty()) return event_id;
+
+  HookContext ctx;
+  ctx.fn = f;
+  ctx.event_id = event_id;
+  ctx.entry_time = clock.now();
+  ctx.info = &info;
+  ctx.dispatch_depth = dispatch_depth;
+  ctx.from_vendor_library = from_vendor_library;
+  for (const Slot& s : slot_list) {
+    if (!s.probe.on_entry) continue;
+    clock.advance(s.probe.entry_cost);
+    ctx.entry_time = clock.now();  // probe cost precedes the call body
+    s.probe.on_entry(ctx);
+  }
+  return event_id;
+}
+
+void HookTable::fire_exit(Fn f, std::uint64_t event_id, TimePoint entry_time,
+                          const OpInfo& info, VirtualClock& clock,
+                          int dispatch_depth, bool from_vendor_library) {
+  auto& slot_list = slots_[static_cast<std::size_t>(f)];
+  if (slot_list.empty()) return;
+
+  HookContext ctx;
+  ctx.fn = f;
+  ctx.event_id = event_id;
+  ctx.entry_time = entry_time;
+  ctx.info = &info;
+  ctx.dispatch_depth = dispatch_depth;
+  ctx.from_vendor_library = from_vendor_library;
+  for (const Slot& s : slot_list) {
+    if (!s.probe.on_exit) continue;
+    clock.advance(s.probe.exit_cost);
+    ctx.exit_time = clock.now();
+    s.probe.on_exit(ctx);
+  }
+}
+
+}  // namespace diog::hooks

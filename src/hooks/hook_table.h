@@ -1,0 +1,102 @@
+// The instrumentation table: entry/exit probes on driver functions.
+//
+// This is the reproduction's stand-in for Dyninst: a probe can be
+// attached to *any* driver symbol — public, private, or internal — and
+// fires with the virtual timestamp, the logical call stack, and the
+// operation's OpInfo. Probes carry a configurable virtual-time cost so
+// that instrumentation overhead perturbs the measured application the
+// way real binary instrumentation does (this is what the stage-specific
+// overhead numbers in §5.3 are made of, and why FFM splits collection
+// across runs instead of turning everything on at once).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hooks/fn.h"
+#include "support/clock.h"
+#include "trace/callstack.h"
+
+namespace diog::hooks {
+
+class HookTable;
+
+struct HookContext {
+  Fn fn;
+  std::uint64_t event_id = 0;   // per-run monotonically increasing
+  TimePoint entry_time{0};
+  TimePoint exit_time{0};       // valid in exit probes only
+  const OpInfo* info = nullptr;
+  // Nesting depth of driver dispatch at the time of the probe: 1 for a
+  // top-level API call, >1 for internal functions reached from one.
+  int dispatch_depth = 1;
+  // Set when the call was made from inside a vendor library (the paper:
+  // "CUPTI might omit calls to the public API if they are called from
+  // Nvidia-created libraries").
+  bool from_vendor_library = false;
+
+  [[nodiscard]] Duration duration() const { return exit_time - entry_time; }
+};
+
+using EntryProbe = std::function<void(const HookContext&)>;
+using ExitProbe = std::function<void(const HookContext&)>;
+
+// A registered probe pair. Either callback may be null.
+struct Probe {
+  EntryProbe on_entry;
+  ExitProbe on_exit;
+  // Virtual cost charged to the application per fired callback —
+  // models the trampoline + snippet execution cost of real binary
+  // instrumentation.
+  Duration entry_cost{0};
+  Duration exit_cost{0};
+};
+
+using ProbeId = std::uint32_t;
+
+class HookTable {
+ public:
+  HookTable() = default;
+  HookTable(const HookTable&) = delete;
+  HookTable& operator=(const HookTable&) = delete;
+
+  // Attach a probe to one function. Returns an id usable with detach().
+  ProbeId attach(Fn f, Probe probe);
+  // Attach to every function matching the predicate (e.g. all internal
+  // symbols — how stage 1 probes for the wait function).
+  std::vector<ProbeId> attach_matching(
+      const std::function<bool(Fn)>& predicate, const Probe& probe);
+
+  void detach(ProbeId id);
+  void detach_all();
+
+  [[nodiscard]] bool any_attached(Fn f) const;
+  [[nodiscard]] std::size_t probe_count() const;
+
+  // --- Dispatch interface used by the simulated driver --------------------
+  // fire_entry returns the event id assigned to this call; the runtime
+  // passes it back to fire_exit. `clock` is advanced by the probes'
+  // configured costs.
+  std::uint64_t fire_entry(Fn f, const OpInfo& info, VirtualClock& clock,
+                           int dispatch_depth, bool from_vendor_library);
+  void fire_exit(Fn f, std::uint64_t event_id, TimePoint entry_time,
+                 const OpInfo& info, VirtualClock& clock, int dispatch_depth,
+                 bool from_vendor_library);
+
+  [[nodiscard]] std::uint64_t events_dispatched() const {
+    return next_event_id_;
+  }
+
+ private:
+  struct Slot {
+    ProbeId id;
+    Probe probe;
+  };
+  std::array<std::vector<Slot>, kFnCount> slots_{};
+  ProbeId next_probe_id_ = 1;
+  std::uint64_t next_event_id_ = 0;
+};
+
+}  // namespace diog::hooks

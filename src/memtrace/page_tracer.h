@@ -1,0 +1,103 @@
+// Page-protection load/store tracing.
+//
+// Stages 3 and 4 need "the location of the instruction that first
+// accesses a memory location containing data that could be modified by
+// the GPU" and the time between a synchronization and that access. The
+// real Diogenes gets this from binary load/store instrumentation; this
+// reproduction gets it from the MMU: registered ranges are mprotect'd to
+// PROT_NONE after a synchronization, and the first touch of a range
+// raises SIGSEGV. The handler records the faulting address, the faulting
+// instruction pointer, the virtual timestamp and the logical call stack,
+// un-protects the range, and resumes — the access then retries
+// successfully. (The paper itself leans on mprotect for fix validation,
+// §5.1.)
+//
+// Constraints honored by the handler (async-signal-safety):
+//   * no allocation — the access log is pre-reserved at arm() time and
+//     records beyond capacity are counted as drops;
+//   * no locks — the simulation is single-threaded, and registration/
+//     arming are forbidden while armed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/clock.h"
+#include "trace/callstack.h"
+
+namespace diog::memtrace {
+
+using RangeId = std::uint32_t;
+inline constexpr RangeId kInvalidRange = 0;
+
+inline constexpr std::size_t kMaxStackDepth = 32;
+
+struct AccessRecord {
+  RangeId range = kInvalidRange;
+  std::uint64_t user_tag = 0;         // caller's identifier for the range
+  const void* fault_address = nullptr;
+  std::uintptr_t instruction_pointer = 0;
+  TimePoint time{0};
+  bool is_write = false;              // decoded from the fault error code
+  const trace::Frame* frames[kMaxStackDepth] = {};
+  std::size_t depth = 0;
+
+  [[nodiscard]] trace::StackTrace stack() const;
+};
+
+class PageTracer {
+ public:
+  // A process-wide singleton: the SIGSEGV handler needs a global anchor.
+  static PageTracer& instance();
+
+  PageTracer(const PageTracer&) = delete;
+  PageTracer& operator=(const PageTracer&) = delete;
+
+  // Register a page-aligned range for tracing. `user_tag` is echoed in
+  // access records (stages use it to map back to allocations/transfers).
+  // Must not be called while armed.
+  RangeId register_range(void* ptr, std::size_t bytes, std::uint64_t user_tag);
+  void unregister_range(RangeId id);
+  void unregister_all();
+  [[nodiscard]] std::size_t range_count() const;
+
+  // Protect every registered range; the first access to each records and
+  // unprotects it. `expected_accesses` pre-reserves the log.
+  void arm(std::size_t expected_accesses = 1024);
+  // Remove protection from all ranges without recording.
+  void disarm();
+  [[nodiscard]] bool armed() const { return armed_; }
+
+  [[nodiscard]] const std::vector<AccessRecord>& accesses() const {
+    return accesses_;
+  }
+  [[nodiscard]] std::uint64_t dropped_accesses() const { return dropped_; }
+  void clear_accesses();
+
+  // Whether `ptr` falls inside a registered range (diagnostics/tests).
+  [[nodiscard]] bool covers(const void* ptr) const;
+
+ private:
+  PageTracer();
+
+  struct Range {
+    RangeId id;
+    std::uintptr_t begin;  // page-aligned
+    std::uintptr_t end;    // page-aligned (exclusive)
+    std::uint64_t user_tag;
+    bool protected_now;
+  };
+
+  static void signal_handler(int sig, void* siginfo, void* ucontext);
+  bool handle_fault(void* fault_addr, std::uintptr_t ip, bool is_write);
+  void install_handler();
+
+  std::vector<Range> ranges_;
+  std::vector<AccessRecord> accesses_;
+  std::uint64_t dropped_ = 0;
+  RangeId next_id_ = 1;
+  bool armed_ = false;
+  bool handler_installed_ = false;
+};
+
+}  // namespace diog::memtrace

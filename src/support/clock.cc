@@ -1,0 +1,32 @@
+#include "support/clock.h"
+
+#include "support/error.h"
+
+namespace diog {
+
+std::atomic<std::int64_t> VirtualClock::published_now_ns_{0};
+
+void VirtualClock::advance(Duration d) {
+  DIOG_CHECK(d.count() >= 0, "virtual clock cannot move backwards");
+  // Saturate instead of overflowing when simulating "infinite" waits.
+  if (now_ > kNeverTime - d) {
+    now_ = kNeverTime;
+  } else {
+    now_ += d;
+  }
+  publish();
+}
+
+void VirtualClock::advance_to(TimePoint t) {
+  if (t > now_) {
+    now_ = t;
+    publish();
+  }
+}
+
+void VirtualClock::reset() {
+  now_ = TimePoint{0};
+  publish();
+}
+
+}  // namespace diog

@@ -1,0 +1,94 @@
+#include "support/demangle.h"
+
+#include <vector>
+
+namespace diog {
+
+namespace {
+
+// Returns true if the '<' at position `i` begins an operator name
+// (operator<, operator<<, operator<=, operator<=>) rather than a template
+// argument list.
+bool is_operator_angle(std::string_view s, std::size_t i) {
+  static constexpr std::string_view kOp = "operator";
+  if (i < kOp.size()) return false;
+  if (s.substr(i - kOp.size(), kOp.size()) != kOp) return false;
+  // Require that "operator" is not itself the tail of an identifier
+  // (e.g. "my_operator<int>").
+  if (i > kOp.size()) {
+    const char before = s[i - kOp.size() - 1];
+    if (std::isalnum(static_cast<unsigned char>(before)) || before == '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Length of the operator token starting at the '<' (1, 2 or 3 chars).
+std::size_t operator_angle_len(std::string_view s, std::size_t i) {
+  if (s.substr(i, 3) == "<=>") return 3;
+  if (s.substr(i, 2) == "<<" || s.substr(i, 2) == "<=") return 2;
+  return 1;
+}
+
+}  // namespace
+
+std::string fold_template_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  int depth = 0;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c == '<') {
+      if (depth == 0 && is_operator_angle(name, i)) {
+        const std::size_t len = operator_angle_len(name, i);
+        out.append(name.substr(i, len));
+        i += len - 1;
+        continue;
+      }
+      if (depth == 0) out += "<...>";
+      ++depth;
+      continue;
+    }
+    if (c == '>') {
+      if (depth == 0) {
+        // `operator>`, `operator>>`, `operator->` or malformed input:
+        // emit verbatim.
+        out += c;
+        continue;
+      }
+      --depth;
+      continue;
+    }
+    if (depth == 0) out += c;
+  }
+  if (depth != 0) return std::string(name);  // unbalanced: do not guess
+  return out;
+}
+
+std::string strip_parameter_list(std::string_view name) {
+  if (name.empty() || name.back() != ')') return std::string(name);
+  int depth = 0;
+  for (std::size_t i = name.size(); i-- > 0;) {
+    if (name[i] == ')') ++depth;
+    if (name[i] == '(') {
+      --depth;
+      if (depth == 0) {
+        // Keep "operator()" intact.
+        static constexpr std::string_view kOpCall = "operator";
+        if (i >= kOpCall.size() &&
+            name.substr(i - kOpCall.size(), kOpCall.size()) == kOpCall) {
+          return std::string(name);
+        }
+        return std::string(name.substr(0, i));
+      }
+    }
+  }
+  return std::string(name);  // unbalanced: do not guess
+}
+
+std::string base_function_name(std::string_view name) {
+  return fold_template_name(strip_parameter_list(name));
+}
+
+}  // namespace diog

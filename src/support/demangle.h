@@ -1,0 +1,33 @@
+// Template-parameter folding for the "folded function" grouping
+// (paper §3.5.2): "For C++ functions, we demangle the function name and
+// discard template parameter type information before matching. Template
+// function calls with the same function name with instances that differ
+// only by template parameter types often are the same function in source
+// code."
+//
+// The simulated stack already records source-style (demangled) names, so
+// folding here means stripping template argument lists — carefully, so
+// that `operator<`, `operator<<`, `operator<=>`, `operator>` and nested
+// angle brackets survive intact.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace diog {
+
+// "thrust::detail::contiguous_storage<float, alloc<float>>::deallocate"
+//   -> "thrust::detail::contiguous_storage<...>::deallocate"
+// Non-template names are returned unchanged. A malformed name (unbalanced
+// brackets) is returned unchanged rather than guessed at.
+std::string fold_template_name(std::string_view name);
+
+// Strip a trailing "(args...)" parameter list if present; folding matches
+// on the function itself, not its signature.
+std::string strip_parameter_list(std::string_view name);
+
+// Convenience: strip_parameter_list then fold_template_name — the "base
+// function name" the paper matches folded stacks by.
+std::string base_function_name(std::string_view name);
+
+}  // namespace diog

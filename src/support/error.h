@@ -1,0 +1,30 @@
+// Error handling for the Diogenes reproduction.
+//
+// Internal invariant violations throw `diog::Error` (they indicate a bug
+// in the simulation or the tool, never a user-data condition); expected
+// runtime conditions (e.g. a probe timing out on purpose) are modeled
+// with status enums local to each module.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace diog {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void fail(std::string_view msg, const char* file, int line) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": " +
+              std::string(msg));
+}
+
+}  // namespace diog
+
+#define DIOG_CHECK(cond, msg)                      \
+  do {                                             \
+    if (!(cond)) ::diog::fail((msg), __FILE__, __LINE__); \
+  } while (0)

@@ -1,0 +1,40 @@
+// Deterministic pseudo-random number generation (SplitMix64 seeding into
+// xoshiro256**). The simulation never uses std::random_device or global
+// state: every workload and test owns its generator so runs replay
+// identically — a requirement for the multi-run FFM model, which assumes
+// "the execution pattern of the application does not change dramatically
+// between runs with the same inputs" (paper §5.3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace diog {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  std::uint64_t next_u64();
+
+  // Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // Uniform in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  // Bernoulli(p).
+  bool next_bool(double p = 0.5);
+
+  // Derive an independent stream (for sub-components of a workload).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace diog

@@ -1,0 +1,79 @@
+#include "support/strings.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace diog {
+
+std::string format_seconds(Duration d, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*fs", precision, to_seconds(d));
+  return buf;
+}
+
+std::string format_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string format_bytes(std::size_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (v >= 1024.0 && unit + 1 < std::size(kUnits)) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%zu B", bytes);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string pad_left(std::string_view s, std::size_t width) {
+  if (s.size() >= width) return std::string(s);
+  return std::string(width - s.size(), ' ') + std::string(s);
+}
+
+std::string pad_right(std::string_view s, std::size_t width) {
+  if (s.size() >= width) return std::string(s);
+  return std::string(s) + std::string(width - s.size(), ' ');
+}
+
+}  // namespace diog

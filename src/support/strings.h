@@ -1,0 +1,32 @@
+// Small string and formatting helpers shared across the project.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/clock.h"
+
+namespace diog {
+
+// "421.716s", "0.34s", "137.136s" — the fixed style used throughout the
+// paper's terminal output (Figures 6-8, Tables 1-2).
+std::string format_seconds(Duration d, int precision = 3);
+
+// "22.52%" style.
+std::string format_percent(double fraction, int precision = 2);
+
+// Human-readable byte counts: "4.0 MiB".
+std::string format_bytes(std::size_t bytes);
+
+std::vector<std::string> split(std::string_view s, char sep);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+// Left-pad / right-pad to a column width (ASCII, for the terminal UI).
+std::string pad_left(std::string_view s, std::size_t width);
+std::string pad_right(std::string_view s, std::size_t width);
+
+}  // namespace diog

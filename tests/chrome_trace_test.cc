@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/chrome_trace.h"
+#include "core/stage1_baseline.h"
+#include "core/stage2_tracing.h"
+#include "core/stage3_memhash.h"
+#include "gpusim/api.h"
+#include "gpusim/host_buffer.h"
+#include "trace/callstack.h"
+
+namespace diog::ffm {
+namespace {
+
+using gpusim::KernelDesc;
+using hooks::MemcpyKind;
+
+// Build a small stage-2/3 dataset plus a runtime with a populated GPU
+// timeline.
+struct Dataset {
+  Stage2Result s2;
+  Stage3Result s3;
+  std::unique_ptr<gpusim::Runtime> rt;
+};
+
+Dataset make_dataset() {
+  auto out = std::make_shared<gpusim::HostBuffer<float>>(1024);
+  Workload w;
+  w.name = "tracee";
+  w.device = gpusim::DeviceConfig{};
+  w.body = [out] {
+    DIOG_APP_FRAME("trace_main", "tracee.cu", 7);
+    void* dev = nullptr;
+    (void)gpusim::cudaMalloc(&dev, out->size_bytes());
+    KernelDesc k;
+    k.name = "trace_kernel";
+    k.duration = ms(3);
+    (void)gpusim::cudaLaunchKernel(k);
+    (void)gpusim::cudaMemcpy(out->data(), dev, out->size_bytes(),
+                             MemcpyKind::kDeviceToHost);
+    volatile float v = (*out)[0];
+    (void)v;
+    (void)gpusim::cudaFree(dev);
+  };
+
+  Dataset d;
+  const ToolConfig cfg;
+  const Stage1Result s1 = run_stage1(w, cfg);
+  d.s2 = run_stage2(w, cfg, s1);
+  d.s3 = run_stage3(w, cfg, s1);
+
+  // A separate plain run provides the GPU ground-truth timeline.
+  d.rt = std::make_unique<gpusim::Runtime>(w.device);
+  {
+    gpusim::RuntimeScope scope(*d.rt);
+    w.body();
+  }
+  return d;
+}
+
+const json::Array& events_of(const json::Value& v) {
+  return v.at("traceEvents").as_array();
+}
+
+TEST(ChromeTrace, EmitsCpuAndGpuTracks) {
+  const Dataset d = make_dataset();
+  const json::Value v = chrome_trace(d.s2, &d.s3, d.rt.get());
+
+  bool cpu_meta = false, gpu_meta = false, kernel_event = false,
+       memcpy_event = false;
+  for (const json::Value& e : events_of(v)) {
+    if (e.at("ph").as_string() == "M") {
+      const std::string label = e.at("args").at("name").as_string();
+      if (label == "CPU driver calls") cpu_meta = true;
+      if (label.find("GPU stream") != std::string::npos) gpu_meta = true;
+    } else {
+      const std::string name = e.at("name").as_string();
+      if (name == "trace_kernel") kernel_event = true;
+      if (name == "cudaMemcpy") memcpy_event = true;
+    }
+  }
+  EXPECT_TRUE(cpu_meta);
+  EXPECT_TRUE(gpu_meta);
+  EXPECT_TRUE(kernel_event);
+  EXPECT_TRUE(memcpy_event);
+}
+
+TEST(ChromeTrace, EventsCarryTimesAndDurations) {
+  const Dataset d = make_dataset();
+  const json::Value v = chrome_trace(d.s2, &d.s3, d.rt.get());
+  for (const json::Value& e : events_of(v)) {
+    if (e.at("ph").as_string() != "X") continue;
+    EXPECT_GE(e.at("ts").as_double(), 0.0);
+    EXPECT_GE(e.at("dur").as_double(), 0.0);
+    EXPECT_EQ(e.at("pid").as_int(), 1);
+  }
+}
+
+TEST(ChromeTrace, ProblemAnnotationsAttached) {
+  const Dataset d = make_dataset();
+  const json::Value v = chrome_trace(d.s2, &d.s3, d.rt.get());
+  bool required_seen = false, unnecessary_seen = false;
+  for (const json::Value& e : events_of(v)) {
+    if (e.at("ph").as_string() != "X" || !e.contains("args")) continue;
+    const json::Value& args = e.at("args");
+    if (!args.contains("sync")) continue;
+    if (args.at("sync").as_string() == "required") required_seen = true;
+    if (args.at("sync").as_string() == "unnecessary") {
+      unnecessary_seen = true;
+    }
+  }
+  EXPECT_TRUE(required_seen);    // the readback memcpy's sync
+  EXPECT_TRUE(unnecessary_seen); // the free's hidden sync
+}
+
+TEST(ChromeTrace, SourceAttributionIncluded) {
+  const Dataset d = make_dataset();
+  const json::Value v = chrome_trace(d.s2, &d.s3, d.rt.get());
+  bool any_source = false;
+  for (const json::Value& e : events_of(v)) {
+    if (e.at("ph").as_string() == "X" && e.contains("args") &&
+        e.at("args").contains("source")) {
+      any_source = true;
+    }
+  }
+  EXPECT_TRUE(any_source);
+}
+
+TEST(ChromeTrace, OptionsDisableTracks) {
+  const Dataset d = make_dataset();
+  ChromeTraceOptions no_gpu;
+  no_gpu.include_gpu_timeline = false;
+  const json::Value v = chrome_trace(d.s2, &d.s3, d.rt.get(), no_gpu);
+  for (const json::Value& e : events_of(v)) {
+    if (e.at("ph").as_string() == "X") {
+      EXPECT_EQ(e.at("tid").as_int(), 1);  // only the CPU track
+    }
+  }
+
+  ChromeTraceOptions no_cpu;
+  no_cpu.include_cpu_ops = false;
+  const json::Value v2 = chrome_trace(d.s2, &d.s3, d.rt.get(), no_cpu);
+  for (const json::Value& e : events_of(v2)) {
+    if (e.at("ph").as_string() == "X") {
+      EXPECT_GE(e.at("tid").as_int(), 100);  // only GPU tracks
+    }
+  }
+}
+
+TEST(ChromeTrace, NullRuntimeAndProblemsTolerated) {
+  const Dataset d = make_dataset();
+  const json::Value v = chrome_trace(d.s2, nullptr, nullptr);
+  EXPECT_GT(events_of(v).size(), 0u);
+}
+
+TEST(ChromeTrace, SavesParseableFile) {
+  const Dataset d = make_dataset();
+  const auto path =
+      std::filesystem::temp_directory_path() / "diog_chrome_trace.json";
+  save_chrome_trace(path.string(), d.s2, &d.s3, d.rt.get());
+  const json::Value loaded = json::load_file(path.string());
+  EXPECT_EQ(loaded.at("displayTimeUnit").as_string(), "ms");
+  EXPECT_GT(loaded.at("traceEvents").size(), 0u);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace diog::ffm

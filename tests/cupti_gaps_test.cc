@@ -1,0 +1,255 @@
+// Tests for the vendor interface's documented blind spots (paper §2.2)
+// and the tool-facing subscriber. These gaps are load-bearing: the whole
+// point of FFM is that binary instrumentation sees what CUPTI does not.
+#include <gtest/gtest.h>
+
+#include "cuptilike/cupti.h"
+#include "gpusim/api.h"
+#include "gpusim/blaslike.h"
+#include "gpusim/host_buffer.h"
+#include "gpusim/private_api.h"
+#include "gpusim/runtime.h"
+#include "support/error.h"
+
+namespace diog::cupti {
+namespace {
+
+using gpusim::cudaError_t;
+using gpusim::cudaSuccess;
+using gpusim::CuptiActivity;
+using gpusim::KernelDesc;
+using gpusim::Runtime;
+using gpusim::RuntimeScope;
+using hooks::Fn;
+using hooks::MemcpyKind;
+
+class CuptiGapsTest : public ::testing::Test {
+ protected:
+  CuptiGapsTest() : scope_(rt_) { sub_.attach(rt_); }
+
+  std::size_t sync_activity_count() const {
+    std::size_t n = 0;
+    for (const auto& a : sub_.activities()) {
+      if (a.kind == CuptiActivity::Kind::kSynchronization) ++n;
+    }
+    return n;
+  }
+
+  std::size_t api_record_count(Fn f) const {
+    std::size_t n = 0;
+    for (const auto& r : sub_.api_records()) {
+      if (r.fn == f) ++n;
+    }
+    return n;
+  }
+
+  Runtime rt_;
+  RuntimeScope scope_;
+  Subscriber sub_;
+};
+
+TEST_F(CuptiGapsTest, ExplicitSyncProducesSynchronizationActivity) {
+  KernelDesc k;
+  k.name = "k";
+  k.duration = diog::ms(5);
+  (void)gpusim::cudaLaunchKernel(k);
+  (void)gpusim::cudaDeviceSynchronize();
+  EXPECT_EQ(sync_activity_count(), 1u);
+  EXPECT_EQ(api_record_count(Fn::kCudaDeviceSynchronize), 1u);
+}
+
+TEST_F(CuptiGapsTest, ImplicitSyncInMemcpyProducesNoSyncRecord) {
+  KernelDesc k;
+  k.name = "k";
+  k.duration = diog::ms(10);
+  (void)gpusim::cudaLaunchKernel(k);
+  void* dev = nullptr;
+  (void)gpusim::cudaMalloc(&dev, 64);
+  char host[64];
+  // This blocks for 10 ms behind the kernel...
+  (void)gpusim::cudaMemcpy(dev, host, 64, MemcpyKind::kHostToDevice);
+  // ...but CUPTI reports a memcpy activity and NO synchronization record.
+  EXPECT_EQ(sync_activity_count(), 0u);
+  bool saw_memcpy_activity = false;
+  for (const auto& a : sub_.activities()) {
+    if (a.kind == CuptiActivity::Kind::kMemcpy) saw_memcpy_activity = true;
+  }
+  EXPECT_TRUE(saw_memcpy_activity);
+  (void)gpusim::cudaFree(dev);
+}
+
+TEST_F(CuptiGapsTest, ImplicitSyncInFreeProducesNoSyncRecord) {
+  KernelDesc k;
+  k.name = "k";
+  k.duration = diog::ms(10);
+  (void)gpusim::cudaLaunchKernel(k);
+  void* dev = nullptr;
+  (void)gpusim::cudaMalloc(&dev, 64);
+  (void)gpusim::cudaFree(dev);  // blocks 10 ms
+  EXPECT_EQ(sync_activity_count(), 0u);
+  // The call itself IS visible as an API record (with its duration)...
+  EXPECT_EQ(api_record_count(Fn::kCudaFree), 1u);
+  // ...which is exactly why consumption-based tools rank cudaFree high
+  // without knowing the time is a hidden synchronization.
+}
+
+TEST_F(CuptiGapsTest, ConditionalSyncInAsyncMemcpyUnreported) {
+  void* dev = nullptr;
+  (void)gpusim::cudaMalloc(&dev, 1 << 16);
+  gpusim::HostBuffer<char> pageable(1 << 16);
+  KernelDesc k;
+  k.name = "k";
+  k.duration = diog::ms(10);
+  (void)gpusim::cudaLaunchKernel(k);
+  (void)gpusim::cudaMemcpyAsync(pageable.data(), dev, 1 << 16,
+                                MemcpyKind::kDeviceToHost);  // blocks!
+  EXPECT_EQ(sync_activity_count(), 0u);
+  (void)gpusim::cudaFree(dev);
+}
+
+TEST_F(CuptiGapsTest, ConditionalSyncInManagedMemsetUnreported) {
+  void* managed = nullptr;
+  (void)gpusim::cudaMallocManaged(&managed, 4096);
+  KernelDesc k;
+  k.name = "k";
+  k.duration = diog::ms(10);
+  (void)gpusim::cudaLaunchKernel(k);
+  (void)gpusim::cudaMemset(managed, 0, 4096);  // blocks!
+  EXPECT_EQ(sync_activity_count(), 0u);
+  (void)gpusim::cudaFree(managed);
+}
+
+TEST_F(CuptiGapsTest, PrivateApiEntirelyInvisible) {
+  void* dev = gpusim::priv::cuPrivMemAlloc(256);
+  char host[256];
+  gpusim::priv::cuPrivMemcpyHtoD(dev, host, 256);
+  KernelDesc k;
+  k.name = "k";
+  k.duration = diog::ms(2);
+  gpusim::priv::cuPrivLaunchKernel(k);
+  gpusim::priv::cuPrivSync();
+  gpusim::priv::cuPrivMemFree(dev);
+  EXPECT_TRUE(sub_.api_records().empty());
+  EXPECT_TRUE(sub_.activities().empty());
+}
+
+TEST_F(CuptiGapsTest, VendorLibraryCallsOmitted) {
+  // "CUPTI might omit calls to the public API if they are called from
+  // Nvidia-created libraries."
+  blaslike::Handle h;
+  blaslike::cholesky_solve_batched(h, nullptr, nullptr, 2, 4);
+  blaslike::sync(h);
+  EXPECT_TRUE(sub_.api_records().empty());
+  EXPECT_TRUE(sub_.activities().empty());
+}
+
+TEST_F(CuptiGapsTest, KernelActivityCarriesNameAndDuration) {
+  KernelDesc k;
+  k.name = "solver_kernel";
+  k.duration = diog::ms(3);
+  (void)gpusim::cudaLaunchKernel(k);
+  (void)gpusim::cudaDeviceSynchronize();
+  bool found = false;
+  for (const auto& a : sub_.activities()) {
+    if (a.kind == CuptiActivity::Kind::kKernel) {
+      EXPECT_EQ(a.name, "solver_kernel");
+      EXPECT_EQ(a.end - a.start, diog::ms(3));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(CuptiGapsTest, ApiRecordsCarryCallDurations) {
+  KernelDesc k;
+  k.name = "k";
+  k.duration = diog::ms(8);
+  (void)gpusim::cudaLaunchKernel(k);
+  (void)gpusim::cudaDeviceSynchronize();
+  ASSERT_EQ(api_record_count(Fn::kCudaDeviceSynchronize), 1u);
+  for (const auto& r : sub_.api_records()) {
+    if (r.fn == Fn::kCudaDeviceSynchronize) {
+      EXPECT_GE(r.duration(), diog::ms(7));
+    }
+  }
+}
+
+TEST_F(CuptiGapsTest, SummarizeAggregatesAndSorts) {
+  KernelDesc k;
+  k.name = "k";
+  k.duration = diog::ms(5);
+  (void)gpusim::cudaLaunchKernel(k);
+  (void)gpusim::cudaDeviceSynchronize();
+  void* dev = nullptr;
+  (void)gpusim::cudaMalloc(&dev, 16);
+  (void)gpusim::cudaFree(dev);
+
+  const auto summary = summarize_api_time(sub_.api_records());
+  ASSERT_GE(summary.size(), 3u);
+  // Sorted descending by total time; deviceSynchronize dominated.
+  EXPECT_EQ(summary[0].api_name, "cudaDeviceSynchronize");
+  for (std::size_t i = 1; i < summary.size(); ++i) {
+    EXPECT_GE(summary[i - 1].total_time, summary[i].total_time);
+  }
+}
+
+TEST_F(CuptiGapsTest, RecordCostChargesApplication) {
+  sub_.detach();
+  Subscriber::Options opts;
+  opts.record_cost = us(50);
+  Subscriber costly(opts);
+  costly.attach(rt_);
+  const Duration before = rt_.clock().now();
+  (void)gpusim::cudaGetDevice(nullptr);  // error path still records exit
+  int dev = 0;
+  (void)gpusim::cudaGetDevice(&dev);
+  EXPECT_GE(rt_.clock().now() - before, us(100));
+}
+
+TEST(CuptiOverflow, StopsCollectingAndFlags) {
+  Runtime rt;
+  Subscriber::Options opts;
+  opts.max_records = 5;
+  Subscriber sub(opts);
+  sub.attach(rt);
+  {
+    RuntimeScope scope(rt);
+    for (int i = 0; i < 20; ++i) {
+      int dev = 0;
+      (void)gpusim::cudaGetDevice(&dev);
+    }
+  }
+  EXPECT_TRUE(sub.overflowed());
+  EXPECT_EQ(sub.records_at_overflow(), 6u);
+  EXPECT_LE(sub.total_records(), 6u);  // nothing collected past overflow
+}
+
+TEST(CuptiOverflow, ClearResets) {
+  Runtime rt;
+  Subscriber::Options opts;
+  opts.max_records = 1;
+  Subscriber sub(opts);
+  sub.attach(rt);
+  {
+    RuntimeScope scope(rt);
+    int dev = 0;
+    (void)gpusim::cudaGetDevice(&dev);
+    (void)gpusim::cudaGetDevice(&dev);
+  }
+  EXPECT_TRUE(sub.overflowed());
+  sub.clear();
+  EXPECT_FALSE(sub.overflowed());
+  EXPECT_EQ(sub.total_records(), 0u);
+}
+
+TEST(CuptiSubscriber, OneSubscriberPerRuntime) {
+  Runtime rt;
+  Subscriber a, b;
+  a.attach(rt);
+  EXPECT_THROW(b.attach(rt), diog::Error);
+  a.detach();
+  EXPECT_NO_THROW(b.attach(rt));
+}
+
+}  // namespace
+}  // namespace diog::cupti

@@ -1,0 +1,619 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "gpusim/api.h"
+#include "gpusim/blaslike.h"
+#include "gpusim/host_buffer.h"
+#include "gpusim/private_api.h"
+#include "gpusim/runtime.h"
+#include "gpusim/thrustlike.h"
+#include "support/error.h"
+
+namespace gpusim {
+namespace {
+
+using diog::Duration;
+using diog::hooks::Fn;
+using diog::hooks::MemcpyKind;
+using diog::hooks::MemKind;
+using diog::hooks::OpInfo;
+using diog::hooks::Probe;
+
+class GpusimTest : public ::testing::Test {
+ protected:
+  GpusimTest() : rt_(make_config()), scope_(rt_) {}
+
+  static DeviceConfig make_config() {
+    DeviceConfig d;
+    // Simple round numbers for assertable arithmetic.
+    d.h2d_bandwidth_bytes_per_s = 1e9;
+    d.d2h_bandwidth_bytes_per_s = 1e9;
+    d.transfer_latency = diog::us(10);
+    return d;
+  }
+
+  Duration now() { return rt_.clock().now(); }
+
+  Runtime rt_;
+  RuntimeScope scope_;
+};
+
+// --- Memory ------------------------------------------------------------------
+
+TEST_F(GpusimTest, MallocReturnsDistinctWritableBacking) {
+  void* a = nullptr;
+  void* b = nullptr;
+  ASSERT_EQ(cudaMalloc(&a, 4096), cudaSuccess);
+  ASSERT_EQ(cudaMalloc(&b, 4096), cudaSuccess);
+  EXPECT_NE(a, b);
+  std::memset(a, 0xAA, 4096);  // device backing is real memory
+  EXPECT_EQ(static_cast<unsigned char*>(a)[4095], 0xAA);
+  EXPECT_EQ(cudaFree(a), cudaSuccess);
+  EXPECT_EQ(cudaFree(b), cudaSuccess);
+}
+
+TEST_F(GpusimTest, MallocNullArgFails) {
+  EXPECT_EQ(cudaMalloc(nullptr, 16), cudaError_t::cudaErrorInvalidValue);
+}
+
+TEST_F(GpusimTest, MallocZeroBytesSucceeds) {
+  void* p = nullptr;
+  EXPECT_EQ(cudaMalloc(&p, 0), cudaSuccess);
+  EXPECT_NE(p, nullptr);
+  EXPECT_EQ(cudaFree(p), cudaSuccess);
+}
+
+TEST_F(GpusimTest, DeviceCapacityEnforced) {
+  DeviceConfig small = make_config();
+  small.device_memory_bytes = 1 << 20;
+  Runtime rt(small);
+  // Swap the active runtime for this test.
+  // (Scopes cannot nest; use the raw API on a scratch runtime.)
+  void* p = nullptr;
+  {
+    // End the fixture's scope temporarily.
+  }
+  (void)p;
+  SUCCEED();  // capacity behaviour covered in MemoryManager test below
+}
+
+TEST(MemoryManager, CapacityAndClassification) {
+  MemoryManager mm(/*device_capacity_bytes=*/1 << 20);
+  void* a = mm.alloc_device(512 * 1024);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(mm.alloc_device(768 * 1024), nullptr);  // over capacity
+  EXPECT_EQ(mm.device_bytes_in_use(), 512u * 1024);
+
+  void* pin = mm.alloc_pinned(100);
+  void* man = mm.alloc_managed(100);
+  EXPECT_EQ(mm.classify(a), MemKind::kDevice);
+  EXPECT_EQ(mm.classify(pin), MemKind::kPinned);
+  EXPECT_EQ(mm.classify(man), MemKind::kManaged);
+  int stack_var = 0;
+  EXPECT_EQ(mm.classify(&stack_var), MemKind::kPageable);
+
+  // Interior pointers resolve to their containing allocation.
+  EXPECT_EQ(mm.classify(static_cast<char*>(a) + 1000), MemKind::kDevice);
+  const Allocation* found = mm.find(static_cast<char*>(a) + 1000);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->ptr, a);
+
+  EXPECT_TRUE(mm.free(a));
+  EXPECT_EQ(mm.device_bytes_in_use(), 0u);
+  EXPECT_FALSE(mm.free(a));  // double free rejected
+  EXPECT_EQ(mm.find(a), nullptr);
+  EXPECT_TRUE(mm.free(pin));
+  EXPECT_TRUE(mm.free(man));
+  EXPECT_EQ(mm.live_allocation_count(), 0u);
+}
+
+TEST_F(GpusimTest, FreeNullptrIsNoOp) {
+  EXPECT_EQ(cudaFree(nullptr), cudaSuccess);
+}
+
+TEST_F(GpusimTest, FreeOfHostPointerFails) {
+  int x = 0;
+  EXPECT_EQ(cudaFree(&x), cudaError_t::cudaErrorInvalidDevicePointer);
+}
+
+TEST_F(GpusimTest, FreeHostRequiresPinnedPointer) {
+  void* dev = nullptr;
+  (void)cudaMalloc(&dev, 64);
+  EXPECT_EQ(cudaFreeHost(dev), cudaError_t::cudaErrorInvalidValue);
+  (void)cudaFree(dev);
+
+  void* pin = nullptr;
+  ASSERT_EQ(cudaMallocHost(&pin, 64), cudaSuccess);
+  EXPECT_EQ(cudaFreeHost(pin), cudaSuccess);
+}
+
+// --- Kernel launch / stream ordering ---------------------------------------------
+
+TEST_F(GpusimTest, LaunchIsAsynchronousToCpu) {
+  KernelDesc k;
+  k.name = "k";
+  k.duration = diog::ms(10);
+  const Duration before = now();
+  ASSERT_EQ(cudaLaunchKernel(k), cudaSuccess);
+  // Only the launch cost elapsed on the CPU, not the kernel duration.
+  EXPECT_LT(now() - before, diog::ms(1));
+  EXPECT_FALSE(rt_.device().idle());
+  (void)cudaDeviceSynchronize();
+}
+
+TEST_F(GpusimTest, DeviceSynchronizeWaitsForKernel) {
+  KernelDesc k;
+  k.name = "k";
+  k.duration = diog::ms(10);
+  (void)cudaLaunchKernel(k);
+  (void)cudaDeviceSynchronize();
+  EXPECT_GE(now(), diog::ms(10));
+  EXPECT_TRUE(rt_.device().idle());
+}
+
+TEST_F(GpusimTest, KernelsInOneStreamSerialize) {
+  KernelDesc k;
+  k.name = "k";
+  k.duration = diog::ms(5);
+  (void)cudaLaunchKernel(k);
+  (void)cudaLaunchKernel(k);
+  (void)cudaDeviceSynchronize();
+  EXPECT_GE(now(), diog::ms(10));
+}
+
+TEST_F(GpusimTest, KernelsInDifferentStreamsOverlap) {
+  StreamId s1, s2;
+  ASSERT_EQ(cudaStreamCreate(&s1), cudaSuccess);
+  ASSERT_EQ(cudaStreamCreate(&s2), cudaSuccess);
+  KernelDesc k;
+  k.name = "k";
+  k.duration = diog::ms(5);
+  (void)cudaLaunchKernel(k, s1);
+  (void)cudaLaunchKernel(k, s2);
+  (void)cudaDeviceSynchronize();
+  EXPECT_LT(now(), diog::ms(8));  // overlapped, not serialized
+  (void)cudaStreamDestroy(s1);
+  (void)cudaStreamDestroy(s2);
+}
+
+TEST_F(GpusimTest, StreamSynchronizeWaitsOnlyThatStream) {
+  StreamId s1, s2;
+  (void)cudaStreamCreate(&s1);
+  (void)cudaStreamCreate(&s2);
+  KernelDesc fast;
+  fast.name = "fast";
+  fast.duration = diog::ms(1);
+  KernelDesc slow;
+  slow.name = "slow";
+  slow.duration = diog::ms(20);
+  (void)cudaLaunchKernel(fast, s1);
+  (void)cudaLaunchKernel(slow, s2);
+  (void)cudaStreamSynchronize(s1);
+  EXPECT_LT(now(), diog::ms(5));
+  EXPECT_FALSE(rt_.device().idle(s2));
+  (void)cudaDeviceSynchronize();
+}
+
+TEST_F(GpusimTest, KernelBodyMutatesDeviceBacking) {
+  void* dev = nullptr;
+  (void)cudaMalloc(&dev, sizeof(float));
+  KernelDesc k;
+  k.name = "writer";
+  k.duration = diog::us(5);
+  k.body = [dev] { *static_cast<float*>(dev) = 7.5f; };
+  (void)cudaLaunchKernel(k);
+  (void)cudaDeviceSynchronize();
+  float out = 0;
+  (void)cudaMemcpy(&out, dev, sizeof(float), MemcpyKind::kDeviceToHost);
+  EXPECT_EQ(out, 7.5f);
+  (void)cudaFree(dev);
+}
+
+TEST_F(GpusimTest, LaunchOnUnknownStreamFails) {
+  KernelDesc k;
+  k.name = "k";
+  EXPECT_EQ(cudaLaunchKernel(k, 999),
+            cudaError_t::cudaErrorInvalidResourceHandle);
+}
+
+TEST_F(GpusimTest, StreamDestroyValidation) {
+  EXPECT_EQ(cudaStreamDestroy(kDefaultStream),
+            cudaError_t::cudaErrorInvalidResourceHandle);
+  EXPECT_EQ(cudaStreamDestroy(12345),
+            cudaError_t::cudaErrorInvalidResourceHandle);
+}
+
+// --- Transfers: data movement + synchronization semantics --------------------------
+
+TEST_F(GpusimTest, MemcpyMovesBytesBothWays) {
+  const std::vector<char> src{'d', 'i', 'o', 'g'};
+  std::vector<char> dst(4, 0);
+  void* dev = nullptr;
+  (void)cudaMalloc(&dev, 4);
+  ASSERT_EQ(cudaMemcpy(dev, src.data(), 4, MemcpyKind::kHostToDevice),
+            cudaSuccess);
+  ASSERT_EQ(cudaMemcpy(dst.data(), dev, 4, MemcpyKind::kDeviceToHost),
+            cudaSuccess);
+  EXPECT_EQ(std::memcmp(src.data(), dst.data(), 4), 0);
+  (void)cudaFree(dev);
+}
+
+TEST_F(GpusimTest, MemcpyDurationFollowsBandwidthModel) {
+  void* dev = nullptr;
+  std::vector<char> host(1000000);
+  (void)cudaMalloc(&dev, host.size());
+  const Duration before = now();
+  (void)cudaMemcpy(dev, host.data(), host.size(),
+                   MemcpyKind::kHostToDevice);
+  // 1 MB at 1 GB/s = 1 ms, + 10 us latency + setup cost.
+  const Duration elapsed = now() - before;
+  EXPECT_GE(elapsed, diog::ms(1));
+  EXPECT_LT(elapsed, diog::ms(2));
+  (void)cudaFree(dev);
+}
+
+TEST_F(GpusimTest, MemcpyKindValidation) {
+  void* dev = nullptr;
+  (void)cudaMalloc(&dev, 16);
+  char host[16];
+  // Wrong-direction pointers are rejected.
+  EXPECT_EQ(cudaMemcpy(host, dev, 16, MemcpyKind::kHostToDevice),
+            cudaError_t::cudaErrorInvalidValue);
+  EXPECT_EQ(cudaMemcpy(dev, host, 16, MemcpyKind::kDeviceToHost),
+            cudaError_t::cudaErrorInvalidValue);
+  EXPECT_EQ(cudaMemcpy(host, host, 16, MemcpyKind::kDeviceToDevice),
+            cudaError_t::cudaErrorInvalidValue);
+  EXPECT_EQ(cudaMemcpy(dev, dev, 16, MemcpyKind::kHostToHost),
+            cudaError_t::cudaErrorInvalidValue);
+  EXPECT_EQ(cudaMemcpy(nullptr, host, 16, MemcpyKind::kHostToHost),
+            cudaError_t::cudaErrorInvalidValue);
+  (void)cudaFree(dev);
+}
+
+TEST_F(GpusimTest, SyncMemcpyDrainsPrecedingKernels) {
+  // The implicit synchronization: a blocking copy waits for kernels
+  // queued ahead of it in the stream.
+  KernelDesc k;
+  k.name = "k";
+  k.duration = diog::ms(50);
+  (void)cudaLaunchKernel(k);
+  char host[8];
+  void* dev = nullptr;
+  (void)cudaMalloc(&dev, 8);
+  (void)cudaMemcpy(dev, host, 8, MemcpyKind::kHostToDevice);
+  EXPECT_GE(now(), diog::ms(50));
+  EXPECT_TRUE(rt_.device().idle(kDefaultStream));
+  (void)cudaFree(dev);
+}
+
+TEST_F(GpusimTest, AsyncMemcpyToPinnedDoesNotBlock) {
+  void* dev = nullptr;
+  void* pinned = nullptr;
+  (void)cudaMalloc(&dev, 1 << 20);
+  (void)cudaMallocHost(&pinned, 1 << 20);
+  KernelDesc k;
+  k.name = "k";
+  k.duration = diog::ms(30);
+  (void)cudaLaunchKernel(k);
+  const Duration before = now();
+  ASSERT_EQ(cudaMemcpyAsync(pinned, dev, 1 << 20,
+                            MemcpyKind::kDeviceToHost),
+            cudaSuccess);
+  EXPECT_LT(now() - before, diog::ms(1));  // returned immediately
+  (void)cudaDeviceSynchronize();
+  (void)cudaFreeHost(pinned);
+  (void)cudaFree(dev);
+}
+
+TEST_F(GpusimTest, AsyncMemcpyD2HToPageableBlocks) {
+  // THE paper example: "cudaMemcpyAsync performs an unreported
+  // synchronization when a device-to-host transfer is performed to a CPU
+  // memory address not allocated via cudaMallocHost."
+  void* dev = nullptr;
+  (void)cudaMalloc(&dev, 1 << 20);
+  HostBuffer<char> pageable(1 << 20);
+  KernelDesc k;
+  k.name = "k";
+  k.duration = diog::ms(30);
+  (void)cudaLaunchKernel(k);
+  ASSERT_EQ(cudaMemcpyAsync(pageable.data(), dev, 1 << 20,
+                            MemcpyKind::kDeviceToHost),
+            cudaSuccess);
+  EXPECT_GE(now(), diog::ms(30));  // it blocked
+  EXPECT_TRUE(rt_.device().idle(kDefaultStream));
+  (void)cudaFree(dev);
+}
+
+TEST_F(GpusimTest, AsyncMemcpyH2DFromPageableStagesWithoutSync) {
+  void* dev = nullptr;
+  (void)cudaMalloc(&dev, 1 << 20);
+  HostBuffer<char> pageable(1 << 20);
+  KernelDesc k;
+  k.name = "k";
+  k.duration = diog::ms(30);
+  (void)cudaLaunchKernel(k);
+  (void)cudaMemcpyAsync(dev, pageable.data(), 1 << 20,
+                        MemcpyKind::kHostToDevice);
+  EXPECT_LT(now(), diog::ms(5));  // staging cost only, no device sync
+  (void)cudaDeviceSynchronize();
+  (void)cudaFree(dev);
+}
+
+TEST_F(GpusimTest, FreeImplicitlySynchronizes) {
+  KernelDesc k;
+  k.name = "k";
+  k.duration = diog::ms(25);
+  (void)cudaLaunchKernel(k);
+  void* dev = nullptr;
+  (void)cudaMalloc(&dev, 64);
+  (void)cudaFree(dev);  // drains the whole device first
+  EXPECT_GE(now(), diog::ms(25));
+  EXPECT_TRUE(rt_.device().idle());
+}
+
+TEST_F(GpusimTest, MemsetOnDeviceMemoryDoesNotBlock) {
+  void* dev = nullptr;
+  (void)cudaMalloc(&dev, 4096);
+  KernelDesc k;
+  k.name = "k";
+  k.duration = diog::ms(20);
+  (void)cudaLaunchKernel(k);
+  ASSERT_EQ(cudaMemset(dev, 0xFF, 4096), cudaSuccess);
+  EXPECT_LT(now(), diog::ms(5));  // async with respect to the CPU
+  (void)cudaDeviceSynchronize();
+  EXPECT_EQ(static_cast<unsigned char*>(dev)[100], 0xFF);
+  (void)cudaFree(dev);
+}
+
+TEST_F(GpusimTest, MemsetOnManagedMemoryBlocks) {
+  // The AMG pathology: "cudaMemset performs a synchronization only when
+  // it [is] used on a unified memory address."
+  void* managed = nullptr;
+  (void)cudaMallocManaged(&managed, 4096);
+  KernelDesc k;
+  k.name = "k";
+  k.duration = diog::ms(20);
+  (void)cudaLaunchKernel(k);
+  ASSERT_EQ(cudaMemset(managed, 0, 4096), cudaSuccess);
+  EXPECT_GE(now(), diog::ms(20));  // it synchronized
+  (void)cudaFree(managed);
+}
+
+TEST_F(GpusimTest, MemsetOnPageableFails) {
+  char host[64];
+  EXPECT_EQ(cudaMemset(host, 0, 64), cudaError_t::cudaErrorInvalidValue);
+}
+
+// --- Events -------------------------------------------------------------------------
+
+TEST_F(GpusimTest, EventRecordsStreamCompletion) {
+  EventId ev;
+  ASSERT_EQ(cudaEventCreate(&ev), cudaSuccess);
+  KernelDesc k;
+  k.name = "k";
+  k.duration = diog::ms(10);
+  (void)cudaLaunchKernel(k);
+  (void)cudaEventRecord(ev);
+  (void)cudaEventSynchronize(ev);
+  EXPECT_GE(now(), diog::ms(10));
+  (void)cudaEventDestroy(ev);
+}
+
+TEST_F(GpusimTest, EventElapsedTime) {
+  EventId start, end;
+  (void)cudaEventCreate(&start);
+  (void)cudaEventCreate(&end);
+  (void)cudaEventRecord(start);
+  KernelDesc k;
+  k.name = "k";
+  k.duration = diog::ms(15);
+  (void)cudaLaunchKernel(k);
+  (void)cudaEventRecord(end);
+  (void)cudaEventSynchronize(end);
+  float ms = 0;
+  ASSERT_EQ(cudaEventElapsedTime(&ms, start, end), cudaSuccess);
+  EXPECT_NEAR(ms, 15.0f, 1.0f);
+  (void)cudaEventDestroy(start);
+  (void)cudaEventDestroy(end);
+}
+
+TEST_F(GpusimTest, EventValidation) {
+  EXPECT_EQ(cudaEventSynchronize(999),
+            cudaError_t::cudaErrorInvalidResourceHandle);
+  EXPECT_EQ(cudaEventDestroy(999),
+            cudaError_t::cudaErrorInvalidResourceHandle);
+  EventId ev;
+  (void)cudaEventCreate(&ev);
+  EXPECT_EQ(cudaEventRecord(ev, 999),
+            cudaError_t::cudaErrorInvalidResourceHandle);
+  (void)cudaEventDestroy(ev);
+}
+
+// --- Error state ----------------------------------------------------------------------
+
+TEST_F(GpusimTest, GetLastErrorIsStickyAndClears) {
+  EXPECT_EQ(cudaGetLastError(), cudaSuccess);
+  (void)cudaMalloc(nullptr, 1);  // invalid
+  EXPECT_EQ(cudaGetLastError(), cudaError_t::cudaErrorInvalidValue);
+  EXPECT_EQ(cudaGetLastError(), cudaSuccess);  // cleared by the read
+}
+
+TEST_F(GpusimTest, MiscApis) {
+  int device = -1;
+  EXPECT_EQ(cudaGetDevice(&device), cudaSuccess);
+  EXPECT_EQ(device, 0);
+  EXPECT_EQ(cudaSetDevice(0), cudaSuccess);
+  EXPECT_EQ(cudaSetDevice(3), cudaError_t::cudaErrorInvalidValue);
+  cudaFuncAttributes attr;
+  EXPECT_EQ(cudaFuncGetAttributes(&attr, reinterpret_cast<const void*>(1)),
+            cudaSuccess);
+  EXPECT_GT(attr.max_threads_per_block, 0);
+}
+
+// --- Private API -------------------------------------------------------------------
+
+TEST_F(GpusimTest, PrivateApiPerformsSameOperations) {
+  void* dev = priv::cuPrivMemAlloc(256);
+  ASSERT_NE(dev, nullptr);
+  char host[256] = {1, 2, 3};
+  priv::cuPrivMemcpyHtoD(dev, host, 256);
+  char back[256] = {};
+  priv::cuPrivMemcpyDtoH(back, dev, 256);
+  EXPECT_EQ(std::memcmp(host, back, 256), 0);
+
+  KernelDesc k;
+  k.name = "k";
+  k.duration = diog::ms(5);
+  priv::cuPrivLaunchKernel(k);
+  priv::cuPrivSync();
+  EXPECT_TRUE(rt_.device().idle());
+  priv::cuPrivMemFree(dev);
+}
+
+TEST_F(GpusimTest, PrivateFreeSynchronizes) {
+  void* dev = priv::cuPrivMemAlloc(64);
+  KernelDesc k;
+  k.name = "k";
+  k.duration = diog::ms(12);
+  (void)cudaLaunchKernel(k);
+  priv::cuPrivMemFree(dev);
+  EXPECT_GE(now(), diog::ms(12));
+}
+
+// --- Hook visibility of runtime internals -----------------------------------------
+
+TEST_F(GpusimTest, InternalWaitHookSeesImplicitSyncs) {
+  int wait_events = 0;
+  Duration total_wait{0};
+  Probe p;
+  p.on_exit = [&](const diog::hooks::HookContext& ctx) {
+    ++wait_events;
+    total_wait += ctx.info->sync_wait;
+  };
+  rt_.hooks().attach(Fn::kInternalWaitForStream, p);
+
+  KernelDesc k;
+  k.name = "k";
+  k.duration = diog::ms(10);
+  (void)cudaLaunchKernel(k);
+  void* dev = nullptr;
+  (void)cudaMalloc(&dev, 16);
+  (void)cudaFree(dev);  // implicit sync -> wait funnel fires
+  EXPECT_GE(wait_events, 1);
+  // The wait is the kernel's 10 ms minus the CPU time spent in the
+  // malloc/free driver calls before blocking.
+  EXPECT_GE(total_wait, diog::ms(9));
+}
+
+TEST_F(GpusimTest, ApiCallCountIncludesPrivate) {
+  const auto before = rt_.api_call_count();
+  void* dev = priv::cuPrivMemAlloc(16);
+  priv::cuPrivMemFree(dev);
+  (void)cudaDeviceSynchronize();
+  EXPECT_EQ(rt_.api_call_count(), before + 3);
+}
+
+TEST_F(GpusimTest, CpuDilationScalesCpuWork) {
+  rt_.set_cpu_dilation(3.0);
+  const Duration before = now();
+  cpu_work(diog::ms(10));
+  EXPECT_EQ(now() - before, diog::ms(30));
+  rt_.set_cpu_dilation(1.0);
+}
+
+TEST_F(GpusimTest, TimelineRecordsGroundTruth) {
+  KernelDesc k;
+  k.name = "my_kernel";
+  k.duration = diog::ms(2);
+  (void)cudaLaunchKernel(k);
+  (void)cudaDeviceSynchronize();
+  const auto& timeline = rt_.device().timeline();
+  ASSERT_FALSE(timeline.empty());
+  const GpuOp& op = timeline.back();
+  EXPECT_EQ(op.kind, GpuOp::Kind::kKernel);
+  EXPECT_EQ(op.name, "my_kernel");
+  EXPECT_EQ(op.end - op.start, diog::ms(2));
+  EXPECT_EQ(rt_.device().total_gpu_busy(), diog::ms(2));
+}
+
+// --- Probe mode -----------------------------------------------------------------------
+
+TEST(GpusimProbeMode, InfiniteWaitTripsWatchdog) {
+  Runtime rt;
+  rt.set_probe_mode(true);
+  RuntimeScope scope(rt);
+  KernelDesc never;
+  never.name = "never";
+  never.duration = diog::kInfiniteDuration;
+  (void)cudaLaunchKernel(never);
+  EXPECT_THROW((void)cudaDeviceSynchronize(), ProbeTimeout);
+}
+
+TEST(GpusimProbeMode, InfiniteWaitOutsideProbeModeIsABug) {
+  Runtime rt;
+  RuntimeScope scope(rt);
+  KernelDesc never;
+  never.name = "never";
+  never.duration = diog::kInfiniteDuration;
+  (void)cudaLaunchKernel(never);
+  EXPECT_THROW((void)cudaDeviceSynchronize(), diog::Error);
+}
+
+// --- Runtime scoping ---------------------------------------------------------------
+
+TEST(RuntimeScoping, NoCurrentRuntimeThrows) {
+  EXPECT_THROW(Runtime::current(), diog::Error);
+  EXPECT_EQ(Runtime::current_or_null(), nullptr);
+}
+
+TEST(RuntimeScoping, ScopeActivatesAndResetsClock) {
+  Runtime rt;
+  rt.clock().advance(diog::ms(5));
+  {
+    RuntimeScope scope(rt);
+    EXPECT_EQ(&Runtime::current(), &rt);
+    EXPECT_EQ(rt.clock().now().count(), 0);  // reset at activation
+  }
+  EXPECT_EQ(Runtime::current_or_null(), nullptr);
+}
+
+// --- Vendor-library veneers ----------------------------------------------------------
+
+TEST_F(GpusimTest, ThrustlikeTempStorageFreesPerCall) {
+  const auto allocs_before = rt_.memory().total_allocations_made();
+  thrustlike::reduce_into<float>(nullptr, 1000, nullptr);
+  thrustlike::reduce_into<float>(nullptr, 1000, nullptr);
+  // Two calls, two temporary allocations (each freed on exit).
+  EXPECT_EQ(rt_.memory().total_allocations_made(), allocs_before + 2);
+  EXPECT_TRUE(rt_.device().idle());  // the frees synchronized
+}
+
+TEST_F(GpusimTest, ThrustlikeTempPoolReuses) {
+  thrustlike::TempPool pool;
+  const auto allocs_before = rt_.memory().total_allocations_made();
+  thrustlike::reduce_into<float>(nullptr, 1000, nullptr, &pool);
+  thrustlike::reduce_into<float>(nullptr, 1000, nullptr, &pool);
+  thrustlike::reduce_into<float>(nullptr, 500, nullptr, &pool);
+  // One pool allocation serves all three calls.
+  EXPECT_EQ(rt_.memory().total_allocations_made(), allocs_before + 1);
+  (void)cudaDeviceSynchronize();
+}
+
+TEST_F(GpusimTest, BlaslikeUsesPrivateApi) {
+  int private_calls = 0;
+  Probe p;
+  p.on_entry = [&](const diog::hooks::HookContext&) { ++private_calls; };
+  for (std::size_t i = 0; i < diog::hooks::kFnCount; ++i) {
+    const Fn f = static_cast<Fn>(i);
+    if (diog::hooks::is_private_api(f)) rt_.hooks().attach(f, p);
+  }
+  blaslike::Handle h;
+  blaslike::cholesky_solve_batched(h, nullptr, nullptr, 4, 8);
+  blaslike::sync(h);
+  EXPECT_GE(private_calls, 4);  // alloc + 2 launches + free + sync
+}
+
+}  // namespace
+}  // namespace gpusim

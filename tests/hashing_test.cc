@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "hashing/content_hash.h"
+#include "hashing/dedup_store.h"
+#include "support/rng.h"
+
+namespace diog::hash {
+namespace {
+
+std::vector<std::byte> make_bytes(std::initializer_list<int> vals) {
+  std::vector<std::byte> out;
+  for (const int v : vals) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+std::vector<std::byte> random_bytes(Rng& rng, std::size_t n) {
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.next_below(256));
+  return out;
+}
+
+// --- fnv1a64 -------------------------------------------------------------------
+
+TEST(Fnv1a, KnownVectors) {
+  // Offset basis for empty input.
+  EXPECT_EQ(fnv1a64({}), 0xcbf29ce484222325ULL);
+  // "a" -> published FNV-1a 64 value.
+  const auto a = make_bytes({'a'});
+  EXPECT_EQ(fnv1a64(a), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Fnv1a, OrderSensitive) {
+  const auto ab = make_bytes({'a', 'b'});
+  const auto ba = make_bytes({'b', 'a'});
+  EXPECT_NE(fnv1a64(ab), fnv1a64(ba));
+}
+
+// --- hash64 ----------------------------------------------------------------------
+
+TEST(Hash64, DeterministicAcrossCalls) {
+  Rng rng(5);
+  const auto data = random_bytes(rng, 10000);
+  EXPECT_EQ(hash64(data), hash64(data));
+}
+
+TEST(Hash64, SeedChangesDigest) {
+  Rng rng(5);
+  const auto data = random_bytes(rng, 100);
+  EXPECT_NE(hash64(data, 0), hash64(data, 1));
+}
+
+TEST(Hash64, EmptyInputIsStable) {
+  EXPECT_EQ(hash64({}), hash64({}));
+}
+
+TEST(Hash64, SingleBitFlipChangesDigest) {
+  Rng rng(9);
+  auto data = random_bytes(rng, 4096);
+  const Digest before = hash64(data);
+  data[2048] ^= std::byte{1};
+  EXPECT_NE(hash64(data), before);
+}
+
+TEST(Hash64, LengthExtensionDistinct) {
+  const auto a = make_bytes({1, 2, 3});
+  const auto b = make_bytes({1, 2, 3, 0});
+  EXPECT_NE(hash64(a), hash64(b));
+}
+
+// Streaming must agree with one-shot regardless of chunk boundaries.
+class Hasher64ChunkTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Hasher64ChunkTest, StreamingMatchesOneShot) {
+  Rng rng(77);
+  const auto data = random_bytes(rng, 5000);
+  const Digest expected = hash64(data);
+
+  Hasher64 h;
+  const std::size_t chunk = GetParam();
+  for (std::size_t off = 0; off < data.size(); off += chunk) {
+    const std::size_t len = std::min(chunk, data.size() - off);
+    h.update(std::span<const std::byte>(data.data() + off, len));
+  }
+  EXPECT_EQ(h.digest(), expected);
+  EXPECT_EQ(h.bytes_consumed(), data.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, Hasher64ChunkTest,
+                         ::testing::Values(1, 3, 7, 31, 32, 33, 64, 100, 4096,
+                                           5000));
+
+TEST(Hasher64, DigestIsIdempotent) {
+  Hasher64 h;
+  const auto data = make_bytes({1, 2, 3, 4, 5});
+  h.update(data);
+  EXPECT_EQ(h.digest(), h.digest());
+}
+
+TEST(Hash64, ShortInputsAllDistinct) {
+  // Inputs below one 32-byte stripe exercise the tail path.
+  std::set<Digest> seen;
+  for (int len = 0; len < 32; ++len) {
+    std::vector<std::byte> data(static_cast<std::size_t>(len),
+                                std::byte{0xAB});
+    seen.insert(hash64(data));
+  }
+  EXPECT_EQ(seen.size(), 32u);
+}
+
+TEST(Hash64, CollisionFreeOverRandomCorpus) {
+  Rng rng(2024);
+  std::set<Digest> seen;
+  for (int i = 0; i < 2000; ++i) {
+    seen.insert(hash64(random_bytes(rng, 64)));
+  }
+  EXPECT_EQ(seen.size(), 2000u);
+}
+
+// --- DedupStore --------------------------------------------------------------------
+
+TEST(DedupStore, FirstObservationIsNotDuplicate) {
+  DedupStore store;
+  Rng rng(1);
+  const auto data = random_bytes(rng, 256);
+  EXPECT_FALSE(store.observe(data, TransferDirection::kHostToDevice, 10)
+                   .has_value());
+  EXPECT_EQ(store.unique_contents(), 1u);
+}
+
+TEST(DedupStore, RepeatIsDuplicateAndPointsAtFirst) {
+  DedupStore store;
+  Rng rng(1);
+  const auto data = random_bytes(rng, 256);
+  (void)store.observe(data, TransferDirection::kHostToDevice, 10);
+  const auto dup = store.observe(data, TransferDirection::kHostToDevice, 55);
+  ASSERT_TRUE(dup.has_value());
+  EXPECT_EQ(dup->first_event_id, 10u);
+  EXPECT_EQ(dup->bytes, 256u);
+  EXPECT_EQ(store.duplicate_count(), 1u);
+  EXPECT_EQ(store.duplicate_bytes(), 256u);
+}
+
+TEST(DedupStore, DirectionAgnostic) {
+  // Content moved H2D then D2H is the same content crossing the bus
+  // twice — the second move is a duplicate (paper: "data that has
+  // already been transferred between the CPU/GPU").
+  DedupStore store;
+  Rng rng(2);
+  const auto data = random_bytes(rng, 128);
+  (void)store.observe(data, TransferDirection::kHostToDevice, 1);
+  EXPECT_TRUE(store.observe(data, TransferDirection::kDeviceToHost, 2)
+                  .has_value());
+}
+
+TEST(DedupStore, DifferentContentNotDuplicate) {
+  DedupStore store;
+  Rng rng(3);
+  (void)store.observe(random_bytes(rng, 64),
+                      TransferDirection::kHostToDevice, 1);
+  EXPECT_FALSE(store.observe(random_bytes(rng, 64),
+                             TransferDirection::kHostToDevice, 2)
+                   .has_value());
+  EXPECT_EQ(store.unique_contents(), 2u);
+}
+
+TEST(DedupStore, SameBytesDifferentLengthNotDuplicate) {
+  DedupStore store;
+  const std::vector<std::byte> data(100, std::byte{7});
+  (void)store.observe(std::span(data.data(), 100),
+                      TransferDirection::kHostToDevice, 1);
+  EXPECT_FALSE(store.observe(std::span(data.data(), 99),
+                             TransferDirection::kHostToDevice, 2)
+                   .has_value());
+}
+
+TEST(DedupStore, ClearForgets) {
+  DedupStore store;
+  const auto data = make_bytes({1, 2, 3});
+  (void)store.observe(data, TransferDirection::kHostToDevice, 1);
+  store.clear();
+  EXPECT_EQ(store.unique_contents(), 0u);
+  EXPECT_FALSE(
+      store.observe(data, TransferDirection::kHostToDevice, 2).has_value());
+}
+
+// Property: the store's verdicts must agree with an exact byte-compare
+// oracle over a randomized workload of repeated/fresh buffers.
+class DedupOracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DedupOracleTest, MatchesByteCompareOracle) {
+  Rng rng(GetParam());
+  DedupStore store(DedupStore::Mode::kVerifyBytes);
+  std::vector<std::vector<std::byte>> corpus;
+
+  for (int i = 0; i < 300; ++i) {
+    std::vector<std::byte> data;
+    if (!corpus.empty() && rng.next_bool(0.4)) {
+      data = corpus[rng.next_below(corpus.size())];  // resend old content
+    } else {
+      data = random_bytes(rng, 1 + rng.next_below(200));
+    }
+
+    bool oracle_dup = false;
+    for (const auto& prev : corpus) {
+      if (prev == data) {
+        oracle_dup = true;
+        break;
+      }
+    }
+    const bool store_dup =
+        store
+            .observe(data, TransferDirection::kHostToDevice,
+                     static_cast<std::uint64_t>(i))
+            .has_value();
+    EXPECT_EQ(store_dup, oracle_dup) << "iteration " << i;
+    corpus.push_back(std::move(data));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DedupOracleTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(DedupStore, TransferDirectionNames) {
+  EXPECT_STREQ(to_string(TransferDirection::kHostToDevice), "HtoD");
+  EXPECT_STREQ(to_string(TransferDirection::kDeviceToHost), "DtoH");
+  EXPECT_STREQ(to_string(TransferDirection::kDeviceToDevice), "DtoD");
+}
+
+}  // namespace
+}  // namespace diog::hash

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hooks/hook_table.h"
+
+namespace diog::hooks {
+namespace {
+
+TEST(FnClassification, PublicPrivateInternalPartition) {
+  int pub = 0, priv = 0, internal = 0;
+  for (std::size_t i = 0; i < kFnCount; ++i) {
+    const Fn f = static_cast<Fn>(i);
+    const int classes = static_cast<int>(is_public_api(f)) +
+                        static_cast<int>(is_private_api(f)) +
+                        static_cast<int>(is_internal(f));
+    EXPECT_EQ(classes, 1) << fn_name(f);
+    pub += is_public_api(f);
+    priv += is_private_api(f);
+    internal += is_internal(f);
+  }
+  EXPECT_GT(pub, 15);
+  EXPECT_EQ(priv, 6);
+  EXPECT_EQ(internal, 5);
+}
+
+TEST(FnClassification, Names) {
+  EXPECT_EQ(fn_name(Fn::kCudaFree), "cudaFree");
+  EXPECT_EQ(fn_name(Fn::kCudaDeviceSynchronize), "cudaDeviceSynchronize");
+  EXPECT_EQ(fn_name(Fn::kPrivMemFree), "cuPrivMemFree");
+  EXPECT_EQ(fn_name(Fn::kInternalWaitForStream),
+            "nv_internal_wait_for_stream");
+}
+
+TEST(FnClassification, DocumentedTransferFns) {
+  EXPECT_TRUE(is_documented_transfer_fn(Fn::kCudaMemcpy));
+  EXPECT_TRUE(is_documented_transfer_fn(Fn::kCudaMemcpyAsync));
+  EXPECT_TRUE(is_documented_transfer_fn(Fn::kCudaMemset));
+  EXPECT_TRUE(is_documented_transfer_fn(Fn::kPrivMemcpyDtoH));
+  EXPECT_FALSE(is_documented_transfer_fn(Fn::kCudaMalloc));
+  EXPECT_FALSE(is_documented_transfer_fn(Fn::kCudaLaunchKernel));
+}
+
+TEST(FnClassification, ExplicitSyncFns) {
+  EXPECT_TRUE(is_explicit_sync_fn(Fn::kCudaDeviceSynchronize));
+  EXPECT_TRUE(is_explicit_sync_fn(Fn::kCudaThreadSynchronize));
+  EXPECT_TRUE(is_explicit_sync_fn(Fn::kCudaStreamSynchronize));
+  EXPECT_TRUE(is_explicit_sync_fn(Fn::kCudaEventSynchronize));
+  // The paper's central point: these synchronize but are NOT explicit
+  // sync functions, so CUPTI produces no sync records for them.
+  EXPECT_FALSE(is_explicit_sync_fn(Fn::kCudaMemcpy));
+  EXPECT_FALSE(is_explicit_sync_fn(Fn::kCudaFree));
+  EXPECT_FALSE(is_explicit_sync_fn(Fn::kPrivSync));
+}
+
+TEST(HookTable, EntryAndExitFireWithTimes) {
+  HookTable table;
+  VirtualClock clock;
+  clock.advance(ms(1));
+
+  std::vector<std::string> log;
+  Probe p;
+  p.on_entry = [&](const HookContext& ctx) {
+    EXPECT_EQ(ctx.fn, Fn::kCudaFree);
+    EXPECT_EQ(ctx.entry_time, ms(1));
+    log.push_back("entry");
+  };
+  p.on_exit = [&](const HookContext& ctx) {
+    EXPECT_EQ(ctx.exit_time, ms(3));
+    EXPECT_EQ(ctx.duration(), ms(2));
+    log.push_back("exit");
+  };
+  table.attach(Fn::kCudaFree, p);
+
+  OpInfo info;
+  const auto id = table.fire_entry(Fn::kCudaFree, info, clock, 1, false);
+  clock.advance(ms(2));
+  table.fire_exit(Fn::kCudaFree, id, TimePoint{ms(1)}, info, clock, 1, false);
+  EXPECT_EQ(log, (std::vector<std::string>{"entry", "exit"}));
+}
+
+TEST(HookTable, UnattachedFnFiresNothing) {
+  HookTable table;
+  VirtualClock clock;
+  OpInfo info;
+  EXPECT_NO_THROW(table.fire_entry(Fn::kCudaMalloc, info, clock, 1, false));
+}
+
+TEST(HookTable, EventIdsMonotonic) {
+  HookTable table;
+  VirtualClock clock;
+  OpInfo info;
+  const auto a = table.fire_entry(Fn::kCudaMalloc, info, clock, 1, false);
+  const auto b = table.fire_entry(Fn::kCudaFree, info, clock, 1, false);
+  EXPECT_LT(a, b);
+}
+
+TEST(HookTable, ProbeCostsAdvanceClock) {
+  HookTable table;
+  VirtualClock clock;
+  Probe p;
+  p.entry_cost = us(5);
+  p.exit_cost = us(7);
+  p.on_entry = [](const HookContext&) {};
+  p.on_exit = [](const HookContext&) {};
+  table.attach(Fn::kCudaMemcpy, p);
+
+  OpInfo info;
+  const auto id = table.fire_entry(Fn::kCudaMemcpy, info, clock, 1, false);
+  EXPECT_EQ(clock.now(), us(5));
+  table.fire_exit(Fn::kCudaMemcpy, id, TimePoint{0}, info, clock, 1, false);
+  EXPECT_EQ(clock.now(), us(12));
+}
+
+TEST(HookTable, CostNotChargedWithoutCallback) {
+  HookTable table;
+  VirtualClock clock;
+  Probe p;
+  p.entry_cost = us(5);  // no on_entry callback
+  p.on_exit = [](const HookContext&) {};
+  table.attach(Fn::kCudaMemcpy, p);
+  OpInfo info;
+  (void)table.fire_entry(Fn::kCudaMemcpy, info, clock, 1, false);
+  EXPECT_EQ(clock.now().count(), 0);
+}
+
+TEST(HookTable, MultipleProbesFireInAttachOrder) {
+  HookTable table;
+  VirtualClock clock;
+  std::vector<int> order;
+  Probe p1, p2;
+  p1.on_exit = [&](const HookContext&) { order.push_back(1); };
+  p2.on_exit = [&](const HookContext&) { order.push_back(2); };
+  table.attach(Fn::kCudaFree, p1);
+  table.attach(Fn::kCudaFree, p2);
+  OpInfo info;
+  table.fire_exit(Fn::kCudaFree, 0, TimePoint{0}, info, clock, 1, false);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(HookTable, DetachStopsFiring) {
+  HookTable table;
+  VirtualClock clock;
+  int fired = 0;
+  Probe p;
+  p.on_entry = [&](const HookContext&) { ++fired; };
+  const ProbeId id = table.attach(Fn::kCudaFree, p);
+  OpInfo info;
+  (void)table.fire_entry(Fn::kCudaFree, info, clock, 1, false);
+  table.detach(id);
+  (void)table.fire_entry(Fn::kCudaFree, info, clock, 1, false);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(table.any_attached(Fn::kCudaFree));
+}
+
+TEST(HookTable, AttachMatchingCoversPredicate) {
+  HookTable table;
+  const auto ids = table.attach_matching(
+      [](Fn f) { return is_internal(f); }, Probe{});
+  EXPECT_EQ(ids.size(), 5u);
+  EXPECT_TRUE(table.any_attached(Fn::kInternalWaitForStream));
+  EXPECT_TRUE(table.any_attached(Fn::kInternalFencePoll));
+  EXPECT_FALSE(table.any_attached(Fn::kCudaMalloc));
+}
+
+TEST(HookTable, DetachAll) {
+  HookTable table;
+  (void)table.attach_matching([](Fn) { return true; }, Probe{});
+  EXPECT_EQ(table.probe_count(), kFnCount);
+  table.detach_all();
+  EXPECT_EQ(table.probe_count(), 0u);
+}
+
+TEST(HookTable, ContextCarriesDepthAndLibraryFlag) {
+  HookTable table;
+  VirtualClock clock;
+  int depth_seen = 0;
+  bool lib_seen = false;
+  Probe p;
+  p.on_entry = [&](const HookContext& ctx) {
+    depth_seen = ctx.dispatch_depth;
+    lib_seen = ctx.from_vendor_library;
+  };
+  table.attach(Fn::kPrivSync, p);
+  OpInfo info;
+  (void)table.fire_entry(Fn::kPrivSync, info, clock, 3, true);
+  EXPECT_EQ(depth_seen, 3);
+  EXPECT_TRUE(lib_seen);
+}
+
+}  // namespace
+}  // namespace diog::hooks

@@ -1,0 +1,116 @@
+// Property tests for the JSON layer: random document round trips, and
+// robustness of the parser against mutated/garbage input (it must throw
+// diog::Error, never crash or accept trailing garbage).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "json/json.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace diog::json {
+namespace {
+
+Value random_value(Rng& rng, int depth) {
+  const int kind = static_cast<int>(rng.next_below(depth <= 0 ? 5 : 7));
+  switch (kind) {
+    case 0: return Value(nullptr);
+    case 1: return Value(rng.next_bool());
+    case 2: return Value(rng.next_in(-1'000'000'000, 1'000'000'000));
+    case 3: {
+      // Doubles that survive %.17g round trips.
+      return Value(static_cast<double>(rng.next_in(-1000000, 1000000)) /
+                   64.0);
+    }
+    case 4: {
+      std::string s;
+      const std::size_t len = rng.next_below(20);
+      for (std::size_t i = 0; i < len; ++i) {
+        // Mix printable ASCII with characters needing escapes.
+        static constexpr char kChars[] =
+            "abcXYZ 0123\"\\\n\t/{}[]:,\x01\x1f";
+        s += kChars[rng.next_below(sizeof(kChars) - 1)];
+      }
+      return Value(std::move(s));
+    }
+    case 5: {
+      Array a;
+      const std::size_t n = rng.next_below(6);
+      for (std::size_t i = 0; i < n; ++i) {
+        a.push_back(random_value(rng, depth - 1));
+      }
+      return Value(std::move(a));
+    }
+    default: {
+      Object o;
+      const std::size_t n = rng.next_below(6);
+      for (std::size_t i = 0; i < n; ++i) {
+        o["k" + std::to_string(rng.next_below(50))] =
+            random_value(rng, depth - 1);
+      }
+      return Value(std::move(o));
+    }
+  }
+}
+
+class JsonPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JsonPropertyTest, RandomDocumentsRoundTrip) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 60; ++i) {
+    const Value v = random_value(rng, 4);
+    EXPECT_EQ(parse(v.dump()), v);
+    EXPECT_EQ(parse(v.dump_pretty()), v);
+    // Dump of a parse is a fixed point.
+    EXPECT_EQ(parse(v.dump()).dump(), v.dump());
+  }
+}
+
+TEST_P(JsonPropertyTest, MutatedDocumentsNeverCrash) {
+  Rng rng(GetParam() ^ 0xF00D);
+  for (int i = 0; i < 120; ++i) {
+    std::string text = random_value(rng, 3).dump();
+    // Apply 1-3 random mutations: deletions, flips, insertions.
+    const int mutations = 1 + static_cast<int>(rng.next_below(3));
+    for (int m = 0; m < mutations && !text.empty(); ++m) {
+      const std::size_t pos = rng.next_below(text.size());
+      switch (rng.next_below(3)) {
+        case 0: text.erase(pos, 1); break;
+        case 1:
+          text[pos] = static_cast<char>(rng.next_below(128));
+          break;
+        default:
+          text.insert(pos, 1, static_cast<char>(rng.next_below(128)));
+          break;
+      }
+    }
+    // Either parses to something or throws Error — no crashes, no
+    // other exception types.
+    try {
+      (void)parse(text);
+    } catch (const Error&) {
+      // expected for malformed input
+    }
+  }
+}
+
+TEST_P(JsonPropertyTest, GarbageNeverAccepted) {
+  Rng rng(GetParam() + 99);
+  for (int i = 0; i < 60; ++i) {
+    std::string garbage;
+    const std::size_t len = 1 + rng.next_below(40);
+    for (std::size_t j = 0; j < len; ++j) {
+      // Exclude characters that could begin a valid scalar document.
+      static constexpr char kNoise[] = "xyzq@#$%^&*()<>;=_|~`";
+      garbage += kNoise[rng.next_below(sizeof(kNoise) - 1)];
+    }
+    EXPECT_THROW((void)parse(garbage), Error) << garbage;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+}  // namespace
+}  // namespace diog::json

@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "json/json.h"
+#include "support/error.h"
+
+namespace diog::json {
+namespace {
+
+// --- Value construction & accessors ------------------------------------------
+
+TEST(JsonValue, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+}
+
+TEST(JsonValue, BoolRoundTrip) {
+  Value v(true);
+  EXPECT_TRUE(v.is_bool());
+  EXPECT_TRUE(v.as_bool());
+  EXPECT_FALSE(Value(false).as_bool());
+}
+
+TEST(JsonValue, IntRoundTrip) {
+  Value v(std::int64_t{-42});
+  EXPECT_TRUE(v.is_int());
+  EXPECT_TRUE(v.is_number());
+  EXPECT_EQ(v.as_int(), -42);
+}
+
+TEST(JsonValue, DoubleRoundTrip) {
+  Value v(3.5);
+  EXPECT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.as_double(), 3.5);
+}
+
+TEST(JsonValue, IntAccessibleAsDouble) {
+  EXPECT_DOUBLE_EQ(Value(7).as_double(), 7.0);
+}
+
+TEST(JsonValue, StringRoundTrip) {
+  Value v("hello");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.as_string(), "hello");
+}
+
+TEST(JsonValue, TypeMismatchThrows) {
+  Value v("text");
+  EXPECT_THROW((void)v.as_int(), Error);
+  EXPECT_THROW((void)v.as_bool(), Error);
+  EXPECT_THROW((void)v.as_array(), Error);
+  EXPECT_THROW((void)Value(1).as_string(), Error);
+}
+
+TEST(JsonValue, ObjectSubscriptCreates) {
+  Value v;
+  v["a"] = 1;
+  v["b"]["nested"] = "x";
+  EXPECT_EQ(v.at("a").as_int(), 1);
+  EXPECT_EQ(v.at("b").at("nested").as_string(), "x");
+}
+
+TEST(JsonValue, ObjectMissingKeyThrows) {
+  Value v;
+  v["a"] = 1;
+  EXPECT_THROW((void)v.at("zz"), Error);
+}
+
+TEST(JsonValue, Contains) {
+  Value v;
+  v["k"] = nullptr;
+  EXPECT_TRUE(v.contains("k"));
+  EXPECT_FALSE(v.contains("other"));
+  EXPECT_FALSE(Value(3).contains("k"));
+}
+
+TEST(JsonValue, ArrayIndexing) {
+  Value v(Array{Value(1), Value(2), Value(3)});
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.at(std::size_t{1}).as_int(), 2);
+  EXPECT_THROW((void)v.at(std::size_t{3}), Error);
+}
+
+TEST(JsonValue, Equality) {
+  Value a(Array{Value(1), Value("x")});
+  Value b(Array{Value(1), Value("x")});
+  EXPECT_EQ(a, b);
+  Value c(Array{Value(1)});
+  EXPECT_FALSE(a == c);
+}
+
+// --- Serialization --------------------------------------------------------------
+
+TEST(JsonDump, Scalars) {
+  EXPECT_EQ(Value().dump(), "null");
+  EXPECT_EQ(Value(true).dump(), "true");
+  EXPECT_EQ(Value(false).dump(), "false");
+  EXPECT_EQ(Value(42).dump(), "42");
+  EXPECT_EQ(Value(-1).dump(), "-1");
+  EXPECT_EQ(Value("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonDump, StringEscapes) {
+  EXPECT_EQ(Value("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Value("line\nbreak").dump(), "\"line\\nbreak\"");
+  EXPECT_EQ(Value("tab\there").dump(), "\"tab\\there\"");
+  EXPECT_EQ(Value("back\\slash").dump(), "\"back\\\\slash\"");
+  EXPECT_EQ(Value(std::string("\x01")).dump(), "\"\\u0001\"");
+}
+
+TEST(JsonDump, EmptyContainers) {
+  EXPECT_EQ(Value(Array{}).dump(), "[]");
+  EXPECT_EQ(Value(Object{}).dump(), "{}");
+}
+
+TEST(JsonDump, ObjectKeysSorted) {
+  Value v;
+  v["zebra"] = 1;
+  v["apple"] = 2;
+  EXPECT_EQ(v.dump(), "{\"apple\":2,\"zebra\":1}");
+}
+
+TEST(JsonDump, PrettyIndents) {
+  Value v;
+  v["a"] = Value(Array{Value(1)});
+  EXPECT_EQ(v.dump_pretty(), "{\n  \"a\": [\n    1\n  ]\n}");
+}
+
+TEST(JsonDump, DoubleStaysPrecise) {
+  const double x = 0.1084;
+  const Value parsed = parse(Value(x).dump());
+  EXPECT_DOUBLE_EQ(parsed.as_double(), x);
+}
+
+// --- Parser -----------------------------------------------------------------------
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_EQ(parse("123").as_int(), 123);
+  EXPECT_EQ(parse("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(parse("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(parse("1e3").as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse("-1.5E-2").as_double(), -0.015);
+  EXPECT_EQ(parse("\"str\"").as_string(), "str");
+}
+
+TEST(JsonParse, IntegerStaysInt) {
+  EXPECT_TRUE(parse("9007199254740993").is_int());  // > 2^53
+  EXPECT_EQ(parse("9007199254740993").as_int(), 9007199254740993LL);
+}
+
+TEST(JsonParse, HugeIntegerFallsBackToDouble) {
+  EXPECT_TRUE(parse("99999999999999999999999999").is_double());
+}
+
+TEST(JsonParse, WhitespaceTolerated) {
+  const Value v = parse("  {\n\t\"a\" :  [ 1 , 2 ]\r\n}  ");
+  EXPECT_EQ(v.at("a").at(std::size_t{1}).as_int(), 2);
+}
+
+TEST(JsonParse, NestedStructures) {
+  const Value v = parse(R"({"a":{"b":[{"c":1},{"c":2}]},"d":null})");
+  EXPECT_EQ(v.at("a").at("b").at(std::size_t{1}).at("c").as_int(), 2);
+  EXPECT_TRUE(v.at("d").is_null());
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b")").as_string(), "a\"b");
+  EXPECT_EQ(parse(R"("a\\b")").as_string(), "a\\b");
+  EXPECT_EQ(parse(R"("a\/b")").as_string(), "a/b");
+  EXPECT_EQ(parse(R"("a\nb")").as_string(), "a\nb");
+  EXPECT_EQ(parse(R"("aAb")").as_string(), "aAb");
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  EXPECT_EQ(parse(R"("é")").as_string(), "\xc3\xa9");       // é
+  EXPECT_EQ(parse(R"("中")").as_string(), "\xe4\xb8\xad");   // 中
+  // Surrogate pair: U+1F600
+  EXPECT_EQ(parse(R"("😀")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, UnpairedSurrogateRejected) {
+  EXPECT_THROW(parse(R"("\ud83d")"), Error);
+  EXPECT_THROW(parse(R"("\ude00")"), Error);
+}
+
+TEST(JsonParse, MalformedInputsRejected) {
+  EXPECT_THROW(parse(""), Error);
+  EXPECT_THROW(parse("{"), Error);
+  EXPECT_THROW(parse("[1,2"), Error);
+  EXPECT_THROW(parse("[1,]"), Error);
+  EXPECT_THROW(parse("{\"a\":}"), Error);
+  EXPECT_THROW(parse("{\"a\" 1}"), Error);
+  EXPECT_THROW(parse("{a:1}"), Error);
+  EXPECT_THROW(parse("tru"), Error);
+  EXPECT_THROW(parse("nul"), Error);
+  EXPECT_THROW(parse("01x"), Error);
+  EXPECT_THROW(parse("1."), Error);
+  EXPECT_THROW(parse("1e"), Error);
+  EXPECT_THROW(parse("-"), Error);
+  EXPECT_THROW(parse("\"unterminated"), Error);
+  EXPECT_THROW(parse("\"bad\\q\""), Error);
+}
+
+TEST(JsonParse, TrailingGarbageRejected) {
+  EXPECT_THROW(parse("1 2"), Error);
+  EXPECT_THROW(parse("{} extra"), Error);
+  EXPECT_NO_THROW(parse("{}   \n"));
+}
+
+TEST(JsonParse, ControlCharacterInStringRejected) {
+  EXPECT_THROW(parse("\"a\nb\""), Error);
+}
+
+TEST(JsonParse, ErrorMessageCarriesLineAndColumn) {
+  try {
+    parse("{\n  \"a\": bad\n}");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("2:"), std::string::npos);
+  }
+}
+
+TEST(JsonRoundTrip, ComplexDocument) {
+  Value v;
+  v["name"] = "diogenes";
+  v["version"] = 1;
+  v["pi"] = 3.14159;
+  v["flags"] = Value(Array{Value(true), Value(false), Value(nullptr)});
+  Value inner;
+  inner["deep"] = Value(Array{Value("x"), Value(Object{})});
+  v["inner"] = inner;
+
+  EXPECT_EQ(parse(v.dump()), v);
+  EXPECT_EQ(parse(v.dump_pretty()), v);
+}
+
+TEST(JsonRoundTrip, DumpIsStable) {
+  Value v;
+  v["b"] = 2;
+  v["a"] = 1;
+  const std::string once = v.dump_pretty();
+  EXPECT_EQ(parse(once).dump_pretty(), once);
+}
+
+// --- File I/O -----------------------------------------------------------------------
+
+TEST(JsonFile, SaveAndLoad) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "diog_json_test.json")
+          .string();
+  Value v;
+  v["stage"] = 3;
+  v["items"] = Value(Array{Value(1), Value(2)});
+  save_file(path, v);
+  EXPECT_EQ(load_file(path), v);
+  std::remove(path.c_str());
+}
+
+TEST(JsonFile, MissingFileThrows) {
+  EXPECT_THROW(load_file("/nonexistent/dir/x.json"), Error);
+}
+
+}  // namespace
+}  // namespace diog::json

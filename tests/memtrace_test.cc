@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "memtrace/page_tracer.h"
+#include "support/error.h"
+
+namespace diog::memtrace {
+namespace {
+
+// Page-aligned scratch buffer for protection tests.
+struct AlignedBuf {
+  explicit AlignedBuf(std::size_t pages = 1) {
+    const auto ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+    size = ps * pages;
+    ptr = static_cast<volatile char*>(std::aligned_alloc(ps, size));
+    std::memset(const_cast<char*>(ptr), 0, size);
+  }
+  ~AlignedBuf() { std::free(const_cast<char*>(ptr)); }
+  volatile char* ptr;
+  std::size_t size;
+};
+
+class PageTracerTest : public ::testing::Test {
+ protected:
+  PageTracerTest() : tracer_(PageTracer::instance()) {
+    if (tracer_.armed()) tracer_.disarm();
+    tracer_.unregister_all();
+    tracer_.clear_accesses();
+  }
+  ~PageTracerTest() override {
+    if (tracer_.armed()) tracer_.disarm();
+    tracer_.unregister_all();
+    tracer_.clear_accesses();
+  }
+  PageTracer& tracer_;
+};
+
+TEST_F(PageTracerTest, FirstReadIsRecordedAndExecutionContinues) {
+  AlignedBuf buf;
+  const_cast<char*>(buf.ptr)[10] = 42;
+  tracer_.register_range(const_cast<char*>(buf.ptr), buf.size, 777);
+  tracer_.arm();
+  const char v = buf.ptr[10];  // faults, records, retries
+  tracer_.disarm();
+  EXPECT_EQ(v, 42);
+  ASSERT_EQ(tracer_.accesses().size(), 1u);
+  const AccessRecord& rec = tracer_.accesses()[0];
+  EXPECT_EQ(rec.user_tag, 777u);
+  EXPECT_EQ(rec.fault_address, buf.ptr + 10);
+#if defined(__x86_64__)
+  EXPECT_FALSE(rec.is_write);
+  EXPECT_NE(rec.instruction_pointer, 0u);
+#endif
+}
+
+TEST_F(PageTracerTest, FirstWriteIsRecordedAsWrite) {
+  AlignedBuf buf;
+  tracer_.register_range(const_cast<char*>(buf.ptr), buf.size, 1);
+  tracer_.arm();
+  const_cast<char*>(buf.ptr)[5] = 9;
+  tracer_.disarm();
+  ASSERT_EQ(tracer_.accesses().size(), 1u);
+#if defined(__x86_64__)
+  EXPECT_TRUE(tracer_.accesses()[0].is_write);
+#endif
+  EXPECT_EQ(const_cast<char*>(buf.ptr)[5], 9);
+}
+
+TEST_F(PageTracerTest, OnlyFirstAccessPerArmRecorded) {
+  AlignedBuf buf;
+  tracer_.register_range(const_cast<char*>(buf.ptr), buf.size, 1);
+  tracer_.arm();
+  (void)buf.ptr[0];
+  (void)buf.ptr[1];
+  const_cast<char*>(buf.ptr)[2] = 1;
+  tracer_.disarm();
+  EXPECT_EQ(tracer_.accesses().size(), 1u);
+}
+
+TEST_F(PageTracerTest, RearmCatchesNextAccess) {
+  AlignedBuf buf;
+  const RangeId id =
+      tracer_.register_range(const_cast<char*>(buf.ptr), buf.size, 1);
+  tracer_.arm();
+  (void)buf.ptr[0];
+  tracer_.disarm();
+  tracer_.arm();
+  (void)buf.ptr[0];
+  tracer_.disarm();
+  EXPECT_EQ(tracer_.accesses().size(), 2u);
+  EXPECT_EQ(tracer_.accesses()[0].range, id);
+  EXPECT_EQ(tracer_.accesses()[1].range, id);
+}
+
+TEST_F(PageTracerTest, MultipleRangesRecordIndependently) {
+  AlignedBuf a, b;
+  const RangeId ra =
+      tracer_.register_range(const_cast<char*>(a.ptr), a.size, 100);
+  const RangeId rb =
+      tracer_.register_range(const_cast<char*>(b.ptr), b.size, 200);
+  tracer_.arm();
+  (void)b.ptr[0];
+  (void)a.ptr[0];
+  tracer_.disarm();
+  ASSERT_EQ(tracer_.accesses().size(), 2u);
+  EXPECT_EQ(tracer_.accesses()[0].range, rb);
+  EXPECT_EQ(tracer_.accesses()[0].user_tag, 200u);
+  EXPECT_EQ(tracer_.accesses()[1].range, ra);
+  (void)rb;
+}
+
+TEST_F(PageTracerTest, UnprotectedRangeNotRecorded) {
+  AlignedBuf a, b;
+  tracer_.register_range(const_cast<char*>(a.ptr), a.size, 1);
+  tracer_.arm();
+  (void)b.ptr[0];  // not registered: no fault, no record
+  tracer_.disarm();
+  EXPECT_TRUE(tracer_.accesses().empty());
+}
+
+TEST_F(PageTracerTest, AccessTimestampIsVirtualTime) {
+  AlignedBuf buf;
+  VirtualClock clock;
+  clock.advance(ms(123));
+  tracer_.register_range(const_cast<char*>(buf.ptr), buf.size, 1);
+  tracer_.arm();
+  (void)buf.ptr[0];
+  tracer_.disarm();
+  ASSERT_EQ(tracer_.accesses().size(), 1u);
+  EXPECT_EQ(tracer_.accesses()[0].time, ms(123));
+}
+
+TEST_F(PageTracerTest, StackCapturedInHandler) {
+  AlignedBuf buf;
+  tracer_.register_range(const_cast<char*>(buf.ptr), buf.size, 1);
+  tracer_.arm();
+  {
+    DIOG_APP_FRAME("consume_gpu_data", "app.cc", 99);
+    (void)buf.ptr[0];
+  }
+  tracer_.disarm();
+  ASSERT_EQ(tracer_.accesses().size(), 1u);
+  const trace::StackTrace st = tracer_.accesses()[0].stack();
+  ASSERT_GE(st.depth(), 1u);
+  EXPECT_EQ(st.leaf()->function, "consume_gpu_data");
+  EXPECT_EQ(st.leaf()->line, 99);
+}
+
+TEST_F(PageTracerTest, UnregisterRemovesCoverage) {
+  AlignedBuf buf;
+  const RangeId id =
+      tracer_.register_range(const_cast<char*>(buf.ptr), buf.size, 1);
+  EXPECT_TRUE(tracer_.covers(const_cast<char*>(buf.ptr)));
+  tracer_.unregister_range(id);
+  EXPECT_FALSE(tracer_.covers(const_cast<char*>(buf.ptr)));
+  EXPECT_EQ(tracer_.range_count(), 0u);
+}
+
+TEST_F(PageTracerTest, MutationWhileArmedIsRejected) {
+  AlignedBuf buf;
+  tracer_.register_range(const_cast<char*>(buf.ptr), buf.size, 1);
+  tracer_.arm();
+  EXPECT_THROW(
+      tracer_.register_range(const_cast<char*>(buf.ptr), buf.size, 2),
+      Error);
+  EXPECT_THROW(tracer_.unregister_all(), Error);
+  EXPECT_THROW(tracer_.arm(), Error);
+  EXPECT_THROW(tracer_.clear_accesses(), Error);
+  tracer_.disarm();
+}
+
+TEST_F(PageTracerTest, InvalidRegistrationRejected) {
+  EXPECT_THROW(tracer_.register_range(nullptr, 100, 1), Error);
+  AlignedBuf buf;
+  EXPECT_THROW(
+      tracer_.register_range(const_cast<char*>(buf.ptr), 0, 1), Error);
+}
+
+TEST_F(PageTracerTest, MultiPageRangeSingleRecord) {
+  AlignedBuf buf(4);
+  tracer_.register_range(const_cast<char*>(buf.ptr), buf.size, 1);
+  tracer_.arm();
+  // Touch the last page first: one record, whole range unprotected.
+  (void)buf.ptr[buf.size - 1];
+  (void)buf.ptr[0];
+  tracer_.disarm();
+  EXPECT_EQ(tracer_.accesses().size(), 1u);
+  EXPECT_EQ(tracer_.accesses()[0].fault_address, buf.ptr + buf.size - 1);
+}
+
+}  // namespace
+}  // namespace diog::memtrace

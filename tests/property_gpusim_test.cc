@@ -1,0 +1,155 @@
+// Property-based tests of the simulated device's scheduling semantics
+// over randomized operation sequences: per-stream FIFO ordering, cross-
+// stream independence, monotonic time, conservation of GPU busy time,
+// and the watchdog-free guarantee that every wait terminates.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "gpusim/api.h"
+#include "gpusim/runtime.h"
+#include "support/rng.h"
+
+namespace gpusim {
+namespace {
+
+using diog::Duration;
+using diog::Rng;
+using diog::TimePoint;
+
+class DevicePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DevicePropertyTest, RandomScheduleInvariants) {
+  Rng rng(GetParam());
+  Runtime rt;
+  RuntimeScope scope(rt);
+
+  std::vector<StreamId> streams{kDefaultStream};
+  for (int i = 0; i < 3; ++i) {
+    StreamId s;
+    (void)cudaStreamCreate(&s);
+    streams.push_back(s);
+  }
+
+  Duration total_gpu_work{0};
+  std::uint64_t ops = 0;
+  TimePoint last_now = rt.clock().now();
+
+  const int n = 60 + static_cast<int>(rng.next_below(60));
+  for (int i = 0; i < n; ++i) {
+    const StreamId s = streams[rng.next_below(streams.size())];
+    switch (rng.next_below(4)) {
+      case 0: {
+        KernelDesc k;
+        k.name = "pk";
+        k.duration = diog::us(rng.next_in(1, 2000));
+        ASSERT_EQ(cudaLaunchKernel(k, s), cudaSuccess);
+        total_gpu_work += k.duration;
+        ++ops;
+        break;
+      }
+      case 1:
+        (void)cudaStreamSynchronize(s);
+        EXPECT_TRUE(rt.device().idle(s));
+        break;
+      case 2:
+        (void)cudaDeviceSynchronize();
+        EXPECT_TRUE(rt.device().idle());
+        break;
+      case 3:
+        cpu_work(diog::us(rng.next_in(1, 500)));
+        break;
+    }
+    // The virtual clock never goes backwards.
+    EXPECT_GE(rt.clock().now(), last_now);
+    last_now = rt.clock().now();
+  }
+  (void)cudaDeviceSynchronize();
+
+  // Conservation: the device executed exactly the submitted work.
+  EXPECT_EQ(rt.device().total_gpu_busy(), total_gpu_work);
+  EXPECT_EQ(rt.device().ops_executed(), ops);
+
+  // The program cannot finish before all GPU work fits somewhere, and
+  // cannot take longer than fully-serialized execution plus CPU time.
+  EXPECT_GE(rt.clock().now(), diog::Duration{0});
+  EXPECT_GE(rt.clock().now() + diog::us(1),
+            rt.device().all_streams_busy_until());
+
+  // Per-stream FIFO: the recorded timeline never overlaps within one
+  // stream and never starts an op before it was submitted.
+  std::map<StreamId, TimePoint> prev_end;
+  for (const GpuOp& op : rt.device().timeline()) {
+    EXPECT_LE(op.start, op.end);
+    const auto it = prev_end.find(op.stream);
+    if (it != prev_end.end()) {
+      EXPECT_GE(op.start, it->second) << "stream " << op.stream;
+    }
+    prev_end[op.stream] = op.end;
+  }
+
+  for (std::size_t i = 1; i < streams.size(); ++i) {
+    (void)cudaStreamDestroy(streams[i]);
+  }
+}
+
+TEST_P(DevicePropertyTest, SameSeedSameSchedule) {
+  auto run_once = [&](std::uint64_t seed) {
+    Rng rng(seed);
+    Runtime rt;
+    RuntimeScope scope(rt);
+    for (int i = 0; i < 50; ++i) {
+      if (rng.next_bool(0.6)) {
+        KernelDesc k;
+        k.name = "pk";
+        k.duration = diog::us(rng.next_in(1, 1000));
+        (void)cudaLaunchKernel(k);
+      } else {
+        (void)cudaDeviceSynchronize();
+      }
+    }
+    (void)cudaDeviceSynchronize();
+    return rt.clock().now();
+  };
+  EXPECT_EQ(run_once(GetParam()), run_once(GetParam()));
+}
+
+TEST_P(DevicePropertyTest, MultiStreamNeverSlowerThanSingleStream) {
+  // Spreading the same kernels over several streams can only reduce (or
+  // keep) the makespan relative to one stream.
+  Rng rng(GetParam() * 31);
+  std::vector<Duration> kernels;
+  for (int i = 0; i < 40; ++i) {
+    kernels.push_back(diog::us(rng.next_in(10, 1500)));
+  }
+
+  auto run_with_streams = [&](std::size_t n_streams) {
+    Runtime rt;
+    RuntimeScope scope(rt);
+    std::vector<StreamId> ss{kDefaultStream};
+    for (std::size_t i = 1; i < n_streams; ++i) {
+      StreamId s;
+      (void)cudaStreamCreate(&s);
+      ss.push_back(s);
+    }
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+      KernelDesc k;
+      k.name = "pk";
+      k.duration = kernels[i];
+      (void)cudaLaunchKernel(k, ss[i % ss.size()]);
+    }
+    (void)cudaDeviceSynchronize();
+    return rt.clock().now();
+  };
+
+  const TimePoint single = run_with_streams(1);
+  const TimePoint quad = run_with_streams(4);
+  EXPECT_LE(quad, single);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DevicePropertyTest,
+                         ::testing::Values(3, 7, 13, 29, 57, 101, 211));
+
+}  // namespace
+}  // namespace gpusim

@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/clock.h"
+#include "support/demangle.h"
+#include "support/error.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace diog {
+namespace {
+
+// --- VirtualClock -----------------------------------------------------------
+
+TEST(VirtualClock, StartsAtZero) {
+  VirtualClock c;
+  EXPECT_EQ(c.now().count(), 0);
+}
+
+TEST(VirtualClock, AdvanceAccumulates) {
+  VirtualClock c;
+  c.advance(ms(5));
+  c.advance(us(250));
+  EXPECT_EQ(c.now(), ms(5) + us(250));
+}
+
+TEST(VirtualClock, AdvanceToMovesForward) {
+  VirtualClock c;
+  c.advance_to(TimePoint{ms(10)});
+  EXPECT_EQ(c.now(), ms(10));
+}
+
+TEST(VirtualClock, AdvanceToPastIsNoOp) {
+  VirtualClock c;
+  c.advance(ms(10));
+  c.advance_to(TimePoint{ms(3)});
+  EXPECT_EQ(c.now(), ms(10));
+}
+
+TEST(VirtualClock, NegativeAdvanceThrows) {
+  VirtualClock c;
+  EXPECT_THROW(c.advance(Duration{-1}), Error);
+}
+
+TEST(VirtualClock, ResetReturnsToZero) {
+  VirtualClock c;
+  c.advance(secs(1.0));
+  c.reset();
+  EXPECT_EQ(c.now().count(), 0);
+}
+
+TEST(VirtualClock, SignalSafeNowTracksLatestAdvance) {
+  VirtualClock c;
+  c.advance(ms(7));
+  EXPECT_EQ(VirtualClock::signal_safe_now(), ms(7));
+}
+
+TEST(VirtualClock, SaturatesInsteadOfOverflowing) {
+  VirtualClock c;
+  c.advance(kInfiniteDuration);
+  c.advance(kInfiniteDuration);
+  c.advance(kInfiniteDuration);
+  EXPECT_EQ(c.now(), kNeverTime);
+}
+
+TEST(VirtualClock, DurationHelpers) {
+  EXPECT_EQ(ns(1).count(), 1);
+  EXPECT_EQ(us(1).count(), 1000);
+  EXPECT_EQ(ms(1).count(), 1000000);
+  EXPECT_EQ(secs(1.5).count(), 1500000000);
+  EXPECT_DOUBLE_EQ(to_seconds(ms(1500)), 1.5);
+}
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowOneIsZero) {
+  Rng r(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng r(7);
+  EXPECT_THROW(r.next_below(0), Error);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng r(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = r.next_in(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit over 1000 draws
+}
+
+TEST(Rng, NextInSingletonRange) {
+  Rng r(3);
+  EXPECT_EQ(r.next_in(5, 5), 5);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.next_bool(0.0));
+    EXPECT_TRUE(r.next_bool(1.0));
+  }
+}
+
+TEST(Rng, SplitYieldsIndependentStream) {
+  Rng a(42);
+  Rng b = a.split();
+  Rng a2(42);
+  Rng b2 = a2.split();
+  // Split streams replay deterministically...
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(b.next_u64(), b2.next_u64());
+  // ...and differ from the parent.
+  Rng parent(42);
+  (void)parent.next_u64();  // align position
+  EXPECT_NE(b.next_u64(), parent.next_u64());
+}
+
+TEST(Rng, RoughlyUniform) {
+  Rng r(1234);
+  int buckets[10] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++buckets[r.next_below(10)];
+  for (const int b : buckets) {
+    EXPECT_NEAR(b, n / 10, n / 100);  // within 10% of expectation
+  }
+}
+
+// --- strings -------------------------------------------------------------------
+
+TEST(Strings, FormatSeconds) {
+  EXPECT_EQ(format_seconds(secs(421.716)), "421.716s");
+  EXPECT_EQ(format_seconds(ms(340)), "0.340s");
+  EXPECT_EQ(format_seconds(Duration{0}), "0.000s");
+  EXPECT_EQ(format_seconds(secs(1.23456), 2), "1.23s");
+}
+
+TEST(Strings, FormatPercent) {
+  EXPECT_EQ(format_percent(0.2252), "22.52%");
+  EXPECT_EQ(format_percent(0.0), "0.00%");
+  EXPECT_EQ(format_percent(1.0), "100.00%");
+  EXPECT_EQ(format_percent(0.1084, 1), "10.8%");
+}
+
+TEST(Strings, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.0 KiB");
+  EXPECT_EQ(format_bytes(5ull * 1024 * 1024), "5.0 MiB");
+  EXPECT_EQ(format_bytes(3ull << 30), "3.0 GiB");
+}
+
+TEST(Strings, SplitBasic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitEmptySegments) {
+  const auto parts = split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, JoinRoundTrip) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(join(parts, "::"), "x::y::z");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("cudaMemcpy", "cuda"));
+  EXPECT_FALSE(starts_with("cu", "cuda"));
+  EXPECT_TRUE(ends_with("als.cpp", ".cpp"));
+  EXPECT_FALSE(ends_with("p", ".cpp"));
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");  // no truncation
+}
+
+// --- demangle / template folding -------------------------------------------------
+
+TEST(Demangle, PlainNameUnchanged) {
+  EXPECT_EQ(fold_template_name("cudaFree"), "cudaFree");
+  EXPECT_EQ(fold_template_name("hypre_BoomerAMGRelax"),
+            "hypre_BoomerAMGRelax");
+}
+
+TEST(Demangle, SimpleTemplateFolded) {
+  EXPECT_EQ(fold_template_name("foo<int>"), "foo<...>");
+}
+
+TEST(Demangle, NestedTemplatesFoldToOneEllipsis) {
+  EXPECT_EQ(fold_template_name(
+                "thrust::detail::contiguous_storage<float, "
+                "thrust::device_allocator<float>>::deallocate"),
+            "thrust::detail::contiguous_storage<...>::deallocate");
+}
+
+TEST(Demangle, MultipleTemplateListsEachFold) {
+  EXPECT_EQ(fold_template_name("a<int>::b<float>::c"), "a<...>::b<...>::c");
+}
+
+TEST(Demangle, OperatorLessSurvives) {
+  EXPECT_EQ(fold_template_name("Foo::operator<"), "Foo::operator<");
+}
+
+TEST(Demangle, OperatorShiftSurvives) {
+  EXPECT_EQ(fold_template_name("Bar::operator<<"), "Bar::operator<<");
+}
+
+TEST(Demangle, OperatorSpaceshipSurvives) {
+  EXPECT_EQ(fold_template_name("Baz::operator<=>"), "Baz::operator<=>");
+}
+
+TEST(Demangle, TemplatedOperatorLess) {
+  // operator< of a templated class: the class args fold, the operator
+  // survives.
+  EXPECT_EQ(fold_template_name("Box<int>::operator<"),
+            "Box<...>::operator<");
+}
+
+TEST(Demangle, IdentifierEndingInOperatorIsNotOperator) {
+  // "my_operator<int>" is a template named my_operator, not operator<.
+  EXPECT_EQ(fold_template_name("my_operator<int>"), "my_operator<...>");
+}
+
+TEST(Demangle, UnbalancedBracketsLeftAlone) {
+  EXPECT_EQ(fold_template_name("broken<int"), "broken<int");
+}
+
+TEST(Demangle, StrayCloseEmittedVerbatim) {
+  EXPECT_EQ(fold_template_name("operator>"), "operator>");
+}
+
+TEST(Demangle, StripParameterList) {
+  EXPECT_EQ(strip_parameter_list("foo(int, float)"), "foo");
+  EXPECT_EQ(strip_parameter_list("foo"), "foo");
+  EXPECT_EQ(strip_parameter_list("ns::bar(std::vector<int> const&)"),
+            "ns::bar");
+}
+
+TEST(Demangle, StripParameterListKeepsOperatorCall) {
+  EXPECT_EQ(strip_parameter_list("Functor::operator()"),
+            "Functor::operator()");
+}
+
+TEST(Demangle, BaseFunctionNameCombines) {
+  EXPECT_EQ(base_function_name("solve<double>(Grid<double>&)"),
+            "solve<...>");
+}
+
+TEST(Demangle, PaperExampleCuspMultiply) {
+  EXPECT_EQ(
+      fold_template_name("void cusp::system::detail::generic::multiply<"
+                         "float, cusp::csr_format, cusp::array1d_format>"),
+      "void cusp::system::detail::generic::multiply<...>");
+}
+
+// --- error ------------------------------------------------------------------------
+
+TEST(Error, CheckMacroThrowsWithLocation) {
+  try {
+    DIOG_CHECK(false, "something went wrong");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("something went wrong"), std::string::npos);
+    EXPECT_NE(what.find("support_test.cc"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckMacroPassesOnTrue) {
+  EXPECT_NO_THROW(DIOG_CHECK(1 + 1 == 2, "math broke"));
+}
+
+}  // namespace
+}  // namespace diog

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "trace/callstack.h"
+
+namespace diog::trace {
+namespace {
+
+TEST(FrameTable, InterningIsIdempotent) {
+  auto& table = FrameTable::instance();
+  const Frame* a = table.intern("foo", "f.cc", 10);
+  const Frame* b = table.intern("foo", "f.cc", 10);
+  EXPECT_EQ(a, b);
+}
+
+TEST(FrameTable, DistinctLocationsDistinctFrames) {
+  auto& table = FrameTable::instance();
+  const Frame* a = table.intern("foo", "f.cc", 10);
+  EXPECT_NE(a, table.intern("foo", "f.cc", 11));
+  EXPECT_NE(a, table.intern("foo", "g.cc", 10));
+  EXPECT_NE(a, table.intern("bar", "f.cc", 10));
+}
+
+TEST(FrameTable, FoldedNameComputedAtIntern) {
+  const Frame* f = FrameTable::instance().intern(
+      "thrust::reduce<float>", "t.h", 5);
+  EXPECT_EQ(f->folded_function, "thrust::reduce<...>");
+}
+
+TEST(Frame, PrettyFormat) {
+  const Frame* f =
+      FrameTable::instance().intern("cudaFree", "als.cpp", 856);
+  EXPECT_EQ(f->pretty(), "cudaFree in als.cpp at line 856");
+}
+
+TEST(CallContext, PushPopMaintainsDepth) {
+  CallContext& ctx = CallContext::current();
+  const std::size_t base = ctx.depth();
+  {
+    ScopedFrame f1("a", "x.cc", 1);
+    EXPECT_EQ(ctx.depth(), base + 1);
+    {
+      ScopedFrame f2("b", "x.cc", 2);
+      EXPECT_EQ(ctx.depth(), base + 2);
+    }
+    EXPECT_EQ(ctx.depth(), base + 1);
+  }
+  EXPECT_EQ(ctx.depth(), base);
+}
+
+TEST(CallContext, CaptureOrdersOutermostFirst) {
+  ScopedFrame f1("outer", "x.cc", 1);
+  ScopedFrame f2("inner", "x.cc", 2);
+  const StackTrace st = CallContext::current().capture();
+  ASSERT_GE(st.depth(), 2u);
+  EXPECT_EQ(st.frames()[st.depth() - 2]->function, "outer");
+  EXPECT_EQ(st.leaf()->function, "inner");
+}
+
+TEST(CallContext, CaptureIntoRespectsMax) {
+  ScopedFrame f1("a", "x.cc", 1);
+  ScopedFrame f2("b", "x.cc", 2);
+  ScopedFrame f3("c", "x.cc", 3);
+  const Frame* buf[2];
+  const std::size_t n = CallContext::current().capture_into(buf, 2);
+  ASSERT_EQ(n, 2u);
+  // Innermost frames are kept when truncating.
+  EXPECT_EQ(buf[1]->function, "c");
+  EXPECT_EQ(buf[0]->function, "b");
+}
+
+TEST(StackTrace, ExactEqualityByPointerIdentity) {
+  StackTrace a, b;
+  {
+    ScopedFrame f1("fn", "x.cc", 9);
+    a = CallContext::current().capture();
+  }
+  {
+    ScopedFrame f1("fn", "x.cc", 9);
+    b = CallContext::current().capture();
+  }
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.exact_key(), b.exact_key());
+}
+
+TEST(StackTrace, DifferentLinesDifferExactly) {
+  StackTrace a, b;
+  {
+    ScopedFrame f1("fn", "x.cc", 9);
+    a = CallContext::current().capture();
+  }
+  {
+    ScopedFrame f1("fn", "x.cc", 10);
+    b = CallContext::current().capture();
+  }
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(a.exact_key(), b.exact_key());
+}
+
+TEST(StackTrace, FoldedEqualityMergesTemplateInstances) {
+  StackTrace a, b;
+  {
+    ScopedFrame f("storage<float>::free", "t.h", 31);
+    a = CallContext::current().capture();
+  }
+  {
+    ScopedFrame f("storage<double>::free", "t.h", 31);
+    b = CallContext::current().capture();
+  }
+  EXPECT_FALSE(a == b);               // exact identity differs
+  EXPECT_TRUE(a.folded_equals(b));    // folded identity matches
+  EXPECT_EQ(a.folded_key(), b.folded_key());
+}
+
+TEST(StackTrace, FoldedInequalityForDifferentFunctions) {
+  StackTrace a, b;
+  {
+    ScopedFrame f("alloc<float>", "t.h", 31);
+    a = CallContext::current().capture();
+  }
+  {
+    ScopedFrame f("release<float>", "t.h", 31);
+    b = CallContext::current().capture();
+  }
+  EXPECT_FALSE(a.folded_equals(b));
+}
+
+TEST(StackTrace, FoldedEqualsRequiresSameDepth) {
+  StackTrace a, b;
+  {
+    ScopedFrame f1("x", "x.cc", 1);
+    a = CallContext::current().capture();
+    ScopedFrame f2("x", "x.cc", 1);
+    b = CallContext::current().capture();
+  }
+  EXPECT_FALSE(a.folded_equals(b));
+}
+
+TEST(StackTrace, JsonRoundTripPreservesIdentity) {
+  StackTrace original;
+  {
+    ScopedFrame f1("update_x", "als.cpp", 700);
+    ScopedFrame f2("cudaFree_site", "als.cpp", 856);
+    original = CallContext::current().capture();
+  }
+  const StackTrace restored = StackTrace::from_json(original.to_json());
+  EXPECT_EQ(original, restored);  // interning: same pointers
+}
+
+TEST(StackTrace, EmptyStack) {
+  StackTrace st;
+  EXPECT_TRUE(st.empty());
+  EXPECT_EQ(st.leaf(), nullptr);
+  EXPECT_EQ(st.depth(), 0u);
+  EXPECT_EQ(StackTrace::from_json(st.to_json()), st);
+}
+
+TEST(StackTrace, PrettyListsInnermostFirst) {
+  StackTrace st;
+  {
+    ScopedFrame f1("outer", "o.cc", 1);
+    ScopedFrame f2("inner", "i.cc", 2);
+    st = CallContext::current().capture();
+  }
+  const std::string text = st.pretty();
+  const auto inner_pos = text.find("inner");
+  const auto outer_pos = text.find("outer");
+  ASSERT_NE(inner_pos, std::string::npos);
+  ASSERT_NE(outer_pos, std::string::npos);
+  EXPECT_LT(inner_pos, outer_pos);
+}
+
+TEST(CallContext, ClearEmpties) {
+  // Use a scope guard-free push so we can clear safely.
+  CallContext& ctx = CallContext::current();
+  const Frame* f = FrameTable::instance().intern("tmp", "t.cc", 1);
+  ctx.push(f);
+  EXPECT_GE(ctx.depth(), 1u);
+  ctx.clear();
+  EXPECT_EQ(ctx.depth(), 0u);
+}
+
+}  // namespace
+}  // namespace diog::trace
