@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cuibm_folds.dir/bench_cuibm_folds.cc.o"
+  "CMakeFiles/bench_cuibm_folds.dir/bench_cuibm_folds.cc.o.d"
+  "bench_cuibm_folds"
+  "bench_cuibm_folds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cuibm_folds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cumf_sequence.dir/bench_cumf_sequence.cc.o"
+  "CMakeFiles/bench_cumf_sequence.dir/bench_cumf_sequence.cc.o.d"
+  "bench_cumf_sequence"
+  "bench_cumf_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cumf_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

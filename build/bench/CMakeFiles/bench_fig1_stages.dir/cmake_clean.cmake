@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_stages.dir/bench_fig1_stages.cc.o"
+  "CMakeFiles/bench_fig1_stages.dir/bench_fig1_stages.cc.o.d"
+  "bench_fig1_stages"
+  "bench_fig1_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

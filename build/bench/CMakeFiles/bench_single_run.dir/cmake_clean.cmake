@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_single_run.dir/bench_single_run.cc.o"
+  "CMakeFiles/bench_single_run.dir/bench_single_run.cc.o.d"
+  "bench_single_run"
+  "bench_single_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_single_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_uvm.dir/bench_uvm.cc.o"
+  "CMakeFiles/bench_uvm.dir/bench_uvm.cc.o.d"
+  "bench_uvm"
+  "bench_uvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_uvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

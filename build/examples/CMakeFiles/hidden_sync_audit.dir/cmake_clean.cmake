@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hidden_sync_audit.dir/hidden_sync_audit.cpp.o"
+  "CMakeFiles/hidden_sync_audit.dir/hidden_sync_audit.cpp.o.d"
+  "hidden_sync_audit"
+  "hidden_sync_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hidden_sync_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_gpu_pipeline.dir/multi_gpu_pipeline.cpp.o"
+  "CMakeFiles/multi_gpu_pipeline.dir/multi_gpu_pipeline.cpp.o.d"
+  "multi_gpu_pipeline"
+  "multi_gpu_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_gpu_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_explorer.dir/sequence_explorer.cpp.o"
+  "CMakeFiles/sequence_explorer.dir/sequence_explorer.cpp.o.d"
+  "sequence_explorer"
+  "sequence_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_dedup.dir/transfer_dedup.cpp.o"
+  "CMakeFiles/transfer_dedup.dir/transfer_dedup.cpp.o.d"
+  "transfer_dedup"
+  "transfer_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvm_migration_audit.dir/uvm_migration_audit.cpp.o"
+  "CMakeFiles/uvm_migration_audit.dir/uvm_migration_audit.cpp.o.d"
+  "uvm_migration_audit"
+  "uvm_migration_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvm_migration_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

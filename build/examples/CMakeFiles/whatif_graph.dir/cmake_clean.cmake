@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_graph.dir/whatif_graph.cpp.o"
+  "CMakeFiles/whatif_graph.dir/whatif_graph.cpp.o.d"
+  "whatif_graph"
+  "whatif_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diog_apps.dir/amg.cc.o"
+  "CMakeFiles/diog_apps.dir/amg.cc.o.d"
+  "CMakeFiles/diog_apps.dir/cuibm.cc.o"
+  "CMakeFiles/diog_apps.dir/cuibm.cc.o.d"
+  "CMakeFiles/diog_apps.dir/cumf_als.cc.o"
+  "CMakeFiles/diog_apps.dir/cumf_als.cc.o.d"
+  "CMakeFiles/diog_apps.dir/rodinia_gaussian.cc.o"
+  "CMakeFiles/diog_apps.dir/rodinia_gaussian.cc.o.d"
+  "CMakeFiles/diog_apps.dir/uvm_stencil.cc.o"
+  "CMakeFiles/diog_apps.dir/uvm_stencil.cc.o.d"
+  "libdiog_apps.a"
+  "libdiog_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diog_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

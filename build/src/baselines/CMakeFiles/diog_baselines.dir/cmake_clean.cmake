@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diog_baselines.dir/profilers.cc.o"
+  "CMakeFiles/diog_baselines.dir/profilers.cc.o.d"
+  "libdiog_baselines.a"
+  "libdiog_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diog_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

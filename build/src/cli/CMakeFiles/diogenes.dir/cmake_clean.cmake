@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diogenes.dir/main.cc.o"
+  "CMakeFiles/diogenes.dir/main.cc.o.d"
+  "diogenes"
+  "diogenes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diogenes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autofix.cc" "src/core/CMakeFiles/diog_core.dir/autofix.cc.o" "gcc" "src/core/CMakeFiles/diog_core.dir/autofix.cc.o.d"
+  "/root/repo/src/core/benefit.cc" "src/core/CMakeFiles/diog_core.dir/benefit.cc.o" "gcc" "src/core/CMakeFiles/diog_core.dir/benefit.cc.o.d"
+  "/root/repo/src/core/chrome_trace.cc" "src/core/CMakeFiles/diog_core.dir/chrome_trace.cc.o" "gcc" "src/core/CMakeFiles/diog_core.dir/chrome_trace.cc.o.d"
+  "/root/repo/src/core/compare.cc" "src/core/CMakeFiles/diog_core.dir/compare.cc.o" "gcc" "src/core/CMakeFiles/diog_core.dir/compare.cc.o.d"
+  "/root/repo/src/core/diogenes.cc" "src/core/CMakeFiles/diog_core.dir/diogenes.cc.o" "gcc" "src/core/CMakeFiles/diog_core.dir/diogenes.cc.o.d"
+  "/root/repo/src/core/graph.cc" "src/core/CMakeFiles/diog_core.dir/graph.cc.o" "gcc" "src/core/CMakeFiles/diog_core.dir/graph.cc.o.d"
+  "/root/repo/src/core/groupings.cc" "src/core/CMakeFiles/diog_core.dir/groupings.cc.o" "gcc" "src/core/CMakeFiles/diog_core.dir/groupings.cc.o.d"
+  "/root/repo/src/core/memsync_engine.cc" "src/core/CMakeFiles/diog_core.dir/memsync_engine.cc.o" "gcc" "src/core/CMakeFiles/diog_core.dir/memsync_engine.cc.o.d"
+  "/root/repo/src/core/model.cc" "src/core/CMakeFiles/diog_core.dir/model.cc.o" "gcc" "src/core/CMakeFiles/diog_core.dir/model.cc.o.d"
+  "/root/repo/src/core/replay.cc" "src/core/CMakeFiles/diog_core.dir/replay.cc.o" "gcc" "src/core/CMakeFiles/diog_core.dir/replay.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/diog_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/diog_core.dir/report.cc.o.d"
+  "/root/repo/src/core/single_run.cc" "src/core/CMakeFiles/diog_core.dir/single_run.cc.o" "gcc" "src/core/CMakeFiles/diog_core.dir/single_run.cc.o.d"
+  "/root/repo/src/core/stage1_baseline.cc" "src/core/CMakeFiles/diog_core.dir/stage1_baseline.cc.o" "gcc" "src/core/CMakeFiles/diog_core.dir/stage1_baseline.cc.o.d"
+  "/root/repo/src/core/stage2_tracing.cc" "src/core/CMakeFiles/diog_core.dir/stage2_tracing.cc.o" "gcc" "src/core/CMakeFiles/diog_core.dir/stage2_tracing.cc.o.d"
+  "/root/repo/src/core/stage3_memhash.cc" "src/core/CMakeFiles/diog_core.dir/stage3_memhash.cc.o" "gcc" "src/core/CMakeFiles/diog_core.dir/stage3_memhash.cc.o.d"
+  "/root/repo/src/core/stage4_syncuse.cc" "src/core/CMakeFiles/diog_core.dir/stage4_syncuse.cc.o" "gcc" "src/core/CMakeFiles/diog_core.dir/stage4_syncuse.cc.o.d"
+  "/root/repo/src/core/uvm_analysis.cc" "src/core/CMakeFiles/diog_core.dir/uvm_analysis.cc.o" "gcc" "src/core/CMakeFiles/diog_core.dir/uvm_analysis.cc.o.d"
+  "/root/repo/src/core/workload.cc" "src/core/CMakeFiles/diog_core.dir/workload.cc.o" "gcc" "src/core/CMakeFiles/diog_core.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/diog_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/diog_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/diog_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/diog_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/hooks/CMakeFiles/diog_hooks.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/diog_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/memtrace/CMakeFiles/diog_memtrace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diog_cuptilike.dir/cupti.cc.o"
+  "CMakeFiles/diog_cuptilike.dir/cupti.cc.o.d"
+  "libdiog_cuptilike.a"
+  "libdiog_cuptilike.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diog_cuptilike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

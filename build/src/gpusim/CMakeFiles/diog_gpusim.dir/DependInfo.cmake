@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/api.cc" "src/gpusim/CMakeFiles/diog_gpusim.dir/api.cc.o" "gcc" "src/gpusim/CMakeFiles/diog_gpusim.dir/api.cc.o.d"
+  "/root/repo/src/gpusim/blaslike.cc" "src/gpusim/CMakeFiles/diog_gpusim.dir/blaslike.cc.o" "gcc" "src/gpusim/CMakeFiles/diog_gpusim.dir/blaslike.cc.o.d"
+  "/root/repo/src/gpusim/device.cc" "src/gpusim/CMakeFiles/diog_gpusim.dir/device.cc.o" "gcc" "src/gpusim/CMakeFiles/diog_gpusim.dir/device.cc.o.d"
+  "/root/repo/src/gpusim/memory.cc" "src/gpusim/CMakeFiles/diog_gpusim.dir/memory.cc.o" "gcc" "src/gpusim/CMakeFiles/diog_gpusim.dir/memory.cc.o.d"
+  "/root/repo/src/gpusim/private_api.cc" "src/gpusim/CMakeFiles/diog_gpusim.dir/private_api.cc.o" "gcc" "src/gpusim/CMakeFiles/diog_gpusim.dir/private_api.cc.o.d"
+  "/root/repo/src/gpusim/runtime.cc" "src/gpusim/CMakeFiles/diog_gpusim.dir/runtime.cc.o" "gcc" "src/gpusim/CMakeFiles/diog_gpusim.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/diog_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/hooks/CMakeFiles/diog_hooks.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/diog_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/diog_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diog_gpusim.dir/api.cc.o"
+  "CMakeFiles/diog_gpusim.dir/api.cc.o.d"
+  "CMakeFiles/diog_gpusim.dir/blaslike.cc.o"
+  "CMakeFiles/diog_gpusim.dir/blaslike.cc.o.d"
+  "CMakeFiles/diog_gpusim.dir/device.cc.o"
+  "CMakeFiles/diog_gpusim.dir/device.cc.o.d"
+  "CMakeFiles/diog_gpusim.dir/memory.cc.o"
+  "CMakeFiles/diog_gpusim.dir/memory.cc.o.d"
+  "CMakeFiles/diog_gpusim.dir/private_api.cc.o"
+  "CMakeFiles/diog_gpusim.dir/private_api.cc.o.d"
+  "CMakeFiles/diog_gpusim.dir/runtime.cc.o"
+  "CMakeFiles/diog_gpusim.dir/runtime.cc.o.d"
+  "libdiog_gpusim.a"
+  "libdiog_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diog_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hashing/content_hash.cc" "src/hashing/CMakeFiles/diog_hashing.dir/content_hash.cc.o" "gcc" "src/hashing/CMakeFiles/diog_hashing.dir/content_hash.cc.o.d"
+  "/root/repo/src/hashing/dedup_store.cc" "src/hashing/CMakeFiles/diog_hashing.dir/dedup_store.cc.o" "gcc" "src/hashing/CMakeFiles/diog_hashing.dir/dedup_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/diog_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

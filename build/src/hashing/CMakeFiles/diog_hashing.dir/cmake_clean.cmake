@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diog_hashing.dir/content_hash.cc.o"
+  "CMakeFiles/diog_hashing.dir/content_hash.cc.o.d"
+  "CMakeFiles/diog_hashing.dir/dedup_store.cc.o"
+  "CMakeFiles/diog_hashing.dir/dedup_store.cc.o.d"
+  "libdiog_hashing.a"
+  "libdiog_hashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diog_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hooks/fn.cc" "src/hooks/CMakeFiles/diog_hooks.dir/fn.cc.o" "gcc" "src/hooks/CMakeFiles/diog_hooks.dir/fn.cc.o.d"
+  "/root/repo/src/hooks/hook_table.cc" "src/hooks/CMakeFiles/diog_hooks.dir/hook_table.cc.o" "gcc" "src/hooks/CMakeFiles/diog_hooks.dir/hook_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/diog_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/diog_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/diog_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

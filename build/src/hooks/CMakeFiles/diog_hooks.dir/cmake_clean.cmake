@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diog_hooks.dir/fn.cc.o"
+  "CMakeFiles/diog_hooks.dir/fn.cc.o.d"
+  "CMakeFiles/diog_hooks.dir/hook_table.cc.o"
+  "CMakeFiles/diog_hooks.dir/hook_table.cc.o.d"
+  "libdiog_hooks.a"
+  "libdiog_hooks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diog_hooks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diog_json.dir/json.cc.o"
+  "CMakeFiles/diog_json.dir/json.cc.o.d"
+  "libdiog_json.a"
+  "libdiog_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diog_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memtrace/page_tracer.cc" "src/memtrace/CMakeFiles/diog_memtrace.dir/page_tracer.cc.o" "gcc" "src/memtrace/CMakeFiles/diog_memtrace.dir/page_tracer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/diog_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/diog_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/diog_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

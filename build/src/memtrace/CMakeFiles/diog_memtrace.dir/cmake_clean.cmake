@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diog_memtrace.dir/page_tracer.cc.o"
+  "CMakeFiles/diog_memtrace.dir/page_tracer.cc.o.d"
+  "libdiog_memtrace.a"
+  "libdiog_memtrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diog_memtrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diog_support.dir/clock.cc.o"
+  "CMakeFiles/diog_support.dir/clock.cc.o.d"
+  "CMakeFiles/diog_support.dir/demangle.cc.o"
+  "CMakeFiles/diog_support.dir/demangle.cc.o.d"
+  "CMakeFiles/diog_support.dir/rng.cc.o"
+  "CMakeFiles/diog_support.dir/rng.cc.o.d"
+  "CMakeFiles/diog_support.dir/strings.cc.o"
+  "CMakeFiles/diog_support.dir/strings.cc.o.d"
+  "libdiog_support.a"
+  "libdiog_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diog_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diog_trace.dir/callstack.cc.o"
+  "CMakeFiles/diog_trace.dir/callstack.cc.o.d"
+  "libdiog_trace.a"
+  "libdiog_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diog_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autofix_test.dir/autofix_test.cc.o"
+  "CMakeFiles/autofix_test.dir/autofix_test.cc.o.d"
+  "autofix_test"
+  "autofix_test.pdb"
+  "autofix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autofix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

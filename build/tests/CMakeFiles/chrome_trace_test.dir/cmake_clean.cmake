@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chrome_trace_test.dir/chrome_trace_test.cc.o"
+  "CMakeFiles/chrome_trace_test.dir/chrome_trace_test.cc.o.d"
+  "chrome_trace_test"
+  "chrome_trace_test.pdb"
+  "chrome_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chrome_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cupti_gaps_test.dir/cupti_gaps_test.cc.o"
+  "CMakeFiles/cupti_gaps_test.dir/cupti_gaps_test.cc.o.d"
+  "cupti_gaps_test"
+  "cupti_gaps_test.pdb"
+  "cupti_gaps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cupti_gaps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diogenes_integration_test.dir/diogenes_integration_test.cc.o"
+  "CMakeFiles/diogenes_integration_test.dir/diogenes_integration_test.cc.o.d"
+  "diogenes_integration_test"
+  "diogenes_integration_test.pdb"
+  "diogenes_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diogenes_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim_ext_test.dir/gpusim_ext_test.cc.o"
+  "CMakeFiles/gpusim_ext_test.dir/gpusim_ext_test.cc.o.d"
+  "gpusim_ext_test"
+  "gpusim_ext_test.pdb"
+  "gpusim_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupings_test.dir/groupings_test.cc.o"
+  "CMakeFiles/groupings_test.dir/groupings_test.cc.o.d"
+  "groupings_test"
+  "groupings_test.pdb"
+  "groupings_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

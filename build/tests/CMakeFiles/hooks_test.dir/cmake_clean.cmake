@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hooks_test.dir/hooks_test.cc.o"
+  "CMakeFiles/hooks_test.dir/hooks_test.cc.o.d"
+  "hooks_test"
+  "hooks_test.pdb"
+  "hooks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hooks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsync_engine_test.dir/memsync_engine_test.cc.o"
+  "CMakeFiles/memsync_engine_test.dir/memsync_engine_test.cc.o.d"
+  "memsync_engine_test"
+  "memsync_engine_test.pdb"
+  "memsync_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsync_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_gpusim_test.dir/property_gpusim_test.cc.o"
+  "CMakeFiles/property_gpusim_test.dir/property_gpusim_test.cc.o.d"
+  "property_gpusim_test"
+  "property_gpusim_test.pdb"
+  "property_gpusim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_gpusim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_run_test.dir/single_run_test.cc.o"
+  "CMakeFiles/single_run_test.dir/single_run_test.cc.o.d"
+  "single_run_test"
+  "single_run_test.pdb"
+  "single_run_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_run_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/hashing_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/hooks_test[1]_include.cmake")
+include("/root/repo/build/tests/gpusim_test[1]_include.cmake")
+include("/root/repo/build/tests/gpusim_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/cupti_gaps_test[1]_include.cmake")
+include("/root/repo/build/tests/memtrace_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/benefit_test[1]_include.cmake")
+include("/root/repo/build/tests/groupings_test[1]_include.cmake")
+include("/root/repo/build/tests/stages_test[1]_include.cmake")
+include("/root/repo/build/tests/diogenes_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/autofix_test[1]_include.cmake")
+include("/root/repo/build/tests/chrome_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/uvm_test[1]_include.cmake")
+include("/root/repo/build/tests/property_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/property_gpusim_test[1]_include.cmake")
+include("/root/repo/build/tests/single_run_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_gpu_test[1]_include.cmake")
+include("/root/repo/build/tests/replay_test[1]_include.cmake")
+include("/root/repo/build/tests/json_property_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/memsync_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/compare_test[1]_include.cmake")
