@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_obs_overhead.cc" "bench/CMakeFiles/bench_obs_overhead.dir/bench_obs_overhead.cc.o" "gcc" "bench/CMakeFiles/bench_obs_overhead.dir/bench_obs_overhead.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/diog_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/diog_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/diog_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuptilike/CMakeFiles/diog_cuptilike.dir/DependInfo.cmake"
+  "/root/repo/build/src/memtrace/CMakeFiles/diog_memtrace.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/diog_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hooks/CMakeFiles/diog_hooks.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/diog_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/diog_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/diog_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/diog_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/diog_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

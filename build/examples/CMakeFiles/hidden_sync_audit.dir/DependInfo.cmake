@@ -24,6 +24,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/hashing/CMakeFiles/diog_hashing.dir/DependInfo.cmake"
   "/root/repo/build/src/json/CMakeFiles/diog_json.dir/DependInfo.cmake"
   "/root/repo/build/src/support/CMakeFiles/diog_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/diog_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -22,6 +22,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/gpusim/CMakeFiles/diog_gpusim.dir/DependInfo.cmake"
   "/root/repo/build/src/hooks/CMakeFiles/diog_hooks.dir/DependInfo.cmake"
   "/root/repo/build/src/trace/CMakeFiles/diog_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/diog_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/json/CMakeFiles/diog_json.dir/DependInfo.cmake"
   "/root/repo/build/src/support/CMakeFiles/diog_support.dir/DependInfo.cmake"
   )

@@ -6,6 +6,7 @@
 # testing this directory and lists subdirectories to be tested as well.
 subdirs("support")
 subdirs("json")
+subdirs("obs")
 subdirs("hashing")
 subdirs("trace")
 subdirs("hooks")

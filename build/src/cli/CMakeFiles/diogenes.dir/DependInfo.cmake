@@ -18,6 +18,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/diog_core.dir/DependInfo.cmake"
   "/root/repo/build/src/cuptilike/CMakeFiles/diog_cuptilike.dir/DependInfo.cmake"
   "/root/repo/build/src/gpusim/CMakeFiles/diog_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/diog_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/trace/CMakeFiles/diog_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/json/CMakeFiles/diog_json.dir/DependInfo.cmake"
   "/root/repo/build/src/support/CMakeFiles/diog_support.dir/DependInfo.cmake"

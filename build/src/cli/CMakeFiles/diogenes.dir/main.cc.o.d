@@ -232,4 +232,9 @@ src/cli/CMakeFiles/diogenes.dir/main.cc.o: /root/repo/src/cli/main.cc \
  /root/repo/src/hashing/content_hash.h /root/repo/src/core/groupings.h \
  /root/repo/src/core/tool_config.h /root/repo/src/core/compare.h \
  /root/repo/src/core/replay.h /root/repo/src/core/uvm_analysis.h \
- /root/repo/src/core/report.h /root/repo/src/support/strings.h
+ /root/repo/src/core/report.h /root/repo/src/obs/telemetry.h \
+ /root/repo/src/obs/accountant.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/obs/obs.h \
+ /root/repo/src/obs/logger.h /usr/include/c++/12/cstdarg \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/span.h \
+ /root/repo/src/support/error.h /root/repo/src/support/strings.h

@@ -37,6 +37,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/hooks/CMakeFiles/diog_hooks.dir/DependInfo.cmake"
   "/root/repo/build/src/gpusim/CMakeFiles/diog_gpusim.dir/DependInfo.cmake"
   "/root/repo/build/src/memtrace/CMakeFiles/diog_memtrace.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/diog_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

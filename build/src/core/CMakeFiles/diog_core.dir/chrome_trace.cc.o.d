@@ -213,7 +213,9 @@ src/core/CMakeFiles/diog_core.dir/chrome_trace.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/trace/callstack.h /usr/include/c++/12/unordered_map \
+ /root/repo/src/trace/callstack.h /root/repo/src/obs/span.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/obs/obs.h /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/gpusim/runtime.h \
@@ -224,4 +226,7 @@ src/core/CMakeFiles/diog_core.dir/chrome_trace.cc.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/gpusim/device.h /root/repo/src/gpusim/memory.h \
- /usr/include/c++/12/optional /root/repo/src/hooks/hook_table.h
+ /usr/include/c++/12/optional /root/repo/src/hooks/hook_table.h \
+ /root/repo/src/obs/telemetry.h /root/repo/src/obs/accountant.h \
+ /root/repo/src/obs/logger.h /usr/include/c++/12/cstdarg \
+ /root/repo/src/obs/metrics.h

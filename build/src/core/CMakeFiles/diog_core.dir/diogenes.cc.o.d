@@ -230,4 +230,9 @@ src/core/CMakeFiles/diog_core.dir/diogenes.cc.o: \
  /root/repo/src/core/stage1_baseline.h \
  /root/repo/src/core/stage2_tracing.h \
  /root/repo/src/core/stage3_memhash.h \
- /root/repo/src/core/stage4_syncuse.h /root/repo/src/support/error.h
+ /root/repo/src/core/stage4_syncuse.h /root/repo/src/obs/span.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/obs/obs.h /root/repo/src/obs/telemetry.h \
+ /root/repo/src/obs/accountant.h /root/repo/src/obs/logger.h \
+ /usr/include/c++/12/cstdarg /root/repo/src/obs/metrics.h \
+ /root/repo/src/support/error.h

@@ -226,5 +226,10 @@ src/core/CMakeFiles/diog_core.dir/stage1_baseline.cc.o: \
  /root/repo/src/gpusim/runtime.h /root/repo/src/gpusim/cupti_sink.h \
  /root/repo/src/gpusim/types.h /root/repo/src/gpusim/device.h \
  /root/repo/src/gpusim/memory.h /usr/include/c++/12/optional \
- /root/repo/src/hooks/hook_table.h /root/repo/src/gpusim/api.h \
+ /root/repo/src/hooks/hook_table.h /root/repo/src/core/stage_obs.h \
+ /root/repo/src/obs/telemetry.h /root/repo/src/obs/accountant.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/obs/obs.h /root/repo/src/obs/logger.h \
+ /usr/include/c++/12/cstdarg /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/span.h /root/repo/src/gpusim/api.h \
  /root/repo/src/support/error.h

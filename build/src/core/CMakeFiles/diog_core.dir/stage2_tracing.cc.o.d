@@ -230,4 +230,9 @@ src/core/CMakeFiles/diog_core.dir/stage2_tracing.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/core/stage_obs.h /root/repo/src/obs/telemetry.h \
+ /root/repo/src/obs/accountant.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/obs/obs.h \
+ /root/repo/src/obs/logger.h /usr/include/c++/12/cstdarg \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/span.h \
  /root/repo/src/support/error.h

@@ -228,4 +228,9 @@ src/core/CMakeFiles/diog_core.dir/stage3_memhash.cc.o: \
  /root/repo/src/gpusim/memory.h /usr/include/c++/12/optional \
  /root/repo/src/hooks/hook_table.h /root/repo/src/core/memsync_engine.h \
  /root/repo/src/hashing/dedup_store.h \
- /root/repo/src/memtrace/page_tracer.h
+ /root/repo/src/memtrace/page_tracer.h /root/repo/src/core/stage_obs.h \
+ /root/repo/src/obs/telemetry.h /root/repo/src/obs/accountant.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/obs/obs.h /root/repo/src/obs/logger.h \
+ /usr/include/c++/12/cstdarg /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/span.h

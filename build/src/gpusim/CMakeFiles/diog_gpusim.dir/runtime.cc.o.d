@@ -223,4 +223,8 @@ src/gpusim/CMakeFiles/diog_gpusim.dir/runtime.cc.o: \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
  /root/repo/src/hooks/hook_table.h /root/repo/src/trace/callstack.h \
  /root/repo/src/json/json.h /usr/include/c++/12/variant \
- /root/repo/src/support/error.h
+ /root/repo/src/obs/telemetry.h /root/repo/src/obs/accountant.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/obs/obs.h /root/repo/src/obs/logger.h \
+ /usr/include/c++/12/cstdarg /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/span.h /root/repo/src/support/error.h

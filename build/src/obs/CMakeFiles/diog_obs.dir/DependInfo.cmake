@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/accountant.cc" "src/obs/CMakeFiles/diog_obs.dir/accountant.cc.o" "gcc" "src/obs/CMakeFiles/diog_obs.dir/accountant.cc.o.d"
+  "/root/repo/src/obs/logger.cc" "src/obs/CMakeFiles/diog_obs.dir/logger.cc.o" "gcc" "src/obs/CMakeFiles/diog_obs.dir/logger.cc.o.d"
+  "/root/repo/src/obs/metrics.cc" "src/obs/CMakeFiles/diog_obs.dir/metrics.cc.o" "gcc" "src/obs/CMakeFiles/diog_obs.dir/metrics.cc.o.d"
+  "/root/repo/src/obs/span.cc" "src/obs/CMakeFiles/diog_obs.dir/span.cc.o" "gcc" "src/obs/CMakeFiles/diog_obs.dir/span.cc.o.d"
+  "/root/repo/src/obs/telemetry.cc" "src/obs/CMakeFiles/diog_obs.dir/telemetry.cc.o" "gcc" "src/obs/CMakeFiles/diog_obs.dir/telemetry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/diog_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/diog_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

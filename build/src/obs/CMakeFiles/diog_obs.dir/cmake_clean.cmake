@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diog_obs.dir/accountant.cc.o"
+  "CMakeFiles/diog_obs.dir/accountant.cc.o.d"
+  "CMakeFiles/diog_obs.dir/logger.cc.o"
+  "CMakeFiles/diog_obs.dir/logger.cc.o.d"
+  "CMakeFiles/diog_obs.dir/metrics.cc.o"
+  "CMakeFiles/diog_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/diog_obs.dir/span.cc.o"
+  "CMakeFiles/diog_obs.dir/span.cc.o.d"
+  "CMakeFiles/diog_obs.dir/telemetry.cc.o"
+  "CMakeFiles/diog_obs.dir/telemetry.cc.o.d"
+  "libdiog_obs.a"
+  "libdiog_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diog_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

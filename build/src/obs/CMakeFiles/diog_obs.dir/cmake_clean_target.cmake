@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdiog_obs.a"
+)

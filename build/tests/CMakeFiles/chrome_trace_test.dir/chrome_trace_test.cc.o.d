@@ -301,7 +301,9 @@ tests/CMakeFiles/chrome_trace_test.dir/chrome_trace_test.cc.o: \
  /root/repo/src/hashing/content_hash.h /usr/include/c++/12/span \
  /root/repo/src/hooks/fn.h /root/repo/src/support/clock.h \
  /usr/include/c++/12/chrono /root/repo/src/json/json.h \
- /root/repo/src/trace/callstack.h /root/repo/src/core/stage1_baseline.h \
+ /root/repo/src/trace/callstack.h /root/repo/src/obs/span.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/obs/obs.h /root/repo/src/core/stage1_baseline.h \
  /root/repo/src/core/tool_config.h /root/repo/src/core/workload.h \
  /root/repo/src/gpusim/runtime.h /root/repo/src/gpusim/cupti_sink.h \
  /root/repo/src/gpusim/types.h /root/repo/src/gpusim/device.h \

@@ -20,10 +20,13 @@
 //     compare               run nvprof_like/hpctoolkit_like alongside
 //     export <file.json>    write the full analysis as JSON
 //     stages <dir>          also persist per-stage JSON files to <dir>
+//     metrics               the tool's own telemetry: per-stage counters,
+//                           latency histograms, Table-2-style overhead
 //
 // Flags (before the app name):
-//   --verbose               narrate stages on stderr
+//   --verbose               narrate stages on stderr (log level info)
 //   --misplaced-us <N>      misplaced-sync threshold (default 50)
+//   --telemetry <file>      write self-telemetry as JSON lines
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,6 +41,8 @@
 #include "core/replay.h"
 #include "core/uvm_analysis.h"
 #include "core/report.h"
+#include "obs/telemetry.h"
+#include "support/error.h"
 #include "support/strings.h"
 
 using namespace diog;
@@ -47,11 +52,13 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: diogenes [--verbose] [--misplaced-us N] <app> [command]\n"
+      "usage: diogenes [--verbose] [--misplaced-us N] [--telemetry FILE]\n"
+      "                <app> [command]\n"
       "       diogenes replay <dir> <workload> [command]\n"
       "  apps: cumf_als | cuIBM | AMG | Rodinia\n"
       "  commands: overview | api | folds | seq N | sub N A B | fixes |\n"
-      "            compare | uvm | diff | export FILE | stages DIR\n");
+      "            compare | uvm | diff | export FILE | stages DIR |\n"
+      "            metrics\n");
   return 2;
 }
 
@@ -107,20 +114,42 @@ int cmd_compare(const apps::AppPair& app, const ffm::AnalysisResult& r) {
 
 int main(int argc, char** argv) {
   ffm::ToolConfig cfg;
+  std::string telemetry_path;
+  obs::Logger& log = obs::Telemetry::global().logger();
   int arg = 1;
   while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
     if (std::strcmp(argv[arg], "--verbose") == 0) {
+      // Narration maps to log level info; the default (warn) keeps
+      // stderr truly silent in non-verbose runs.
       cfg.verbose = true;
+      log.set_level(obs::LogLevel::kInfo);
       ++arg;
     } else if (std::strcmp(argv[arg], "--misplaced-us") == 0 &&
                arg + 1 < argc) {
       cfg.misplaced_threshold = us(std::strtol(argv[arg + 1], nullptr, 10));
+      arg += 2;
+    } else if (std::strcmp(argv[arg], "--telemetry") == 0 && arg + 1 < argc) {
+      telemetry_path = argv[arg + 1];
       arg += 2;
     } else {
       return usage();
     }
   }
   if (arg >= argc) return usage();
+
+  // Written on every exit path once a command starts executing.
+  struct TelemetrySaver {
+    std::string path;
+    ~TelemetrySaver() {
+      if (path.empty()) return;
+      try {
+        obs::Telemetry::global().save_jsonl(path);
+      } catch (const Error& e) {
+        std::fprintf(stderr, "telemetry write failed: %s\n", e.what());
+      }
+    }
+  } telemetry_saver;
+  telemetry_saver.path = telemetry_path;
 
   const std::string app_name = argv[arg++];
   const auto app_list = apps::all_apps();
@@ -135,8 +164,7 @@ int main(int argc, char** argv) {
     const std::string dir = argv[arg++];
     const std::string workload = argv[arg++];
     command = arg < argc ? argv[arg++] : "overview";
-    std::fprintf(stderr, "[diogenes] offline analysis of %s from %s\n",
-                 workload.c_str(), dir.c_str());
+    log.info("cli", "offline analysis of " + workload + " from " + dir);
     r = ffm::analyze_offline(ffm::load_stage_files(dir, workload), cfg);
   } else {
     for (const auto& a : app_list) {
@@ -151,9 +179,8 @@ int main(int argc, char** argv) {
       if (arg >= argc) return usage();
       cfg.stage_dir = argv[arg++];
     }
-    std::fprintf(stderr, "[diogenes] analyzing %s (4 collection runs + "
-                         "analysis)...\n",
-                 app_name.c_str());
+    log.info("cli",
+             "analyzing " + app_name + " (4 collection runs + analysis)...");
     ffm::Diogenes tool(app->pathological, cfg);
     r = tool.analyze();
   }
@@ -172,6 +199,14 @@ int main(int argc, char** argv) {
   }
   if (command == "api") {
     std::printf("%s", ffm::render_api_savings(r).c_str());
+    return 0;
+  }
+  if (command == "metrics") {
+    // The tool observing itself: per-stage counters and latency
+    // histograms, then the Table-2-style perturbation accounting.
+    auto& telemetry = obs::Telemetry::global();
+    std::printf("%s\n", telemetry.metrics().render().c_str());
+    std::printf("%s", telemetry.accountant().render().c_str());
     return 0;
   }
   if (command == "folds") return cmd_folds(r);

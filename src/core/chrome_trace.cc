@@ -3,12 +3,14 @@
 #include <unordered_map>
 
 #include "gpusim/runtime.h"
+#include "obs/telemetry.h"
 
 namespace diog::ffm {
 
 namespace {
 
 constexpr int kCpuTid = 1;
+constexpr int kInternalTid = 50;  // the tool's own spans
 constexpr int kGpuTidBase = 100;  // + stream id
 
 // TimePoint and Duration share one representation (ns since run start).
@@ -103,6 +105,27 @@ json::Value chrome_trace(const Stage2Result& cpu_ops,
       events.push_back(
           complete_event(op.name, tid, op.start, op.end - op.start,
                          std::move(args)));
+    }
+  }
+
+  if (opts.include_internal_track) {
+    const obs::SpanCollector* spans = opts.internal_spans != nullptr
+                                          ? opts.internal_spans
+                                          : &obs::Telemetry::global().spans();
+    const std::vector<obs::SpanRecord> records = spans->snapshot();
+    if (!records.empty()) {
+      events.push_back(
+          meta_event("thread_name", kInternalTid, "diogenes-internal"));
+      for (const obs::SpanRecord& s : records) {
+        json::Object args;
+        args["depth"] = s.depth;
+        if (s.parent >= 0) args["parent"] = s.parent;
+        // Open spans (end_ns < 0) render as zero-duration markers.
+        const std::int64_t dur = s.end_ns < 0 ? 0 : s.duration_ns();
+        events.push_back(complete_event(s.name, kInternalTid,
+                                        TimePoint{s.start_ns}, Duration{dur},
+                                        std::move(args)));
+      }
     }
   }
 

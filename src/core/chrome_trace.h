@@ -7,12 +7,18 @@
 // stream (from the simulator's ground-truth timeline). Problematic
 // operations carry their classification as event arguments, so the
 // viewer shows at a glance where the recoverable time sits.
+// The tool's own spans (obs/span.h) are emitted on a dedicated
+// "diogenes-internal" track, so a Perfetto view of a run shows the
+// application timeline and the tool's internal phases side by side.
+// Internal spans are host (steady-clock) time while app events are
+// virtual time; they share the x-axis but not a common epoch.
 #pragma once
 
 #include <string>
 
 #include "core/model.h"
 #include "json/json.h"
+#include "obs/span.h"
 
 namespace gpusim {
 class Runtime;
@@ -25,6 +31,11 @@ struct ChromeTraceOptions {
   std::string process_name = "diogenes";
   bool include_gpu_timeline = true;
   bool include_cpu_ops = true;
+  // The tool's own spans as a "diogenes-internal" track.
+  bool include_internal_track = true;
+  // Span source for the internal track; nullptr means the global
+  // telemetry session's collector.
+  const obs::SpanCollector* internal_spans = nullptr;
 };
 
 // Build the trace document from a stage-2 trace (CPU ops, with optional

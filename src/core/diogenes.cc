@@ -1,12 +1,13 @@
 #include "core/diogenes.h"
 
-#include <cstdio>
 #include <map>
 
 #include "core/stage1_baseline.h"
 #include "core/stage2_tracing.h"
 #include "core/stage3_memhash.h"
 #include "core/stage4_syncuse.h"
+#include "obs/span.h"
+#include "obs/telemetry.h"
 #include "support/error.h"
 
 namespace diog::ffm {
@@ -48,6 +49,7 @@ AnalysisResult run_analysis_stage(std::string workload_name,
                                   Stage1Result s1, Stage2Result s2,
                                   Stage3Result s3, Stage4Result s4,
                                   const ToolConfig& cfg) {
+  DIOG_SPAN("stage5.analysis");
   AnalysisResult r;
   r.workload_name = std::move(workload_name);
   r.s1 = std::move(s1);
@@ -55,11 +57,29 @@ AnalysisResult run_analysis_stage(std::string workload_name,
   r.s3 = std::move(s3);
   r.s4 = std::move(s4);
 
-  r.graph = build_graph(r.s2, r.s3, r.s4, cfg.misplaced_threshold);
-  r.benefit = expected_benefit(r.graph);
-  r.single_points = single_point_groups(r.graph);
-  r.folds = folded_api_groups(r.graph);
-  r.sequences = sequence_groups(r.graph);
+  {
+    DIOG_SPAN("stage5.build_graph");
+    r.graph = build_graph(r.s2, r.s3, r.s4, cfg.misplaced_threshold);
+  }
+  {
+    DIOG_SPAN("stage5.expected_benefit");
+    r.benefit = expected_benefit(r.graph);
+  }
+  {
+    DIOG_SPAN("stage5.groupings");
+    r.single_points = single_point_groups(r.graph);
+    r.folds = folded_api_groups(r.graph);
+    r.sequences = sequence_groups(r.graph);
+  }
+
+  if (obs::Telemetry::enabled()) {
+    auto& m = obs::Telemetry::global().metrics();
+    m.counter("stage5.analyses").inc();
+    m.gauge("stage5.graph_nodes").set(static_cast<std::int64_t>(r.graph.size()));
+    m.gauge("stage5.problematic_nodes")
+        .set(static_cast<std::int64_t>(r.graph.problematic_indices().size()));
+    m.gauge("stage5.benefit_ns").set(r.benefit.total.count());
+  }
 
   r.collection_time =
       r.s1.exec_time + r.s2.exec_time + r.s3.exec_time + r.s4.exec_time;
@@ -72,37 +92,35 @@ AnalysisResult run_analysis_stage(std::string workload_name,
 }
 
 AnalysisResult Diogenes::analyze() {
+  DIOG_SPAN("ffm.analyze");
+  // Back-compat: `cfg.verbose` raises the log level to info for the
+  // duration of the run if the embedder has not already done so.
+  obs::Logger& log = obs::Telemetry::global().logger();
+  if (cfg_.verbose && !log.enabled(obs::LogLevel::kInfo)) {
+    log.set_level(obs::LogLevel::kInfo);
+  }
+
   AnalysisResult r;
   r.workload_name = workload_.name;
 
-  if (cfg_.verbose) {
-    std::fprintf(stderr, "[diogenes] stage 1: baseline measurement (%s)\n",
-                 workload_.name.c_str());
-  }
+  log.info("stage1", "stage 1: baseline measurement (" + workload_.name +
+                         ")");
   r.s1 = run_stage1(workload_, cfg_);
   maybe_persist("stage1", r.s1.to_json());
 
-  if (cfg_.verbose) {
-    std::fprintf(stderr, "[diogenes] stage 2: detailed tracing\n");
-  }
+  log.info("stage2", "stage 2: detailed tracing");
   r.s2 = run_stage2(workload_, cfg_, r.s1);
   maybe_persist("stage2", r.s2.to_json());
 
-  if (cfg_.verbose) {
-    std::fprintf(stderr, "[diogenes] stage 3: memory tracing + hashing\n");
-  }
+  log.info("stage3", "stage 3: memory tracing + hashing");
   r.s3 = run_stage3(workload_, cfg_, r.s1);
   maybe_persist("stage3", r.s3.to_json());
 
-  if (cfg_.verbose) {
-    std::fprintf(stderr, "[diogenes] stage 4: sync-use analysis\n");
-  }
+  log.info("stage4", "stage 4: sync-use analysis");
   r.s4 = run_stage4(workload_, cfg_, r.s1);
   maybe_persist("stage4", r.s4.to_json());
 
-  if (cfg_.verbose) {
-    std::fprintf(stderr, "[diogenes] stage 5: analysis\n");
-  }
+  log.info("stage5", "stage 5: analysis");
   return run_analysis_stage(workload_.name, std::move(r.s1),
                             std::move(r.s2), std::move(r.s3),
                             std::move(r.s4), cfg_);

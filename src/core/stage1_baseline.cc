@@ -4,7 +4,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/stage_obs.h"
 #include "gpusim/api.h"
+#include "obs/span.h"
 #include "support/error.h"
 
 namespace diog::ffm {
@@ -16,6 +18,7 @@ using hooks::HookContext;
 using hooks::Probe;
 
 hooks::Fn discover_wait_fn(const gpusim::DeviceConfig& device) {
+  DIOG_SPAN("stage1.discover_wait_fn");
   gpusim::Runtime rt(device);
   rt.set_probe_mode(true);
 
@@ -68,6 +71,8 @@ hooks::Fn discover_wait_fn(const gpusim::DeviceConfig& device) {
 }
 
 Stage1Result run_stage1(const Workload& w, const ToolConfig& cfg) {
+  DIOG_SPAN("stage1.run");
+  const StageObs stage_obs("stage1");
   Stage1Result result;
   result.wait_fn = discover_wait_fn(w.device);
 
@@ -120,9 +125,22 @@ Stage1Result run_stage1(const Workload& w, const ToolConfig& cfg) {
   rt.hooks().attach(result.wait_fn, wait_probe);
 
   {
+    DIOG_SPAN("stage1.app_run");
     RuntimeScope scope(rt);
     w.body();
     result.exec_time = rt.clock().now();
+  }
+
+  if (obs::Telemetry::enabled()) {
+    auto& m = obs::Telemetry::global().metrics();
+    m.counter("stage1.runs").inc();
+    m.gauge("stage1.sync_sites").set(
+        static_cast<std::int64_t>(result.sync_sites.size()));
+    std::uint64_t total_hits = 0;
+    for (const SyncSite& site : result.sync_sites) total_hits += site.hits;
+    m.counter("stage1.sync_site_hits").inc(total_hits);
+    // Stage 1's row is the 1.00x baseline by construction.
+    stage_obs.finish(rt, result.exec_time, result.exec_time);
   }
   return result;
 }

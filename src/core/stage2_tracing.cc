@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/stage_obs.h"
+#include "obs/span.h"
 #include "support/error.h"
 
 namespace diog::ffm {
@@ -14,6 +16,8 @@ using hooks::Probe;
 
 Stage2Result run_stage2(const Workload& w, const ToolConfig& cfg,
                         const Stage1Result& s1) {
+  DIOG_SPAN("stage2.run");
+  const StageObs stage_obs("stage2");
   Stage2Result result;
   gpusim::Runtime rt(w.device);
   rt.set_cpu_dilation(cfg.stage2_cpu_dilation);
@@ -57,6 +61,7 @@ Stage2Result run_stage2(const Workload& w, const ToolConfig& cfg,
   rt.hooks().attach(s1.wait_fn, wait_probe);
 
   {
+    DIOG_SPAN("stage2.app_run");
     RuntimeScope scope(rt);
     w.body();
     result.exec_time = rt.clock().now();
@@ -67,6 +72,30 @@ Stage2Result run_stage2(const Workload& w, const ToolConfig& cfg,
                               return a.t_enter < b.t_enter;
                             }),
              "stage 2 trace out of order");
+
+  if (obs::Telemetry::enabled()) {
+    DIOG_SPAN("stage2.trace_sync");  // post-run aggregation of the trace
+    auto& m = obs::Telemetry::global().metrics();
+    m.counter("stage2.runs").inc();
+    m.counter("stage2.ops").inc(result.ops.size());
+    auto& sync_wait = m.histogram("stage2.sync_wait");
+    auto& call_dur = m.histogram("stage2.call_duration");
+    for (const OpRecord& op : result.ops) {
+      m.counter(std::string("stage2.ops.") +
+                std::string(hooks::fn_name(op.api)))
+          .inc();
+      call_dur.record(op.call_duration());
+      if (op.performed_sync) {
+        m.counter("stage2.syncs").inc();
+        sync_wait.record(op.sync_wait);
+      }
+      if (op.performed_transfer) {
+        m.counter("stage2.transfers").inc();
+        m.counter("stage2.transfer_bytes").inc(op.bytes);
+      }
+    }
+    stage_obs.finish(rt, result.exec_time, s1.exec_time);
+  }
   return result;
 }
 

@@ -1,16 +1,21 @@
 #include "core/stage3_memhash.h"
 
 #include "core/memsync_engine.h"
+#include "core/stage_obs.h"
+#include "obs/span.h"
 
 namespace diog::ffm {
 
 Stage3Result run_stage3(const Workload& w, const ToolConfig& cfg,
                         const Stage1Result& s1) {
+  DIOG_SPAN("stage3.run");
+  const StageObs stage_obs("stage3");
   Stage3Result result;
   gpusim::Runtime rt(w.device);
   rt.set_cpu_dilation(cfg.stage3_cpu_dilation);
   MemSyncEngine engine(rt, cfg, s1, /*hash_transfers=*/true);
   {
+    DIOG_SPAN("stage3.app_run");
     gpusim::RuntimeScope scope(rt);
     w.body();
     engine.finish();
@@ -28,6 +33,22 @@ Stage3Result run_stage3(const Workload& w, const ToolConfig& cfg,
   result.duplicate_transfers = engine.duplicates();
   result.transfers_hashed = engine.transfers_hashed();
   result.bytes_hashed = engine.bytes_hashed();
+
+  if (obs::Telemetry::enabled()) {
+    auto& m = obs::Telemetry::global().metrics();
+    m.counter("stage3.runs").inc();
+    m.counter("stage3.transfers_hashed").inc(result.transfers_hashed);
+    m.counter("stage3.bytes_hashed").inc(result.bytes_hashed);
+    m.counter("stage3.duplicate_transfers")
+        .inc(result.duplicate_transfers.size());
+    std::size_t required = 0;
+    for (const SyncClassification& c : result.syncs) {
+      if (c.required) ++required;
+    }
+    m.counter("stage3.syncs_required").inc(required);
+    m.counter("stage3.syncs_unnecessary").inc(result.syncs.size() - required);
+    stage_obs.finish(rt, result.exec_time, s1.exec_time);
+  }
   return result;
 }
 

@@ -1,0 +1,53 @@
+// Shared self-telemetry glue for the FFM stage runners.
+//
+// Each collection run times itself on the host clock, publishes the
+// run's gpusim facts into the metrics registry, and files a Table-2
+// style overhead row with the accountant: app-time is the stage's
+// virtual execution time, baseline is the stage-1 (near-native)
+// measurement, and the probe columns come from the hook table's exact
+// per-fire accounting.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "gpusim/runtime.h"
+#include "obs/telemetry.h"
+#include "support/clock.h"
+
+namespace diog::ffm {
+
+class StageObs {
+ public:
+  explicit StageObs(std::string stage)
+      : stage_(std::move(stage)),
+        wall_start_(std::chrono::steady_clock::now()) {}
+
+  // Call once at the end of the stage run. `baseline_time` is the
+  // stage-1 exec time (pass the stage's own exec time for stage 1
+  // itself, making its perturbation row 1.00x by construction).
+  void finish(const gpusim::Runtime& rt, Duration app_time,
+              Duration baseline_time) const {
+    if (!obs::Telemetry::enabled()) return;
+    rt.publish_telemetry(stage_);
+
+    obs::StageOverhead oh;
+    oh.stage = stage_;
+    oh.app_time = app_time;
+    oh.baseline_time = baseline_time;
+    oh.probes_fired = rt.hooks().probes_fired();
+    oh.probe_cost = rt.hooks().probe_cost_charged();
+    oh.wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall_start_)
+            .count();
+    obs::Telemetry::global().accountant().record(std::move(oh));
+  }
+
+ private:
+  std::string stage_;
+  std::chrono::steady_clock::time_point wall_start_;
+};
+
+}  // namespace diog::ffm

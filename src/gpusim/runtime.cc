@@ -1,5 +1,8 @@
 #include "gpusim/runtime.h"
 
+#include <string>
+
+#include "obs/telemetry.h"
 #include "support/error.h"
 
 namespace gpusim {
@@ -124,5 +127,23 @@ RuntimeScope::RuntimeScope(Runtime& rt) {
 RuntimeScope::~RuntimeScope() { g_current_runtime = nullptr; }
 
 void cpu_work(Duration d) { Runtime::current().cpu_work(d); }
+
+void Runtime::publish_telemetry(std::string_view prefix) const {
+  if (!diog::obs::Telemetry::enabled()) return;
+  auto& m = diog::obs::Telemetry::global().metrics();
+  const std::string p(prefix);
+  m.gauge(p + ".api_calls").set(static_cast<std::int64_t>(api_calls_));
+  m.gauge(p + ".hook_probes").set(
+      static_cast<std::int64_t>(hooks_.probe_count()));
+  m.gauge(p + ".probes_fired").set(
+      static_cast<std::int64_t>(hooks_.probes_fired()));
+  m.gauge(p + ".probe_cost_ns").set(hooks_.probe_cost_charged().count());
+  std::int64_t gpu_ops = 0;
+  for (const auto& dev : devices_) {
+    gpu_ops += static_cast<std::int64_t>(dev->timeline().size());
+  }
+  m.gauge(p + ".gpu_timeline_ops").set(gpu_ops);
+  m.gauge(p + ".virtual_exec_ns").set(clock_.now().count());
+}
 
 }  // namespace gpusim

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "gpusim/cupti_sink.h"
@@ -46,6 +47,7 @@ class Runtime {
   void set_current_device(int index) { current_device_ = index; }
   MemoryManager& memory() { return memory_; }
   diog::hooks::HookTable& hooks() { return hooks_; }
+  [[nodiscard]] const diog::hooks::HookTable& hooks() const { return hooks_; }
 
   // --- Peer access (multi-GPU) -----------------------------------------------
   [[nodiscard]] bool peer_access_enabled(int from, int to) const;
@@ -139,6 +141,14 @@ class Runtime {
   // Activity emission helper used by API implementations after an
   // operation's facts are known.
   void emit_activity(const CuptiActivity& a);
+
+  // --- Self-telemetry --------------------------------------------------------
+  // Publish this run's facts (API calls, hook-probe fires and charged
+  // cost, GPU timeline size, final virtual time) into the global obs
+  // metrics registry as gauges named "<prefix>.*". The FFM stage
+  // runners call this after each collection run; no-op when telemetry
+  // is compiled out or disabled.
+  void publish_telemetry(std::string_view prefix) const;
 
  private:
   friend class RuntimeScope;

@@ -61,6 +61,8 @@ std::uint64_t HookTable::fire_entry(Fn f, const OpInfo& info,
     if (!s.probe.on_entry) continue;
     clock.advance(s.probe.entry_cost);
     ctx.entry_time = clock.now();  // probe cost precedes the call body
+    ++probes_fired_;
+    cost_charged_ += s.probe.entry_cost;
     s.probe.on_entry(ctx);
   }
   return event_id;
@@ -83,6 +85,8 @@ void HookTable::fire_exit(Fn f, std::uint64_t event_id, TimePoint entry_time,
     if (!s.probe.on_exit) continue;
     clock.advance(s.probe.exit_cost);
     ctx.exit_time = clock.now();
+    ++probes_fired_;
+    cost_charged_ += s.probe.exit_cost;
     s.probe.on_exit(ctx);
   }
 }

@@ -89,6 +89,13 @@ class HookTable {
     return next_event_id_;
   }
 
+  // --- Self-telemetry ------------------------------------------------------
+  // Every probe callback fired and every nanosecond of virtual time the
+  // trampolines charged, since construction. This is the ground truth
+  // the obs overhead accountant attributes per-stage probe cost from.
+  [[nodiscard]] std::uint64_t probes_fired() const { return probes_fired_; }
+  [[nodiscard]] Duration probe_cost_charged() const { return cost_charged_; }
+
  private:
   struct Slot {
     ProbeId id;
@@ -97,6 +104,8 @@ class HookTable {
   std::array<std::vector<Slot>, kFnCount> slots_{};
   ProbeId next_probe_id_ = 1;
   std::uint64_t next_event_id_ = 0;
+  std::uint64_t probes_fired_ = 0;
+  Duration cost_charged_{0};
 };
 
 }  // namespace diog::hooks

@@ -29,8 +29,11 @@ void escape_to(const std::string& s, std::string& out) {
       case '\t': out += "\\t"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
+          // Promote via unsigned char: a plain (signed) char would
+          // sign-extend and hand %x a negative int.
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           out += buf;
         } else {
           out += c;  // UTF-8 bytes pass through verbatim

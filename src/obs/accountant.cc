@@ -1,0 +1,102 @@
+#include "obs/accountant.h"
+
+#include <cstdio>
+
+#include "support/strings.h"
+
+namespace diog::obs {
+
+json::Value StageOverhead::to_json() const {
+  json::Object o;
+  o["type"] = "stage_overhead";
+  o["stage"] = stage;
+  o["app_ns"] = app_time.count();
+  o["baseline_ns"] = baseline_time.count();
+  o["tool_ns"] = tool_time().count();
+  o["perturbation"] = perturbation();
+  o["probes_fired"] = probes_fired;
+  o["probe_cost_ns"] = probe_cost.count();
+  o["wall_ms"] = wall_ms;
+  return json::Value(std::move(o));
+}
+
+void OverheadAccountant::record(StageOverhead s) {
+#if DIOG_OBS_ENABLED
+  std::lock_guard<std::mutex> lock(mu_);
+  stages_.push_back(std::move(s));
+#else
+  (void)s;
+#endif
+}
+
+std::vector<StageOverhead> OverheadAccountant::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stages_;
+}
+
+std::size_t OverheadAccountant::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stages_.size();
+}
+
+void OverheadAccountant::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stages_.clear();
+}
+
+double OverheadAccountant::total_collection_factor() const {
+  Duration app_total{0};
+  Duration baseline{0};
+  for (const StageOverhead& s : snapshot()) {
+    if (s.baseline_time.count() <= 0) continue;
+    app_total += s.app_time;
+    baseline = s.baseline_time;  // all rows share the stage-1 baseline
+  }
+  return baseline.count() > 0 ? static_cast<double>(app_total.count()) /
+                                    static_cast<double>(baseline.count())
+                              : 0.0;
+}
+
+std::string OverheadAccountant::render() const {
+  const auto stages = snapshot();
+  std::string out;
+  out += "self-measured perturbation (Table-2 style, per collection run)\n";
+  out += pad_right("stage", 10) + pad_left("app time", 12) +
+         pad_left("vs baseline", 13) + pad_left("tool time", 12) +
+         pad_left("probes", 10) + pad_left("probe cost", 12) +
+         pad_left("wall", 10) + "\n";
+  if (stages.empty()) {
+    out += "  (no stage runs recorded)\n";
+    return out;
+  }
+  for (const StageOverhead& s : stages) {
+    char factor[32];
+    std::snprintf(factor, sizeof(factor), "%.2fx", s.perturbation());
+    char wall[32];
+    std::snprintf(wall, sizeof(wall), "%.1fms", s.wall_ms);
+    out += pad_right(s.stage, 10) +
+           pad_left(format_seconds(s.app_time), 12) +
+           pad_left(factor, 13) +
+           pad_left(format_seconds(s.tool_time()), 12) +
+           pad_left(std::to_string(s.probes_fired), 10) +
+           pad_left(format_seconds(s.probe_cost), 12) +
+           pad_left(wall, 10) + "\n";
+  }
+  char total[64];
+  std::snprintf(total, sizeof(total),
+                "total collection cost: %.1fx the baseline run\n",
+                total_collection_factor());
+  out += total;
+  return out;
+}
+
+json::Value OverheadAccountant::to_json() const {
+  json::Array rows;
+  for (const StageOverhead& s : snapshot()) rows.push_back(s.to_json());
+  json::Object root;
+  root["stages"] = std::move(rows);
+  root["total_collection_factor"] = total_collection_factor();
+  return json::Value(std::move(root));
+}
+
+}  // namespace diog::obs

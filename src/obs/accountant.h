@@ -1,0 +1,75 @@
+// Overhead accounting: the tool measuring its own perturbation.
+//
+// The paper's Table 2 reports how much each tool (Diogenes, nvprof,
+// HPCToolkit) perturbs the application it measures. This accountant
+// produces the same style of report for our own FFM stages: for every
+// collection run it separates app-time (the baseline virtual execution
+// time) from tool-time (the extra virtual time the stage's
+// instrumentation charged), attributes the probe-trampoline cost
+// exactly (the hook table counts every fired probe and the virtual
+// time it charged), and records the real host time the stage run took.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+#include "obs/obs.h"
+#include "support/clock.h"
+
+namespace diog::obs {
+
+struct StageOverhead {
+  std::string stage;          // "stage1" ... "stage4"
+  Duration app_time{0};       // virtual exec time under this stage's probes
+  Duration baseline_time{0};  // the stage-1 (near-native) measurement
+  std::uint64_t probes_fired = 0;
+  Duration probe_cost{0};     // virtual time charged by probe trampolines
+  double wall_ms = 0.0;       // real host time spent running the stage
+
+  // Table-2 style multiplier: how much slower the app ran under this
+  // stage's instrumentation than at baseline.
+  [[nodiscard]] double perturbation() const {
+    return baseline_time.count() > 0
+               ? static_cast<double>(app_time.count()) /
+                     static_cast<double>(baseline_time.count())
+               : 0.0;
+  }
+  // The tool's share of the run (never negative: a stage can't run
+  // faster than baseline, but clamp against measurement noise).
+  [[nodiscard]] Duration tool_time() const {
+    return app_time > baseline_time ? app_time - baseline_time : Duration{0};
+  }
+
+  [[nodiscard]] json::Value to_json() const;
+};
+
+class OverheadAccountant {
+ public:
+  OverheadAccountant() = default;
+  OverheadAccountant(const OverheadAccountant&) = delete;
+  OverheadAccountant& operator=(const OverheadAccountant&) = delete;
+
+  void record(StageOverhead s);
+
+  [[nodiscard]] std::vector<StageOverhead> snapshot() const;
+  [[nodiscard]] std::size_t size() const;
+  void reset();
+
+  // Totals across recorded stages: collection cost as a multiple of the
+  // baseline (the §5.3 "8x-20x" number), computed over rows that have a
+  // baseline.
+  [[nodiscard]] double total_collection_factor() const;
+
+  // Table-2-style terminal rendering.
+  [[nodiscard]] std::string render() const;
+  [[nodiscard]] json::Value to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<StageOverhead> stages_;
+};
+
+}  // namespace diog::obs

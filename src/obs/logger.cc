@@ -1,0 +1,96 @@
+#include "obs/logger.h"
+
+#include <cstdio>
+
+#include "obs/telemetry.h"
+
+namespace diog::obs {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "unknown";
+}
+
+json::Value LogRecord::to_json() const {
+  json::Object o;
+  o["type"] = "log";
+  o["level"] = std::string(to_string(level));
+  o["component"] = component;
+  o["message"] = message;
+  o["t_ns"] = t_ns;
+  return json::Value(std::move(o));
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string message) {
+#if DIOG_OBS_ENABLED
+  if (!enabled(level) || level == LogLevel::kOff) return;
+  LogRecord r;
+  r.level = level;
+  r.component = std::string(component);
+  r.message = std::move(message);
+  r.t_ns = Telemetry::global().spans().now_ns();
+
+  if (stderr_enabled_) {
+    if (level >= LogLevel::kWarn) {
+      std::fprintf(stderr, "[diogenes %s] %s: %s\n",
+                   std::string(to_string(level)).c_str(),
+                   r.component.c_str(), r.message.c_str());
+    } else {
+      std::fprintf(stderr, "[diogenes] %s\n", r.message.c_str());
+    }
+  }
+
+  Sink sink_copy;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back(r);
+    sink_copy = sink_;
+  }
+  if (sink_copy) sink_copy(r);
+#else
+  (void)level;
+  (void)component;
+  (void)message;
+#endif
+}
+
+void Logger::logf(LogLevel level, std::string_view component, const char* fmt,
+                  ...) {
+#if DIOG_OBS_ENABLED
+  if (!enabled(level) || level == LogLevel::kOff) return;
+  char buf[1024];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  log(level, component, std::string(buf));
+#else
+  (void)level;
+  (void)component;
+  (void)fmt;
+#endif
+}
+
+std::vector<LogRecord> Logger::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+void Logger::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+}  // namespace diog::obs

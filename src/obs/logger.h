@@ -1,0 +1,98 @@
+// Structured logging for the tool itself.
+//
+// Replaces the ad-hoc `--verbose` stderr narration: every component logs
+// through one Logger with levels; the stderr sink prints the familiar
+// "[diogenes] ..." lines, and records are also captured in-memory so the
+// --telemetry JSONL export contains the run's narration as structured
+// {"type":"log",...} lines. Default level is kWarn, so silent mode
+// truly emits nothing on stderr.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/json.h"
+#include "obs/obs.h"
+
+namespace diog::obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+std::string_view to_string(LogLevel level);
+
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string component;  // "stage2", "cli", ...
+  std::string message;
+  std::int64_t t_ns = 0;  // host time since the span-collector epoch
+
+  [[nodiscard]] json::Value to_json() const;
+};
+
+class Logger {
+ public:
+  Logger() = default;
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const {
+#if DIOG_OBS_ENABLED
+    return static_cast<int>(level) >= static_cast<int>(level_);
+#else
+    (void)level;
+    return false;
+#endif
+  }
+
+  // The stderr sink is on by default; tests and embedders can silence it
+  // while still capturing records.
+  void set_stderr_enabled(bool on) { stderr_enabled_ = on; }
+
+  // Extra sink invoked for every record that passes the level filter
+  // (e.g. a live JSONL stream). May be empty.
+  using Sink = std::function<void(const LogRecord&)>;
+  void set_sink(Sink sink);
+
+  void log(LogLevel level, std::string_view component, std::string message);
+  [[gnu::format(printf, 4, 5)]] void logf(LogLevel level,
+                                          std::string_view component,
+                                          const char* fmt, ...);
+
+  void debug(std::string_view component, std::string message) {
+    log(LogLevel::kDebug, component, std::move(message));
+  }
+  void info(std::string_view component, std::string message) {
+    log(LogLevel::kInfo, component, std::move(message));
+  }
+  void warn(std::string_view component, std::string message) {
+    log(LogLevel::kWarn, component, std::move(message));
+  }
+  void error(std::string_view component, std::string message) {
+    log(LogLevel::kError, component, std::move(message));
+  }
+
+  // Records captured since construction / the last reset.
+  [[nodiscard]] std::vector<LogRecord> records() const;
+  void reset();
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+  bool stderr_enabled_ = true;
+  mutable std::mutex mu_;
+  Sink sink_;
+  std::vector<LogRecord> records_;
+};
+
+}  // namespace diog::obs

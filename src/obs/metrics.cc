@@ -1,0 +1,304 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+
+#include "support/strings.h"
+
+namespace diog::obs {
+
+namespace {
+
+int bucket_index(std::int64_t v) {
+  if (v <= 0) return 0;
+  const int idx = std::bit_width(static_cast<std::uint64_t>(v)) - 1;
+  return idx >= Histogram::kBucketCount ? Histogram::kBucketCount - 1 : idx;
+}
+
+// Geometric midpoint of bucket i: 2^i * 1.5 (bucket 0 reports 1 ns).
+std::int64_t bucket_mid(int i) {
+  if (i == 0) return 1;
+  return static_cast<std::int64_t>(
+      std::llround(static_cast<double>(std::int64_t{1} << i) * 1.5));
+}
+
+void atomic_store_min(std::atomic<std::int64_t>& a, std::int64_t v) {
+  std::int64_t cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_store_max(std::atomic<std::int64_t>& a, std::int64_t v) {
+  std::int64_t cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::record_ns(std::int64_t v) {
+#if DIOG_OBS_ENABLED
+  if (v < 0) v = 0;
+  buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  const std::uint64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  if (prev == 0) {
+    // First sample seeds both extremes (racy against a concurrent first
+    // sample, which the CAS loops below resolve).
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  }
+  atomic_store_min(min_, v);
+  atomic_store_max(max_, v);
+#else
+  (void)v;
+#endif
+}
+
+Duration Histogram::min() const {
+  return count() == 0 ? Duration{0}
+                      : Duration{min_.load(std::memory_order_relaxed)};
+}
+
+Duration Histogram::max() const {
+  return count() == 0 ? Duration{0}
+                      : Duration{max_.load(std::memory_order_relaxed)};
+}
+
+Duration Histogram::percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return Duration{0};
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  auto target = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (target == 0) target = 1;
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    cum += bucket(i);
+    if (cum >= target) {
+      // Clamp the bucket midpoint into the observed range so quantiles
+      // never exceed the true max (or undershoot the true min).
+      std::int64_t v = bucket_mid(i);
+      const std::int64_t lo = min_.load(std::memory_order_relaxed);
+      const std::int64_t hi = max_.load(std::memory_order_relaxed);
+      if (v < lo) v = lo;
+      if (v > hi) v = hi;
+      return Duration{v};
+    }
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+// Shared fallbacks handed out when the subsystem is compiled out: the
+// registry then never allocates and all recording is a no-op anyway.
+[[maybe_unused]] Counter& dummy_counter() {
+  static Counter c;
+  return c;
+}
+[[maybe_unused]] Gauge& dummy_gauge() {
+  static Gauge g;
+  return g;
+}
+[[maybe_unused]] Histogram& dummy_histogram() {
+  static Histogram h;
+  return h;
+}
+
+template <typename Map>
+auto& find_or_create(Map& map, std::string_view name) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name),
+                     std::make_unique<typename Map::mapped_type::element_type>())
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+#if DIOG_OBS_ENABLED
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_or_create(counters_, name);
+#else
+  (void)name;
+  return dummy_counter();
+#endif
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+#if DIOG_OBS_ENABLED
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_or_create(gauges_, name);
+#else
+  (void)name;
+  return dummy_gauge();
+#endif
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+#if DIOG_OBS_ENABLED
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_or_create(histograms_, name);
+#else
+  (void)name;
+  return dummy_histogram();
+#endif
+}
+
+std::vector<CounterSnapshot> MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CounterSnapshot> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.push_back(CounterSnapshot{name, c->value()});
+  }
+  return out;
+}
+
+std::vector<GaugeSnapshot> MetricsRegistry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<GaugeSnapshot> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    out.push_back(GaugeSnapshot{name, g->value()});
+  }
+  return out;
+}
+
+std::vector<HistogramSnapshot> MetricsRegistry::histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot s;
+    s.name = name;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    s.p50 = h->percentile(50);
+    s.p95 = h->percentile(95);
+    s.p99 = h->percentile(99);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+json::Value MetricsRegistry::to_json() const {
+  json::Object counters;
+  for (const CounterSnapshot& c : this->counters()) {
+    counters[c.name] = c.value;
+  }
+  json::Object gauges;
+  for (const GaugeSnapshot& g : this->gauges()) gauges[g.name] = g.value;
+  json::Object histos;
+  for (const HistogramSnapshot& h : this->histograms()) {
+    json::Object o;
+    o["count"] = h.count;
+    o["sum_ns"] = h.sum.count();
+    o["min_ns"] = h.min.count();
+    o["max_ns"] = h.max.count();
+    o["p50_ns"] = h.p50.count();
+    o["p95_ns"] = h.p95.count();
+    o["p99_ns"] = h.p99.count();
+    histos[h.name] = std::move(o);
+  }
+  json::Object root;
+  root["counters"] = std::move(counters);
+  root["gauges"] = std::move(gauges);
+  root["histograms"] = std::move(histos);
+  return json::Value(std::move(root));
+}
+
+namespace {
+
+std::string_view group_of(std::string_view name) {
+  const std::size_t dot = name.find('.');
+  return dot == std::string_view::npos ? name : name.substr(0, dot);
+}
+
+std::string_view rest_of(std::string_view name) {
+  const std::size_t dot = name.find('.');
+  return dot == std::string_view::npos ? name : name.substr(dot + 1);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::render() const {
+  const auto cs = counters();
+  const auto gs = gauges();
+  const auto hs = histograms();
+
+  // Collect group names in sorted order (the snapshots already are).
+  std::vector<std::string> groups;
+  auto note_group = [&](std::string_view name) {
+    const std::string g(group_of(name));
+    for (const std::string& seen : groups) {
+      if (seen == g) return;
+    }
+    groups.push_back(g);
+  };
+  for (const auto& c : cs) note_group(c.name);
+  for (const auto& g : gs) note_group(g.name);
+  for (const auto& h : hs) note_group(h.name);
+
+  std::string out;
+  if (groups.empty()) {
+    out += "(no self-telemetry collected";
+    out += kCompiledIn ? ")\n" : " — compiled out with DIOG_OBS=OFF)\n";
+    return out;
+  }
+  for (const std::string& g : groups) {
+    out += "[" + g + "]\n";
+    for (const auto& c : cs) {
+      if (group_of(c.name) != g) continue;
+      out += "  " + pad_right(std::string(rest_of(c.name)), 36) +
+             pad_left(std::to_string(c.value), 14) + "\n";
+    }
+    for (const auto& gg : gs) {
+      if (group_of(gg.name) != g) continue;
+      out += "  " + pad_right(std::string(rest_of(gg.name)), 36) +
+             pad_left(std::to_string(gg.value), 14) + "\n";
+    }
+    for (const auto& h : hs) {
+      if (group_of(h.name) != g) continue;
+      out += "  " + pad_right(std::string(rest_of(h.name)), 36) +
+             pad_left("n=" + std::to_string(h.count), 14) +
+             "  p50=" + format_seconds(h.p50, 6) +
+             "  p95=" + format_seconds(h.p95, 6) +
+             "  p99=" + format_seconds(h.p99, 6) +
+             "  max=" + format_seconds(h.max, 6) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace diog::obs

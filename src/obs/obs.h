@@ -1,0 +1,21 @@
+// Compile-time switch for the self-telemetry (obs) subsystem.
+//
+// The paper reports Diogenes' own perturbation as a first-class result
+// (Table 2); this subsystem is how the reproduction observes *itself*.
+// Builds configured with -DDIOG_OBS=OFF define DIOG_OBS_ENABLED=0, which
+// turns every hot-path hook (DIOG_SPAN, counter increments, histogram
+// records, log statements) into a no-op the optimizer deletes — the tool
+// must be able to prove its measurement layer can be removed entirely.
+#pragma once
+
+#ifndef DIOG_OBS_ENABLED
+#define DIOG_OBS_ENABLED 1
+#endif
+
+namespace diog::obs {
+
+// True when the subsystem is compiled in (it may still be disabled at
+// runtime via Telemetry::set_enabled(false)).
+inline constexpr bool kCompiledIn = DIOG_OBS_ENABLED != 0;
+
+}  // namespace diog::obs

@@ -1,0 +1,88 @@
+#include "obs/telemetry.h"
+
+#include <fstream>
+
+#include "support/error.h"
+
+namespace diog::obs {
+
+Telemetry& Telemetry::global() {
+  static Telemetry t;
+  return t;
+}
+
+void Telemetry::reset() {
+  metrics_.reset();
+  spans_.reset();
+  logger_.reset();
+  accountant_.reset();
+}
+
+json::Value Telemetry::to_json() const {
+  json::Object root;
+  root["metrics"] = metrics_.to_json();
+  json::Array spans;
+  for (const SpanRecord& s : spans_.snapshot()) spans.push_back(s.to_json());
+  root["spans"] = std::move(spans);
+  root["overhead"] = accountant_.to_json();
+  json::Array logs;
+  for (const LogRecord& r : logger_.records()) logs.push_back(r.to_json());
+  root["logs"] = std::move(logs);
+  return json::Value(std::move(root));
+}
+
+std::string Telemetry::to_jsonl() const {
+  std::string out;
+  auto emit = [&out](const json::Value& v) {
+    out += v.dump();
+    out += '\n';
+  };
+
+  for (const CounterSnapshot& c : metrics_.counters()) {
+    json::Object o;
+    o["type"] = "counter";
+    o["name"] = c.name;
+    o["value"] = c.value;
+    emit(json::Value(std::move(o)));
+  }
+  for (const GaugeSnapshot& g : metrics_.gauges()) {
+    json::Object o;
+    o["type"] = "gauge";
+    o["name"] = g.name;
+    o["value"] = g.value;
+    emit(json::Value(std::move(o)));
+  }
+  for (const HistogramSnapshot& h : metrics_.histograms()) {
+    json::Object o;
+    o["type"] = "histogram";
+    o["name"] = h.name;
+    o["count"] = h.count;
+    o["sum_ns"] = h.sum.count();
+    o["min_ns"] = h.min.count();
+    o["max_ns"] = h.max.count();
+    o["p50_ns"] = h.p50.count();
+    o["p95_ns"] = h.p95.count();
+    o["p99_ns"] = h.p99.count();
+    emit(json::Value(std::move(o)));
+  }
+  for (const SpanRecord& s : spans_.snapshot()) {
+    json::Value v = s.to_json();
+    v["type"] = "span";
+    emit(v);
+  }
+  for (const StageOverhead& s : accountant_.snapshot()) {
+    emit(s.to_json());  // carries "type": "stage_overhead"
+  }
+  for (const LogRecord& r : logger_.records()) {
+    emit(r.to_json());  // carries "type": "log"
+  }
+  return out;
+}
+
+void Telemetry::save_jsonl(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("telemetry: cannot write file '" + path + "'");
+  out << to_jsonl();
+}
+
+}  // namespace diog::obs

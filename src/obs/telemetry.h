@@ -1,0 +1,65 @@
+// The process-wide telemetry session: one registry, one span collector,
+// one logger, one overhead accountant.
+//
+// Everything the tool records about itself funnels through this facade;
+// the CLI's `metrics` command renders it and `--telemetry <file.jsonl>`
+// serializes it as JSON lines (one self-describing object per line —
+// the machine-readable performance facts downstream tools want).
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "json/json.h"
+#include "obs/accountant.h"
+#include "obs/logger.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace diog::obs {
+
+class Telemetry {
+ public:
+  static Telemetry& global();
+
+  // False when compiled out or runtime-disabled; the span/logger hot
+  // paths check this.
+  static bool enabled() {
+#if DIOG_OBS_ENABLED
+    return global().enabled_.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+  }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  SpanCollector& spans() { return spans_; }
+  Logger& logger() { return logger_; }
+  OverheadAccountant& accountant() { return accountant_; }
+
+  // Clear every collected fact (metrics, spans, logs, overhead rows);
+  // level/sink configuration is preserved.
+  void reset();
+
+  // One document with everything (the `export`-style view).
+  [[nodiscard]] json::Value to_json() const;
+
+  // JSON lines: every metric, span, overhead row and captured log
+  // record as one self-describing object per line.
+  [[nodiscard]] std::string to_jsonl() const;
+  void save_jsonl(const std::string& path) const;
+
+ private:
+  Telemetry() = default;
+
+  std::atomic<bool> enabled_{true};
+  MetricsRegistry metrics_;
+  SpanCollector spans_;
+  Logger logger_;
+  OverheadAccountant accountant_;
+};
+
+}  // namespace diog::obs

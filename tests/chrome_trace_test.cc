@@ -131,6 +131,7 @@ TEST(ChromeTrace, OptionsDisableTracks) {
   const Dataset d = make_dataset();
   ChromeTraceOptions no_gpu;
   no_gpu.include_gpu_timeline = false;
+  no_gpu.include_internal_track = false;
   const json::Value v = chrome_trace(d.s2, &d.s3, d.rt.get(), no_gpu);
   for (const json::Value& e : events_of(v)) {
     if (e.at("ph").as_string() == "X") {
@@ -140,12 +141,118 @@ TEST(ChromeTrace, OptionsDisableTracks) {
 
   ChromeTraceOptions no_cpu;
   no_cpu.include_cpu_ops = false;
+  no_cpu.include_internal_track = false;
   const json::Value v2 = chrome_trace(d.s2, &d.s3, d.rt.get(), no_cpu);
   for (const json::Value& e : events_of(v2)) {
     if (e.at("ph").as_string() == "X") {
       EXPECT_GE(e.at("tid").as_int(), 100);  // only GPU tracks
     }
   }
+}
+
+TEST(ChromeTrace, InternalTrackEmitsNamedNestedSpans) {
+  const Dataset d = make_dataset();
+  obs::SpanCollector spans;
+  const std::int64_t outer = spans.open("stage2.run");
+  const std::int64_t inner = spans.open("stage2.trace_sync");
+  spans.close(inner);
+  spans.close(outer);
+
+  ChromeTraceOptions opts;
+  opts.internal_spans = &spans;
+  const json::Value v = chrome_trace(d.s2, &d.s3, d.rt.get(), opts);
+
+  bool internal_meta = false;
+  const json::Value* outer_ev = nullptr;
+  const json::Value* inner_ev = nullptr;
+  for (const json::Value& e : events_of(v)) {
+    if (e.at("ph").as_string() == "M" &&
+        e.at("args").at("name").as_string() == "diogenes-internal") {
+      internal_meta = true;
+      EXPECT_EQ(e.at("tid").as_int(), 50);
+    }
+    if (e.at("ph").as_string() != "X" || e.at("tid").as_int() != 50) continue;
+    if (e.at("name").as_string() == "stage2.run") outer_ev = &e;
+    if (e.at("name").as_string() == "stage2.trace_sync") inner_ev = &e;
+  }
+  EXPECT_TRUE(internal_meta);
+  ASSERT_NE(outer_ev, nullptr);
+  ASSERT_NE(inner_ev, nullptr);
+
+  // Nesting is visible both structurally (depth/parent args) and
+  // temporally (the child is contained in the parent's interval).
+  EXPECT_EQ(outer_ev->at("args").at("depth").as_int(), 0);
+  EXPECT_FALSE(outer_ev->at("args").contains("parent"));
+  EXPECT_EQ(inner_ev->at("args").at("depth").as_int(), 1);
+  EXPECT_EQ(inner_ev->at("args").at("parent").as_int(), outer);
+  const double o_ts = outer_ev->at("ts").as_double();
+  const double o_end = o_ts + outer_ev->at("dur").as_double();
+  const double i_ts = inner_ev->at("ts").as_double();
+  const double i_end = i_ts + inner_ev->at("dur").as_double();
+  EXPECT_GE(i_ts, o_ts);
+  EXPECT_LE(i_end, o_end);
+}
+
+TEST(ChromeTrace, InternalTrackOpenSpansRenderZeroDuration) {
+  const Dataset d = make_dataset();
+  obs::SpanCollector spans;
+  (void)spans.open("ffm.analyze");  // never closed
+
+  ChromeTraceOptions opts;
+  opts.internal_spans = &spans;
+  const json::Value v = chrome_trace(d.s2, &d.s3, d.rt.get(), opts);
+  bool seen = false;
+  for (const json::Value& e : events_of(v)) {
+    if (e.at("ph").as_string() == "X" && e.at("tid").as_int() == 50 &&
+        e.at("name").as_string() == "ffm.analyze") {
+      seen = true;
+      EXPECT_EQ(e.at("dur").as_double(), 0.0);
+    }
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST(ChromeTrace, InternalTrackAbsentWhenDisabledOrEmpty) {
+  const Dataset d = make_dataset();
+  obs::SpanCollector spans;
+  spans.close(spans.open("stage1.run"));
+
+  ChromeTraceOptions off;
+  off.include_internal_track = false;
+  off.internal_spans = &spans;
+  const json::Value disabled = chrome_trace(d.s2, &d.s3, d.rt.get(), off);
+  for (const json::Value& e : events_of(disabled)) {
+    EXPECT_NE(e.at("tid").as_int(), 50);
+  }
+
+  // An empty collector contributes nothing — not even the meta event.
+  obs::SpanCollector empty;
+  ChromeTraceOptions on;
+  on.internal_spans = &empty;
+  const json::Value no_spans = chrome_trace(d.s2, &d.s3, d.rt.get(), on);
+  for (const json::Value& e : events_of(no_spans)) {
+    EXPECT_NE(e.at("tid").as_int(), 50);
+  }
+}
+
+TEST(ChromeTrace, ProblemAnnotationsSurviveAlongsideInternalSpans) {
+  const Dataset d = make_dataset();
+  obs::SpanCollector spans;
+  spans.close(spans.open("stage3.run"));
+
+  ChromeTraceOptions opts;
+  opts.internal_spans = &spans;
+  const json::Value v = chrome_trace(d.s2, &d.s3, d.rt.get(), opts);
+  bool sync_annotation = false, internal_span = false;
+  for (const json::Value& e : events_of(v)) {
+    if (e.at("ph").as_string() != "X") continue;
+    if (e.contains("args") && e.at("args").contains("sync")) {
+      sync_annotation = true;
+    }
+    if (e.at("tid").as_int() == 50) internal_span = true;
+  }
+  EXPECT_TRUE(sync_annotation);
+  EXPECT_TRUE(internal_span);
 }
 
 TEST(ChromeTrace, NullRuntimeAndProblemsTolerated) {

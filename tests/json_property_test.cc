@@ -109,6 +109,47 @@ TEST_P(JsonPropertyTest, GarbageNeverAccepted) {
   }
 }
 
+TEST(JsonEscaping, EveryControlCharacterRoundTrips) {
+  // All of 0x00-0x1F must serialize as an escape (the short forms for
+  // \b \f \n \r \t, \u00XX otherwise), parse back to the same byte,
+  // and reach a dump fixed point.
+  for (int c = 0; c < 0x20; ++c) {
+    std::string s = "pre";
+    s += static_cast<char>(c);
+    s += "post";
+    const Value v{s};
+    const std::string dumped = v.dump();
+    for (const char raw : dumped) {
+      EXPECT_GE(static_cast<unsigned char>(raw), 0x20u)
+          << "raw control byte " << c << " leaked into the serialization";
+    }
+    EXPECT_EQ(parse(dumped), v) << "control byte " << c;
+    EXPECT_EQ(parse(dumped).dump(), dumped) << "control byte " << c;
+  }
+}
+
+TEST(JsonEscaping, EmbeddedNulAndHighBytesSurvive) {
+  // NUL in the middle of a std::string is data, not a terminator; bytes
+  // >= 0x80 (UTF-8 continuation range) pass through verbatim.
+  std::string s("a\0b", 3);
+  s += "\x01\x1f";
+  s += "\xc3\xa9";  // 'é'
+  const Value v{s};
+  EXPECT_EQ(v.dump(), "\"a\\u0000b\\u0001\\u001f\xc3\xa9\"");
+  EXPECT_EQ(parse(v.dump()), v);
+  EXPECT_EQ(parse(v.dump()).as_string().size(), s.size());
+}
+
+TEST(JsonEscaping, ControlCharactersInObjectKeys) {
+  Object o;
+  std::string key = "k\n\x02";
+  o[key] = Value(std::int64_t{7});
+  const Value v{std::move(o)};
+  const Value back = parse(v.dump());
+  EXPECT_EQ(back.at(key).as_int(), 7);
+  EXPECT_EQ(back, v);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, JsonPropertyTest,
                          ::testing::Values(101, 202, 303, 404, 505, 606));
 

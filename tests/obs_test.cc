@@ -1,0 +1,409 @@
+// Tests for the self-telemetry subsystem (src/obs/): metrics registry,
+// span collector, structured logger, overhead accountant, and the
+// Telemetry facade's JSONL export. Every test also has defined behavior
+// in a -DDIOG_OBS=OFF build, where recording is compiled out — the
+// obs::kCompiledIn branches below assert the no-op contract instead.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/stage1_baseline.h"
+#include "core/stage2_tracing.h"
+#include "core/stage3_memhash.h"
+#include "core/stage4_syncuse.h"
+#include "gpusim/api.h"
+#include "gpusim/host_buffer.h"
+#include "obs/telemetry.h"
+#include "support/error.h"
+#include "trace/callstack.h"
+
+namespace diog::obs {
+namespace {
+
+TEST(ObsCounter, IncrementsOrNoOps) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  if (kCompiledIn) {
+    EXPECT_EQ(c.value(), 42u);
+  } else {
+    EXPECT_EQ(c.value(), 0u);
+  }
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsGauge, SetAndAdd) {
+  Gauge g;
+  g.set(-7);
+  g.add(10);
+  if (kCompiledIn) {
+    EXPECT_EQ(g.value(), 3);
+  } else {
+    EXPECT_EQ(g.value(), 0);
+  }
+}
+
+TEST(ObsRegistry, HandlesAreStableAndNamed) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("stage2.ops");
+  Counter& a_again = reg.counter("stage2.ops");
+  EXPECT_EQ(&a, &a_again);  // resolve once, record many times
+
+  reg.gauge("stage1.sync_sites").set(4);
+  reg.histogram("stage2.sync_wait").record_ns(1000);
+  if (!kCompiledIn) {
+    EXPECT_EQ(reg.size(), 0u);
+    return;
+  }
+  EXPECT_EQ(reg.size(), 3u);
+
+  a.inc(5);
+  const auto cs = reg.counters();
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs[0].name, "stage2.ops");
+  EXPECT_EQ(cs[0].value, 5u);
+
+  reg.reset();
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(ObsHistogram, ExactAggregatesAndClampedPercentiles) {
+  Histogram h;
+  EXPECT_EQ(h.percentile(50).count(), 0);  // empty
+  for (int i = 0; i < 4; ++i) h.record(Duration{1000});
+  if (!kCompiledIn) {
+    EXPECT_EQ(h.count(), 0u);
+    return;
+  }
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum().count(), 4000);
+  EXPECT_EQ(h.min().count(), 1000);
+  EXPECT_EQ(h.max().count(), 1000);
+  // 1000 ns lands in bucket [512, 1024); the geometric midpoint (768)
+  // is clamped into the observed [min, max] range, so a degenerate
+  // distribution reports itself exactly.
+  EXPECT_EQ(h.percentile(50).count(), 1000);
+  EXPECT_EQ(h.percentile(99).count(), 1000);
+}
+
+TEST(ObsHistogram, PercentilesSeparateBimodalTail) {
+  if (!kCompiledIn) GTEST_SKIP() << "recording compiled out";
+  Histogram h;
+  // 95 fast ops at ~1 us and 5 slow ones at ~1 ms: the median must
+  // stay in the fast mode and p99 must reach the slow mode, both
+  // within the documented ~±50% bucket resolution.
+  for (int i = 0; i < 95; ++i) h.record_ns(1'000);
+  for (int i = 0; i < 5; ++i) h.record_ns(1'000'000);
+  const auto p50 = static_cast<double>(h.percentile(50).count());
+  const auto p99 = static_cast<double>(h.percentile(99).count());
+  EXPECT_GE(p50, 500.0);
+  EXPECT_LE(p50, 2'000.0);
+  EXPECT_GE(p99, 500'000.0);
+  EXPECT_LE(p99, 2'000'000.0);
+  EXPECT_LE(h.percentile(100).count(), h.max().count());
+}
+
+TEST(ObsHistogram, NegativeSamplesClampToZero) {
+  if (!kCompiledIn) GTEST_SKIP() << "recording compiled out";
+  Histogram h;
+  h.record_ns(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min().count(), 0);
+  EXPECT_EQ(h.sum().count(), 0);
+}
+
+TEST(ObsRegistry, RenderGroupsByStage) {
+  MetricsRegistry reg;
+  reg.counter("stage2.ops").inc(7);
+  reg.histogram("stage2.sync_wait").record_ns(4096);
+  reg.counter("cli.commands").inc();
+  const std::string out = reg.render();
+  if (!kCompiledIn) {
+    EXPECT_NE(out.find("compiled out"), std::string::npos);
+    return;
+  }
+  EXPECT_NE(out.find("[stage2]"), std::string::npos);
+  EXPECT_NE(out.find("[cli]"), std::string::npos);
+  EXPECT_NE(out.find("ops"), std::string::npos);
+  EXPECT_NE(out.find("p50="), std::string::npos);
+
+  const json::Value v = reg.to_json();
+  EXPECT_EQ(v.at("counters").at("stage2.ops").as_int(), 7);
+  EXPECT_EQ(v.at("histograms").at("stage2.sync_wait").at("count").as_int(), 1);
+}
+
+TEST(ObsSpan, CollectorTracksDepthAndParents) {
+  SpanCollector spans;
+  const std::int64_t outer = spans.open("ffm.analyze");
+  const std::int64_t inner = spans.open("stage5.build_graph");
+  spans.close(inner);
+  const std::int64_t sibling = spans.open("stage5.groupings");
+  spans.close(sibling);
+  spans.close(outer);
+
+  const auto recs = spans.snapshot();
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].name, "ffm.analyze");
+  EXPECT_EQ(recs[0].depth, 0);
+  EXPECT_EQ(recs[0].parent, -1);
+  EXPECT_EQ(recs[1].depth, 1);
+  EXPECT_EQ(recs[1].parent, outer);
+  EXPECT_EQ(recs[2].depth, 1);
+  EXPECT_EQ(recs[2].parent, outer);
+  for (const SpanRecord& r : recs) {
+    EXPECT_GE(r.end_ns, r.start_ns);
+    EXPECT_GE(r.duration_ns(), 0);
+  }
+  // The parent's interval contains both children.
+  EXPECT_LE(recs[0].start_ns, recs[1].start_ns);
+  EXPECT_GE(recs[0].end_ns, recs[2].end_ns);
+}
+
+TEST(ObsSpan, RaiiMacroRespectsRuntimeToggle) {
+  auto& t = Telemetry::global();
+  t.reset();
+  t.set_enabled(true);
+  { DIOG_SPAN("test.enabled_span"); }
+  t.set_enabled(false);
+  { DIOG_SPAN("test.disabled_span"); }
+  t.set_enabled(true);
+
+  const auto recs = t.spans().snapshot();
+  if (!kCompiledIn) {
+    EXPECT_TRUE(recs.empty());
+  } else {
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].name, "test.enabled_span");
+    EXPECT_GE(recs[0].end_ns, recs[0].start_ns);
+  }
+  t.reset();
+}
+
+TEST(ObsLogger, DefaultLevelKeepsInfoSilent) {
+  Logger log;
+  log.set_stderr_enabled(false);
+  log.info("stage1", "running baseline");
+  EXPECT_TRUE(log.records().empty());  // default level is warn
+
+  log.warn("stage3", "hash collision");
+  if (!kCompiledIn) {
+    EXPECT_TRUE(log.records().empty());
+    return;
+  }
+  const auto recs = log.records();
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].level, LogLevel::kWarn);
+  EXPECT_EQ(recs[0].component, "stage3");
+  EXPECT_EQ(recs[0].message, "hash collision");
+}
+
+TEST(ObsLogger, LevelAndSinkAndFormatting) {
+  if (!kCompiledIn) GTEST_SKIP() << "logging compiled out";
+  Logger log;
+  log.set_stderr_enabled(false);
+  log.set_level(LogLevel::kInfo);
+  std::vector<std::string> sunk;
+  log.set_sink([&sunk](const LogRecord& r) { sunk.push_back(r.message); });
+
+  log.debug("cli", "dropped");  // below level
+  log.logf(LogLevel::kInfo, "stage2", "traced %d ops in %s", 12, "cumf_als");
+  ASSERT_EQ(sunk.size(), 1u);
+  EXPECT_EQ(sunk[0], "traced 12 ops in cumf_als");
+
+  log.set_level(LogLevel::kOff);
+  log.error("cli", "swallowed");
+  EXPECT_EQ(log.records().size(), 1u);
+
+  const json::Value v = log.records()[0].to_json();
+  EXPECT_EQ(v.at("type").as_string(), "log");
+  EXPECT_EQ(v.at("level").as_string(), "info");
+  EXPECT_EQ(v.at("component").as_string(), "stage2");
+}
+
+TEST(ObsAccountant, StageMathAndTotals) {
+  StageOverhead s;
+  s.stage = "stage2";
+  s.app_time = Duration{4000};
+  s.baseline_time = Duration{1000};
+  s.probes_fired = 12;
+  s.probe_cost = Duration{300};
+  EXPECT_DOUBLE_EQ(s.perturbation(), 4.0);
+  EXPECT_EQ(s.tool_time().count(), 3000);
+
+  StageOverhead faster;  // noise clamps, never negative tool time
+  faster.app_time = Duration{900};
+  faster.baseline_time = Duration{1000};
+  EXPECT_EQ(faster.tool_time().count(), 0);
+
+  OverheadAccountant acc;
+  StageOverhead s1;
+  s1.stage = "stage1";
+  s1.app_time = Duration{1000};
+  s1.baseline_time = Duration{1000};
+  acc.record(s1);
+  acc.record(s);
+  if (!kCompiledIn) {
+    EXPECT_EQ(acc.size(), 0u);
+    return;
+  }
+  ASSERT_EQ(acc.size(), 2u);
+  // Collection = every run's app time vs the shared stage-1 baseline:
+  // (1000 + 4000) / 1000.
+  EXPECT_DOUBLE_EQ(acc.total_collection_factor(), 5.0);
+
+  const std::string table = acc.render();
+  EXPECT_NE(table.find("stage2"), std::string::npos);
+  EXPECT_NE(table.find("4.00x"), std::string::npos);
+  EXPECT_NE(table.find("total collection cost: 5.0x"), std::string::npos);
+
+  const json::Value v = s.to_json();
+  EXPECT_EQ(v.at("type").as_string(), "stage_overhead");
+  EXPECT_EQ(v.at("tool_ns").as_int(), 3000);
+}
+
+// A small deterministic workload exercising the instrumented stages.
+ffm::Workload make_workload() {
+  auto out = std::make_shared<gpusim::HostBuffer<float>>(256);
+  ffm::Workload w;
+  w.name = "obs_probe";
+  w.device = gpusim::DeviceConfig{};
+  w.body = [out] {
+    DIOG_APP_FRAME("obs_main", "obs.cu", 3);
+    void* dev = nullptr;
+    (void)gpusim::cudaMalloc(&dev, out->size_bytes());
+    gpusim::KernelDesc k;
+    k.name = "obs_kernel";
+    k.duration = ms(2);
+    (void)gpusim::cudaLaunchKernel(k);
+    (void)gpusim::cudaMemcpy(out->data(), dev, out->size_bytes(),
+                             hooks::MemcpyKind::kDeviceToHost);
+    volatile float v = (*out)[0];
+    (void)v;
+    (void)gpusim::cudaFree(dev);
+  };
+  return w;
+}
+
+void run_pipeline() {
+  const ffm::Workload w = make_workload();
+  const ffm::ToolConfig cfg;
+  const ffm::Stage1Result s1 = ffm::run_stage1(w, cfg);
+  (void)ffm::run_stage2(w, cfg, s1);
+  (void)ffm::run_stage3(w, cfg, s1);
+  (void)ffm::run_stage4(w, cfg, s1);
+}
+
+TEST(ObsTelemetry, StagesPopulateGlobalSession) {
+  auto& t = Telemetry::global();
+  t.reset();
+  t.set_enabled(true);
+  run_pipeline();
+
+  if (!kCompiledIn) {
+    EXPECT_EQ(t.metrics().size(), 0u);
+    EXPECT_EQ(t.accountant().size(), 0u);
+    return;
+  }
+  // Each stage runner leaves its fingerprint: counters, the per-run
+  // overhead row, and nested spans on the internal timeline.
+  EXPECT_EQ(t.metrics().counter("stage1.runs").value(), 1u);
+  EXPECT_EQ(t.metrics().counter("stage2.runs").value(), 1u);
+  EXPECT_GT(t.metrics().counter("stage2.ops").value(), 0u);
+  EXPECT_GT(t.metrics().histogram("stage2.sync_wait").count(), 0u);
+  EXPECT_EQ(t.accountant().size(), 4u);
+
+  const auto rows = t.accountant().snapshot();
+  EXPECT_EQ(rows[0].stage, "stage1");
+  EXPECT_DOUBLE_EQ(rows[0].perturbation(), 1.0);  // its own baseline
+  for (const StageOverhead& row : rows) {
+    EXPECT_GT(row.app_time.count(), 0);
+    EXPECT_GE(row.wall_ms, 0.0);
+  }
+
+  bool stage2_span = false;
+  for (const SpanRecord& s : t.spans().snapshot()) {
+    if (s.name == "stage2.run") stage2_span = true;
+  }
+  EXPECT_TRUE(stage2_span);
+  t.reset();
+}
+
+TEST(ObsTelemetry, RuntimeDisableSkipsStageRecording) {
+  auto& t = Telemetry::global();
+  t.reset();
+  t.set_enabled(false);
+  run_pipeline();
+  EXPECT_EQ(t.metrics().size(), 0u);
+  EXPECT_EQ(t.accountant().size(), 0u);
+  EXPECT_EQ(t.spans().size(), 0u);
+  t.set_enabled(true);
+  t.reset();
+}
+
+TEST(ObsTelemetry, JsonlExportRoundTrips) {
+  auto& t = Telemetry::global();
+  t.reset();
+  t.set_enabled(true);
+  t.logger().set_stderr_enabled(false);
+  run_pipeline();
+  t.logger().warn("test", "one captured record");
+
+  const std::string jsonl = t.to_jsonl();
+  if (!kCompiledIn) {
+    EXPECT_TRUE(jsonl.empty());
+    t.logger().set_stderr_enabled(true);
+    return;
+  }
+
+  // Every line must parse standalone and carry a self-describing type.
+  std::istringstream lines(jsonl);
+  std::string line;
+  std::size_t counters = 0, gauges = 0, histograms = 0, spans = 0,
+              overheads = 0, logs = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    const json::Value v = json::parse(line);
+    const std::string type = v.at("type").as_string();
+    if (type == "counter") ++counters;
+    if (type == "gauge") ++gauges;
+    if (type == "histogram") ++histograms;
+    if (type == "span") ++spans;
+    if (type == "stage_overhead") ++overheads;
+    if (type == "log") ++logs;
+  }
+  EXPECT_GT(counters, 0u);
+  EXPECT_GT(gauges, 0u);
+  EXPECT_GT(histograms, 0u);
+  EXPECT_GT(spans, 0u);
+  EXPECT_EQ(overheads, 4u);
+  EXPECT_EQ(logs, 1u);
+
+  // save_jsonl writes exactly the stream the CLI's --telemetry flag
+  // promises.
+  const auto path =
+      std::filesystem::temp_directory_path() / "diog_obs_test.jsonl";
+  t.save_jsonl(path.string());
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream file;
+  file << in.rdbuf();
+  EXPECT_EQ(file.str(), jsonl);
+  std::filesystem::remove(path);
+
+  t.logger().set_stderr_enabled(true);
+  t.reset();
+}
+
+TEST(ObsTelemetry, SaveJsonlRejectsUnwritablePath) {
+  if (!kCompiledIn) GTEST_SKIP() << "export compiled out";
+  EXPECT_THROW(Telemetry::global().save_jsonl("/nonexistent-dir/x.jsonl"),
+               Error);
+}
+
+}  // namespace
+}  // namespace diog::obs
