@@ -1,0 +1,312 @@
+// Event-store microbenchmarks: append/scan throughput, storage density,
+// and the allocation-free-append contract, at 10K / 100K / 1M events.
+//
+// The store is the carrier for everything the pipeline observes, so its
+// hot append path runs inside instrumentation callbacks — the numbers
+// here bound the tool-side perturbation per observed event (the paper's
+// honesty criterion applied to our own data plane).
+//
+// Modes:
+//   bench_eventstore                      full sweep, prints a table and
+//                                         writes BENCH_eventstore.json
+//   bench_eventstore --out FILE           JSON to FILE instead
+//   bench_eventstore --events N --stress-file PATH
+//                                         CI stress: append N synthetic
+//                                         events, save to PATH, reopen,
+//                                         verify; exit nonzero on any
+//                                         mismatch.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "eventstore/cursor.h"
+#include "eventstore/event_store.h"
+#include "eventstore/run_io.h"
+#include "json/json.h"
+#include "support/strings.h"
+#include "trace/callstack.h"
+
+// Global allocation counter so the bench can report allocations per
+// appended event (the contract is zero on the hot path).
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+// Compiled out under sanitizers: replacing global new/delete conflicts
+// with their allocator interposition (allocs/ev then reports 0).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define DIOG_COUNT_ALLOCS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define DIOG_COUNT_ALLOCS 0
+#endif
+#endif
+#ifndef DIOG_COUNT_ALLOCS
+#define DIOG_COUNT_ALLOCS 1
+#endif
+
+#if DIOG_COUNT_ALLOCS
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void* operator new(std::size_t n) {
+  ++g_allocations;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  ++g_allocations;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif  // DIOG_COUNT_ALLOCS
+
+namespace diog::evstore {
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// A realistic mixed event shape: mostly kOp rows with a few interned
+// stacks, seasoned with classification and span rows.
+struct Synthesizer {
+  std::vector<StackId> stacks;
+  NameId span_name = kNoName;
+
+  void prepare(EventStore& store) {
+    for (int s = 0; s < 16; ++s) {
+      const trace::Frame* frames[3];
+      frames[0] = trace::FrameTable::instance().intern("bench_main",
+                                                       "bench.cu", 10);
+      frames[1] = trace::FrameTable::instance().intern(
+          "phase_" + std::to_string(s % 4), "bench.cu", 50 + s % 4);
+      frames[2] = trace::FrameTable::instance().intern(
+          "site_" + std::to_string(s), "bench.cu", 100 + s);
+      stacks.push_back(store.intern_stack(frames, 3));
+    }
+    span_name = store.intern_name("bench.span");
+  }
+
+  Event make(std::uint64_t i) const {
+    Event e;
+    if (i % 16 == 15) {
+      e.kind = EventKind::kSyncClassification;
+      e.op_index = i - 1;
+      e.set(flag::kSyncRequired, i % 32 == 31);
+    } else if (i % 64 == 5) {
+      e.kind = EventKind::kInternalSpan;
+      e.name = span_name;
+      e.t_start = static_cast<std::int64_t>(i * 100);
+      e.t_end = e.t_start + 400;
+    } else {
+      e.kind = EventKind::kOp;
+      e.set_fn(i % 3 == 0 ? hooks::Fn::kCudaMemcpy : hooks::Fn::kCudaFree);
+      e.op_index = i;
+      e.t_start = static_cast<std::int64_t>(i * 100);
+      e.t_end = e.t_start + 80;
+      e.aux_time = static_cast<std::int64_t>(i % 50);
+      e.bytes = (i % 7) * 4096;
+      if (i % 3 == 0) {
+        e.set(flag::kPerformedTransfer);
+        e.set_direction(hooks::MemcpyKind::kHostToDevice);
+      }
+    }
+    e.stack = stacks[i % stacks.size()];
+    return e;
+  }
+};
+
+struct SizeResult {
+  std::uint64_t events = 0;
+  double append_ms = 0;
+  double scan_ms = 0;
+  double filtered_scan_ms = 0;
+  double bytes_per_event = 0;
+  double allocs_per_event = 0;
+  std::uint64_t segments = 0;
+  std::uint64_t filtered_segments_skipped = 0;
+};
+
+SizeResult bench_size(std::uint64_t n) {
+  SizeResult r;
+  r.events = n;
+
+  EventStore store;
+  Synthesizer syn;
+  syn.prepare(store);
+
+  // Warm the first segment so the measured loop sees the steady state.
+  store.append(syn.make(0));
+
+  const std::size_t allocs_before = g_allocations.load();
+  const double t0 = now_ms();
+  for (std::uint64_t i = 1; i < n; ++i) store.append(syn.make(i));
+  r.append_ms = now_ms() - t0;
+  r.allocs_per_event =
+      static_cast<double>(g_allocations.load() - allocs_before) /
+      static_cast<double>(n - 1);
+
+  const double t1 = now_ms();
+  std::uint64_t checksum = 0;
+  Cursor all(store);
+  all.for_each([&](const Event& e) { checksum += e.op_index + e.bytes; });
+  r.scan_ms = now_ms() - t1;
+
+  const double t2 = now_ms();
+  Cursor filtered = Cursor(store)
+                        .kind(EventKind::kOp)
+                        .api(hooks::Fn::kCudaMemcpy)
+                        .flags_all(flag::kPerformedTransfer);
+  std::uint64_t matched = 0;
+  filtered.for_each([&](const Event&) { ++matched; });
+  r.filtered_scan_ms = now_ms() - t2;
+  r.filtered_segments_skipped = filtered.segments_skipped();
+
+  r.bytes_per_event = static_cast<double>(store.bytes_reserved()) /
+                      static_cast<double>(store.size());
+  r.segments = store.segment_count();
+  if (checksum == 0 && matched == 0) std::printf("(unexpected empty scan)\n");
+  return r;
+}
+
+double events_per_s(std::uint64_t n, double ms) {
+  return ms > 0 ? static_cast<double>(n) / (ms / 1000.0) : 0.0;
+}
+
+int run_sweep(const std::string& out_path) {
+  std::printf("event store bench: append/scan throughput, density\n");
+  std::printf("%10s %12s %12s %12s %10s %10s\n", "events", "append/s",
+              "scan/s", "filt scan/s", "bytes/ev", "allocs/ev");
+
+  json::Array sizes;
+  for (const std::uint64_t n : {std::uint64_t{10'000}, std::uint64_t{100'000},
+                                std::uint64_t{1'000'000}}) {
+    const SizeResult r = bench_size(n);
+    std::printf("%10llu %12.3g %12.3g %12.3g %10.1f %10.4f\n",
+                static_cast<unsigned long long>(n),
+                events_per_s(n, r.append_ms), events_per_s(n, r.scan_ms),
+                events_per_s(n, r.filtered_scan_ms), r.bytes_per_event,
+                r.allocs_per_event);
+    json::Object o;
+    o["events"] = static_cast<std::int64_t>(r.events);
+    o["append_ms"] = r.append_ms;
+    o["append_events_per_s"] = events_per_s(n, r.append_ms);
+    o["scan_ms"] = r.scan_ms;
+    o["scan_events_per_s"] = events_per_s(n, r.scan_ms);
+    o["filtered_scan_ms"] = r.filtered_scan_ms;
+    o["filtered_segments_skipped"] =
+        static_cast<std::int64_t>(r.filtered_segments_skipped);
+    o["bytes_per_event"] = r.bytes_per_event;
+    o["allocs_per_event"] = r.allocs_per_event;
+    o["segments"] = static_cast<std::int64_t>(r.segments);
+    sizes.emplace_back(std::move(o));
+  }
+
+  // Save/open round trip at 1M events: the CI stress path, timed.
+  TraceRun run;
+  run.meta.workload = "bench_eventstore";
+  Synthesizer syn;
+  syn.prepare(*run.store);
+  const std::uint64_t n = 1'000'000;
+  for (std::uint64_t i = 0; i < n; ++i) run.store->append(syn.make(i));
+  const std::string tmp = "bench_eventstore_tmp.dgtrace";
+  const double t0 = now_ms();
+  save_run(tmp, run);
+  const double save_ms = now_ms() - t0;
+  const double t1 = now_ms();
+  const TraceRun back = open_run(tmp);
+  const double open_ms = now_ms() - t1;
+  std::remove(tmp.c_str());
+  std::printf("1M-event run file: save %.1f ms, open %.1f ms, %s on disk\n",
+              save_ms, open_ms,
+              format_bytes(static_cast<std::size_t>(
+                               back.store->bytes_reserved()))
+                  .c_str());
+
+  json::Object root;
+  root["bench"] = std::string("eventstore");
+  root["sizes"] = std::move(sizes);
+  json::Object io;
+  io["events"] = static_cast<std::int64_t>(n);
+  io["save_ms"] = save_ms;
+  io["open_ms"] = open_ms;
+  io["reopened_events"] = static_cast<std::int64_t>(back.store->size());
+  root["run_file_1m"] = std::move(io);
+  json::save_file(out_path, json::Value(std::move(root)));
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+// CI stress: generate + persist + reopen N events, verifying counts.
+int run_stress(std::uint64_t n, const std::string& path) {
+  TraceRun run;
+  run.meta.workload = "stress";
+  Synthesizer syn;
+  syn.prepare(*run.store);
+  const double t0 = now_ms();
+  for (std::uint64_t i = 0; i < n; ++i) run.store->append(syn.make(i));
+  const double append_ms = now_ms() - t0;
+
+  save_run(path, run);
+  const TraceRun back = open_run(path);
+  const double total_ms = now_ms() - t0;
+
+  if (back.store->size() != n) {
+    std::fprintf(stderr, "stress FAILED: reopened %llu of %llu events\n",
+                 static_cast<unsigned long long>(back.store->size()),
+                 static_cast<unsigned long long>(n));
+    return 1;
+  }
+  for (const EventKind k :
+       {EventKind::kOp, EventKind::kSyncClassification,
+        EventKind::kInternalSpan}) {
+    if (back.store->count_of(k) != run.store->count_of(k)) {
+      std::fprintf(stderr, "stress FAILED: %s count mismatch\n",
+                   std::string(to_string(k)).c_str());
+      return 1;
+    }
+  }
+  std::printf("stress OK: %llu events appended in %.1f ms, "
+              "saved+reopened in %.1f ms total\n",
+              static_cast<unsigned long long>(n), append_ms, total_ms);
+  return 0;
+}
+
+}  // namespace
+}  // namespace diog::evstore
+
+int main(int argc, char** argv) {
+  std::uint64_t stress_events = 0;
+  std::string stress_file;
+  std::string out_path = "BENCH_eventstore.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
+      stress_events = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--stress-file") == 0 && i + 1 < argc) {
+      stress_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_eventstore [--out FILE] "
+                   "[--events N --stress-file PATH]\n");
+      return 2;
+    }
+  }
+  if (stress_events > 0 && !stress_file.empty()) {
+    return diog::evstore::run_stress(stress_events, stress_file);
+  }
+  return diog::evstore::run_sweep(out_path);
+}

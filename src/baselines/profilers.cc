@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "eventstore/cursor.h"
 #include "support/strings.h"
 
 namespace diog::baselines {
@@ -129,6 +130,25 @@ std::string render_profile(const ProfileResult& r, std::size_t max_entries) {
            std::to_string(e.calls) + " calls]\n";
   }
   return out;
+}
+
+ProfileResult profile_from_run(const evstore::TraceRun& run) {
+  namespace ev = evstore;
+  ProfileResult result;
+  result.profiler = "trace_summary";
+  result.exec_time = run.meta.s2_exec;
+
+  std::map<std::string, ProfileEntry> by_name;
+  ev::ops(*run.store).for_each([&](const ev::Event& e) {
+    ProfileEntry& entry = by_name[std::string(hooks::fn_name(e.fn()))];
+    if (entry.api_name.empty()) {
+      entry.api_name = std::string(hooks::fn_name(e.fn()));
+    }
+    entry.time += e.duration();
+    ++entry.calls;
+  });
+  result.entries = rank_entries(std::move(by_name), result.exec_time);
+  return result;
 }
 
 }  // namespace diog::baselines

@@ -23,6 +23,7 @@
 
 #include "core/workload.h"
 #include "cuptilike/cupti.h"
+#include "eventstore/run.h"
 
 namespace diog::baselines {
 
@@ -64,6 +65,13 @@ ProfileResult run_nvprof_like(const ffm::Workload& w,
                               const NvprofOptions& opts = {});
 ProfileResult run_hpctoolkit_like(const ffm::Workload& w,
                                   const HpctoolkitOptions& opts = {});
+
+// Consumption-style summary computed from an already-collected run's
+// kOp cursor (no re-execution): total recorded call time per API. This
+// is what the nvprof-style "time per call" view looks like when driven
+// by Diogenes' own trace — usable offline on any .dgtrace file via
+// `diogenes trace profile`.
+ProfileResult profile_from_run(const evstore::TraceRun& run);
 
 std::string render_profile(const ProfileResult& r,
                            std::size_t max_entries = 12);

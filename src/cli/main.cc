@@ -23,10 +23,18 @@
 //     metrics               the tool's own telemetry: per-stage counters,
 //                           latency histograms, Table-2-style overhead
 //
+// Trace-file mode (binary runs written with --trace-dir):
+//   diogenes trace stat <file.dgtrace>            store summary
+//   diogenes trace dump <file> [kind] [max]       event listing
+//   diogenes trace profile <file>                 per-API time summary
+//   diogenes trace analyze <file>                 full stage-5 analysis
+//   diogenes trace diff <before> <after>          differential analysis
+//
 // Flags (before the app name):
 //   --verbose               narrate stages on stderr (log level info)
 //   --misplaced-us <N>      misplaced-sync threshold (default 50)
 //   --telemetry <file>      write self-telemetry as JSON lines
+//   --trace-dir <dir>       save the complete run as <dir>/<app>.dgtrace
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +49,7 @@
 #include "core/replay.h"
 #include "core/uvm_analysis.h"
 #include "core/report.h"
+#include "eventstore/run_io.h"
 #include "obs/telemetry.h"
 #include "support/error.h"
 #include "support/strings.h"
@@ -53,8 +62,10 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: diogenes [--verbose] [--misplaced-us N] [--telemetry FILE]\n"
-      "                <app> [command]\n"
+      "                [--trace-dir DIR] <app> [command]\n"
       "       diogenes replay <dir> <workload> [command]\n"
+      "       diogenes trace stat|dump|profile|analyze <file.dgtrace>\n"
+      "       diogenes trace diff <before.dgtrace> <after.dgtrace>\n"
       "  apps: cumf_als | cuIBM | AMG | Rodinia\n"
       "  commands: overview | api | folds | seq N | sub N A B | fixes |\n"
       "            compare | uvm | diff | export FILE | stages DIR |\n"
@@ -131,6 +142,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[arg], "--telemetry") == 0 && arg + 1 < argc) {
       telemetry_path = argv[arg + 1];
       arg += 2;
+    } else if (std::strcmp(argv[arg], "--trace-dir") == 0 && arg + 1 < argc) {
+      cfg.trace_dir = argv[arg + 1];
+      arg += 2;
     } else {
       return usage();
     }
@@ -155,17 +169,67 @@ int main(int argc, char** argv) {
   const auto app_list = apps::all_apps();
   const apps::AppPair* app = nullptr;
 
+  if (app_name == "trace") {
+    // Offline trace-file mode: every subcommand operates directly on a
+    // binary .dgtrace run, no application required.
+    if (arg >= argc) return usage();
+    const std::string sub = argv[arg++];
+    try {
+      if (sub == "stat" && arg < argc) {
+        std::printf("%s", ffm::render_run_stat(evstore::open_run(argv[arg]))
+                              .c_str());
+        return 0;
+      }
+      if (sub == "dump" && arg < argc) {
+        const evstore::TraceRun run = evstore::open_run(argv[arg++]);
+        const std::string kind = arg < argc ? argv[arg++] : "";
+        const std::size_t max_events =
+            arg < argc ? std::strtoul(argv[arg++], nullptr, 10) : 64;
+        std::printf("%s", ffm::render_run_dump(run, kind, max_events).c_str());
+        return 0;
+      }
+      if (sub == "profile" && arg < argc) {
+        std::printf("%s",
+                    baselines::render_profile(
+                        baselines::profile_from_run(evstore::open_run(argv[arg])))
+                        .c_str());
+        return 0;
+      }
+      if (sub == "analyze" && arg < argc) {
+        const ffm::AnalysisResult res = ffm::analyze_run_file(argv[arg], cfg);
+        std::printf("%s", ffm::render_overview(res).c_str());
+        std::printf("\ntotal estimated benefit: %s (%s of execution)\n",
+                    format_seconds(res.benefit.total).c_str(),
+                    format_percent(res.fraction_of_exec(res.benefit.total))
+                        .c_str());
+        return 0;
+      }
+      if (sub == "diff" && arg + 1 < argc) {
+        const ffm::FixOutcome o = ffm::compare_runs(
+            evstore::open_run(argv[arg]), evstore::open_run(argv[arg + 1]),
+            cfg);
+        std::printf("%s", ffm::render_fix_outcome(o).c_str());
+        return 0;
+      }
+    } catch (const Error& e) {
+      std::fprintf(stderr, "trace %s failed: %s\n", sub.c_str(), e.what());
+      return 1;
+    }
+    return usage();
+  }
+
   ffm::AnalysisResult r;
   std::string command;
   if (app_name == "replay") {
-    // Offline mode: re-run the analysis stage over persisted stage
-    // files — no application required.
+    // Offline mode: re-run the analysis stage over a persisted binary
+    // run (preferred) or the per-stage JSON files — no application
+    // required.
     if (arg + 1 >= argc) return usage();
     const std::string dir = argv[arg++];
     const std::string workload = argv[arg++];
     command = arg < argc ? argv[arg++] : "overview";
     log.info("cli", "offline analysis of " + workload + " from " + dir);
-    r = ffm::analyze_offline(ffm::load_stage_files(dir, workload), cfg);
+    r = ffm::analyze_dir(dir, workload, cfg);
   } else {
     for (const auto& a : app_list) {
       if (a.name == app_name) app = &a;

@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "core/run_convert.h"
+#include "eventstore/cursor.h"
 #include "gpusim/runtime.h"
 #include "obs/telemetry.h"
 
@@ -43,47 +45,46 @@ json::Value complete_event(const std::string& name, int tid, TimePoint start,
 
 }  // namespace
 
-json::Value chrome_trace(const Stage2Result& cpu_ops,
-                         const Stage3Result* problems,
+json::Value chrome_trace(const evstore::TraceRun& run,
                          const gpusim::Runtime* rt,
                          const ChromeTraceOptions& opts) {
+  namespace ev = evstore;
+  const ev::EventStore& store = *run.store;
+
   json::Array events;
   events.push_back(meta_event("process_name", kCpuTid, opts.process_name));
   events.push_back(meta_event("thread_name", kCpuTid, "CPU driver calls"));
 
-  // Index stage-3 annotations.
+  // Index stage-3 annotations off the kind-filtered cursors.
   std::unordered_map<std::uint64_t, bool> sync_required;
   std::unordered_map<std::uint64_t, bool> duplicate;
-  if (problems != nullptr) {
-    for (const auto& c : problems->syncs) {
-      sync_required[c.op_index] = c.required;
-    }
-    for (const auto& d : problems->duplicate_transfers) {
-      duplicate[d.op_index] = true;
-    }
-  }
+  ev::sync_classifications(store).for_each([&](const ev::Event& e) {
+    sync_required[e.op_index] = e.has(ev::flag::kSyncRequired);
+  });
+  ev::duplicate_transfers(store).for_each(
+      [&](const ev::Event& e) { duplicate[e.op_index] = true; });
 
   if (opts.include_cpu_ops) {
-    for (const OpRecord& op : cpu_ops.ops) {
+    ev::ops(store).for_each([&](const ev::Event& op) {
       json::Object args;
-      args["sync_wait_us"] = to_us(op.sync_wait);
-      if (op.performed_transfer) {
+      args["sync_wait_us"] = to_us(Duration{op.aux_time});
+      if (op.has(ev::flag::kPerformedTransfer)) {
         args["bytes"] = op.bytes;
         args["direction"] =
-            std::string(hooks::to_string(op.direction));
+            std::string(hooks::to_string(op.direction()));
       }
-      if (const trace::Frame* leaf = op.stack.leaf()) {
+      if (const trace::Frame* leaf = store.stacks().leaf(op.stack)) {
         args["source"] = leaf->file + ":" + std::to_string(leaf->line);
       }
-      if (const auto it = sync_required.find(op.index);
+      if (const auto it = sync_required.find(op.op_index);
           it != sync_required.end()) {
         args["sync"] = it->second ? "required" : "unnecessary";
       }
-      if (duplicate.contains(op.index)) args["duplicate_transfer"] = true;
+      if (duplicate.contains(op.op_index)) args["duplicate_transfer"] = true;
       events.push_back(complete_event(
-          std::string(hooks::fn_name(op.api)), kCpuTid, op.t_enter,
-          op.t_exit - op.t_enter, std::move(args)));
-    }
+          std::string(hooks::fn_name(op.fn())), kCpuTid,
+          TimePoint{op.t_start}, op.duration(), std::move(args)));
+    });
   }
 
   if (opts.include_gpu_timeline && rt != nullptr) {
@@ -109,22 +110,41 @@ json::Value chrome_trace(const Stage2Result& cpu_ops,
   }
 
   if (opts.include_internal_track) {
-    const obs::SpanCollector* spans = opts.internal_spans != nullptr
-                                          ? opts.internal_spans
-                                          : &obs::Telemetry::global().spans();
-    const std::vector<obs::SpanRecord> records = spans->snapshot();
-    if (!records.empty()) {
+    // Prefer spans carried inside the run (a reopened trace has no live
+    // collector to consult); fall back to the in-process collector.
+    if (store.count_of(ev::EventKind::kInternalSpan) > 0) {
       events.push_back(
           meta_event("thread_name", kInternalTid, "diogenes-internal"));
-      for (const obs::SpanRecord& s : records) {
+      ev::internal_spans(store).for_each([&](const ev::Event& e) {
         json::Object args;
-        args["depth"] = s.depth;
-        if (s.parent >= 0) args["parent"] = s.parent;
-        // Open spans (end_ns < 0) render as zero-duration markers.
-        const std::int64_t dur = s.end_ns < 0 ? 0 : s.duration_ns();
-        events.push_back(complete_event(s.name, kInternalTid,
-                                        TimePoint{s.start_ns}, Duration{dur},
-                                        std::move(args)));
+        args["depth"] = static_cast<std::int64_t>(e.value);
+        if (e.link > 0) {
+          args["parent"] = static_cast<std::int64_t>(e.link - 1);
+        }
+        const std::int64_t dur =
+            e.t_end < e.t_start ? 0 : e.t_end - e.t_start;
+        events.push_back(complete_event(
+            std::string(store.name(e.name)), kInternalTid,
+            TimePoint{e.t_start}, Duration{dur}, std::move(args)));
+      });
+    } else {
+      const obs::SpanCollector* spans =
+          opts.internal_spans != nullptr ? opts.internal_spans
+                                         : &obs::Telemetry::global().spans();
+      const std::vector<obs::SpanRecord> records = spans->snapshot();
+      if (!records.empty()) {
+        events.push_back(
+            meta_event("thread_name", kInternalTid, "diogenes-internal"));
+        for (const obs::SpanRecord& s : records) {
+          json::Object args;
+          args["depth"] = s.depth;
+          if (s.parent >= 0) args["parent"] = s.parent;
+          // Open spans (end_ns < 0) render as zero-duration markers.
+          const std::int64_t dur = s.end_ns < 0 ? 0 : s.duration_ns();
+          events.push_back(complete_event(s.name, kInternalTid,
+                                          TimePoint{s.start_ns},
+                                          Duration{dur}, std::move(args)));
+        }
       }
     }
   }
@@ -133,6 +153,22 @@ json::Value chrome_trace(const Stage2Result& cpu_ops,
   root["traceEvents"] = std::move(events);
   root["displayTimeUnit"] = "ms";
   return json::Value(std::move(root));
+}
+
+json::Value chrome_trace(const Stage2Result& cpu_ops,
+                         const Stage3Result* problems,
+                         const gpusim::Runtime* rt,
+                         const ChromeTraceOptions& opts) {
+  evstore::TraceRun run;
+  append_stage2(run, cpu_ops);
+  if (problems != nullptr) append_stage3(run, *problems);
+  return chrome_trace(run, rt, opts);
+}
+
+void save_chrome_trace(const std::string& path, const evstore::TraceRun& run,
+                       const gpusim::Runtime* rt,
+                       const ChromeTraceOptions& opts) {
+  json::save_file(path, chrome_trace(run, rt, opts));
 }
 
 void save_chrome_trace(const std::string& path,

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "core/model.h"
+#include "eventstore/run.h"
 #include "json/json.h"
 #include "obs/span.h"
 
@@ -38,9 +39,18 @@ struct ChromeTraceOptions {
   const obs::SpanCollector* internal_spans = nullptr;
 };
 
-// Build the trace document from a stage-2 trace (CPU ops, with optional
-// stage-3 problem annotations) and the runtime whose device executed
-// the run (GPU timeline; pass nullptr to skip).
+// Build the trace document from a run: kOp events become the CPU track
+// (annotated from the run's kSyncClassification / kDuplicateTransfer
+// events), kInternalSpan events become the internal track when present
+// (falling back to the live span collector otherwise), and the runtime
+// — when non-null — supplies the GPU timeline. Works identically on a
+// live run and one reopened from disk (minus the GPU timeline, which
+// only exists in-process).
+json::Value chrome_trace(const evstore::TraceRun& run,
+                         const gpusim::Runtime* rt,
+                         const ChromeTraceOptions& opts = {});
+
+// Legacy-shape adapter: assembles a transient run from the stage values.
 json::Value chrome_trace(const Stage2Result& cpu_ops,
                          const Stage3Result* problems,
                          const gpusim::Runtime* rt,
@@ -48,6 +58,9 @@ json::Value chrome_trace(const Stage2Result& cpu_ops,
 
 // Convenience: serialize straight to a .json file loadable by
 // chrome://tracing or ui.perfetto.dev.
+void save_chrome_trace(const std::string& path, const evstore::TraceRun& run,
+                       const gpusim::Runtime* rt,
+                       const ChromeTraceOptions& opts = {});
 void save_chrome_trace(const std::string& path,
                        const Stage2Result& cpu_ops,
                        const Stage3Result* problems,

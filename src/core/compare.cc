@@ -41,7 +41,10 @@ FixOutcome compare_analyses(const AnalysisResult& before,
   }
   std::sort(out.deltas.begin(), out.deltas.end(),
             [](const GroupDelta& a, const GroupDelta& b) {
-              return a.resolved() > b.resolved();
+              if (a.resolved() != b.resolved()) {
+                return a.resolved() > b.resolved();
+              }
+              return a.title < b.title;
             });
   return out;
 }
@@ -51,6 +54,13 @@ FixOutcome evaluate_fix(const Workload& before, const Workload& after,
   Diogenes before_tool(before, cfg);
   Diogenes after_tool(after, cfg);
   return compare_analyses(before_tool.analyze(), after_tool.analyze());
+}
+
+FixOutcome compare_runs(const evstore::TraceRun& before,
+                        const evstore::TraceRun& after,
+                        const ToolConfig& cfg) {
+  return compare_analyses(run_analysis(before, cfg),
+                          run_analysis(after, cfg));
 }
 
 std::string render_fix_outcome(const FixOutcome& o) {

@@ -57,6 +57,14 @@ FixOutcome compare_analyses(const AnalysisResult& before,
 FixOutcome evaluate_fix(const Workload& before, const Workload& after,
                         const ToolConfig& cfg = {});
 
+// Differential analysis over two runs (live or reopened from .dgtrace
+// files): both sides go through the single cursor-based stage-5
+// implementation, so `diogenes trace diff before.dgtrace after.dgtrace`
+// matches what the live pipeline would report.
+FixOutcome compare_runs(const evstore::TraceRun& before,
+                        const evstore::TraceRun& after,
+                        const ToolConfig& cfg = {});
+
 std::string render_fix_outcome(const FixOutcome& o);
 
 }  // namespace diog::ffm

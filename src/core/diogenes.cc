@@ -2,10 +2,12 @@
 
 #include <map>
 
+#include "core/run_convert.h"
 #include "core/stage1_baseline.h"
 #include "core/stage2_tracing.h"
 #include "core/stage3_memhash.h"
 #include "core/stage4_syncuse.h"
+#include "eventstore/run_io.h"
 #include "obs/span.h"
 #include "obs/telemetry.h"
 #include "support/error.h"
@@ -45,21 +47,23 @@ void Diogenes::maybe_persist(const std::string& stage,
                   v);
 }
 
-AnalysisResult run_analysis_stage(std::string workload_name,
-                                  Stage1Result s1, Stage2Result s2,
-                                  Stage3Result s3, Stage4Result s4,
-                                  const ToolConfig& cfg) {
+AnalysisResult run_analysis(const evstore::TraceRun& run,
+                            const ToolConfig& cfg) {
   DIOG_SPAN("stage5.analysis");
   AnalysisResult r;
-  r.workload_name = std::move(workload_name);
-  r.s1 = std::move(s1);
-  r.s2 = std::move(s2);
-  r.s3 = std::move(s3);
-  r.s4 = std::move(s4);
+  r.workload_name = run.meta.workload;
+  r.run = run;
+  // Legacy per-stage views, materialized from the store in append order
+  // (byte-stable regardless of whether the run came from memory or
+  // disk).
+  r.s1 = stage1_view(run);
+  r.s2 = stage2_view(run);
+  r.s3 = stage3_view(run);
+  r.s4 = stage4_view(run);
 
   {
     DIOG_SPAN("stage5.build_graph");
-    r.graph = build_graph(r.s2, r.s3, r.s4, cfg.misplaced_threshold);
+    r.graph = build_graph(run, cfg.misplaced_threshold);
   }
   {
     DIOG_SPAN("stage5.expected_benefit");
@@ -81,14 +85,21 @@ AnalysisResult run_analysis_stage(std::string workload_name,
     m.gauge("stage5.benefit_ns").set(r.benefit.total.count());
   }
 
-  r.collection_time =
-      r.s1.exec_time + r.s2.exec_time + r.s3.exec_time + r.s4.exec_time;
+  r.collection_time = run.collection_time();
   r.overhead_factor =
       r.s1.exec_time.count() > 0
           ? static_cast<double>(r.collection_time.count()) /
                 static_cast<double>(r.s1.exec_time.count())
           : 0.0;
   return r;
+}
+
+AnalysisResult run_analysis_stage(std::string workload_name,
+                                  Stage1Result s1, Stage2Result s2,
+                                  Stage3Result s3, Stage4Result s4,
+                                  const ToolConfig& cfg) {
+  return run_analysis(build_run(std::move(workload_name), s1, s2, s3, s4),
+                      cfg);
 }
 
 AnalysisResult Diogenes::analyze() {
@@ -100,30 +111,44 @@ AnalysisResult Diogenes::analyze() {
     log.set_level(obs::LogLevel::kInfo);
   }
 
-  AnalysisResult r;
-  r.workload_name = workload_.name;
+  // One run accumulates everything the four collection stages observe.
+  evstore::TraceRun run;
+  run.meta.workload = workload_.name;
 
   log.info("stage1", "stage 1: baseline measurement (" + workload_.name +
                          ")");
-  r.s1 = run_stage1(workload_, cfg_);
-  maybe_persist("stage1", r.s1.to_json());
+  const Stage1Result s1 = run_stage1(workload_, cfg_);
+  maybe_persist("stage1", s1.to_json());
+  append_stage1(run, s1);
 
   log.info("stage2", "stage 2: detailed tracing");
-  r.s2 = run_stage2(workload_, cfg_, r.s1);
-  maybe_persist("stage2", r.s2.to_json());
+  collect_stage2(workload_, cfg_, s1, run);
+  if (!cfg_.stage_dir.empty()) {
+    maybe_persist("stage2", stage2_view(run).to_json());
+  }
 
   log.info("stage3", "stage 3: memory tracing + hashing");
-  r.s3 = run_stage3(workload_, cfg_, r.s1);
-  maybe_persist("stage3", r.s3.to_json());
+  collect_stage3(workload_, cfg_, run);
+  if (!cfg_.stage_dir.empty()) {
+    maybe_persist("stage3", stage3_view(run).to_json());
+  }
 
   log.info("stage4", "stage 4: sync-use analysis");
-  r.s4 = run_stage4(workload_, cfg_, r.s1);
-  maybe_persist("stage4", r.s4.to_json());
+  collect_stage4(workload_, cfg_, run);
+  if (!cfg_.stage_dir.empty()) {
+    maybe_persist("stage4", stage4_view(run).to_json());
+  }
+
+  if (!cfg_.trace_dir.empty()) {
+    // Fold the tool's own spans into the run before it leaves the
+    // process, then persist the complete trace in the binary format.
+    append_internal_spans(run);
+    evstore::save_run(evstore::run_file_path(cfg_.trace_dir, workload_.name),
+                      run);
+  }
 
   log.info("stage5", "stage 5: analysis");
-  return run_analysis_stage(workload_.name, std::move(r.s1),
-                            std::move(r.s2), std::move(r.s3),
-                            std::move(r.s4), cfg_);
+  return run_analysis(run, cfg_);
 }
 
 }  // namespace diog::ffm

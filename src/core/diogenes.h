@@ -21,7 +21,14 @@ namespace diog::ffm {
 struct AnalysisResult {
   std::string workload_name;
 
-  // Per-stage outputs.
+  // The run the analysis consumed: every observed event in the columnar
+  // store plus run-level metadata. Kept by shared_ptr inside TraceRun,
+  // so copying the result does not copy columns.
+  evstore::TraceRun run;
+
+  // Per-stage outputs, materialized as views over `run` (run_convert.h).
+  // The legacy shapes survive for JSON round-trip and existing
+  // consumers; `run` is the source of truth.
   Stage1Result s1;
   Stage2Result s2;
   Stage3Result s3;
@@ -60,9 +67,16 @@ struct AnalysisResult {
 };
 
 // Stage 5 in isolation: build the graph, run the expected-benefit pass,
-// compute the groupings, and fill the overhead bookkeeping from
-// already-collected stage outputs. Used by the live driver and by
-// offline replay (core/replay.h).
+// compute the groupings, and fill the overhead bookkeeping. This is the
+// single analysis implementation; it consumes the run through cursors,
+// so a run reopened from disk (eventstore/run_io.h) produces the
+// byte-identical result of the in-memory pipeline.
+AnalysisResult run_analysis(const evstore::TraceRun& run,
+                            const ToolConfig& cfg);
+
+// Legacy-shape adapter: assembles a run from the stage values and
+// delegates to run_analysis. Used by offline JSON replay
+// (core/replay.h) and older embedders.
 AnalysisResult run_analysis_stage(std::string workload_name,
                                   Stage1Result s1, Stage2Result s2,
                                   Stage3Result s3, Stage4Result s4,

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
 
+#include "core/run_convert.h"
+#include "eventstore/cursor.h"
 #include "support/error.h"
 
 namespace diog::ffm {
@@ -72,24 +75,34 @@ json::Value ExecutionGraph::to_json() const {
   return json::Value(std::move(root));
 }
 
-ExecutionGraph build_graph(const Stage2Result& s2, const Stage3Result& s3,
-                           const Stage4Result& s4,
+ExecutionGraph build_graph(const evstore::TraceRun& run,
                            Duration misplaced_threshold) {
-  // Index the stage 3/4 annotations by op index.
-  std::unordered_map<std::uint64_t, const SyncClassification*> sync_class;
-  for (const SyncClassification& c : s3.syncs) sync_class[c.op_index] = &c;
-  std::unordered_map<std::uint64_t, const DuplicateTransfer*> dup;
-  for (const DuplicateTransfer& d : s3.duplicate_transfers) {
-    dup[d.op_index] = &d;
-  }
-  std::unordered_map<std::uint64_t, Duration> first_use;
-  for (const SyncUse& u : s4.uses) first_use[u.op_index] = u.first_use_time;
+  namespace ev = evstore;
+  const ev::EventStore& store = *run.store;
 
+  // Index the stage 3/4 annotations by op index, straight off the
+  // kind-filtered cursors.
+  std::unordered_map<std::uint64_t, bool> sync_required;
+  ev::sync_classifications(store).for_each([&](const ev::Event& e) {
+    sync_required[e.op_index] = e.has(ev::flag::kSyncRequired);
+  });
+  std::unordered_set<std::uint64_t> dup;
+  ev::duplicate_transfers(store).for_each(
+      [&](const ev::Event& e) { dup.insert(e.op_index); });
+  std::unordered_map<std::uint64_t, Duration> first_use;
+  ev::sync_uses(store).for_each([&](const ev::Event& e) {
+    first_use[e.op_index] = Duration{e.aux_time};
+  });
+
+  const Duration exec_time = run.meta.s2_exec;
   std::vector<Node> nodes;
-  nodes.reserve(s2.ops.size() * 2 + 2);
+  nodes.reserve(store.count_of(ev::EventKind::kOp) * 2 + 2);
   TimePoint cursor{0};
 
-  for (const OpRecord& op : s2.ops) {
+  ev::Cursor op_cursor = ev::ops(store);
+  ev::Event op_event;
+  while (op_cursor.next(op_event)) {
+    const OpRecord op = op_from_event(store, op_event);
     // Gap since the previous traced call: pure CPU work (subsumes
     // untraced calls).
     if (op.t_enter > cursor) {
@@ -123,7 +136,7 @@ ExecutionGraph build_graph(const Stage2Result& s2, const Stage3Result& s3,
       l.api = op.api;
       l.stack = op.stack;
       l.bytes = op.bytes;
-      if (const auto it = dup.find(op.index); it != dup.end()) {
+      if (dup.contains(op.index)) {
         l.problem = ProblemType::kUnnecessaryTransfer;
       }
       nodes.push_back(std::move(l));
@@ -139,8 +152,8 @@ ExecutionGraph build_graph(const Stage2Result& s2, const Stage3Result& s3,
       s.api = op.api;
       s.stack = op.stack;
       s.bytes = op.bytes;
-      const auto cls = sync_class.find(op.index);
-      if (cls != sync_class.end() && !cls->second->required) {
+      const auto cls = sync_required.find(op.index);
+      if (cls != sync_required.end() && !cls->second) {
         s.problem = ProblemType::kUnnecessarySync;
       } else {
         const auto fu = first_use.find(op.index);
@@ -158,22 +171,32 @@ ExecutionGraph build_graph(const Stage2Result& s2, const Stage3Result& s3,
   }
 
   // Trailing CPU work after the last traced call.
-  if (s2.exec_time > cursor) {
+  if (exec_time > cursor) {
     Node w;
     w.type = NType::kCWork;
     w.stime = cursor;
-    w.duration = s2.exec_time - cursor;
+    w.duration = exec_time - cursor;
     nodes.push_back(std::move(w));
   }
 
   // Terminal join with the device at program exit.
   Node exit_node;
   exit_node.type = NType::kCWait;
-  exit_node.stime = s2.exec_time;
+  exit_node.stime = exec_time;
   exit_node.duration = Duration{0};
   nodes.push_back(std::move(exit_node));
 
-  return ExecutionGraph(std::move(nodes), s2.exec_time);
+  return ExecutionGraph(std::move(nodes), exec_time);
+}
+
+ExecutionGraph build_graph(const Stage2Result& s2, const Stage3Result& s3,
+                           const Stage4Result& s4,
+                           Duration misplaced_threshold) {
+  evstore::TraceRun run;
+  append_stage2(run, s2);
+  append_stage3(run, s3);
+  append_stage4(run, s4);
+  return build_graph(run, misplaced_threshold);
 }
 
 }  // namespace diog::ffm

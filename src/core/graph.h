@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/model.h"
+#include "eventstore/run.h"
 
 namespace diog::ffm {
 
@@ -83,10 +84,18 @@ class ExecutionGraph {
   Duration exec_time_{0};
 };
 
-// Assemble the graph from the stage outputs. Stage 2 provides timing and
-// node structure; stage 3 classifies problems; stage 4 supplies
-// FirstUseTime. `misplaced_threshold` separates required-but-misplaced
-// synchronizations from healthy ones.
+// Assemble the graph from a run. kOp events provide timing and node
+// structure; kSyncClassification events classify problems; kSyncUse
+// events supply FirstUseTime. `misplaced_threshold` separates
+// required-but-misplaced synchronizations from healthy ones. This is the
+// primary construction path: it consumes the event store through typed
+// cursors, so it works identically on a live run and on one reopened
+// from disk.
+ExecutionGraph build_graph(const evstore::TraceRun& run,
+                           Duration misplaced_threshold);
+
+// Legacy-shape adapter: assembles a transient run from the stage values
+// and delegates to the cursor-based builder above.
 ExecutionGraph build_graph(const Stage2Result& s2, const Stage3Result& s3,
                            const Stage4Result& s4,
                            Duration misplaced_threshold);

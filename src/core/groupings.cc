@@ -19,6 +19,16 @@ bool is_conditionally_unnecessary(const Node& n) {
   return !hooks::is_explicit_sync_fn(n.api);
 }
 
+// Benefit-descending with a deterministic tie-break on the member node
+// indices (graph append order). Grouping maps are keyed on
+// StackTrace::exact_key(), which mixes frame POINTERS — map iteration
+// order therefore varies run to run, and ties must not inherit it:
+// a saved-and-reopened run has to produce byte-identical reports.
+bool group_order(const Group& a, const Group& b) {
+  if (a.benefit != b.benefit) return a.benefit > b.benefit;
+  return a.nodes < b.nodes;
+}
+
 std::string leaf_description(const Node& n) {
   std::string api = n.api != hooks::Fn::kCount_
                         ? std::string(hooks::fn_name(n.api))
@@ -111,9 +121,7 @@ std::vector<Group> single_point_groups(const ExecutionGraph& g,
     count_issues(g, grp);
     out.push_back(std::move(grp));
   }
-  std::sort(out.begin(), out.end(), [](const Group& a, const Group& b) {
-    return a.benefit > b.benefit;
-  });
+  std::sort(out.begin(), out.end(), group_order);
   return out;
 }
 
@@ -164,9 +172,7 @@ std::vector<Group> folded_api_groups(const ExecutionGraph& g,
               });
     out.push_back(std::move(grp));
   }
-  std::sort(out.begin(), out.end(), [](const Group& a, const Group& b) {
-    return a.benefit > b.benefit;
-  });
+  std::sort(out.begin(), out.end(), group_order);
   return out;
 }
 
@@ -252,9 +258,7 @@ std::vector<Group> sequence_groups(const ExecutionGraph& g,
     out.push_back(std::move(grp));
   }
 
-  std::sort(out.begin(), out.end(), [](const Group& a, const Group& b) {
-    return a.benefit > b.benefit;
-  });
+  std::sort(out.begin(), out.end(), group_order);
   return out;
 }
 

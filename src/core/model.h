@@ -1,9 +1,13 @@
 // Shared data model of the FFM stages.
 //
-// Each stage's output is a plain value type with JSON round-trip: the
-// multi-run driver persists stage outputs between the tool's separate
-// executions of the application (the real Diogenes does the same on
-// disk), and the analysis stage consumes only these serialized forms.
+// Since the event-store refactor these structs are *views*: the source
+// of truth for a run is the unified columnar store
+// (eventstore/run.h) that every collection stage appends into, and
+// stageN_view() (core/run_convert.h) materializes these value types
+// from it on demand. They remain the JSON round-trip surface — the
+// per-stage files the multi-run driver can persist, and the legacy
+// analyze_offline() input — and keep their layout so existing
+// consumers and serialized files stay valid.
 #pragma once
 
 #include <cstdint>

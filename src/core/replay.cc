@@ -1,5 +1,8 @@
 #include "core/replay.h"
 
+#include <fstream>
+
+#include "eventstore/run_io.h"
 #include "support/error.h"
 
 namespace diog::ffm {
@@ -20,6 +23,25 @@ AnalysisResult analyze_offline(const StageBundle& bundle,
                                const ToolConfig& cfg) {
   return run_analysis_stage(bundle.workload_name, bundle.s1, bundle.s2,
                             bundle.s3, bundle.s4, cfg);
+}
+
+bool has_run_file(const std::string& dir,
+                  const std::string& workload_name) {
+  return std::ifstream(evstore::run_file_path(dir, workload_name)).good();
+}
+
+AnalysisResult analyze_run_file(const std::string& path,
+                                const ToolConfig& cfg) {
+  return run_analysis(evstore::open_run(path), cfg);
+}
+
+AnalysisResult analyze_dir(const std::string& dir,
+                           const std::string& workload_name,
+                           const ToolConfig& cfg) {
+  if (has_run_file(dir, workload_name)) {
+    return analyze_run_file(evstore::run_file_path(dir, workload_name), cfg);
+  }
+  return analyze_offline(load_stage_files(dir, workload_name), cfg);
 }
 
 }  // namespace diog::ffm

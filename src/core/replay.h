@@ -36,4 +36,20 @@ StageBundle load_stage_files(const std::string& dir,
 AnalysisResult analyze_offline(const StageBundle& bundle,
                                const ToolConfig& cfg = {});
 
+// True when <dir>/<workload>.dgtrace (the binary run format of
+// eventstore/run_io.h) exists.
+bool has_run_file(const std::string& dir, const std::string& workload_name);
+
+// Offline analysis of a saved binary run. Preferred over the JSON stage
+// files when both exist: one file, one parse, and the store arrives
+// ready for cursor consumers.
+AnalysisResult analyze_run_file(const std::string& path,
+                                const ToolConfig& cfg = {});
+
+// Replay from a directory: opens <dir>/<workload>.dgtrace when present,
+// otherwise falls back to the four JSON stage files.
+AnalysisResult analyze_dir(const std::string& dir,
+                           const std::string& workload_name,
+                           const ToolConfig& cfg = {});
+
 }  // namespace diog::ffm

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "eventstore/cursor.h"
+#include "support/error.h"
 #include "support/strings.h"
 
 namespace diog::ffm {
@@ -29,8 +31,10 @@ std::string render_overview(const AnalysisResult& r,
   for (const Group& g : r.sequences) {
     entries.push_back({g.benefit, g.title});
   }
-  std::sort(entries.begin(), entries.end(),
-            [](const Entry& a, const Entry& b) { return a.benefit > b.benefit; });
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.benefit > b.benefit;
+                   });
 
   std::string out;
   out += "Diogenes Overview Display (" + r.workload_name + ")\n";
@@ -141,6 +145,123 @@ json::Value export_json(const AnalysisResult& r) {
   }
   o["api_savings"] = std::move(apis);
   return json::Value(std::move(o));
+}
+
+std::string render_run_stat(const evstore::TraceRun& run) {
+  namespace ev = evstore;
+  const ev::EventStore& store = *run.store;
+  std::string out;
+  out += "Run: " + run.meta.workload + "\n";
+  if (run.meta.wait_fn != hooks::Fn::kCount_) {
+    out += "  wait funnel: " +
+           std::string(hooks::fn_name(run.meta.wait_fn)) + "\n";
+  }
+  out += "  exec times: s1 " + format_seconds(run.meta.s1_exec) + "  s2 " +
+         format_seconds(run.meta.s2_exec) + "  s3 " +
+         format_seconds(run.meta.s3_exec) + "  s4 " +
+         format_seconds(run.meta.s4_exec) + "\n";
+  out += "  hashed: " + std::to_string(run.meta.transfers_hashed) +
+         " transfers, " +
+         format_bytes(static_cast<std::size_t>(run.meta.bytes_hashed)) +
+         "\n";
+  out += "Store: " + std::to_string(store.size()) + " events in " +
+         std::to_string(store.segment_count()) + " segment(s), " +
+         format_bytes(static_cast<std::size_t>(store.bytes_reserved())) +
+         " reserved\n";
+  out += "  dictionaries: " + std::to_string(store.stacks().stack_count()) +
+         " stacks, " + std::to_string(store.stacks().frame_count()) +
+         " frames, " + std::to_string(store.name_count()) + " names\n";
+  for (std::size_t i = 0; i < ev::kEventKindCount; ++i) {
+    const auto k = static_cast<ev::EventKind>(i);
+    if (store.count_of(k) == 0) continue;
+    out += pad_left(std::to_string(store.count_of(k)), 12) + "  " +
+           std::string(ev::to_string(k)) + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+std::string dump_line(const evstore::EventStore& store,
+                      const evstore::Event& e) {
+  namespace ev = evstore;
+  std::string line = "[" + std::string(ev::to_string(e.kind)) + "]";
+  if (e.api != static_cast<std::uint16_t>(hooks::Fn::kCount_)) {
+    line += " " + std::string(hooks::fn_name(e.fn()));
+  }
+  if (e.name != ev::kNoName) line += " " + std::string(store.name(e.name));
+  switch (e.kind) {
+    case ev::EventKind::kSyncSite:
+      line += " hits=" + std::to_string(e.value);
+      break;
+    case ev::EventKind::kOp:
+      line += " op=" + std::to_string(e.op_index) + " t=[" +
+              std::to_string(e.t_start) + "," + std::to_string(e.t_end) +
+              ")ns";
+      if (e.aux_time > 0) line += " wait=" + std::to_string(e.aux_time) + "ns";
+      if (e.has(ev::flag::kPerformedTransfer)) {
+        line += " " + std::string(hooks::to_string(e.direction())) + " " +
+                format_bytes(static_cast<std::size_t>(e.bytes));
+      }
+      break;
+    case ev::EventKind::kSyncClassification:
+      line += " op=" + std::to_string(e.op_index) +
+              (e.has(ev::flag::kSyncRequired) ? " required" : " unnecessary");
+      break;
+    case ev::EventKind::kDuplicateTransfer:
+      line += " op=" + std::to_string(e.op_index) +
+              " first=" + std::to_string(e.link) + " " +
+              format_bytes(static_cast<std::size_t>(e.bytes));
+      break;
+    case ev::EventKind::kSyncUse:
+      line += " op=" + std::to_string(e.op_index) +
+              " first_use=" + std::to_string(e.aux_time) + "ns";
+      break;
+    case ev::EventKind::kInternalSpan:
+      line += " t=[" + std::to_string(e.t_start) + "," +
+              std::to_string(e.t_end) + ")ns depth=" +
+              std::to_string(e.value);
+      break;
+    case ev::EventKind::kPageFault:
+      line += " t=" + std::to_string(e.t_start) +
+              "ns addr=" + std::to_string(e.value) +
+              (e.has(ev::flag::kWriteAccess) ? " write" : " read");
+      break;
+    case ev::EventKind::kCount_:
+      break;
+  }
+  if (const trace::Frame* leaf = store.stacks().leaf(e.stack)) {
+    line += "  @" + leaf->file + ":" + std::to_string(leaf->line);
+  }
+  return line;
+}
+
+}  // namespace
+
+std::string render_run_dump(const evstore::TraceRun& run,
+                            std::string_view kind_filter,
+                            std::size_t max_events) {
+  namespace ev = evstore;
+  const ev::EventStore& store = *run.store;
+  ev::Cursor cursor(store);
+  if (!kind_filter.empty()) {
+    ev::EventKind k;
+    DIOG_CHECK(ev::kind_from_name(kind_filter, k),
+               "unknown event kind: " + std::string(kind_filter));
+    cursor.kind(k);
+  }
+  std::string out;
+  std::size_t shown = 0;
+  ev::Event e;
+  while (shown < max_events && cursor.next(e)) {
+    out += dump_line(store, e) + "\n";
+    ++shown;
+  }
+  const std::uint64_t remaining = cursor.count();
+  if (remaining > 0) {
+    out += "... " + std::to_string(remaining) + " more\n";
+  }
+  return out;
 }
 
 }  // namespace diog::ffm

@@ -31,4 +31,15 @@ std::string render_api_savings(const AnalysisResult& r);
 // Complete machine-readable export.
 json::Value export_json(const AnalysisResult& r);
 
+// `diogenes trace stat`: one-screen summary of a run — metadata, store
+// shape (events / segments / dictionaries / bytes), per-kind counts.
+std::string render_run_stat(const evstore::TraceRun& run);
+
+// `diogenes trace dump`: the first `max_events` events, one line each,
+// optionally restricted to one kind ("op", "sync_site", ...). Throws
+// diog::Error on an unknown kind name.
+std::string render_run_dump(const evstore::TraceRun& run,
+                            std::string_view kind_filter = {},
+                            std::size_t max_events = 64);
+
 }  // namespace diog::ffm

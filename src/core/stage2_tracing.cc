@@ -1,8 +1,11 @@
 #include "core/stage2_tracing.h"
 
 #include <algorithm>
+#include <limits>
 
+#include "core/run_convert.h"
 #include "core/stage_obs.h"
+#include "eventstore/cursor.h"
 #include "obs/span.h"
 #include "support/error.h"
 
@@ -14,39 +17,50 @@ using hooks::Fn;
 using hooks::HookContext;
 using hooks::Probe;
 
-Stage2Result run_stage2(const Workload& w, const ToolConfig& cfg,
-                        const Stage1Result& s1) {
+namespace ev = evstore;
+
+void collect_stage2(const Workload& w, const ToolConfig& cfg,
+                    const Stage1Result& s1, ev::TraceRun& run) {
   DIOG_SPAN("stage2.run");
   const StageObs stage_obs("stage2");
-  Stage2Result result;
+  ev::EventStore& store = *run.store;
+  DIOG_CHECK(store.count_of(ev::EventKind::kOp) == 0,
+             "run already contains stage-2 ops");
   gpusim::Runtime rt(w.device);
   rt.set_cpu_dilation(cfg.stage2_cpu_dilation);
 
   const std::vector<Fn> traced = s1.traced_fns();
 
+  std::uint64_t op_count = 0;
   Probe trace_probe;
   trace_probe.entry_cost = cfg.stage2_probe_cost;
   trace_probe.exit_cost = cfg.stage2_probe_cost;
   trace_probe.on_exit = [&](const HookContext& ctx) {
     if (ctx.dispatch_depth != 1) return;  // nested driver-internal call
-    OpRecord r;
-    r.index = result.ops.size();
-    r.api = ctx.fn;
-    r.stack = trace::CallContext::current().capture();
-    r.t_enter = ctx.entry_time;
-    r.t_exit = ctx.exit_time;
-    r.sync_wait = ctx.info->sync_wait;
-    r.performed_sync = ctx.info->performed_sync ||
-                       hooks::is_explicit_sync_fn(ctx.fn);
-    r.performed_transfer = ctx.info->performed_transfer;
-    r.bytes = ctx.info->bytes;
-    r.direction = ctx.info->memcpy_kind;
-    r.async_requested = ctx.info->async_requested;
-    r.dst_mem = ctx.info->dst_mem;
-    r.src_mem = ctx.info->src_mem;
-    r.stream = ctx.info->stream;
-    r.gpu_op_duration = ctx.info->gpu_op_duration;
-    result.ops.push_back(std::move(r));
+    // Hot path: fixed-size stack capture + dictionary probe + columnar
+    // append. No heap allocation for already-seen stacks.
+    const trace::Frame* frames[64];
+    const std::size_t depth =
+        trace::CallContext::current().capture_into(frames, 64);
+    ev::Event e;
+    e.kind = ev::EventKind::kOp;
+    e.set_fn(ctx.fn);
+    e.stack = store.intern_stack(frames, depth);
+    e.op_index = op_count++;
+    e.t_start = ctx.entry_time.count();
+    e.t_end = ctx.exit_time.count();
+    e.aux_time = ctx.info->sync_wait.count();
+    e.gpu_time = ctx.info->gpu_op_duration.count();
+    e.bytes = ctx.info->bytes;
+    e.stream = ctx.info->stream;
+    e.set(ev::flag::kPerformedSync, ctx.info->performed_sync ||
+                                        hooks::is_explicit_sync_fn(ctx.fn));
+    e.set(ev::flag::kPerformedTransfer, ctx.info->performed_transfer);
+    e.set(ev::flag::kAsyncRequested, ctx.info->async_requested);
+    e.set_direction(ctx.info->memcpy_kind);
+    e.set_dst_mem(ctx.info->dst_mem);
+    e.set_src_mem(ctx.info->src_mem);
+    store.append(e);
   };
 
   for (const Fn f : traced) rt.hooks().attach(f, trace_probe);
@@ -64,39 +78,47 @@ Stage2Result run_stage2(const Workload& w, const ToolConfig& cfg,
     DIOG_SPAN("stage2.app_run");
     RuntimeScope scope(rt);
     w.body();
-    result.exec_time = rt.clock().now();
+    run.meta.s2_exec = rt.clock().now();
   }
 
-  DIOG_CHECK(std::is_sorted(result.ops.begin(), result.ops.end(),
-                            [](const OpRecord& a, const OpRecord& b) {
-                              return a.t_enter < b.t_enter;
-                            }),
-             "stage 2 trace out of order");
+  {
+    std::int64_t prev = std::numeric_limits<std::int64_t>::min();
+    ev::ops(store).for_each([&](const ev::Event& e) {
+      DIOG_CHECK(e.t_start >= prev, "stage 2 trace out of order");
+      prev = e.t_start;
+    });
+  }
 
   if (obs::Telemetry::enabled()) {
     DIOG_SPAN("stage2.trace_sync");  // post-run aggregation of the trace
     auto& m = obs::Telemetry::global().metrics();
     m.counter("stage2.runs").inc();
-    m.counter("stage2.ops").inc(result.ops.size());
+    m.counter("stage2.ops").inc(op_count);
     auto& sync_wait = m.histogram("stage2.sync_wait");
     auto& call_dur = m.histogram("stage2.call_duration");
-    for (const OpRecord& op : result.ops) {
+    ev::ops(store).for_each([&](const ev::Event& e) {
       m.counter(std::string("stage2.ops.") +
-                std::string(hooks::fn_name(op.api)))
+                std::string(hooks::fn_name(e.fn())))
           .inc();
-      call_dur.record(op.call_duration());
-      if (op.performed_sync) {
+      call_dur.record(e.duration());
+      if (e.has(ev::flag::kPerformedSync)) {
         m.counter("stage2.syncs").inc();
-        sync_wait.record(op.sync_wait);
+        sync_wait.record(Duration{e.aux_time});
       }
-      if (op.performed_transfer) {
+      if (e.has(ev::flag::kPerformedTransfer)) {
         m.counter("stage2.transfers").inc();
-        m.counter("stage2.transfer_bytes").inc(op.bytes);
+        m.counter("stage2.transfer_bytes").inc(e.bytes);
       }
-    }
-    stage_obs.finish(rt, result.exec_time, s1.exec_time);
+    });
+    stage_obs.finish(rt, run.meta.s2_exec, s1.exec_time);
   }
-  return result;
+}
+
+Stage2Result run_stage2(const Workload& w, const ToolConfig& cfg,
+                        const Stage1Result& s1) {
+  ev::TraceRun run;
+  collect_stage2(w, cfg, s1, run);
+  return stage2_view(run);
 }
 
 }  // namespace diog::ffm

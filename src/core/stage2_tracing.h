@@ -16,9 +16,20 @@
 #include "core/model.h"
 #include "core/tool_config.h"
 #include "core/workload.h"
+#include "eventstore/run.h"
 
 namespace diog::ffm {
 
+// Primary collection path: appends one kOp event per traced top-level
+// call directly into run.store from the exit hook — an allocation-free
+// append (stack capture into a fixed buffer, dictionary probe,
+// fixed-width column writes) — and records exec time into
+// run.meta.s2_exec. The run must not already contain kOp events.
+void collect_stage2(const Workload& w, const ToolConfig& cfg,
+                    const Stage1Result& s1, evstore::TraceRun& run);
+
+// Legacy-shape wrapper: collects into a scratch run and materializes the
+// Stage2Result view.
 Stage2Result run_stage2(const Workload& w, const ToolConfig& cfg,
                         const Stage1Result& s1);
 

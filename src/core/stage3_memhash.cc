@@ -1,6 +1,7 @@
 #include "core/stage3_memhash.h"
 
 #include "core/memsync_engine.h"
+#include "core/run_convert.h"
 #include "core/stage_obs.h"
 #include "obs/span.h"
 
@@ -50,6 +51,11 @@ Stage3Result run_stage3(const Workload& w, const ToolConfig& cfg,
     stage_obs.finish(rt, result.exec_time, s1.exec_time);
   }
   return result;
+}
+
+void collect_stage3(const Workload& w, const ToolConfig& cfg,
+                    evstore::TraceRun& run) {
+  append_stage3(run, run_stage3(w, cfg, stage1_view(run)));
 }
 
 }  // namespace diog::ffm

@@ -11,10 +11,17 @@
 #include "core/model.h"
 #include "core/tool_config.h"
 #include "core/workload.h"
+#include "eventstore/run.h"
 
 namespace diog::ffm {
 
 Stage3Result run_stage3(const Workload& w, const ToolConfig& cfg,
                         const Stage1Result& s1);
+
+// Run-carrier form: reads stage 1 back out of the run (kSyncSite
+// cursor), collects, and appends the kSyncClassification /
+// kDuplicateTransfer events plus the hashing totals into the run.
+void collect_stage3(const Workload& w, const ToolConfig& cfg,
+                    evstore::TraceRun& run);
 
 }  // namespace diog::ffm

@@ -1,6 +1,7 @@
 #include "core/stage4_syncuse.h"
 
 #include "core/memsync_engine.h"
+#include "core/run_convert.h"
 #include "core/stage_obs.h"
 #include "obs/span.h"
 
@@ -39,6 +40,11 @@ Stage4Result run_stage4(const Workload& w, const ToolConfig& cfg,
     stage_obs.finish(rt, result.exec_time, s1.exec_time);
   }
   return result;
+}
+
+void collect_stage4(const Workload& w, const ToolConfig& cfg,
+                    evstore::TraceRun& run) {
+  append_stage4(run, run_stage4(w, cfg, stage1_view(run)));
 }
 
 }  // namespace diog::ffm

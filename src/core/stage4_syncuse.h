@@ -10,10 +10,16 @@
 #include "core/model.h"
 #include "core/tool_config.h"
 #include "core/workload.h"
+#include "eventstore/run.h"
 
 namespace diog::ffm {
 
 Stage4Result run_stage4(const Workload& w, const ToolConfig& cfg,
                         const Stage1Result& s1);
+
+// Run-carrier form: reads stage 1 back out of the run, collects, and
+// appends the kSyncUse events into the run.
+void collect_stage4(const Workload& w, const ToolConfig& cfg,
+                    evstore::TraceRun& run);
 
 }  // namespace diog::ffm

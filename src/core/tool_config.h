@@ -43,6 +43,10 @@ struct ToolConfig {
   // (<dir>/<workload>_stageN.json), as the real tool writes stage data
   // to disk between runs.
   std::string stage_dir;
+  // When non-empty, the complete run (every event the pipeline observed,
+  // in the binary format of eventstore/run_io.h) is saved here as
+  // <dir>/<workload>.dgtrace after collection finishes.
+  std::string trace_dir;
   bool verbose = false;
 };
 

@@ -1,0 +1,81 @@
+// Arena-backed fixed-width columns.
+//
+// A column is a chain of segments of kSegmentRows values each. push()
+// touches the heap only when it crosses a segment boundary — one
+// allocation per 64K rows per column — so the store's append path makes
+// no per-event heap allocation, which is what lets hook callbacks feed
+// it directly. Segment addresses are stable once allocated (readers may
+// hold pointers across appends).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "support/error.h"
+
+namespace diog::evstore {
+
+inline constexpr std::size_t kSegmentRows = 64 * 1024;
+
+template <typename T>
+class Column {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "columns hold fixed-width scalar data");
+
+ public:
+  void push(T v) {
+    const std::size_t slot = size_ % kSegmentRows;
+    if (slot == 0) segments_.push_back(std::make_unique<T[]>(kSegmentRows));
+    segments_.back()[slot] = v;
+    ++size_;
+  }
+
+  [[nodiscard]] T get(std::uint64_t i) const {
+    return segments_[i / kSegmentRows][i % kSegmentRows];
+  }
+
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+  [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
+  [[nodiscard]] const T* segment(std::size_t s) const {
+    return segments_[s].get();
+  }
+  [[nodiscard]] std::size_t rows_in_segment(std::size_t s) const {
+    if (s + 1 < segments_.size()) return kSegmentRows;
+    const std::size_t tail = size_ % kSegmentRows;
+    return tail == 0 && size_ > 0 ? kSegmentRows : tail;
+  }
+
+  [[nodiscard]] std::uint64_t bytes_reserved() const {
+    return static_cast<std::uint64_t>(segments_.size()) * kSegmentRows *
+           sizeof(T);
+  }
+
+  // Bulk append used by the run reader: copies `n` values from `src`
+  // segment-wise (memcpy, not per-row push).
+  void append_bulk(const T* src, std::uint64_t n) {
+    std::uint64_t done = 0;
+    while (done < n) {
+      const std::size_t slot = size_ % kSegmentRows;
+      if (slot == 0) segments_.push_back(std::make_unique<T[]>(kSegmentRows));
+      const std::uint64_t room = kSegmentRows - slot;
+      const std::uint64_t take = n - done < room ? n - done : room;
+      std::memcpy(segments_.back().get() + slot, src + done,
+                  static_cast<std::size_t>(take) * sizeof(T));
+      size_ += take;
+      done += take;
+    }
+  }
+
+  void clear() {
+    segments_.clear();
+    size_ = 0;
+  }
+
+ private:
+  std::vector<std::unique_ptr<T[]>> segments_;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace diog::evstore

@@ -1,0 +1,47 @@
+#include "eventstore/cursor.h"
+
+namespace diog::evstore {
+
+bool Cursor::segment_may_match(const EventStore::SegmentStats& st) const {
+  if ((st.kinds_mask & kinds_mask_) == 0) return false;
+  if ((st.flags_or & flags_all_) != flags_all_) return false;
+  if (api_ != kNoApiFilter && api_ < 64 &&
+      (st.api_mask & (1ull << api_)) == 0) {
+    return false;
+  }
+  if (st.max_t < t_min_ || st.min_t >= t_max_) return false;
+  return true;
+}
+
+bool Cursor::next(Event& out) {
+  const std::uint64_t n = store_->size();
+  while (pos_ < n) {
+    if (pos_ % kSegmentRows == 0) {
+      // Segment boundary: probe the stats before touching any column.
+      const auto& st = store_->segment_stats(pos_ / kSegmentRows);
+      if (!segment_may_match(st)) {
+        ++segments_skipped_;
+        pos_ += kSegmentRows;
+        continue;
+      }
+    }
+    const std::uint64_t i = pos_++;
+    const auto k = store_->col_kind().get(i);
+    if ((kinds_mask_ & (1u << k)) == 0) continue;
+    if (api_ != kNoApiFilter && store_->col_api().get(i) != api_) continue;
+    if (flags_all_ != 0 &&
+        (store_->col_flags().get(i) & flags_all_) != flags_all_) {
+      continue;
+    }
+    if (t_min_ != std::numeric_limits<std::int64_t>::min() ||
+        t_max_ != std::numeric_limits<std::int64_t>::max()) {
+      const std::int64_t t = store_->col_t_start().get(i);
+      if (t < t_min_ || t >= t_max_) continue;
+    }
+    out = store_->event(i);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace diog::evstore

@@ -1,0 +1,346 @@
+#include "eventstore/event_store.h"
+
+#include <algorithm>
+
+#include "obs/telemetry.h"
+#include "support/error.h"
+
+namespace diog::evstore {
+
+std::string_view to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kSyncSite: return "sync_site";
+    case EventKind::kOp: return "op";
+    case EventKind::kSyncClassification: return "sync_classification";
+    case EventKind::kDuplicateTransfer: return "duplicate_transfer";
+    case EventKind::kSyncUse: return "sync_use";
+    case EventKind::kInternalSpan: return "internal_span";
+    case EventKind::kPageFault: return "page_fault";
+    case EventKind::kCount_: break;
+  }
+  return "?";
+}
+
+bool kind_from_name(std::string_view name, EventKind& out) {
+  for (std::size_t i = 0; i < kEventKindCount; ++i) {
+    const auto k = static_cast<EventKind>(i);
+    if (to_string(k) == name) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- StackDict ---------------------------------------------------------------
+
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t hash_frames(const trace::Frame* const* frames, std::size_t n) {
+  std::uint64_t h = 0x6a09e667f3bcc909ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h = mix(h, reinterpret_cast<std::uintptr_t>(frames[i]));
+  }
+  return h;
+}
+
+}  // namespace
+
+StackDict::StackDict() {
+  stacks_.push_back(Span{0, 0});  // id 0: the empty stack
+}
+
+std::uint32_t StackDict::frame_id(const trace::Frame* f) {
+  const auto it = frame_index_.find(f);
+  if (it != frame_index_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(frames_.size());
+  frames_.push_back(f);
+  frame_index_.emplace(f, id);
+  return id;
+}
+
+StackId StackDict::intern(const trace::StackTrace& s) {
+  return intern(s.frames().data(), s.frames().size());
+}
+
+StackId StackDict::intern(const trace::Frame* const* frames, std::size_t n) {
+  if (n == 0) return kEmptyStack;
+  const std::uint64_t h = hash_frames(frames, n);
+  if (const auto it = by_hash_.find(h); it != by_hash_.end()) {
+    for (const StackId id : it->second) {
+      const Span& sp = stacks_[id];
+      if (sp.len != n) continue;
+      bool eq = true;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (frames_[pool_[sp.offset + i]] != frames[i]) {
+          eq = false;
+          break;
+        }
+      }
+      if (eq) return id;
+    }
+  }
+  Span sp;
+  sp.offset = static_cast<std::uint32_t>(pool_.size());
+  sp.len = static_cast<std::uint32_t>(n);
+  for (std::size_t i = 0; i < n; ++i) pool_.push_back(frame_id(frames[i]));
+  const auto id = static_cast<StackId>(stacks_.size());
+  stacks_.push_back(sp);
+  by_hash_[h].push_back(id);
+  return id;
+}
+
+std::size_t StackDict::depth(StackId id) const { return stacks_[id].len; }
+
+const trace::Frame* StackDict::frame(StackId id, std::size_t i) const {
+  const Span& sp = stacks_[id];
+  DIOG_CHECK(i < sp.len, "stack frame index out of range");
+  return frames_[pool_[sp.offset + i]];
+}
+
+const trace::Frame* StackDict::leaf(StackId id) const {
+  const Span& sp = stacks_[id];
+  if (sp.len == 0) return nullptr;
+  return frames_[pool_[sp.offset + sp.len - 1]];
+}
+
+trace::StackTrace StackDict::stack_trace(StackId id) const {
+  const Span& sp = stacks_[id];
+  std::vector<const trace::Frame*> frames;
+  frames.reserve(sp.len);
+  for (std::uint32_t i = 0; i < sp.len; ++i) {
+    frames.push_back(frames_[pool_[sp.offset + i]]);
+  }
+  return trace::StackTrace(std::move(frames));
+}
+
+void StackDict::load_frame(const trace::Frame* f) {
+  // Serialization order must be preserved; duplicates indicate a
+  // corrupt or hand-edited file.
+  DIOG_CHECK(!frame_index_.contains(f) ||
+                 frames_[frame_index_.at(f)] == f,
+             "frame dictionary mismatch during load");
+  if (!frame_index_.contains(f)) {
+    frame_index_.emplace(f, static_cast<std::uint32_t>(frames_.size()));
+  }
+  frames_.push_back(f);
+}
+
+StackId StackDict::load_stack(const std::uint32_t* frame_ids, std::size_t n) {
+  Span sp;
+  sp.offset = static_cast<std::uint32_t>(pool_.size());
+  sp.len = static_cast<std::uint32_t>(n);
+  const trace::Frame* buf[256];
+  DIOG_CHECK(n <= 256, "run file stack deeper than 256 frames");
+  for (std::size_t i = 0; i < n; ++i) {
+    DIOG_CHECK(frame_ids[i] < frames_.size(),
+               "run file references unknown frame");
+    pool_.push_back(frame_ids[i]);
+    buf[i] = frames_[frame_ids[i]];
+  }
+  const auto id = static_cast<StackId>(stacks_.size());
+  stacks_.push_back(sp);
+  if (n > 0) by_hash_[hash_frames(buf, n)].push_back(id);
+  return id;
+}
+
+std::size_t StackDict::stack_frame_id(StackId id, std::size_t i) const {
+  const Span& sp = stacks_[id];
+  DIOG_CHECK(i < sp.len, "stack frame index out of range");
+  return pool_[sp.offset + i];
+}
+
+std::uint64_t StackDict::bytes_reserved() const {
+  return stacks_.capacity() * sizeof(Span) +
+         pool_.capacity() * sizeof(std::uint32_t) +
+         frames_.capacity() * sizeof(const trace::Frame*);
+}
+
+// --- EventStore --------------------------------------------------------------
+
+EventStore::EventStore() {
+  names_.emplace_back();  // id 0: no name
+}
+
+NameId EventStore::intern_name(std::string_view name) {
+  if (name.empty()) return kNoName;
+  if (const auto it = name_index_.find(std::string(name));
+      it != name_index_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<NameId>(names_.size());
+  names_.emplace_back(name);
+  name_index_.emplace(names_.back(), id);
+  return id;
+}
+
+std::string_view EventStore::name(NameId id) const {
+  DIOG_CHECK(id < names_.size(), "bad name id");
+  return names_[id];
+}
+
+void EventStore::note_segment_metrics() {
+  if (!obs::Telemetry::enabled()) return;
+  auto& m = obs::Telemetry::global().metrics();
+  m.counter("evstore.segments").inc();
+  m.gauge("evstore.bytes_reserved")
+      .set(static_cast<std::int64_t>(bytes_reserved()));
+}
+
+void EventStore::append(const Event& e) {
+  DIOG_CHECK(e.kind < EventKind::kCount_, "bad event kind");
+  const bool new_segment = size_ % kSegmentRows == 0;
+  kind_.push(static_cast<std::uint8_t>(e.kind));
+  api_.push(e.api);
+  flags_.push(e.flags);
+  stream_.push(e.stream);
+  stack_.push(e.stack);
+  aux_stack_.push(e.aux_stack);
+  name_.push(e.name);
+  op_index_.push(e.op_index);
+  t_start_.push(e.t_start);
+  t_end_.push(e.t_end);
+  aux_time_.push(e.aux_time);
+  gpu_time_.push(e.gpu_time);
+  bytes_.push(e.bytes);
+  value_.push(e.value);
+  link_.push(e.link);
+
+  if (new_segment) {
+    stats_.emplace_back();
+    note_segment_metrics();
+  }
+  SegmentStats& st = stats_.back();
+  st.kinds_mask |= 1u << static_cast<std::uint32_t>(e.kind);
+  st.flags_or |= e.flags;
+  if (e.api < 64) st.api_mask |= 1ull << e.api;
+  st.min_t = std::min(st.min_t, e.t_start);
+  st.max_t = std::max(st.max_t, e.t_start);
+  ++per_kind_[static_cast<std::size_t>(e.kind)];
+  ++size_;
+}
+
+Event EventStore::event(std::uint64_t i) const {
+  DIOG_CHECK(i < size_, "event index out of range");
+  Event e;
+  e.kind = static_cast<EventKind>(kind_.get(i));
+  e.api = api_.get(i);
+  e.flags = flags_.get(i);
+  e.stream = stream_.get(i);
+  e.stack = stack_.get(i);
+  e.aux_stack = aux_stack_.get(i);
+  e.name = name_.get(i);
+  e.op_index = op_index_.get(i);
+  e.t_start = t_start_.get(i);
+  e.t_end = t_end_.get(i);
+  e.aux_time = aux_time_.get(i);
+  e.gpu_time = gpu_time_.get(i);
+  e.bytes = bytes_.get(i);
+  e.value = value_.get(i);
+  e.link = link_.get(i);
+  return e;
+}
+
+void EventStore::BulkLoader::load(
+    const std::uint8_t* kind, const std::uint16_t* api,
+    const std::uint32_t* flags, const std::uint32_t* stream,
+    const std::uint32_t* stack, const std::uint32_t* aux_stack,
+    const std::uint32_t* name, const std::uint64_t* op_index,
+    const std::int64_t* t_start, const std::int64_t* t_end,
+    const std::int64_t* aux_time, const std::int64_t* gpu_time,
+    const std::uint64_t* bytes, const std::uint64_t* value,
+    const std::uint64_t* link, std::uint64_t n) {
+  store.kind_.append_bulk(kind, n);
+  store.api_.append_bulk(api, n);
+  store.flags_.append_bulk(flags, n);
+  store.stream_.append_bulk(stream, n);
+  store.stack_.append_bulk(stack, n);
+  store.aux_stack_.append_bulk(aux_stack, n);
+  store.name_.append_bulk(name, n);
+  store.op_index_.append_bulk(op_index, n);
+  store.t_start_.append_bulk(t_start, n);
+  store.t_end_.append_bulk(t_end, n);
+  store.aux_time_.append_bulk(aux_time, n);
+  store.gpu_time_.append_bulk(gpu_time, n);
+  store.bytes_.append_bulk(bytes, n);
+  store.value_.append_bulk(value, n);
+  store.link_.append_bulk(link, n);
+  store.size_ += n;
+}
+
+void EventStore::finish_bulk_load() {
+  // Validate column agreement, then derive segment stats and per-kind
+  // counts in one columnar pass.
+  DIOG_CHECK(kind_.size() == size_ && link_.size() == size_ &&
+                 t_start_.size() == size_,
+             "column length mismatch after load");
+  stats_.clear();
+  std::fill(std::begin(per_kind_), std::end(per_kind_), 0);
+  for (std::uint64_t i = 0; i < size_; ++i) {
+    if (i % kSegmentRows == 0) {
+      stats_.emplace_back();
+      note_segment_metrics();
+    }
+    SegmentStats& st = stats_.back();
+    const auto kind_raw = kind_.get(i);
+    DIOG_CHECK(kind_raw < kEventKindCount, "run file has bad event kind");
+    const std::uint32_t stack_id = stack_.get(i);
+    const std::uint32_t aux_id = aux_stack_.get(i);
+    DIOG_CHECK(stack_id < stacks_dict_.stack_count() &&
+                   aux_id < stacks_dict_.stack_count(),
+               "run file references unknown stack");
+    DIOG_CHECK(name_.get(i) < names_.size(),
+               "run file references unknown name");
+    st.kinds_mask |= 1u << kind_raw;
+    st.flags_or |= flags_.get(i);
+    const std::uint16_t api = api_.get(i);
+    if (api < 64) st.api_mask |= 1ull << api;
+    st.min_t = std::min(st.min_t, t_start_.get(i));
+    st.max_t = std::max(st.max_t, t_start_.get(i));
+    ++per_kind_[kind_raw];
+  }
+}
+
+std::uint64_t EventStore::bytes_reserved() const {
+  std::uint64_t b = kind_.bytes_reserved() + api_.bytes_reserved() +
+                    flags_.bytes_reserved() + stream_.bytes_reserved() +
+                    stack_.bytes_reserved() + aux_stack_.bytes_reserved() +
+                    name_.bytes_reserved() + op_index_.bytes_reserved() +
+                    t_start_.bytes_reserved() + t_end_.bytes_reserved() +
+                    aux_time_.bytes_reserved() + gpu_time_.bytes_reserved() +
+                    bytes_.bytes_reserved() + value_.bytes_reserved() +
+                    link_.bytes_reserved();
+  b += stacks_dict_.bytes_reserved();
+  for (const std::string& n : names_) b += n.capacity();
+  return b;
+}
+
+std::uint64_t EventStore::count_of(EventKind k) const {
+  return per_kind_[static_cast<std::size_t>(k)];
+}
+
+json::Value EventStore::stat_json() const {
+  json::Object o;
+  o["events"] = size_;
+  o["segments"] = static_cast<std::uint64_t>(stats_.size());
+  o["segment_rows"] = static_cast<std::uint64_t>(kSegmentRows);
+  o["bytes_reserved"] = bytes_reserved();
+  o["stacks"] = stacks_dict_.stack_count();
+  o["frames"] = stacks_dict_.frame_count();
+  o["names"] = name_count();
+  json::Object per_kind;
+  for (std::size_t i = 0; i < kEventKindCount; ++i) {
+    if (per_kind_[i] == 0) continue;
+    per_kind[std::string(to_string(static_cast<EventKind>(i)))] =
+        per_kind_[i];
+  }
+  o["per_kind"] = std::move(per_kind);
+  return json::Value(std::move(o));
+}
+
+}  // namespace diog::evstore

@@ -1,0 +1,225 @@
+// The columnar event store.
+//
+// SoA storage for the unified schema (schema.h): each Event field lives
+// in its own arena-backed column (columns.h), and variable-size payloads
+// (stacks, names) live in per-store dictionaries referenced by 32-bit
+// ids. Per 64K-row segment the store keeps summary statistics (kind
+// mask, api mask, flag union, t_start range) that cursors use to skip
+// whole segments — predicate pushdown without an index.
+//
+// Threading: the store is single-writer (the simulated pipeline is
+// single-threaded; hook callbacks append from the application thread).
+// Frame interning underneath (trace::FrameTable) is fully thread-safe,
+// so captured frame pointers may originate from any thread; the store's
+// own dictionaries and columns must be appended from one thread at a
+// time. Readers may scan concurrently with each other once appending is
+// done.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "eventstore/columns.h"
+#include "eventstore/schema.h"
+#include "json/json.h"
+#include "trace/callstack.h"
+
+namespace diog::evstore {
+
+// Interns call stacks as sequences of dictionary frame ids. Interning an
+// already-known stack performs no heap allocation (hash probe only),
+// which keeps the hot append path allocation-free; new stacks amortize
+// into pooled storage.
+class StackDict {
+ public:
+  StackDict();
+
+  StackId intern(const trace::StackTrace& s);
+  // Allocation-free lookup path for hook callbacks: `frames` is a
+  // borrowed array of interned Frame pointers (CallContext::capture_into).
+  StackId intern(const trace::Frame* const* frames, std::size_t n);
+
+  [[nodiscard]] std::uint32_t stack_count() const {
+    return static_cast<std::uint32_t>(stacks_.size());
+  }
+  [[nodiscard]] std::size_t depth(StackId id) const;
+  [[nodiscard]] const trace::Frame* frame(StackId id, std::size_t i) const;
+  [[nodiscard]] const trace::Frame* leaf(StackId id) const;
+  // Materializes a StackTrace (allocates; analysis-side only).
+  [[nodiscard]] trace::StackTrace stack_trace(StackId id) const;
+
+  // Frame dictionary (serialization order).
+  [[nodiscard]] std::uint32_t frame_count() const {
+    return static_cast<std::uint32_t>(frames_.size());
+  }
+  [[nodiscard]] const trace::Frame* frame_at(std::uint32_t idx) const {
+    return frames_[idx];
+  }
+
+  // Run-reader entry points: rebuild the dictionaries in serialized
+  // order so stored ids stay valid.
+  void load_frame(const trace::Frame* f);
+  StackId load_stack(const std::uint32_t* frame_ids, std::size_t n);
+  [[nodiscard]] std::size_t stack_frame_id(StackId id, std::size_t i) const;
+
+  [[nodiscard]] std::uint64_t bytes_reserved() const;
+
+ private:
+  std::uint32_t frame_id(const trace::Frame* f);
+
+  struct Span {
+    std::uint32_t offset = 0;
+    std::uint32_t len = 0;
+  };
+  std::vector<Span> stacks_;         // [0] = the empty stack
+  std::vector<std::uint32_t> pool_;  // frame-dictionary ids, concatenated
+  std::unordered_map<std::uint64_t, std::vector<StackId>> by_hash_;
+  std::vector<const trace::Frame*> frames_;
+  std::unordered_map<const trace::Frame*, std::uint32_t> frame_index_;
+};
+
+class EventStore {
+ public:
+  EventStore();
+  EventStore(const EventStore&) = delete;
+  EventStore& operator=(const EventStore&) = delete;
+
+  // --- Append (hot path) --------------------------------------------------
+  // No per-event heap allocation: columns allocate once per 64K rows,
+  // segment stats once per segment.
+  void append(const Event& e);
+
+  StackId intern_stack(const trace::StackTrace& s) {
+    return stacks_dict_.intern(s);
+  }
+  StackId intern_stack(const trace::Frame* const* frames, std::size_t n) {
+    return stacks_dict_.intern(frames, n);
+  }
+  NameId intern_name(std::string_view name);
+
+  // --- Read ---------------------------------------------------------------
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+  [[nodiscard]] Event event(std::uint64_t i) const;
+
+  [[nodiscard]] const StackDict& stacks() const { return stacks_dict_; }
+  [[nodiscard]] StackDict& stacks() { return stacks_dict_; }
+  [[nodiscard]] trace::StackTrace stack_trace(StackId id) const {
+    return stacks_dict_.stack_trace(id);
+  }
+  [[nodiscard]] std::string_view name(NameId id) const;
+  [[nodiscard]] std::uint32_t name_count() const {
+    return static_cast<std::uint32_t>(names_.size());
+  }
+
+  // --- Per-segment statistics (cursor pushdown) ---------------------------
+  struct SegmentStats {
+    std::uint32_t kinds_mask = 0;  // bit per EventKind present
+    std::uint32_t flags_or = 0;    // union of row flags
+    std::uint64_t api_mask = 0;    // bit per Fn value present
+    std::int64_t min_t = std::numeric_limits<std::int64_t>::max();
+    std::int64_t max_t = std::numeric_limits<std::int64_t>::min();
+  };
+  [[nodiscard]] std::size_t segment_count() const { return stats_.size(); }
+  [[nodiscard]] const SegmentStats& segment_stats(std::size_t s) const {
+    return stats_[s];
+  }
+
+  // --- Column access (cursors and the run writer) -------------------------
+  [[nodiscard]] const Column<std::uint8_t>& col_kind() const { return kind_; }
+  [[nodiscard]] const Column<std::uint16_t>& col_api() const { return api_; }
+  [[nodiscard]] const Column<std::uint32_t>& col_flags() const {
+    return flags_;
+  }
+  [[nodiscard]] const Column<std::uint32_t>& col_stream() const {
+    return stream_;
+  }
+  [[nodiscard]] const Column<std::uint32_t>& col_stack() const {
+    return stack_;
+  }
+  [[nodiscard]] const Column<std::uint32_t>& col_aux_stack() const {
+    return aux_stack_;
+  }
+  [[nodiscard]] const Column<std::uint32_t>& col_name() const { return name_; }
+  [[nodiscard]] const Column<std::uint64_t>& col_op_index() const {
+    return op_index_;
+  }
+  [[nodiscard]] const Column<std::int64_t>& col_t_start() const {
+    return t_start_;
+  }
+  [[nodiscard]] const Column<std::int64_t>& col_t_end() const {
+    return t_end_;
+  }
+  [[nodiscard]] const Column<std::int64_t>& col_aux_time() const {
+    return aux_time_;
+  }
+  [[nodiscard]] const Column<std::int64_t>& col_gpu_time() const {
+    return gpu_time_;
+  }
+  [[nodiscard]] const Column<std::uint64_t>& col_bytes() const {
+    return bytes_;
+  }
+  [[nodiscard]] const Column<std::uint64_t>& col_value() const {
+    return value_;
+  }
+  [[nodiscard]] const Column<std::uint64_t>& col_link() const { return link_; }
+
+  // Run-reader entry points: raw column loads followed by one stats
+  // rebuild. Counts across columns must agree (checked).
+  struct BulkLoader;
+  void finish_bulk_load();
+
+  // --- Accounting ---------------------------------------------------------
+  // Arena bytes reserved across all columns and dictionaries.
+  [[nodiscard]] std::uint64_t bytes_reserved() const;
+  [[nodiscard]] std::uint64_t count_of(EventKind k) const;
+  // {"events": N, "segments": S, "per_kind": {...}, ...}
+  [[nodiscard]] json::Value stat_json() const;
+
+ private:
+  friend struct BulkLoader;
+  void note_segment_metrics();
+
+  Column<std::uint8_t> kind_;
+  Column<std::uint16_t> api_;
+  Column<std::uint32_t> flags_;
+  Column<std::uint32_t> stream_;
+  Column<std::uint32_t> stack_;
+  Column<std::uint32_t> aux_stack_;
+  Column<std::uint32_t> name_;
+  Column<std::uint64_t> op_index_;
+  Column<std::int64_t> t_start_;
+  Column<std::int64_t> t_end_;
+  Column<std::int64_t> aux_time_;
+  Column<std::int64_t> gpu_time_;
+  Column<std::uint64_t> bytes_;
+  Column<std::uint64_t> value_;
+  Column<std::uint64_t> link_;
+
+  StackDict stacks_dict_;
+  std::vector<std::string> names_;  // [0] = ""
+  std::unordered_map<std::string, NameId> name_index_;
+
+  std::vector<SegmentStats> stats_;
+  std::uint64_t size_ = 0;
+  std::uint64_t per_kind_[kEventKindCount] = {};
+};
+
+// Raw column appends used by the run reader (run_io.cc). Kept out of the
+// public surface so normal producers go through append().
+struct EventStore::BulkLoader {
+  EventStore& store;
+  void load(const std::uint8_t* kind, const std::uint16_t* api,
+            const std::uint32_t* flags, const std::uint32_t* stream,
+            const std::uint32_t* stack, const std::uint32_t* aux_stack,
+            const std::uint32_t* name, const std::uint64_t* op_index,
+            const std::int64_t* t_start, const std::int64_t* t_end,
+            const std::int64_t* aux_time, const std::int64_t* gpu_time,
+            const std::uint64_t* bytes, const std::uint64_t* value,
+            const std::uint64_t* link, std::uint64_t n);
+};
+
+}  // namespace diog::evstore

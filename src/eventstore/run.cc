@@ -1,0 +1,37 @@
+#include "eventstore/run.h"
+
+#include "support/error.h"
+
+namespace diog::evstore {
+
+json::Value RunMeta::to_json() const {
+  json::Object o;
+  o["workload"] = workload;
+  o["wait_fn"] = static_cast<std::int64_t>(wait_fn);
+  o["s1_exec_ns"] = static_cast<std::int64_t>(s1_exec.count());
+  o["s2_exec_ns"] = static_cast<std::int64_t>(s2_exec.count());
+  o["s3_exec_ns"] = static_cast<std::int64_t>(s3_exec.count());
+  o["s4_exec_ns"] = static_cast<std::int64_t>(s4_exec.count());
+  o["transfers_hashed"] = transfers_hashed;
+  o["bytes_hashed"] = bytes_hashed;
+  return json::Value(std::move(o));
+}
+
+RunMeta RunMeta::from_json(const json::Value& v) {
+  RunMeta m;
+  m.workload = v.at("workload").as_string();
+  const auto raw = v.at("wait_fn").as_int();
+  DIOG_CHECK(raw >= 0 && raw <= static_cast<std::int64_t>(hooks::kFnCount),
+             "bad wait_fn in run meta");
+  m.wait_fn = static_cast<hooks::Fn>(raw);
+  m.s1_exec = Duration{v.at("s1_exec_ns").as_int()};
+  m.s2_exec = Duration{v.at("s2_exec_ns").as_int()};
+  m.s3_exec = Duration{v.at("s3_exec_ns").as_int()};
+  m.s4_exec = Duration{v.at("s4_exec_ns").as_int()};
+  m.transfers_hashed =
+      static_cast<std::uint64_t>(v.at("transfers_hashed").as_int());
+  m.bytes_hashed = static_cast<std::uint64_t>(v.at("bytes_hashed").as_int());
+  return m;
+}
+
+}  // namespace diog::evstore

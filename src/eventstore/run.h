@@ -1,0 +1,49 @@
+// A run: one workload's complete observed trace plus run-level metadata.
+//
+// The TraceRun is the pipeline's canonical carrier. The live driver
+// appends each collection stage's events into run.store as they happen;
+// stage 5 and every exporter consume the store through cursors; save_run
+// / open_run (run_io.h) move whole runs between processes, which is what
+// lets the analysis stage operate on traces it did not collect.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "eventstore/event_store.h"
+#include "hooks/fn.h"
+#include "json/json.h"
+#include "support/clock.h"
+
+namespace diog::evstore {
+
+// Run-level scalars that don't belong to any single event: identity,
+// the discovered wait funnel, and the per-collection-run execution
+// times that drive overhead accounting.
+struct RunMeta {
+  std::string workload;
+  hooks::Fn wait_fn = hooks::Fn::kCount_;
+  Duration s1_exec{0};
+  Duration s2_exec{0};
+  Duration s3_exec{0};
+  Duration s4_exec{0};
+  // Stage-3 hashing totals (scalar summaries, not per-event data).
+  std::uint64_t transfers_hashed = 0;
+  std::uint64_t bytes_hashed = 0;
+
+  [[nodiscard]] json::Value to_json() const;
+  static RunMeta from_json(const json::Value& v);
+};
+
+struct TraceRun {
+  RunMeta meta;
+  // shared_ptr so analysis results can retain the store without copying
+  // columns; the store itself is single-writer (see event_store.h).
+  std::shared_ptr<EventStore> store = std::make_shared<EventStore>();
+
+  [[nodiscard]] Duration collection_time() const {
+    return meta.s1_exec + meta.s2_exec + meta.s3_exec + meta.s4_exec;
+  }
+};
+
+}  // namespace diog::evstore

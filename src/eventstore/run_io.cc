@@ -1,0 +1,420 @@
+#include "eventstore/run_io.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "obs/telemetry.h"
+#include "support/error.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DIOG_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define DIOG_HAVE_MMAP 0
+#endif
+
+namespace diog::evstore {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'I', 'O', 'G', 'R', 'U', 'N', '\x01'};
+constexpr char kEndMagic[8] = {'E', 'N', 'D', 'T', 'R', 'A', 'C', 'E'};
+constexpr std::size_t kHeaderBytes = 16;
+constexpr std::size_t kFooterBytes = 16;
+
+// Column order and widths are part of the format.
+constexpr std::uint8_t kColumnWidths[] = {1, 2, 4, 4, 4, 4, 4, 8,
+                                          8, 8, 8, 8, 8, 8, 8};
+constexpr std::size_t kColumnCount = sizeof(kColumnWidths);
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+constexpr std::uint64_t kFnvSeed = 0xcbf29ce484222325ULL;
+
+// --- Writer ------------------------------------------------------------------
+
+class Writer {
+ public:
+  explicit Writer(const std::string& path)
+      : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
+    DIOG_CHECK(out_.good(), "cannot open run file for writing: " + path);
+    out_.write(kMagic, sizeof(kMagic));
+    put_u32_raw(kFormatVersion);
+    put_u32_raw(0);  // reserved
+  }
+
+  // Payload writes (checksummed).
+  void put(const void* data, std::size_t n) {
+    checksum_ = fnv1a(checksum_, data, n);
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(n));
+    payload_bytes_ += n;
+  }
+  void put_u8(std::uint8_t v) { put(&v, 1); }
+  void put_u32(std::uint32_t v) { put(&v, 4); }
+  void put_i32(std::int32_t v) { put(&v, 4); }
+  void put_u64(std::uint64_t v) { put(&v, 8); }
+  void put_str(std::string_view s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    put(s.data(), s.size());
+  }
+
+  void finish() {
+    out_.write(reinterpret_cast<const char*>(&checksum_), 8);
+    out_.write(kEndMagic, sizeof(kEndMagic));
+    out_.flush();
+    DIOG_CHECK(out_.good(), "write failed for run file: " + path_);
+  }
+
+  [[nodiscard]] std::uint64_t payload_bytes() const { return payload_bytes_; }
+
+ private:
+  void put_u32_raw(std::uint32_t v) {
+    out_.write(reinterpret_cast<const char*>(&v), 4);
+  }
+
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t checksum_ = kFnvSeed;
+  std::uint64_t payload_bytes_ = 0;
+};
+
+template <typename T>
+void write_column(Writer& w, std::uint8_t tag, const Column<T>& col) {
+  w.put_u8(tag);
+  w.put_u8(static_cast<std::uint8_t>(sizeof(T)));
+  for (std::size_t s = 0; s < col.segment_count(); ++s) {
+    w.put(col.segment(s), col.rows_in_segment(s) * sizeof(T));
+  }
+}
+
+// --- Reader ------------------------------------------------------------------
+
+// Bounds-checked view over the payload bytes.
+struct Slice {
+  const unsigned char* p = nullptr;
+  std::size_t n = 0;
+  std::size_t off = 0;
+
+  void need(std::size_t k) const {
+    if (off + k > n || off + k < off) {
+      throw Error("run file truncated: payload ends mid-record");
+    }
+  }
+  const unsigned char* bytes(std::size_t k) {
+    need(k);
+    const unsigned char* out = p + off;
+    off += k;
+    return out;
+  }
+  std::uint8_t get_u8() { return *bytes(1); }
+  std::uint32_t get_u32() {
+    std::uint32_t v;
+    std::memcpy(&v, bytes(4), 4);
+    return v;
+  }
+  std::int32_t get_i32() {
+    std::int32_t v;
+    std::memcpy(&v, bytes(4), 4);
+    return v;
+  }
+  std::uint64_t get_u64() {
+    std::uint64_t v;
+    std::memcpy(&v, bytes(8), 8);
+    return v;
+  }
+  std::string get_str(std::size_t max = 1u << 20) {
+    const std::uint32_t len = get_u32();
+    if (len > max) throw Error("run file corrupted: oversized string");
+    const unsigned char* b = bytes(len);
+    return std::string(reinterpret_cast<const char*>(b), len);
+  }
+};
+
+TraceRun parse_payload(Slice payload) {
+  TraceRun run;
+  EventStore& store = *run.store;
+
+  // Meta.
+  const std::uint64_t meta_len = payload.get_u64();
+  if (meta_len > (1u << 20)) {
+    throw Error("run file corrupted: oversized meta block");
+  }
+  const unsigned char* meta_bytes =
+      payload.bytes(static_cast<std::size_t>(meta_len));
+  run.meta = RunMeta::from_json(json::parse(std::string_view(
+      reinterpret_cast<const char*>(meta_bytes),
+      static_cast<std::size_t>(meta_len))));
+
+  // Frame dictionary: re-intern into the process-wide FrameTable so
+  // stacks from a reopened run compare (by pointer) with stacks captured
+  // live in this process.
+  const std::uint32_t frame_count = payload.get_u32();
+  for (std::uint32_t i = 0; i < frame_count; ++i) {
+    const std::string function = payload.get_str();
+    const std::string file = payload.get_str();
+    const std::int32_t line = payload.get_i32();
+    store.stacks().load_frame(
+        trace::FrameTable::instance().intern(function, file, line));
+  }
+
+  // Stack dictionary.
+  const std::uint32_t stack_count = payload.get_u32();
+  std::vector<std::uint32_t> ids;
+  for (std::uint32_t i = 0; i < stack_count; ++i) {
+    const std::uint32_t depth = payload.get_u32();
+    if (depth > 256) throw Error("run file corrupted: oversized stack");
+    ids.clear();
+    for (std::uint32_t d = 0; d < depth; ++d) {
+      const std::uint32_t fid = payload.get_u32();
+      if (fid >= store.stacks().frame_count()) {
+        throw Error("run file corrupted: stack references unknown frame");
+      }
+      ids.push_back(fid);
+    }
+    const StackId got = store.stacks().load_stack(ids.data(), ids.size());
+    DIOG_CHECK(got == i + 1, "stack dictionary ids out of order");
+  }
+
+  // Name dictionary.
+  const std::uint32_t name_count = payload.get_u32();
+  for (std::uint32_t i = 0; i < name_count; ++i) {
+    const std::string nm = payload.get_str();
+    if (nm.empty()) throw Error("run file corrupted: empty name entry");
+    const NameId got = store.intern_name(nm);
+    if (got != i + 1) {
+      throw Error("run file corrupted: duplicate name entry");
+    }
+  }
+
+  // Columns.
+  const std::uint64_t event_count = payload.get_u64();
+  if (event_count > (1ull << 40)) {
+    throw Error("run file corrupted: implausible event count");
+  }
+  const std::uint8_t column_count = payload.get_u8();
+  if (column_count != kColumnCount) {
+    throw Error("run file corrupted: unexpected column count");
+  }
+  const unsigned char* cols[kColumnCount];
+  for (std::size_t c = 0; c < kColumnCount; ++c) {
+    const std::uint8_t tag = payload.get_u8();
+    const std::uint8_t width = payload.get_u8();
+    if (tag != c || width != kColumnWidths[c]) {
+      throw Error("run file corrupted: column tag/width mismatch");
+    }
+    cols[c] = payload.bytes(
+        static_cast<std::size_t>(event_count) * kColumnWidths[c]);
+  }
+  if (payload.off != payload.n) {
+    throw Error("run file corrupted: trailing bytes after columns");
+  }
+
+  EventStore::BulkLoader{store}.load(
+      reinterpret_cast<const std::uint8_t*>(cols[0]),
+      reinterpret_cast<const std::uint16_t*>(cols[1]),
+      reinterpret_cast<const std::uint32_t*>(cols[2]),
+      reinterpret_cast<const std::uint32_t*>(cols[3]),
+      reinterpret_cast<const std::uint32_t*>(cols[4]),
+      reinterpret_cast<const std::uint32_t*>(cols[5]),
+      reinterpret_cast<const std::uint32_t*>(cols[6]),
+      reinterpret_cast<const std::uint64_t*>(cols[7]),
+      reinterpret_cast<const std::int64_t*>(cols[8]),
+      reinterpret_cast<const std::int64_t*>(cols[9]),
+      reinterpret_cast<const std::int64_t*>(cols[10]),
+      reinterpret_cast<const std::int64_t*>(cols[11]),
+      reinterpret_cast<const std::uint64_t*>(cols[12]),
+      reinterpret_cast<const std::uint64_t*>(cols[13]),
+      reinterpret_cast<const std::uint64_t*>(cols[14]), event_count);
+  store.finish_bulk_load();
+  return run;
+}
+
+// Validates the envelope (magic, version, footer, checksum) and returns
+// the payload view.
+Slice validate_envelope(const unsigned char* data, std::size_t size) {
+  if (size < kHeaderBytes + kFooterBytes) {
+    throw Error("run file truncated: shorter than header + footer");
+  }
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    throw Error("not a diogenes run file (bad magic)");
+  }
+  std::uint32_t version;
+  std::memcpy(&version, data + 8, 4);
+  if (version != kFormatVersion) {
+    throw Error("unsupported run file version " + std::to_string(version) +
+                " (expected " + std::to_string(kFormatVersion) + ")");
+  }
+  if (std::memcmp(data + size - 8, kEndMagic, sizeof(kEndMagic)) != 0) {
+    throw Error("run file truncated: end marker missing");
+  }
+  const std::size_t payload_len = size - kHeaderBytes - kFooterBytes;
+  std::uint64_t stored_checksum;
+  std::memcpy(&stored_checksum, data + size - kFooterBytes, 8);
+  const std::uint64_t computed =
+      fnv1a(kFnvSeed, data + kHeaderBytes, payload_len);
+  if (computed != stored_checksum) {
+    throw Error("run file corrupted: checksum mismatch");
+  }
+  return Slice{data + kHeaderBytes, payload_len, 0};
+}
+
+#if DIOG_HAVE_MMAP
+class MappedFile {
+ public:
+  explicit MappedFile(const std::string& path) {
+    fd_ = ::open(path.c_str(), O_RDONLY);
+    DIOG_CHECK(fd_ >= 0, "cannot open run file: " + path);
+    struct stat st{};
+    if (::fstat(fd_, &st) != 0 || st.st_size < 0) {
+      ::close(fd_);
+      throw Error("cannot stat run file: " + path);
+    }
+    size_ = static_cast<std::size_t>(st.st_size);
+    if (size_ > 0) {
+      void* m = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd_, 0);
+      if (m == MAP_FAILED) {
+        ::close(fd_);
+        throw Error("mmap failed for run file: " + path);
+      }
+      data_ = static_cast<const unsigned char*>(m);
+    }
+  }
+  ~MappedFile() {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<unsigned char*>(data_), size_);
+    }
+    if (fd_ >= 0) ::close(fd_);
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  [[nodiscard]] const unsigned char* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  int fd_ = -1;
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+#endif
+
+std::vector<unsigned char> read_whole_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DIOG_CHECK(in.good(), "cannot open run file: " + path);
+  std::vector<unsigned char> buf;
+  char chunk[1 << 16];
+  while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
+    buf.insert(buf.end(), chunk, chunk + in.gcount());
+  }
+  return buf;
+}
+
+void note_open_metrics(const char* mode, std::size_t bytes) {
+  if (!obs::Telemetry::enabled()) return;
+  auto& m = obs::Telemetry::global().metrics();
+  m.counter(std::string("evstore.open_") + mode).inc();
+  m.counter("evstore.open_bytes").inc(bytes);
+}
+
+}  // namespace
+
+std::string run_file_path(const std::string& dir,
+                          const std::string& workload) {
+  return dir + "/" + workload + ".dgtrace";
+}
+
+void save_run(const std::string& path, const TraceRun& run) {
+  const EventStore& store = *run.store;
+  {
+    // Unlike the per-stage JSON files, run files routinely target a
+    // fresh directory (`--trace-dir out/`); create it on demand.
+    std::error_code ec;
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  }
+  Writer w(path);
+
+  const std::string meta = run.meta.to_json().dump();
+  w.put_u64(meta.size());
+  w.put(meta.data(), meta.size());
+
+  const StackDict& stacks = store.stacks();
+  w.put_u32(stacks.frame_count());
+  for (std::uint32_t i = 0; i < stacks.frame_count(); ++i) {
+    const trace::Frame* f = stacks.frame_at(i);
+    w.put_str(f->function);
+    w.put_str(f->file);
+    w.put_i32(f->line);
+  }
+
+  w.put_u32(stacks.stack_count() - 1);  // id 0 (empty) is implicit
+  for (StackId id = 1; id < stacks.stack_count(); ++id) {
+    const auto depth = static_cast<std::uint32_t>(stacks.depth(id));
+    w.put_u32(depth);
+    for (std::uint32_t d = 0; d < depth; ++d) {
+      w.put_u32(static_cast<std::uint32_t>(stacks.stack_frame_id(id, d)));
+    }
+  }
+
+  w.put_u32(store.name_count() - 1);  // id 0 (no name) is implicit
+  for (NameId id = 1; id < store.name_count(); ++id) {
+    w.put_str(store.name(id));
+  }
+
+  w.put_u64(store.size());
+  w.put_u8(static_cast<std::uint8_t>(kColumnCount));
+  write_column(w, 0, store.col_kind());
+  write_column(w, 1, store.col_api());
+  write_column(w, 2, store.col_flags());
+  write_column(w, 3, store.col_stream());
+  write_column(w, 4, store.col_stack());
+  write_column(w, 5, store.col_aux_stack());
+  write_column(w, 6, store.col_name());
+  write_column(w, 7, store.col_op_index());
+  write_column(w, 8, store.col_t_start());
+  write_column(w, 9, store.col_t_end());
+  write_column(w, 10, store.col_aux_time());
+  write_column(w, 11, store.col_gpu_time());
+  write_column(w, 12, store.col_bytes());
+  write_column(w, 13, store.col_value());
+  write_column(w, 14, store.col_link());
+  w.finish();
+
+  if (obs::Telemetry::enabled()) {
+    auto& m = obs::Telemetry::global().metrics();
+    m.counter("evstore.saved_runs").inc();
+    m.counter("evstore.saved_bytes").inc(w.payload_bytes());
+    // Segments flushed from the in-memory arena to disk.
+    m.counter("evstore.spilled_segments").inc(store.segment_count());
+  }
+}
+
+TraceRun open_run(const std::string& path, ReadMode mode) {
+#if DIOG_HAVE_MMAP
+  if (mode == ReadMode::kAuto || mode == ReadMode::kMmap) {
+    MappedFile f(path);
+    note_open_metrics("mmap", f.size());
+    return parse_payload(validate_envelope(f.data(), f.size()));
+  }
+#else
+  DIOG_CHECK(mode != ReadMode::kMmap, "mmap unavailable on this platform");
+#endif
+  const std::vector<unsigned char> buf = read_whole_file(path);
+  note_open_metrics("stream", buf.size());
+  return parse_payload(validate_envelope(buf.data(), buf.size()));
+}
+
+}  // namespace diog::evstore

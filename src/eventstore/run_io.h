@@ -1,0 +1,51 @@
+// Versioned binary on-disk format for runs.
+//
+// Layout (all integers little-endian):
+//
+//   [ 0..8)        magic "DIOGRUN\x01"
+//   [ 8..12)       u32 format version (schema.h kFormatVersion)
+//   [12..16)       u32 reserved (0)
+//   [16..N-16)     payload:
+//       u64 meta_len, meta JSON text (RunMeta)
+//       u32 frame count; per frame: u32+bytes function, u32+bytes file,
+//                                   i32 line
+//       u32 stack count (excluding implicit empty stack 0);
+//           per stack: u32 depth, u32 frame ids
+//       u32 name count (excluding implicit id 0); per name: u32+bytes
+//       u64 event count
+//       u8 column count; per column: u8 tag, u8 width, raw values
+//   [N-16..N-8)    u64 FNV-1a checksum of the payload
+//   [N-8..N)       end magic "ENDTRACE"
+//
+// Readers bounds-check every access and verify version, end magic, and
+// checksum before trusting anything, so corrupted, truncated, or
+// wrong-version files produce a clean diog::Error instead of UB. The
+// reader either mmaps the file (default on POSIX; zero read-side
+// copies until columns are materialized) or streams it through a
+// buffer; both paths share one parser.
+#pragma once
+
+#include <string>
+
+#include "eventstore/run.h"
+
+namespace diog::evstore {
+
+enum class ReadMode {
+  kAuto,    // mmap when available, else stream
+  kMmap,    // fail if the file cannot be mapped
+  kStream,  // buffered file read, no mmap
+};
+
+// The run-file name for a workload inside a trace directory.
+std::string run_file_path(const std::string& dir,
+                          const std::string& workload);
+
+// Serializes the run. Throws diog::Error on I/O failure.
+void save_run(const std::string& path, const TraceRun& run);
+
+// Deserializes a run. Throws diog::Error on I/O failure, bad magic,
+// version mismatch, truncation, or checksum mismatch.
+TraceRun open_run(const std::string& path, ReadMode mode = ReadMode::kAuto);
+
+}  // namespace diog::evstore

@@ -36,6 +36,13 @@ struct Frame {
 // Process-wide intern pool. Frames are never freed: a run produces a
 // bounded set of distinct source locations, and stable addresses are the
 // point of interning.
+//
+// Thread-safety: intern() and size() are fully thread-safe (internally
+// mutex-protected; frames live in a deque so returned pointers stay
+// stable forever). Concurrent intern() calls for the same
+// (function, file, line) triple return the same Frame*. Run readers and
+// instrumentation hooks on application threads may therefore intern
+// without external locking.
 class FrameTable {
  public:
   static FrameTable& instance();

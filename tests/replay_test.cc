@@ -52,8 +52,14 @@ Workload replay_workload() {
 class ReplayTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (std::filesystem::temp_directory_path() / "diog_replay_test")
+    // One directory per test: ctest runs tests as parallel processes,
+    // and a shared directory lets one test's TearDown delete stage
+    // files another test is mid-way through writing or loading.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (std::filesystem::temp_directory_path() /
+            (std::string("diog_replay_") + info->name()))
                .string();
+    std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "trace/callstack.h"
 
 namespace diog::trace {
@@ -18,6 +22,53 @@ TEST(FrameTable, DistinctLocationsDistinctFrames) {
   EXPECT_NE(a, table.intern("foo", "f.cc", 11));
   EXPECT_NE(a, table.intern("foo", "g.cc", 10));
   EXPECT_NE(a, table.intern("bar", "f.cc", 10));
+}
+
+// Regression for the documented thread-safety contract: hook callbacks
+// and run readers intern from arbitrary threads; racing interns of the
+// same location must agree on one Frame* and never corrupt the table.
+TEST(FrameTable, ConcurrentInterningIsSafeAndConsistent) {
+  auto& table = FrameTable::instance();
+  constexpr int kThreads = 8;
+  constexpr int kLocations = 64;
+  constexpr int kRounds = 50;
+
+  std::vector<std::vector<const Frame*>> seen(kThreads);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load()) {
+      }
+      auto& mine = seen[t];
+      mine.resize(kLocations);
+      for (int round = 0; round < kRounds; ++round) {
+        for (int loc = 0; loc < kLocations; ++loc) {
+          const Frame* f = table.intern(
+              "concurrent_fn_" + std::to_string(loc), "conc.cc", loc);
+          if (round == 0) {
+            mine[loc] = f;
+          } else {
+            // Stable across repeated interns from this thread.
+            ASSERT_EQ(mine[loc], f);
+          }
+        }
+      }
+    });
+  }
+  go.store(true);
+  for (std::thread& th : threads) th.join();
+
+  // Every thread resolved every location to the same frame.
+  for (int t = 1; t < kThreads; ++t) {
+    for (int loc = 0; loc < kLocations; ++loc) {
+      EXPECT_EQ(seen[0][loc], seen[t][loc]) << "location " << loc;
+    }
+  }
+  // And the table holds exactly one frame per distinct location.
+  const Frame* probe = table.intern("concurrent_fn_0", "conc.cc", 0);
+  EXPECT_EQ(probe, seen[0][0]);
 }
 
 TEST(FrameTable, FoldedNameComputedAtIntern) {
