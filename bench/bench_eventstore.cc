@@ -15,6 +15,7 @@
 //                                         events, save to PATH, reopen,
 //                                         verify; exit nonzero on any
 //                                         mismatch.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -185,6 +186,61 @@ double events_per_s(std::uint64_t n, double ms) {
   return ms > 0 ? static_cast<double>(n) / (ms / 1000.0) : 0.0;
 }
 
+// Flight-recorder variant: same synthetic stream, but the store runs as
+// a bounded ring. Measures the eviction tax on append throughput and
+// proves the resident-byte bound holds while events keep flowing.
+struct RingResult {
+  std::uint64_t events = 0;
+  std::uint64_t measured = 0;
+  std::uint64_t retained = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t evicted_segments = 0;
+  double append_ms = 0;
+  double allocs_per_event = 0;
+  std::uint64_t bytes_reserved_hwm = 0;
+};
+
+RingResult bench_ring(std::uint64_t n, std::uint64_t max_events) {
+  RingResult r;
+  r.events = n;
+
+  EventStore store;
+  store.set_retention(RetentionPolicy{.max_events = max_events});
+  Synthesizer syn;
+  syn.prepare(store);
+
+  // Warm past the first full ring so the measured loop is all
+  // steady-state: every segment boundary crossed evicts one in front.
+  const std::uint64_t warm = max_events + kSegmentRows;
+  std::uint64_t i = 0;
+  for (; i < warm && i < n; ++i) store.append(syn.make(i));
+
+  const std::size_t allocs_before = g_allocations.load();
+  const double t0 = now_ms();
+  for (; i < n; ++i) {
+    store.append(syn.make(i));
+    if (i % kSegmentRows == 0) {
+      r.bytes_reserved_hwm =
+          std::max(r.bytes_reserved_hwm,
+                   static_cast<std::uint64_t>(store.bytes_reserved()));
+    }
+  }
+  r.append_ms = now_ms() - t0;
+  r.measured = n > warm ? n - warm : 0;
+  r.allocs_per_event =
+      r.measured > 0
+          ? static_cast<double>(g_allocations.load() - allocs_before) /
+                static_cast<double>(r.measured)
+          : 0.0;
+  r.bytes_reserved_hwm =
+      std::max(r.bytes_reserved_hwm,
+               static_cast<std::uint64_t>(store.bytes_reserved()));
+  r.retained = store.size();
+  r.dropped = store.dropped_events();
+  r.evicted_segments = store.evicted_segments();
+  return r;
+}
+
 int run_sweep(const std::string& out_path) {
   std::printf("event store bench: append/scan throughput, density\n");
   std::printf("%10s %12s %12s %12s %10s %10s\n", "events", "append/s",
@@ -214,6 +270,20 @@ int run_sweep(const std::string& out_path) {
     sizes.emplace_back(std::move(o));
   }
 
+  // Ring (flight-recorder) mode: 1M events through a 2-segment window.
+  const RingResult ring = bench_ring(1'000'000, 2 * kSegmentRows);
+  std::printf("ring mode (%llu-event window): %llu events, append %.3g/s, "
+              "%.4f allocs/ev, %llu dropped in %llu segment(s), "
+              "resident hwm %s\n",
+              static_cast<unsigned long long>(2 * kSegmentRows),
+              static_cast<unsigned long long>(ring.events),
+              events_per_s(ring.measured, ring.append_ms),
+              ring.allocs_per_event,
+              static_cast<unsigned long long>(ring.dropped),
+              static_cast<unsigned long long>(ring.evicted_segments),
+              format_bytes(static_cast<std::size_t>(ring.bytes_reserved_hwm))
+                  .c_str());
+
   // Save/open round trip at 1M events: the CI stress path, timed.
   TraceRun run;
   run.meta.workload = "bench_eventstore";
@@ -238,6 +308,18 @@ int run_sweep(const std::string& out_path) {
   json::Object root;
   root["bench"] = std::string("eventstore");
   root["sizes"] = std::move(sizes);
+  json::Object ring_o;
+  ring_o["events"] = static_cast<std::int64_t>(ring.events);
+  ring_o["window_events"] = static_cast<std::int64_t>(2 * kSegmentRows);
+  ring_o["append_ms"] = ring.append_ms;
+  ring_o["append_events_per_s"] = events_per_s(ring.measured, ring.append_ms);
+  ring_o["allocs_per_event"] = ring.allocs_per_event;
+  ring_o["retained_events"] = static_cast<std::int64_t>(ring.retained);
+  ring_o["dropped_events"] = static_cast<std::int64_t>(ring.dropped);
+  ring_o["evicted_segments"] = static_cast<std::int64_t>(ring.evicted_segments);
+  ring_o["bytes_reserved_hwm"] =
+      static_cast<std::int64_t>(ring.bytes_reserved_hwm);
+  root["ring_1m"] = std::move(ring_o);
   json::Object io;
   io["events"] = static_cast<std::int64_t>(n);
   io["save_ms"] = save_ms;

@@ -26,6 +26,10 @@
 // Trace-file mode (binary runs written with --trace-dir):
 //   diogenes trace stat <file.dgtrace>            store summary
 //   diogenes trace dump <file> [kind] [max]       event listing
+//   diogenes trace tail <file> [--jsonl] [--poll-ms N] [--once]
+//                                                 follow a (live) run
+//   diogenes trace watch <file> [--poll-ms N] [--once]
+//                                                 refreshing summary
 //   diogenes trace profile <file>                 per-API time summary
 //   diogenes trace analyze <file>                 full stage-5 analysis
 //   diogenes trace diff <before> <after>          differential analysis
@@ -35,10 +39,20 @@
 //   --misplaced-us <N>      misplaced-sync threshold (default 50)
 //   --telemetry <file>      write self-telemetry as JSON lines
 //   --trace-dir <dir>       save the complete run as <dir>/<app>.dgtrace
+//   --retain-mb <N>         ring retention: cap resident store bytes
+//   --retain-events <N>     ring retention: cap resident store events
+//   --live                  flight recorder: checkpoint the run file
+//                           during collection + stream heartbeats to
+//                           <trace-dir>/<app>.heartbeat.jsonl; SIGUSR1
+//                           forces an immediate checkpoint + heartbeat
+//   --heartbeat-ms <N>      heartbeat interval (default 1000)
+//   --checkpoint-ms <N>     min gap between timed checkpoints (500)
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/apps.h"
@@ -50,6 +64,7 @@
 #include "core/uvm_analysis.h"
 #include "core/report.h"
 #include "eventstore/run_io.h"
+#include "obs/heartbeat.h"
 #include "obs/telemetry.h"
 #include "support/error.h"
 #include "support/strings.h"
@@ -62,15 +77,67 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: diogenes [--verbose] [--misplaced-us N] [--telemetry FILE]\n"
-      "                [--trace-dir DIR] <app> [command]\n"
+      "                [--trace-dir DIR] [--retain-mb N] [--retain-events N]\n"
+      "                [--live] [--heartbeat-ms N] [--checkpoint-ms N]\n"
+      "                <app> [command]\n"
       "       diogenes replay <dir> <workload> [command]\n"
       "       diogenes trace stat|dump|profile|analyze <file.dgtrace>\n"
+      "       diogenes trace tail <file> [--jsonl] [--poll-ms N] [--once]\n"
+      "       diogenes trace watch <file> [--poll-ms N] [--once]\n"
       "       diogenes trace diff <before.dgtrace> <after.dgtrace>\n"
       "  apps: cumf_als | cuIBM | AMG | Rodinia\n"
       "  commands: overview | api | folds | seq N | sub N A B | fixes |\n"
       "            compare | uvm | diff | export FILE | stages DIR |\n"
-      "            metrics\n");
+      "            metrics [--json]\n");
   return 2;
+}
+
+// `trace tail`: follow a run file — possibly one another process is
+// still writing — and print each newly checkpointed event as it becomes
+// readable. Exits when the writer finalizes the footer.
+int cmd_trace_tail(const std::string& path, bool jsonl, int poll_ms,
+                   bool once) {
+  evstore::RunFollower follower(path);
+  std::uint64_t printed = 0;
+  for (;;) {
+    follower.poll();
+    const evstore::EventStore& store = *follower.run().store;
+    for (; printed < store.size(); ++printed) {
+      const evstore::Event e = store.event(printed);
+      if (jsonl) {
+        std::printf("%s\n",
+                    json::Value(ffm::event_json(store, e)).dump().c_str());
+      } else {
+        std::printf("%s\n", ffm::render_event_line(store, e).c_str());
+      }
+    }
+    std::fflush(stdout);
+    if (follower.finalized() || once) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+  }
+  const evstore::RunFileInfo& info = follower.info();
+  std::fprintf(stderr, "tail: %llu event(s) from %llu chunk(s)%s\n",
+               static_cast<unsigned long long>(info.events),
+               static_cast<unsigned long long>(info.chunks),
+               info.finalized ? ", finalized" : "");
+  return 0;
+}
+
+// `trace watch`: one-screen summary of a live run, refreshed in place
+// until the writer finalizes.
+int cmd_trace_watch(const std::string& path, int poll_ms, bool once) {
+  evstore::RunFollower follower(path);
+  for (;;) {
+    follower.poll();
+    std::string out = ffm::render_run_stat(follower.run());
+    out += ffm::render_run_file_info(follower.info());
+    if (!once) std::printf("\033[H\033[2J");  // home + clear
+    std::printf("%s", out.c_str());
+    std::fflush(stdout);
+    if (follower.finalized() || once) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+  }
+  return 0;
 }
 
 int cmd_folds(const ffm::AnalysisResult& r) {
@@ -145,25 +212,41 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[arg], "--trace-dir") == 0 && arg + 1 < argc) {
       cfg.trace_dir = argv[arg + 1];
       arg += 2;
+    } else if (std::strcmp(argv[arg], "--retain-mb") == 0 && arg + 1 < argc) {
+      cfg.retain_mb = std::strtoull(argv[arg + 1], nullptr, 10);
+      arg += 2;
+    } else if (std::strcmp(argv[arg], "--retain-events") == 0 &&
+               arg + 1 < argc) {
+      cfg.retain_events = std::strtoull(argv[arg + 1], nullptr, 10);
+      arg += 2;
+    } else if (std::strcmp(argv[arg], "--live") == 0) {
+      cfg.live = true;
+      ++arg;
+    } else if (std::strcmp(argv[arg], "--heartbeat-ms") == 0 &&
+               arg + 1 < argc) {
+      cfg.heartbeat_interval_ms =
+          static_cast<std::uint32_t>(std::strtoul(argv[arg + 1], nullptr, 10));
+      arg += 2;
+    } else if (std::strcmp(argv[arg], "--checkpoint-ms") == 0 &&
+               arg + 1 < argc) {
+      cfg.checkpoint_interval_ms =
+          static_cast<std::uint32_t>(std::strtoul(argv[arg + 1], nullptr, 10));
+      arg += 2;
     } else {
       return usage();
     }
   }
   if (arg >= argc) return usage();
 
-  // Written on every exit path once a command starts executing.
-  struct TelemetrySaver {
-    std::string path;
-    ~TelemetrySaver() {
-      if (path.empty()) return;
-      try {
-        obs::Telemetry::global().save_jsonl(path);
-      } catch (const Error& e) {
-        std::fprintf(stderr, "telemetry write failed: %s\n", e.what());
-      }
-    }
-  } telemetry_saver;
-  telemetry_saver.path = telemetry_path;
+  // Telemetry is flushed on every exit path — normal return, exit(),
+  // and uncaught exceptions (obs installs atexit + terminate hooks).
+  if (!telemetry_path.empty()) {
+    obs::Telemetry::set_exit_flush(telemetry_path);
+  }
+  if (cfg.live) {
+    // `kill -USR1 <pid>` forces an immediate checkpoint + heartbeat.
+    obs::install_checkpoint_signal_handler();
+  }
 
   const std::string app_name = argv[arg++];
   const auto app_list = apps::all_apps();
@@ -176,9 +259,38 @@ int main(int argc, char** argv) {
     const std::string sub = argv[arg++];
     try {
       if (sub == "stat" && arg < argc) {
-        std::printf("%s", ffm::render_run_stat(evstore::open_run(argv[arg]))
-                              .c_str());
+        // Tolerates an in-progress / truncated file: the readable prefix
+        // is summarized and its checkpoint state reported.
+        evstore::RunFileInfo info;
+        const evstore::TraceRun run =
+            evstore::open_run(argv[arg], evstore::ReadMode::kAuto, &info);
+        std::printf("%s", ffm::render_run_stat(run).c_str());
+        std::printf("%s", ffm::render_run_file_info(info).c_str());
         return 0;
+      }
+      if ((sub == "tail" || sub == "watch") && arg < argc) {
+        const std::string file = argv[arg++];
+        bool jsonl = false;
+        bool once = false;
+        int poll_ms = 200;
+        while (arg < argc) {
+          if (std::strcmp(argv[arg], "--jsonl") == 0 && sub == "tail") {
+            jsonl = true;
+            ++arg;
+          } else if (std::strcmp(argv[arg], "--once") == 0) {
+            once = true;
+            ++arg;
+          } else if (std::strcmp(argv[arg], "--poll-ms") == 0 &&
+                     arg + 1 < argc) {
+            poll_ms = static_cast<int>(std::strtol(argv[arg + 1], nullptr, 10));
+            if (poll_ms < 1) poll_ms = 1;
+            arg += 2;
+          } else {
+            return usage();
+          }
+        }
+        return sub == "tail" ? cmd_trace_tail(file, jsonl, poll_ms, once)
+                             : cmd_trace_watch(file, poll_ms, once);
       }
       if (sub == "dump" && arg < argc) {
         const evstore::TraceRun run = evstore::open_run(argv[arg++]);
@@ -268,7 +380,16 @@ int main(int argc, char** argv) {
   if (command == "metrics") {
     // The tool observing itself: per-stage counters and latency
     // histograms, then the Table-2-style perturbation accounting.
+    // `--json` uses the same snapshot serialization the telemetry file
+    // and heartbeat stream use.
     auto& telemetry = obs::Telemetry::global();
+    if (arg < argc && std::strcmp(argv[arg], "--json") == 0) {
+      json::Object o;
+      o["metrics"] = telemetry.metrics().to_json();
+      o["overhead"] = telemetry.accountant().to_json();
+      std::printf("%s\n", json::Value(std::move(o)).dump().c_str());
+      return 0;
+    }
     std::printf("%s\n", telemetry.metrics().render().c_str());
     std::printf("%s", telemetry.accountant().render().c_str());
     return 0;

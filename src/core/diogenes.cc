@@ -1,7 +1,9 @@
 #include "core/diogenes.h"
 
 #include <map>
+#include <memory>
 
+#include "core/flight_recorder.h"
 #include "core/run_convert.h"
 #include "core/stage1_baseline.h"
 #include "core/stage2_tracing.h"
@@ -115,31 +117,62 @@ AnalysisResult Diogenes::analyze() {
   evstore::TraceRun run;
   run.meta.workload = workload_.name;
 
+  // Flight-recorder mode: bound resident memory and/or keep the run
+  // observable while it happens.
+  if (cfg_.retain_mb > 0 || cfg_.retain_events > 0) {
+    run.store->set_retention(evstore::RetentionPolicy{
+        .max_bytes = cfg_.retain_mb * 1024 * 1024,
+        .max_events = cfg_.retain_events});
+  }
+  std::unique_ptr<FlightRecorder> recorder;
+  if (cfg_.live) {
+    recorder = std::make_unique<FlightRecorder>(run, cfg_, workload_.name);
+  }
+  const auto stage = [&](const char* name) {
+    if (recorder) recorder->on_stage_begin(name);
+  };
+  const auto stage_done = [&] {
+    if (recorder) recorder->on_stage_end();
+  };
+
   log.info("stage1", "stage 1: baseline measurement (" + workload_.name +
                          ")");
+  stage("stage1");
   const Stage1Result s1 = run_stage1(workload_, cfg_);
   maybe_persist("stage1", s1.to_json());
   append_stage1(run, s1);
+  stage_done();
 
   log.info("stage2", "stage 2: detailed tracing");
+  stage("stage2");
   collect_stage2(workload_, cfg_, s1, run);
   if (!cfg_.stage_dir.empty()) {
     maybe_persist("stage2", stage2_view(run).to_json());
   }
+  stage_done();
 
   log.info("stage3", "stage 3: memory tracing + hashing");
+  stage("stage3");
   collect_stage3(workload_, cfg_, run);
   if (!cfg_.stage_dir.empty()) {
     maybe_persist("stage3", stage3_view(run).to_json());
   }
+  stage_done();
 
   log.info("stage4", "stage 4: sync-use analysis");
+  stage("stage4");
   collect_stage4(workload_, cfg_, run);
   if (!cfg_.stage_dir.empty()) {
     maybe_persist("stage4", stage4_view(run).to_json());
   }
+  stage_done();
 
-  if (!cfg_.trace_dir.empty()) {
+  if (recorder) {
+    // Fold the tool's own spans in, then finalize the live file (the
+    // footer gains the finalized flag; followers see a clean end).
+    append_internal_spans(run);
+    recorder->finish();
+  } else if (!cfg_.trace_dir.empty()) {
     // Fold the tool's own spans into the run before it leaves the
     // process, then persist the complete trace in the binary format.
     append_internal_spans(run);
@@ -148,7 +181,10 @@ AnalysisResult Diogenes::analyze() {
   }
 
   log.info("stage5", "stage 5: analysis");
-  return run_analysis(run, cfg_);
+  stage("stage5");
+  AnalysisResult result = run_analysis(run, cfg_);
+  stage_done();
+  return result;
 }
 
 }  // namespace diog::ffm

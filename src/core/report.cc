@@ -1,6 +1,8 @@
 #include "core/report.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 
 #include "eventstore/cursor.h"
 #include "support/error.h"
@@ -177,13 +179,46 @@ std::string render_run_stat(const evstore::TraceRun& run) {
     out += pad_left(std::to_string(store.count_of(k)), 12) + "  " +
            std::string(ev::to_string(k)) + "\n";
   }
+  if (store.dropped_events() > 0) {
+    out += "  ring: " + std::to_string(store.dropped_events()) +
+           " event(s) evicted in " +
+           std::to_string(store.evicted_segments()) + " segment(s)\n";
+  }
   return out;
 }
 
-namespace {
+std::string render_run_file_info(const evstore::RunFileInfo& info) {
+  std::string out = "File: ";
+  if (info.finalized) {
+    out += "finalized";
+  } else if (info.clean) {
+    out += "in progress (clean prefix)";
+  } else {
+    out += "in progress (torn tail ignored)";
+  }
+  out += ", " + std::to_string(info.chunks) + " chunk(s), " +
+         std::to_string(info.events) + " event(s) checkpointed, " +
+         format_bytes(static_cast<std::size_t>(info.bytes_consumed)) + "\n";
+  if (info.dropped_before_checkpoint > 0) {
+    out += "  dropped before checkpoint: " +
+           std::to_string(info.dropped_before_checkpoint) + " event(s)\n";
+  }
+  if (info.checkpoint_wall_ms > 0) {
+    const auto now_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    const double age_s =
+        static_cast<double>(now_ms - info.checkpoint_wall_ms) / 1000.0;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.1f", age_s < 0 ? 0.0 : age_s);
+    out += "  last checkpoint: " + std::string(buf) + "s ago\n";
+  }
+  return out;
+}
 
-std::string dump_line(const evstore::EventStore& store,
-                      const evstore::Event& e) {
+std::string render_event_line(const evstore::EventStore& store,
+                              const evstore::Event& e) {
   namespace ev = evstore;
   std::string line = "[" + std::string(ev::to_string(e.kind)) + "]";
   if (e.api != static_cast<std::uint16_t>(hooks::Fn::kCount_)) {
@@ -236,7 +271,30 @@ std::string dump_line(const evstore::EventStore& store,
   return line;
 }
 
-}  // namespace
+json::Object event_json(const evstore::EventStore& store,
+                        const evstore::Event& e) {
+  namespace ev = evstore;
+  json::Object o;
+  o["kind"] = std::string(ev::to_string(e.kind));
+  if (e.api != static_cast<std::uint16_t>(hooks::Fn::kCount_)) {
+    o["api"] = std::string(hooks::fn_name(e.fn()));
+  }
+  if (e.name != ev::kNoName) o["name"] = std::string(store.name(e.name));
+  if (e.op_index != 0) o["op"] = e.op_index;
+  if (e.t_start != 0 || e.t_end != 0) {
+    o["t_start_ns"] = e.t_start;
+    o["t_end_ns"] = e.t_end;
+  }
+  if (e.aux_time != 0) o["aux_ns"] = e.aux_time;
+  if (e.bytes != 0) o["bytes"] = e.bytes;
+  if (e.value != 0) o["value"] = e.value;
+  if (e.link != 0) o["link"] = e.link;
+  if (e.flags != 0) o["flags"] = e.flags;
+  if (const trace::Frame* leaf = store.stacks().leaf(e.stack)) {
+    o["site"] = leaf->file + ":" + std::to_string(leaf->line);
+  }
+  return o;
+}
 
 std::string render_run_dump(const evstore::TraceRun& run,
                             std::string_view kind_filter,
@@ -254,7 +312,7 @@ std::string render_run_dump(const evstore::TraceRun& run,
   std::size_t shown = 0;
   ev::Event e;
   while (shown < max_events && cursor.next(e)) {
-    out += dump_line(store, e) + "\n";
+    out += render_event_line(store, e) + "\n";
     ++shown;
   }
   const std::uint64_t remaining = cursor.count();

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/diogenes.h"
+#include "eventstore/run_io.h"
 
 namespace diog::ffm {
 
@@ -34,6 +35,20 @@ json::Value export_json(const AnalysisResult& r);
 // `diogenes trace stat`: one-screen summary of a run — metadata, store
 // shape (events / segments / dictionaries / bytes), per-kind counts.
 std::string render_run_stat(const evstore::TraceRun& run);
+
+// Addendum for stat on a live / truncated file: chunk count, events
+// checkpointed, drops, and the age of the last checkpoint. Shared by
+// `trace stat` and `trace watch`.
+std::string render_run_file_info(const evstore::RunFileInfo& info);
+
+// One event, one line — the shared renderer behind `trace dump` and
+// `trace tail`.
+std::string render_event_line(const evstore::EventStore& store,
+                              const evstore::Event& e);
+
+// The same event as a JSON object (for `trace tail --jsonl`).
+json::Object event_json(const evstore::EventStore& store,
+                        const evstore::Event& e);
 
 // `diogenes trace dump`: the first `max_events` events, one line each,
 // optionally restricted to one kind ("op", "sync_site", ...). Throws

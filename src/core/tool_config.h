@@ -9,6 +9,7 @@
 // (8x-20x total collection cost).
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "support/clock.h"
@@ -48,6 +49,20 @@ struct ToolConfig {
   // <dir>/<workload>.dgtrace after collection finishes.
   std::string trace_dir;
   bool verbose = false;
+
+  // --- Flight recorder (live monitoring) ----------------------------------
+  // Ring retention bounds on the in-memory event store; 0 = unbounded.
+  // When either is set the store evicts whole 64K-row segments FIFO
+  // (event_store.h RetentionPolicy).
+  std::uint64_t retain_mb = 0;
+  std::uint64_t retain_events = 0;
+  // Live mode: checkpoint the run file incrementally during collection
+  // (readable by `trace tail` / `trace watch` from another process) and
+  // stream heartbeats to <trace_dir>/<workload>.heartbeat.jsonl.
+  // Requires trace_dir for the run file; heartbeats-only otherwise.
+  bool live = false;
+  std::uint32_t heartbeat_interval_ms = 1000;
+  std::uint32_t checkpoint_interval_ms = 500;
 };
 
 }  // namespace diog::ffm

@@ -6,6 +6,11 @@
 // no per-event heap allocation, which is what lets hook callbacks feed
 // it directly. Segment addresses are stable once allocated (readers may
 // hold pointers across appends).
+//
+// Ring mode (EventStore retention) evicts whole segments from the front
+// with drop_front_segment(); the evicted buffer is stashed and reused by
+// the next boundary-crossing push, so a steady-state ring appends
+// without touching the allocator at all.
 #pragma once
 
 #include <cstdint>
@@ -27,7 +32,10 @@ class Column {
  public:
   void push(T v) {
     const std::size_t slot = size_ % kSegmentRows;
-    if (slot == 0) segments_.push_back(std::make_unique<T[]>(kSegmentRows));
+    if (slot == 0) {
+      segments_.push_back(spare_ ? std::move(spare_)
+                                 : std::make_unique<T[]>(kSegmentRows));
+    }
     segments_.back()[slot] = v;
     ++size_;
   }
@@ -48,8 +56,9 @@ class Column {
   }
 
   [[nodiscard]] std::uint64_t bytes_reserved() const {
-    return static_cast<std::uint64_t>(segments_.size()) * kSegmentRows *
-           sizeof(T);
+    return (static_cast<std::uint64_t>(segments_.size()) +
+            (spare_ ? 1 : 0)) *
+           kSegmentRows * sizeof(T);
   }
 
   // Bulk append used by the run reader: copies `n` values from `src`
@@ -58,7 +67,10 @@ class Column {
     std::uint64_t done = 0;
     while (done < n) {
       const std::size_t slot = size_ % kSegmentRows;
-      if (slot == 0) segments_.push_back(std::make_unique<T[]>(kSegmentRows));
+      if (slot == 0) {
+        segments_.push_back(spare_ ? std::move(spare_)
+                                   : std::make_unique<T[]>(kSegmentRows));
+      }
       const std::uint64_t room = kSegmentRows - slot;
       const std::uint64_t take = n - done < room ? n - done : room;
       std::memcpy(segments_.back().get() + slot, src + done,
@@ -68,13 +80,43 @@ class Column {
     }
   }
 
+  // Copies rows [first, first + count) into `dst` (run-writer staging;
+  // cold path). Rows are addressed in the column's current window.
+  void copy_rows(std::uint64_t first, std::uint64_t count, T* dst) const {
+    std::uint64_t done = 0;
+    while (done < count) {
+      const std::uint64_t i = first + done;
+      const std::size_t seg = static_cast<std::size_t>(i / kSegmentRows);
+      const std::size_t slot = static_cast<std::size_t>(i % kSegmentRows);
+      const std::uint64_t room = kSegmentRows - slot;
+      const std::uint64_t take =
+          count - done < room ? count - done : room;
+      std::memcpy(dst + done, segments_[seg].get() + slot,
+                  static_cast<std::size_t>(take) * sizeof(T));
+      done += take;
+    }
+  }
+
+  // Ring eviction: drops the (full) front segment and keeps its buffer
+  // as the spare for the next boundary-crossing push. Only legal when at
+  // least two segments exist, which keeps the eviction invariant "every
+  // retained front segment is full" — and with it the size_-modulo slot
+  // arithmetic — intact.
+  void drop_front_segment() {
+    spare_ = std::move(segments_.front());
+    segments_.erase(segments_.begin());
+    size_ -= kSegmentRows;
+  }
+
   void clear() {
     segments_.clear();
+    spare_.reset();
     size_ = 0;
   }
 
  private:
   std::vector<std::unique_ptr<T[]>> segments_;
+  std::unique_ptr<T[]> spare_;  // recycled by the next segment open
   std::uint64_t size_ = 0;
 };
 

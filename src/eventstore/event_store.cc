@@ -192,9 +192,88 @@ void EventStore::note_segment_metrics() {
       .set(static_cast<std::int64_t>(bytes_reserved()));
 }
 
+void EventStore::evict_front_segment() {
+  // Only called with >= 2 segments, so the front segment is full.
+  std::uint64_t by_kind[kEventKindCount] = {};
+  const std::uint8_t* kinds = kind_.segment(0);
+  for (std::size_t i = 0; i < kSegmentRows; ++i) ++by_kind[kinds[i]];
+
+  kind_.drop_front_segment();
+  api_.drop_front_segment();
+  flags_.drop_front_segment();
+  stream_.drop_front_segment();
+  stack_.drop_front_segment();
+  aux_stack_.drop_front_segment();
+  name_.drop_front_segment();
+  op_index_.drop_front_segment();
+  t_start_.drop_front_segment();
+  t_end_.drop_front_segment();
+  aux_time_.drop_front_segment();
+  gpu_time_.drop_front_segment();
+  bytes_.drop_front_segment();
+  value_.drop_front_segment();
+  link_.drop_front_segment();
+  stats_.erase(stats_.begin());
+
+  for (std::size_t k = 0; k < kEventKindCount; ++k) {
+    if (by_kind[k] != 0) {
+      dropped_per_kind_[k].fetch_add(by_kind[k], std::memory_order_relaxed);
+    }
+  }
+  size_.fetch_sub(kSegmentRows, std::memory_order_release);
+  evicted_events_.fetch_add(kSegmentRows, std::memory_order_relaxed);
+  evicted_segments_.fetch_add(1, std::memory_order_relaxed);
+
+  if (obs::Telemetry::enabled()) {
+    // Literal names, not concatenation: eviction sits on the append
+    // path's cold branch, which must stay allocation-free.
+    static constexpr std::string_view kDroppedNames[kEventKindCount] = {
+        "evstore.ring.dropped.sync_site",
+        "evstore.ring.dropped.op",
+        "evstore.ring.dropped.sync_classification",
+        "evstore.ring.dropped.duplicate_transfer",
+        "evstore.ring.dropped.sync_use",
+        "evstore.ring.dropped.internal_span",
+        "evstore.ring.dropped.page_fault",
+    };
+    auto& m = obs::Telemetry::global().metrics();
+    m.counter("evstore.ring.evicted_segments").inc();
+    m.counter("evstore.ring.dropped_events").inc(kSegmentRows);
+    for (std::size_t k = 0; k < kEventKindCount; ++k) {
+      if (by_kind[k] == 0) continue;
+      m.counter(kDroppedNames[k]).inc(by_kind[k]);
+    }
+  }
+}
+
+void EventStore::enforce_retention() {
+  if (!retention_.bounded()) return;
+  while (stats_.size() > 1 &&
+         ((retention_.max_events != 0 && size() > retention_.max_events) ||
+          (retention_.max_bytes != 0 &&
+           bytes_reserved() > retention_.max_bytes))) {
+    evict_front_segment();
+  }
+  // High watermarks of what actually stayed resident (cold path only).
+  const std::uint64_t resident_bytes = bytes_reserved();
+  const std::uint64_t resident_events = size();
+  if (resident_bytes > resident_bytes_hwm_ ||
+      resident_events > resident_events_hwm_) {
+    resident_bytes_hwm_ = std::max(resident_bytes_hwm_, resident_bytes);
+    resident_events_hwm_ = std::max(resident_events_hwm_, resident_events);
+    if (obs::Telemetry::enabled()) {
+      auto& m = obs::Telemetry::global().metrics();
+      m.gauge("evstore.ring.resident_bytes_hwm")
+          .set(static_cast<std::int64_t>(resident_bytes_hwm_));
+      m.gauge("evstore.ring.resident_events_hwm")
+          .set(static_cast<std::int64_t>(resident_events_hwm_));
+    }
+  }
+}
+
 void EventStore::append(const Event& e) {
   DIOG_CHECK(e.kind < EventKind::kCount_, "bad event kind");
-  const bool new_segment = size_ % kSegmentRows == 0;
+  const bool new_segment = size() % kSegmentRows == 0;
   kind_.push(static_cast<std::uint8_t>(e.kind));
   api_.push(e.api);
   flags_.push(e.flags);
@@ -221,12 +300,21 @@ void EventStore::append(const Event& e) {
   if (e.api < 64) st.api_mask |= 1ull << e.api;
   st.min_t = std::min(st.min_t, e.t_start);
   st.max_t = std::max(st.max_t, e.t_start);
-  ++per_kind_[static_cast<std::size_t>(e.kind)];
-  ++size_;
+  per_kind_[static_cast<std::size_t>(e.kind)].fetch_add(
+      1, std::memory_order_relaxed);
+  size_.fetch_add(1, std::memory_order_release);
+
+  if (new_segment && stats_.size() > 1) {
+    // Cold path: the previous segment just sealed. Ring eviction and the
+    // flight recorder's checkpoint hook both live here so the per-event
+    // path above never touches them.
+    enforce_retention();
+    if (seal_cb_) seal_cb_();
+  }
 }
 
 Event EventStore::event(std::uint64_t i) const {
-  DIOG_CHECK(i < size_, "event index out of range");
+  DIOG_CHECK(i < size(), "event index out of range");
   Event e;
   e.kind = static_cast<EventKind>(kind_.get(i));
   e.api = api_.get(i);
@@ -270,18 +358,18 @@ void EventStore::BulkLoader::load(
   store.bytes_.append_bulk(bytes, n);
   store.value_.append_bulk(value, n);
   store.link_.append_bulk(link, n);
-  store.size_ += n;
+  store.size_.fetch_add(n, std::memory_order_release);
 }
 
 void EventStore::finish_bulk_load() {
   // Validate column agreement, then derive segment stats and per-kind
   // counts in one columnar pass.
-  DIOG_CHECK(kind_.size() == size_ && link_.size() == size_ &&
-                 t_start_.size() == size_,
+  const std::uint64_t n = size();
+  DIOG_CHECK(kind_.size() == n && link_.size() == n && t_start_.size() == n,
              "column length mismatch after load");
   stats_.clear();
-  std::fill(std::begin(per_kind_), std::end(per_kind_), 0);
-  for (std::uint64_t i = 0; i < size_; ++i) {
+  for (auto& c : per_kind_) c.store(0, std::memory_order_relaxed);
+  for (std::uint64_t i = 0; i < n; ++i) {
     if (i % kSegmentRows == 0) {
       stats_.emplace_back();
       note_segment_metrics();
@@ -302,7 +390,7 @@ void EventStore::finish_bulk_load() {
     if (api < 64) st.api_mask |= 1ull << api;
     st.min_t = std::min(st.min_t, t_start_.get(i));
     st.max_t = std::max(st.max_t, t_start_.get(i));
-    ++per_kind_[kind_raw];
+    per_kind_[kind_raw].fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -321,12 +409,13 @@ std::uint64_t EventStore::bytes_reserved() const {
 }
 
 std::uint64_t EventStore::count_of(EventKind k) const {
-  return per_kind_[static_cast<std::size_t>(k)];
+  return per_kind_[static_cast<std::size_t>(k)].load(
+      std::memory_order_relaxed);
 }
 
 json::Value EventStore::stat_json() const {
   json::Object o;
-  o["events"] = size_;
+  o["events"] = size();
   o["segments"] = static_cast<std::uint64_t>(stats_.size());
   o["segment_rows"] = static_cast<std::uint64_t>(kSegmentRows);
   o["bytes_reserved"] = bytes_reserved();
@@ -335,11 +424,28 @@ json::Value EventStore::stat_json() const {
   o["names"] = name_count();
   json::Object per_kind;
   for (std::size_t i = 0; i < kEventKindCount; ++i) {
-    if (per_kind_[i] == 0) continue;
+    if (count_of(static_cast<EventKind>(i)) == 0) continue;
     per_kind[std::string(to_string(static_cast<EventKind>(i)))] =
-        per_kind_[i];
+        count_of(static_cast<EventKind>(i));
   }
   o["per_kind"] = std::move(per_kind);
+  if (retention_.bounded() || dropped_events() > 0) {
+    json::Object ring;
+    ring["max_bytes"] = retention_.max_bytes;
+    ring["max_events"] = retention_.max_events;
+    ring["dropped_events"] = dropped_events();
+    ring["evicted_segments"] = evicted_segments();
+    ring["first_index"] = first_index();
+    ring["total_appended"] = total_appended();
+    json::Object dropped;
+    for (std::size_t i = 0; i < kEventKindCount; ++i) {
+      const auto k = static_cast<EventKind>(i);
+      if (dropped_of(k) == 0) continue;
+      dropped[std::string(to_string(k))] = dropped_of(k);
+    }
+    ring["dropped_per_kind"] = std::move(dropped);
+    o["ring"] = std::move(ring);
+  }
   return json::Value(std::move(o));
 }
 

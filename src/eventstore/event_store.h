@@ -13,10 +13,14 @@
 // so captured frame pointers may originate from any thread; the store's
 // own dictionaries and columns must be appended from one thread at a
 // time. Readers may scan concurrently with each other once appending is
-// done.
+// done. While appending is live, only the atomic accounting (size(),
+// count_of(), the drop counters) may be read from another thread — the
+// heartbeat reporter relies on exactly that.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <string>
 #include <string_view>
@@ -82,6 +86,21 @@ class StackDict {
   std::unordered_map<const trace::Frame*, std::uint32_t> frame_index_;
 };
 
+// Flight-recorder retention: when either bound is non-zero the store
+// runs as a ring of segments, evicting whole 64K-row segments FIFO once
+// resident memory (or retained event count) exceeds the bound. Eviction
+// happens only on the cold path (a segment boundary crossing) and
+// recycles the evicted buffers, so the hot append path stays
+// allocation-free in ring mode too. Granularity is one whole segment:
+// the store always retains at least the segment being filled.
+struct RetentionPolicy {
+  std::uint64_t max_bytes = 0;   // 0 = unbounded
+  std::uint64_t max_events = 0;  // 0 = unbounded
+  [[nodiscard]] bool bounded() const {
+    return max_bytes != 0 || max_events != 0;
+  }
+};
+
 class EventStore {
  public:
   EventStore();
@@ -93,6 +112,37 @@ class EventStore {
   // segment stats once per segment.
   void append(const Event& e);
 
+  // --- Retention (flight-recorder ring mode) ------------------------------
+  void set_retention(RetentionPolicy p) { retention_ = p; }
+  [[nodiscard]] const RetentionPolicy& retention() const {
+    return retention_;
+  }
+  // Index (into the ever-appended stream) of the oldest retained event;
+  // 0 unless ring eviction has discarded history.
+  [[nodiscard]] std::uint64_t first_index() const {
+    return evicted_events_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_appended() const {
+    return first_index() + size();
+  }
+  [[nodiscard]] std::uint64_t dropped_events() const {
+    return evicted_events_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped_of(EventKind k) const {
+    return dropped_per_kind_[static_cast<std::size_t>(k)].load(
+        std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t evicted_segments() const {
+    return evicted_segments_.load(std::memory_order_relaxed);
+  }
+
+  // Invoked (on the appending thread) every time a 64K-row segment
+  // fills; this is the flight recorder's cold-path hook for time- and
+  // signal-driven checkpoints.
+  void set_segment_seal_callback(std::function<void()> cb) {
+    seal_cb_ = std::move(cb);
+  }
+
   StackId intern_stack(const trace::StackTrace& s) {
     return stacks_dict_.intern(s);
   }
@@ -102,7 +152,13 @@ class EventStore {
   NameId intern_name(std::string_view name);
 
   // --- Read ---------------------------------------------------------------
-  [[nodiscard]] std::uint64_t size() const { return size_; }
+  // Retained event count. In ring mode this is the current window, not
+  // the total ever appended (total_appended()). The count is an atomic
+  // so the heartbeat thread may read it while the owning thread appends;
+  // column *data* is still single-writer, no-concurrent-read.
+  [[nodiscard]] std::uint64_t size() const {
+    return size_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] Event event(std::uint64_t i) const;
 
   [[nodiscard]] const StackDict& stacks() const { return stacks_dict_; }
@@ -182,6 +238,8 @@ class EventStore {
  private:
   friend struct BulkLoader;
   void note_segment_metrics();
+  void enforce_retention();
+  void evict_front_segment();
 
   Column<std::uint8_t> kind_;
   Column<std::uint16_t> api_;
@@ -204,8 +262,18 @@ class EventStore {
   std::unordered_map<std::string, NameId> name_index_;
 
   std::vector<SegmentStats> stats_;
-  std::uint64_t size_ = 0;
-  std::uint64_t per_kind_[kEventKindCount] = {};
+  // Atomics so the heartbeat thread can sample counts live; all writes
+  // still come from the single appending thread.
+  std::atomic<std::uint64_t> size_{0};
+  std::atomic<std::uint64_t> per_kind_[kEventKindCount]{};
+
+  RetentionPolicy retention_;
+  std::function<void()> seal_cb_;
+  std::atomic<std::uint64_t> evicted_events_{0};
+  std::atomic<std::uint64_t> evicted_segments_{0};
+  std::atomic<std::uint64_t> dropped_per_kind_[kEventKindCount]{};
+  std::uint64_t resident_bytes_hwm_ = 0;
+  std::uint64_t resident_events_hwm_ = 0;
 };
 
 // Raw column appends used by the run reader (run_io.cc). Kept out of the

@@ -1,0 +1,264 @@
+#include "eventstore/live_writer.h"
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+
+#include "eventstore/run_format.h"
+#include "obs/telemetry.h"
+#include "support/error.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define DIOG_HAVE_FSYNC 1
+#else
+#define DIOG_HAVE_FSYNC 0
+#endif
+
+namespace diog::evstore {
+
+namespace {
+
+void put_bytes(std::string& buf, const void* data, std::size_t n) {
+  buf.append(static_cast<const char*>(data), n);
+}
+void put_u8(std::string& buf, std::uint8_t v) { put_bytes(buf, &v, 1); }
+void put_u32(std::string& buf, std::uint32_t v) { put_bytes(buf, &v, 4); }
+void put_i32(std::string& buf, std::int32_t v) { put_bytes(buf, &v, 4); }
+void put_u64(std::string& buf, std::uint64_t v) { put_bytes(buf, &v, 8); }
+void put_i64(std::string& buf, std::int64_t v) { put_bytes(buf, &v, 8); }
+void put_str(std::string& buf, std::string_view s) {
+  put_u32(buf, static_cast<std::uint32_t>(s.size()));
+  put_bytes(buf, s.data(), s.size());
+}
+
+template <typename T>
+void put_column(std::string& buf, std::uint8_t tag, const Column<T>& col,
+                std::uint64_t rel_first, std::uint64_t count) {
+  put_u8(buf, tag);
+  put_u8(buf, static_cast<std::uint8_t>(sizeof(T)));
+  const std::size_t old = buf.size();
+  buf.resize(old + static_cast<std::size_t>(count) * sizeof(T));
+  if (count > 0) {
+    // copy_rows only memcpy's into the destination, so the unaligned
+    // in-buffer pointer is fine.
+    col.copy_rows(rel_first, count, reinterpret_cast<T*>(buf.data() + old));
+  }
+}
+
+std::int64_t wall_clock_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+LiveRunWriter::LiveRunWriter(std::string path)
+    : LiveRunWriter(std::move(path), Options{}) {}
+
+LiveRunWriter::LiveRunWriter(std::string path, Options opts)
+    : path_(std::move(path)), opts_(opts) {
+  // Run files routinely target a fresh directory (`--trace-dir out/`);
+  // create it on demand.
+  std::error_code ec;
+  const std::filesystem::path parent =
+      std::filesystem::path(path_).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+
+  f_ = std::fopen(path_.c_str(), "wb+");
+  DIOG_CHECK(f_ != nullptr, "cannot open run file for writing: " + path_);
+  std::string header;
+  put_bytes(header, format::kMagic, sizeof(format::kMagic));
+  put_u32(header, kFormatVersion);
+  put_u32(header, 0);  // reserved
+  DIOG_CHECK(std::fwrite(header.data(), 1, header.size(), f_) ==
+                 header.size(),
+             "write failed for run file: " + path_);
+  data_end_ = format::kHeaderBytes;
+  flush(false);
+}
+
+LiveRunWriter::~LiveRunWriter() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+void LiveRunWriter::flush(bool with_fsync) {
+  DIOG_CHECK(std::fflush(f_) == 0, "flush failed for run file: " + path_);
+#if DIOG_HAVE_FSYNC
+  if (with_fsync) ::fsync(::fileno(f_));
+#else
+  (void)with_fsync;
+#endif
+}
+
+bool LiveRunWriter::write_chunk(const TraceRun& run, bool force) {
+  const EventStore& store = *run.store;
+
+  // Events evicted from the ring before this checkpoint could persist
+  // them are gone; record the gap and continue from what is resident.
+  const std::uint64_t first_avail = store.first_index();
+  std::uint64_t chunk_first = next_event_;
+  if (first_avail > chunk_first) {
+    dropped_ += first_avail - chunk_first;
+    chunk_first = first_avail;
+  }
+  const std::uint64_t total = store.total_appended();
+  const std::uint64_t count = total - chunk_first;
+
+  const StackDict& stacks = store.stacks();
+  const std::uint32_t frame_count = stacks.frame_count();
+  const std::uint32_t stack_count = stacks.stack_count();
+  const std::uint32_t name_count = store.name_count();
+  const bool new_dicts = frame_count > frames_written_ ||
+                         stack_count > stacks_written_ ||
+                         name_count > names_written_;
+
+  RunMeta meta = run.meta;
+  meta.dropped_events += dropped_;
+  const std::string meta_json = meta.to_json().dump();
+
+  if (count == 0 && !new_dicts && meta_json == last_meta_ && chunks_ > 0 &&
+      !force) {
+    return false;
+  }
+
+  std::string payload;
+  put_u64(payload, meta_json.size());
+  put_bytes(payload, meta_json.data(), meta_json.size());
+
+  put_u32(payload, frame_count - frames_written_);
+  for (std::uint32_t i = frames_written_; i < frame_count; ++i) {
+    const trace::Frame* f = stacks.frame_at(i);
+    put_str(payload, f->function);
+    put_str(payload, f->file);
+    put_i32(payload, f->line);
+  }
+
+  put_u32(payload, stack_count - stacks_written_);
+  for (StackId id = stacks_written_; id < stack_count; ++id) {
+    const auto depth = static_cast<std::uint32_t>(stacks.depth(id));
+    put_u32(payload, depth);
+    for (std::uint32_t d = 0; d < depth; ++d) {
+      put_u32(payload,
+              static_cast<std::uint32_t>(stacks.stack_frame_id(id, d)));
+    }
+  }
+
+  put_u32(payload, name_count - names_written_);
+  for (NameId id = names_written_; id < name_count; ++id) {
+    put_str(payload, store.name(id));
+  }
+
+  put_u64(payload, chunk_first);
+  put_u64(payload, count);
+  put_u8(payload, static_cast<std::uint8_t>(format::kColumnCount));
+  const std::uint64_t rel = chunk_first - first_avail;
+  put_column(payload, 0, store.col_kind(), rel, count);
+  put_column(payload, 1, store.col_api(), rel, count);
+  put_column(payload, 2, store.col_flags(), rel, count);
+  put_column(payload, 3, store.col_stream(), rel, count);
+  put_column(payload, 4, store.col_stack(), rel, count);
+  put_column(payload, 5, store.col_aux_stack(), rel, count);
+  put_column(payload, 6, store.col_name(), rel, count);
+  put_column(payload, 7, store.col_op_index(), rel, count);
+  put_column(payload, 8, store.col_t_start(), rel, count);
+  put_column(payload, 9, store.col_t_end(), rel, count);
+  put_column(payload, 10, store.col_aux_time(), rel, count);
+  put_column(payload, 11, store.col_gpu_time(), rel, count);
+  put_column(payload, 12, store.col_bytes(), rel, count);
+  put_column(payload, 13, store.col_value(), rel, count);
+  put_column(payload, 14, store.col_link(), rel, count);
+
+  std::string envelope;
+  put_u32(envelope, format::kChunkMagic);
+  put_u64(envelope, payload.size());
+
+  DIOG_CHECK(std::fseek(f_, static_cast<long>(data_end_), SEEK_SET) == 0,
+             "seek failed for run file: " + path_);
+  const auto write_all = [&](const std::string& b) {
+    DIOG_CHECK(std::fwrite(b.data(), 1, b.size(), f_) == b.size(),
+               "write failed for run file: " + path_);
+  };
+  write_all(envelope);
+  write_all(payload);
+  const std::uint64_t checksum =
+      format::fnv1a(format::kFnvSeed, payload.data(), payload.size());
+  std::string tail;
+  put_u64(tail, checksum);
+  write_all(tail);
+  // The chunk must be on disk (at least in the page cache, in order)
+  // before the footer describes it.
+  flush(opts_.fsync_checkpoints);
+
+  data_end_ += envelope.size() + payload.size() + tail.size();
+  next_event_ = total;
+  frames_written_ = frame_count;
+  stacks_written_ = stack_count;
+  names_written_ = name_count;
+  last_meta_ = meta_json;
+  ++chunks_;
+
+  if (obs::Telemetry::enabled()) {
+    auto& m = obs::Telemetry::global().metrics();
+    m.counter("evstore.live.chunks").inc();
+    m.counter("evstore.live.chunk_bytes")
+        .inc(envelope.size() + payload.size() + tail.size());
+    m.counter("evstore.live.chunk_events").inc(count);
+  }
+  return true;
+}
+
+void LiveRunWriter::write_footer(bool final) {
+  std::string footer;
+  put_u32(footer, format::kFooterMagic);
+  put_u32(footer, final ? format::kFooterFlagFinal : 0u);
+  put_u64(footer, next_event_);
+  put_u64(footer, chunks_);
+  put_i64(footer, wall_clock_ms());
+  const std::uint64_t checksum =
+      format::fnv1a(format::kFnvSeed, footer.data(), footer.size());
+  put_u64(footer, checksum);
+  put_bytes(footer, format::kEndMagic, sizeof(format::kEndMagic));
+  DIOG_CHECK(footer.size() == format::kFooterBytes,
+             "internal: footer size mismatch");
+
+  DIOG_CHECK(std::fseek(f_, static_cast<long>(data_end_), SEEK_SET) == 0,
+             "seek failed for run file: " + path_);
+  DIOG_CHECK(std::fwrite(footer.data(), 1, footer.size(), f_) ==
+                 footer.size(),
+             "write failed for run file: " + path_);
+  flush(opts_.fsync_checkpoints);
+}
+
+void LiveRunWriter::do_checkpoint(const TraceRun& run, bool force,
+                                  bool final) {
+  const bool wrote = write_chunk(run, force || chunks_ == 0);
+  if (!wrote && !force && !final) return;
+  write_footer(final);
+  ++checkpoints_;
+  if (obs::Telemetry::enabled()) {
+    obs::Telemetry::global().metrics().counter("evstore.live.checkpoints")
+        .inc();
+  }
+}
+
+void LiveRunWriter::checkpoint(const TraceRun& run, bool force) {
+  if (finished_) return;
+  do_checkpoint(run, force, /*final=*/false);
+}
+
+void LiveRunWriter::finish(const TraceRun& run) {
+  if (finished_) return;
+  do_checkpoint(run, /*force=*/true, /*final=*/true);
+  finished_ = true;
+  if (obs::Telemetry::enabled()) {
+    auto& m = obs::Telemetry::global().metrics();
+    m.counter("evstore.saved_runs").inc();
+    m.counter("evstore.saved_bytes").inc(data_end_ - format::kHeaderBytes);
+    // Segments flushed from the in-memory arena to disk.
+    m.counter("evstore.spilled_segments").inc(run.store->segment_count());
+  }
+}
+
+}  // namespace diog::evstore

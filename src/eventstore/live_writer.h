@@ -1,0 +1,82 @@
+// Incremental run-file writer: the flight recorder's persistence half.
+//
+// A LiveRunWriter keeps a run file open for the duration of collection
+// and appends one sealed chunk per checkpoint (format in run_io.h). The
+// write order is the crash-consistency contract: chunk bytes are
+// written and flushed before the footer is rewritten in place, so a
+// reader never sees a footer that describes data not yet on disk, and a
+// SIGKILL at any instant leaves at worst a torn tail after the last
+// complete chunk. Checkpoints optionally fsync so the prefix survives
+// power loss, not just process death.
+//
+// The writer tracks high-water marks into the store's append stream and
+// dictionaries, serializing only what is new since the previous
+// checkpoint. When ring eviction outruns checkpointing, the skipped
+// index range is recorded as dropped (surfaced via RunMeta's
+// dropped_events and the chunk index gap).
+//
+// Threading: all methods must be called from the store's appending
+// thread (checkpoints read column data, which is single-writer).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "eventstore/run.h"
+
+namespace diog::evstore {
+
+class LiveRunWriter {
+ public:
+  struct Options {
+    bool fsync_checkpoints = true;
+  };
+
+  // Opens (truncates) the file and writes the header. Throws on I/O
+  // failure. Creates missing parent directories.
+  explicit LiveRunWriter(std::string path);
+  LiveRunWriter(std::string path, Options opts);
+  // Closes the file without finalizing — deliberately: destruction on
+  // an error path must leave the same readable prefix a crash would.
+  ~LiveRunWriter();
+  LiveRunWriter(const LiveRunWriter&) = delete;
+  LiveRunWriter& operator=(const LiveRunWriter&) = delete;
+
+  // Appends everything new since the last checkpoint as one chunk, then
+  // rewrites the footer. Skipped entirely when nothing changed and
+  // `force` is false. No-op after finish().
+  void checkpoint(const TraceRun& run, bool force = false);
+
+  // Final checkpoint + footer with the finalized flag. Idempotent.
+  void finish(const TraceRun& run);
+
+  [[nodiscard]] std::uint64_t checkpoints() const { return checkpoints_; }
+  [[nodiscard]] std::uint64_t chunks() const { return chunks_; }
+  [[nodiscard]] std::uint64_t events_written() const { return next_event_; }
+  // Ring-evicted events that were never persisted.
+  [[nodiscard]] std::uint64_t dropped_events() const { return dropped_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  void do_checkpoint(const TraceRun& run, bool force, bool final);
+  bool write_chunk(const TraceRun& run, bool force);
+  void write_footer(bool final);
+  void flush(bool with_fsync);
+
+  std::string path_;
+  Options opts_;
+  std::FILE* f_ = nullptr;
+  std::uint64_t data_end_ = 0;  // file offset where the next chunk goes
+  std::uint64_t checkpoints_ = 0;
+  std::uint64_t chunks_ = 0;
+  std::uint64_t next_event_ = 0;  // absolute index of first unwritten event
+  std::uint64_t dropped_ = 0;
+  std::uint32_t frames_written_ = 0;
+  std::uint32_t stacks_written_ = 1;  // empty stack id 0 is implicit
+  std::uint32_t names_written_ = 1;   // name id 0 is implicit
+  std::string last_meta_;
+  bool finished_ = false;
+};
+
+}  // namespace diog::evstore

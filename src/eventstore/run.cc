@@ -14,6 +14,7 @@ json::Value RunMeta::to_json() const {
   o["s4_exec_ns"] = static_cast<std::int64_t>(s4_exec.count());
   o["transfers_hashed"] = transfers_hashed;
   o["bytes_hashed"] = bytes_hashed;
+  o["dropped_events"] = dropped_events;
   return json::Value(std::move(o));
 }
 
@@ -31,6 +32,10 @@ RunMeta RunMeta::from_json(const json::Value& v) {
   m.transfers_hashed =
       static_cast<std::uint64_t>(v.at("transfers_hashed").as_int());
   m.bytes_hashed = static_cast<std::uint64_t>(v.at("bytes_hashed").as_int());
+  if (v.contains("dropped_events")) {
+    m.dropped_events =
+        static_cast<std::uint64_t>(v.at("dropped_events").as_int());
+  }
   return m;
 }
 

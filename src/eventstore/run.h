@@ -30,6 +30,10 @@ struct RunMeta {
   // Stage-3 hashing totals (scalar summaries, not per-event data).
   std::uint64_t transfers_hashed = 0;
   std::uint64_t bytes_hashed = 0;
+  // Events discarded by flight-recorder ring eviction before they could
+  // be checkpointed; non-zero means the stored columns are a suffix
+  // window, not the full stream.
+  std::uint64_t dropped_events = 0;
 
   [[nodiscard]] json::Value to_json() const;
   static RunMeta from_json(const json::Value& v);

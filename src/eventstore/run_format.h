@@ -1,0 +1,51 @@
+// Shared constants of the on-disk run format (version 2, chunked).
+//
+// The writer (live_writer.cc) and the reader (run_io.cc) are separate
+// translation units but must agree byte-for-byte; everything they both
+// depend on lives here. See run_io.h for the full layout description.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace diog::evstore::format {
+
+inline constexpr char kMagic[8] = {'D', 'I', 'O', 'G', 'R', 'U', 'N',
+                                   '\x01'};
+inline constexpr char kEndMagic[8] = {'E', 'N', 'D', 'T', 'R', 'A', 'C',
+                                      'E'};
+inline constexpr std::size_t kHeaderBytes = 16;
+
+// Little-endian "CHNK" / "FOOT".
+inline constexpr std::uint32_t kChunkMagic = 0x4B4E4843u;
+inline constexpr std::uint32_t kFooterMagic = 0x544F4F46u;
+
+// Chunk envelope: u32 magic | u64 payload_len | payload | u64 fnv1a.
+inline constexpr std::size_t kChunkEnvelopeBytes = 4 + 8 + 8;
+
+// Footer: u32 magic | u32 flags | u64 total_events | u64 chunk_count |
+// i64 checkpoint wall-clock (ms since epoch) | u64 fnv1a of the five
+// preceding fields | end magic. Rewritten in place at every checkpoint.
+inline constexpr std::size_t kFooterBytes = 4 + 4 + 8 + 8 + 8 + 8 + 8;
+inline constexpr std::uint32_t kFooterFlagFinal = 1u << 0;
+
+// Column order and widths are part of the format (EventStore column
+// declaration order: kind, api, flags, stream, stack, aux_stack, name,
+// op_index, t_start, t_end, aux_time, gpu_time, bytes, value, link).
+inline constexpr std::uint8_t kColumnWidths[] = {1, 2, 4, 4, 4, 4, 4, 8,
+                                                 8, 8, 8, 8, 8, 8, 8};
+inline constexpr std::size_t kColumnCount = sizeof(kColumnWidths);
+
+inline constexpr std::uint64_t kFnvSeed = 0xcbf29ce484222325ULL;
+
+inline std::uint64_t fnv1a(std::uint64_t h, const void* data,
+                           std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace diog::evstore::format

@@ -1,10 +1,11 @@
 #include "eventstore/run_io.h"
 
 #include <cstring>
-#include <filesystem>
 #include <fstream>
 #include <vector>
 
+#include "eventstore/live_writer.h"
+#include "eventstore/run_format.h"
 #include "obs/telemetry.h"
 #include "support/error.h"
 
@@ -22,86 +23,11 @@ namespace diog::evstore {
 
 namespace {
 
-constexpr char kMagic[8] = {'D', 'I', 'O', 'G', 'R', 'U', 'N', '\x01'};
-constexpr char kEndMagic[8] = {'E', 'N', 'D', 'T', 'R', 'A', 'C', 'E'};
-constexpr std::size_t kHeaderBytes = 16;
-constexpr std::size_t kFooterBytes = 16;
+namespace fmt = format;
 
-// Column order and widths are part of the format.
-constexpr std::uint8_t kColumnWidths[] = {1, 2, 4, 4, 4, 4, 4, 8,
-                                          8, 8, 8, 8, 8, 8, 8};
-constexpr std::size_t kColumnCount = sizeof(kColumnWidths);
+// --- Payload parsing ---------------------------------------------------------
 
-std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-constexpr std::uint64_t kFnvSeed = 0xcbf29ce484222325ULL;
-
-// --- Writer ------------------------------------------------------------------
-
-class Writer {
- public:
-  explicit Writer(const std::string& path)
-      : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
-    DIOG_CHECK(out_.good(), "cannot open run file for writing: " + path);
-    out_.write(kMagic, sizeof(kMagic));
-    put_u32_raw(kFormatVersion);
-    put_u32_raw(0);  // reserved
-  }
-
-  // Payload writes (checksummed).
-  void put(const void* data, std::size_t n) {
-    checksum_ = fnv1a(checksum_, data, n);
-    out_.write(static_cast<const char*>(data),
-               static_cast<std::streamsize>(n));
-    payload_bytes_ += n;
-  }
-  void put_u8(std::uint8_t v) { put(&v, 1); }
-  void put_u32(std::uint32_t v) { put(&v, 4); }
-  void put_i32(std::int32_t v) { put(&v, 4); }
-  void put_u64(std::uint64_t v) { put(&v, 8); }
-  void put_str(std::string_view s) {
-    put_u32(static_cast<std::uint32_t>(s.size()));
-    put(s.data(), s.size());
-  }
-
-  void finish() {
-    out_.write(reinterpret_cast<const char*>(&checksum_), 8);
-    out_.write(kEndMagic, sizeof(kEndMagic));
-    out_.flush();
-    DIOG_CHECK(out_.good(), "write failed for run file: " + path_);
-  }
-
-  [[nodiscard]] std::uint64_t payload_bytes() const { return payload_bytes_; }
-
- private:
-  void put_u32_raw(std::uint32_t v) {
-    out_.write(reinterpret_cast<const char*>(&v), 4);
-  }
-
-  std::string path_;
-  std::ofstream out_;
-  std::uint64_t checksum_ = kFnvSeed;
-  std::uint64_t payload_bytes_ = 0;
-};
-
-template <typename T>
-void write_column(Writer& w, std::uint8_t tag, const Column<T>& col) {
-  w.put_u8(tag);
-  w.put_u8(static_cast<std::uint8_t>(sizeof(T)));
-  for (std::size_t s = 0; s < col.segment_count(); ++s) {
-    w.put(col.segment(s), col.rows_in_segment(s) * sizeof(T));
-  }
-}
-
-// --- Reader ------------------------------------------------------------------
-
-// Bounds-checked view over the payload bytes.
+// Bounds-checked view over one chunk's payload bytes.
 struct Slice {
   const unsigned char* p = nullptr;
   std::size_t n = 0;
@@ -109,7 +35,7 @@ struct Slice {
 
   void need(std::size_t k) const {
     if (off + k > n || off + k < off) {
-      throw Error("run file truncated: payload ends mid-record");
+      throw Error("run file corrupted: chunk payload ends mid-record");
     }
   }
   const unsigned char* bytes(std::size_t k) {
@@ -142,112 +68,134 @@ struct Slice {
   }
 };
 
-TraceRun parse_payload(Slice payload) {
+// Accumulates chunks into one TraceRun. Dictionaries and columns are
+// incremental across chunks (see run_io.h); the parser tracks where the
+// append stream left off so index gaps (ring drops) are accounted.
+struct ChunkParser {
   TraceRun run;
-  EventStore& store = *run.store;
+  std::uint64_t next_expected = 0;  // absolute stream index after last chunk
+  std::uint64_t dropped_gaps = 0;
+  std::uint64_t chunks = 0;
+  bool dirty = false;  // columns loaded since the last finish_bulk_load
 
-  // Meta.
-  const std::uint64_t meta_len = payload.get_u64();
-  if (meta_len > (1u << 20)) {
-    throw Error("run file corrupted: oversized meta block");
-  }
-  const unsigned char* meta_bytes =
-      payload.bytes(static_cast<std::size_t>(meta_len));
-  run.meta = RunMeta::from_json(json::parse(std::string_view(
-      reinterpret_cast<const char*>(meta_bytes),
-      static_cast<std::size_t>(meta_len))));
+  void apply(Slice payload) {
+    EventStore& store = *run.store;
 
-  // Frame dictionary: re-intern into the process-wide FrameTable so
-  // stacks from a reopened run compare (by pointer) with stacks captured
-  // live in this process.
-  const std::uint32_t frame_count = payload.get_u32();
-  for (std::uint32_t i = 0; i < frame_count; ++i) {
-    const std::string function = payload.get_str();
-    const std::string file = payload.get_str();
-    const std::int32_t line = payload.get_i32();
-    store.stacks().load_frame(
-        trace::FrameTable::instance().intern(function, file, line));
-  }
+    const std::uint64_t meta_len = payload.get_u64();
+    if (meta_len > (1u << 20)) {
+      throw Error("run file corrupted: oversized meta block");
+    }
+    const unsigned char* meta_bytes =
+        payload.bytes(static_cast<std::size_t>(meta_len));
+    run.meta = RunMeta::from_json(json::parse(std::string_view(
+        reinterpret_cast<const char*>(meta_bytes),
+        static_cast<std::size_t>(meta_len))));
 
-  // Stack dictionary.
-  const std::uint32_t stack_count = payload.get_u32();
-  std::vector<std::uint32_t> ids;
-  for (std::uint32_t i = 0; i < stack_count; ++i) {
-    const std::uint32_t depth = payload.get_u32();
-    if (depth > 256) throw Error("run file corrupted: oversized stack");
-    ids.clear();
-    for (std::uint32_t d = 0; d < depth; ++d) {
-      const std::uint32_t fid = payload.get_u32();
-      if (fid >= store.stacks().frame_count()) {
-        throw Error("run file corrupted: stack references unknown frame");
+    // Frame dictionary: re-intern into the process-wide FrameTable so
+    // stacks from a reopened run compare (by pointer) with stacks
+    // captured live in this process.
+    const std::uint32_t frame_count = payload.get_u32();
+    for (std::uint32_t i = 0; i < frame_count; ++i) {
+      const std::string function = payload.get_str();
+      const std::string file = payload.get_str();
+      const std::int32_t line = payload.get_i32();
+      store.stacks().load_frame(
+          trace::FrameTable::instance().intern(function, file, line));
+    }
+
+    // Stack dictionary (ids continue across chunks).
+    const std::uint32_t stack_count = payload.get_u32();
+    std::vector<std::uint32_t> ids;
+    for (std::uint32_t i = 0; i < stack_count; ++i) {
+      const std::uint32_t depth = payload.get_u32();
+      if (depth > 256) throw Error("run file corrupted: oversized stack");
+      ids.clear();
+      for (std::uint32_t d = 0; d < depth; ++d) {
+        const std::uint32_t fid = payload.get_u32();
+        if (fid >= store.stacks().frame_count()) {
+          throw Error("run file corrupted: stack references unknown frame");
+        }
+        ids.push_back(fid);
       }
-      ids.push_back(fid);
+      store.stacks().load_stack(ids.data(), ids.size());
     }
-    const StackId got = store.stacks().load_stack(ids.data(), ids.size());
-    DIOG_CHECK(got == i + 1, "stack dictionary ids out of order");
-  }
 
-  // Name dictionary.
-  const std::uint32_t name_count = payload.get_u32();
-  for (std::uint32_t i = 0; i < name_count; ++i) {
-    const std::string nm = payload.get_str();
-    if (nm.empty()) throw Error("run file corrupted: empty name entry");
-    const NameId got = store.intern_name(nm);
-    if (got != i + 1) {
-      throw Error("run file corrupted: duplicate name entry");
+    // Name dictionary (ids continue across chunks).
+    const std::uint32_t name_count = payload.get_u32();
+    for (std::uint32_t i = 0; i < name_count; ++i) {
+      const NameId expected = store.name_count();
+      const std::string nm = payload.get_str();
+      if (nm.empty()) throw Error("run file corrupted: empty name entry");
+      if (store.intern_name(nm) != expected) {
+        throw Error("run file corrupted: duplicate name entry");
+      }
     }
-  }
 
-  // Columns.
-  const std::uint64_t event_count = payload.get_u64();
-  if (event_count > (1ull << 40)) {
-    throw Error("run file corrupted: implausible event count");
-  }
-  const std::uint8_t column_count = payload.get_u8();
-  if (column_count != kColumnCount) {
-    throw Error("run file corrupted: unexpected column count");
-  }
-  const unsigned char* cols[kColumnCount];
-  for (std::size_t c = 0; c < kColumnCount; ++c) {
-    const std::uint8_t tag = payload.get_u8();
-    const std::uint8_t width = payload.get_u8();
-    if (tag != c || width != kColumnWidths[c]) {
-      throw Error("run file corrupted: column tag/width mismatch");
+    // Columns.
+    const std::uint64_t first = payload.get_u64();
+    if (first < next_expected) {
+      throw Error("run file corrupted: overlapping chunk event ranges");
     }
-    cols[c] = payload.bytes(
-        static_cast<std::size_t>(event_count) * kColumnWidths[c]);
-  }
-  if (payload.off != payload.n) {
-    throw Error("run file corrupted: trailing bytes after columns");
+    dropped_gaps += first - next_expected;
+    const std::uint64_t event_count = payload.get_u64();
+    if (event_count > (1ull << 40)) {
+      throw Error("run file corrupted: implausible event count");
+    }
+    const std::uint8_t column_count = payload.get_u8();
+    if (column_count != fmt::kColumnCount) {
+      throw Error("run file corrupted: unexpected column count");
+    }
+    const unsigned char* cols[fmt::kColumnCount];
+    for (std::size_t c = 0; c < fmt::kColumnCount; ++c) {
+      const std::uint8_t tag = payload.get_u8();
+      const std::uint8_t width = payload.get_u8();
+      if (tag != c || width != fmt::kColumnWidths[c]) {
+        throw Error("run file corrupted: column tag/width mismatch");
+      }
+      cols[c] = payload.bytes(
+          static_cast<std::size_t>(event_count) * fmt::kColumnWidths[c]);
+    }
+    if (payload.off != payload.n) {
+      throw Error("run file corrupted: trailing bytes after columns");
+    }
+
+    if (event_count > 0) {
+      EventStore::BulkLoader{store}.load(
+          reinterpret_cast<const std::uint8_t*>(cols[0]),
+          reinterpret_cast<const std::uint16_t*>(cols[1]),
+          reinterpret_cast<const std::uint32_t*>(cols[2]),
+          reinterpret_cast<const std::uint32_t*>(cols[3]),
+          reinterpret_cast<const std::uint32_t*>(cols[4]),
+          reinterpret_cast<const std::uint32_t*>(cols[5]),
+          reinterpret_cast<const std::uint32_t*>(cols[6]),
+          reinterpret_cast<const std::uint64_t*>(cols[7]),
+          reinterpret_cast<const std::int64_t*>(cols[8]),
+          reinterpret_cast<const std::int64_t*>(cols[9]),
+          reinterpret_cast<const std::int64_t*>(cols[10]),
+          reinterpret_cast<const std::int64_t*>(cols[11]),
+          reinterpret_cast<const std::uint64_t*>(cols[12]),
+          reinterpret_cast<const std::uint64_t*>(cols[13]),
+          reinterpret_cast<const std::uint64_t*>(cols[14]), event_count);
+      dirty = true;
+    }
+    next_expected = first + event_count;
+    ++chunks;
   }
 
-  EventStore::BulkLoader{store}.load(
-      reinterpret_cast<const std::uint8_t*>(cols[0]),
-      reinterpret_cast<const std::uint16_t*>(cols[1]),
-      reinterpret_cast<const std::uint32_t*>(cols[2]),
-      reinterpret_cast<const std::uint32_t*>(cols[3]),
-      reinterpret_cast<const std::uint32_t*>(cols[4]),
-      reinterpret_cast<const std::uint32_t*>(cols[5]),
-      reinterpret_cast<const std::uint32_t*>(cols[6]),
-      reinterpret_cast<const std::uint64_t*>(cols[7]),
-      reinterpret_cast<const std::int64_t*>(cols[8]),
-      reinterpret_cast<const std::int64_t*>(cols[9]),
-      reinterpret_cast<const std::int64_t*>(cols[10]),
-      reinterpret_cast<const std::int64_t*>(cols[11]),
-      reinterpret_cast<const std::uint64_t*>(cols[12]),
-      reinterpret_cast<const std::uint64_t*>(cols[13]),
-      reinterpret_cast<const std::uint64_t*>(cols[14]), event_count);
-  store.finish_bulk_load();
-  return run;
-}
-
-// Validates the envelope (magic, version, footer, checksum) and returns
-// the payload view.
-Slice validate_envelope(const unsigned char* data, std::size_t size) {
-  if (size < kHeaderBytes + kFooterBytes) {
-    throw Error("run file truncated: shorter than header + footer");
+  void finish_batch() {
+    if (!dirty) return;
+    run.store->finish_bulk_load();
+    dirty = false;
   }
-  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+};
+
+// --- Envelope walking --------------------------------------------------------
+
+void validate_header(const unsigned char* data, std::size_t size) {
+  if (size < fmt::kHeaderBytes) {
+    throw Error("run file truncated: shorter than the header");
+  }
+  if (std::memcmp(data, fmt::kMagic, sizeof(fmt::kMagic)) != 0) {
     throw Error("not a diogenes run file (bad magic)");
   }
   std::uint32_t version;
@@ -256,18 +204,95 @@ Slice validate_envelope(const unsigned char* data, std::size_t size) {
     throw Error("unsupported run file version " + std::to_string(version) +
                 " (expected " + std::to_string(kFormatVersion) + ")");
   }
-  if (std::memcmp(data + size - 8, kEndMagic, sizeof(kEndMagic)) != 0) {
-    throw Error("run file truncated: end marker missing");
+}
+
+struct WalkOutcome {
+  bool saw_footer = false;
+  bool footer_final = false;
+  std::uint64_t footer_events = 0;
+  std::uint64_t footer_chunks = 0;
+  std::int64_t footer_wall_ms = 0;
+  std::size_t consumed = 0;    // end of the last complete chunk
+  std::size_t footer_end = 0;  // consumed + footer, when saw_footer
+};
+
+// Walks chunks starting at `p` (which must be a chunk boundary),
+// applying each complete, checksum-verified chunk to `parser`. Stops at
+// a valid footer, at an incomplete tail (a chunk or footer still being
+// written — or torn by a kill — is indistinguishable from one that is
+// mid-write, so it is never an error here), or at the end of the data.
+// A complete chunk that fails its checksum IS an error: chunks are
+// immutable once written, so that can only be real corruption.
+WalkOutcome walk_chunks(const unsigned char* p, std::size_t n,
+                        ChunkParser& parser) {
+  WalkOutcome out;
+  std::size_t off = 0;
+  for (;;) {
+    out.consumed = off;
+    if (n - off < 4) break;
+    std::uint32_t magic;
+    std::memcpy(&magic, p + off, 4);
+    if (magic == fmt::kFooterMagic) {
+      if (n - off < fmt::kFooterBytes) break;  // footer mid-write
+      const unsigned char* f = p + off;
+      std::uint64_t stored;
+      std::memcpy(&stored, f + 32, 8);
+      if (fmt::fnv1a(fmt::kFnvSeed, f, 32) != stored) break;  // torn
+      if (std::memcmp(f + 40, fmt::kEndMagic, 8) != 0) break;
+      std::uint32_t flags;
+      std::memcpy(&flags, f + 4, 4);
+      std::memcpy(&out.footer_events, f + 8, 8);
+      std::memcpy(&out.footer_chunks, f + 16, 8);
+      std::memcpy(&out.footer_wall_ms, f + 24, 8);
+      out.saw_footer = true;
+      out.footer_final = (flags & fmt::kFooterFlagFinal) != 0;
+      out.footer_end = off + fmt::kFooterBytes;
+      break;
+    }
+    if (magic != fmt::kChunkMagic) break;  // torn tail (old footer bytes)
+    if (n - off < fmt::kChunkEnvelopeBytes) break;
+    std::uint64_t len;
+    std::memcpy(&len, p + off + 4, 8);
+    // An implausible length is a torn envelope (stale bytes where the
+    // length should be), not proof of corruption: stop at the prefix.
+    if (len > (1ull << 40)) break;
+    if (n - off < fmt::kChunkEnvelopeBytes + len) break;  // incomplete
+    const unsigned char* payload = p + off + 12;
+    std::uint64_t stored;
+    std::memcpy(&stored, payload + len, 8);
+    if (fmt::fnv1a(fmt::kFnvSeed, payload, len) != stored) {
+      throw Error("run file corrupted: checksum mismatch in chunk " +
+                  std::to_string(parser.chunks));
+    }
+    parser.apply(Slice{payload, static_cast<std::size_t>(len), 0});
+    off += fmt::kChunkEnvelopeBytes + static_cast<std::size_t>(len);
   }
-  const std::size_t payload_len = size - kHeaderBytes - kFooterBytes;
-  std::uint64_t stored_checksum;
-  std::memcpy(&stored_checksum, data + size - kFooterBytes, 8);
-  const std::uint64_t computed =
-      fnv1a(kFnvSeed, data + kHeaderBytes, payload_len);
-  if (computed != stored_checksum) {
-    throw Error("run file corrupted: checksum mismatch");
+  if (out.saw_footer &&
+      (out.footer_events != parser.next_expected ||
+       out.footer_chunks != parser.chunks)) {
+    throw Error("run file corrupted: footer disagrees with chunk contents");
   }
-  return Slice{data + kHeaderBytes, payload_len, 0};
+  return out;
+}
+
+TraceRun parse_run(const unsigned char* data, std::size_t size,
+                   RunFileInfo* info) {
+  validate_header(data, size);
+  ChunkParser parser;
+  const WalkOutcome out =
+      walk_chunks(data + fmt::kHeaderBytes, size - fmt::kHeaderBytes, parser);
+  parser.finish_batch();
+  if (info != nullptr) {
+    info->clean = out.saw_footer;
+    info->finalized = out.footer_final;
+    info->chunks = parser.chunks;
+    info->events = parser.run.store->size();
+    info->dropped_before_checkpoint = parser.dropped_gaps;
+    info->bytes_consumed =
+        fmt::kHeaderBytes + (out.saw_footer ? out.footer_end : out.consumed);
+    info->checkpoint_wall_ms = out.footer_wall_ms;
+  }
+  return std::move(parser.run);
 }
 
 #if DIOG_HAVE_MMAP
@@ -335,86 +360,81 @@ std::string run_file_path(const std::string& dir,
   return dir + "/" + workload + ".dgtrace";
 }
 
-void save_run(const std::string& path, const TraceRun& run) {
-  const EventStore& store = *run.store;
-  {
-    // Unlike the per-stage JSON files, run files routinely target a
-    // fresh directory (`--trace-dir out/`); create it on demand.
-    std::error_code ec;
-    const std::filesystem::path parent =
-        std::filesystem::path(path).parent_path();
-    if (!parent.empty()) std::filesystem::create_directories(parent, ec);
-  }
-  Writer w(path);
-
-  const std::string meta = run.meta.to_json().dump();
-  w.put_u64(meta.size());
-  w.put(meta.data(), meta.size());
-
-  const StackDict& stacks = store.stacks();
-  w.put_u32(stacks.frame_count());
-  for (std::uint32_t i = 0; i < stacks.frame_count(); ++i) {
-    const trace::Frame* f = stacks.frame_at(i);
-    w.put_str(f->function);
-    w.put_str(f->file);
-    w.put_i32(f->line);
-  }
-
-  w.put_u32(stacks.stack_count() - 1);  // id 0 (empty) is implicit
-  for (StackId id = 1; id < stacks.stack_count(); ++id) {
-    const auto depth = static_cast<std::uint32_t>(stacks.depth(id));
-    w.put_u32(depth);
-    for (std::uint32_t d = 0; d < depth; ++d) {
-      w.put_u32(static_cast<std::uint32_t>(stacks.stack_frame_id(id, d)));
-    }
-  }
-
-  w.put_u32(store.name_count() - 1);  // id 0 (no name) is implicit
-  for (NameId id = 1; id < store.name_count(); ++id) {
-    w.put_str(store.name(id));
-  }
-
-  w.put_u64(store.size());
-  w.put_u8(static_cast<std::uint8_t>(kColumnCount));
-  write_column(w, 0, store.col_kind());
-  write_column(w, 1, store.col_api());
-  write_column(w, 2, store.col_flags());
-  write_column(w, 3, store.col_stream());
-  write_column(w, 4, store.col_stack());
-  write_column(w, 5, store.col_aux_stack());
-  write_column(w, 6, store.col_name());
-  write_column(w, 7, store.col_op_index());
-  write_column(w, 8, store.col_t_start());
-  write_column(w, 9, store.col_t_end());
-  write_column(w, 10, store.col_aux_time());
-  write_column(w, 11, store.col_gpu_time());
-  write_column(w, 12, store.col_bytes());
-  write_column(w, 13, store.col_value());
-  write_column(w, 14, store.col_link());
-  w.finish();
-
-  if (obs::Telemetry::enabled()) {
-    auto& m = obs::Telemetry::global().metrics();
-    m.counter("evstore.saved_runs").inc();
-    m.counter("evstore.saved_bytes").inc(w.payload_bytes());
-    // Segments flushed from the in-memory arena to disk.
-    m.counter("evstore.spilled_segments").inc(store.segment_count());
-  }
+std::string heartbeat_file_path(const std::string& dir,
+                                const std::string& workload) {
+  return dir + "/" + workload + ".heartbeat.jsonl";
 }
 
-TraceRun open_run(const std::string& path, ReadMode mode) {
+void save_run(const std::string& path, const TraceRun& run) {
+  // One-shot saves don't need crash durability; skip the fsyncs.
+  LiveRunWriter w(path, LiveRunWriter::Options{.fsync_checkpoints = false});
+  w.finish(run);
+}
+
+TraceRun open_run(const std::string& path, ReadMode mode,
+                  RunFileInfo* info) {
 #if DIOG_HAVE_MMAP
   if (mode == ReadMode::kAuto || mode == ReadMode::kMmap) {
     MappedFile f(path);
     note_open_metrics("mmap", f.size());
-    return parse_payload(validate_envelope(f.data(), f.size()));
+    return parse_run(f.data(), f.size(), info);
   }
 #else
   DIOG_CHECK(mode != ReadMode::kMmap, "mmap unavailable on this platform");
 #endif
   const std::vector<unsigned char> buf = read_whole_file(path);
   note_open_metrics("stream", buf.size());
-  return parse_payload(validate_envelope(buf.data(), buf.size()));
+  return parse_run(buf.data(), buf.size(), info);
+}
+
+// --- RunFollower -------------------------------------------------------------
+
+struct RunFollower::Impl : ChunkParser {};
+
+RunFollower::RunFollower(std::string path) : path_(std::move(path)) {
+  impl_ = std::make_unique<Impl>();
+}
+
+RunFollower::~RunFollower() = default;
+
+const TraceRun& RunFollower::run() const { return impl_->run; }
+
+std::uint64_t RunFollower::poll() {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in.good()) return 0;  // writer has not created the file yet
+
+  if (offset_ == 0) {
+    unsigned char hdr[fmt::kHeaderBytes];
+    in.read(reinterpret_cast<char*>(hdr), sizeof(hdr));
+    if (in.gcount() < static_cast<std::streamsize>(sizeof(hdr))) return 0;
+    validate_header(hdr, sizeof(hdr));
+    offset_ = fmt::kHeaderBytes;
+  }
+
+  in.clear();
+  in.seekg(static_cast<std::streamoff>(offset_));
+  std::vector<unsigned char> buf;
+  char chunk[1 << 16];
+  while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
+    buf.insert(buf.end(), chunk, chunk + in.gcount());
+  }
+  if (buf.empty()) return 0;
+
+  const std::uint64_t before = impl_->run.store->size();
+  const WalkOutcome out = walk_chunks(buf.data(), buf.size(), *impl_);
+  impl_->finish_batch();
+  // The footer is never consumed: the writer's next chunk overwrites
+  // it, so the follower re-reads that region on every poll.
+  offset_ += out.consumed;
+
+  info_.clean = out.saw_footer;
+  info_.finalized = out.footer_final;
+  info_.chunks = impl_->chunks;
+  info_.events = impl_->run.store->size();
+  info_.dropped_before_checkpoint = impl_->dropped_gaps;
+  info_.bytes_consumed = offset_ + (out.saw_footer ? fmt::kFooterBytes : 0);
+  if (out.saw_footer) info_.checkpoint_wall_ms = out.footer_wall_ms;
+  return impl_->run.store->size() - before;
 }
 
 }  // namespace diog::evstore

@@ -1,30 +1,47 @@
-// Versioned binary on-disk format for runs.
+// Versioned binary on-disk format for runs (version 2, chunked).
 //
-// Layout (all integers little-endian):
+// Layout (all integers little-endian; constants in run_format.h):
 //
-//   [ 0..8)        magic "DIOGRUN\x01"
-//   [ 8..12)       u32 format version (schema.h kFormatVersion)
-//   [12..16)       u32 reserved (0)
-//   [16..N-16)     payload:
-//       u64 meta_len, meta JSON text (RunMeta)
-//       u32 frame count; per frame: u32+bytes function, u32+bytes file,
-//                                   i32 line
-//       u32 stack count (excluding implicit empty stack 0);
-//           per stack: u32 depth, u32 frame ids
-//       u32 name count (excluding implicit id 0); per name: u32+bytes
-//       u64 event count
-//       u8 column count; per column: u8 tag, u8 width, raw values
-//   [N-16..N-8)    u64 FNV-1a checksum of the payload
-//   [N-8..N)       end magic "ENDTRACE"
+//   [ 0..8)   magic "DIOGRUN\x01"
+//   [ 8..12)  u32 format version (schema.h kFormatVersion)
+//   [12..16)  u32 reserved (0)
+//   then zero or more chunks:
+//       u32 "CHNK"
+//       u64 payload_len
+//       payload:
+//           u64 meta_len, meta JSON text (RunMeta; last chunk wins)
+//           u32 new frame count; per frame: u32+bytes function,
+//               u32+bytes file, i32 line
+//           u32 new stack count; per stack: u32 depth, u32 frame ids
+//           u32 new name count; per name: u32+bytes
+//           u64 first_event_index (absolute index in the append stream)
+//           u64 event count
+//           u8 column count; per column: u8 tag, u8 width, raw values
+//       u64 FNV-1a checksum of the payload
+//   footer (rewritten in place at every checkpoint):
+//       u32 "FOOT" | u32 flags (bit0 = finalized) | u64 total_events |
+//       u64 chunk_count | i64 checkpoint wall ms | u64 FNV-1a of the
+//       five preceding fields | "ENDTRACE"
 //
-// Readers bounds-check every access and verify version, end magic, and
-// checksum before trusting anything, so corrupted, truncated, or
-// wrong-version files produce a clean diog::Error instead of UB. The
-// reader either mmaps the file (default on POSIX; zero read-side
-// copies until columns are materialized) or streams it through a
-// buffer; both paths share one parser.
+// Dictionaries are incremental: a chunk carries only entries interned
+// since the previous chunk, and events in chunk k reference only
+// dictionary ids from chunks <= k, so any prefix of complete chunks is
+// self-consistent. A gap between one chunk's end index and the next
+// chunk's first_event_index records events the flight-recorder ring
+// evicted before they could be checkpointed.
+//
+// Crash tolerance is the point of the chunking: the live writer flushes
+// each chunk before touching the footer, so a SIGKILL leaves either a
+// valid footer (clean, possibly non-finalized prefix) or a torn tail
+// after the last complete chunk. Readers bounds-check every access and
+// hard-error on a bad header, a complete chunk whose checksum
+// mismatches, or malformed payloads — but an incomplete tail is not an
+// error: open_run returns the readable prefix and reports it through
+// RunFileInfo. The reader either mmaps the file (default on POSIX) or
+// streams it through a buffer; both paths share one parser.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "eventstore/run.h"
@@ -37,15 +54,68 @@ enum class ReadMode {
   kStream,  // buffered file read, no mmap
 };
 
+// How much of a run file was readable. `clean` means the file ended at
+// a valid footer; `finalized` additionally means the writer called
+// finish() (nothing more will ever be appended). A file that is neither
+// is an in-progress or torn prefix — still loadable, just incomplete.
+struct RunFileInfo {
+  bool clean = false;
+  bool finalized = false;
+  std::uint64_t chunks = 0;
+  std::uint64_t events = 0;  // events materialized from complete chunks
+  // Ring-evicted events that never reached the file (gaps between
+  // consecutive chunks' index ranges).
+  std::uint64_t dropped_before_checkpoint = 0;
+  std::uint64_t bytes_consumed = 0;  // header + complete chunks + footer
+  std::int64_t checkpoint_wall_ms = 0;  // footer wall clock; 0 if none
+};
+
 // The run-file name for a workload inside a trace directory.
 std::string run_file_path(const std::string& dir,
                           const std::string& workload);
+// The heartbeat JSONL stream written next to the run file.
+std::string heartbeat_file_path(const std::string& dir,
+                                const std::string& workload);
 
-// Serializes the run. Throws diog::Error on I/O failure.
+// Serializes the complete run as one finalized chunk (one-shot
+// convenience over LiveRunWriter). Throws diog::Error on I/O failure.
 void save_run(const std::string& path, const TraceRun& run);
 
 // Deserializes a run. Throws diog::Error on I/O failure, bad magic,
-// version mismatch, truncation, or checksum mismatch.
-TraceRun open_run(const std::string& path, ReadMode mode = ReadMode::kAuto);
+// version mismatch, chunk checksum mismatch, or malformed payloads.
+// An incomplete tail (in-progress or killed writer) is NOT an error:
+// the readable prefix is returned and described in *info.
+TraceRun open_run(const std::string& path, ReadMode mode = ReadMode::kAuto,
+                  RunFileInfo* info = nullptr);
+
+// Incremental reader for a run file that another process may still be
+// writing. Each poll() picks up chunks completed since the last one and
+// appends their events to run().store; the footer region is never
+// consumed (the writer overwrites it), so a follower survives any
+// number of checkpoints. Single-threaded; not for concurrent use.
+class RunFollower {
+ public:
+  explicit RunFollower(std::string path);
+  ~RunFollower();
+  RunFollower(const RunFollower&) = delete;
+  RunFollower& operator=(const RunFollower&) = delete;
+
+  // Reads newly completed chunks; returns the number of events added.
+  // Returns 0 (without error) while the file does not exist yet or has
+  // no new complete chunk. Throws diog::Error on hard corruption.
+  std::uint64_t poll();
+
+  [[nodiscard]] const TraceRun& run() const;
+  [[nodiscard]] const RunFileInfo& info() const { return info_; }
+  [[nodiscard]] bool finalized() const { return info_.finalized; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  struct Impl;
+  std::string path_;
+  std::unique_ptr<Impl> impl_;
+  std::uint64_t offset_ = 0;  // 0 = header not yet validated
+  RunFileInfo info_;
+};
 
 }  // namespace diog::evstore

@@ -23,7 +23,7 @@
 namespace diog::evstore {
 
 // Bumped whenever the on-disk layout of run files changes.
-inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 enum class EventKind : std::uint8_t {
   kSyncSite = 0,            // stage 1: distinct (api, stack) sync site

@@ -1,0 +1,92 @@
+// Live heartbeat stream: a background reporter thread that periodically
+// appends one compact JSON line to a `<workload>.heartbeat.jsonl` file
+// while collection runs, so a long-running instrumented process is
+// observable without waiting for the post-mortem report.
+//
+// The reporter owns nothing it reports: a Provider callback (supplied
+// by the flight recorder) assembles each record from sources that are
+// safe to read off-thread — event-store atomics, the thread-safe
+// MetricsRegistry, the overhead accountant. The reporter adds the
+// envelope (type, wall-clock time, sequence number) and handles the
+// file, the cadence, and shutdown.
+//
+// SIGUSR1 integration: the signal handler only bumps an atomic request
+// sequence (the one async-signal-safe thing it may do). The reporter
+// thread notices the bump within one poll slice and emits immediately;
+// the flight recorder notices it on the appending thread and forces a
+// checkpoint at the next cold-path opportunity.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "json/json.h"
+
+namespace diog::obs {
+
+// Installs the SIGUSR1 handler (no-op on non-POSIX platforms).
+void install_checkpoint_signal_handler();
+// What the handler does; callable directly (tests, programmatic force).
+void request_checkpoint();
+// Monotonic count of checkpoint requests so far.
+std::uint64_t checkpoint_request_seq();
+
+// The pipeline stage currently executing, for heartbeat records.
+// Accepts string literals only (the pointer is stored, not the bytes).
+void set_current_stage(const char* name);
+const char* current_stage();
+
+class HeartbeatReporter {
+ public:
+  struct Options {
+    std::string path;
+    std::chrono::milliseconds interval{1000};
+  };
+  using Provider = std::function<json::Object()>;
+
+  // Opens (truncates) the file and starts the reporter thread. The
+  // provider is invoked on that thread (and on emit_now callers), so it
+  // must only touch thread-safe state.
+  HeartbeatReporter(Options opts, Provider provider);
+  ~HeartbeatReporter();  // stop()
+  HeartbeatReporter(const HeartbeatReporter&) = delete;
+  HeartbeatReporter& operator=(const HeartbeatReporter&) = delete;
+
+  // Emits one final record ("final": true), joins the thread, and
+  // closes the file. Idempotent.
+  void stop();
+
+  // Synchronous emit from any thread (the flight recorder calls this
+  // right after a forced checkpoint).
+  void emit_now();
+
+  [[nodiscard]] std::uint64_t emitted() const;
+  [[nodiscard]] const std::string& path() const { return opts_.path; }
+
+  // Stops every live reporter; wired into the telemetry exit hooks so
+  // heartbeat files are terminated even on an early exit().
+  static void stop_all();
+
+ private:
+  void thread_main();
+  void emit_locked(bool final);
+
+  Options opts_;
+  Provider provider_;
+  std::FILE* f_ = nullptr;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t last_request_seq_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace diog::obs

@@ -131,6 +131,41 @@ auto& find_or_create(Map& map, std::string_view name) {
 
 }  // namespace
 
+json::Value CounterSnapshot::to_json() const {
+  json::Object o;
+  o["type"] = "counter";
+  o["name"] = name;
+  o["value"] = value;
+  return json::Value(std::move(o));
+}
+
+json::Value GaugeSnapshot::to_json() const {
+  json::Object o;
+  o["type"] = "gauge";
+  o["name"] = name;
+  o["value"] = value;
+  return json::Value(std::move(o));
+}
+
+json::Object HistogramSnapshot::fields_json() const {
+  json::Object o;
+  o["count"] = count;
+  o["sum_ns"] = sum.count();
+  o["min_ns"] = min.count();
+  o["max_ns"] = max.count();
+  o["p50_ns"] = p50.count();
+  o["p95_ns"] = p95.count();
+  o["p99_ns"] = p99.count();
+  return o;
+}
+
+json::Value HistogramSnapshot::to_json() const {
+  json::Object o = fields_json();
+  o["type"] = "histogram";
+  o["name"] = name;
+  return json::Value(std::move(o));
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
 #if DIOG_OBS_ENABLED
   std::lock_guard<std::mutex> lock(mu_);
@@ -221,15 +256,7 @@ json::Value MetricsRegistry::to_json() const {
   for (const GaugeSnapshot& g : this->gauges()) gauges[g.name] = g.value;
   json::Object histos;
   for (const HistogramSnapshot& h : this->histograms()) {
-    json::Object o;
-    o["count"] = h.count;
-    o["sum_ns"] = h.sum.count();
-    o["min_ns"] = h.min.count();
-    o["max_ns"] = h.max.count();
-    o["p50_ns"] = h.p50.count();
-    o["p95_ns"] = h.p95.count();
-    o["p99_ns"] = h.p99.count();
-    histos[h.name] = std::move(o);
+    histos[h.name] = h.fields_json();
   }
   json::Object root;
   root["counters"] = std::move(counters);
@@ -288,14 +315,21 @@ std::string MetricsRegistry::render() const {
       out += "  " + pad_right(std::string(rest_of(gg.name)), 36) +
              pad_left(std::to_string(gg.value), 14) + "\n";
     }
+    bool histo_header = false;
     for (const auto& h : hs) {
       if (group_of(h.name) != g) continue;
+      if (!histo_header) {
+        histo_header = true;
+        out += "  " + pad_right("", 36) + pad_left("n", 14) +
+               pad_left("p50", 11) + pad_left("p95", 11) +
+               pad_left("p99", 11) + pad_left("max", 11) + "\n";
+      }
       out += "  " + pad_right(std::string(rest_of(h.name)), 36) +
-             pad_left("n=" + std::to_string(h.count), 14) +
-             "  p50=" + format_seconds(h.p50, 6) +
-             "  p95=" + format_seconds(h.p95, 6) +
-             "  p99=" + format_seconds(h.p99, 6) +
-             "  max=" + format_seconds(h.max, 6) + "\n";
+             pad_left(std::to_string(h.count), 14) +
+             pad_left(format_seconds(h.p50, 6), 11) +
+             pad_left(format_seconds(h.p95, 6), 11) +
+             pad_left(format_seconds(h.p99, 6), 11) +
+             pad_left(format_seconds(h.max, 6), 11) + "\n";
     }
   }
   return out;

@@ -108,14 +108,19 @@ class Histogram {
   std::atomic<std::int64_t> max_{0};
 };
 
-// Read-only snapshots used by renderers and exporters.
+// Read-only snapshots used by renderers and exporters. Their to_json()
+// is the one serialization path for every consumer — the metrics
+// command, `--telemetry` JSONL, and the heartbeat stream.
 struct CounterSnapshot {
   std::string name;
   std::uint64_t value = 0;
+  // {"type": "counter", "name": ..., "value": ...}
+  [[nodiscard]] json::Value to_json() const;
 };
 struct GaugeSnapshot {
   std::string name;
   std::int64_t value = 0;
+  [[nodiscard]] json::Value to_json() const;
 };
 struct HistogramSnapshot {
   std::string name;
@@ -126,6 +131,10 @@ struct HistogramSnapshot {
   Duration p50{0};
   Duration p95{0};
   Duration p99{0};
+  // The numeric fields only (count/sum_ns/.../p99_ns), for embedding.
+  [[nodiscard]] json::Object fields_json() const;
+  // fields_json() plus "type" and "name".
+  [[nodiscard]] json::Value to_json() const;
 };
 
 class MetricsRegistry {

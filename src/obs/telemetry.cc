@@ -1,7 +1,11 @@
 #include "obs/telemetry.h"
 
+#include <cstdlib>
+#include <exception>
 #include <fstream>
+#include <mutex>
 
+#include "obs/heartbeat.h"
 #include "support/error.h"
 
 namespace diog::obs {
@@ -38,32 +42,10 @@ std::string Telemetry::to_jsonl() const {
     out += '\n';
   };
 
-  for (const CounterSnapshot& c : metrics_.counters()) {
-    json::Object o;
-    o["type"] = "counter";
-    o["name"] = c.name;
-    o["value"] = c.value;
-    emit(json::Value(std::move(o)));
-  }
-  for (const GaugeSnapshot& g : metrics_.gauges()) {
-    json::Object o;
-    o["type"] = "gauge";
-    o["name"] = g.name;
-    o["value"] = g.value;
-    emit(json::Value(std::move(o)));
-  }
+  for (const CounterSnapshot& c : metrics_.counters()) emit(c.to_json());
+  for (const GaugeSnapshot& g : metrics_.gauges()) emit(g.to_json());
   for (const HistogramSnapshot& h : metrics_.histograms()) {
-    json::Object o;
-    o["type"] = "histogram";
-    o["name"] = h.name;
-    o["count"] = h.count;
-    o["sum_ns"] = h.sum.count();
-    o["min_ns"] = h.min.count();
-    o["max_ns"] = h.max.count();
-    o["p50_ns"] = h.p50.count();
-    o["p95_ns"] = h.p95.count();
-    o["p99_ns"] = h.p99.count();
-    emit(json::Value(std::move(o)));
+    emit(h.to_json());
   }
   for (const SpanRecord& s : spans_.snapshot()) {
     json::Value v = s.to_json();
@@ -83,6 +65,50 @@ void Telemetry::save_jsonl(const std::string& path) const {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw Error("telemetry: cannot write file '" + path + "'");
   out << to_jsonl();
+}
+
+namespace {
+
+std::mutex g_exit_mu;
+std::string g_exit_path;  // NOLINT: intentionally leaked at exit
+bool g_exit_hooks_installed = false;
+std::terminate_handler g_prev_terminate = nullptr;
+
+void flush_on_exit() { Telemetry::flush_exit_files(); }
+
+[[noreturn]] void flush_on_terminate() {
+  Telemetry::flush_exit_files();
+  if (g_prev_terminate != nullptr) g_prev_terminate();
+  std::abort();
+}
+
+}  // namespace
+
+void Telemetry::set_exit_flush(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_exit_mu);
+  g_exit_path = path;
+  if (!g_exit_hooks_installed) {
+    g_exit_hooks_installed = true;
+    std::atexit(flush_on_exit);
+    g_prev_terminate = std::set_terminate(flush_on_terminate);
+  }
+}
+
+void Telemetry::flush_exit_files() {
+  // Stop reporters first: their threads must not race the final flush,
+  // and stopping terminates the heartbeat streams cleanly.
+  HeartbeatReporter::stop_all();
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(g_exit_mu);
+    path.swap(g_exit_path);  // flush once, even if hooks fire twice
+  }
+  if (path.empty()) return;
+  try {
+    global().save_jsonl(path);
+  } catch (...) {
+    // Exit paths must not throw; a failed flush just loses telemetry.
+  }
 }
 
 }  // namespace diog::obs

@@ -52,6 +52,15 @@ class Telemetry {
   [[nodiscard]] std::string to_jsonl() const;
   void save_jsonl(const std::string& path) const;
 
+  // Exit hardening: registers `path` as the --telemetry sink and (once)
+  // installs an atexit hook plus a terminate-handler wrapper, so the
+  // JSONL lands whole even when the process leaves through an early
+  // exit() or an unhandled exception instead of normal unwinding.
+  static void set_exit_flush(const std::string& path);
+  // Flushes the registered sink and stops any live heartbeat reporters
+  // (terminating their streams). Idempotent; safe to call directly.
+  static void flush_exit_files();
+
  private:
   Telemetry() = default;
 

@@ -1,15 +1,19 @@
 // The columnar event store: SoA storage, dictionaries, cursor pushdown,
-// the allocation-free append contract, and the versioned binary run
-// format (round-trip, corruption handling, mmap-vs-stream equality,
-// and live-vs-reopened byte identity of the analysis).
+// the allocation-free append contract, ring retention (flight-recorder
+// mode), and the versioned binary run format (round-trip, live
+// checkpointing, truncation/corruption handling, concurrent following,
+// mmap-vs-stream equality, and live-vs-reopened byte identity of the
+// analysis).
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <random>
+#include <thread>
 #include <vector>
 
 #include "core/diogenes.h"
@@ -17,6 +21,7 @@
 #include "core/report.h"
 #include "eventstore/cursor.h"
 #include "eventstore/event_store.h"
+#include "eventstore/live_writer.h"
 #include "eventstore/run_io.h"
 #include "gpusim/api.h"
 #include "gpusim/host_buffer.h"
@@ -185,6 +190,111 @@ TEST(EventStore, AppendPathDoesNotAllocate) {
   }
   EXPECT_EQ(g_allocations.load(), before)
       << "append of interned events must not touch the heap";
+}
+
+// ---------------------------------------------------------------------------
+// Ring retention (flight-recorder mode).
+
+TEST(EventStoreRing, EvictsWholeSegmentsFifo) {
+  EventStore store;
+  store.set_retention({.max_bytes = 0, .max_events = 2 * kSegmentRows});
+  const std::uint64_t total = 5 * kSegmentRows + 123;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    store.append(op_event(i, static_cast<std::int64_t>(i),
+                          static_cast<std::int64_t>(i + 1)));
+  }
+  // Eviction fires on each boundary crossing past the bound: segments
+  // 3..6 each displace the then-oldest full segment.
+  EXPECT_EQ(store.total_appended(), total);
+  EXPECT_EQ(store.evicted_segments(), 4u);
+  EXPECT_EQ(store.dropped_events(), 4 * kSegmentRows);
+  EXPECT_EQ(store.first_index(), 4 * kSegmentRows);
+  EXPECT_EQ(store.size(), total - 4 * kSegmentRows);
+  // FIFO: the surviving window is the tail of the append stream, oldest
+  // first.
+  EXPECT_EQ(store.event(0).op_index, 4 * kSegmentRows);
+  EXPECT_EQ(store.event(store.size() - 1).op_index, total - 1);
+  // Append counters are monotonic (not decremented by eviction).
+  EXPECT_EQ(store.count_of(EventKind::kOp), total);
+  EXPECT_EQ(store.dropped_of(EventKind::kOp), 4 * kSegmentRows);
+}
+
+TEST(EventStoreRing, DropCountersAreExactUnderStress) {
+  EventStore store;
+  store.set_retention({.max_bytes = 0, .max_events = 2 * kSegmentRows});
+  const std::uint64_t total = 1'000'000;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    Event e;
+    e.kind = static_cast<EventKind>(i % kEventKindCount);
+    e.op_index = i;
+    store.append(e);
+  }
+  EXPECT_EQ(store.total_appended(), total);
+  // The evicted range is exactly [0, first_index): the per-kind tallies
+  // must match the kinds appended there, no sampling, no estimate.
+  const std::uint64_t evicted = store.first_index();
+  EXPECT_EQ(evicted, store.evicted_segments() * kSegmentRows);
+  std::uint64_t dropped_sum = 0;
+  for (std::size_t k = 0; k < kEventKindCount; ++k) {
+    const std::uint64_t expect =
+        evicted / kEventKindCount + (k < evicted % kEventKindCount ? 1 : 0);
+    EXPECT_EQ(store.dropped_of(static_cast<EventKind>(k)), expect)
+        << "kind " << k;
+    dropped_sum += store.dropped_of(static_cast<EventKind>(k));
+  }
+  EXPECT_EQ(dropped_sum, store.dropped_events());
+  EXPECT_EQ(store.size() + store.dropped_events(), total);
+}
+
+TEST(EventStoreRing, SteadyStateRingAppendDoesNotAllocate) {
+  EventStore store;
+  store.set_retention({.max_bytes = 0, .max_events = 2 * kSegmentRows});
+  // Warm up past several evictions: spare buffers populated, stats
+  // vector at steady-state capacity, every metric interned.
+  for (std::uint64_t i = 0; i < 4 * kSegmentRows; ++i) {
+    store.append(op_event(i, static_cast<std::int64_t>(i),
+                          static_cast<std::int64_t>(i + 1)));
+  }
+  ASSERT_GE(store.evicted_segments(), 2u);
+  const std::size_t before = g_allocations.load();
+  for (std::uint64_t i = 0; i < 2 * kSegmentRows; ++i) {
+    store.append(op_event(i, static_cast<std::int64_t>(i),
+                          static_cast<std::int64_t>(i + 1)));
+  }
+  EXPECT_EQ(g_allocations.load(), before)
+      << "steady-state ring append (including eviction) must recycle "
+         "buffers, not allocate";
+}
+
+TEST(EventStoreRing, MaxBytesBoundsResidentMemory) {
+  EventStore store;
+  const std::uint64_t cap = 32ull * 1024 * 1024;
+  store.set_retention({.max_bytes = cap, .max_events = 0});
+  std::uint64_t hwm = 0;
+  for (std::uint64_t i = 0; i < 1'000'000; ++i) {
+    store.append(op_event(i, static_cast<std::int64_t>(i),
+                          static_cast<std::int64_t>(i + 1)));
+    if (i % kSegmentRows == 0) hwm = std::max(hwm, store.bytes_reserved());
+  }
+  EXPECT_GE(store.evicted_segments(), 1u) << "test must actually evict";
+  // The ring held the store under the bound the whole run (sampled at
+  // the cold-path boundaries where reservation can change).
+  EXPECT_LE(store.bytes_reserved(), cap);
+  EXPECT_LE(hwm, cap + kSegmentRows * 128)
+      << "one in-flight segment of slack at the boundary crossing";
+  EXPECT_EQ(store.total_appended(), 1'000'000u);
+}
+
+TEST(EventStoreRing, SealCallbackFiresPerSegment) {
+  EventStore store;
+  int seals = 0;
+  store.set_segment_seal_callback([&] { ++seals; });
+  for (std::uint64_t i = 0; i < 3 * kSegmentRows + 5; ++i) {
+    store.append(op_event(i, 0, 1));
+  }
+  // One seal per completed segment (the 4th is still filling).
+  EXPECT_EQ(seals, 3);
+  store.set_segment_seal_callback(nullptr);
 }
 
 TEST(Cursor, KindAndApiPredicates) {
@@ -484,10 +594,26 @@ TEST_F(RunIoTest, WrongVersionThrows) {
       << msg;
 }
 
-TEST_F(RunIoTest, TruncatedFileThrows) {
+TEST_F(RunIoTest, TruncatedHeaderThrows) {
   save_run(path_, sample_run(200));
   const std::vector<char> bytes = slurp(path_);
-  // Chop at several depths, including mid-header and mid-columns.
+  // A file shorter than the 16-byte header cannot even be identified;
+  // that stays a hard error.
+  spit(path_, std::vector<char>(bytes.begin(), bytes.begin() + 10));
+  for (const ReadMode m : {ReadMode::kAuto, ReadMode::kStream}) {
+    EXPECT_NE(error_of(path_, m), "");
+  }
+}
+
+TEST_F(RunIoTest, TruncatedTailYieldsReadablePrefix) {
+  // Crash-consistency: a writer killed mid-chunk or mid-footer leaves a
+  // torn tail; everything before it must open cleanly.
+  save_run(path_, sample_run(200));
+  const std::vector<char> bytes = slurp(path_);
+  // Layout: 16B header | one chunk | 48B footer. Cuts before the chunk
+  // completes yield an empty prefix; a cut inside the footer yields the
+  // complete chunk.
+  const std::size_t chunk_end = bytes.size() - 48;
   for (const std::size_t keep :
        {std::size_t{17}, bytes.size() / 4, bytes.size() / 2,
         bytes.size() - 9}) {
@@ -495,8 +621,13 @@ TEST_F(RunIoTest, TruncatedFileThrows) {
                                   bytes.begin() +
                                       static_cast<std::ptrdiff_t>(keep)));
     for (const ReadMode m : {ReadMode::kAuto, ReadMode::kStream}) {
-      const std::string msg = error_of(path_, m);
-      EXPECT_NE(msg, "") << "keep=" << keep;
+      RunFileInfo info;
+      const TraceRun run = open_run(path_, m, &info);
+      EXPECT_FALSE(info.clean) << "keep=" << keep;
+      EXPECT_FALSE(info.finalized) << "keep=" << keep;
+      const std::uint64_t expect_events = keep >= chunk_end ? 200u : 0u;
+      EXPECT_EQ(run.store->size(), expect_events) << "keep=" << keep;
+      EXPECT_EQ(info.events, expect_events) << "keep=" << keep;
     }
   }
 }
@@ -504,10 +635,204 @@ TEST_F(RunIoTest, TruncatedFileThrows) {
 TEST_F(RunIoTest, CorruptedPayloadFailsChecksum) {
   save_run(path_, sample_run(200));
   std::vector<char> bytes = slurp(path_);
+  // A byte flip inside a *complete* chunk is corruption, not a torn
+  // tail: chunks are immutable once written, so this stays a hard error.
   bytes[bytes.size() / 2] ^= 0x5a;
   spit(path_, bytes);
   const std::string msg = error_of(path_, ReadMode::kAuto);
   EXPECT_NE(msg.find("checksum mismatch"), std::string::npos) << msg;
+}
+
+// --- Live (incremental) run files ------------------------------------------
+
+namespace {
+
+// Events with per-index dictionary churn so chunks exercise the
+// incremental frame/stack/name serialization.
+void append_varied(TraceRun& run, std::uint64_t first, std::uint64_t count) {
+  EventStore& store = *run.store;
+  for (std::uint64_t i = first; i < first + count; ++i) {
+    Event e;
+    e.kind = static_cast<EventKind>(i % kEventKindCount);
+    e.set_fn(hooks::Fn::kCudaMemcpy);
+    const trace::Frame* frames[2] = {frame(static_cast<int>(i % 16)),
+                                     frame(static_cast<int>(i % 5))};
+    e.stack = store.intern_stack(frames, 2);
+    if (i % 9 == 0) {
+      e.name = store.intern_name("live_" + std::to_string(i % 13));
+    }
+    e.op_index = i;
+    e.t_start = static_cast<std::int64_t>(i * 7);
+    e.t_end = e.t_start + 3;
+    e.bytes = i * 5;
+    store.append(e);
+  }
+}
+
+}  // namespace
+
+TEST_F(RunIoTest, LiveWriterCheckpointsAreReadablePrefixes) {
+  TraceRun run;
+  run.meta.workload = "live";
+  LiveRunWriter::Options opts;
+  opts.fsync_checkpoints = false;
+  LiveRunWriter w(path_, opts);
+
+  append_varied(run, 0, 100);
+  w.checkpoint(run, /*force=*/true);
+  {
+    // Open while the writer is still attached: clean, not finalized.
+    RunFileInfo info;
+    const TraceRun back = open_run(path_, ReadMode::kAuto, &info);
+    EXPECT_TRUE(info.clean);
+    EXPECT_FALSE(info.finalized);
+    EXPECT_EQ(info.chunks, 1u);
+    EXPECT_EQ(back.store->size(), 100u);
+  }
+
+  append_varied(run, 100, 150);
+  w.checkpoint(run, /*force=*/true);
+  {
+    RunFileInfo info;
+    const TraceRun back = open_run(path_, ReadMode::kAuto, &info);
+    EXPECT_EQ(info.chunks, 2u);
+    EXPECT_EQ(back.store->size(), 250u);
+    EXPECT_FALSE(info.finalized);
+  }
+
+  w.finish(run);
+  RunFileInfo info;
+  const TraceRun back = open_run(path_, ReadMode::kAuto, &info);
+  EXPECT_TRUE(info.clean);
+  EXPECT_TRUE(info.finalized);
+  EXPECT_EQ(info.dropped_before_checkpoint, 0u);
+  expect_equal(run, back);
+}
+
+TEST_F(RunIoTest, LiveWriterTornTailKeepsCheckpointedPrefix) {
+  TraceRun run;
+  run.meta.workload = "torn";
+  LiveRunWriter::Options opts;
+  opts.fsync_checkpoints = false;
+  {
+    LiveRunWriter w(path_, opts);
+    append_varied(run, 0, 300);
+    w.checkpoint(run, /*force=*/true);
+    append_varied(run, 300, 200);
+    w.checkpoint(run, /*force=*/true);
+    // Destructor closes WITHOUT finalizing: crash semantics.
+  }
+  // Simulate a crash mid-write on top of that: chop off the footer and
+  // the tail of the second chunk.
+  std::vector<char> bytes = slurp(path_);
+  spit(path_, std::vector<char>(bytes.begin(),
+                                bytes.begin() +
+                                    static_cast<std::ptrdiff_t>(
+                                        bytes.size() - 60)));
+  RunFileInfo info;
+  const TraceRun back = open_run(path_, ReadMode::kAuto, &info);
+  EXPECT_FALSE(info.finalized);
+  // The first checkpoint survived whole; the torn second chunk is
+  // ignored.
+  EXPECT_EQ(back.store->size(), 300u);
+  EXPECT_EQ(info.chunks, 1u);
+  EXPECT_EQ(back.store->event(0).op_index, 0u);
+}
+
+TEST_F(RunIoTest, RingEvictionGapsAreRecordedAsDropped) {
+  TraceRun run;
+  run.meta.workload = "ring";
+  run.store->set_retention({.max_bytes = 0, .max_events = 2 * kSegmentRows});
+  LiveRunWriter::Options opts;
+  opts.fsync_checkpoints = false;
+  LiveRunWriter w(path_, opts);
+  // Three segments appended, none checkpointed: the first is evicted
+  // before it ever reaches the file.
+  for (std::uint64_t i = 0; i < 3 * kSegmentRows; ++i) {
+    run.store->append(op_event(i, static_cast<std::int64_t>(i),
+                               static_cast<std::int64_t>(i + 1)));
+  }
+  ASSERT_EQ(run.store->dropped_events(), kSegmentRows);
+  w.finish(run);
+
+  RunFileInfo info;
+  const TraceRun back = open_run(path_, ReadMode::kAuto, &info);
+  // The reader recomputes the loss from the chunk index gap, and the
+  // writer recorded it in the meta — both see the same number.
+  EXPECT_EQ(info.dropped_before_checkpoint, kSegmentRows);
+  EXPECT_EQ(back.meta.dropped_events, kSegmentRows);
+  EXPECT_EQ(back.store->size(), 2 * kSegmentRows);
+  // The file holds the surviving window, oldest first.
+  EXPECT_EQ(back.store->event(0).op_index, kSegmentRows);
+}
+
+TEST_F(RunIoTest, FollowerSeesWriterProgressIncrementally) {
+  TraceRun run;
+  run.meta.workload = "followed";
+  LiveRunWriter::Options opts;
+  opts.fsync_checkpoints = false;
+  LiveRunWriter w(path_, opts);
+  RunFollower follower(path_);
+
+  append_varied(run, 0, 40);
+  w.checkpoint(run, /*force=*/true);
+  EXPECT_EQ(follower.poll(), 40u);
+
+  append_varied(run, 40, 25);
+  w.checkpoint(run, /*force=*/true);
+  EXPECT_EQ(follower.poll(), 25u);
+  EXPECT_FALSE(follower.finalized());
+
+  append_varied(run, 65, 10);
+  w.finish(run);
+  EXPECT_EQ(follower.poll(), 10u);
+  EXPECT_TRUE(follower.finalized());
+  expect_equal(run, follower.run());
+}
+
+TEST_F(RunIoTest, FollowerToleratesMissingFile) {
+  RunFollower follower(dir_ + "/not_yet.dgtrace");
+  EXPECT_EQ(follower.poll(), 0u);
+  EXPECT_FALSE(follower.finalized());
+}
+
+TEST_F(RunIoTest, ConcurrentWriterAndFollowerNeverTear) {
+  constexpr std::uint64_t kTotal = 200'000;
+  constexpr std::uint64_t kPerCheckpoint = 10'000;
+  std::thread writer([&] {
+    TraceRun run;
+    run.meta.workload = "concurrent";
+    LiveRunWriter::Options opts;
+    opts.fsync_checkpoints = false;
+    LiveRunWriter w(path_, opts);
+    for (std::uint64_t i = 0; i < kTotal; ++i) {
+      run.store->append(op_event(i, static_cast<std::int64_t>(i),
+                                 static_cast<std::int64_t>(i + 1)));
+      if ((i + 1) % kPerCheckpoint == 0) w.checkpoint(run, /*force=*/true);
+    }
+    w.finish(run);
+  });
+
+  // The follower must only ever observe whole chunks: every poll either
+  // adds complete checkpoints or nothing, and never throws on the
+  // in-flight tail.
+  RunFollower follower(path_);
+  std::uint64_t seen = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  for (;;) {
+    seen += follower.poll();
+    if (follower.finalized()) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "follower never saw the finalized footer";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  writer.join();
+  EXPECT_EQ(seen, kTotal);
+  EXPECT_EQ(follower.run().store->size(), kTotal);
+  // Spot-check ordering survived the chunked transport.
+  EXPECT_EQ(follower.run().store->event(0).op_index, 0u);
+  EXPECT_EQ(follower.run().store->event(kTotal - 1).op_index, kTotal - 1);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,14 +1,17 @@
 // Tests for the self-telemetry subsystem (src/obs/): metrics registry,
-// span collector, structured logger, overhead accountant, and the
-// Telemetry facade's JSONL export. Every test also has defined behavior
-// in a -DDIOG_OBS=OFF build, where recording is compiled out — the
-// obs::kCompiledIn branches below assert the no-op contract instead.
+// span collector, structured logger, overhead accountant, the heartbeat
+// reporter, and the Telemetry facade's JSONL export. Every test also has
+// defined behavior in a -DDIOG_OBS=OFF build, where recording is
+// compiled out — the obs::kCompiledIn branches below assert the no-op
+// contract instead.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/stage1_baseline.h"
@@ -17,6 +20,7 @@
 #include "core/stage4_syncuse.h"
 #include "gpusim/api.h"
 #include "gpusim/host_buffer.h"
+#include "obs/heartbeat.h"
 #include "obs/telemetry.h"
 #include "support/error.h"
 #include "trace/callstack.h"
@@ -131,11 +135,47 @@ TEST(ObsRegistry, RenderGroupsByStage) {
   EXPECT_NE(out.find("[stage2]"), std::string::npos);
   EXPECT_NE(out.find("[cli]"), std::string::npos);
   EXPECT_NE(out.find("ops"), std::string::npos);
-  EXPECT_NE(out.find("p50="), std::string::npos);
+  // Histograms render as aligned percentile columns under a header row.
+  EXPECT_NE(out.find("p50"), std::string::npos);
+  EXPECT_NE(out.find("p95"), std::string::npos);
+  EXPECT_NE(out.find("p99"), std::string::npos);
 
   const json::Value v = reg.to_json();
   EXPECT_EQ(v.at("counters").at("stage2.ops").as_int(), 7);
   EXPECT_EQ(v.at("histograms").at("stage2.sync_wait").at("count").as_int(), 1);
+}
+
+TEST(ObsRegistry, SnapshotsShareOneSerializationPath) {
+  if (!kCompiledIn) GTEST_SKIP() << "recording compiled out";
+  MetricsRegistry reg;
+  reg.counter("x.a").inc(3);
+  reg.gauge("x.g").set(-2);
+  reg.histogram("x.h").record_ns(1000);
+
+  // Snapshot to_json() is the single serialization path: the registry's
+  // aggregate JSON embeds exactly the same fields.
+  const auto cs = reg.counters();
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs[0].to_json().at("type").as_string(), "counter");
+  EXPECT_EQ(cs[0].to_json().at("value").as_int(), 3);
+
+  const auto gs = reg.gauges();
+  ASSERT_EQ(gs.size(), 1u);
+  EXPECT_EQ(gs[0].to_json().at("type").as_string(), "gauge");
+  EXPECT_EQ(gs[0].to_json().at("value").as_int(), -2);
+
+  const auto hs = reg.histograms();
+  ASSERT_EQ(hs.size(), 1u);
+  const json::Value hj = hs[0].to_json();
+  EXPECT_EQ(hj.at("type").as_string(), "histogram");
+  EXPECT_EQ(hj.at("count").as_int(), 1);
+
+  const json::Value v = reg.to_json();
+  EXPECT_EQ(v.at("gauges").at("x.g").as_int(), -2);
+  EXPECT_EQ(v.at("histograms").at("x.h").at("p50_ns").as_int(),
+            hj.at("p50_ns").as_int());
+  EXPECT_EQ(v.at("histograms").at("x.h").at("p99_ns").as_int(),
+            hj.at("p99_ns").as_int());
 }
 
 TEST(ObsSpan, CollectorTracksDepthAndParents) {
@@ -403,6 +443,110 @@ TEST(ObsTelemetry, SaveJsonlRejectsUnwritablePath) {
   if (!kCompiledIn) GTEST_SKIP() << "export compiled out";
   EXPECT_THROW(Telemetry::global().save_jsonl("/nonexistent-dir/x.jsonl"),
                Error);
+}
+
+// --- Heartbeat stream -------------------------------------------------------
+
+TEST(ObsHeartbeat, CheckpointRequestsBumpSequence) {
+  const std::uint64_t before = checkpoint_request_seq();
+  request_checkpoint();
+  EXPECT_EQ(checkpoint_request_seq(), before + 1);
+}
+
+TEST(ObsHeartbeat, CurrentStageIsSticky) {
+  set_current_stage("stage_hb_test");
+  EXPECT_STREQ(current_stage(), "stage_hb_test");
+  set_current_stage("");
+  EXPECT_STREQ(current_stage(), "");
+}
+
+TEST(ObsHeartbeat, ReporterEmitsParsableJsonl) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "diog_hb_test.jsonl";
+  std::filesystem::remove(path);
+  set_current_stage("stage_hb");
+  {
+    HeartbeatReporter::Options opts;
+    opts.path = path.string();
+    opts.interval = std::chrono::milliseconds(10);
+    HeartbeatReporter hb(opts, [] {
+      json::Object o;
+      o["payload"] = 42;
+      return o;
+    });
+    hb.emit_now();
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    hb.stop();
+    hb.stop();  // idempotent
+    EXPECT_GE(hb.emitted(), 3u);  // first + forced + interval + final
+  }
+  set_current_stage("");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t lines = 0;
+  std::int64_t prev_seq = -1;
+  bool saw_final = false;
+  bool saw_stage = false;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    const json::Value v = json::parse(line);
+    EXPECT_EQ(v.at("type").as_string(), "heartbeat");
+    EXPECT_EQ(v.at("payload").as_int(), 42);
+    EXPECT_GT(v.at("seq").as_int(), prev_seq) << "seq must be monotonic";
+    prev_seq = v.at("seq").as_int();
+    if (v.at("stage").as_string() == "stage_hb") saw_stage = true;
+    if (v.contains("final")) saw_final = true;
+    ++lines;
+  }
+  EXPECT_GE(lines, 3u);
+  EXPECT_TRUE(saw_stage);
+  EXPECT_TRUE(saw_final) << "stop() must terminate the stream validly";
+  std::filesystem::remove(path);
+}
+
+TEST(ObsHeartbeat, SignalRequestForcesPromptEmit) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "diog_hb_sig_test.jsonl";
+  std::filesystem::remove(path);
+  HeartbeatReporter::Options opts;
+  opts.path = path.string();
+  opts.interval = std::chrono::milliseconds(60'000);  // never by timer
+  HeartbeatReporter hb(opts, [] { return json::Object{}; });
+  const std::uint64_t at_start = hb.emitted();
+  // The same atomic bump SIGUSR1 performs; the reporter must notice it
+  // well before the 60 s interval.
+  request_checkpoint();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (hb.emitted() == at_start &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(hb.emitted(), at_start);
+  hb.stop();
+  std::filesystem::remove(path);
+}
+
+TEST(ObsTelemetry, ExitFlushWritesRegisteredPathOnce) {
+  if (!kCompiledIn) GTEST_SKIP() << "export compiled out";
+  auto& t = Telemetry::global();
+  t.reset();
+  t.set_enabled(true);
+  t.metrics().counter("exit.test").inc();
+  const auto path =
+      std::filesystem::temp_directory_path() / "diog_exit_flush.jsonl";
+  std::filesystem::remove(path);
+  Telemetry::set_exit_flush(path.string());
+  Telemetry::flush_exit_files();
+  EXPECT_TRUE(std::filesystem::exists(path));
+  // The path is consumed: a second flush (say terminate after atexit)
+  // must not rewrite the file.
+  std::filesystem::remove(path);
+  Telemetry::flush_exit_files();
+  EXPECT_FALSE(std::filesystem::exists(path));
+  t.reset();
 }
 
 }  // namespace
