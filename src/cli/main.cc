@@ -34,6 +34,11 @@
 //   diogenes trace analyze <file>                 full stage-5 analysis
 //   diogenes trace diff <before> <after>          differential analysis
 //
+// Fuzzing mode (the testkit subsystem; see DESIGN.md "Testkit"):
+//   diogenes fuzz <run-io|follower|ring> [--seed N] [--budget-s S]
+//                 [--corpus DIR] [--max-execs N] [--verbose]
+//   diogenes fuzz minimize <artifact.dgtrace> [--target T] [--seed N]
+//
 // Flags (before the app name):
 //   --verbose               narrate stages on stderr (log level info)
 //   --misplaced-us <N>      misplaced-sync threshold (default 50)
@@ -68,6 +73,7 @@
 #include "obs/telemetry.h"
 #include "support/error.h"
 #include "support/strings.h"
+#include "testkit/fuzz.h"
 
 using namespace diog;
 
@@ -85,6 +91,9 @@ int usage() {
       "       diogenes trace tail <file> [--jsonl] [--poll-ms N] [--once]\n"
       "       diogenes trace watch <file> [--poll-ms N] [--once]\n"
       "       diogenes trace diff <before.dgtrace> <after.dgtrace>\n"
+      "       diogenes fuzz <run-io|follower|ring> [--seed N] [--budget-s S]\n"
+      "                     [--corpus DIR] [--max-execs N] [--verbose]\n"
+      "       diogenes fuzz minimize <artifact> [--target T] [--seed N]\n"
       "  apps: cumf_als | cuIBM | AMG | Rodinia\n"
       "  commands: overview | api | folds | seq N | sub N A B | fixes |\n"
       "            compare | uvm | diff | export FILE | stages DIR |\n"
@@ -328,6 +337,57 @@ int main(int argc, char** argv) {
       return 1;
     }
     return usage();
+  }
+
+  if (app_name == "fuzz") {
+    // Correctness-tooling mode (testkit): seeded fuzzing of the reader
+    // surface, or fork-based minimization of a saved crash artifact.
+    if (arg >= argc) return usage();
+    std::string target = argv[arg++];
+    testkit::FuzzOptions opts;
+    std::string minimize_file;
+    if (target == "minimize") {
+      if (arg >= argc) return usage();
+      minimize_file = argv[arg++];
+      opts.target = "run-io";
+    } else {
+      opts.target = target;
+    }
+    while (arg < argc) {
+      if (std::strcmp(argv[arg], "--seed") == 0 && arg + 1 < argc) {
+        opts.seed = std::strtoull(argv[arg + 1], nullptr, 10);
+        arg += 2;
+      } else if (std::strcmp(argv[arg], "--budget-s") == 0 && arg + 1 < argc) {
+        opts.budget_s = std::strtod(argv[arg + 1], nullptr);
+        arg += 2;
+      } else if (std::strcmp(argv[arg], "--corpus") == 0 && arg + 1 < argc) {
+        opts.corpus_dir = argv[arg + 1];
+        arg += 2;
+      } else if (std::strcmp(argv[arg], "--max-execs") == 0 &&
+                 arg + 1 < argc) {
+        opts.max_execs = std::strtoull(argv[arg + 1], nullptr, 10);
+        arg += 2;
+      } else if (std::strcmp(argv[arg], "--target") == 0 && arg + 1 < argc) {
+        opts.target = argv[arg + 1];
+        arg += 2;
+      } else if (std::strcmp(argv[arg], "--verbose") == 0) {
+        opts.verbose = true;
+        ++arg;
+      } else {
+        return usage();
+      }
+    }
+    try {
+      if (!minimize_file.empty()) {
+        return testkit::minimize_artifact(minimize_file, opts);
+      }
+      const testkit::FuzzStats stats = testkit::run_fuzzer(opts);
+      std::printf("%s\n", stats.render().c_str());
+      return stats.ok() ? 0 : 1;
+    } catch (const Error& e) {
+      std::fprintf(stderr, "fuzz failed: %s\n", e.what());
+      return 1;
+    }
   }
 
   ffm::AnalysisResult r;

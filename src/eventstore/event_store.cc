@@ -1,9 +1,11 @@
 #include "eventstore/event_store.h"
 
 #include <algorithm>
+#include <new>
 
 #include "obs/telemetry.h"
 #include "support/error.h"
+#include "testkit/fault_plan.h"
 
 namespace diog::evstore {
 
@@ -274,6 +276,18 @@ void EventStore::enforce_retention() {
 void EventStore::append(const Event& e) {
   DIOG_CHECK(e.kind < EventKind::kCount_, "bad event kind");
   const bool new_segment = size() % kSegmentRows == 0;
+  // Injection point for segment-allocation failure: throw BEFORE any
+  // column push so the columns stay mutually consistent and the store
+  // remains usable after the failure.
+  if (new_segment) {
+    if (const testkit::FaultSpec* spec =
+            testkit::fault_at("event_store.segment_alloc")) {
+      if (spec->action == testkit::FaultAction::kBadAlloc) {
+        throw std::bad_alloc();
+      }
+      throw Error("event store segment allocation failed (injected fault)");
+    }
+  }
   kind_.push(static_cast<std::uint8_t>(e.kind));
   api_.push(e.api);
   flags_.push(e.flags);

@@ -1,5 +1,6 @@
 #include "eventstore/live_writer.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <filesystem>
@@ -7,6 +8,7 @@
 #include "eventstore/run_format.h"
 #include "obs/telemetry.h"
 #include "support/error.h"
+#include "testkit/fault_plan.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -66,6 +68,10 @@ LiveRunWriter::LiveRunWriter(std::string path, Options opts)
       std::filesystem::path(path_).parent_path();
   if (!parent.empty()) std::filesystem::create_directories(parent, ec);
 
+  if (testkit::fault_at("live_writer.open") != nullptr) {
+    throw Error("cannot open run file for writing: " + path_ +
+                " (injected fault)");
+  }
   f_ = std::fopen(path_.c_str(), "wb+");
   DIOG_CHECK(f_ != nullptr, "cannot open run file for writing: " + path_);
   std::string header;
@@ -86,7 +92,13 @@ LiveRunWriter::~LiveRunWriter() {
 void LiveRunWriter::flush(bool with_fsync) {
   DIOG_CHECK(std::fflush(f_) == 0, "flush failed for run file: " + path_);
 #if DIOG_HAVE_FSYNC
-  if (with_fsync) ::fsync(::fileno(f_));
+  if (with_fsync) {
+    if (testkit::fault_at("live_writer.fsync") != nullptr) {
+      throw Error("fsync failed for run file: " + path_ + " (injected fault)");
+    }
+    DIOG_CHECK(::fsync(::fileno(f_)) == 0,
+               "fsync failed for run file: " + path_);
+  }
 #else
   (void)with_fsync;
 #endif
@@ -177,6 +189,19 @@ bool LiveRunWriter::write_chunk(const TraceRun& run, bool force) {
   DIOG_CHECK(std::fseek(f_, static_cast<long>(data_end_), SEEK_SET) == 0,
              "seek failed for run file: " + path_);
   const auto write_all = [&](const std::string& b) {
+    if (const testkit::FaultSpec* spec =
+            testkit::fault_at("live_writer.write.chunk")) {
+      if (spec->action == testkit::FaultAction::kShortWrite) {
+        // Model a torn write: some prefix reaches the file, then the
+        // write reports failure (ENOSPC, a killed writer, ...).
+        const std::size_t keep = std::min(
+            b.size(), static_cast<std::size_t>(
+                          std::max<std::int64_t>(0, spec->magnitude)));
+        (void)std::fwrite(b.data(), 1, keep, f_);
+        (void)std::fflush(f_);
+      }
+      throw Error("write failed for run file: " + path_ + " (injected fault)");
+    }
     DIOG_CHECK(std::fwrite(b.data(), 1, b.size(), f_) == b.size(),
                "write failed for run file: " + path_);
   };
@@ -223,8 +248,27 @@ void LiveRunWriter::write_footer(bool final) {
   DIOG_CHECK(footer.size() == format::kFooterBytes,
              "internal: footer size mismatch");
 
+  // Crash window 1: the chunk is flushed but the footer rewrite never
+  // starts. The file must read back as a torn (non-clean) prefix that
+  // still contains every checkpointed chunk.
+  if (testkit::fault_at("live_writer.footer.before") != nullptr) {
+    throw Error("checkpoint failed before footer rewrite: " + path_ +
+                " (injected fault)");
+  }
   DIOG_CHECK(std::fseek(f_, static_cast<long>(data_end_), SEEK_SET) == 0,
              "seek failed for run file: " + path_);
+  // Crash window 2: the footer rewrite itself tears after `magnitude`
+  // bytes. Same contract: readable prefix, never a lie.
+  if (const testkit::FaultSpec* spec =
+          testkit::fault_at("live_writer.footer.torn")) {
+    const std::size_t keep = std::min(
+        footer.size(), static_cast<std::size_t>(
+                           std::max<std::int64_t>(0, spec->magnitude)));
+    (void)std::fwrite(footer.data(), 1, keep, f_);
+    (void)std::fflush(f_);
+    throw Error("write failed for run file footer: " + path_ +
+                " (injected torn footer)");
+  }
   DIOG_CHECK(std::fwrite(footer.data(), 1, footer.size(), f_) ==
                  footer.size(),
              "write failed for run file: " + path_);

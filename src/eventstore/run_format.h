@@ -23,6 +23,14 @@ inline constexpr std::uint32_t kFooterMagic = 0x544F4F46u;
 // Chunk envelope: u32 magic | u64 payload_len | payload | u64 fnv1a.
 inline constexpr std::size_t kChunkEnvelopeBytes = 4 + 8 + 8;
 
+// The smallest payload the writer can produce: meta length (8) + empty
+// meta + three empty dictionary counts (12) + first_event_index (8) +
+// event count (8) + column count (1) + 15 tag/width pairs (30). A
+// complete chunk announcing less is structurally impossible — the
+// reader rejects it as corruption rather than walking a zero-length or
+// self-overlapping envelope.
+inline constexpr std::uint64_t kMinChunkPayloadBytes = 8 + 12 + 8 + 8 + 1 + 30;
+
 // Footer: u32 magic | u32 flags | u64 total_events | u64 chunk_count |
 // i64 checkpoint wall-clock (ms since epoch) | u64 fnv1a of the five
 // preceding fields | end magic. Rewritten in place at every checkpoint.

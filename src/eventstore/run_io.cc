@@ -2,12 +2,14 @@
 
 #include <cstring>
 #include <fstream>
+#include <new>
 #include <vector>
 
 #include "eventstore/live_writer.h"
 #include "eventstore/run_format.h"
 #include "obs/telemetry.h"
 #include "support/error.h"
+#include "testkit/fault_plan.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define DIOG_HAVE_MMAP 1
@@ -257,6 +259,15 @@ WalkOutcome walk_chunks(const unsigned char* p, std::size_t n,
     // length should be), not proof of corruption: stop at the prefix.
     if (len > (1ull << 40)) break;
     if (n - off < fmt::kChunkEnvelopeBytes + len) break;  // incomplete
+    // A COMPLETE chunk shorter than any payload the writer can emit is
+    // not a torn tail — it is a zero-length / self-overlapping envelope,
+    // and walking it would loop over stale bytes. Hard corruption.
+    if (len < fmt::kMinChunkPayloadBytes) {
+      throw Error("run file corrupted: undersized chunk " +
+                  std::to_string(parser.chunks) + " (payload " +
+                  std::to_string(len) + " bytes, minimum " +
+                  std::to_string(fmt::kMinChunkPayloadBytes) + ")");
+    }
     const unsigned char* payload = p + off + 12;
     std::uint64_t stored;
     std::memcpy(&stored, payload + len, 8);
@@ -299,6 +310,9 @@ TraceRun parse_run(const unsigned char* data, std::size_t size,
 class MappedFile {
  public:
   explicit MappedFile(const std::string& path) {
+    if (testkit::fault_at("run_io.mmap") != nullptr) {
+      throw Error("mmap failed for run file: " + path + " (injected fault)");
+    }
     fd_ = ::open(path.c_str(), O_RDONLY);
     DIOG_CHECK(fd_ >= 0, "cannot open run file: " + path);
     struct stat st{};
@@ -336,6 +350,12 @@ class MappedFile {
 #endif
 
 std::vector<unsigned char> read_whole_file(const std::string& path) {
+  // Allocation failure while buffering the file is an I/O-layer error,
+  // not something that may propagate as UB or a partial parse.
+  if (const testkit::FaultSpec* f = testkit::fault_at("run_io.read.alloc")) {
+    if (f->action == testkit::FaultAction::kBadAlloc) throw std::bad_alloc();
+    throw Error("cannot read run file: buffer allocation failed: " + path);
+  }
   std::ifstream in(path, std::ios::binary);
   DIOG_CHECK(in.good(), "cannot open run file: " + path);
   std::vector<unsigned char> buf;
@@ -389,7 +409,17 @@ TraceRun open_run(const std::string& path, ReadMode mode,
 
 // --- RunFollower -------------------------------------------------------------
 
-struct RunFollower::Impl : ChunkParser {};
+struct RunFollower::Impl : ChunkParser {
+#if DIOG_HAVE_MMAP
+  // File identity captured when the header is first validated. A
+  // dev/inode change afterwards means the path was atomically replaced:
+  // the bytes at offset_ no longer belong to the stream the follower
+  // consumed, so continuing would silently mix two files.
+  bool has_identity = false;
+  dev_t dev = 0;
+  ino_t ino = 0;
+#endif
+};
 
 RunFollower::RunFollower(std::string path) : path_(std::move(path)) {
   impl_ = std::make_unique<Impl>();
@@ -409,6 +439,31 @@ std::uint64_t RunFollower::poll() {
     if (in.gcount() < static_cast<std::streamsize>(sizeof(hdr))) return 0;
     validate_header(hdr, sizeof(hdr));
     offset_ = fmt::kHeaderBytes;
+#if DIOG_HAVE_MMAP
+    struct stat st{};
+    if (::stat(path_.c_str(), &st) == 0) {
+      impl_->has_identity = true;
+      impl_->dev = st.st_dev;
+      impl_->ino = st.st_ino;
+    }
+#endif
+  } else {
+#if DIOG_HAVE_MMAP
+    struct stat st{};
+    if (impl_->has_identity && ::stat(path_.c_str(), &st) == 0 &&
+        (st.st_dev != impl_->dev || st.st_ino != impl_->ino)) {
+      throw Error("run file replaced mid-follow: " + path_);
+    }
+#endif
+    // Chunks are immutable once complete, so the file can only grow
+    // past the consumed prefix; shrinking below it means truncation —
+    // the consumed events no longer match what is on disk.
+    in.clear();
+    in.seekg(0, std::ios::end);
+    const std::streamoff end_pos = in.tellg();
+    if (end_pos >= 0 && static_cast<std::uint64_t>(end_pos) < offset_) {
+      throw Error("run file truncated mid-follow: " + path_);
+    }
   }
 
   in.clear();

@@ -1,9 +1,11 @@
 #include "gpusim/runtime.h"
 
+#include <algorithm>
 #include <string>
 
 #include "obs/telemetry.h"
 #include "support/error.h"
+#include "testkit/fault_plan.h"
 
 namespace gpusim {
 
@@ -79,6 +81,17 @@ Runtime::CallScope::CallScope(Runtime& rt, Fn fn, OpInfo& info)
   cupti_visible_ = rt_.cupti_sink_ != nullptr &&
                    diog::hooks::is_public_api(fn) &&
                    rt_.dispatch_depth_ == 1 && !from_vendor_library_;
+  // Injected clock skew: a burst of unmodeled time (NTP step, SMI, a
+  // descheduled thread) lands right before the entry timestamp. The
+  // pipeline must absorb it as longer durations, never as negative
+  // intervals or a wrong analysis.
+  if (const diog::testkit::FaultSpec* spec =
+          diog::testkit::fault_at("gpusim.clock.skew")) {
+    if (spec->action == diog::testkit::FaultAction::kClockSkew) {
+      rt_.clock().advance(
+          diog::Duration(std::max<std::int64_t>(0, spec->magnitude)));
+    }
+  }
   entry_time_ = rt_.clock().now();
   event_id_ = rt_.hooks_.fire_entry(fn, info, rt_.clock(),
                                     rt_.dispatch_depth_, from_vendor_library_);

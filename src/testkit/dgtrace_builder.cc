@@ -1,0 +1,171 @@
+#include "testkit/dgtrace_builder.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "eventstore/run_format.h"
+#include "eventstore/schema.h"
+#include "support/error.h"
+
+namespace diog::testkit {
+
+namespace {
+
+namespace fmt = evstore::format;
+
+void put_bytes(Bytes& out, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  out.insert(out.end(), p, p + n);
+}
+void put_u8(Bytes& out, std::uint8_t v) { put_bytes(out, &v, 1); }
+void put_u32(Bytes& out, std::uint32_t v) { put_bytes(out, &v, 4); }
+void put_u64(Bytes& out, std::uint64_t v) { put_bytes(out, &v, 8); }
+void put_i64(Bytes& out, std::int64_t v) { put_bytes(out, &v, 8); }
+
+std::uint32_t read_u32(const Bytes& data, std::size_t off) {
+  std::uint32_t v;
+  std::memcpy(&v, data.data() + off, 4);
+  return v;
+}
+std::uint64_t read_u64(const Bytes& data, std::size_t off) {
+  std::uint64_t v;
+  std::memcpy(&v, data.data() + off, 8);
+  return v;
+}
+
+}  // namespace
+
+FileShape scan_shape(const Bytes& data) {
+  FileShape shape;
+  if (data.size() < fmt::kHeaderBytes ||
+      std::memcmp(data.data(), fmt::kMagic, sizeof(fmt::kMagic)) != 0) {
+    return shape;
+  }
+  shape.has_header = true;
+  std::size_t off = fmt::kHeaderBytes;
+  for (;;) {
+    shape.tail_offset = off;
+    if (data.size() - off < 4) break;
+    const std::uint32_t magic = read_u32(data, off);
+    if (magic == fmt::kFooterMagic) {
+      if (data.size() - off < fmt::kFooterBytes) break;
+      shape.footer_offset = off;
+      shape.has_footer = true;
+      shape.tail_offset = off + fmt::kFooterBytes;
+      break;
+    }
+    if (magic != fmt::kChunkMagic) break;
+    ChunkSpan span;
+    span.offset = off;
+    if (data.size() - off < fmt::kChunkEnvelopeBytes) {
+      shape.chunks.push_back(span);
+      break;
+    }
+    span.payload_len = read_u64(data, off + 4);
+    if (span.payload_len > (1ull << 40) ||
+        data.size() - off < fmt::kChunkEnvelopeBytes + span.payload_len) {
+      shape.chunks.push_back(span);
+      break;
+    }
+    span.complete = true;
+    shape.chunks.push_back(span);
+    off += fmt::kChunkEnvelopeBytes + static_cast<std::size_t>(span.payload_len);
+  }
+  return shape;
+}
+
+Bytes make_header() {
+  Bytes out;
+  put_bytes(out, fmt::kMagic, sizeof(fmt::kMagic));
+  put_u32(out, evstore::kFormatVersion);
+  put_u32(out, 0);
+  return out;
+}
+
+Bytes make_raw_chunk(const Bytes& payload) {
+  Bytes out;
+  put_u32(out, fmt::kChunkMagic);
+  put_u64(out, payload.size());
+  put_bytes(out, payload.data(), payload.size());
+  put_u64(out, fmt::fnv1a(fmt::kFnvSeed, payload.data(), payload.size()));
+  return out;
+}
+
+Bytes make_chunk(const ChunkParams& params) {
+  Bytes payload;
+  put_u64(payload, params.meta_json.size());
+  put_bytes(payload, params.meta_json.data(), params.meta_json.size());
+  put_u32(payload, 0);  // new frames
+  put_u32(payload, 0);  // new stacks
+  put_u32(payload, 0);  // new names
+  put_u64(payload, params.first_event_index);
+  put_u64(payload, params.event_count);
+  put_u8(payload, static_cast<std::uint8_t>(fmt::kColumnCount));
+  for (std::size_t c = 0; c < fmt::kColumnCount; ++c) {
+    put_u8(payload, static_cast<std::uint8_t>(c));
+    put_u8(payload, fmt::kColumnWidths[c]);
+    // Zero-filled rows: kind 0 / empty stack / no name are all valid.
+    payload.insert(payload.end(),
+                   static_cast<std::size_t>(params.event_count) *
+                       fmt::kColumnWidths[c],
+                   0);
+  }
+  return make_raw_chunk(payload);
+}
+
+Bytes make_footer(bool final, std::uint64_t total_events,
+                  std::uint64_t chunk_count, std::int64_t wall_ms) {
+  Bytes out;
+  put_u32(out, fmt::kFooterMagic);
+  put_u32(out, final ? fmt::kFooterFlagFinal : 0u);
+  put_u64(out, total_events);
+  put_u64(out, chunk_count);
+  put_i64(out, wall_ms);
+  put_u64(out, fmt::fnv1a(fmt::kFnvSeed, out.data(), out.size()));
+  put_bytes(out, fmt::kEndMagic, sizeof(fmt::kEndMagic));
+  return out;
+}
+
+void append(Bytes& out, const Bytes& part) {
+  out.insert(out.end(), part.begin(), part.end());
+}
+
+void fix_chunk_checksum(Bytes& data, const ChunkSpan& span) {
+  if (!span.complete) return;
+  const std::size_t payload_off = span.offset + 12;
+  const auto len = static_cast<std::size_t>(span.payload_len);
+  if (payload_off + len + 8 > data.size()) return;
+  const std::uint64_t sum =
+      fmt::fnv1a(fmt::kFnvSeed, data.data() + payload_off, len);
+  std::memcpy(data.data() + payload_off + len, &sum, 8);
+}
+
+Bytes make_minimal_run(std::uint64_t event_count) {
+  Bytes out = make_header();
+  ChunkParams params;
+  params.event_count = event_count;
+  append(out, make_chunk(params));
+  append(out, make_footer(/*final=*/true, event_count, 1));
+  return out;
+}
+
+Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DIOG_CHECK(in.good(), "cannot open file: " + path);
+  Bytes buf;
+  char chunk[1 << 16];
+  while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
+    buf.insert(buf.end(), chunk, chunk + in.gcount());
+  }
+  return buf;
+}
+
+void write_file(const std::string& path, const Bytes& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  DIOG_CHECK(out.good(), "cannot open file for writing: " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  DIOG_CHECK(out.good(), "write failed: " + path);
+}
+
+}  // namespace diog::testkit

@@ -1,0 +1,76 @@
+#include "testkit/fault_plan.h"
+
+#include "support/error.h"
+
+namespace diog::testkit {
+
+namespace {
+std::atomic<FaultPlan*> g_plan{nullptr};
+}  // namespace
+
+void FaultPlan::add(FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DIOG_CHECK(!spec.site.empty(), "fault spec needs a site name");
+  specs_.push_back(std::move(spec));
+  fires_per_spec_.push_back(0);
+  sites_[specs_.back().site].specs.push_back(specs_.size() - 1);
+}
+
+const FaultSpec* FaultPlan::query(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(std::string(site));
+  if (it == sites_.end()) return nullptr;
+  SiteState& st = it->second;
+  const std::uint64_t hit = st.hits++;
+  for (const std::size_t idx : st.specs) {
+    const FaultSpec& spec = specs_[idx];
+    if (hit < spec.after) continue;
+    if (fires_per_spec_[idx] >= spec.max_fires) continue;
+    if (spec.probability < 1.0 && !rng_.next_bool(spec.probability)) {
+      continue;
+    }
+    ++fires_per_spec_[idx];
+    ++st.fires;
+    return &spec;
+  }
+  return nullptr;
+}
+
+std::uint64_t FaultPlan::hits(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(std::string(site));
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FaultPlan::fires(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(std::string(site));
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+std::uint64_t FaultPlan::total_fires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const std::uint64_t f : fires_per_spec_) total += f;
+  return total;
+}
+
+FaultScope::FaultScope(FaultPlan& plan) {
+  FaultPlan* expected = nullptr;
+  DIOG_CHECK(g_plan.compare_exchange_strong(expected, &plan),
+             "fault plans may not nest");
+}
+
+FaultScope::~FaultScope() { g_plan.store(nullptr, std::memory_order_release); }
+
+const FaultSpec* fault_at(const char* site) {
+  FaultPlan* plan = g_plan.load(std::memory_order_relaxed);
+  if (plan == nullptr) return nullptr;
+  return plan->query(site);
+}
+
+bool fault_plan_active() {
+  return g_plan.load(std::memory_order_relaxed) != nullptr;
+}
+
+}  // namespace diog::testkit

@@ -1,0 +1,97 @@
+// Deterministic fault injection for the persistence and runtime layers.
+//
+// A FaultPlan is a set of named injection sites armed with seeded
+// probabilities. Production code declares sites with testkit::fault_at()
+// — a single relaxed atomic load when no plan is installed, so the
+// instrumentation is free in normal operation — and tests install a plan
+// with FaultScope to force short writes, failed fsyncs, allocation
+// failures and clock skew at exact points. The plan records every hit
+// and fire per site, so a test can assert an injection point
+// "demonstrably fired" rather than hope it did.
+//
+// The honesty contract this enforces (ISSUE 4): every injected fault
+// must surface as a cleanly classified error (clean / torn / corrupt)
+// or a consistent degraded state — never undefined behavior, never a
+// silently wrong analysis.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace diog::testkit {
+
+// What a firing site should do. The site's production code interprets
+// the action; kFail is the generic "this operation reports failure".
+enum class FaultAction : std::uint8_t {
+  kFail,        // the operation fails cleanly (write error, open error)
+  kShortWrite,  // write only `magnitude` bytes, then fail (torn output)
+  kBadAlloc,    // throw std::bad_alloc at the site
+  kClockSkew,   // advance the virtual clock by `magnitude` ns
+};
+
+struct FaultSpec {
+  std::string site;       // e.g. "live_writer.fsync"
+  FaultAction action = FaultAction::kFail;
+  double probability = 1.0;  // chance to fire on each hit once eligible
+  std::uint64_t after = 0;   // skip the first `after` hits of the site
+  std::uint64_t max_fires = UINT64_MAX;  // disarm after this many fires
+  std::int64_t magnitude = 0;  // short-write byte count / skew ns
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed) : rng_(seed) {}
+
+  void add(FaultSpec spec);
+
+  // Site-side query: nullptr when the site does not fire this hit. The
+  // returned spec stays valid for the plan's lifetime.
+  const FaultSpec* query(std::string_view site);
+
+  // Accounting for assertions.
+  [[nodiscard]] std::uint64_t hits(std::string_view site) const;
+  [[nodiscard]] std::uint64_t fires(std::string_view site) const;
+  [[nodiscard]] std::uint64_t total_fires() const;
+
+ private:
+  struct SiteState {
+    std::vector<std::size_t> specs;  // indices into specs_
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+  };
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  // add() may reallocate: configure the plan fully before installing it
+  // with FaultScope (query() hands out pointers into specs_).
+  std::vector<FaultSpec> specs_;
+  std::unordered_map<std::string, SiteState> sites_;
+  std::vector<std::uint64_t> fires_per_spec_;
+};
+
+// RAII install/uninstall of the process-global plan. Plans may not nest
+// (one fault experiment at a time); the scope must outlive any thread
+// that can hit a site.
+class FaultScope {
+ public:
+  explicit FaultScope(FaultPlan& plan);
+  ~FaultScope();
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+};
+
+// The hook production code calls. Returns nullptr (after one relaxed
+// atomic load) when no plan is installed or the site does not fire.
+const FaultSpec* fault_at(const char* site);
+
+// True while any plan is installed (used to skip expensive staging).
+bool fault_plan_active();
+
+}  // namespace diog::testkit

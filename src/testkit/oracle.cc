@@ -1,0 +1,201 @@
+#include "testkit/oracle.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <span>
+#include <sstream>
+
+#include "core/benefit.h"
+#include "core/groupings.h"
+#include "core/report.h"
+#include "eventstore/live_writer.h"
+#include "eventstore/run_io.h"
+#include "support/error.h"
+
+namespace diog::testkit {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ns_str(Duration d) { return std::to_string(d.count()) + "ns"; }
+
+struct Checker {
+  OracleReport& rep;
+  void operator()(bool cond, const std::string& what) const {
+    ++rep.checks;
+    if (!cond) rep.failures.push_back(what);
+  }
+};
+
+}  // namespace
+
+void reshard_run_to_file(const evstore::TraceRun& src,
+                         const std::string& path, std::size_t period) {
+  DIOG_CHECK(period > 0, "reshard period must be positive");
+  evstore::TraceRun dst;
+  dst.meta = src.meta;
+  evstore::LiveRunWriter writer(
+      path, evstore::LiveRunWriter::Options{.fsync_checkpoints = false});
+  const evstore::EventStore& s = *src.store;
+  for (std::uint64_t i = 0; i < s.size(); ++i) {
+    evstore::Event e = s.event(i);
+    // Re-intern through the destination's dictionaries: ids may differ,
+    // content may not.
+    e.stack = dst.store->intern_stack(s.stack_trace(e.stack));
+    e.aux_stack = dst.store->intern_stack(s.stack_trace(e.aux_stack));
+    e.name = e.name == evstore::kNoName
+                 ? evstore::kNoName
+                 : dst.store->intern_name(s.name(e.name));
+    dst.store->append(e);
+    if ((i + 1) % period == 0) writer.checkpoint(dst);
+  }
+  writer.finish(dst);
+}
+
+OracleReport check_analysis_invariants(const evstore::TraceRun& run,
+                                       const OracleOptions& opts) {
+  DIOG_CHECK(!opts.work_dir.empty(), "oracle needs a work_dir");
+  fs::create_directories(opts.work_dir);
+
+  OracleReport rep;
+  const Checker check{rep};
+
+  const ffm::AnalysisResult a = ffm::run_analysis(run, opts.cfg);
+
+  // --- Bounds ---------------------------------------------------------------
+  const Duration wall =
+      std::max({a.s1.exec_time, a.s2.exec_time, a.s3.exec_time,
+                a.s4.exec_time});
+  Duration per_node_sum{0};
+  for (const ffm::NodeBenefit& nb : a.benefit.per_node) {
+    check(nb.benefit.count() >= 0,
+          "negative benefit " + ns_str(nb.benefit) + " at node " +
+              std::to_string(nb.node));
+    check(nb.benefit <= wall,
+          "benefit " + ns_str(nb.benefit) + " at node " +
+              std::to_string(nb.node) + " exceeds wall time " + ns_str(wall));
+    per_node_sum += nb.benefit;
+  }
+  check(a.benefit.total == per_node_sum,
+        "total " + ns_str(a.benefit.total) + " != sum of per-node benefits " +
+            ns_str(per_node_sum));
+  check(a.benefit.total ==
+            a.benefit.sync_benefit + a.benefit.transfer_benefit,
+        "total != sync_benefit + transfer_benefit");
+  check(a.benefit.total <= wall,
+        "total benefit " + ns_str(a.benefit.total) + " exceeds wall time " +
+            ns_str(wall));
+  for (const auto* groups : {&a.single_points, &a.folds, &a.sequences}) {
+    for (const ffm::Group& g : *groups) {
+      check(g.benefit.count() >= 0 && g.benefit <= wall,
+            "group '" + g.title + "' benefit " + ns_str(g.benefit) +
+                " outside [0, wall]");
+    }
+  }
+
+  // --- Monotonicity: prefix subsets of the problem nodes --------------------
+  std::vector<std::size_t> problems;
+  problems.reserve(a.benefit.per_node.size());
+  for (const ffm::NodeBenefit& nb : a.benefit.per_node) {
+    problems.push_back(nb.node);
+  }
+  if (!problems.empty()) {
+    Duration prev{0};
+    const std::size_t steps = std::max<std::size_t>(1, opts.prefix_steps);
+    for (std::size_t s = 1; s <= steps; ++s) {
+      const std::size_t k =
+          std::max<std::size_t>(1, problems.size() * s / steps);
+      const ffm::BenefitReport sub = ffm::expected_benefit_subset(
+          a.graph, std::span<const std::size_t>(problems.data(), k));
+      check(sub.total >= prev,
+            "prefix-subset benefit decreased at k=" + std::to_string(k) +
+                ": " + ns_str(sub.total) + " < " + ns_str(prev));
+      check(sub.total <= a.benefit.total,
+            "prefix-subset benefit at k=" + std::to_string(k) +
+                " exceeds the full total");
+      prev = sub.total;
+    }
+    const ffm::BenefitReport full = ffm::expected_benefit_subset(
+        a.graph,
+        std::span<const std::size_t>(problems.data(), problems.size()));
+    check(full.total == a.benefit.total,
+          "subset over ALL problem nodes (" + ns_str(full.total) +
+              ") != expected_benefit total (" + ns_str(a.benefit.total) + ")");
+  }
+
+  // --- Monotonicity: sequence subsequences ----------------------------------
+  for (const ffm::Group& seq : a.sequences) {
+    // Subsequence bounds are 1-based DISPLAY ordinals (one entry may
+    // cover several graph nodes, e.g. a transfer+sync pair), so the
+    // ladder must run over sequence_entries, not seq.nodes.
+    const std::size_t m = ffm::sequence_entries(a.graph, seq).size();
+    if (m < 2) continue;
+    Duration prev{0};
+    for (const std::size_t k : {std::size_t{1}, m / 2, m}) {
+      if (k < 1 || k > m) continue;
+      const ffm::Group sub = ffm::subsequence(a.graph, seq, 1, k);
+      check(sub.benefit >= prev,
+            "subsequence [1.." + std::to_string(k) + "] of '" + seq.title +
+                "' shrank: " + ns_str(sub.benefit) + " < " + ns_str(prev));
+      check(sub.benefit <= seq.benefit,
+            "subsequence [1.." + std::to_string(k) + "] of '" + seq.title +
+                "' exceeds the sequence benefit");
+      if (k == m) {
+        check(sub.benefit == seq.benefit,
+              "full-width subsequence of '" + seq.title +
+                  "' != the sequence benefit");
+      }
+      prev = sub.benefit;
+    }
+  }
+
+  // --- Persistence: save+reopen and resharding invariance -------------------
+  const std::string expected = ffm::export_json(a).dump();
+  const std::string oneshot =
+      (fs::path(opts.work_dir) / "oracle-oneshot.dgtrace").string();
+  const std::string resharded =
+      (fs::path(opts.work_dir) / "oracle-resharded.dgtrace").string();
+
+  evstore::save_run(oneshot, run);
+  reshard_run_to_file(run, resharded, opts.reshard_period);
+
+  for (const auto& [path, label] :
+       {std::pair{oneshot, "saved+reopened"},
+        std::pair{resharded, "resharded"}}) {
+    evstore::RunFileInfo info;
+    const evstore::TraceRun reread =
+        evstore::open_run(path, evstore::ReadMode::kAuto, &info);
+    check(info.clean && info.finalized,
+          std::string(label) + " run file not clean+finalized");
+    check(info.events == run.store->size(),
+          std::string(label) + " run file lost events: " +
+              std::to_string(info.events) + " != " +
+              std::to_string(run.store->size()));
+    const ffm::AnalysisResult b = ffm::run_analysis(reread, opts.cfg);
+    check(ffm::export_json(b).dump() == expected,
+          std::string(label) +
+              " analysis differs from the in-memory analysis");
+  }
+  {
+    evstore::RunFileInfo i1;
+    (void)evstore::open_run(resharded, evstore::ReadMode::kAuto, &i1);
+    check(i1.chunks >= 1, "resharded file has no chunks");
+    if (run.store->size() >= 2 * opts.reshard_period) {
+      check(i1.chunks >= 2,
+            "resharding produced a single chunk for " +
+                std::to_string(run.store->size()) + " events");
+    }
+  }
+
+  return rep;
+}
+
+std::string OracleReport::render() const {
+  std::ostringstream os;
+  os << checks << " invariant checks, " << failures.size() << " failures";
+  for (const std::string& f : failures) os << "\n  FAIL: " << f;
+  return os.str();
+}
+
+}  // namespace diog::testkit

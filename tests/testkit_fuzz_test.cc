@@ -1,0 +1,243 @@
+// The structure-aware fuzzer (ISSUE 4, leg 1) and the satellite-1
+// regression corpus. The mini campaigns here run with second-scale
+// budgets and fixed seeds: they are the tier-1 smoke that the fuzzing
+// harness itself works end to end; CI's dedicated job runs the same
+// targets for 60 s under ASan/UBSan.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "eventstore/run_format.h"
+#include "eventstore/run_io.h"
+#include "support/error.h"
+#include "support/rng.h"
+#include "testkit/dgtrace_builder.h"
+#include "testkit/fuzz.h"
+
+namespace diog::testkit {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string data_file(const std::string& name) {
+  return std::string(DIOG_TEST_DATA_DIR) + "/dgtrace/regression/" + name;
+}
+
+class FuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::temp_directory_path() /
+            (std::string("diog_fuzz_") + info->name()))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  FuzzOptions mini(const std::string& target, std::uint64_t max_execs) {
+    FuzzOptions o;
+    o.target = target;
+    o.seed = 1;
+    o.budget_s = 20.0;  // generous wall cap; max_execs is the real bound
+    o.max_execs = max_execs;
+    o.corpus_dir = dir_;
+    return o;
+  }
+
+  std::string dir_;
+};
+
+// --- the mutator -------------------------------------------------------------
+
+TEST_F(FuzzTest, MutateIsDeterministicForAFixedSeed) {
+  const Bytes base = make_minimal_run(8);
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(mutate(base, a, 4096), mutate(base, b, 4096)) << "step " << i;
+  }
+}
+
+TEST_F(FuzzTest, MutateRespectsTheSizeCap) {
+  Bytes base = make_minimal_run(8);
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    base = mutate(base, rng, 512);
+    ASSERT_LE(base.size(), 512u) << "step " << i;
+  }
+}
+
+TEST_F(FuzzTest, MinimizeInputShrinksToTheEssentialByte) {
+  Bytes input(300, 0);
+  input[257] = 0xAB;
+  const auto predicate = [](const Bytes& b) {
+    for (const unsigned char c : b) {
+      if (c == 0xAB) return true;
+    }
+    return false;
+  };
+  const Bytes min = minimize_input(input, predicate);
+  ASSERT_EQ(min.size(), 1u);
+  EXPECT_EQ(min[0], 0xAB);
+}
+
+// --- mini campaigns ----------------------------------------------------------
+
+TEST_F(FuzzTest, RunIoCampaignFindsNoContractViolations) {
+  const FuzzStats stats = run_fuzzer(mini("run-io", 3000));
+  EXPECT_TRUE(stats.ok()) << stats.render();
+  EXPECT_EQ(stats.execs, 3000u);
+  // The mutator must actually reach the parser: some inputs load, some
+  // get rejected, and more than one rejection message exists.
+  EXPECT_GT(stats.clean_errors, 0u);
+  EXPECT_GT(stats.clean_ok + stats.clean_prefix, 0u);
+  EXPECT_GT(stats.error_classes, 3u);
+}
+
+TEST_F(FuzzTest, FollowerCampaignFindsNoContractViolations) {
+  const FuzzStats stats = run_fuzzer(mini("follower", 800));
+  EXPECT_TRUE(stats.ok()) << stats.render();
+  EXPECT_EQ(stats.execs, 800u);
+}
+
+TEST_F(FuzzTest, RingCampaignFindsNoCounterViolations) {
+  const FuzzStats stats = run_fuzzer(mini("ring", 40));
+  EXPECT_TRUE(stats.ok()) << stats.render();
+  EXPECT_EQ(stats.execs, 40u);
+}
+
+TEST_F(FuzzTest, CampaignIsDeterministicForAFixedSeed) {
+  FuzzOptions o = mini("run-io", 500);
+  o.corpus_dir = dir_ + "/a";
+  const FuzzStats first = run_fuzzer(o);
+  o.corpus_dir = dir_ + "/b";
+  const FuzzStats second = run_fuzzer(o);
+  EXPECT_EQ(first.clean_ok, second.clean_ok);
+  EXPECT_EQ(first.clean_prefix, second.clean_prefix);
+  EXPECT_EQ(first.clean_errors, second.clean_errors);
+  EXPECT_EQ(first.error_classes, second.error_classes);
+}
+
+TEST_F(FuzzTest, UnknownTargetIsRejected) {
+  FuzzOptions o;
+  o.target = "nonsense";
+  EXPECT_THROW((void)run_fuzzer(o), Error);
+}
+
+TEST_F(FuzzTest, CommittedCorpusSeedsAreUsed) {
+  const std::string corpus =
+      std::string(DIOG_TEST_DATA_DIR) + "/dgtrace/corpus";
+  ASSERT_TRUE(fs::is_directory(corpus)) << corpus;
+  FuzzOptions o = mini("run-io", 400);
+  // Findings and artifacts would go to the corpus dir — run on a copy.
+  for (const auto& ent : fs::directory_iterator(corpus)) {
+    fs::copy_file(ent.path(), fs::path(dir_) / ent.path().filename());
+  }
+  const FuzzStats stats = run_fuzzer(o);
+  EXPECT_EQ(stats.corpus_inputs, 5u);
+  EXPECT_TRUE(stats.ok()) << stats.render();
+}
+
+// --- satellite 1: the committed regression inputs ----------------------------
+
+TEST(DgtraceRegression, CleanFilesLoadCleanly) {
+  evstore::RunFileInfo info;
+  const evstore::TraceRun mini =
+      evstore::open_run(data_file("mini_clean.dgtrace"),
+                        evstore::ReadMode::kAuto, &info);
+  EXPECT_TRUE(info.clean);
+  EXPECT_TRUE(info.finalized);
+  EXPECT_EQ(mini.store->size(), 4u);
+
+  const evstore::TraceRun multi =
+      evstore::open_run(data_file("mini_multichunk.dgtrace"),
+                        evstore::ReadMode::kAuto, &info);
+  EXPECT_TRUE(info.clean);
+  EXPECT_EQ(info.chunks, 2u);
+  EXPECT_EQ(multi.store->size(), 20u);
+}
+
+TEST(DgtraceRegression, TornTailLoadsAsPrefix) {
+  evstore::RunFileInfo info;
+  const evstore::TraceRun run =
+      evstore::open_run(data_file("torn_tail.dgtrace"),
+                        evstore::ReadMode::kAuto, &info);
+  EXPECT_FALSE(info.clean);
+  EXPECT_FALSE(info.finalized);
+  EXPECT_EQ(info.chunks, 1u);
+  EXPECT_EQ(run.store->size(), 6u);
+}
+
+TEST(DgtraceRegression, ZeroLengthChunkIsCorrupt) {
+  // Satellite 1: a complete zero-payload chunk is hard corruption — the
+  // writer can never emit one — and must not parse as an empty record.
+  EXPECT_THROW((void)evstore::open_run(data_file("zero_len_chunk.dgtrace")),
+               Error);
+}
+
+TEST(DgtraceRegression, UndersizedChunkIsCorrupt) {
+  EXPECT_THROW((void)evstore::open_run(data_file("undersized_chunk.dgtrace")),
+               Error);
+}
+
+TEST(DgtraceRegression, OverlappingChunksAreCorrupt) {
+  // Satellite 1: an event range that rewinds into the previous chunk's
+  // is self-overlapping data, distinct from a legitimate ring gap.
+  EXPECT_THROW((void)evstore::open_run(data_file("overlap_chunks.dgtrace")),
+               Error);
+}
+
+TEST(DgtraceRegression, ChecksumMismatchIsCorrupt) {
+  EXPECT_THROW((void)evstore::open_run(data_file("bad_checksum.dgtrace")),
+               Error);
+}
+
+TEST(DgtraceRegression, LyingFooterIsCorrupt) {
+  EXPECT_THROW((void)evstore::open_run(data_file("footer_mismatch.dgtrace")),
+               Error);
+}
+
+TEST(DgtraceRegression, TruncatedHeaderIsCorrupt) {
+  EXPECT_THROW((void)evstore::open_run(data_file("truncated_header.dgtrace")),
+               Error);
+}
+
+TEST(DgtraceRegression, BothReadModesAgreeOnEveryRegressionInput) {
+#if !defined(__unix__) && !defined(__APPLE__)
+  GTEST_SKIP() << "mmap unavailable";
+#endif
+  const char* names[] = {
+      "mini_clean.dgtrace",     "mini_multichunk.dgtrace",
+      "torn_tail.dgtrace",      "zero_len_chunk.dgtrace",
+      "undersized_chunk.dgtrace", "overlap_chunks.dgtrace",
+      "bad_checksum.dgtrace",   "footer_mismatch.dgtrace",
+      "truncated_header.dgtrace"};
+  for (const char* name : names) {
+    SCOPED_TRACE(name);
+    std::string stream_err;
+    std::string mmap_err;
+    std::uint64_t stream_events = 0;
+    std::uint64_t mmap_events = 0;
+    try {
+      stream_events = evstore::open_run(data_file(name),
+                                        evstore::ReadMode::kStream)
+                          .store->size();
+    } catch (const Error& e) {
+      stream_err = e.what();
+    }
+    try {
+      mmap_events =
+          evstore::open_run(data_file(name), evstore::ReadMode::kMmap)
+              .store->size();
+    } catch (const Error& e) {
+      mmap_err = e.what();
+    }
+    EXPECT_EQ(stream_err.empty(), mmap_err.empty());
+    EXPECT_EQ(stream_events, mmap_events);
+  }
+}
+
+}  // namespace
+}  // namespace diog::testkit

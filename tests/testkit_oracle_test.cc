@@ -1,0 +1,108 @@
+// The metamorphic oracle for the stage-5 analysis (ISSUE 4, leg 3),
+// exercised over every bundled example workload — pathological and
+// fixed variants — plus unit checks of the resharding transform the
+// persistence invariant depends on.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "apps/apps.h"
+#include "core/diogenes.h"
+#include "core/report.h"
+#include "eventstore/run_io.h"
+#include "testkit/oracle.h"
+
+namespace diog::testkit {
+namespace {
+
+namespace fs = std::filesystem;
+
+class OracleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::temp_directory_path() /
+            (std::string("diog_oracle_") + info->name()))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  OracleOptions opts() const {
+    OracleOptions o;
+    o.work_dir = dir_;
+    return o;
+  }
+
+  std::string dir_;
+};
+
+// The acceptance criterion: every invariant family holds on every
+// bundled workload. One test per app pair so failures name the app.
+class OracleAppTest : public OracleTest,
+                      public ::testing::WithParamInterface<std::size_t> {};
+
+TEST_P(OracleAppTest, InvariantsHoldOnPathologicalAndFixed) {
+  const apps::AppPair app = apps::all_apps().at(GetParam());
+  for (const ffm::Workload* w : {&app.pathological, &app.fixed}) {
+    ffm::Diogenes tool(*w, ffm::ToolConfig{});
+    const ffm::AnalysisResult r = tool.analyze();
+    const OracleReport report = check_analysis_invariants(r.run, opts());
+    EXPECT_TRUE(report.ok())
+        << app.name << " (" << w->name << "):\n"
+        << report.render();
+    EXPECT_GT(report.checks, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, OracleAppTest,
+                         ::testing::Range<std::size_t>(0, 4),
+                         [](const auto& info) {
+                           return apps::all_apps().at(info.param).name;
+                         });
+
+// --- resharding --------------------------------------------------------------
+
+TEST_F(OracleTest, ReshardingPreservesContentAcrossManyChunks) {
+  const apps::AppPair app = apps::all_apps().at(0);
+  ffm::Diogenes tool(app.pathological, ffm::ToolConfig{});
+  const ffm::AnalysisResult r = tool.analyze();
+  ASSERT_GT(r.run.store->size(), 600u);  // enough for several shards
+
+  const std::string path = dir_ + "/resharded.dgtrace";
+  reshard_run_to_file(r.run, path, /*period=*/257);
+
+  evstore::RunFileInfo info;
+  const evstore::TraceRun back =
+      evstore::open_run(path, evstore::ReadMode::kAuto, &info);
+  EXPECT_TRUE(info.clean);
+  EXPECT_TRUE(info.finalized);
+  EXPECT_GE(info.chunks, r.run.store->size() / 257);
+  ASSERT_EQ(back.store->size(), r.run.store->size());
+
+  // And the analysis of the resharded file is byte-identical.
+  const ffm::AnalysisResult again =
+      ffm::run_analysis(back, ffm::ToolConfig{});
+  EXPECT_EQ(ffm::export_json(again).dump(),
+            ffm::export_json(ffm::run_analysis(r.run, ffm::ToolConfig{}))
+                .dump());
+}
+
+TEST_F(OracleTest, OracleCountsChecksOnATrivialRun) {
+  // A run with no events still exercises the bounds and persistence
+  // families (zero problems, zero benefit) without tripping them.
+  evstore::TraceRun run;
+  run.meta.workload = "empty_wl";
+  run.meta.s1_exec = ms(5);
+  run.meta.s2_exec = ms(5);
+  run.meta.s3_exec = ms(5);
+  run.meta.s4_exec = ms(5);
+  const OracleReport report = check_analysis_invariants(run, opts());
+  EXPECT_TRUE(report.ok()) << report.render();
+  EXPECT_GT(report.checks, 0u);
+}
+
+}  // namespace
+}  // namespace diog::testkit
