@@ -52,6 +52,10 @@
 //                           forces an immediate checkpoint + heartbeat
 //   --heartbeat-ms <N>      heartbeat interval (default 1000)
 //   --checkpoint-ms <N>     min gap between timed checkpoints (500)
+//   --threads <N>           analysis/save/open thread count (default:
+//                           DIOG_THREADS, else hardware concurrency;
+//                           1 = fully serial). Output is byte-identical
+//                           at any thread count.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -71,6 +75,7 @@
 #include "eventstore/run_io.h"
 #include "obs/heartbeat.h"
 #include "obs/telemetry.h"
+#include "parallel/thread_pool.h"
 #include "support/error.h"
 #include "support/strings.h"
 #include "testkit/fuzz.h"
@@ -85,7 +90,7 @@ int usage() {
       "usage: diogenes [--verbose] [--misplaced-us N] [--telemetry FILE]\n"
       "                [--trace-dir DIR] [--retain-mb N] [--retain-events N]\n"
       "                [--live] [--heartbeat-ms N] [--checkpoint-ms N]\n"
-      "                <app> [command]\n"
+      "                [--threads N] <app> [command]\n"
       "       diogenes replay <dir> <workload> [command]\n"
       "       diogenes trace stat|dump|profile|analyze <file.dgtrace>\n"
       "       diogenes trace tail <file> [--jsonl] [--poll-ms N] [--once]\n"
@@ -240,6 +245,10 @@ int main(int argc, char** argv) {
                arg + 1 < argc) {
       cfg.checkpoint_interval_ms =
           static_cast<std::uint32_t>(std::strtoul(argv[arg + 1], nullptr, 10));
+      arg += 2;
+    } else if (std::strcmp(argv[arg], "--threads") == 0 && arg + 1 < argc) {
+      par::set_threads(
+          static_cast<std::size_t>(std::strtoul(argv[arg + 1], nullptr, 10)));
       arg += 2;
     } else {
       return usage();

@@ -11,6 +11,7 @@
 #include "core/stage4_syncuse.h"
 #include "eventstore/run_io.h"
 #include "obs/span.h"
+#include "parallel/thread_pool.h"
 #include "obs/telemetry.h"
 #include "support/error.h"
 
@@ -73,9 +74,19 @@ AnalysisResult run_analysis(const evstore::TraceRun& run,
   }
   {
     DIOG_SPAN("stage5.groupings");
-    r.single_points = single_point_groups(r.graph);
-    r.folds = folded_api_groups(r.graph);
-    r.sequences = sequence_groups(r.graph);
+    // The three grouping families are independent reads of the graph
+    // (each replays benefits on its own copy), so they fan out across
+    // the pool; sequence_groups' own parallel pass nests inline on a
+    // worker. Each result has a deterministic internal order, so the
+    // report is identical at any thread count.
+    par::parallel_for(3, [&](std::size_t task) {
+      switch (task) {
+        case 0: r.single_points = single_point_groups(r.graph); break;
+        case 1: r.folds = folded_api_groups(r.graph); break;
+        case 2: r.sequences = sequence_groups(r.graph); break;
+        default: break;
+      }
+    });
   }
 
   if (obs::Telemetry::enabled()) {

@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "parallel/thread_pool.h"
 #include "support/error.h"
 #include "support/strings.h"
 
@@ -241,11 +242,16 @@ std::vector<Group> sequence_groups(const ExecutionGraph& g,
 
   // Pass 3: estimate each merged sequence over the union of its
   // instances' nodes (one subset pass captures the cross-iteration
-  // interactions).
+  // interactions). The subset estimates are independent — each
+  // expected_benefit_subset call replays on its own copy of the graph —
+  // so they run in parallel; results land by index and group_order's
+  // deterministic tie-break keeps the final ordering thread-count
+  // invariant.
   std::vector<Group> out;
-  out.reserve(merged.size());
-  for (const std::string& sig : order) {
-    Group& grp = merged[sig];
+  out.reserve(order.size());
+  for (const std::string& sig : order) out.push_back(std::move(merged[sig]));
+  par::parallel_for(out.size(), [&](std::size_t k) {
+    Group& grp = out[k];
     std::vector<std::size_t> all_nodes;
     for (const auto& inst : grp.instances) {
       all_nodes.insert(all_nodes.end(), inst.begin(), inst.end());
@@ -255,8 +261,7 @@ std::vector<Group> sequence_groups(const ExecutionGraph& g,
     // Issue counts describe the sequence TEMPLATE (one instance), as the
     // paper's Figure 6 header does; instance_count() scales them.
     count_issues(g, grp);
-    out.push_back(std::move(grp));
-  }
+  });
 
   std::sort(out.begin(), out.end(), group_order);
   return out;

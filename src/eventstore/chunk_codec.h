@@ -1,0 +1,151 @@
+// Chunk payload/footer encoding shared by the incremental LiveRunWriter
+// and the parallel one-shot saver (run_io.cc save_run). One encoder
+// means the two writers cannot drift: a chunk is the same bytes whether
+// it was checkpointed live or encoded on a worker thread.
+//
+// Everything here is pure byte assembly — no I/O, no fault injection —
+// so encode_chunk_payload is safe to call concurrently for disjoint
+// chunks (it only reads the store).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "eventstore/event_store.h"
+#include "eventstore/run_format.h"
+#include "eventstore/schema.h"
+
+namespace diog::evstore::codec {
+
+inline void put_bytes(std::string& buf, const void* data, std::size_t n) {
+  buf.append(static_cast<const char*>(data), n);
+}
+inline void put_u8(std::string& buf, std::uint8_t v) { put_bytes(buf, &v, 1); }
+inline void put_u32(std::string& buf, std::uint32_t v) {
+  put_bytes(buf, &v, 4);
+}
+inline void put_i32(std::string& buf, std::int32_t v) { put_bytes(buf, &v, 4); }
+inline void put_u64(std::string& buf, std::uint64_t v) {
+  put_bytes(buf, &v, 8);
+}
+inline void put_i64(std::string& buf, std::int64_t v) { put_bytes(buf, &v, 8); }
+inline void put_str(std::string& buf, std::string_view s) {
+  put_u32(buf, static_cast<std::uint32_t>(s.size()));
+  put_bytes(buf, s.data(), s.size());
+}
+
+template <typename T>
+void put_column(std::string& buf, std::uint8_t tag, const Column<T>& col,
+                std::uint64_t rel_first, std::uint64_t count) {
+  put_u8(buf, tag);
+  put_u8(buf, static_cast<std::uint8_t>(sizeof(T)));
+  const std::size_t old = buf.size();
+  buf.resize(old + static_cast<std::size_t>(count) * sizeof(T));
+  if (count > 0) {
+    // copy_rows only memcpy's into the destination, so the unaligned
+    // in-buffer pointer is fine.
+    col.copy_rows(rel_first, count, reinterpret_cast<T*>(buf.data() + old));
+  }
+}
+
+// Dictionary entries this chunk carries: [from, to) in serialization
+// order. The live writer passes its high-water marks; the one-shot
+// saver puts every entry in chunk 0 and empty ranges after that.
+struct DictRange {
+  std::uint32_t frames_from = 0, frames_to = 0;
+  std::uint32_t stacks_from = 1, stacks_to = 1;  // id 0 is implicit
+  std::uint32_t names_from = 1, names_to = 1;    // id 0 is implicit
+};
+
+// One chunk payload: meta + dictionary deltas + column slices for
+// events [chunk_first, chunk_first + count) of the append stream, where
+// `rel_first` is that range's start row in the store's resident window.
+inline std::string encode_chunk_payload(const EventStore& store,
+                                        std::string_view meta_json,
+                                        const DictRange& dicts,
+                                        std::uint64_t chunk_first,
+                                        std::uint64_t count,
+                                        std::uint64_t rel_first) {
+  std::string payload;
+  put_u64(payload, meta_json.size());
+  put_bytes(payload, meta_json.data(), meta_json.size());
+
+  const StackDict& stacks = store.stacks();
+  put_u32(payload, dicts.frames_to - dicts.frames_from);
+  for (std::uint32_t i = dicts.frames_from; i < dicts.frames_to; ++i) {
+    const trace::Frame* f = stacks.frame_at(i);
+    put_str(payload, f->function);
+    put_str(payload, f->file);
+    put_i32(payload, f->line);
+  }
+
+  put_u32(payload, dicts.stacks_to - dicts.stacks_from);
+  for (StackId id = dicts.stacks_from; id < dicts.stacks_to; ++id) {
+    const auto depth = static_cast<std::uint32_t>(stacks.depth(id));
+    put_u32(payload, depth);
+    for (std::uint32_t d = 0; d < depth; ++d) {
+      put_u32(payload,
+              static_cast<std::uint32_t>(stacks.stack_frame_id(id, d)));
+    }
+  }
+
+  put_u32(payload, dicts.names_to - dicts.names_from);
+  for (NameId id = dicts.names_from; id < dicts.names_to; ++id) {
+    put_str(payload, store.name(id));
+  }
+
+  put_u64(payload, chunk_first);
+  put_u64(payload, count);
+  put_u8(payload, static_cast<std::uint8_t>(format::kColumnCount));
+  put_column(payload, 0, store.col_kind(), rel_first, count);
+  put_column(payload, 1, store.col_api(), rel_first, count);
+  put_column(payload, 2, store.col_flags(), rel_first, count);
+  put_column(payload, 3, store.col_stream(), rel_first, count);
+  put_column(payload, 4, store.col_stack(), rel_first, count);
+  put_column(payload, 5, store.col_aux_stack(), rel_first, count);
+  put_column(payload, 6, store.col_name(), rel_first, count);
+  put_column(payload, 7, store.col_op_index(), rel_first, count);
+  put_column(payload, 8, store.col_t_start(), rel_first, count);
+  put_column(payload, 9, store.col_t_end(), rel_first, count);
+  put_column(payload, 10, store.col_aux_time(), rel_first, count);
+  put_column(payload, 11, store.col_gpu_time(), rel_first, count);
+  put_column(payload, 12, store.col_bytes(), rel_first, count);
+  put_column(payload, 13, store.col_value(), rel_first, count);
+  put_column(payload, 14, store.col_link(), rel_first, count);
+  return payload;
+}
+
+// The 12-byte chunk envelope (magic + payload length).
+inline std::string encode_chunk_envelope(const std::string& payload) {
+  std::string envelope;
+  put_u32(envelope, format::kChunkMagic);
+  put_u64(envelope, payload.size());
+  return envelope;
+}
+
+// The 8-byte payload checksum trailer.
+inline std::string encode_chunk_checksum(const std::string& payload) {
+  std::string tail;
+  put_u64(tail,
+          format::fnv1a(format::kFnvSeed, payload.data(), payload.size()));
+  return tail;
+}
+
+inline std::string encode_footer(bool final, std::uint64_t events,
+                                 std::uint64_t chunks,
+                                 std::int64_t wall_ms) {
+  std::string footer;
+  put_u32(footer, format::kFooterMagic);
+  put_u32(footer, final ? format::kFooterFlagFinal : 0u);
+  put_u64(footer, events);
+  put_u64(footer, chunks);
+  put_i64(footer, wall_ms);
+  const std::uint64_t checksum =
+      format::fnv1a(format::kFnvSeed, footer.data(), footer.size());
+  put_u64(footer, checksum);
+  put_bytes(footer, format::kEndMagic, sizeof(format::kEndMagic));
+  return footer;
+}
+
+}  // namespace diog::evstore::codec

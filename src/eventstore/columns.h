@@ -23,6 +23,10 @@
 namespace diog::evstore {
 
 inline constexpr std::size_t kSegmentRows = 64 * 1024;
+// Pushdown-statistics granularity inside a segment (event_store.h
+// block_stats): must divide kSegmentRows.
+inline constexpr std::size_t kBlockRows = 4 * 1024;
+static_assert(kSegmentRows % kBlockRows == 0);
 
 template <typename T>
 class Column {
@@ -76,6 +80,36 @@ class Column {
       std::memcpy(segments_.back().get() + slot, src + done,
                   static_cast<std::size_t>(take) * sizeof(T));
       size_ += take;
+      done += take;
+    }
+  }
+
+  // Grows the column to `new_size` rows, allocating segments up front.
+  // Serial (single caller); pairs with write_rows for the run reader's
+  // parallel decode: once the segments exist, disjoint row ranges may
+  // be filled from different threads.
+  void grow_rows(std::uint64_t new_size) {
+    while (segments_.size() * kSegmentRows < new_size) {
+      segments_.push_back(spare_ ? std::move(spare_)
+                                 : std::make_unique<T[]>(kSegmentRows));
+    }
+    size_ = new_size;
+  }
+
+  // Fills rows [first, first + count) from `src`. The rows must already
+  // exist (grow_rows). Thread-safe for disjoint ranges: only memcpy
+  // into preallocated segments.
+  void write_rows(std::uint64_t first, const T* src, std::uint64_t count) {
+    std::uint64_t done = 0;
+    while (done < count) {
+      const std::uint64_t i = first + done;
+      const std::size_t seg = static_cast<std::size_t>(i / kSegmentRows);
+      const std::size_t slot = static_cast<std::size_t>(i % kSegmentRows);
+      const std::uint64_t room = kSegmentRows - slot;
+      const std::uint64_t take =
+          count - done < room ? count - done : room;
+      std::memcpy(segments_[seg].get() + slot, src + done,
+                  static_cast<std::size_t>(take) * sizeof(T));
       done += take;
     }
   }

@@ -1,5 +1,7 @@
 #include "eventstore/cursor.h"
 
+#include <algorithm>
+
 namespace diog::evstore {
 
 bool Cursor::segment_may_match(const EventStore::SegmentStats& st) const {
@@ -14,7 +16,7 @@ bool Cursor::segment_may_match(const EventStore::SegmentStats& st) const {
 }
 
 bool Cursor::next(Event& out) {
-  const std::uint64_t n = store_->size();
+  const std::uint64_t n = std::min(store_->size(), end_);
   while (pos_ < n) {
     if (pos_ % kSegmentRows == 0) {
       // Segment boundary: probe the stats before touching any column.
@@ -22,6 +24,17 @@ bool Cursor::next(Event& out) {
       if (!segment_may_match(st)) {
         ++segments_skipped_;
         pos_ += kSegmentRows;
+        continue;
+      }
+    }
+    if (pos_ % kBlockRows == 0) {
+      // The segment as a whole may match; the block might still not
+      // (mixed-kind segments, e.g. a stage boundary or a sub-segment
+      // store).
+      const auto& bst = store_->block_stats(pos_ / kBlockRows);
+      if (!segment_may_match(bst)) {
+        ++blocks_skipped_;
+        pos_ += kBlockRows;
         continue;
       }
     }

@@ -52,12 +52,26 @@ class Cursor {
     return *this;
   }
 
+  // Restricts iteration to rows [begin, end) of the store's resident
+  // window (end is clamped to the store size at iteration time). The
+  // segment-parallel scan uses this to hand each shard a disjoint,
+  // segment-aligned range; stats probes still fire only on block and
+  // segment boundaries, so an unaligned begin simply scans rows until
+  // the next boundary.
+  Cursor& limit_rows(std::uint64_t begin, std::uint64_t end) {
+    begin_ = begin;
+    end_ = end;
+    pos_ = begin;
+    return *this;
+  }
+
   // --- Iteration ----------------------------------------------------------
   // Advances to the next matching row; returns false at end-of-store.
   bool next(Event& out);
   void reset() {
-    pos_ = 0;
+    pos_ = begin_;
     segments_skipped_ = 0;
+    blocks_skipped_ = 0;
   }
 
   // Consumes the remainder of the cursor.
@@ -78,6 +92,11 @@ class Cursor {
   [[nodiscard]] std::uint64_t segments_skipped() const {
     return segments_skipped_;
   }
+  // Number of kBlockRows-row blocks rejected by the finer-grained probe
+  // (inside segments the segment probe could not rule out).
+  [[nodiscard]] std::uint64_t blocks_skipped() const {
+    return blocks_skipped_;
+  }
 
  private:
   [[nodiscard]] bool segment_may_match(const EventStore::SegmentStats& st)
@@ -85,7 +104,10 @@ class Cursor {
 
   const EventStore* store_;
   std::uint64_t pos_ = 0;
+  std::uint64_t begin_ = 0;
+  std::uint64_t end_ = std::numeric_limits<std::uint64_t>::max();
   std::uint64_t segments_skipped_ = 0;
+  std::uint64_t blocks_skipped_ = 0;
 
   std::uint32_t kinds_mask_ = ~0u;
   std::uint32_t flags_all_ = 0;

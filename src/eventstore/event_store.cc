@@ -1,9 +1,11 @@
 #include "eventstore/event_store.h"
 
 #include <algorithm>
+#include <array>
 #include <new>
 
 #include "obs/telemetry.h"
+#include "parallel/thread_pool.h"
 #include "support/error.h"
 #include "testkit/fault_plan.h"
 
@@ -216,6 +218,8 @@ void EventStore::evict_front_segment() {
   value_.drop_front_segment();
   link_.drop_front_segment();
   stats_.erase(stats_.begin());
+  block_stats_.erase(block_stats_.begin(),
+                     block_stats_.begin() + kSegmentRows / kBlockRows);
 
   for (std::size_t k = 0; k < kEventKindCount; ++k) {
     if (by_kind[k] != 0) {
@@ -308,12 +312,14 @@ void EventStore::append(const Event& e) {
     stats_.emplace_back();
     note_segment_metrics();
   }
-  SegmentStats& st = stats_.back();
-  st.kinds_mask |= 1u << static_cast<std::uint32_t>(e.kind);
-  st.flags_or |= e.flags;
-  if (e.api < 64) st.api_mask |= 1ull << e.api;
-  st.min_t = std::min(st.min_t, e.t_start);
-  st.max_t = std::max(st.max_t, e.t_start);
+  if (size() % kBlockRows == 0) block_stats_.emplace_back();
+  for (SegmentStats* st : {&stats_.back(), &block_stats_.back()}) {
+    st->kinds_mask |= 1u << static_cast<std::uint32_t>(e.kind);
+    st->flags_or |= e.flags;
+    if (e.api < 64) st->api_mask |= 1ull << e.api;
+    st->min_t = std::min(st->min_t, e.t_start);
+    st->max_t = std::max(st->max_t, e.t_start);
+  }
   per_kind_[static_cast<std::size_t>(e.kind)].fetch_add(
       1, std::memory_order_relaxed);
   size_.fetch_add(1, std::memory_order_release);
@@ -375,36 +381,113 @@ void EventStore::BulkLoader::load(
   store.size_.fetch_add(n, std::memory_order_release);
 }
 
+void EventStore::BulkLoader::reserve(std::uint64_t extra) {
+  const std::uint64_t total = store.size() + extra;
+  store.kind_.grow_rows(total);
+  store.api_.grow_rows(total);
+  store.flags_.grow_rows(total);
+  store.stream_.grow_rows(total);
+  store.stack_.grow_rows(total);
+  store.aux_stack_.grow_rows(total);
+  store.name_.grow_rows(total);
+  store.op_index_.grow_rows(total);
+  store.t_start_.grow_rows(total);
+  store.t_end_.grow_rows(total);
+  store.aux_time_.grow_rows(total);
+  store.gpu_time_.grow_rows(total);
+  store.bytes_.grow_rows(total);
+  store.value_.grow_rows(total);
+  store.link_.grow_rows(total);
+  store.size_.store(total, std::memory_order_release);
+}
+
+void EventStore::BulkLoader::load_at(
+    std::uint64_t row, const std::uint8_t* kind, const std::uint16_t* api,
+    const std::uint32_t* flags, const std::uint32_t* stream,
+    const std::uint32_t* stack, const std::uint32_t* aux_stack,
+    const std::uint32_t* name, const std::uint64_t* op_index,
+    const std::int64_t* t_start, const std::int64_t* t_end,
+    const std::int64_t* aux_time, const std::int64_t* gpu_time,
+    const std::uint64_t* bytes, const std::uint64_t* value,
+    const std::uint64_t* link, std::uint64_t n) {
+  // Mirrors append()'s injection point: the parallel decode "allocates"
+  // its share of the reserved segments here, so an armed
+  // event_store.segment_alloc fault fires on the worker thread that
+  // would have owned the allocation.
+  if (const testkit::FaultSpec* spec =
+          testkit::fault_at("event_store.segment_alloc")) {
+    if (spec->action == testkit::FaultAction::kBadAlloc) {
+      throw std::bad_alloc();
+    }
+    throw Error("event store segment allocation failed (injected fault)");
+  }
+  store.kind_.write_rows(row, kind, n);
+  store.api_.write_rows(row, api, n);
+  store.flags_.write_rows(row, flags, n);
+  store.stream_.write_rows(row, stream, n);
+  store.stack_.write_rows(row, stack, n);
+  store.aux_stack_.write_rows(row, aux_stack, n);
+  store.name_.write_rows(row, name, n);
+  store.op_index_.write_rows(row, op_index, n);
+  store.t_start_.write_rows(row, t_start, n);
+  store.t_end_.write_rows(row, t_end, n);
+  store.aux_time_.write_rows(row, aux_time, n);
+  store.gpu_time_.write_rows(row, gpu_time, n);
+  store.bytes_.write_rows(row, bytes, n);
+  store.value_.write_rows(row, value, n);
+  store.link_.write_rows(row, link, n);
+}
+
 void EventStore::finish_bulk_load() {
-  // Validate column agreement, then derive segment stats and per-kind
-  // counts in one columnar pass.
+  // Validate column agreement, then derive block/segment stats and
+  // per-kind counts. Each segment's pass is independent, so the rebuild
+  // fans out over the pool; per-kind totals are reduced in segment
+  // order afterwards (sums — order-invariant, kept ordered anyway).
   const std::uint64_t n = size();
   DIOG_CHECK(kind_.size() == n && link_.size() == n && t_start_.size() == n,
              "column length mismatch after load");
-  stats_.clear();
+  const std::size_t segs =
+      static_cast<std::size_t>((n + kSegmentRows - 1) / kSegmentRows);
+  stats_.assign(segs, SegmentStats{});
+  block_stats_.assign(
+      static_cast<std::size_t>((n + kBlockRows - 1) / kBlockRows),
+      SegmentStats{});
   for (auto& c : per_kind_) c.store(0, std::memory_order_relaxed);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    if (i % kSegmentRows == 0) {
-      stats_.emplace_back();
-      note_segment_metrics();
+  std::vector<std::array<std::uint64_t, kEventKindCount>> seg_kinds(
+      segs, std::array<std::uint64_t, kEventKindCount>{});
+  par::parallel_for(segs, [&](std::size_t s) {
+    SegmentStats& st = stats_[s];
+    const std::uint64_t lo = static_cast<std::uint64_t>(s) * kSegmentRows;
+    const std::uint64_t hi = std::min<std::uint64_t>(n, lo + kSegmentRows);
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      const auto kind_raw = kind_.get(i);
+      DIOG_CHECK(kind_raw < kEventKindCount, "run file has bad event kind");
+      const std::uint32_t stack_id = stack_.get(i);
+      const std::uint32_t aux_id = aux_stack_.get(i);
+      DIOG_CHECK(stack_id < stacks_dict_.stack_count() &&
+                     aux_id < stacks_dict_.stack_count(),
+                 "run file references unknown stack");
+      DIOG_CHECK(name_.get(i) < names_.size(),
+                 "run file references unknown name");
+      SegmentStats& bst = block_stats_[i / kBlockRows];
+      const std::uint32_t flags = flags_.get(i);
+      const std::int64_t t = t_start_.get(i);
+      const std::uint16_t api = api_.get(i);
+      for (SegmentStats* dst : {&st, &bst}) {
+        dst->kinds_mask |= 1u << kind_raw;
+        dst->flags_or |= flags;
+        if (api < 64) dst->api_mask |= 1ull << api;
+        dst->min_t = std::min(dst->min_t, t);
+        dst->max_t = std::max(dst->max_t, t);
+      }
+      ++seg_kinds[s][kind_raw];
     }
-    SegmentStats& st = stats_.back();
-    const auto kind_raw = kind_.get(i);
-    DIOG_CHECK(kind_raw < kEventKindCount, "run file has bad event kind");
-    const std::uint32_t stack_id = stack_.get(i);
-    const std::uint32_t aux_id = aux_stack_.get(i);
-    DIOG_CHECK(stack_id < stacks_dict_.stack_count() &&
-                   aux_id < stacks_dict_.stack_count(),
-               "run file references unknown stack");
-    DIOG_CHECK(name_.get(i) < names_.size(),
-               "run file references unknown name");
-    st.kinds_mask |= 1u << kind_raw;
-    st.flags_or |= flags_.get(i);
-    const std::uint16_t api = api_.get(i);
-    if (api < 64) st.api_mask |= 1ull << api;
-    st.min_t = std::min(st.min_t, t_start_.get(i));
-    st.max_t = std::max(st.max_t, t_start_.get(i));
-    per_kind_[kind_raw].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t s = 0; s < segs; ++s) {
+    note_segment_metrics();
+    for (std::size_t k = 0; k < kEventKindCount; ++k) {
+      per_kind_[k].fetch_add(seg_kinds[s][k], std::memory_order_relaxed);
+    }
   }
 }
 

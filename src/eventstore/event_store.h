@@ -183,6 +183,16 @@ class EventStore {
   [[nodiscard]] const SegmentStats& segment_stats(std::size_t s) const {
     return stats_[s];
   }
+  // Sub-segment pushdown: the same statistics per kBlockRows-row block,
+  // so a filtered scan can skip runs of rows inside a segment that
+  // mixes kinds (a store smaller than one segment is the common case
+  // where segment-level stats alone can never skip anything).
+  [[nodiscard]] std::size_t block_count() const {
+    return block_stats_.size();
+  }
+  [[nodiscard]] const SegmentStats& block_stats(std::size_t b) const {
+    return block_stats_[b];
+  }
 
   // --- Column access (cursors and the run writer) -------------------------
   [[nodiscard]] const Column<std::uint8_t>& col_kind() const { return kind_; }
@@ -262,6 +272,7 @@ class EventStore {
   std::unordered_map<std::string, NameId> name_index_;
 
   std::vector<SegmentStats> stats_;
+  std::vector<SegmentStats> block_stats_;
   // Atomics so the heartbeat thread can sample counts live; all writes
   // still come from the single appending thread.
   std::atomic<std::uint64_t> size_{0};
@@ -288,6 +299,21 @@ struct EventStore::BulkLoader {
             const std::int64_t* aux_time, const std::int64_t* gpu_time,
             const std::uint64_t* bytes, const std::uint64_t* value,
             const std::uint64_t* link, std::uint64_t n);
+
+  // Parallel decode path: reserve() grows every column by `extra` rows
+  // in one serial step, then load_at() fills disjoint row ranges — safe
+  // to call from different threads concurrently because it only
+  // memcpy's into the reserved segments.
+  void reserve(std::uint64_t extra);
+  void load_at(std::uint64_t row, const std::uint8_t* kind,
+               const std::uint16_t* api, const std::uint32_t* flags,
+               const std::uint32_t* stream, const std::uint32_t* stack,
+               const std::uint32_t* aux_stack, const std::uint32_t* name,
+               const std::uint64_t* op_index, const std::int64_t* t_start,
+               const std::int64_t* t_end, const std::int64_t* aux_time,
+               const std::int64_t* gpu_time, const std::uint64_t* bytes,
+               const std::uint64_t* value, const std::uint64_t* link,
+               std::uint64_t n);
 };
 
 }  // namespace diog::evstore

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include "eventstore/chunk_codec.h"
 #include "eventstore/run_format.h"
 #include "obs/telemetry.h"
 #include "support/error.h"
@@ -21,32 +22,8 @@ namespace diog::evstore {
 
 namespace {
 
-void put_bytes(std::string& buf, const void* data, std::size_t n) {
-  buf.append(static_cast<const char*>(data), n);
-}
-void put_u8(std::string& buf, std::uint8_t v) { put_bytes(buf, &v, 1); }
-void put_u32(std::string& buf, std::uint32_t v) { put_bytes(buf, &v, 4); }
-void put_i32(std::string& buf, std::int32_t v) { put_bytes(buf, &v, 4); }
-void put_u64(std::string& buf, std::uint64_t v) { put_bytes(buf, &v, 8); }
-void put_i64(std::string& buf, std::int64_t v) { put_bytes(buf, &v, 8); }
-void put_str(std::string& buf, std::string_view s) {
-  put_u32(buf, static_cast<std::uint32_t>(s.size()));
-  put_bytes(buf, s.data(), s.size());
-}
-
-template <typename T>
-void put_column(std::string& buf, std::uint8_t tag, const Column<T>& col,
-                std::uint64_t rel_first, std::uint64_t count) {
-  put_u8(buf, tag);
-  put_u8(buf, static_cast<std::uint8_t>(sizeof(T)));
-  const std::size_t old = buf.size();
-  buf.resize(old + static_cast<std::size_t>(count) * sizeof(T));
-  if (count > 0) {
-    // copy_rows only memcpy's into the destination, so the unaligned
-    // in-buffer pointer is fine.
-    col.copy_rows(rel_first, count, reinterpret_cast<T*>(buf.data() + old));
-  }
-}
+using codec::put_bytes;
+using codec::put_u32;
 
 std::int64_t wall_clock_ms() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -135,56 +112,16 @@ bool LiveRunWriter::write_chunk(const TraceRun& run, bool force) {
     return false;
   }
 
-  std::string payload;
-  put_u64(payload, meta_json.size());
-  put_bytes(payload, meta_json.data(), meta_json.size());
-
-  put_u32(payload, frame_count - frames_written_);
-  for (std::uint32_t i = frames_written_; i < frame_count; ++i) {
-    const trace::Frame* f = stacks.frame_at(i);
-    put_str(payload, f->function);
-    put_str(payload, f->file);
-    put_i32(payload, f->line);
-  }
-
-  put_u32(payload, stack_count - stacks_written_);
-  for (StackId id = stacks_written_; id < stack_count; ++id) {
-    const auto depth = static_cast<std::uint32_t>(stacks.depth(id));
-    put_u32(payload, depth);
-    for (std::uint32_t d = 0; d < depth; ++d) {
-      put_u32(payload,
-              static_cast<std::uint32_t>(stacks.stack_frame_id(id, d)));
-    }
-  }
-
-  put_u32(payload, name_count - names_written_);
-  for (NameId id = names_written_; id < name_count; ++id) {
-    put_str(payload, store.name(id));
-  }
-
-  put_u64(payload, chunk_first);
-  put_u64(payload, count);
-  put_u8(payload, static_cast<std::uint8_t>(format::kColumnCount));
-  const std::uint64_t rel = chunk_first - first_avail;
-  put_column(payload, 0, store.col_kind(), rel, count);
-  put_column(payload, 1, store.col_api(), rel, count);
-  put_column(payload, 2, store.col_flags(), rel, count);
-  put_column(payload, 3, store.col_stream(), rel, count);
-  put_column(payload, 4, store.col_stack(), rel, count);
-  put_column(payload, 5, store.col_aux_stack(), rel, count);
-  put_column(payload, 6, store.col_name(), rel, count);
-  put_column(payload, 7, store.col_op_index(), rel, count);
-  put_column(payload, 8, store.col_t_start(), rel, count);
-  put_column(payload, 9, store.col_t_end(), rel, count);
-  put_column(payload, 10, store.col_aux_time(), rel, count);
-  put_column(payload, 11, store.col_gpu_time(), rel, count);
-  put_column(payload, 12, store.col_bytes(), rel, count);
-  put_column(payload, 13, store.col_value(), rel, count);
-  put_column(payload, 14, store.col_link(), rel, count);
-
-  std::string envelope;
-  put_u32(envelope, format::kChunkMagic);
-  put_u64(envelope, payload.size());
+  const codec::DictRange dicts{.frames_from = frames_written_,
+                               .frames_to = frame_count,
+                               .stacks_from = stacks_written_,
+                               .stacks_to = stack_count,
+                               .names_from = names_written_,
+                               .names_to = name_count};
+  const std::string payload = codec::encode_chunk_payload(
+      store, meta_json, dicts, chunk_first, count,
+      chunk_first - first_avail);
+  const std::string envelope = codec::encode_chunk_envelope(payload);
 
   DIOG_CHECK(std::fseek(f_, static_cast<long>(data_end_), SEEK_SET) == 0,
              "seek failed for run file: " + path_);
@@ -207,10 +144,7 @@ bool LiveRunWriter::write_chunk(const TraceRun& run, bool force) {
   };
   write_all(envelope);
   write_all(payload);
-  const std::uint64_t checksum =
-      format::fnv1a(format::kFnvSeed, payload.data(), payload.size());
-  std::string tail;
-  put_u64(tail, checksum);
+  const std::string tail = codec::encode_chunk_checksum(payload);
   write_all(tail);
   // The chunk must be on disk (at least in the page cache, in order)
   // before the footer describes it.
@@ -235,16 +169,10 @@ bool LiveRunWriter::write_chunk(const TraceRun& run, bool force) {
 }
 
 void LiveRunWriter::write_footer(bool final) {
-  std::string footer;
-  put_u32(footer, format::kFooterMagic);
-  put_u32(footer, final ? format::kFooterFlagFinal : 0u);
-  put_u64(footer, next_event_);
-  put_u64(footer, chunks_);
-  put_i64(footer, wall_clock_ms());
-  const std::uint64_t checksum =
-      format::fnv1a(format::kFnvSeed, footer.data(), footer.size());
-  put_u64(footer, checksum);
-  put_bytes(footer, format::kEndMagic, sizeof(format::kEndMagic));
+  const std::int64_t wall_ms =
+      opts_.footer_wall_ms >= 0 ? opts_.footer_wall_ms : wall_clock_ms();
+  const std::string footer =
+      codec::encode_footer(final, next_event_, chunks_, wall_ms);
   DIOG_CHECK(footer.size() == format::kFooterBytes,
              "internal: footer size mismatch");
 

@@ -31,6 +31,10 @@ class LiveRunWriter {
  public:
   struct Options {
     bool fsync_checkpoints = true;
+    // Footer wall-clock override (milliseconds since epoch); -1 stamps
+    // the real clock. Pinning it makes repeated saves of the same run
+    // byte-identical — the determinism oracle relies on this.
+    std::int64_t footer_wall_ms = -1;
   };
 
   // Opens (truncates) the file and writes the header. Throws on I/O

@@ -1,0 +1,96 @@
+// Segment-parallel scans over the event store.
+//
+// A scan shards the resident row window on segment boundaries, runs one
+// predicate-pushdown cursor per shard (each shard probes its own
+// segment/block stats independently), and merges the per-shard partial
+// results in segment order — so the merged output is byte-for-byte the
+// append-order result a serial cursor would produce, at any thread
+// count. Requires that appending is done (the store's reader contract).
+#pragma once
+
+#include <vector>
+
+#include "eventstore/cursor.h"
+#include "parallel/thread_pool.h"
+
+namespace diog::evstore {
+
+// Pushdown effectiveness aggregated across shards.
+struct ScanStats {
+  std::uint64_t segments_skipped = 0;
+  std::uint64_t blocks_skipped = 0;
+};
+
+// Runs `shard_fn(cursor, shard_index)` once per shard, where `cursor`
+// is a copy of `proto` bounded to that shard's segment-aligned row
+// range. Returns one result per shard, in segment order. `proto` keeps
+// its predicates but any limit_rows on it is replaced per shard.
+template <typename T, typename ShardFn>
+std::vector<T> scan_shards(const EventStore& store, const Cursor& proto,
+                           ShardFn&& shard_fn, ScanStats* stats = nullptr,
+                           std::size_t segments_per_shard = 1) {
+  const std::uint64_t n = store.size();
+  if (segments_per_shard == 0) segments_per_shard = 1;
+  const std::uint64_t rows_per_shard =
+      static_cast<std::uint64_t>(segments_per_shard) * kSegmentRows;
+  const std::size_t shards =
+      n == 0 ? 0
+             : static_cast<std::size_t>((n + rows_per_shard - 1) /
+                                        rows_per_shard);
+  std::vector<T> out(shards);
+  std::vector<ScanStats> shard_stats(stats != nullptr ? shards : 0);
+  par::parallel_for(shards, [&](std::size_t s) {
+    Cursor c = proto;
+    c.limit_rows(static_cast<std::uint64_t>(s) * rows_per_shard,
+                 std::min<std::uint64_t>(
+                     n, (static_cast<std::uint64_t>(s) + 1) *
+                            rows_per_shard));
+    out[s] = shard_fn(c, s);
+    if (stats != nullptr) {
+      shard_stats[s] = {c.segments_skipped(), c.blocks_skipped()};
+    }
+  });
+  if (stats != nullptr) {
+    for (const ScanStats& st : shard_stats) {
+      stats->segments_skipped += st.segments_skipped;
+      stats->blocks_skipped += st.blocks_skipped;
+    }
+  }
+  return out;
+}
+
+// Parallel Cursor::count(): total matching rows.
+inline std::uint64_t parallel_count(const EventStore& store,
+                                    const Cursor& proto,
+                                    ScanStats* stats = nullptr) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : scan_shards<std::uint64_t>(
+           store, proto,
+           [](Cursor& cur, std::size_t) { return cur.count(); }, stats)) {
+    total += c;
+  }
+  return total;
+}
+
+// Parallel collect: matching events, in append order (per-shard vectors
+// concatenated in segment order).
+inline std::vector<Event> parallel_collect(const EventStore& store,
+                                           const Cursor& proto,
+                                           ScanStats* stats = nullptr) {
+  std::vector<std::vector<Event>> parts = scan_shards<std::vector<Event>>(
+      store, proto,
+      [](Cursor& cur, std::size_t) {
+        std::vector<Event> shard;
+        cur.for_each([&](const Event& e) { shard.push_back(e); });
+        return shard;
+      },
+      stats);
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  std::vector<Event> out;
+  out.reserve(total);
+  for (auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+}  // namespace diog::evstore

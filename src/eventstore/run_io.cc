@@ -1,13 +1,18 @@
 #include "eventstore/run_io.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <new>
 #include <vector>
 
+#include "eventstore/chunk_codec.h"
 #include "eventstore/live_writer.h"
 #include "eventstore/run_format.h"
 #include "obs/telemetry.h"
+#include "parallel/thread_pool.h"
 #include "support/error.h"
 #include "testkit/fault_plan.h"
 
@@ -70,17 +75,30 @@ struct Slice {
   }
 };
 
+// One chunk's column data, parsed but not yet copied into the store.
+// The pointers alias the mapped/buffered file, which outlives the
+// parse, so a batch of these can be loaded in parallel afterwards.
+struct PendingLoad {
+  const unsigned char* cols[fmt::kColumnCount] = {};
+  std::uint64_t count = 0;
+  std::uint64_t row = 0;  // destination row in the rebuilt store
+};
+
 // Accumulates chunks into one TraceRun. Dictionaries and columns are
 // incremental across chunks (see run_io.h); the parser tracks where the
 // append stream left off so index gaps (ring drops) are accounted.
+// When `pending` is given, apply() parses and validates the chunk but
+// defers the column copy into *pending (the parallel open path); when
+// it is null the columns are loaded immediately (the follower path).
 struct ChunkParser {
   TraceRun run;
   std::uint64_t next_expected = 0;  // absolute stream index after last chunk
   std::uint64_t dropped_gaps = 0;
   std::uint64_t chunks = 0;
+  std::uint64_t resident_rows = 0;  // rows parsed so far (row offsets)
   bool dirty = false;  // columns loaded since the last finish_bulk_load
 
-  void apply(Slice payload) {
+  void apply(Slice payload, PendingLoad* pending = nullptr) {
     EventStore& store = *run.store;
 
     const std::uint64_t meta_len = payload.get_u64();
@@ -162,24 +180,31 @@ struct ChunkParser {
     }
 
     if (event_count > 0) {
-      EventStore::BulkLoader{store}.load(
-          reinterpret_cast<const std::uint8_t*>(cols[0]),
-          reinterpret_cast<const std::uint16_t*>(cols[1]),
-          reinterpret_cast<const std::uint32_t*>(cols[2]),
-          reinterpret_cast<const std::uint32_t*>(cols[3]),
-          reinterpret_cast<const std::uint32_t*>(cols[4]),
-          reinterpret_cast<const std::uint32_t*>(cols[5]),
-          reinterpret_cast<const std::uint32_t*>(cols[6]),
-          reinterpret_cast<const std::uint64_t*>(cols[7]),
-          reinterpret_cast<const std::int64_t*>(cols[8]),
-          reinterpret_cast<const std::int64_t*>(cols[9]),
-          reinterpret_cast<const std::int64_t*>(cols[10]),
-          reinterpret_cast<const std::int64_t*>(cols[11]),
-          reinterpret_cast<const std::uint64_t*>(cols[12]),
-          reinterpret_cast<const std::uint64_t*>(cols[13]),
-          reinterpret_cast<const std::uint64_t*>(cols[14]), event_count);
-      dirty = true;
+      if (pending != nullptr) {
+        std::copy(cols, cols + fmt::kColumnCount, pending->cols);
+        pending->count = event_count;
+        pending->row = resident_rows;
+      } else {
+        EventStore::BulkLoader{store}.load(
+            reinterpret_cast<const std::uint8_t*>(cols[0]),
+            reinterpret_cast<const std::uint16_t*>(cols[1]),
+            reinterpret_cast<const std::uint32_t*>(cols[2]),
+            reinterpret_cast<const std::uint32_t*>(cols[3]),
+            reinterpret_cast<const std::uint32_t*>(cols[4]),
+            reinterpret_cast<const std::uint32_t*>(cols[5]),
+            reinterpret_cast<const std::uint32_t*>(cols[6]),
+            reinterpret_cast<const std::uint64_t*>(cols[7]),
+            reinterpret_cast<const std::int64_t*>(cols[8]),
+            reinterpret_cast<const std::int64_t*>(cols[9]),
+            reinterpret_cast<const std::int64_t*>(cols[10]),
+            reinterpret_cast<const std::int64_t*>(cols[11]),
+            reinterpret_cast<const std::uint64_t*>(cols[12]),
+            reinterpret_cast<const std::uint64_t*>(cols[13]),
+            reinterpret_cast<const std::uint64_t*>(cols[14]), event_count);
+        dirty = true;
+      }
     }
+    resident_rows += event_count;
     next_expected = first + event_count;
     ++chunks;
   }
@@ -218,17 +243,21 @@ struct WalkOutcome {
   std::size_t footer_end = 0;  // consumed + footer, when saw_footer
 };
 
-// Walks chunks starting at `p` (which must be a chunk boundary),
-// applying each complete, checksum-verified chunk to `parser`. Stops at
-// a valid footer, at an incomplete tail (a chunk or footer still being
-// written — or torn by a kill — is indistinguishable from one that is
-// mid-write, so it is never an error here), or at the end of the data.
-// A complete chunk that fails its checksum IS an error: chunks are
-// immutable once written, so that can only be real corruption.
-WalkOutcome walk_chunks(const unsigned char* p, std::size_t n,
-                        ChunkParser& parser) {
+// Walks chunk envelopes starting at `p` (which must be a chunk
+// boundary), calling `on_chunk(payload, len, index)` for each complete
+// chunk. Stops at a valid footer, at an incomplete tail (a chunk or
+// footer still being written — or torn by a kill — is indistinguishable
+// from one that is mid-write, so it is never an error here), or at the
+// end of the data. Checksum verification is the callback's job: the
+// follower verifies inline, the one-shot opener batches all checksums
+// into one parallel pass after the walk.
+template <typename OnChunk>
+WalkOutcome walk_envelopes(const unsigned char* p, std::size_t n,
+                           std::uint64_t first_chunk_index,
+                           OnChunk&& on_chunk) {
   WalkOutcome out;
   std::size_t off = 0;
+  std::uint64_t index = first_chunk_index;
   for (;;) {
     out.consumed = off;
     if (n - off < 4) break;
@@ -264,35 +293,127 @@ WalkOutcome walk_chunks(const unsigned char* p, std::size_t n,
     // and walking it would loop over stale bytes. Hard corruption.
     if (len < fmt::kMinChunkPayloadBytes) {
       throw Error("run file corrupted: undersized chunk " +
-                  std::to_string(parser.chunks) + " (payload " +
-                  std::to_string(len) + " bytes, minimum " +
+                  std::to_string(index) + " (payload " + std::to_string(len) +
+                  " bytes, minimum " +
                   std::to_string(fmt::kMinChunkPayloadBytes) + ")");
     }
-    const unsigned char* payload = p + off + 12;
-    std::uint64_t stored;
-    std::memcpy(&stored, payload + len, 8);
-    if (fmt::fnv1a(fmt::kFnvSeed, payload, len) != stored) {
-      throw Error("run file corrupted: checksum mismatch in chunk " +
-                  std::to_string(parser.chunks));
-    }
-    parser.apply(Slice{payload, static_cast<std::size_t>(len), 0});
+    on_chunk(p + off + 12, static_cast<std::size_t>(len), index);
+    ++index;
     off += fmt::kChunkEnvelopeBytes + static_cast<std::size_t>(len);
   }
+  return out;
+}
+
+void verify_chunk_checksum(const unsigned char* payload, std::size_t len,
+                           std::uint64_t index) {
+  std::uint64_t stored;
+  std::memcpy(&stored, payload + len, 8);
+  if (fmt::fnv1a(fmt::kFnvSeed, payload, len) != stored) {
+    throw Error("run file corrupted: checksum mismatch in chunk " +
+                std::to_string(index));
+  }
+}
+
+void check_footer_agreement(const WalkOutcome& out, const ChunkParser& parser) {
   if (out.saw_footer &&
       (out.footer_events != parser.next_expected ||
        out.footer_chunks != parser.chunks)) {
     throw Error("run file corrupted: footer disagrees with chunk contents");
   }
+}
+
+// Serial walk with inline verify+apply — the follower's incremental
+// path, where chunks arrive one or two at a time.
+WalkOutcome walk_chunks(const unsigned char* p, std::size_t n,
+                        ChunkParser& parser) {
+  const WalkOutcome out = walk_envelopes(
+      p, n, parser.chunks,
+      [&](const unsigned char* payload, std::size_t len, std::uint64_t index) {
+        verify_chunk_checksum(payload, len, index);
+        parser.apply(Slice{payload, len, 0});
+      });
+  check_footer_agreement(out, parser);
   return out;
 }
 
+// One-shot parse, used by both the mmap and stream readers. Four
+// phases: (A) a serial envelope walk collects chunk extents, (B) all
+// checksums verify in parallel (lowest failing chunk wins, matching the
+// serial error), (C) a serial pass parses meta/dictionaries and
+// validates column framing — dictionary ids chain across chunks, so
+// this stays ordered — and (D) the column payloads, by far the bulk of
+// the bytes, are copied into pre-reserved segments in parallel.
 TraceRun parse_run(const unsigned char* data, std::size_t size,
                    RunFileInfo* info) {
   validate_header(data, size);
+
+  // Phase A: envelope walk.
+  struct Extent {
+    const unsigned char* payload;
+    std::size_t len;
+  };
+  std::vector<Extent> extents;
+  const WalkOutcome out = walk_envelopes(
+      data + fmt::kHeaderBytes, size - fmt::kHeaderBytes, 0,
+      [&](const unsigned char* payload, std::size_t len, std::uint64_t) {
+        extents.push_back({payload, len});
+      });
+
+  // Phase B: parallel checksum verification. Failures are reported
+  // serially so the lowest bad chunk index is thrown at any thread
+  // count, same as the serial walk.
+  std::vector<std::uint8_t> checksum_ok(extents.size(), 0);
+  par::parallel_for(extents.size(), [&](std::size_t i) {
+    std::uint64_t stored;
+    std::memcpy(&stored, extents[i].payload + extents[i].len, 8);
+    checksum_ok[i] =
+        fmt::fnv1a(fmt::kFnvSeed, extents[i].payload, extents[i].len) == stored
+            ? 1
+            : 0;
+  });
+  for (std::size_t i = 0; i < extents.size(); ++i) {
+    if (checksum_ok[i] == 0) {
+      throw Error("run file corrupted: checksum mismatch in chunk " +
+                  std::to_string(i));
+    }
+  }
+
+  // Phase C: serial meta/dictionary parse with deferred column loads.
   ChunkParser parser;
-  const WalkOutcome out =
-      walk_chunks(data + fmt::kHeaderBytes, size - fmt::kHeaderBytes, parser);
-  parser.finish_batch();
+  std::vector<PendingLoad> pendings(extents.size());
+  for (std::size_t i = 0; i < extents.size(); ++i) {
+    parser.apply(Slice{extents[i].payload, extents[i].len, 0}, &pendings[i]);
+  }
+  check_footer_agreement(out, parser);
+
+  // Phase D: reserve once, then copy column bytes concurrently. Each
+  // chunk fills a disjoint row range of the reserved segments.
+  EventStore& store = *parser.run.store;
+  EventStore::BulkLoader loader{store};
+  loader.reserve(parser.resident_rows);
+  par::parallel_for(pendings.size(), [&](std::size_t i) {
+    const PendingLoad& pl = pendings[i];
+    if (pl.count == 0) return;
+    loader.load_at(pl.row,
+                   reinterpret_cast<const std::uint8_t*>(pl.cols[0]),
+                   reinterpret_cast<const std::uint16_t*>(pl.cols[1]),
+                   reinterpret_cast<const std::uint32_t*>(pl.cols[2]),
+                   reinterpret_cast<const std::uint32_t*>(pl.cols[3]),
+                   reinterpret_cast<const std::uint32_t*>(pl.cols[4]),
+                   reinterpret_cast<const std::uint32_t*>(pl.cols[5]),
+                   reinterpret_cast<const std::uint32_t*>(pl.cols[6]),
+                   reinterpret_cast<const std::uint64_t*>(pl.cols[7]),
+                   reinterpret_cast<const std::int64_t*>(pl.cols[8]),
+                   reinterpret_cast<const std::int64_t*>(pl.cols[9]),
+                   reinterpret_cast<const std::int64_t*>(pl.cols[10]),
+                   reinterpret_cast<const std::int64_t*>(pl.cols[11]),
+                   reinterpret_cast<const std::uint64_t*>(pl.cols[12]),
+                   reinterpret_cast<const std::uint64_t*>(pl.cols[13]),
+                   reinterpret_cast<const std::uint64_t*>(pl.cols[14]),
+                   pl.count);
+  });
+  if (parser.resident_rows > 0) store.finish_bulk_load();
+
   if (info != nullptr) {
     info->clean = out.saw_footer;
     info->finalized = out.footer_final;
@@ -386,9 +507,127 @@ std::string heartbeat_file_path(const std::string& dir,
 }
 
 void save_run(const std::string& path, const TraceRun& run) {
-  // One-shot saves don't need crash durability; skip the fsyncs.
-  LiveRunWriter w(path, LiveRunWriter::Options{.fsync_checkpoints = false});
-  w.finish(run);
+  save_run(path, run, SaveOptions{});
+}
+
+void save_run(const std::string& path, const TraceRun& run,
+              const SaveOptions& opts) {
+  const EventStore& store = *run.store;
+  const std::uint64_t chunk_rows = opts.chunk_rows == 0
+                                       ? kSegmentRows
+                                       : opts.chunk_rows;
+  const std::uint64_t first_avail = store.first_index();
+  const std::uint64_t n = store.size();
+  // Fixed chunking: ceil(n / chunk_rows) chunks regardless of thread
+  // count, so the file is byte-identical at --threads 1/2/8. An empty
+  // store still writes one (empty) chunk so the meta survives.
+  const std::uint64_t chunks =
+      n == 0 ? 1 : (n + chunk_rows - 1) / chunk_rows;
+
+  RunMeta meta = run.meta;
+  meta.dropped_events += first_avail;  // ring-evicted before this save
+  const std::string meta_json = meta.to_json().dump();
+
+  const StackDict& stacks = store.stacks();
+  const codec::DictRange all_dicts{.frames_from = 0,
+                                   .frames_to = stacks.frame_count(),
+                                   .stacks_from = 1,
+                                   .stacks_to = stacks.stack_count(),
+                                   .names_from = 1,
+                                   .names_to = store.name_count()};
+
+  // Encode + checksum every chunk in parallel; chunk 0 carries the full
+  // dictionaries, later chunks only columns.
+  const std::vector<std::string> blobs = par::parallel_map<std::string>(
+      static_cast<std::size_t>(chunks), [&](std::size_t i) {
+        const std::uint64_t rel_first =
+            static_cast<std::uint64_t>(i) * chunk_rows;
+        const std::uint64_t count =
+            std::min<std::uint64_t>(chunk_rows, n - rel_first);
+        const std::string payload = codec::encode_chunk_payload(
+            store, meta_json, i == 0 ? all_dicts : codec::DictRange{},
+            first_avail + rel_first, count, rel_first);
+        std::string blob = codec::encode_chunk_envelope(payload);
+        blob += payload;
+        blob += codec::encode_chunk_checksum(payload);
+        return blob;
+      });
+
+  // Serial ordered write. Same fault sites as the live writer so the
+  // testkit drives both paths with one plan.
+  std::error_code ec;
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  if (testkit::fault_at("live_writer.open") != nullptr) {
+    throw Error("cannot open run file for writing: " + path +
+                " (injected fault)");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  DIOG_CHECK(f != nullptr, "cannot open run file for writing: " + path);
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+
+  const auto write_all = [&](const char* data, std::size_t len) {
+    DIOG_CHECK(std::fwrite(data, 1, len, f) == len,
+               "write failed for run file: " + path);
+  };
+  std::string header;
+  codec::put_bytes(header, fmt::kMagic, sizeof(fmt::kMagic));
+  codec::put_u32(header, kFormatVersion);
+  codec::put_u32(header, 0);  // reserved
+  write_all(header.data(), header.size());
+
+  std::uint64_t data_bytes = 0;
+  for (const std::string& blob : blobs) {
+    if (const testkit::FaultSpec* spec =
+            testkit::fault_at("live_writer.write.chunk")) {
+      if (spec->action == testkit::FaultAction::kShortWrite) {
+        const std::size_t keep = std::min(
+            blob.size(), static_cast<std::size_t>(
+                             std::max<std::int64_t>(0, spec->magnitude)));
+        (void)std::fwrite(blob.data(), 1, keep, f);
+        (void)std::fflush(f);
+      }
+      throw Error("write failed for run file: " + path + " (injected fault)");
+    }
+    write_all(blob.data(), blob.size());
+    data_bytes += blob.size();
+  }
+
+  if (testkit::fault_at("live_writer.footer.before") != nullptr) {
+    throw Error("checkpoint failed before footer rewrite: " + path +
+                " (injected fault)");
+  }
+  const std::int64_t wall_ms =
+      opts.footer_wall_ms >= 0
+          ? opts.footer_wall_ms
+          : std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count();
+  const std::string footer =
+      codec::encode_footer(/*final=*/true, first_avail + n, chunks, wall_ms);
+  if (const testkit::FaultSpec* spec =
+          testkit::fault_at("live_writer.footer.torn")) {
+    const std::size_t keep = std::min(
+        footer.size(), static_cast<std::size_t>(
+                           std::max<std::int64_t>(0, spec->magnitude)));
+    (void)std::fwrite(footer.data(), 1, keep, f);
+    (void)std::fflush(f);
+    throw Error("write failed for run file footer: " + path +
+                " (injected torn footer)");
+  }
+  write_all(footer.data(), footer.size());
+  DIOG_CHECK(std::fflush(f) == 0, "flush failed for run file: " + path);
+
+  if (obs::Telemetry::enabled()) {
+    auto& m = obs::Telemetry::global().metrics();
+    m.counter("evstore.saved_runs").inc();
+    m.counter("evstore.saved_bytes").inc(data_bytes + footer.size());
+    m.counter("evstore.spilled_segments").inc(store.segment_count());
+  }
 }
 
 TraceRun open_run(const std::string& path, ReadMode mode,

@@ -77,9 +77,24 @@ std::string run_file_path(const std::string& dir,
 std::string heartbeat_file_path(const std::string& dir,
                                 const std::string& workload);
 
-// Serializes the complete run as one finalized chunk (one-shot
-// convenience over LiveRunWriter). Throws diog::Error on I/O failure.
+// One-shot save controls. The chunk layout is a pure function of the
+// store contents and `chunk_rows` — never of the thread count — so a
+// saved file is byte-identical at --threads 1, 2, or 8.
+struct SaveOptions {
+  // Events per chunk. One chunk per store segment keeps encode work
+  // units aligned with the columns' arena geometry.
+  std::uint64_t chunk_rows = kSegmentRows;
+  // Footer wall-clock override (ms since epoch); -1 stamps the real
+  // clock. Pin it to make repeated saves byte-identical.
+  std::int64_t footer_wall_ms = -1;
+};
+
+// Serializes the complete run as a finalized chunked file. Chunks are
+// encoded and checksummed in parallel (parallel/thread_pool.h), then
+// written in order. Throws diog::Error on I/O failure.
 void save_run(const std::string& path, const TraceRun& run);
+void save_run(const std::string& path, const TraceRun& run,
+              const SaveOptions& opts);
 
 // Deserializes a run. Throws diog::Error on I/O failure, bad magic,
 // version mismatch, chunk checksum mismatch, or malformed payloads.

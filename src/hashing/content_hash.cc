@@ -1,6 +1,10 @@
 #include "hashing/content_hash.h"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
+
+#include "parallel/thread_pool.h"
 
 namespace diog::hash {
 
@@ -89,6 +93,23 @@ Digest hash64(std::span<const std::byte> data, std::uint64_t seed) {
   Hasher64 h(seed);
   h.update(data);
   return h.digest();
+}
+
+Digest hash64_blocked(std::span<const std::byte> data, std::uint64_t seed) {
+  if (data.size() <= kHashBlockBytes) return hash64(data, seed);
+  const std::size_t blocks =
+      (data.size() + kHashBlockBytes - 1) / kHashBlockBytes;
+  const std::vector<Digest> digests = par::parallel_map<Digest>(
+      blocks, [&](std::size_t b) {
+        const std::size_t off = b * kHashBlockBytes;
+        return hash64(data.subspan(off,
+                                   std::min(kHashBlockBytes,
+                                            data.size() - off)));
+      });
+  // Fold the ordered per-block digests; mixing the total length into
+  // the seed keeps "N full blocks" and "N blocks + empty tail" apart.
+  return hash64(std::as_bytes(std::span<const Digest>(digests)),
+                seed ^ static_cast<std::uint64_t>(data.size()));
 }
 
 Hasher64::Hasher64(std::uint64_t seed) : seed_(seed) {

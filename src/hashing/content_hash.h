@@ -22,6 +22,17 @@ Digest fnv1a64(std::span<const std::byte> data);
 
 Digest hash64(std::span<const std::byte> data, std::uint64_t seed = 0);
 
+// Parallel digest for large buffers: the input is split into fixed
+// 1 MiB blocks, each block is hash64'd independently (across the thread
+// pool when one is configured), and the per-block digests are folded
+// into one value. The block size is a format constant, so the digest is
+// a pure function of the bytes — identical at any thread count — but it
+// is NOT the same value hash64 returns for inputs over one block.
+// Buffers of at most one block hash exactly as hash64.
+inline constexpr std::size_t kHashBlockBytes = std::size_t{1} << 20;
+Digest hash64_blocked(std::span<const std::byte> data,
+                      std::uint64_t seed = 0);
+
 // Streaming interface for hash64 so large device buffers can be hashed
 // page-by-page while the tracer walks them.
 class Hasher64 {

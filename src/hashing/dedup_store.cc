@@ -16,7 +16,9 @@ const char* to_string(TransferDirection d) {
 std::optional<FirstTransfer> DedupStore::observe(
     std::span<const std::byte> data, TransferDirection direction,
     std::uint64_t event_id) {
-  const Key key{hash64(data), data.size()};
+  // Blockwise digest: large transfers hash across the thread pool, and
+  // the digest is thread-count invariant (see hash64_blocked).
+  const Key key{hash64_blocked(data), data.size()};
   const auto it = table_.find(key);
   if (it != table_.end()) {
     const bool same = mode_ == Mode::kDigestOnly ||

@@ -90,6 +90,10 @@ void PageTracer::arm(std::size_t expected_accesses) {
   if (accesses_.capacity() < accesses_.size() + expected_accesses) {
     accesses_.reserve(accesses_.size() + expected_accesses);
   }
+  // Touch the thread-local call context now: its first access registers
+  // a thread-exit destructor (__cxa_thread_atexit), which may allocate —
+  // forbidden inside the SIGSEGV handler where handle_fault captures it.
+  (void)trace::CallContext::current();
   for (Range& r : ranges_) {
     const int rc = mprotect(reinterpret_cast<void*>(r.begin), r.end - r.begin,
                             PROT_NONE);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <span>
 #include <sstream>
 
@@ -10,6 +11,7 @@
 #include "core/report.h"
 #include "eventstore/live_writer.h"
 #include "eventstore/run_io.h"
+#include "parallel/thread_pool.h"
 #include "support/error.h"
 
 namespace diog::testkit {
@@ -26,6 +28,21 @@ struct Checker {
     ++rep.checks;
     if (!cond) rep.failures.push_back(what);
   }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DIOG_CHECK(in.good(), "oracle cannot read back " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// Restores the programmatic thread override on every exit path, so an
+// invariant failure cannot leak a pinned thread count into the caller.
+struct ThreadOverrideGuard {
+  std::size_t saved = par::threads_override();
+  ~ThreadOverrideGuard() { par::set_threads(saved); }
 };
 
 }  // namespace
@@ -185,6 +202,51 @@ OracleReport check_analysis_invariants(const evstore::TraceRun& run,
       check(i1.chunks >= 2,
             "resharding produced a single chunk for " +
                 std::to_string(run.store->size()) + " events");
+    }
+  }
+
+  // --- Thread-count metamorphism --------------------------------------------
+  // The parallel subsystem's hard contract: the analysis export and the
+  // one-shot saved file are the same BYTES at every thread count. The
+  // footer wall clock is pinned so the only legal nondeterminism source
+  // is removed; everything else byte-differing is a real ordering bug.
+  if (!opts.thread_counts.empty()) {
+    ThreadOverrideGuard guard;
+    std::string ref_bytes;
+    std::size_t ref_tc = 0;
+    for (const std::size_t tc : opts.thread_counts) {
+      par::set_threads(tc);
+      const ffm::AnalysisResult t = ffm::run_analysis(run, opts.cfg);
+      check(ffm::export_json(t).dump() == expected,
+            "analysis at threads=" + std::to_string(tc) +
+                " differs from the ambient-threads analysis");
+
+      const std::string path =
+          (fs::path(opts.work_dir) /
+           ("oracle-threads-" + std::to_string(tc) + ".dgtrace"))
+              .string();
+      evstore::save_run(path, run,
+                        evstore::SaveOptions{.footer_wall_ms = 0});
+      const std::string bytes = slurp(path);
+      if (ref_bytes.empty()) {
+        ref_bytes = bytes;
+        ref_tc = tc;
+      } else {
+        check(bytes == ref_bytes,
+              "saved run bytes at threads=" + std::to_string(tc) +
+                  " differ from threads=" + std::to_string(ref_tc));
+      }
+
+      evstore::RunFileInfo info;
+      const evstore::TraceRun reread =
+          evstore::open_run(path, evstore::ReadMode::kAuto, &info);
+      check(info.clean && info.finalized,
+            "threads=" + std::to_string(tc) +
+                " run file not clean+finalized");
+      const ffm::AnalysisResult b = ffm::run_analysis(reread, opts.cfg);
+      check(ffm::export_json(b).dump() == expected,
+            "reopened analysis at threads=" + std::to_string(tc) +
+                " differs from the in-memory analysis");
     }
   }
 

@@ -15,7 +15,13 @@
 //                 nodes never decreases as the prefix grows, and never
 //                 exceeds the full-set total; a sequence group's
 //                 subsequence estimate grows monotonically to exactly
-//                 the sequence's own benefit.
+//                 the sequence's own benefit;
+//   thread count  re-running the analysis and the one-shot save at each
+//                 thread count in `thread_counts` produces byte-
+//                 identical export JSON and byte-identical .dgtrace
+//                 files (footer clock pinned), and each reopened file
+//                 analyzes to the same bytes — the parallel subsystem's
+//                 determinism contract.
 #pragma once
 
 #include <cstddef>
@@ -37,6 +43,10 @@ struct OracleOptions {
   std::string work_dir;
   // Prefix sizes probed per monotonicity ladder.
   std::size_t prefix_steps = 4;
+  // Thread counts the determinism relation probes (empty disables it).
+  // 8 deliberately oversubscribes small machines: scheduling jitter is
+  // exactly what the byte-identity contract must survive.
+  std::vector<std::size_t> thread_counts = {1, 2, 8};
 };
 
 struct OracleReport {

@@ -2,6 +2,7 @@
 
 #include <deque>
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "support/demangle.h"
@@ -14,7 +15,11 @@ std::string Frame::pretty() const {
 }
 
 struct FrameTable::Impl {
-  std::mutex mu;
+  // Read-mostly: after warm-up nearly every intern() is a lookup of an
+  // already-known frame, so readers take the lock shared and scale with
+  // the analysis thread pool; only a genuinely new frame upgrades to
+  // the exclusive lock.
+  std::shared_mutex mu;
   // deque: stable element addresses across growth.
   std::deque<Frame> frames;
   std::unordered_map<std::string, const Frame*> index;
@@ -41,7 +46,15 @@ const Frame* FrameTable::intern(std::string_view function,
   key += '\x1f';
   key += std::to_string(line);
 
-  std::lock_guard<std::mutex> lock(im.mu);
+  {
+    std::shared_lock<std::shared_mutex> lock(im.mu);
+    const auto it = im.index.find(key);
+    if (it != im.index.end()) return it->second;
+  }
+
+  std::unique_lock<std::shared_mutex> lock(im.mu);
+  // Re-check: another thread may have interned the same frame between
+  // the shared probe and this exclusive acquisition.
   const auto it = im.index.find(key);
   if (it != im.index.end()) return it->second;
 
@@ -58,7 +71,7 @@ const Frame* FrameTable::intern(std::string_view function,
 
 std::size_t FrameTable::size() const {
   Impl& im = const_cast<FrameTable*>(this)->impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  std::shared_lock<std::shared_mutex> lock(im.mu);
   return im.frames.size();
 }
 

@@ -37,12 +37,14 @@ struct Frame {
 // bounded set of distinct source locations, and stable addresses are the
 // point of interning.
 //
-// Thread-safety: intern() and size() are fully thread-safe (internally
-// mutex-protected; frames live in a deque so returned pointers stay
-// stable forever). Concurrent intern() calls for the same
-// (function, file, line) triple return the same Frame*. Run readers and
-// instrumentation hooks on application threads may therefore intern
-// without external locking.
+// Thread-safety: intern() and size() are fully thread-safe. The pool is
+// read-mostly, so lookups of already-known frames take a shared lock
+// (concurrent readers never serialize against each other); only a new
+// frame takes the exclusive lock, with a re-check for a racing insert.
+// Frames live in a deque so returned pointers stay stable forever.
+// Concurrent intern() calls for the same (function, file, line) triple
+// return the same Frame*. Run readers and instrumentation hooks on
+// application threads may therefore intern without external locking.
 class FrameTable {
  public:
   static FrameTable& instance();
