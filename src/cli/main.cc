@@ -26,6 +26,8 @@
 // Trace-file mode (binary runs written with --trace-dir):
 //   diogenes trace stat <file.dgtrace>            store summary
 //   diogenes trace dump <file> [kind] [max]       event listing
+//                       [--kind K] [--range t0:t1] [--max N]
+//                                                 pushdown filters
 //   diogenes trace tail <file> [--jsonl] [--poll-ms N] [--once]
 //                                                 follow a (live) run
 //   diogenes trace watch <file> [--poll-ms N] [--once]
@@ -73,6 +75,7 @@
 #include "core/uvm_analysis.h"
 #include "core/report.h"
 #include "eventstore/run_io.h"
+#include "explore/service.h"
 #include "obs/heartbeat.h"
 #include "obs/telemetry.h"
 #include "parallel/thread_pool.h"
@@ -93,9 +96,11 @@ int usage() {
       "                [--threads N] <app> [command]\n"
       "       diogenes replay <dir> <workload> [command]\n"
       "       diogenes trace stat|dump|profile|analyze <file.dgtrace>\n"
+      "       diogenes trace dump <file> [--kind K] [--range t0:t1] [--max N]\n"
       "       diogenes trace tail <file> [--jsonl] [--poll-ms N] [--once]\n"
       "       diogenes trace watch <file> [--poll-ms N] [--once]\n"
       "       diogenes trace diff <before.dgtrace> <after.dgtrace>\n"
+      "       diogenes explore <run-or-trace-dir> [--port N]\n"
       "       diogenes fuzz <run-io|follower|ring> [--seed N] [--budget-s S]\n"
       "                     [--corpus DIR] [--max-execs N] [--verbose]\n"
       "       diogenes fuzz minimize <artifact> [--target T] [--seed N]\n"
@@ -312,10 +317,50 @@ int main(int argc, char** argv) {
       }
       if (sub == "dump" && arg < argc) {
         const evstore::TraceRun run = evstore::open_run(argv[arg++]);
-        const std::string kind = arg < argc ? argv[arg++] : "";
-        const std::size_t max_events =
-            arg < argc ? std::strtoul(argv[arg++], nullptr, 10) : 64;
-        std::printf("%s", ffm::render_run_dump(run, kind, max_events).c_str());
+        ffm::DumpOptions dopts;
+        // Flags first (--kind K, --range t0:t1, --max N); the legacy
+        // positional [kind] [max] spelling still works.
+        bool positional_kind = true;
+        while (arg < argc) {
+          if (std::strcmp(argv[arg], "--kind") == 0 && arg + 1 < argc) {
+            dopts.kind = argv[arg + 1];
+            arg += 2;
+          } else if (std::strcmp(argv[arg], "--range") == 0 &&
+                     arg + 1 < argc) {
+            const char* spec = argv[arg + 1];
+            char* colon = nullptr;
+            dopts.t0 = std::strtoll(spec, &colon, 10);
+            if (colon == nullptr || *colon != ':') {
+              std::fprintf(stderr, "--range wants t0:t1 (got '%s')\n", spec);
+              return 2;
+            }
+            dopts.t1 = std::strtoll(colon + 1, nullptr, 10);
+            arg += 2;
+          } else if (std::strcmp(argv[arg], "--max") == 0 && arg + 1 < argc) {
+            dopts.max_events = std::strtoul(argv[arg + 1], nullptr, 10);
+            arg += 2;
+          } else if (std::strncmp(argv[arg], "--", 2) != 0) {
+            if (positional_kind) {
+              dopts.kind = argv[arg];
+              positional_kind = false;
+            } else {
+              dopts.max_events = std::strtoul(argv[arg], nullptr, 10);
+            }
+            ++arg;
+          } else {
+            return usage();
+          }
+        }
+        ffm::DumpStats dstats;
+        std::printf("%s", ffm::render_run_dump(run, dopts, &dstats).c_str());
+        if (!dopts.kind.empty() ||
+            dstats.segments_skipped + dstats.blocks_skipped > 0) {
+          std::printf("(pushdown skipped %llu segments, %llu blocks)\n",
+                      static_cast<unsigned long long>(
+                          dstats.segments_skipped),
+                      static_cast<unsigned long long>(
+                          dstats.blocks_skipped));
+        }
         return 0;
       }
       if (sub == "profile" && arg < argc) {
@@ -327,7 +372,7 @@ int main(int argc, char** argv) {
       }
       if (sub == "analyze" && arg < argc) {
         const ffm::AnalysisResult res = ffm::analyze_run_file(argv[arg], cfg);
-        std::printf("%s", ffm::render_overview(res).c_str());
+        std::printf("%s", explore::render_explained_overview(res).c_str());
         std::printf("\ntotal estimated benefit: %s (%s of execution)\n",
                     format_seconds(res.benefit.total).c_str(),
                     format_percent(res.fraction_of_exec(res.benefit.total))
@@ -346,6 +391,26 @@ int main(int argc, char** argv) {
       return 1;
     }
     return usage();
+  }
+
+  if (app_name == "explore") {
+    // Embedded trace explorer: serve timeline / flame / findings views
+    // over a run file or a trace directory, straight from the store.
+    if (arg >= argc) return usage();
+    explore::ServiceOptions sopts;
+    sopts.root = argv[arg++];
+    sopts.config = cfg;
+    std::uint16_t port = 0;  // ephemeral by default
+    while (arg < argc) {
+      if (std::strcmp(argv[arg], "--port") == 0 && arg + 1 < argc) {
+        port = static_cast<std::uint16_t>(
+            std::strtoul(argv[arg + 1], nullptr, 10));
+        arg += 2;
+      } else {
+        return usage();
+      }
+    }
+    return explore::run_explorer(sopts, port);
   }
 
   if (app_name == "fuzz") {
@@ -431,7 +496,9 @@ int main(int argc, char** argv) {
   }
 
   if (command == "overview" || command == "stages") {
-    std::printf("%s", ffm::render_overview(r).c_str());
+    // The explained overview: the Figure-7 listing plus a "why:" line
+    // per entry from the explanation engine.
+    std::printf("%s", explore::render_explained_overview(r).c_str());
     std::printf("\ntotal estimated benefit: %s (%s of execution); "
                 "collection cost %.1fx\n",
                 format_seconds(r.benefit.total).c_str(),
@@ -453,10 +520,7 @@ int main(int argc, char** argv) {
     // and heartbeat stream use.
     auto& telemetry = obs::Telemetry::global();
     if (arg < argc && std::strcmp(argv[arg], "--json") == 0) {
-      json::Object o;
-      o["metrics"] = telemetry.metrics().to_json();
-      o["overhead"] = telemetry.accountant().to_json();
-      std::printf("%s\n", json::Value(std::move(o)).dump().c_str());
+      std::printf("%s\n", telemetry.metrics_document().dump().c_str());
       return 0;
     }
     std::printf("%s\n", telemetry.metrics().render().c_str());

@@ -299,25 +299,45 @@ json::Object event_json(const evstore::EventStore& store,
 std::string render_run_dump(const evstore::TraceRun& run,
                             std::string_view kind_filter,
                             std::size_t max_events) {
+  DumpOptions opts;
+  opts.kind = std::string(kind_filter);
+  opts.max_events = max_events;
+  return render_run_dump(run, opts);
+}
+
+std::string render_run_dump(const evstore::TraceRun& run,
+                            const DumpOptions& opts, DumpStats* stats) {
   namespace ev = evstore;
   const ev::EventStore& store = *run.store;
   ev::Cursor cursor(store);
-  if (!kind_filter.empty()) {
+  if (!opts.kind.empty()) {
     ev::EventKind k;
-    DIOG_CHECK(ev::kind_from_name(kind_filter, k),
-               "unknown event kind: " + std::string(kind_filter));
+    DIOG_CHECK(ev::kind_from_name(opts.kind, k),
+               "unknown event kind: " + opts.kind);
     cursor.kind(k);
+  }
+  if (opts.t0 != std::numeric_limits<std::int64_t>::min()) {
+    cursor.t_start_at_least(opts.t0);
+  }
+  if (opts.t1 != std::numeric_limits<std::int64_t>::max()) {
+    cursor.t_start_below(opts.t1);
   }
   std::string out;
   std::size_t shown = 0;
   ev::Event e;
-  while (shown < max_events && cursor.next(e)) {
+  while (shown < opts.max_events && cursor.next(e)) {
     out += render_event_line(store, e) + "\n";
     ++shown;
   }
   const std::uint64_t remaining = cursor.count();
   if (remaining > 0) {
     out += "... " + std::to_string(remaining) + " more\n";
+  }
+  if (stats != nullptr) {
+    stats->shown = shown;
+    stats->remaining = remaining;
+    stats->segments_skipped = cursor.segments_skipped();
+    stats->blocks_skipped = cursor.blocks_skipped();
   }
   return out;
 }

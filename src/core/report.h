@@ -4,6 +4,7 @@
 // benefit and then exported in the JSON format."
 #pragma once
 
+#include <limits>
 #include <string>
 
 #include "core/diogenes.h"
@@ -56,5 +57,25 @@ json::Object event_json(const evstore::EventStore& store,
 std::string render_run_dump(const evstore::TraceRun& run,
                             std::string_view kind_filter = {},
                             std::size_t max_events = 64);
+
+// Filtered dump (`--kind K --range t0:t1`). Every filter is pushed
+// down onto the cursor, so a dump of a narrow window over a huge run
+// skips whole segments/blocks instead of materializing rows; `stats`
+// (optional) reports how effective the pushdown was.
+struct DumpOptions {
+  std::string kind;  // empty = all kinds
+  std::int64_t t0 = std::numeric_limits<std::int64_t>::min();
+  std::int64_t t1 = std::numeric_limits<std::int64_t>::max();  // exclusive
+  std::size_t max_events = 64;
+};
+struct DumpStats {
+  std::uint64_t shown = 0;
+  std::uint64_t remaining = 0;  // matching rows beyond max_events
+  std::uint64_t segments_skipped = 0;
+  std::uint64_t blocks_skipped = 0;
+};
+std::string render_run_dump(const evstore::TraceRun& run,
+                            const DumpOptions& opts,
+                            DumpStats* stats = nullptr);
 
 }  // namespace diog::ffm

@@ -1,0 +1,128 @@
+#include "eventstore/aggregate.h"
+
+#include <algorithm>
+
+namespace diog::evstore {
+
+namespace {
+
+// Bin index of a timestamp, via a fixed integer bin width (ceil of
+// span/bins, so the product form — which could overflow 64 bits on
+// multi-day spans — is never needed). The last bin may cover slightly
+// less time; every consumer treats bins as [t0 + i*w, t0 + (i+1)*w).
+std::uint32_t bin_of(std::int64_t ts, std::int64_t t0, std::int64_t width,
+                     std::uint32_t bins) {
+  const auto b = static_cast<std::uint64_t>(ts - t0) /
+                 static_cast<std::uint64_t>(width);
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(b, bins - 1));
+}
+
+void fold(TimeBin& bin, const Event& e) {
+  ++bin.count;
+  bin.busy_ns += e.t_end - e.t_start;
+  // Strictly-greater replacement keeps the first event (in append
+  // order) among equals — the same representative a serial scan picks.
+  if (bin.count == 1 ||
+      e.t_end - e.t_start > bin.rep.t_end - bin.rep.t_start) {
+    bin.rep = e;
+  }
+}
+
+}  // namespace
+
+BinnedSpans bin_events(const EventStore& store, Cursor proto,
+                       std::int64_t t0, std::int64_t t1,
+                       std::uint32_t bins) {
+  BinnedSpans out;
+  out.t0 = t0;
+  out.t1 = t1;
+  out.bins = t1 <= t0 ? 1 : std::clamp<std::uint32_t>(bins, 1, kMaxBins);
+  out.data.assign(out.bins, TimeBin{});
+  if (t1 <= t0) return out;  // a single empty bin, per the contract
+  const std::int64_t span = t1 - t0;
+  const std::int64_t width = (span + out.bins - 1) / out.bins;
+  out.bin_width = width;
+
+  proto.t_start_at_least(t0);
+  proto.t_start_below(t1);
+
+  // One partial bin vector per segment shard, merged in segment order:
+  // counts and busy sums are order-independent, and the representative
+  // merge rule matches fold()'s, so the merged result is byte-for-byte
+  // the serial scan's at any thread count.
+  struct Partial {
+    std::vector<TimeBin> bins;
+    std::uint64_t matched = 0;
+  };
+  std::vector<Partial> parts = scan_shards<Partial>(
+      store, proto,
+      [&](Cursor& c, std::size_t) {
+        Partial p;
+        p.bins.assign(out.bins, TimeBin{});
+        Event e;
+        while (c.next(e)) {
+          fold(p.bins[bin_of(e.t_start, t0, width, out.bins)], e);
+          ++p.matched;
+        }
+        return p;
+      },
+      &out.stats);
+
+  for (const Partial& p : parts) {
+    out.matched += p.matched;
+    for (std::uint32_t b = 0; b < out.bins; ++b) {
+      const TimeBin& src = p.bins[b];
+      if (src.count == 0) continue;
+      TimeBin& dst = out.data[b];
+      if (dst.count == 0) {
+        dst = src;
+      } else {
+        dst.count += src.count;
+        dst.busy_ns += src.busy_ns;
+        if (src.rep.t_end - src.rep.t_start >
+            dst.rep.t_end - dst.rep.t_start) {
+          dst.rep = src.rep;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TimeExtent time_extent(const EventStore& store, Cursor proto) {
+  struct Partial {
+    TimeExtent e;
+  };
+  std::vector<Partial> parts = scan_shards<Partial>(
+      store, proto, [](Cursor& c, std::size_t) {
+        Partial p;
+        Event e;
+        while (c.next(e)) {
+          if (p.e.matched == 0) {
+            p.e.t_min = e.t_start;
+            p.e.t_max = e.t_end;
+          } else {
+            p.e.t_min = std::min(p.e.t_min, e.t_start);
+            p.e.t_max = std::max(p.e.t_max, e.t_end);
+          }
+          ++p.e.matched;
+        }
+        return p;
+      });
+  TimeExtent total;
+  for (const Partial& p : parts) {
+    if (p.e.matched == 0) continue;
+    if (total.matched == 0) {
+      total.t_min = p.e.t_min;
+      total.t_max = p.e.t_max;
+    } else {
+      total.t_min = std::min(total.t_min, p.e.t_min);
+      total.t_max = std::max(total.t_max, p.e.t_max);
+    }
+    total.matched += p.e.matched;
+  }
+  return total;
+}
+
+}  // namespace diog::evstore

@@ -1,0 +1,67 @@
+// Read-only aggregation helpers over cursors: the server-side
+// level-of-detail layer the trace explorer queries.
+//
+// A viewport request must answer from a bounded payload no matter how
+// many events it covers, so the unit of aggregation is the *bin*: the
+// requested time range is divided into at most kMaxBins equal slices
+// and every matching event is folded into its slice — count, busy time,
+// and one representative event (the heaviest, first-in-append-order on
+// ties) that gives the bin a drawable label. A 1M-event run therefore
+// answers any viewport with O(bins) JSON, not O(events).
+//
+// Determinism contract: results are byte-identical at any --threads
+// value. The scan shards on segment boundaries (parallel_scan.h) and
+// partial bins merge in segment order with a strictly-greater
+// representative replacement, which reproduces exactly what a serial
+// append-order scan would have picked.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eventstore/cursor.h"
+#include "eventstore/event_store.h"
+#include "eventstore/parallel_scan.h"
+
+namespace diog::evstore {
+
+// Hard ceiling on bins per request: bounds both server work and
+// response bytes (the explorer asks for one bin per device pixel, and
+// no viewport is wider than this).
+inline constexpr std::uint32_t kMaxBins = 2048;
+
+struct TimeBin {
+  std::uint64_t count = 0;
+  std::int64_t busy_ns = 0;  // sum of event durations in the bin
+  Event rep;                 // heaviest event (valid iff count > 0)
+};
+
+struct BinnedSpans {
+  std::int64_t t0 = 0;       // viewport, [t0, t1)
+  std::int64_t t1 = 0;
+  std::uint32_t bins = 0;    // actual bin count after clamping
+  std::int64_t bin_width = 0;  // ns per bin (ceil of span / bins)
+  std::uint64_t matched = 0; // events folded in
+  std::vector<TimeBin> data; // size == bins
+  ScanStats stats;           // pushdown effectiveness
+};
+
+// Bins every event matching `proto` whose t_start lies in [t0, t1).
+// The range predicates are pushed down onto the cursor (segment/block
+// stats skip non-overlapping stretches); `bins` is clamped to
+// [1, kMaxBins]. t1 <= t0 yields a single empty bin.
+BinnedSpans bin_events(const EventStore& store, Cursor proto,
+                       std::int64_t t0, std::int64_t t1,
+                       std::uint32_t bins);
+
+// The [min t_start, max t_end] extent of every event matching `proto`;
+// {0, 0} when nothing matches (second == first-1 would be ugly; check
+// `matched`). Used to establish a run's default viewport.
+struct TimeExtent {
+  std::int64_t t_min = 0;
+  std::int64_t t_max = 0;
+  std::uint64_t matched = 0;
+};
+TimeExtent time_extent(const EventStore& store, Cursor proto);
+
+}  // namespace diog::evstore

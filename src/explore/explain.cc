@@ -1,0 +1,305 @@
+#include "explore/explain.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/report.h"
+#include "eventstore/cursor.h"
+#include "support/strings.h"
+
+namespace diog::explore {
+
+namespace {
+
+using ffm::Finding;
+using ffm::Group;
+using ffm::Node;
+
+// Per-member facts read back from the event store: how the member
+// operations asked for their work vs. what the driver actually did.
+// These bits decide between patterns the graph alone cannot separate
+// (an explicit cudaDeviceSynchronize vs. an async copy that was
+// silently serialized).
+struct OpFlagFacts {
+  std::size_t async_requested = 0;  // members that asked for async
+  std::size_t hidden_syncs = 0;     // async requested AND sync performed
+  std::size_t pageable_endpoint = 0;  // transfer touching pageable host mem
+  std::size_t duplicate_ops = 0;      // members flagged as duplicate content
+};
+
+OpFlagFacts op_flag_facts(const ffm::AnalysisResult& r, const Finding& f) {
+  namespace ev = evstore;
+  OpFlagFacts facts;
+  std::unordered_set<std::uint64_t> members;
+  const std::vector<std::vector<std::size_t>> single{f.group->nodes};
+  const auto& instance_sets =
+      f.group->instances.empty() ? single : f.group->instances;
+  const std::vector<Node>& nodes = r.graph.nodes();
+  for (const auto& set : instance_sets) {
+    for (const std::size_t i : set) {
+      if (i < nodes.size() && nodes[i].op_index >= 0) {
+        members.insert(static_cast<std::uint64_t>(nodes[i].op_index));
+      }
+    }
+  }
+  if (members.empty() || !r.run.store) return facts;
+  const ev::EventStore& store = *r.run.store;
+  ev::Cursor c = ev::ops(store);
+  ev::Event e;
+  while (c.next(e)) {
+    if (!members.contains(e.op_index)) continue;
+    if (e.has(ev::flag::kAsyncRequested)) {
+      ++facts.async_requested;
+      if (e.has(ev::flag::kPerformedSync)) ++facts.hidden_syncs;
+    }
+    if (e.has(ev::flag::kPerformedTransfer) &&
+        (e.src_mem() == hooks::MemKind::kPageable ||
+         e.dst_mem() == hooks::MemKind::kPageable)) {
+      ++facts.pageable_endpoint;
+    }
+  }
+  ev::Cursor d = ev::duplicate_transfers(store);
+  while (d.next(e)) {
+    if (members.contains(e.op_index)) ++facts.duplicate_ops;
+  }
+  return facts;
+}
+
+std::string api_label(const Finding& f) {
+  return f.dominant_api == hooks::Fn::kCount_
+             ? std::string("the grouped operations")
+             : std::string(hooks::fn_name(f.dominant_api));
+}
+
+std::string pct(double fraction) { return format_percent(fraction); }
+
+// What the group *is*, as the narrative's opening clause.
+std::string group_phrase(const Finding& f) {
+  const Group& g = *f.group;
+  if (f.source == Finding::Source::kSequence) {
+    std::string s = "a contiguous sequence of " +
+                    std::to_string(g.nodes.size()) +
+                    " problematic operation(s)";
+    if (g.instance_count() > 1) {
+      s += " repeated " + std::to_string(g.instance_count()) +
+           " times (one loop iteration each)";
+    }
+    return s;
+  }
+  std::string s = std::to_string(f.members) + " call(s) of " +
+                  api_label(f) + " folded onto " +
+                  std::to_string(std::max<std::size_t>(
+                      g.expansion.size(), 1)) +
+                  " source-level function(s)";
+  return s;
+}
+
+}  // namespace
+
+json::Value Explanation::to_json() const {
+  json::Object o;
+  o["pattern"] = pattern;
+  o["headline"] = headline;
+  o["narrative"] = narrative;
+  o["evidence"] = evidence;
+  return json::Value(std::move(o));
+}
+
+Explanation explain_finding(const ffm::AnalysisResult& r, const Finding& f) {
+  const Group& g = *f.group;
+  const OpFlagFacts flags = op_flag_facts(r, f);
+  const double recoverable = f.recoverable_fraction();
+  const double share =
+      r.benefit.total.count() > 0
+          ? static_cast<double>(g.benefit.count()) /
+                static_cast<double>(r.benefit.total.count())
+          : 0.0;
+  const std::size_t sync_members = f.unnecessary_syncs + f.misplaced_syncs;
+  const bool transfers_dominate = f.unnecessary_transfers > sync_members;
+  const bool misplaced_dominate = f.misplaced_syncs > f.unnecessary_syncs &&
+                                  f.misplaced_syncs >= f.unnecessary_transfers;
+
+  Explanation ex;
+
+  // --- Rule match, most specific first ------------------------------------
+  if (transfers_dominate && flags.duplicate_ops > 0) {
+    ex.pattern = "duplicate-transfer";
+    ex.headline = std::to_string(flags.duplicate_ops) +
+                  " transfer(s) move bytes already resident on the device";
+    ex.narrative =
+        "This is " + group_phrase(f) +
+        ". Content hashing (stage 3) found " +
+        std::to_string(flags.duplicate_ops) +
+        " of the transfers re-send data whose digest already crossed the "
+        "bus, so the copies are pure overhead; dropping them recovers "
+        "their full launch time of " + format_seconds(g.benefit) + ".";
+  } else if (transfers_dominate) {
+    ex.pattern = "unnecessary-transfer";
+    ex.headline = "transfers whose payload the device never needed again";
+    ex.narrative =
+        "This is " + group_phrase(f) +
+        ". The flagged copies move data no subsequent GPU operation "
+        "reads, so each one's CPU launch cost (" +
+        format_seconds(g.benefit) + " in total) vanishes when removed.";
+  } else if (misplaced_dominate && flags.hidden_syncs > 0) {
+    ex.pattern = "async-copy-hidden-sync";
+    ex.headline = std::to_string(flags.hidden_syncs) +
+                  " async call(s) silently serialized" +
+                  (flags.pageable_endpoint > 0 ? " by pageable host memory"
+                                               : "");
+    ex.narrative =
+        "This is " + group_phrase(f) + ". " +
+        std::to_string(flags.hidden_syncs) +
+        " member(s) requested asynchronous execution but the driver "
+        "performed a blocking synchronization anyway" +
+        (flags.pageable_endpoint > 0
+             ? " — the transfer endpoint is pageable host memory, which "
+               "forces the copy onto the synchronous path (the classic "
+               "async-copy-into-pageable bug; pin the buffer with "
+               "cudaMallocHost to restore overlap)"
+             : "") +
+        ". First use of the synchronized data comes " +
+        format_seconds(f.max_first_use_gap) +
+        " after the wait ends, so deferring the sync to the use site "
+        "recovers " + format_seconds(g.benefit) + " (" + pct(recoverable) +
+        " of the members' " + format_seconds(f.member_time) +
+        " wait time).";
+  } else if (misplaced_dominate) {
+    ex.pattern = "early-sync-before-first-use";
+    ex.headline = "sync completes " + format_seconds(f.max_first_use_gap) +
+                  " before its data is first used";
+    ex.narrative =
+        "This is " + group_phrase(f) +
+        ". The synchronization is required — the CPU does read the "
+        "result — but it happens too early: the first dependent access "
+        "is " + format_seconds(f.max_first_use_gap) +
+        " after the wait completes (stage-4 first-use measurement). "
+        "Moving the sync adjacent to the first use recovers " +
+        format_seconds(g.benefit) + " (" + pct(recoverable) +
+        " of the members' wait time), bounded by the gap itself.";
+  } else if (f.source == Finding::Source::kSequence &&
+             g.instance_count() >= 4) {
+    ex.pattern = "sync-in-hot-loop";
+    ex.headline = "per-iteration synchronization in a " +
+                  std::to_string(g.instance_count()) + "-iteration loop";
+    ex.narrative =
+        "This is " + group_phrase(f) +
+        ": the identical problematic run re-appears every iteration, so "
+        "one source change multiplies by " +
+        std::to_string(g.instance_count()) +
+        ". Unrealized savings carry forward through each run (removing "
+        "one wait lets the next grow), which is why the sequence "
+        "estimate of " + format_seconds(g.benefit) +
+        " is computed over the whole stretch rather than summed "
+        "per-site.";
+  } else if (f.source == Finding::Source::kFold &&
+             (g.expansion.size() > 1 ||
+              std::any_of(g.expansion.begin(), g.expansion.end(),
+                          [](const Group::FoldEntry& e) {
+                            return e.conditionally_unnecessary;
+                          }))) {
+    ex.pattern = "template-folded-sync";
+    ex.headline = std::to_string(f.members) + " sites collapse to " +
+                  std::to_string(g.expansion.size()) +
+                  " template function(s); one fix covers all";
+    ex.narrative =
+        "This is " + group_phrase(f) +
+        ". The distinct call stacks differ only in template "
+        "instantiation, so they share one source location; fixing it "
+        "addresses all " + std::to_string(f.members) +
+        " member(s) at once for " + format_seconds(g.benefit) + "." +
+        (std::any_of(g.expansion.begin(), g.expansion.end(),
+                     [](const Group::FoldEntry& e) {
+                       return e.conditionally_unnecessary;
+                     })
+             ? " Some members are implicit synchronizations that are "
+               "only conditionally removable — verify the marked "
+               "conditions before applying the fix."
+             : "");
+  } else if (recoverable >= 0.75) {
+    ex.pattern = "redundant-device-sync";
+    ex.headline = pct(recoverable) +
+                  " of the wait time is recoverable: no dependent access "
+                  "follows";
+    ex.narrative =
+        "This is " + group_phrase(f) +
+        ". Memory tracking (stage 3) observed no CPU access to "
+        "device-written data behind these synchronizations, so they "
+        "guard nothing; removing them recovers " +
+        format_seconds(g.benefit) + " of their " +
+        format_seconds(f.member_time) + " wait time (" +
+        pct(recoverable) + ").";
+  } else {
+    ex.pattern = "limited-benefit-sync";
+    ex.headline = "only " + pct(recoverable) +
+                  " recoverable: the next sync absorbs the rest";
+    ex.narrative =
+        "This is " + group_phrase(f) +
+        ". The synchronizations are unnecessary, but removing a wait "
+        "only helps while the CPU has work to keep the device busy; "
+        "here little CPU work sits before the next synchronization, "
+        "which simply grows to absorb the freed time (the paper's "
+        "limited-benefit case). Estimated recovery is " +
+        format_seconds(g.benefit) + " of " +
+        format_seconds(f.member_time) + " (" + pct(recoverable) + ").";
+  }
+
+  // Which lens captured the problem, and how much of the run it is.
+  ex.narrative += " This " +
+                  std::string(f.source == Finding::Source::kFold
+                                  ? "fold"
+                                  : "sequence") +
+                  " accounts for " + pct(share) +
+                  " of the run's total estimated benefit.";
+
+  json::Object ev;
+  ev["members"] = f.members;
+  ev["unnecessary_syncs"] = f.unnecessary_syncs;
+  ev["misplaced_syncs"] = f.misplaced_syncs;
+  ev["unnecessary_transfers"] = f.unnecessary_transfers;
+  ev["member_time_ns"] = f.member_time.count();
+  ev["benefit_ns"] = g.benefit.count();
+  ev["recoverable_fraction"] = recoverable;
+  ev["share_of_total_benefit"] = share;
+  ev["max_first_use_gap_ns"] = f.max_first_use_gap.count();
+  ev["instances"] = static_cast<std::uint64_t>(g.instance_count());
+  ev["async_requested"] = flags.async_requested;
+  ev["hidden_syncs"] = flags.hidden_syncs;
+  ev["pageable_endpoints"] = flags.pageable_endpoint;
+  ev["duplicate_transfers"] = flags.duplicate_ops;
+  ex.evidence = std::move(ev);
+  return ex;
+}
+
+std::vector<Explanation> explain_all(const ffm::AnalysisResult& r,
+                                     const std::vector<Finding>& fs) {
+  std::vector<Explanation> out;
+  out.reserve(fs.size());
+  for (const Finding& f : fs) out.push_back(explain_finding(r, f));
+  return out;
+}
+
+std::string render_explained_overview(const ffm::AnalysisResult& r,
+                                      std::size_t max_entries) {
+  const std::vector<Finding> findings = ffm::collect_findings(r);
+  std::string out;
+  out += "Diogenes Overview Display (" + r.workload_name + ")\n";
+  out += "Time(s) (% of execution time)\n";
+  std::size_t shown = 0;
+  for (const Finding& f : findings) {
+    if (shown++ == max_entries) break;
+    out += pad_left(format_seconds(f.group->benefit) + " (" +
+                        format_percent(
+                            r.fraction_of_exec(f.group->benefit)) +
+                        ")",
+                    22) +
+           "  " + f.group->title + "\n";
+    const Explanation ex = explain_finding(r, f);
+    out += std::string(24, ' ') + "why: [" + ex.pattern + "] " +
+           ex.headline + "\n";
+  }
+  out += "  Back/Previous\n  Exit\n";
+  return out;
+}
+
+}  // namespace diog::explore

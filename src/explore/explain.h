@@ -1,0 +1,52 @@
+// Rule-based explanation engine: stage-5 findings -> causal narratives.
+//
+// The benefit report says *how much* time a fix recovers; it does not
+// say *why* the number is what it is, and the why is what decides
+// whether a developer acts. Each finding is pattern-matched against a
+// small taxonomy of known CUDA synchronization bugs (the shapes
+// catalogued by "Characterizing and Detecting CUDA Program Bugs" plus
+// the paper's own Figure-4 limited-benefit case), and the matching rule
+// assembles a narrative from the finding's member facts: which grouping
+// dominated, how far the first use sits from the sync end, what
+// fraction of the members' wait time is recoverable and what bounds the
+// rest. Deterministic: the same analysis produces byte-identical
+// explanations at any thread count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/findings.h"
+#include "json/json.h"
+
+namespace diog::explore {
+
+struct Explanation {
+  // Taxonomy id the finding matched, e.g. "redundant-device-sync".
+  std::string pattern;
+  // One-line causal summary for the overview listing.
+  std::string headline;
+  // The full narrative (2-4 sentences) for the report and the panel.
+  std::string narrative;
+  // The numbers the narrative is built from, for machine consumers.
+  json::Object evidence;
+
+  [[nodiscard]] json::Value to_json() const;
+};
+
+// Explains one finding of `r`. Never fails: a finding matching no
+// specific rule falls back to the generic benefit narrative.
+Explanation explain_finding(const ffm::AnalysisResult& r,
+                            const ffm::Finding& f);
+
+// All findings explained, in finding (benefit) order.
+std::vector<Explanation> explain_all(const ffm::AnalysisResult& r,
+                                     const std::vector<ffm::Finding>& fs);
+
+// The overview display with a "why:" line under every entry — what the
+// CLI's `overview` and `trace analyze` commands print. Entry lines and
+// ordering are identical to ffm::render_overview.
+std::string render_explained_overview(const ffm::AnalysisResult& r,
+                                      std::size_t max_entries = 8);
+
+}  // namespace diog::explore

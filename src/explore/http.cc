@@ -1,0 +1,223 @@
+#include "explore/http.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "support/error.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DIOG_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define DIOG_HAVE_SOCKETS 0
+#endif
+
+namespace diog::explore {
+
+namespace {
+
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string url_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size() &&
+               hex_val(s[i + 1]) >= 0 && hex_val(s[i + 2]) >= 0) {
+      out += static_cast<char>(hex_val(s[i + 1]) * 16 + hex_val(s[i + 2]));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+bool parse_request_line(std::string_view line, HttpRequest& out) {
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return false;
+  out.method = std::string(line.substr(0, sp1));
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (target.empty() || target[0] != '/') return false;
+  const std::size_t q = target.find('?');
+  out.path = url_decode(target.substr(0, q));
+  out.query.clear();
+  if (q != std::string_view::npos) {
+    std::string_view qs = target.substr(q + 1);
+    while (!qs.empty()) {
+      const std::size_t amp = qs.find('&');
+      const std::string_view pair = qs.substr(0, amp);
+      const std::size_t eq = pair.find('=');
+      if (!pair.empty()) {
+        if (eq == std::string_view::npos) {
+          out.query[url_decode(pair)] = "";
+        } else {
+          out.query[url_decode(pair.substr(0, eq))] =
+              url_decode(pair.substr(eq + 1));
+        }
+      }
+      if (amp == std::string_view::npos) break;
+      qs.remove_prefix(amp + 1);
+    }
+  }
+  return true;
+}
+
+std::string HttpRequest::get(std::string_view key,
+                             std::string_view fallback) const {
+  const auto it = query.find(key);
+  return it != query.end() ? it->second : std::string(fallback);
+}
+
+std::int64_t HttpRequest::get_i64(std::string_view key,
+                                  std::int64_t fallback) const {
+  const auto it = query.find(key);
+  if (it == query.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  return (end != nullptr && *end == '\0') ? v : fallback;
+}
+
+std::string_view status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 422: return "Unprocessable Entity";
+    default: return status >= 500 ? "Internal Server Error" : "Error";
+  }
+}
+
+std::string serialize_response(const HttpResponse& r) {
+  std::string out = "HTTP/1.1 " + std::to_string(r.status) + " " +
+                    std::string(status_text(r.status)) + "\r\n";
+  out += "Content-Type: " + r.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(r.body.size()) + "\r\n";
+  out += "Cache-Control: no-store\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += r.body;
+  return out;
+}
+
+HttpServer::HttpServer(Handler handler) : handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+#if DIOG_HAVE_SOCKETS
+
+void HttpServer::bind(std::uint16_t port) {
+  DIOG_CHECK(listen_fd_ < 0, "http: already bound");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  DIOG_CHECK(fd >= 0, "http: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    throw Error("http: cannot listen on 127.0.0.1:" + std::to_string(port) +
+                ": " + std::strerror(errno));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+}
+
+void HttpServer::serve() {
+  DIOG_CHECK(listen_fd_ >= 0, "http: serve() before bind()");
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      if (errno == EINTR) continue;
+      break;
+    }
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  // Read until the end of the header block (no request bodies: the
+  // explorer is GET-only), with a hard cap so a hostile peer cannot
+  // balloon memory.
+  std::string buf;
+  char chunk[4096];
+  while (buf.find("\r\n\r\n") == std::string::npos &&
+         buf.size() < 64 * 1024) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  HttpResponse resp;
+  HttpRequest req;
+  const std::size_t eol = buf.find("\r\n");
+  if (eol == std::string::npos ||
+      !parse_request_line(std::string_view(buf).substr(0, eol), req)) {
+    resp.status = 400;
+    resp.body = "{\"error\":\"malformed request\"}";
+  } else if (req.method != "GET" && req.method != "HEAD") {
+    resp.status = 405;
+    resp.body = "{\"error\":\"method not allowed\"}";
+  } else {
+    resp = handler_(req);
+    if (req.method == "HEAD") resp.body.clear();
+  }
+  const std::string out = serialize_response(resp);
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n = ::send(fd, out.data() + off, out.size() - off,
+#if defined(MSG_NOSIGNAL)
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void HttpServer::stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    // shutdown() wakes a blocked accept(); close() releases the port.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+#else  // !DIOG_HAVE_SOCKETS
+
+void HttpServer::bind(std::uint16_t) {
+  throw Error("http: sockets unsupported on this platform");
+}
+void HttpServer::serve() {}
+void HttpServer::handle_connection(int) {}
+void HttpServer::stop() { stopping_.store(true); }
+
+#endif
+
+}  // namespace diog::explore

@@ -1,0 +1,81 @@
+// A dependency-free embedded HTTP/1.1 server, just big enough for the
+// trace explorer: GET requests, query strings, one response per
+// connection (Connection: close), loopback only.
+//
+// The server owns only the socket plumbing. Everything interesting —
+// routing, JSON assembly, caching — lives in the Service layer, whose
+// handler this server invokes; tests exercise the handler directly
+// without sockets, and the socket path is covered by the CI smoke job.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace diog::explore {
+
+struct HttpRequest {
+  std::string method;  // "GET"
+  std::string path;    // decoded, no query string
+  std::map<std::string, std::string, std::less<>> query;
+
+  // Query accessors with defaults (missing or malformed -> fallback).
+  [[nodiscard]] std::string get(std::string_view key,
+                                std::string_view fallback = "") const;
+  [[nodiscard]] std::int64_t get_i64(std::string_view key,
+                                     std::int64_t fallback) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+// "%41" -> "A", "+" -> " ". Invalid escapes pass through literally.
+std::string url_decode(std::string_view s);
+
+// Splits "GET /api/timeline?t0=1&t1=2 HTTP/1.1" into method, decoded
+// path, and decoded query map. Returns false on a malformed line.
+bool parse_request_line(std::string_view line, HttpRequest& out);
+
+// The reason phrase for the handful of statuses the explorer emits.
+std::string_view status_text(int status);
+
+// Full response bytes (status line + headers + body).
+std::string serialize_response(const HttpResponse& r);
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(Handler handler);
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Binds 127.0.0.1:port (0 picks an ephemeral port) and starts
+  // listening. Throws diog::Error on failure.
+  void bind(std::uint16_t port);
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  // Accept loop on the calling thread; one request per connection,
+  // handled serially. Returns after stop().
+  void serve();
+
+  // Thread-safe: wakes the accept loop and makes serve() return.
+  void stop();
+
+ private:
+  void handle_connection(int fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace diog::explore

@@ -1,0 +1,224 @@
+#include "explore/page.h"
+
+namespace diog::explore {
+
+const char* explorer_page() {
+  // Raw string; kept dependency-free (no frameworks, no fonts, no
+  // external fetches) so the page works on an air-gapped box.
+  return R"HTML(<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>diogenes explore</title>
+<style>
+  body { margin: 0; font: 13px/1.45 -apple-system, "Segoe UI", sans-serif;
+         background: #14161a; color: #d8dce2; }
+  header { padding: 8px 14px; background: #1d202a; border-bottom: 1px solid #2a2f38;
+           display: flex; gap: 14px; align-items: baseline; }
+  header h1 { font-size: 15px; margin: 0; color: #8ab4f8; }
+  select, button { background: #222630; color: #d8dce2; border: 1px solid #394050;
+                   border-radius: 3px; padding: 3px 8px; font: inherit; }
+  #state { color: #9aa3b2; }
+  main { padding: 10px 14px; }
+  canvas { background: #181b21; border: 1px solid #2a2f38; width: 100%;
+           display: block; border-radius: 3px; }
+  h2 { font-size: 13px; color: #8ab4f8; margin: 16px 0 6px; }
+  table { border-collapse: collapse; width: 100%; font-size: 12px; }
+  th, td { text-align: left; padding: 3px 8px; border-bottom: 1px solid #242933; }
+  th { color: #9aa3b2; font-weight: 500; }
+  .benefit { color: #f7c96b; }
+  .pattern { color: #7fd1a8; font-family: ui-monospace, monospace; }
+  .why { color: #9aa3b2; }
+  #tip { position: fixed; pointer-events: none; background: #0d0f13;
+         border: 1px solid #394050; border-radius: 3px; padding: 4px 8px;
+         font-size: 12px; display: none; max-width: 420px; }
+</style>
+</head>
+<body>
+<header>
+  <h1>diogenes explore</h1>
+  <select id="run"></select>
+  <button id="zoomout">zoom out</button>
+  <span id="state"></span>
+</header>
+<main>
+  <canvas id="timeline" height="170"></canvas>
+  <h2>Flame (ops by call stack)</h2>
+  <canvas id="flame" height="140"></canvas>
+  <h2>Findings</h2>
+  <div id="findings">loading…</div>
+  <h2>Sync sites</h2>
+  <div id="syncsites"></div>
+</main>
+<div id="tip"></div>
+<script>
+"use strict";
+const $ = id => document.getElementById(id);
+const api = (ep, q) => fetch("/api/" + ep + "?" + new URLSearchParams(q))
+  .then(r => r.json());
+const fmtNs = n => {
+  if (n >= 1e9) return (n / 1e9).toFixed(2) + " s";
+  if (n >= 1e6) return (n / 1e6).toFixed(2) + " ms";
+  if (n >= 1e3) return (n / 1e3).toFixed(1) + " us";
+  return n + " ns";
+};
+const COLORS = { op: "#5b8def", internal_span: "#8a6fd1", page_fault: "#d17f6f" };
+
+let cur = { run: null, t0: 0, t1: 1, full: null };
+
+async function loadRuns() {
+  const doc = await api("runs", {});
+  const sel = $("run");
+  sel.innerHTML = "";
+  for (const r of doc.runs) {
+    const o = document.createElement("option");
+    o.value = r.run;
+    o.textContent = r.run + " — " + r.state +
+      (r.events !== undefined ? " (" + r.events + " events)" : "");
+    o.disabled = r.state === "error";
+    sel.appendChild(o);
+  }
+  const first = doc.runs.find(r => r.state !== "error");
+  if (first) selectRun(first.run);
+}
+
+function selectRun(name) {
+  cur = { run: name, t0: 0, t1: 0, full: null };
+  $("run").value = name;
+  drawTimeline();
+  drawFlame();
+  loadFindings();
+  loadSyncsites();
+}
+
+async function drawTimeline() {
+  const cv = $("timeline");
+  cv.width = cv.clientWidth * (window.devicePixelRatio || 1);
+  const px = Math.min(2048, Math.max(64, cv.clientWidth));
+  const q = { run: cur.run, px: px };
+  if (cur.t1 > cur.t0) { q.t0 = cur.t0; q.t1 = cur.t1; }
+  const doc = await api("timeline", q);
+  if (doc.error) { $("state").textContent = doc.error; return; }
+  cur.t0 = doc.t0; cur.t1 = doc.t1;
+  if (!cur.full) cur.full = [doc.t0, doc.t1];
+  $("state").textContent = fmtNs(doc.t1 - doc.t0) + " window, " +
+    doc.matched + " events, " + doc.scan.segments_skipped + " seg skipped";
+  const ctx = cv.getContext("2d");
+  const W = cv.width, H = cv.height, lanes = doc.tracks.length;
+  const laneH = Math.floor(H / Math.max(1, lanes));
+  ctx.clearRect(0, 0, W, H);
+  const scaleX = W / doc.px;
+  doc.tracks.forEach((tr, li) => {
+    const y0 = li * laneH;
+    let maxBusy = 1;
+    for (const d of tr.data) maxBusy = Math.max(maxBusy, d[2]);
+    ctx.fillStyle = COLORS[tr.kind] || "#888";
+    for (const d of tr.data) {
+      const h = Math.max(2, Math.round((laneH - 16) * d[2] / maxBusy));
+      ctx.fillRect(d[0] * scaleX, y0 + laneH - 2 - h,
+                   Math.max(1, scaleX), h);
+    }
+    ctx.fillStyle = "#9aa3b2";
+    ctx.font = "11px sans-serif";
+    ctx.fillText(tr.kind + " (" + tr.matched + ")", 6, y0 + 13);
+  });
+  cv.onmousemove = ev => {
+    const rect = cv.getBoundingClientRect();
+    const bin = Math.floor((ev.clientX - rect.left) / rect.width * doc.px);
+    const lane = Math.min(lanes - 1,
+      Math.floor((ev.clientY - rect.top) / rect.height * lanes));
+    const tr = doc.tracks[lane];
+    const hit = tr && tr.data.find(d => d[0] === bin);
+    const tip = $("tip");
+    if (!hit) { tip.style.display = "none"; return; }
+    tip.style.display = "block";
+    tip.style.left = (ev.clientX + 12) + "px";
+    tip.style.top = (ev.clientY + 12) + "px";
+    tip.textContent = hit[5] + " ×" + hit[1] + ", busy " + fmtNs(hit[2]) +
+      ", top " + fmtNs(hit[4]);
+  };
+  cv.onmouseleave = () => { $("tip").style.display = "none"; };
+  cv.onclick = ev => {
+    const rect = cv.getBoundingClientRect();
+    const frac = (ev.clientX - rect.left) / rect.width;
+    const mid = doc.t0 + frac * (doc.t1 - doc.t0);
+    const span = Math.max(1000, (doc.t1 - doc.t0) / 4);
+    cur.t0 = Math.round(mid - span / 2);
+    cur.t1 = Math.round(mid + span / 2);
+    drawTimeline();
+  };
+}
+
+async function drawFlame() {
+  const doc = await api("flame", { run: cur.run });
+  const cv = $("flame");
+  cv.width = cv.clientWidth * (window.devicePixelRatio || 1);
+  const ctx = cv.getContext("2d");
+  ctx.clearRect(0, 0, cv.width, cv.height);
+  if (doc.error || !doc.stacks || doc.total_ns === 0) return;
+  // Simple left-to-right layout: stacks in served (heaviest-first)
+  // order, width proportional to total time, frames stacked upward.
+  let x = 0;
+  const rowH = 18;
+  for (const s of doc.stacks) {
+    const w = Math.max(1, cv.width * s.total_ns / doc.total_ns);
+    s.frames.forEach((f, d) => {
+      const y = cv.height - (d + 1) * rowH;
+      if (y < 0) return;
+      ctx.fillStyle = "hsl(" + ((d * 47 + s.stack * 31) % 360) + ",42%,38%)";
+      ctx.fillRect(x, y, w - 1, rowH - 1);
+      if (w > 40) {
+        ctx.fillStyle = "#e6e9ee";
+        ctx.font = "10px sans-serif";
+        ctx.fillText(f.slice(0, Math.floor(w / 6)), x + 3, y + 12);
+      }
+    });
+    x += w;
+  }
+  cv.title = doc.distinct_stacks + " distinct stacks" +
+    (doc.truncated ? " (" + doc.truncated + " hidden)" : "");
+}
+
+async function loadFindings() {
+  const doc = await api("findings", { run: cur.run });
+  const el = $("findings");
+  if (doc.error) { el.textContent = doc.error; return; }
+  if (!doc.findings.length) { el.textContent = "no findings"; return; }
+  let html = "<table><tr><th>#</th><th>benefit</th><th>finding</th>" +
+             "<th>pattern</th></tr>";
+  for (const f of doc.findings) {
+    html += "<tr><td>" + f.rank + "</td><td class=benefit>" +
+      fmtNs(f.benefit_ns) + "</td><td>" + f.title +
+      "<div class=why>" + f.explanation.narrative + "</div></td>" +
+      "<td class=pattern>" + f.explanation.pattern + "</td></tr>";
+  }
+  el.innerHTML = html + "</table>";
+}
+
+async function loadSyncsites() {
+  const doc = await api("syncsites", { run: cur.run });
+  const el = $("syncsites");
+  if (doc.error) { el.textContent = doc.error; return; }
+  let html = "<table><tr><th>api</th><th>hits</th><th>required</th>" +
+             "<th>unnecessary</th><th>top site</th></tr>";
+  for (const g of doc.groups) {
+    html += "<tr><td>" + g.api + "</td><td>" + g.total_hits + "</td><td>" +
+      g.classified_required + "</td><td>" + g.classified_unnecessary +
+      "</td><td>" + (g.sites.length ? g.sites[0].site : "") + "</td></tr>";
+  }
+  el.innerHTML = html + "</table>";
+}
+
+$("run").onchange = ev => selectRun(ev.target.value);
+$("zoomout").onclick = () => {
+  if (cur.full) { cur.t0 = cur.full[0]; cur.t1 = cur.full[1]; }
+  drawTimeline();
+};
+loadRuns();
+</script>
+</body>
+</html>
+)HTML";
+}
+
+}  // namespace diog::explore

@@ -1,0 +1,14 @@
+// The explorer's single-page UI, embedded as a string table so the
+// binary is self-contained: no asset directory, no build-time bundler,
+// nothing to install. The page is static — every number it shows comes
+// from the /api/* endpoints — and renders the timeline on a canvas,
+// one bin per device pixel, which is exactly the granularity the
+// server's LoD binning produces.
+#pragma once
+
+namespace diog::explore {
+
+// The complete HTML document served at "/".
+const char* explorer_page();
+
+}  // namespace diog::explore

@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <vector>
 
+#include "obs/telemetry.h"
 #include "support/error.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -131,6 +132,7 @@ void HeartbeatReporter::thread_main() {
 void HeartbeatReporter::emit_locked(bool final) {
   if (f_ == nullptr) return;
   json::Object o = provider_ ? provider_() : json::Object{};
+  o["schema"] = schema_id("heartbeat");
   o["type"] = "heartbeat";
   o["t_wall_ms"] = wall_clock_ms();
   o["seq"] = emitted_;

@@ -10,6 +10,10 @@
 
 namespace diog::obs {
 
+std::string schema_id(std::string_view name) {
+  return "diogenes." + std::string(name) + ".v1";
+}
+
 Telemetry& Telemetry::global() {
   static Telemetry t;
   return t;
@@ -33,6 +37,14 @@ json::Value Telemetry::to_json() const {
   for (const LogRecord& r : logger_.records()) logs.push_back(r.to_json());
   root["logs"] = std::move(logs);
   return json::Value(std::move(root));
+}
+
+json::Value Telemetry::metrics_document() const {
+  json::Object o;
+  o["schema"] = schema_id("metrics");
+  o["metrics"] = metrics_.to_json();
+  o["overhead"] = accountant_.to_json();
+  return json::Value(std::move(o));
 }
 
 std::string Telemetry::to_jsonl() const {

@@ -18,6 +18,12 @@
 
 namespace diog::obs {
 
+// The schema tag every externally consumed JSON document carries:
+// "diogenes.<name>.v1". Downstream tools dispatch on the full string;
+// the version suffix is bumped when a document's shape changes
+// incompatibly.
+std::string schema_id(std::string_view name);
+
 class Telemetry {
  public:
   static Telemetry& global();
@@ -46,6 +52,11 @@ class Telemetry {
 
   // One document with everything (the `export`-style view).
   [[nodiscard]] json::Value to_json() const;
+
+  // The `metrics --json` document: schema tag + metric snapshots +
+  // overhead rows. This is the ONE serialization path for the metrics
+  // command; anything consuming it programmatically keys on "schema".
+  [[nodiscard]] json::Value metrics_document() const;
 
   // JSON lines: every metric, span, overhead row and captured log
   // record as one self-describing object per line.

@@ -6,11 +6,14 @@
 #include <span>
 #include <sstream>
 
+#include <map>
+
 #include "core/benefit.h"
 #include "core/groupings.h"
 #include "core/report.h"
 #include "eventstore/live_writer.h"
 #include "eventstore/run_io.h"
+#include "explore/service.h"
 #include "parallel/thread_pool.h"
 #include "support/error.h"
 
@@ -214,6 +217,17 @@ OracleReport check_analysis_invariants(const evstore::TraceRun& run,
     ThreadOverrideGuard guard;
     std::string ref_bytes;
     std::size_t ref_tc = 0;
+    // Explorer endpoints over the saved run, captured at the first
+    // thread count and required byte-identical at every other one. The
+    // same relation the export obeys, extended to the served JSON.
+    const std::vector<std::string> endpoints = {
+        "/api/timeline?run=oracle-oneshot&px=512",
+        "/api/timeline?run=oracle-oneshot&px=64&tracks=op",
+        "/api/flame?run=oracle-oneshot",
+        "/api/findings?run=oracle-oneshot",
+        "/api/syncsites?run=oracle-oneshot",
+    };
+    std::map<std::string, std::string> ref_bodies;
     for (const std::size_t tc : opts.thread_counts) {
       par::set_threads(tc);
       const ffm::AnalysisResult t = ffm::run_analysis(run, opts.cfg);
@@ -247,6 +261,29 @@ OracleReport check_analysis_invariants(const evstore::TraceRun& run,
       check(ffm::export_json(b).dump() == expected,
             "reopened analysis at threads=" + std::to_string(tc) +
                 " differs from the in-memory analysis");
+
+      if (opts.check_endpoints) {
+        // A fresh Service per thread count, serving the one-shot file,
+        // so every aggregation and the findings analysis genuinely
+        // re-run under this thread count.
+        explore::ServiceOptions so;
+        so.root = oneshot;
+        so.config = opts.cfg;
+        explore::Service svc(so);
+        for (const std::string& target : endpoints) {
+          explore::HttpRequest req;
+          DIOG_CHECK(explore::parse_request_line(
+                         "GET " + target + " HTTP/1.1", req),
+                     "oracle endpoint target unparsable: " + target);
+          const std::string body = svc.handle(req).body;
+          auto [it, inserted] = ref_bodies.emplace(target, body);
+          check(inserted || it->second == body,
+                "endpoint " + target + " at threads=" +
+                    std::to_string(tc) + " differs from threads=" +
+                    std::to_string(ref_tc == 0 ? opts.thread_counts.front()
+                                               : ref_tc));
+        }
+      }
     }
   }
 

@@ -47,6 +47,10 @@ struct OracleOptions {
   // 8 deliberately oversubscribes small machines: scheduling jitter is
   // exactly what the byte-identity contract must survive.
   std::vector<std::size_t> thread_counts = {1, 2, 8};
+  // Also serve the saved run through the explorer's request layer at
+  // each thread count and require byte-identical endpoint JSON
+  // (timeline / flame / findings / syncsites).
+  bool check_endpoints = true;
 };
 
 struct OracleReport {

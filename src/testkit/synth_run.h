@@ -1,0 +1,34 @@
+// Deterministic synthetic runs at arbitrary scale.
+//
+// The explorer and its benchmarks need million-event runs; the example
+// apps top out at a few thousand. This helper manufactures a TraceRun
+// of exactly `events` rows that is BOTH big (ops dominate, spread over
+// a long virtual timeline, so LoD binning and pushdown have something
+// to chew on) AND analyzable (a bounded number of problem sites, so
+// stage 5 stays tractable at any size). Pure function of its
+// parameters — same arguments, same run, byte-for-byte.
+#pragma once
+
+#include <cstdint>
+
+#include "eventstore/run.h"
+
+namespace diog::testkit {
+
+struct SynthRunOptions {
+  // Total events in the store (exactly; padded with internal spans).
+  std::uint64_t events = 100000;
+  // Distinct problematic sync sites. Problem instances are capped at
+  // 16 per site, so analysis cost scales with this, not with `events`.
+  std::uint32_t problem_sites = 4;
+  // Virtual ns between consecutive op starts.
+  std::int64_t op_spacing_ns = 1000;
+};
+
+// Builds the run in memory. Layout: sync-site rows first (stage-1
+// order), then ops (every 64th performs a sync), then one
+// classification per sync op (problems marked unnecessary), then
+// first-use rows for the problems, then internal-span padding.
+evstore::TraceRun make_synthetic_run(const SynthRunOptions& opts);
+
+}  // namespace diog::testkit

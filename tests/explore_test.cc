@@ -1,0 +1,307 @@
+// The trace explorer (ISSUE 6): HTTP parsing, the LoD aggregation
+// layer's determinism contract, the Service error model over empty and
+// torn runs, the viewport byte budget at a million events, the filtered
+// dump's predicate pushdown, and the explanation engine's totality.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/diogenes.h"
+#include "core/findings.h"
+#include "core/report.h"
+#include "eventstore/aggregate.h"
+#include "eventstore/live_writer.h"
+#include "eventstore/run_io.h"
+#include "explore/explain.h"
+#include "explore/http.h"
+#include "explore/service.h"
+#include "json/json.h"
+#include "parallel/thread_pool.h"
+#include "testkit/synth_run.h"
+
+namespace diog {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ExploreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::temp_directory_path() /
+            (std::string("diog_explore_") + info->name()))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    saved_threads_ = par::threads_override();
+  }
+  void TearDown() override {
+    par::set_threads(saved_threads_);
+    fs::remove_all(dir_);
+  }
+
+  std::string save(const std::string& name, const evstore::TraceRun& run) {
+    const std::string path = dir_ + "/" + name + ".dgtrace";
+    evstore::save_run(path, run, evstore::SaveOptions{.footer_wall_ms = 0});
+    return path;
+  }
+
+  static explore::HttpResponse get(explore::Service& svc,
+                                   const std::string& target) {
+    explore::HttpRequest req;
+    EXPECT_TRUE(
+        explore::parse_request_line("GET " + target + " HTTP/1.1", req))
+        << target;
+    return svc.handle(req);
+  }
+
+  std::string dir_;
+  std::size_t saved_threads_ = 0;
+};
+
+// --- HTTP layer (no sockets) ------------------------------------------------
+
+TEST(ExploreHttp, UrlDecodeHandlesEscapesAndPassesInvalidOnesThrough) {
+  EXPECT_EQ(explore::url_decode("%41%2fb+c"), "A/b c");
+  EXPECT_EQ(explore::url_decode("plain"), "plain");
+  EXPECT_EQ(explore::url_decode("%zz%4"), "%zz%4");  // malformed: literal
+}
+
+TEST(ExploreHttp, ParseRequestLineSplitsPathAndQuery) {
+  explore::HttpRequest req;
+  ASSERT_TRUE(explore::parse_request_line(
+      "GET /api/timeline?t0=10&t1=20&tracks=op%2cpage_fault HTTP/1.1", req));
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/api/timeline");
+  EXPECT_EQ(req.get("tracks"), "op,page_fault");
+  EXPECT_EQ(req.get_i64("t0", -1), 10);
+  EXPECT_EQ(req.get_i64("t1", -1), 20);
+  EXPECT_EQ(req.get_i64("missing", -7), -7);
+  EXPECT_EQ(req.get_i64("tracks", -7), -7);  // non-numeric -> fallback
+
+  EXPECT_FALSE(explore::parse_request_line("garbage", req));
+  EXPECT_FALSE(explore::parse_request_line("GET /x", req));
+}
+
+// --- LoD binning ------------------------------------------------------------
+
+TEST_F(ExploreTest, BinEventsIsIdenticalAtEveryThreadCount) {
+  const evstore::TraceRun run =
+      testkit::make_synthetic_run({.events = 50'000});
+  const evstore::EventStore& store = *run.store;
+
+  auto snapshot = [&store] {
+    evstore::Cursor proto(store);
+    proto.kind(evstore::EventKind::kOp);
+    const evstore::BinnedSpans b =
+        evstore::bin_events(store, proto, 0, 50'000'000, 777);
+    std::string s = std::to_string(b.matched) + "|" +
+                    std::to_string(b.bin_width) + "|" +
+                    std::to_string(b.bins);
+    for (const evstore::TimeBin& bin : b.data) {
+      s += ";" + std::to_string(bin.count) + "," +
+           std::to_string(bin.busy_ns) + "," +
+           std::to_string(bin.rep.t_start) + "," +
+           std::to_string(bin.rep.t_end) + "," +
+           std::to_string(bin.rep.op_index);
+    }
+    return s;
+  };
+
+  par::set_threads(1);
+  const std::string ref = snapshot();
+  for (const std::size_t tc : {2, 8}) {
+    par::set_threads(tc);
+    EXPECT_EQ(snapshot(), ref) << "threads=" << tc;
+  }
+  EXPECT_NE(ref.find(";"), std::string::npos);
+}
+
+TEST_F(ExploreTest, BinEventsClampsAndHandlesEmptyRanges) {
+  const evstore::TraceRun run = testkit::make_synthetic_run({.events = 100});
+  evstore::Cursor proto(*run.store);
+  const evstore::BinnedSpans huge =
+      evstore::bin_events(*run.store, proto, 0, 1'000'000, 1 << 20);
+  EXPECT_EQ(huge.bins, evstore::kMaxBins);
+  const evstore::BinnedSpans inverted =
+      evstore::bin_events(*run.store, proto, 10, 10, 64);
+  EXPECT_EQ(inverted.bins, 1u);
+  EXPECT_EQ(inverted.matched, 0u);
+}
+
+// --- Service endpoints ------------------------------------------------------
+
+TEST_F(ExploreTest, EndpointBodiesAreByteIdenticalAtEveryThreadCount) {
+  save("tiny", testkit::make_synthetic_run({.events = 20'000}));
+  const std::vector<std::string> targets = {
+      "/api/timeline?run=tiny&px=512",
+      "/api/timeline?run=tiny&px=64&tracks=op",
+      "/api/flame?run=tiny",
+      "/api/findings?run=tiny",
+      "/api/syncsites?run=tiny",
+  };
+  std::vector<std::string> ref;
+  for (const std::size_t tc : {1, 2, 8}) {
+    par::set_threads(tc);
+    // A fresh Service per thread count: nothing may answer from a cache
+    // warmed under a different thread count.
+    explore::Service svc({.root = dir_, .config = {}});
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      const explore::HttpResponse r = get(svc, targets[i]);
+      EXPECT_EQ(r.status, 200) << targets[i];
+      if (tc == 1) {
+        ref.push_back(r.body);
+      } else {
+        EXPECT_EQ(r.body, ref[i]) << targets[i] << " threads=" << tc;
+      }
+    }
+  }
+}
+
+TEST_F(ExploreTest, EmptyRunServesEveryEndpointWithoutServerError) {
+  evstore::TraceRun empty;
+  save("empty", empty);
+  explore::Service svc({.root = dir_, .config = {}});
+  for (const std::string target :
+       {"/api/runs", "/api/stat?run=empty", "/api/timeline?run=empty",
+        "/api/flame?run=empty", "/api/findings?run=empty",
+        "/api/syncsites?run=empty", "/", "/healthz"}) {
+    const explore::HttpResponse r = get(svc, target);
+    EXPECT_LT(r.status, 500) << target;
+    if (r.content_type == "application/json") {
+      EXPECT_NO_THROW((void)json::parse(r.body)) << target;
+    }
+  }
+}
+
+TEST_F(ExploreTest, TornLiveRunServesTheReadablePrefix) {
+  const std::string path = dir_ + "/live.dgtrace";
+  {
+    // A writer that checkpoints every 1000 events and never finishes:
+    // a live file with several complete chunks. Tearing a few bytes off
+    // the end leaves the last chunk torn and the rest a clean prefix.
+    const evstore::TraceRun src =
+        testkit::make_synthetic_run({.events = 5'000});
+    const evstore::EventStore& s = *src.store;
+    evstore::TraceRun dst;
+    dst.meta = src.meta;
+    evstore::LiveRunWriter w(
+        path, evstore::LiveRunWriter::Options{.fsync_checkpoints = false});
+    for (std::uint64_t i = 0; i < s.size(); ++i) {
+      evstore::Event e = s.event(i);
+      e.stack = dst.store->intern_stack(s.stack_trace(e.stack));
+      e.aux_stack = dst.store->intern_stack(s.stack_trace(e.aux_stack));
+      e.name = e.name == evstore::kNoName
+                   ? evstore::kNoName
+                   : dst.store->intern_name(s.name(e.name));
+      dst.store->append(e);
+      if ((i + 1) % 1000 == 0) w.checkpoint(dst);
+    }
+  }
+  fs::resize_file(path, fs::file_size(path) - 37);
+
+  explore::Service svc({.root = dir_, .config = {}});
+  const explore::HttpResponse runs = get(svc, "/api/runs");
+  ASSERT_EQ(runs.status, 200);
+  EXPECT_NE(runs.body.find("in progress"), std::string::npos)
+      << "live/torn state must be surfaced: " << runs.body;
+  for (const std::string target :
+       {"/api/stat?run=live", "/api/timeline?run=live", "/api/flame?run=live",
+        "/api/syncsites?run=live"}) {
+    const explore::HttpResponse r = get(svc, target);
+    EXPECT_LT(r.status, 500) << target;
+    EXPECT_NO_THROW((void)json::parse(r.body)) << target;
+  }
+  const json::Value tl = json::parse(get(svc, "/api/timeline?run=live").body);
+  EXPECT_GT(tl.at("matched").as_int(), 0)
+      << "the clean prefix must still be served";
+}
+
+TEST_F(ExploreTest, ErrorModelIs404ForUnknownAnd400ForBadParams) {
+  save("ok", testkit::make_synthetic_run({.events = 1'000}));
+  explore::Service svc({.root = dir_, .config = {}});
+  EXPECT_EQ(get(svc, "/api/stat?run=nope").status, 404);
+  EXPECT_EQ(get(svc, "/api/timeline?run=../../etc/passwd").status, 404);
+  EXPECT_EQ(get(svc, "/api/timeline?run=ok&tracks=flying_carpet").status,
+            400);
+  EXPECT_EQ(get(svc, "/api/timeline?run=ok&t0=9&t1=3").status, 400);
+  EXPECT_EQ(get(svc, "/nope").status, 404);
+  EXPECT_EQ(get(svc, "/healthz").status, 200);
+}
+
+TEST_F(ExploreTest, MillionEventViewportStaysUnderTheByteBudget) {
+  save("big", testkit::make_synthetic_run({.events = 1'000'000}));
+  explore::Service svc({.root = dir_, .config = {}});
+  for (const std::string target :
+       {"/api/timeline?run=big&px=1024",
+        "/api/timeline?run=big&px=2048&tracks=op,internal_span"}) {
+    const explore::HttpResponse r = get(svc, target);
+    ASSERT_EQ(r.status, 200) << target;
+    EXPECT_LE(r.body.size(), std::size_t{512} * 1024) << target;
+    const json::Value v = json::parse(r.body);
+    EXPECT_GT(v.at("matched").as_int(), 900'000) << target;
+  }
+}
+
+// --- Filtered dump pushdown -------------------------------------------------
+
+TEST_F(ExploreTest, DumpRangeAndKindFiltersSkipSegmentsAndBlocks) {
+  // ~5 segments of 64K rows; ops carry t_start = i * 1000ns, so a narrow
+  // late window leaves whole early segments (and most blocks of the
+  // segment it lands in) skippable from their stats alone.
+  const evstore::TraceRun run =
+      testkit::make_synthetic_run({.events = 300'000});
+
+  ffm::DumpOptions opts;
+  opts.kind = "op";
+  opts.t0 = 200'000'000;
+  opts.t1 = 200'064'000;
+  opts.max_events = 32;
+  ffm::DumpStats stats;
+  const std::string out = ffm::render_run_dump(run, opts, &stats);
+  EXPECT_GT(stats.shown, 0u);
+  EXPECT_LE(stats.shown, 32u);
+  EXPECT_GT(stats.segments_skipped, 0u)
+      << "range pushdown must skip whole early segments";
+  EXPECT_GT(stats.blocks_skipped, 0u)
+      << "range pushdown must skip blocks inside partial segments";
+  EXPECT_NE(out.find("op"), std::string::npos);
+
+  // A kind that never occurs: everything is skipped, nothing shown.
+  ffm::DumpOptions none;
+  none.kind = "duplicate_transfer";
+  ffm::DumpStats nstats;
+  (void)ffm::render_run_dump(run, none, &nstats);
+  EXPECT_EQ(nstats.shown, 0u);
+  EXPECT_GT(nstats.segments_skipped + nstats.blocks_skipped, 0u);
+
+  EXPECT_THROW((void)ffm::render_run_dump(
+                   run, ffm::DumpOptions{.kind = "no_such_kind"}),
+               diog::Error);
+}
+
+// --- Explanation engine -----------------------------------------------------
+
+TEST_F(ExploreTest, EveryFindingGetsANonEmptyExplanation) {
+  const evstore::TraceRun run =
+      testkit::make_synthetic_run({.events = 50'000});
+  const ffm::AnalysisResult a = ffm::run_analysis(run, {});
+  const std::vector<ffm::Finding> fs = ffm::collect_findings(a);
+  ASSERT_FALSE(fs.empty()) << "the synthetic run must produce findings";
+  const std::vector<explore::Explanation> ex = explore::explain_all(a, fs);
+  ASSERT_EQ(ex.size(), fs.size());
+  for (const explore::Explanation& e : ex) {
+    EXPECT_FALSE(e.pattern.empty());
+    EXPECT_FALSE(e.headline.empty());
+    EXPECT_FALSE(e.narrative.empty());
+    EXPECT_NO_THROW((void)json::parse(e.to_json().dump()));
+  }
+  const std::string overview = explore::render_explained_overview(a);
+  EXPECT_NE(overview.find("why:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace diog

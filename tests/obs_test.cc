@@ -549,5 +549,51 @@ TEST(ObsTelemetry, ExitFlushWritesRegisteredPathOnce) {
   t.reset();
 }
 
+TEST(ObsSchema, SchemaIdIsVersionedAndNamespaced) {
+  EXPECT_EQ(schema_id("metrics"), "diogenes.metrics.v1");
+  EXPECT_EQ(schema_id("heartbeat"), "diogenes.heartbeat.v1");
+}
+
+TEST(ObsSchema, EveryHeartbeatLineCarriesTheSchemaId) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "diog_hb_schema_test.jsonl";
+  std::filesystem::remove(path);
+  {
+    HeartbeatReporter::Options opts;
+    opts.path = path.string();
+    opts.interval = std::chrono::milliseconds(60'000);
+    HeartbeatReporter hb(opts, [] { return json::Object{}; });
+    hb.emit_now();
+    hb.stop();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    const json::Value v = json::parse(line);
+    EXPECT_EQ(v.at("schema").as_string(), "diogenes.heartbeat.v1");
+    ++lines;
+  }
+  EXPECT_GE(lines, 2u);  // open + final, at minimum
+  std::filesystem::remove(path);
+}
+
+TEST(ObsSchema, MetricsDocumentCarriesTheSchemaId) {
+  auto& t = Telemetry::global();
+  t.reset();
+  t.set_enabled(true);
+  t.metrics().counter("schema.test").inc();
+  const json::Value v = t.metrics_document();
+  EXPECT_EQ(v.at("schema").as_string(), "diogenes.metrics.v1");
+  EXPECT_TRUE(v.contains("metrics"));
+  EXPECT_TRUE(v.contains("overhead"));
+  // The dump must survive a parse round trip (the CLI prints exactly
+  // this document for `metrics --json`).
+  const json::Value rt = json::parse(v.dump());
+  EXPECT_EQ(rt.at("schema").as_string(), "diogenes.metrics.v1");
+  t.reset();
+}
+
 }  // namespace
 }  // namespace diog::obs
