@@ -1,0 +1,203 @@
+// Fleet archive benchmark: ingest, dedup, listing, and sentinel
+// latency over a populated archive.
+//
+// The archive's promise is that fleet-scale questions are answered
+// from the digest index, never by reopening run files: listing and
+// regression-checking a hundred archived runs must cost milliseconds,
+// and re-ingesting known bytes must cost one hash, not one analysis.
+// This bench ingests N byte-distinct synthetic runs of one workload,
+// then measures the steady-state operations a fleet loop performs —
+// and writes BENCH_archive.json with the budget verdict.
+//
+//   bench_archive [--out FILE] [--runs N] [--events N]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "archive/archive.h"
+#include "archive/regress.h"
+#include "eventstore/run_io.h"
+#include "json/json.h"
+#include "testkit/synth_run.h"
+
+namespace diog::archive {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Steady-state budgets. Ingest is excluded: it legitimately pays one
+// stage-5 analysis per new run; everything after it must be index-only.
+constexpr double kDedupMsBudget = 50.0;    // re-add of known bytes
+constexpr double kLsMsBudget = 50.0;       // full index read
+constexpr double kRegressMsBudget = 50.0;  // sentinel over every workload
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double p50(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0.0 : v[v.size() / 2];
+}
+
+double mean(const std::vector<double>& v) {
+  double m = 0;
+  for (const double x : v) m += x;
+  return v.empty() ? 0.0 : m / static_cast<double>(v.size());
+}
+
+int run(const std::string& out_path, std::size_t runs,
+        std::uint64_t events) {
+  const std::string dir =
+      (fs::temp_directory_path() / "diog_bench_archive").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  // N byte-distinct variants of one workload: spacing drifts per run,
+  // and every fifth run carries extra problem sites so the sentinel has
+  // real variance to chew on.
+  double t = now_ms();
+  std::vector<std::string> files;
+  files.reserve(runs);
+  for (std::size_t i = 0; i < runs; ++i) {
+    const std::string path =
+        dir + "/run" + std::to_string(i) + ".dgtrace";
+    const evstore::TraceRun run = testkit::make_synthetic_run(
+        {.events = events,
+         .problem_sites = static_cast<std::uint32_t>(2 + (i % 5)),
+         .op_spacing_ns = 1000 + static_cast<std::int64_t>(i)});
+    evstore::save_run(path, run,
+                      evstore::SaveOptions{.footer_wall_ms = 0});
+    files.push_back(path);
+  }
+  const double synth_ms = now_ms() - t;
+
+  Archive ar(ArchiveOptions{
+      .root = dir + "/archive", .config = {}, .ingest_wall_ms = 0});
+
+  std::vector<double> ingest;
+  ingest.reserve(runs);
+  for (const std::string& f : files) {
+    t = now_ms();
+    (void)ar.add(f);
+    ingest.push_back(now_ms() - t);
+  }
+
+  std::vector<double> dedup;
+  dedup.reserve(runs);
+  for (const std::string& f : files) {
+    t = now_ms();
+    const Archive::AddResult r = ar.add(f);
+    dedup.push_back(now_ms() - t);
+    if (!r.deduplicated) {
+      std::fprintf(stderr, "re-add of %s was not a dedup\n", f.c_str());
+      return 1;
+    }
+  }
+
+  std::vector<double> ls;
+  std::size_t indexed = 0;
+  for (int r = 0; r < 20; ++r) {
+    t = now_ms();
+    indexed = ar.index().size();
+    ls.push_back(now_ms() - t);
+  }
+  if (indexed != runs) {
+    std::fprintf(stderr, "index holds %zu digests, expected %zu\n",
+                 indexed, runs);
+    return 1;
+  }
+
+  std::vector<double> regress;
+  std::size_t findings = 0;
+  for (int r = 0; r < 20; ++r) {
+    const std::vector<RunDigest> index = ar.index();
+    t = now_ms();
+    findings = 0;
+    for (const RegressReport& rep : check_all(index, {})) {
+      findings += rep.findings.size();
+    }
+    regress.push_back(now_ms() - t);
+  }
+
+  struct Row {
+    const char* label;
+    double p50_ms;
+    double mean_ms;
+    double budget_ms;  // <= 0: informational only
+  };
+  const std::vector<Row> rows = {
+      {"ingest", p50(ingest), mean(ingest), 0},
+      {"dedup_add", p50(dedup), mean(dedup), kDedupMsBudget},
+      {"ls_index", p50(ls), mean(ls), kLsMsBudget},
+      {"regress_all", p50(regress), mean(regress), kRegressMsBudget},
+  };
+
+  bool within_budget = true;
+  json::Array out_rows;
+  for (const Row& r : rows) {
+    const bool ok = r.budget_ms <= 0 || r.p50_ms < r.budget_ms;
+    within_budget = within_budget && ok;
+    std::printf("%-12s p50 %8.3f ms  mean %8.3f ms%s\n", r.label,
+                r.p50_ms, r.mean_ms, ok ? "" : "  ** OVER BUDGET **");
+    json::Object row;
+    row["label"] = std::string(r.label);
+    row["p50_ms"] = r.p50_ms;
+    row["mean_ms"] = r.mean_ms;
+    if (r.budget_ms > 0) row["budget_ms"] = r.budget_ms;
+    row["within_budget"] = ok;
+    out_rows.emplace_back(std::move(row));
+  }
+
+  const Archive::Stats st = ar.stats();
+  json::Object root;
+  root["bench"] = std::string("archive");
+  root["runs"] = static_cast<std::int64_t>(runs);
+  root["events_per_run"] = static_cast<std::int64_t>(events);
+  root["synth_ms"] = synth_ms;
+  root["archived_bytes"] = static_cast<std::int64_t>(st.bytes);
+  root["sentinel_findings"] = static_cast<std::int64_t>(findings);
+  json::Object budget;
+  budget["dedup_ms"] = kDedupMsBudget;
+  budget["ls_ms"] = kLsMsBudget;
+  budget["regress_ms"] = kRegressMsBudget;
+  budget["within_budget"] = within_budget;
+  root["budget"] = std::move(budget);
+  root["operations"] = std::move(out_rows);
+  json::save_file(out_path, json::Value(std::move(root)));
+  std::printf("wrote %s\n", out_path.c_str());
+
+  fs::remove_all(dir);
+  return within_budget ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace diog::archive
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_archive.json";
+  std::size_t runs = 100;
+  std::uint64_t events = 20'000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
+      runs = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
+      events = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_archive [--out FILE] [--runs N] "
+                   "[--events N]\n");
+      return 2;
+    }
+  }
+  return diog::archive::run(out_path, runs, events);
+}

@@ -64,7 +64,7 @@ int run(const std::string& out_path, std::uint64_t events,
   evstore::save_run(run_path, run);
   const double save_ms = now_ms() - t;
 
-  Service svc({.root = dir, .config = {}});
+  Service svc({.root = dir, .config = {}, .archive_root = {}});
 
   struct Target {
     const char* label;

@@ -1,0 +1,175 @@
+#include "archive/digest.h"
+
+#include <algorithm>
+
+#include "core/diogenes.h"
+#include "core/findings.h"
+#include "eventstore/aggregate.h"
+#include "eventstore/cursor.h"
+#include "obs/telemetry.h"
+
+namespace diog::archive {
+
+namespace {
+
+double ratio(Duration num, Duration den) {
+  return den.count() > 0 ? static_cast<double>(num.count()) /
+                               static_cast<double>(den.count())
+                         : 0.0;
+}
+
+}  // namespace
+
+json::Value DigestFinding::to_json() const {
+  json::Object o;
+  o["title"] = title;
+  o["source"] = source;
+  o["benefit_ns"] = benefit_ns;
+  o["members"] = members;
+  o["recoverable_fraction"] = recoverable_fraction;
+  return json::Value(std::move(o));
+}
+
+DigestFinding DigestFinding::from_json(const json::Value& v) {
+  DigestFinding f;
+  f.title = v.at("title").as_string();
+  f.source = v.at("source").as_string();
+  f.benefit_ns = v.at("benefit_ns").as_int();
+  f.members = static_cast<std::uint64_t>(v.at("members").as_int());
+  f.recoverable_fraction = v.at("recoverable_fraction").as_double();
+  return f;
+}
+
+json::Value RunDigest::to_json() const {
+  json::Object o;
+  o["schema"] = obs::schema_id("digest");
+  o["run_id"] = run_id;
+  o["workload"] = workload;
+  o["ingest_wall_ms"] = ingest_wall_ms;
+  o["file_bytes"] = file_bytes;
+  o["events"] = events;
+  json::Object by_kind;
+  for (std::size_t i = 0; i < evstore::kEventKindCount; ++i) {
+    if (events_by_kind[i] != 0) {
+      by_kind[std::string(
+          evstore::to_string(static_cast<evstore::EventKind>(i)))] =
+          events_by_kind[i];
+    }
+  }
+  o["events_by_kind"] = std::move(by_kind);
+  o["dropped_events"] = dropped_events;
+  o["sync_count"] = sync_count;
+  o["unnecessary_syncs"] = unnecessary_syncs;
+  o["wall_time_ns"] = wall_time_ns;
+  o["exec_time_ns"] = exec_time_ns;
+  o["collection_time_ns"] = collection_time_ns;
+  o["overhead_factor"] = overhead_factor;
+  json::Object so;
+  so["s1"] = stage_overhead[0];
+  so["s2"] = stage_overhead[1];
+  so["s3"] = stage_overhead[2];
+  so["s4"] = stage_overhead[3];
+  o["stage_overhead"] = std::move(so);
+  o["total_benefit_ns"] = total_benefit_ns;
+  json::Array fs;
+  for (const DigestFinding& f : findings) fs.push_back(f.to_json());
+  o["findings"] = std::move(fs);
+  return json::Value(std::move(o));
+}
+
+RunDigest RunDigest::from_json(const json::Value& v) {
+  RunDigest d;
+  d.run_id = v.at("run_id").as_string();
+  d.workload = v.at("workload").as_string();
+  d.ingest_wall_ms = v.at("ingest_wall_ms").as_int();
+  d.file_bytes = static_cast<std::uint64_t>(v.at("file_bytes").as_int());
+  d.events = static_cast<std::uint64_t>(v.at("events").as_int());
+  if (v.contains("events_by_kind")) {
+    for (const auto& [name, count] : v.at("events_by_kind").as_object()) {
+      evstore::EventKind k{};
+      if (evstore::kind_from_name(name, k)) {
+        d.events_by_kind[static_cast<std::size_t>(k)] =
+            static_cast<std::uint64_t>(count.as_int());
+      }
+    }
+  }
+  d.dropped_events =
+      static_cast<std::uint64_t>(v.at("dropped_events").as_int());
+  d.sync_count = static_cast<std::uint64_t>(v.at("sync_count").as_int());
+  d.unnecessary_syncs =
+      static_cast<std::uint64_t>(v.at("unnecessary_syncs").as_int());
+  d.wall_time_ns = v.at("wall_time_ns").as_int();
+  d.exec_time_ns = v.at("exec_time_ns").as_int();
+  d.collection_time_ns = v.at("collection_time_ns").as_int();
+  d.overhead_factor = v.at("overhead_factor").as_double();
+  if (v.contains("stage_overhead")) {
+    const json::Value& so = v.at("stage_overhead");
+    d.stage_overhead[0] = so.at("s1").as_double();
+    d.stage_overhead[1] = so.at("s2").as_double();
+    d.stage_overhead[2] = so.at("s3").as_double();
+    d.stage_overhead[3] = so.at("s4").as_double();
+  }
+  d.total_benefit_ns = v.at("total_benefit_ns").as_int();
+  if (v.contains("findings")) {
+    for (const json::Value& f : v.at("findings").as_array()) {
+      d.findings.push_back(DigestFinding::from_json(f));
+    }
+  }
+  return d;
+}
+
+RunDigest digest_run(const evstore::TraceRun& run,
+                     const evstore::RunFileInfo& info,
+                     const ffm::ToolConfig& cfg) {
+  const evstore::EventStore& store = *run.store;
+  RunDigest d;
+  d.workload = run.meta.workload;
+  d.events = store.size();
+  for (std::size_t i = 0; i < evstore::kEventKindCount; ++i) {
+    d.events_by_kind[i] = store.count_of(static_cast<evstore::EventKind>(i));
+  }
+  // Both sources describe the same loss (ring eviction before a
+  // checkpoint could persist the events); the writer's meta counter and
+  // the reader's chunk-gap accounting can each see drops the other
+  // missed, so take the larger.
+  d.dropped_events =
+      std::max(run.meta.dropped_events, info.dropped_before_checkpoint);
+
+  d.sync_count = store.count_of(evstore::EventKind::kSyncClassification);
+  evstore::sync_classifications(store).for_each(
+      [&d](const evstore::Event& e) {
+        if (!e.has(evstore::flag::kSyncRequired)) ++d.unnecessary_syncs;
+      });
+
+  const evstore::TimeExtent ext =
+      evstore::time_extent(store, evstore::Cursor(store));
+  d.wall_time_ns = ext.matched > 0 ? ext.t_max - ext.t_min : 0;
+
+  d.collection_time_ns = run.collection_time().count();
+  for (std::size_t s = 0; s < 4; ++s) {
+    const Duration sn = s == 0   ? run.meta.s1_exec
+                        : s == 1 ? run.meta.s2_exec
+                        : s == 2 ? run.meta.s3_exec
+                                 : run.meta.s4_exec;
+    d.stage_overhead[s] = ratio(sn, run.meta.s1_exec);
+  }
+
+  const ffm::AnalysisResult r = ffm::run_analysis(run, cfg);
+  d.exec_time_ns = r.exec_time().count();
+  d.overhead_factor = r.overhead_factor;
+  d.total_benefit_ns = r.benefit.total.count();
+  const std::vector<ffm::Finding> fs = ffm::collect_findings(r);
+  for (const ffm::Finding& f : fs) {
+    if (d.findings.size() >= kDigestTopFindings) break;
+    DigestFinding df;
+    df.title = f.group->title;
+    df.source = f.source == ffm::Finding::Source::kFold ? "fold" : "sequence";
+    df.benefit_ns = f.group->benefit.count();
+    df.members = f.members;
+    df.recoverable_fraction = f.recoverable_fraction();
+    d.findings.push_back(std::move(df));
+  }
+  return d;
+}
+
+}  // namespace diog::archive

@@ -1,0 +1,96 @@
+// RunDigest: the compact per-run record the archive indexes.
+//
+// A fleet view cannot afford to reopen every .dgtrace it has ever seen
+// to answer "did this workload drift?", so ingestion extracts one small
+// record per run — identity, scale, drop accounting, per-stage overhead
+// factors, and the top-K stage-5 findings with their expected benefits —
+// and appends it to a JSONL index. The digest is the unit every
+// cross-run consumer (the regression sentinel, /api/history, the ls
+// listing) operates on; the underlying run file is only touched again
+// when someone drills into a specific run.
+//
+// Schema: every serialized digest carries "schema": "diogenes.digest.v1"
+// (obs::schema_id convention). The shape is additive-only within v1;
+// from_json tolerates missing optional fields so an index written by an
+// older build keeps loading.
+//
+// Determinism: extraction goes through cursors and ffm::run_analysis,
+// so a digest is a pure function of the run's bytes and the analysis
+// config — byte-identical JSON at any --threads value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tool_config.h"
+#include "eventstore/run.h"
+#include "eventstore/run_io.h"
+#include "json/json.h"
+
+namespace diog::archive {
+
+// Findings kept per digest: enough to notice one appearing,
+// disappearing, or reordering, without archiving the whole report.
+inline constexpr std::size_t kDigestTopFindings = 8;
+
+struct DigestFinding {
+  std::string title;
+  std::string source;  // "fold" | "sequence"
+  std::int64_t benefit_ns = 0;
+  std::uint64_t members = 0;
+  double recoverable_fraction = 0.0;
+
+  [[nodiscard]] json::Value to_json() const;
+  static DigestFinding from_json(const json::Value& v);
+};
+
+struct RunDigest {
+  // hash64_blocked over the run file's bytes, 16 lowercase hex chars.
+  // Content addressing makes the id thread-count-invariant and makes
+  // re-ingesting identical bytes a free dedup.
+  std::string run_id;
+  std::string workload;
+  std::int64_t ingest_wall_ms = 0;
+  std::uint64_t file_bytes = 0;
+
+  // Scale and drop accounting.
+  std::uint64_t events = 0;  // rows materialized from the file
+  std::uint64_t events_by_kind[evstore::kEventKindCount] = {};
+  std::uint64_t dropped_events = 0;  // ring-evicted before checkpoint
+  std::uint64_t sync_count = 0;      // classified sync instances
+  std::uint64_t unnecessary_syncs = 0;
+
+  // Time accounting: the run's own event-time span, the baseline
+  // execution time, and the per-stage collection overhead factors
+  // (sN_exec / s1_exec; 0 when stage 1 recorded nothing).
+  std::int64_t wall_time_ns = 0;
+  std::int64_t exec_time_ns = 0;
+  std::int64_t collection_time_ns = 0;
+  double overhead_factor = 0.0;
+  double stage_overhead[4] = {0, 0, 0, 0};
+
+  // Stage-5 headline numbers.
+  std::int64_t total_benefit_ns = 0;
+  std::vector<DigestFinding> findings;  // top-K, benefit order
+
+  // Dropped fraction of everything ever appended, in [0, 1].
+  [[nodiscard]] double drop_rate() const {
+    const double denom =
+        static_cast<double>(events) + static_cast<double>(dropped_events);
+    return denom > 0 ? static_cast<double>(dropped_events) / denom : 0.0;
+  }
+
+  [[nodiscard]] json::Value to_json() const;
+  static RunDigest from_json(const json::Value& v);
+};
+
+// Extracts everything derivable from the opened run: counts via the
+// store's accounting, the time extent via cursors, and the headline
+// findings via one stage-5 analysis. run_id / file_bytes / the ingest
+// stamp belong to the archive (which owns the bytes) and stay empty.
+RunDigest digest_run(const evstore::TraceRun& run,
+                     const evstore::RunFileInfo& info,
+                     const ffm::ToolConfig& cfg);
+
+}  // namespace diog::archive

@@ -1,0 +1,359 @@
+#include "archive/regress.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "obs/telemetry.h"
+#include "support/strings.h"
+
+namespace diog::archive {
+
+namespace {
+
+// Lower median: the element at (n-1)/2 after sorting. For even n this
+// picks the smaller middle element — a real observed value, never an
+// interpolation, so baselines stay explainable ("run 3f2a... set it").
+template <typename T>
+T lower_median(std::vector<T> v) {
+  std::sort(v.begin(), v.end());
+  return v[(v.size() - 1) / 2];
+}
+
+std::string pct(double fraction) { return format_percent(fraction); }
+
+std::string secs(std::int64_t ns) { return format_seconds(Duration(ns)); }
+
+// Relative drift of `now` against `base`, guarding a zero baseline: any
+// appearance from zero is treated as 100% drift.
+double rel_drift(double now, double base) {
+  if (base == 0.0) return now == 0.0 ? 0.0 : 1.0;
+  return (now - base) / base;
+}
+
+struct Baseline {
+  std::int64_t total_benefit_ns = 0;
+  std::uint64_t unnecessary_syncs = 0;
+  double drop_rate = 0.0;
+  double overhead_factor = 0.0;
+};
+
+Baseline summarize(const std::vector<const RunDigest*>& window) {
+  std::vector<std::int64_t> benefit;
+  std::vector<std::uint64_t> syncs;
+  std::vector<double> drops;
+  std::vector<double> overhead;
+  for (const RunDigest* d : window) {
+    benefit.push_back(d->total_benefit_ns);
+    syncs.push_back(d->unnecessary_syncs);
+    drops.push_back(d->drop_rate());
+    overhead.push_back(d->overhead_factor);
+  }
+  Baseline b;
+  b.total_benefit_ns = lower_median(std::move(benefit));
+  b.unnecessary_syncs = lower_median(std::move(syncs));
+  b.drop_rate = lower_median(std::move(drops));
+  b.overhead_factor = lower_median(std::move(overhead));
+  return b;
+}
+
+void check_benefit(const RunDigest& now, const Baseline& base,
+                   const RegressOptions& opts,
+                   std::vector<DriftFinding>& out) {
+  const std::int64_t delta = now.total_benefit_ns - base.total_benefit_ns;
+  const double drift = rel_drift(static_cast<double>(now.total_benefit_ns),
+                                 static_cast<double>(base.total_benefit_ns));
+  if (std::abs(drift) * 100.0 < opts.benefit_drift_pct) return;
+  if (std::llabs(delta) < opts.min_benefit_drift_ns) return;
+  DriftFinding f;
+  f.kind = "benefit-drift";
+  f.severity = std::abs(drift);
+  const bool worse = delta > 0;
+  f.headline = std::string("total expected benefit ") +
+               (worse ? "grew " : "shrank ") + pct(std::abs(drift)) + " (" +
+               secs(base.total_benefit_ns) + " -> " +
+               secs(now.total_benefit_ns) + ")";
+  f.narrative =
+      std::string("The analysis now sees ") + secs(std::llabs(delta)) +
+      (worse ? " more" : " less") +
+      " recoverable wait time than the baseline median. " +
+      (worse ? "New synchronization waste appeared in this run — the tool "
+               "found time a fix would win back that earlier runs did not "
+               "have to lose."
+             : "Waste the earlier runs carried is gone — either a fix "
+               "landed or the workload stopped exercising the wasteful "
+               "path.");
+  f.evidence["benefit_ns"] = now.total_benefit_ns;
+  f.evidence["baseline_benefit_ns"] = base.total_benefit_ns;
+  f.evidence["drift"] = drift;
+  out.push_back(std::move(f));
+}
+
+void check_findings(const RunDigest& now,
+                    const std::vector<const RunDigest*>& window,
+                    std::vector<DriftFinding>& out) {
+  std::set<std::string> union_titles;
+  std::set<std::string> common_titles;
+  bool first = true;
+  for (const RunDigest* d : window) {
+    std::set<std::string> titles;
+    for (const DigestFinding& f : d->findings) titles.insert(f.title);
+    union_titles.insert(titles.begin(), titles.end());
+    if (first) {
+      common_titles = titles;
+      first = false;
+    } else {
+      std::set<std::string> kept;
+      std::set_intersection(common_titles.begin(), common_titles.end(),
+                            titles.begin(), titles.end(),
+                            std::inserter(kept, kept.begin()));
+      common_titles = std::move(kept);
+    }
+  }
+
+  const double base_total = [&] {
+    std::vector<std::int64_t> t;
+    for (const RunDigest* d : window) t.push_back(d->total_benefit_ns);
+    return static_cast<double>(lower_median(std::move(t)));
+  }();
+
+  // Appeared: in the newest digest, never seen in the window.
+  for (const DigestFinding& f : now.findings) {
+    if (union_titles.count(f.title)) continue;
+    DriftFinding df;
+    df.kind = "finding-appeared";
+    df.severity = base_total > 0
+                      ? static_cast<double>(f.benefit_ns) / base_total
+                      : 1.0;
+    df.headline = "new finding \"" + f.title + "\" worth " +
+                  secs(f.benefit_ns);
+    df.narrative =
+        "No run in the baseline window reported this finding; the newest "
+        "run does, with " + std::to_string(f.members) +
+        " member(s) and an expected benefit of " + secs(f.benefit_ns) +
+        ". A code or workload change introduced a synchronization pattern "
+        "the earlier runs did not have.";
+    df.evidence["title"] = f.title;
+    df.evidence["benefit_ns"] = f.benefit_ns;
+    df.evidence["members"] = f.members;
+    out.push_back(std::move(df));
+  }
+
+  // Disappeared: in every window digest, absent from the newest.
+  std::set<std::string> now_titles;
+  for (const DigestFinding& f : now.findings) now_titles.insert(f.title);
+  for (const std::string& title : common_titles) {
+    if (now_titles.count(title)) continue;
+    // The benefit it used to carry: lower median across the window.
+    std::vector<std::int64_t> was;
+    for (const RunDigest* d : window) {
+      for (const DigestFinding& f : d->findings) {
+        if (f.title == title) {
+          was.push_back(f.benefit_ns);
+          break;
+        }
+      }
+    }
+    const std::int64_t was_ns = was.empty() ? 0 : lower_median(std::move(was));
+    DriftFinding df;
+    df.kind = "finding-disappeared";
+    df.severity =
+        base_total > 0 ? static_cast<double>(was_ns) / base_total : 1.0;
+    df.headline = "finding \"" + title + "\" gone (was worth " +
+                  secs(was_ns) + ")";
+    df.narrative =
+        "Every run in the baseline window reported this finding; the "
+        "newest run does not. Either the fix it recommended landed, or "
+        "the workload no longer reaches the code it described.";
+    df.evidence["title"] = title;
+    df.evidence["baseline_benefit_ns"] = was_ns;
+    out.push_back(std::move(df));
+  }
+}
+
+void check_syncs(const RunDigest& now, const Baseline& base,
+                 const RegressOptions& opts,
+                 std::vector<DriftFinding>& out) {
+  const double drift =
+      rel_drift(static_cast<double>(now.unnecessary_syncs),
+                static_cast<double>(base.unnecessary_syncs));
+  if (std::abs(drift) * 100.0 < opts.sync_drift_pct) return;
+  if (now.unnecessary_syncs == base.unnecessary_syncs) return;
+  DriftFinding f;
+  f.kind = "sync-drift";
+  f.severity = std::abs(drift);
+  const bool worse = drift > 0;
+  f.headline = std::string("unnecessary syncs ") +
+               (worse ? "grew " : "shrank ") + pct(std::abs(drift)) + " (" +
+               std::to_string(base.unnecessary_syncs) + " -> " +
+               std::to_string(now.unnecessary_syncs) + ")";
+  f.narrative =
+      std::string("Stage 4 classified ") +
+      std::to_string(now.unnecessary_syncs) +
+      " synchronizations as unnecessary, against a baseline median of " +
+      std::to_string(base.unnecessary_syncs) + ". " +
+      (worse ? "More blocking calls are completing before any dependent "
+               "access — the classic oversynchronization signature."
+             : "Fewer blocking calls are wasted; the sync discipline "
+               "improved.");
+  f.evidence["unnecessary_syncs"] = now.unnecessary_syncs;
+  f.evidence["baseline_unnecessary_syncs"] = base.unnecessary_syncs;
+  f.evidence["drift"] = drift;
+  out.push_back(std::move(f));
+}
+
+void check_drops(const RunDigest& now, const Baseline& base,
+                 const RegressOptions& opts,
+                 std::vector<DriftFinding>& out) {
+  const double delta_pts = (now.drop_rate() - base.drop_rate) * 100.0;
+  if (delta_pts < opts.drop_rate_pct_pts) return;
+  DriftFinding f;
+  f.kind = "drop-rate";
+  f.severity = delta_pts / 100.0;
+  f.headline = "event drop rate rose to " + pct(now.drop_rate()) +
+               " (baseline " + pct(base.drop_rate) + ")";
+  f.narrative =
+      "The flight recorder evicted " + std::to_string(now.dropped_events) +
+      " event(s) before a checkpoint could persist them. Honest "
+      "measurement needs the record to be complete; raise the ring "
+      "capacity or shorten the checkpoint interval before trusting "
+      "benefit numbers from this run.";
+  f.evidence["drop_rate"] = now.drop_rate();
+  f.evidence["baseline_drop_rate"] = base.drop_rate;
+  f.evidence["dropped_events"] = now.dropped_events;
+  out.push_back(std::move(f));
+}
+
+void check_overhead(const RunDigest& now, const Baseline& base,
+                    const RegressOptions& opts,
+                    std::vector<DriftFinding>& out) {
+  const double drift = rel_drift(now.overhead_factor, base.overhead_factor);
+  if (std::abs(drift) * 100.0 < opts.overhead_drift_pct) return;
+  DriftFinding f;
+  f.kind = "overhead-drift";
+  f.severity = std::abs(drift);
+  char now_s[32], base_s[32];
+  std::snprintf(now_s, sizeof(now_s), "%.2fx", now.overhead_factor);
+  std::snprintf(base_s, sizeof(base_s), "%.2fx", base.overhead_factor);
+  f.headline = std::string("collection overhead factor ") +
+               (drift > 0 ? "grew" : "shrank") + " to " + now_s +
+               " (baseline " + base_s + ")";
+  f.narrative =
+      "The tool's own collection cost moved relative to the measured "
+      "execution. The paper's honesty contract is that overhead is "
+      "measured, not assumed — a drifting factor means perturbation "
+      "changed and benefit estimates from different runs are no longer "
+      "comparing like with like.";
+  f.evidence["overhead_factor"] = now.overhead_factor;
+  f.evidence["baseline_overhead_factor"] = base.overhead_factor;
+  f.evidence["drift"] = drift;
+  out.push_back(std::move(f));
+}
+
+}  // namespace
+
+json::Value DriftFinding::to_json() const {
+  json::Object o;
+  o["kind"] = kind;
+  o["headline"] = headline;
+  o["narrative"] = narrative;
+  o["evidence"] = evidence;
+  o["severity"] = severity;
+  return json::Value(std::move(o));
+}
+
+json::Value RegressReport::to_json() const {
+  json::Object o;
+  o["schema"] = obs::schema_id("regress");
+  o["workload"] = workload;
+  o["run_id"] = newest_run_id;
+  o["ingest_wall_ms"] = newest_ingest_wall_ms;
+  json::Array base;
+  for (const std::string& id : baseline_run_ids) base.push_back(id);
+  o["baseline_run_ids"] = std::move(base);
+  o["drifted"] = drifted();
+  json::Array fs;
+  for (const DriftFinding& f : findings) fs.push_back(f.to_json());
+  o["findings"] = std::move(fs);
+  return json::Value(std::move(o));
+}
+
+std::string RegressReport::render() const {
+  std::ostringstream out;
+  out << "workload " << workload << ": ";
+  if (baseline_run_ids.empty()) {
+    out << "no baseline (need at least 2 archived runs)\n";
+    return out.str();
+  }
+  if (findings.empty()) {
+    out << "no drift vs median of last " << baseline_run_ids.size()
+        << " run(s)\n";
+    return out.str();
+  }
+  out << findings.size() << " drift finding(s) vs median of last "
+      << baseline_run_ids.size() << " run(s)\n";
+  for (const DriftFinding& f : findings) {
+    out << "  [" << f.kind << "] " << f.headline << "\n";
+    out << "      why: " << f.narrative << "\n";
+  }
+  return out.str();
+}
+
+RegressReport check_workload(const std::vector<RunDigest>& index,
+                             const std::string& workload,
+                             const RegressOptions& opts) {
+  RegressReport rep;
+  rep.workload = workload;
+  std::vector<const RunDigest*> mine;
+  for (const RunDigest& d : index) {
+    if (d.workload == workload) mine.push_back(&d);
+  }
+  if (mine.empty()) return rep;
+  const RunDigest& now = *mine.back();
+  rep.newest_run_id = now.run_id;
+  rep.newest_ingest_wall_ms = now.ingest_wall_ms;
+  if (mine.size() < 2) return rep;
+
+  const std::size_t window_n =
+      std::min(opts.baseline_window, mine.size() - 1);
+  std::vector<const RunDigest*> window(mine.end() - 1 - window_n,
+                                       mine.end() - 1);
+  for (const RunDigest* d : window) rep.baseline_run_ids.push_back(d->run_id);
+
+  const Baseline base = summarize(window);
+  check_benefit(now, base, opts, rep.findings);
+  check_findings(now, window, rep.findings);
+  check_syncs(now, base, opts, rep.findings);
+  check_drops(now, base, opts, rep.findings);
+  check_overhead(now, base, opts, rep.findings);
+
+  std::stable_sort(rep.findings.begin(), rep.findings.end(),
+                   [](const DriftFinding& a, const DriftFinding& b) {
+                     if (a.severity != b.severity)
+                       return a.severity > b.severity;
+                     if (a.kind != b.kind) return a.kind < b.kind;
+                     return a.headline < b.headline;
+                   });
+  return rep;
+}
+
+std::vector<RegressReport> check_all(const std::vector<RunDigest>& index,
+                                     const RegressOptions& opts) {
+  std::set<std::string> workloads;
+  std::map<std::string, std::size_t> count;
+  for (const RunDigest& d : index) {
+    workloads.insert(d.workload);
+    ++count[d.workload];
+  }
+  std::vector<RegressReport> out;
+  for (const std::string& w : workloads) {
+    if (count[w] < 2) continue;
+    out.push_back(check_workload(index, w, opts));
+  }
+  return out;
+}
+
+}  // namespace diog::archive

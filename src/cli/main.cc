@@ -36,6 +36,18 @@
 //   diogenes trace analyze <file>                 full stage-5 analysis
 //   diogenes trace diff <before> <after>          differential analysis
 //
+// Fleet mode (the archive subsystem; see DESIGN.md "Archive"):
+//   diogenes archive add <trace-dir-or-file>   ingest finalized runs
+//                        [--root DIR] [--ingest-wall-ms N]
+//   diogenes archive ls <trace-dir> [--json]   list the digest index
+//   diogenes archive gc <trace-dir>            collect orphans, compact
+//   diogenes regress <trace-dir> [workload]    drift vs baseline median
+//                        [--window N] [--benefit-pct P] [--json]
+//                                              exit 3 when drift found
+//   diogenes synth <out.dgtrace>               deterministic synthetic
+//                        [--events N] [--problem-sites N]
+//                        [--op-spacing-ns N] [--workload NAME] run files
+//
 // Fuzzing mode (the testkit subsystem; see DESIGN.md "Testkit"):
 //   diogenes fuzz <run-io|follower|ring> [--seed N] [--budget-s S]
 //                 [--corpus DIR] [--max-execs N] [--verbose]
@@ -58,15 +70,19 @@
 //                           DIOG_THREADS, else hardware concurrency;
 //                           1 = fully serial). Output is byte-identical
 //                           at any thread count.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "apps/apps.h"
+#include "archive/archive.h"
+#include "archive/regress.h"
 #include "baselines/profilers.h"
 #include "core/autofix.h"
 #include "core/diogenes.h"
@@ -82,6 +98,7 @@
 #include "support/error.h"
 #include "support/strings.h"
 #include "testkit/fuzz.h"
+#include "testkit/synth_run.h"
 
 using namespace diog;
 
@@ -100,7 +117,15 @@ int usage() {
       "       diogenes trace tail <file> [--jsonl] [--poll-ms N] [--once]\n"
       "       diogenes trace watch <file> [--poll-ms N] [--once]\n"
       "       diogenes trace diff <before.dgtrace> <after.dgtrace>\n"
-      "       diogenes explore <run-or-trace-dir> [--port N]\n"
+      "       diogenes explore <run-or-trace-dir> [--port N] [--archive DIR]\n"
+      "       diogenes archive add|ls|gc <trace-dir-or-file> [--root DIR]\n"
+      "                        [--ingest-wall-ms N] [--json]\n"
+      "       diogenes regress <trace-dir> [workload] [--root DIR]\n"
+      "                        [--window N] [--benefit-pct P] [--json]\n"
+      "                        (exit 3 = drift found)\n"
+      "       diogenes synth <out.dgtrace> [--events N] [--problem-sites N]\n"
+      "                      [--op-spacing-ns N] [--workload NAME]\n"
+      "                      [--footer-wall-ms N]\n"
       "       diogenes fuzz <run-io|follower|ring> [--seed N] [--budget-s S]\n"
       "                     [--corpus DIR] [--max-execs N] [--verbose]\n"
       "       diogenes fuzz minimize <artifact> [--target T] [--seed N]\n"
@@ -143,13 +168,33 @@ int cmd_trace_tail(const std::string& path, bool jsonl, int poll_ms,
 }
 
 // `trace watch`: one-screen summary of a live run, refreshed in place
-// until the writer finalizes.
+// until the writer finalizes. Each refresh after the first carries the
+// rates over the interval just elapsed (events/s, drops/s), differenced
+// from the store's monotonic append/drop counters.
 int cmd_trace_watch(const std::string& path, int poll_ms, bool once) {
   evstore::RunFollower follower(path);
+  auto prev_time = std::chrono::steady_clock::now();
+  std::uint64_t prev_events = 0;
+  std::uint64_t prev_drops = 0;
+  bool first = true;
   for (;;) {
     follower.poll();
+    const evstore::EventStore& store = *follower.run().store;
+    const auto now = std::chrono::steady_clock::now();
+    const std::uint64_t events = store.total_appended();
+    const std::uint64_t drops =
+        store.dropped_events() + follower.info().dropped_before_checkpoint;
     std::string out = ffm::render_run_stat(follower.run());
     out += ffm::render_run_file_info(follower.info());
+    if (!first) {
+      out += ffm::render_watch_rates(
+          events - prev_events, drops - prev_drops,
+          std::chrono::duration<double>(now - prev_time).count());
+    }
+    first = false;
+    prev_time = now;
+    prev_events = events;
+    prev_drops = drops;
     if (!once) std::printf("\033[H\033[2J");  // home + clear
     std::printf("%s", out.c_str());
     std::fflush(stdout);
@@ -191,6 +236,103 @@ int cmd_sub(const ffm::AnalysisResult& r, std::size_t n, std::size_t first,
   }
   const ffm::Group sub = ffm::subsequence(r.graph, seq, first, last);
   std::printf("%s", ffm::render_subsequence(r, sub, first, last).c_str());
+  return 0;
+}
+
+// Archive root resolution for the CLI: an explicit --root wins; a
+// directory that already holds an index is itself the root; otherwise
+// the conventional `<dir>/archive` subdirectory (which `add` creates
+// and read-only commands simply find empty).
+std::string cli_archive_root(const std::string& dir,
+                             const std::string& explicit_root) {
+  if (!explicit_root.empty()) return explicit_root;
+  std::error_code ec;
+  if (std::filesystem::is_regular_file(archive::index_path(dir), ec)) {
+    return dir;
+  }
+  return (std::filesystem::path(dir) / "archive").string();
+}
+
+// The .dgtrace files `archive add <dir>` ingests, sorted for a
+// deterministic ingest order.
+std::vector<std::string> discover_run_files(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::error_code ec;
+  if (fs::is_regular_file(path, ec)) {
+    files.push_back(path);
+    return files;
+  }
+  for (const auto& entry : fs::directory_iterator(
+           path, fs::directory_options::skip_permission_denied, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    if (entry.path().extension() == ".dgtrace") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int cmd_archive_add(archive::Archive& ar,
+                    const std::vector<std::string>& files) {
+  if (files.empty()) {
+    std::fprintf(stderr, "archive add: no .dgtrace files found\n");
+    return 1;
+  }
+  int failures = 0;
+  for (const std::string& f : files) {
+    try {
+      const archive::Archive::AddResult res = ar.add(f);
+      std::printf("%s %s  %-12s  %llu event(s), benefit %s  <- %s\n",
+                  res.deduplicated ? "dedup   " : "archived",
+                  res.digest.run_id.c_str(), res.digest.workload.c_str(),
+                  static_cast<unsigned long long>(res.digest.events),
+                  format_seconds(Duration(res.digest.total_benefit_ns))
+                      .c_str(),
+                  f.c_str());
+    } catch (const Error& e) {
+      std::fprintf(stderr, "archive add: %s\n", e.what());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int cmd_archive_ls(const archive::Archive& ar, bool json_out) {
+  const std::vector<archive::RunDigest> idx = ar.index();
+  if (json_out) {
+    for (const archive::RunDigest& d : idx) {
+      std::printf("%s\n", d.to_json().dump().c_str());
+    }
+    return 0;
+  }
+  for (const archive::RunDigest& d : idx) {
+    std::printf("%s  %-12s  %10llu event(s)  %zu finding(s)  benefit %s\n",
+                d.run_id.c_str(), d.workload.c_str(),
+                static_cast<unsigned long long>(d.events),
+                d.findings.size(),
+                format_seconds(Duration(d.total_benefit_ns)).c_str());
+  }
+  const archive::Archive::Stats st = ar.stats();
+  std::printf("%llu run(s) across %llu workload(s), %s archived in %s\n",
+              static_cast<unsigned long long>(st.runs),
+              static_cast<unsigned long long>(st.workloads),
+              format_bytes(static_cast<std::size_t>(st.bytes)).c_str(),
+              ar.root().c_str());
+  return 0;
+}
+
+int cmd_archive_gc(archive::Archive& ar) {
+  const archive::Archive::GcStats st = ar.gc();
+  std::printf(
+      "gc: kept %llu object(s), removed %llu orphan(s) (%s), "
+      "compacted %llu stale index entr%s\n",
+      static_cast<unsigned long long>(st.objects_kept),
+      static_cast<unsigned long long>(st.objects_removed),
+      format_bytes(static_cast<std::size_t>(st.bytes_removed)).c_str(),
+      static_cast<unsigned long long>(st.index_dropped),
+      st.index_dropped == 1 ? "y" : "ies");
   return 0;
 }
 
@@ -406,11 +548,185 @@ int main(int argc, char** argv) {
         port = static_cast<std::uint16_t>(
             std::strtoul(argv[arg + 1], nullptr, 10));
         arg += 2;
+      } else if (std::strcmp(argv[arg], "--archive") == 0 &&
+                 arg + 1 < argc) {
+        // Explicit archive root for the fleet endpoints; without it the
+        // service looks for <root>/index.jsonl, then <root>/archive/.
+        sopts.archive_root = argv[arg + 1];
+        arg += 2;
       } else {
         return usage();
       }
     }
     return explore::run_explorer(sopts, port);
+  }
+
+  if (app_name == "archive") {
+    // Fleet memory: content-addressed ingestion of finalized runs plus
+    // the digest index the regression sentinel and /api/history answer
+    // from.
+    if (arg >= argc) return usage();
+    const std::string sub = argv[arg++];
+    if (arg >= argc) return usage();
+    const std::string target = argv[arg++];
+    std::string explicit_root;
+    std::int64_t ingest_wall_ms = -1;
+    bool json_out = false;
+    while (arg < argc) {
+      if (std::strcmp(argv[arg], "--root") == 0 && arg + 1 < argc) {
+        explicit_root = argv[arg + 1];
+        arg += 2;
+      } else if (std::strcmp(argv[arg], "--ingest-wall-ms") == 0 &&
+                 arg + 1 < argc) {
+        ingest_wall_ms = std::strtoll(argv[arg + 1], nullptr, 10);
+        arg += 2;
+      } else if (std::strcmp(argv[arg], "--json") == 0) {
+        json_out = true;
+        ++arg;
+      } else {
+        return usage();
+      }
+    }
+    std::error_code ec;
+    const std::string base =
+        std::filesystem::is_regular_file(target, ec)
+            ? std::filesystem::path(target).parent_path().string()
+            : target;
+    archive::ArchiveOptions aopts;
+    aopts.root = cli_archive_root(base.empty() ? "." : base, explicit_root);
+    aopts.config = cfg;
+    aopts.ingest_wall_ms = ingest_wall_ms;
+    archive::Archive ar(std::move(aopts));
+    try {
+      if (sub == "add") return cmd_archive_add(ar, discover_run_files(target));
+      if (sub == "ls") return cmd_archive_ls(ar, json_out);
+      if (sub == "gc") return cmd_archive_gc(ar);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "archive %s failed: %s\n", sub.c_str(), e.what());
+      return 1;
+    }
+    return usage();
+  }
+
+  if (app_name == "regress") {
+    // Cross-run drift check: newest digest of a workload vs the lower
+    // median of the last N. Exit 3 when drift was found, so CI can gate
+    // on it without parsing output.
+    if (arg >= argc) return usage();
+    const std::string dir = argv[arg++];
+    std::string workload;
+    std::string explicit_root;
+    archive::RegressOptions ropts;
+    bool json_out = false;
+    while (arg < argc) {
+      if (std::strcmp(argv[arg], "--root") == 0 && arg + 1 < argc) {
+        explicit_root = argv[arg + 1];
+        arg += 2;
+      } else if (std::strcmp(argv[arg], "--window") == 0 && arg + 1 < argc) {
+        ropts.baseline_window = static_cast<std::size_t>(
+            std::strtoul(argv[arg + 1], nullptr, 10));
+        arg += 2;
+      } else if (std::strcmp(argv[arg], "--benefit-pct") == 0 &&
+                 arg + 1 < argc) {
+        ropts.benefit_drift_pct = std::strtod(argv[arg + 1], nullptr);
+        arg += 2;
+      } else if (std::strcmp(argv[arg], "--json") == 0) {
+        json_out = true;
+        ++arg;
+      } else if (std::strncmp(argv[arg], "--", 2) != 0 && workload.empty()) {
+        workload = argv[arg++];
+      } else {
+        return usage();
+      }
+    }
+    archive::ArchiveOptions aopts;
+    aopts.root = cli_archive_root(dir, explicit_root);
+    const archive::Archive ar(std::move(aopts));
+    const std::vector<archive::RunDigest> index = ar.index();
+    if (index.empty()) {
+      std::fprintf(stderr, "regress: no archive index under %s\n",
+                   ar.root().c_str());
+      return 1;
+    }
+    std::vector<archive::RegressReport> reports;
+    if (!workload.empty()) {
+      archive::RegressReport rep =
+          archive::check_workload(index, workload, ropts);
+      if (rep.newest_run_id.empty()) {
+        std::fprintf(stderr, "regress: no archived runs for workload %s\n",
+                     workload.c_str());
+        return 1;
+      }
+      reports.push_back(std::move(rep));
+    } else {
+      reports = archive::check_all(index, ropts);
+    }
+    bool drifted = false;
+    if (json_out) {
+      json::Array a;
+      for (const archive::RegressReport& rep : reports) {
+        if (rep.drifted()) drifted = true;
+        a.push_back(rep.to_json());
+      }
+      std::printf("%s\n", json::Value(std::move(a)).dump().c_str());
+    } else {
+      for (const archive::RegressReport& rep : reports) {
+        if (rep.drifted()) drifted = true;
+        std::printf("%s", rep.render().c_str());
+      }
+    }
+    return drifted ? 3 : 0;
+  }
+
+  if (app_name == "synth") {
+    // Deterministic synthetic run files (testkit/synth_run) — the
+    // archive's test/CI feedstock. Byte-identical for identical
+    // arguments: the footer wall clock is pinned unless overridden.
+    if (arg >= argc) return usage();
+    const std::string out_path = argv[arg++];
+    testkit::SynthRunOptions sopts;
+    std::string workload;
+    std::int64_t footer_wall_ms = 0;
+    while (arg < argc) {
+      if (std::strcmp(argv[arg], "--events") == 0 && arg + 1 < argc) {
+        sopts.events = std::strtoull(argv[arg + 1], nullptr, 10);
+        arg += 2;
+      } else if (std::strcmp(argv[arg], "--problem-sites") == 0 &&
+                 arg + 1 < argc) {
+        sopts.problem_sites = static_cast<std::uint32_t>(
+            std::strtoul(argv[arg + 1], nullptr, 10));
+        arg += 2;
+      } else if (std::strcmp(argv[arg], "--op-spacing-ns") == 0 &&
+                 arg + 1 < argc) {
+        sopts.op_spacing_ns = std::strtoll(argv[arg + 1], nullptr, 10);
+        arg += 2;
+      } else if (std::strcmp(argv[arg], "--workload") == 0 &&
+                 arg + 1 < argc) {
+        workload = argv[arg + 1];
+        arg += 2;
+      } else if (std::strcmp(argv[arg], "--footer-wall-ms") == 0 &&
+                 arg + 1 < argc) {
+        footer_wall_ms = std::strtoll(argv[arg + 1], nullptr, 10);
+        arg += 2;
+      } else {
+        return usage();
+      }
+    }
+    try {
+      evstore::TraceRun run = testkit::make_synthetic_run(sopts);
+      if (!workload.empty()) run.meta.workload = workload;
+      evstore::SaveOptions so;
+      so.footer_wall_ms = footer_wall_ms;
+      evstore::save_run(out_path, run, so);
+      std::printf("wrote %s (%llu event(s), workload %s)\n",
+                  out_path.c_str(),
+                  static_cast<unsigned long long>(run.store->size()),
+                  run.meta.workload.c_str());
+      return 0;
+    } catch (const Error& e) {
+      std::fprintf(stderr, "synth failed: %s\n", e.what());
+      return 1;
+    }
   }
 
   if (app_name == "fuzz") {

@@ -116,6 +116,9 @@ json::Object FlightRecorder::heartbeat_body() {
   o["dropped_by_kind"] = std::move(dropped);
 
   auto& tel = obs::Telemetry::global();
+  // Pool utilization rides along in the same fixed shape the metrics
+  // document uses, so a fleet consumer reads one schema for both.
+  o["parallel"] = obs::parallel_pool_summary(tel.metrics());
   o["syncs"] = tel.metrics().counter("stage2.syncs").value();
   o["transfer_bytes"] =
       tel.metrics().counter("stage2.transfer_bytes").value();

@@ -217,6 +217,16 @@ std::string render_run_file_info(const evstore::RunFileInfo& info) {
   return out;
 }
 
+std::string render_watch_rates(std::uint64_t d_events,
+                               std::uint64_t d_drops, double dt_s) {
+  if (dt_s <= 0) return std::string();
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "Rate: %.0f event(s)/s, %.0f drop(s)/s\n",
+                static_cast<double>(d_events) / dt_s,
+                static_cast<double>(d_drops) / dt_s);
+  return std::string(buf);
+}
+
 std::string render_event_line(const evstore::EventStore& store,
                               const evstore::Event& e) {
   namespace ev = evstore;

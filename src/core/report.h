@@ -42,6 +42,13 @@ std::string render_run_stat(const evstore::TraceRun& run);
 // `trace stat` and `trace watch`.
 std::string render_run_file_info(const evstore::RunFileInfo& info);
 
+// The `trace watch` rate line: events/s and drops/s over one refresh
+// interval, computed from the deltas between two polls. Returns ""
+// until a full interval has elapsed (dt_s <= 0) — the first frame has
+// no previous sample to difference against.
+std::string render_watch_rates(std::uint64_t d_events,
+                               std::uint64_t d_drops, double dt_s);
+
 // One event, one line — the shared renderer behind `trace dump` and
 // `trace tail`.
 std::string render_event_line(const evstore::EventStore& store,

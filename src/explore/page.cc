@@ -49,6 +49,9 @@ const char* explorer_page() {
   <div id="findings">loading…</div>
   <h2>Sync sites</h2>
   <div id="syncsites"></div>
+  <h2>Fleet history</h2>
+  <canvas id="history" height="90"></canvas>
+  <div id="regressions"></div>
 </main>
 <div id="tip"></div>
 <script>
@@ -65,12 +68,15 @@ const fmtNs = n => {
 const COLORS = { op: "#5b8def", internal_span: "#8a6fd1", page_fault: "#d17f6f" };
 
 let cur = { run: null, t0: 0, t1: 1, full: null };
+let workloadOf = {};
 
 async function loadRuns() {
   const doc = await api("runs", {});
   const sel = $("run");
   sel.innerHTML = "";
+  workloadOf = {};
   for (const r of doc.runs) {
+    if (r.workload) workloadOf[r.run] = r.workload;
     const o = document.createElement("option");
     o.value = r.run;
     o.textContent = r.run + " — " + r.state +
@@ -89,6 +95,7 @@ function selectRun(name) {
   drawFlame();
   loadFindings();
   loadSyncsites();
+  loadHistory();
 }
 
 async function drawTimeline() {
@@ -207,6 +214,63 @@ async function loadSyncsites() {
       "</td><td>" + (g.sites.length ? g.sites[0].site : "") + "</td></tr>";
   }
   el.innerHTML = html + "</table>";
+}
+
+async function loadHistory() {
+  const cv = $("history"), el = $("regressions");
+  const w = workloadOf[cur.run];
+  cv.style.display = "none";
+  if (!w) { el.innerHTML = "<span class=why>no workload metadata</span>"; return; }
+  const doc = await api("history", { workload: w, px: 128 });
+  if (doc.error) {
+    el.innerHTML = "<span class=why>no archive (" + doc.error + ")</span>";
+    return;
+  }
+  // Sparkline: expected benefit per ingested run, oldest to newest.
+  cv.style.display = "block";
+  cv.width = cv.clientWidth * (window.devicePixelRatio || 1);
+  const ctx = cv.getContext("2d");
+  ctx.clearRect(0, 0, cv.width, cv.height);
+  const bins = doc.bins || [];
+  let maxB = 1;
+  for (const b of bins) maxB = Math.max(maxB, b.max_benefit_ns || 0);
+  const bw = cv.width / Math.max(1, bins.length);
+  bins.forEach((b, i) => {
+    const h = Math.max(2, Math.round((cv.height - 18) * b.benefit_ns / maxB));
+    ctx.fillStyle = b.findings ? "#f7c96b" : "#5b8def";
+    ctx.fillRect(i * bw, cv.height - h, Math.max(1, bw - 1), h);
+  });
+  ctx.fillStyle = "#9aa3b2";
+  ctx.font = "11px sans-serif";
+  ctx.fillText(w + ": " + doc.runs + " archived run(s), expected benefit " +
+    "per ingest (newest right)", 6, 13);
+  cv.onmousemove = ev => {
+    const rect = cv.getBoundingClientRect();
+    const i = Math.min(bins.length - 1,
+      Math.floor((ev.clientX - rect.left) / rect.width * bins.length));
+    const b = bins[i];
+    const tip = $("tip");
+    if (!b) { tip.style.display = "none"; return; }
+    tip.style.display = "block";
+    tip.style.left = (ev.clientX + 12) + "px";
+    tip.style.top = (ev.clientY + 12) + "px";
+    tip.textContent = b.run_id + ": benefit " + fmtNs(b.benefit_ns) +
+      ", " + b.events + " events, " + b.findings + " finding(s)";
+  };
+  cv.onmouseleave = () => { $("tip").style.display = "none"; };
+  // Drift findings from the regression sentinel, this workload only.
+  const reg = await api("regressions", {});
+  let html = "";
+  for (const r of (reg.reports || [])) {
+    if (r.workload !== w) continue;
+    for (const f of r.findings) {
+      html += "<tr><td class=pattern>" + f.kind + "</td><td>" + f.headline +
+        "<div class=why>" + f.narrative + "</div></td></tr>";
+    }
+  }
+  el.innerHTML = html
+    ? "<table><tr><th>drift</th><th>finding</th></tr>" + html + "</table>"
+    : "<span class=why>no drift vs baseline</span>";
 }
 
 $("run").onchange = ev => selectRun(ev.target.value);

@@ -6,12 +6,15 @@
 #include <filesystem>
 #include <unordered_map>
 
+#include "archive/archive.h"
+#include "archive/regress.h"
 #include "core/diogenes.h"
 #include "eventstore/aggregate.h"
 #include "eventstore/cursor.h"
 #include "eventstore/run_io.h"
 #include "explore/page.h"
 #include "hooks/fn.h"
+#include "obs/prometheus.h"
 #include "obs/telemetry.h"
 #include "support/error.h"
 
@@ -488,6 +491,146 @@ HttpResponse Service::api_syncsites(const HttpRequest& req) {
   return json_response(json::Value(std::move(o)));
 }
 
+std::string Service::archive_root() const {
+  std::error_code ec;
+  if (!opts_.archive_root.empty()) return opts_.archive_root;
+  // Auto-discovery keys on the index file, not the directory: a serve
+  // root that merely contains an `archive/` subdir with no index is not
+  // an archive.
+  const fs::path base = fs::is_regular_file(opts_.root, ec)
+                            ? fs::path(opts_.root).parent_path()
+                            : fs::path(opts_.root);
+  for (const fs::path& cand : {base, base / "archive"}) {
+    if (fs::is_regular_file(archive::index_path(cand.string()), ec)) {
+      return cand.string();
+    }
+  }
+  return std::string();
+}
+
+HttpResponse Service::api_history(const HttpRequest& req) {
+  const std::string root = archive_root();
+  if (root.empty()) {
+    return error_response(404, "no archive next to the serve root");
+  }
+  const std::string workload = req.get("workload");
+  if (workload.empty()) {
+    return error_response(400, "missing required parameter: workload");
+  }
+
+  archive::ArchiveOptions aopts;
+  aopts.root = root;
+  archive::Archive ar(std::move(aopts));
+  std::vector<archive::RunDigest> series;
+  for (archive::RunDigest& d : ar.index()) {
+    if (d.workload == workload) series.push_back(std::move(d));
+  }
+  if (series.empty()) return error_response(404, "unknown workload");
+
+  // Same LoD contract as /api/timeline, over ingest sequence index
+  // instead of event time: the client asks for a pixel budget and gets
+  // at most that many bins, each covering a contiguous run of ingests.
+  const auto px = static_cast<std::size_t>(std::clamp<std::int64_t>(
+      req.get_i64("px", 256), 1, evstore::kMaxBins));
+  const std::size_t n = series.size();
+  const std::size_t bins = std::min(px, n);
+
+  json::Array data;
+  for (std::size_t b = 0; b < bins; ++b) {
+    // Equal-width partition of [0, n): bin b covers [i0, i1).
+    const std::size_t i0 = b * n / bins;
+    const std::size_t i1 = (b + 1) * n / bins;
+    const archive::RunDigest& last = series[i1 - 1];
+    std::int64_t min_benefit = last.total_benefit_ns;
+    std::int64_t max_benefit = last.total_benefit_ns;
+    std::uint64_t dropped = 0;
+    for (std::size_t i = i0; i < i1; ++i) {
+      min_benefit = std::min(min_benefit, series[i].total_benefit_ns);
+      max_benefit = std::max(max_benefit, series[i].total_benefit_ns);
+      dropped += series[i].dropped_events;
+    }
+    json::Object o;
+    o["i0"] = static_cast<std::uint64_t>(i0);
+    o["i1"] = static_cast<std::uint64_t>(i1);
+    o["run_id"] = last.run_id;
+    o["ingest_wall_ms"] = last.ingest_wall_ms;
+    o["benefit_ns"] = last.total_benefit_ns;
+    o["min_benefit_ns"] = min_benefit;
+    o["max_benefit_ns"] = max_benefit;
+    o["events"] = last.events;
+    o["dropped_events"] = dropped;
+    o["unnecessary_syncs"] = last.unnecessary_syncs;
+    o["overhead_factor"] = last.overhead_factor;
+    o["findings"] = static_cast<std::uint64_t>(last.findings.size());
+    data.push_back(std::move(o));
+  }
+
+  json::Object o;
+  o["schema"] = obs::schema_id("history");
+  o["workload"] = workload;
+  o["runs"] = static_cast<std::uint64_t>(n);
+  o["px"] = static_cast<std::uint64_t>(px);
+  o["bins"] = std::move(data);
+  return json_response(json::Value(std::move(o)));
+}
+
+HttpResponse Service::api_regressions(const HttpRequest& req) {
+  const std::string root = archive_root();
+  if (root.empty()) {
+    return error_response(404, "no archive next to the serve root");
+  }
+  archive::RegressOptions ropts;
+  const std::int64_t window = req.get_i64("window", 0);
+  if (window < 0) return error_response(400, "window must be positive");
+  if (window > 0) ropts.baseline_window = static_cast<std::size_t>(window);
+
+  archive::ArchiveOptions aopts;
+  aopts.root = root;
+  archive::Archive ar(std::move(aopts));
+  const std::vector<archive::RunDigest> index = ar.index();
+  json::Array reports;
+  std::uint64_t drifted = 0;
+  for (const archive::RegressReport& r : archive::check_all(index, ropts)) {
+    if (r.drifted()) ++drifted;
+    reports.push_back(r.to_json());
+  }
+  json::Object o;
+  o["schema"] = obs::schema_id("regress");
+  o["archive"] = root;
+  o["digests"] = static_cast<std::uint64_t>(index.size());
+  o["drifted_workloads"] = drifted;
+  o["reports"] = std::move(reports);
+  return json_response(json::Value(std::move(o)));
+}
+
+HttpResponse Service::api_metrics() {
+  auto& metrics = obs::Telemetry::global().metrics();
+  std::string body = obs::prometheus_text(metrics);
+  // Archive gauges are rendered straight into the exposition instead of
+  // going through the registry: they are per-scrape filesystem facts,
+  // and they must survive -DDIOG_OBS=OFF (which no-ops Gauge::set).
+  const std::string root = archive_root();
+  if (!root.empty()) {
+    archive::ArchiveOptions aopts;
+    aopts.root = root;
+    const archive::Archive ar(std::move(aopts));
+    const archive::Archive::Stats st = ar.stats();
+    body += obs::prometheus_gauge_line(
+        "archive.runs", static_cast<std::int64_t>(st.runs));
+    body += obs::prometheus_gauge_line(
+        "archive.object_bytes", static_cast<std::int64_t>(st.bytes));
+    body += obs::prometheus_gauge_line(
+        "archive.workloads", static_cast<std::int64_t>(st.workloads));
+    body += obs::prometheus_gauge_line(
+        "archive.index_entries",
+        static_cast<std::int64_t>(st.index_entries));
+  }
+  HttpResponse r;
+  r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  r.body = std::move(body);
+  return r;
+}
+
 HttpResponse Service::handle(const HttpRequest& req) {
   const auto start = std::chrono::steady_clock::now();
   auto& metrics = obs::Telemetry::global().metrics();
@@ -512,6 +655,12 @@ HttpResponse Service::handle(const HttpRequest& req) {
       resp = api_findings(req);
     } else if (req.path == "/api/syncsites") {
       resp = api_syncsites(req);
+    } else if (req.path == "/api/history") {
+      resp = api_history(req);
+    } else if (req.path == "/api/regressions") {
+      resp = api_regressions(req);
+    } else if (req.path == "/metrics") {
+      resp = api_metrics();
     } else {
       resp = error_response(404, "no such endpoint");
     }

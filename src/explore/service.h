@@ -37,6 +37,10 @@ struct ServiceOptions {
   std::string root;
   // Analysis configuration for /api/findings (thresholds etc.).
   ffm::ToolConfig config;
+  // Archive root for /api/history and /api/regressions. Empty means
+  // auto-discover: <root>/index.jsonl, then <root>/archive/index.jsonl
+  // (relative to the containing directory when root is one file).
+  std::string archive_root;
 };
 
 class Service {
@@ -65,6 +69,13 @@ class Service {
   HttpResponse api_flame(const HttpRequest& req);
   HttpResponse api_findings(const HttpRequest& req);
   HttpResponse api_syncsites(const HttpRequest& req);
+  HttpResponse api_history(const HttpRequest& req);
+  HttpResponse api_regressions(const HttpRequest& req);
+  HttpResponse api_metrics();
+
+  // The archive root the fleet endpoints answer from; empty when none
+  // was configured and none was discovered next to the serve root.
+  std::string archive_root() const;
 
   ServiceOptions opts_;
   std::map<std::string, std::unique_ptr<CachedRun>> cache_;

@@ -138,6 +138,10 @@ void HeartbeatReporter::emit_locked(bool final) {
   o["seq"] = emitted_;
   o["stage"] = std::string(current_stage());
   o["checkpoint_requests"] = checkpoint_request_seq();
+  // Additive v1-compatible section (same shape as the metrics document):
+  // a fleet scraper tailing heartbeats sees pool utilization without
+  // waiting for the final telemetry flush.
+  o["parallel"] = parallel_pool_summary(Telemetry::global().metrics());
   if (final) o["final"] = true;
   const std::string line = json::Value(std::move(o)).dump() + "\n";
   // One whole line per write, flushed: a crash between heartbeats never

@@ -1,0 +1,76 @@
+#include "obs/prometheus.h"
+
+#include <cstdio>
+
+namespace diog::obs {
+
+namespace {
+
+void append_sample(std::string& out, const std::string& name,
+                   std::string_view labels, std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  out += name;
+  out += labels;
+  out += ' ';
+  out += buf;
+  out += '\n';
+}
+
+void append_type(std::string& out, const std::string& name,
+                 std::string_view type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view registry_name) {
+  std::string out = "diogenes_";
+  out.reserve(out.size() + registry_name.size());
+  for (const char c : registry_name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheus_gauge_line(std::string_view registry_name,
+                                  std::int64_t value) {
+  const std::string name = prometheus_name(registry_name);
+  std::string out;
+  append_type(out, name, "gauge");
+  append_sample(out, name, "", value);
+  return out;
+}
+
+std::string prometheus_text(const MetricsRegistry& m) {
+  std::string out;
+  for (const CounterSnapshot& c : m.counters()) {
+    const std::string name = prometheus_name(c.name);
+    append_type(out, name, "counter");
+    append_sample(out, name, "", static_cast<std::int64_t>(c.value));
+  }
+  for (const GaugeSnapshot& g : m.gauges()) {
+    const std::string name = prometheus_name(g.name);
+    append_type(out, name, "gauge");
+    append_sample(out, name, "", g.value);
+  }
+  for (const HistogramSnapshot& h : m.histograms()) {
+    const std::string name = prometheus_name(h.name);
+    append_type(out, name, "summary");
+    append_sample(out, name, "{quantile=\"0.5\"}", h.p50.count());
+    append_sample(out, name, "{quantile=\"0.95\"}", h.p95.count());
+    append_sample(out, name, "{quantile=\"0.99\"}", h.p99.count());
+    append_sample(out, name + "_sum", "", h.sum.count());
+    append_sample(out, name + "_count", "",
+                  static_cast<std::int64_t>(h.count));
+  }
+  return out;
+}
+
+}  // namespace diog::obs

@@ -1,0 +1,41 @@
+// Prometheus text exposition (version 0.0.4) for the metrics registry.
+//
+// One scrape of GET /metrics should observe both Diogenes itself (the
+// obs registry: stage counters, pool utilization, explorer latency) and
+// whatever the serving layer adds (archive gauges) — without dragging a
+// client library into a dependency-free tree. This module renders the
+// registry as plain exposition text:
+//
+//   counters   -> `# TYPE diogenes_<name> counter` + one sample
+//   gauges     -> `# TYPE diogenes_<name> gauge`   + one sample
+//   histograms -> `# TYPE diogenes_<name> summary` + p50/p95/p99
+//                 quantile samples plus the _sum and _count series
+//
+// Dotted registry names map 1:1 onto metric names by replacing every
+// character outside [a-zA-Z0-9_:] with '_' and prefixing "diogenes_"
+// ("parallel.busy_ns" -> "diogenes_parallel_busy_ns"). Output is
+// deterministic: the registry snapshots are name-sorted and every value
+// is a decimal integer, so two scrapes of identical registry state are
+// byte-identical.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace diog::obs {
+
+// "stage2.sync_wait" -> "diogenes_stage2_sync_wait".
+std::string prometheus_name(std::string_view registry_name);
+
+// One gauge sample with its TYPE comment, for callers that append
+// series not backed by the registry (e.g. archive stats).
+std::string prometheus_gauge_line(std::string_view registry_name,
+                                  std::int64_t value);
+
+// The full registry as exposition text (ends with a newline; empty
+// registry renders to an empty string).
+std::string prometheus_text(const MetricsRegistry& m);
+
+}  // namespace diog::obs

@@ -19,6 +19,33 @@ Telemetry& Telemetry::global() {
   return t;
 }
 
+json::Object parallel_pool_summary(const MetricsRegistry& m) {
+  std::uint64_t tasks = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t busy_ns = 0;
+  std::uint64_t wall_ns = 0;
+  std::int64_t pool_size = 0;
+  std::int64_t utilization_pct = 0;
+  for (const CounterSnapshot& c : m.counters()) {
+    if (c.name == "parallel.tasks") tasks = c.value;
+    if (c.name == "parallel.batches") batches = c.value;
+    if (c.name == "parallel.busy_ns") busy_ns = c.value;
+    if (c.name == "parallel.wall_ns") wall_ns = c.value;
+  }
+  for (const GaugeSnapshot& g : m.gauges()) {
+    if (g.name == "parallel.pool.size") pool_size = g.value;
+    if (g.name == "parallel.utilization_pct") utilization_pct = g.value;
+  }
+  json::Object o;
+  o["tasks"] = tasks;
+  o["batches"] = batches;
+  o["busy_ns"] = busy_ns;
+  o["wall_ns"] = wall_ns;
+  o["pool_size"] = pool_size;
+  o["utilization_pct"] = utilization_pct;
+  return o;
+}
+
 void Telemetry::reset() {
   metrics_.reset();
   spans_.reset();
@@ -44,6 +71,10 @@ json::Value Telemetry::metrics_document() const {
   o["schema"] = schema_id("metrics");
   o["metrics"] = metrics_.to_json();
   o["overhead"] = accountant_.to_json();
+  // Additive v1-compatible section: pool utilization surfaced in a
+  // fixed shape (the raw parallel.* instruments are still under
+  // "metrics" when the pool ran).
+  o["parallel"] = parallel_pool_summary(metrics_);
   return json::Value(std::move(o));
 }
 

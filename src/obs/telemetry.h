@@ -24,6 +24,14 @@ namespace diog::obs {
 // incompatibly.
 std::string schema_id(std::string_view name);
 
+// The thread pool's utilization facts (the parallel.* instruments) as
+// one embeddable object with a FIXED shape: tasks / batches / busy_ns /
+// wall_ns / pool_size / utilization_pct are always present, zero when
+// the pool never ran. This is the "parallel" section of both the
+// heartbeat stream and the metrics document, so fleet consumers can key
+// on it without probing for optional fields.
+json::Object parallel_pool_summary(const MetricsRegistry& m);
+
 class Telemetry {
  public:
   static Telemetry& global();

@@ -8,12 +8,16 @@
 
 #include <map>
 
+#include <cctype>
+
+#include "archive/archive.h"
 #include "core/benefit.h"
 #include "core/groupings.h"
 #include "core/report.h"
 #include "eventstore/live_writer.h"
 #include "eventstore/run_io.h"
 #include "explore/service.h"
+#include "obs/telemetry.h"
 #include "parallel/thread_pool.h"
 #include "support/error.h"
 
@@ -261,6 +265,76 @@ OracleReport check_analysis_invariants(const evstore::TraceRun& run,
       check(ffm::export_json(b).dump() == expected,
             "reopened analysis at threads=" + std::to_string(tc) +
                 " differs from the in-memory analysis");
+
+      if (opts.check_archive) {
+        // Fleet surface at this thread count: a fresh archive under a
+        // pinned ingest clock, fed the pinned save plus a resharded
+        // variant (different bytes, same events — a second digest of
+        // the same workload, which gives the sentinel a baseline).
+        // One shared root, torn down and rebuilt from scratch at every
+        // thread count: the entire archive (objects, index, and the
+        // bodies served over it) must be reproducible byte-for-byte.
+        const std::string arch_root =
+            (fs::path(opts.work_dir) / "oracle-archive").string();
+        std::error_code ec;
+        fs::remove_all(arch_root, ec);
+        const std::string alt =
+            (fs::path(opts.work_dir) / "oracle-alt.dgtrace").string();
+        evstore::save_run(
+            alt, run,
+            evstore::SaveOptions{.chunk_rows = 1009, .footer_wall_ms = 0});
+        archive::ArchiveOptions aopts;
+        aopts.root = arch_root;
+        aopts.config = opts.cfg;
+        aopts.ingest_wall_ms = 0;
+        archive::Archive ar(std::move(aopts));
+        try {
+          (void)ar.add(path);
+          (void)ar.add(alt);
+        } catch (const Error&) {
+          // Deterministic rejection (e.g. a fuzzed run the analysis
+          // refuses) — the endpoints below still must answer the same
+          // bytes at every thread count.
+        }
+
+        explore::ServiceOptions so;
+        so.root = oneshot;
+        so.config = opts.cfg;
+        so.archive_root = arch_root;
+        explore::Service svc(so);
+        std::vector<std::string> fleet = {"/api/regressions", "/metrics"};
+        const std::string& w = run.meta.workload;
+        const bool url_safe =
+            !w.empty() &&
+            std::all_of(w.begin(), w.end(), [](unsigned char c) {
+              return std::isalnum(c) != 0 || c == '_' || c == '-' ||
+                     c == '.';
+            });
+        if (url_safe) {
+          fleet.insert(fleet.begin(),
+                       "/api/history?workload=" + w + "&px=64");
+        }
+        for (const std::string& target : fleet) {
+          if (target == "/metrics") {
+            // The scrape reflects whatever the registry accumulated, so
+            // it is only comparable from a known state: reset, then let
+            // the request itself be the single counted event.
+            obs::Telemetry::global().metrics().reset();
+          }
+          explore::HttpRequest req;
+          DIOG_CHECK(explore::parse_request_line(
+                         "GET " + target + " HTTP/1.1", req),
+                     "oracle fleet target unparsable: " + target);
+          const std::string body = svc.handle(req).body;
+          auto [it, inserted] =
+              ref_bodies.emplace("fleet:" + target, body);
+          check(inserted || it->second == body,
+                "fleet endpoint " + target + " at threads=" +
+                    std::to_string(tc) + " differs from threads=" +
+                    std::to_string(ref_tc == 0 ? opts.thread_counts.front()
+                                               : ref_tc));
+        }
+      }
 
       if (opts.check_endpoints) {
         // A fresh Service per thread count, serving the one-shot file,

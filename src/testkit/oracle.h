@@ -51,6 +51,12 @@ struct OracleOptions {
   // each thread count and require byte-identical endpoint JSON
   // (timeline / flame / findings / syncsites).
   bool check_endpoints = true;
+  // Extend the relation to the fleet surface: at each thread count,
+  // build a fresh archive (pinned ingest clock), ingest the pinned save
+  // plus a resharded variant, and require /api/history,
+  // /api/regressions, and /metrics (registry reset before the scrape)
+  // to answer byte-identical bodies.
+  bool check_archive = true;
 };
 
 struct OracleReport {

@@ -7,8 +7,10 @@
 #include <cstdint>
 #include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "archive/archive.h"
 #include "core/diogenes.h"
 #include "core/findings.h"
 #include "core/report.h"
@@ -132,6 +134,104 @@ TEST_F(ExploreTest, BinEventsClampsAndHandlesEmptyRanges) {
   EXPECT_EQ(inverted.matched, 0u);
 }
 
+namespace {
+// A store with one op per requested (t_start, t_end) pair: the minimal
+// instrument for boundary arithmetic.
+evstore::TraceRun run_with_ops(
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& spans) {
+  evstore::TraceRun run;
+  std::uint64_t idx = 0;
+  for (const auto& [t0, t1] : spans) {
+    evstore::Event e;
+    e.kind = evstore::EventKind::kOp;
+    e.op_index = idx++;
+    e.t_start = t0;
+    e.t_end = t1;
+    run.store->append(e);
+  }
+  return run;
+}
+}  // namespace
+
+TEST_F(ExploreTest, BinBoundaryEventsLandInTheirOwnBinHalfOpen) {
+  // Range [0, 100) over 10 bins: width 10, and an event starting
+  // exactly on a boundary belongs to the bin it OPENS, not the one it
+  // closes. t_start == t1 is outside the half-open viewport entirely.
+  std::vector<std::pair<std::int64_t, std::int64_t>> spans;
+  for (std::int64_t t = 0; t <= 100; t += 10) spans.emplace_back(t, t + 3);
+  const evstore::TraceRun run = run_with_ops(spans);
+  evstore::Cursor proto(*run.store);
+  const evstore::BinnedSpans b =
+      evstore::bin_events(*run.store, proto, 0, 100, 10);
+  ASSERT_EQ(b.bins, 10u);
+  EXPECT_EQ(b.bin_width, 10);
+  EXPECT_EQ(b.matched, 10u) << "t_start == 100 must fall outside [0, 100)";
+  for (std::uint32_t i = 0; i < b.bins; ++i) {
+    EXPECT_EQ(b.data[i].count, 1u) << "bin " << i;
+    EXPECT_EQ(b.data[i].rep.t_start, static_cast<std::int64_t>(i) * 10)
+        << "bin " << i;
+  }
+}
+
+TEST_F(ExploreTest, ZeroDurationEventsCountButAddNoBusyTime) {
+  const evstore::TraceRun run =
+      run_with_ops({{5, 5}, {5, 5}, {7, 9}});
+  evstore::Cursor proto(*run.store);
+  const evstore::BinnedSpans b =
+      evstore::bin_events(*run.store, proto, 0, 10, 1);
+  ASSERT_EQ(b.bins, 1u);
+  EXPECT_EQ(b.matched, 3u);
+  EXPECT_EQ(b.data[0].count, 3u);
+  EXPECT_EQ(b.data[0].busy_ns, 2) << "only the (7,9) op has duration";
+  // The representative is the heaviest event, never a zero-width one
+  // when an alternative exists.
+  EXPECT_EQ(b.data[0].rep.t_start, 7);
+}
+
+TEST_F(ExploreTest, RangeOutsideTheExtentMatchesNothing) {
+  const evstore::TraceRun run = run_with_ops({{0, 10}, {50, 60}, {90, 100}});
+  evstore::Cursor proto(*run.store);
+  const evstore::TimeExtent ext = evstore::time_extent(*run.store, proto);
+  EXPECT_EQ(ext.t_min, 0);
+  EXPECT_EQ(ext.t_max, 100);
+
+  for (const auto& [t0, t1] :
+       std::vector<std::pair<std::int64_t, std::int64_t>>{
+           {1'000, 2'000}, {-500, -100}, {100, 200}}) {
+    const evstore::BinnedSpans b =
+        evstore::bin_events(*run.store, proto, t0, t1, 8);
+    EXPECT_EQ(b.matched, 0u) << "[" << t0 << ", " << t1 << ")";
+    for (const evstore::TimeBin& bin : b.data) EXPECT_EQ(bin.count, 0u);
+  }
+}
+
+TEST_F(ExploreTest, EdgeCaseBinningIsDeterministicAcrossThreadCounts) {
+  // Boundary-aligned and zero-duration events across several segments:
+  // the shapes most likely to diverge under a sharded scan.
+  std::vector<std::pair<std::int64_t, std::int64_t>> spans;
+  for (std::int64_t i = 0; i < 200'000; ++i) {
+    spans.emplace_back(i * 10, (i % 3 == 0) ? i * 10 : i * 10 + 7);
+  }
+  const evstore::TraceRun run = run_with_ops(spans);
+  auto snapshot = [&run] {
+    evstore::Cursor proto(*run.store);
+    const evstore::BinnedSpans b =
+        evstore::bin_events(*run.store, proto, 0, 2'000'000, 333);
+    std::string s;
+    for (const evstore::TimeBin& bin : b.data) {
+      s += std::to_string(bin.count) + "," + std::to_string(bin.busy_ns) +
+           "," + std::to_string(bin.rep.op_index) + ";";
+    }
+    return s;
+  };
+  par::set_threads(1);
+  const std::string ref = snapshot();
+  for (const std::size_t tc : {2, 8}) {
+    par::set_threads(tc);
+    EXPECT_EQ(snapshot(), ref) << "threads=" << tc;
+  }
+}
+
 // --- Service endpoints ------------------------------------------------------
 
 TEST_F(ExploreTest, EndpointBodiesAreByteIdenticalAtEveryThreadCount) {
@@ -148,7 +248,7 @@ TEST_F(ExploreTest, EndpointBodiesAreByteIdenticalAtEveryThreadCount) {
     par::set_threads(tc);
     // A fresh Service per thread count: nothing may answer from a cache
     // warmed under a different thread count.
-    explore::Service svc({.root = dir_, .config = {}});
+    explore::Service svc({.root = dir_, .config = {}, .archive_root = {}});
     for (std::size_t i = 0; i < targets.size(); ++i) {
       const explore::HttpResponse r = get(svc, targets[i]);
       EXPECT_EQ(r.status, 200) << targets[i];
@@ -164,7 +264,7 @@ TEST_F(ExploreTest, EndpointBodiesAreByteIdenticalAtEveryThreadCount) {
 TEST_F(ExploreTest, EmptyRunServesEveryEndpointWithoutServerError) {
   evstore::TraceRun empty;
   save("empty", empty);
-  explore::Service svc({.root = dir_, .config = {}});
+  explore::Service svc({.root = dir_, .config = {}, .archive_root = {}});
   for (const std::string target :
        {"/api/runs", "/api/stat?run=empty", "/api/timeline?run=empty",
         "/api/flame?run=empty", "/api/findings?run=empty",
@@ -203,7 +303,7 @@ TEST_F(ExploreTest, TornLiveRunServesTheReadablePrefix) {
   }
   fs::resize_file(path, fs::file_size(path) - 37);
 
-  explore::Service svc({.root = dir_, .config = {}});
+  explore::Service svc({.root = dir_, .config = {}, .archive_root = {}});
   const explore::HttpResponse runs = get(svc, "/api/runs");
   ASSERT_EQ(runs.status, 200);
   EXPECT_NE(runs.body.find("in progress"), std::string::npos)
@@ -222,7 +322,7 @@ TEST_F(ExploreTest, TornLiveRunServesTheReadablePrefix) {
 
 TEST_F(ExploreTest, ErrorModelIs404ForUnknownAnd400ForBadParams) {
   save("ok", testkit::make_synthetic_run({.events = 1'000}));
-  explore::Service svc({.root = dir_, .config = {}});
+  explore::Service svc({.root = dir_, .config = {}, .archive_root = {}});
   EXPECT_EQ(get(svc, "/api/stat?run=nope").status, 404);
   EXPECT_EQ(get(svc, "/api/timeline?run=../../etc/passwd").status, 404);
   EXPECT_EQ(get(svc, "/api/timeline?run=ok&tracks=flying_carpet").status,
@@ -234,7 +334,7 @@ TEST_F(ExploreTest, ErrorModelIs404ForUnknownAnd400ForBadParams) {
 
 TEST_F(ExploreTest, MillionEventViewportStaysUnderTheByteBudget) {
   save("big", testkit::make_synthetic_run({.events = 1'000'000}));
-  explore::Service svc({.root = dir_, .config = {}});
+  explore::Service svc({.root = dir_, .config = {}, .archive_root = {}});
   for (const std::string target :
        {"/api/timeline?run=big&px=1024",
         "/api/timeline?run=big&px=2048&tracks=op,internal_span"}) {
@@ -243,6 +343,122 @@ TEST_F(ExploreTest, MillionEventViewportStaysUnderTheByteBudget) {
     EXPECT_LE(r.body.size(), std::size_t{512} * 1024) << target;
     const json::Value v = json::parse(r.body);
     EXPECT_GT(v.at("matched").as_int(), 900'000) << target;
+  }
+}
+
+// --- Fleet endpoints --------------------------------------------------------
+
+TEST_F(ExploreTest, HistoryEndpointBinsTheArchiveAndValidatesInput) {
+  save("a", testkit::make_synthetic_run({.events = 5'000,
+                                         .problem_sites = 2}));
+  save("b", testkit::make_synthetic_run({.events = 5'000,
+                                         .problem_sites = 2,
+                                         .op_spacing_ns = 1001}));
+  save("c", testkit::make_synthetic_run({.events = 5'000,
+                                         .problem_sites = 6}));
+  archive::Archive ar(archive::ArchiveOptions{
+      .root = dir_ + "/archive", .config = {}, .ingest_wall_ms = 0});
+  for (const char* n : {"a", "b", "c"}) {
+    (void)ar.add(dir_ + "/" + n + ".dgtrace");
+  }
+
+  explore::Service svc({.root = dir_, .config = {}, .archive_root = {}});
+  EXPECT_EQ(get(svc, "/api/history").status, 400) << "workload is required";
+  EXPECT_EQ(get(svc, "/api/history?workload=nope").status, 404);
+
+  const explore::HttpResponse ok =
+      get(svc, "/api/history?workload=synthetic&px=2");
+  ASSERT_EQ(ok.status, 200);
+  const json::Value v = json::parse(ok.body);
+  EXPECT_EQ(v.at("schema").as_string(), "diogenes.history.v1");
+  EXPECT_EQ(v.at("runs").as_int(), 3);
+  ASSERT_EQ(v.at("bins").size(), 2u);
+  // Equal-width partition of 3 ingests into 2 bins: [0,1) and [1,3);
+  // each bin reports its newest member plus min/max over the span.
+  EXPECT_EQ(v.at("bins").at(0).at("i1").as_int(), 1);
+  EXPECT_EQ(v.at("bins").at(1).at("i0").as_int(), 1);
+  EXPECT_GE(v.at("bins").at(1).at("max_benefit_ns").as_int(),
+            v.at("bins").at(1).at("min_benefit_ns").as_int());
+
+  // px beyond the ingest count degenerates to one bin per ingest.
+  const json::Value wide = json::parse(
+      get(svc, "/api/history?workload=synthetic&px=500").body);
+  EXPECT_EQ(wide.at("bins").size(), 3u);
+}
+
+TEST_F(ExploreTest, RegressionsEndpointReportsDriftedWorkloads) {
+  save("a", testkit::make_synthetic_run({.events = 5'000,
+                                         .problem_sites = 2}));
+  save("b", testkit::make_synthetic_run({.events = 5'000,
+                                         .problem_sites = 2,
+                                         .op_spacing_ns = 1001}));
+  save("c", testkit::make_synthetic_run({.events = 5'000,
+                                         .problem_sites = 6}));
+  archive::Archive ar(archive::ArchiveOptions{
+      .root = dir_ + "/archive", .config = {}, .ingest_wall_ms = 0});
+  for (const char* n : {"a", "b", "c"}) {
+    (void)ar.add(dir_ + "/" + n + ".dgtrace");
+  }
+
+  explore::Service svc({.root = dir_, .config = {}, .archive_root = {}});
+  EXPECT_EQ(get(svc, "/api/regressions?window=-2").status, 400);
+  const explore::HttpResponse r = get(svc, "/api/regressions");
+  ASSERT_EQ(r.status, 200);
+  const json::Value v = json::parse(r.body);
+  EXPECT_EQ(v.at("schema").as_string(), "diogenes.regress.v1");
+  EXPECT_EQ(v.at("digests").as_int(), 3);
+  EXPECT_EQ(v.at("drifted_workloads").as_int(), 1)
+      << "the 6-site variant must register as drift: " << r.body;
+  EXPECT_GT(v.at("reports").at(0).at("findings").size(), 0u);
+}
+
+TEST_F(ExploreTest, FleetEndpointsAnswer404WithoutAnArchive) {
+  save("a", testkit::make_synthetic_run({.events = 1'000}));
+  explore::Service svc({.root = dir_, .config = {}, .archive_root = {}});
+  EXPECT_EQ(get(svc, "/api/history?workload=synthetic").status, 404);
+  EXPECT_EQ(get(svc, "/api/regressions").status, 404);
+  // /metrics still serves process metrics; the archive gauges are
+  // simply absent.
+  const explore::HttpResponse m = get(svc, "/metrics");
+  EXPECT_EQ(m.status, 200);
+  EXPECT_EQ(m.body.find("diogenes_archive_runs"), std::string::npos);
+}
+
+TEST_F(ExploreTest, MetricsEndpointSpeaksPrometheusTextFormat) {
+  save("a", testkit::make_synthetic_run({.events = 1'000}));
+  archive::Archive ar(archive::ArchiveOptions{
+      .root = dir_ + "/archive", .config = {}, .ingest_wall_ms = 0});
+  (void)ar.add(dir_ + "/a.dgtrace");
+
+  explore::Service svc({.root = dir_, .config = {}, .archive_root = {}});
+  (void)get(svc, "/api/runs");  // populate request counters
+  const explore::HttpResponse m = get(svc, "/metrics");
+  ASSERT_EQ(m.status, 200);
+  EXPECT_NE(m.content_type.find("text/plain"), std::string::npos);
+  EXPECT_NE(m.content_type.find("version=0.0.4"), std::string::npos);
+  EXPECT_NE(m.body.find("diogenes_archive_runs 1"), std::string::npos)
+      << m.body;
+  EXPECT_NE(m.body.find("diogenes_archive_workloads 1"), std::string::npos);
+
+  // Every line is a comment or `name[{labels}] value`, names restricted
+  // to the exposition alphabet.
+  std::size_t pos = 0;
+  while (pos < m.body.size()) {
+    std::size_t eol = m.body.find('\n', pos);
+    if (eol == std::string::npos) eol = m.body.size();
+    const std::string line = m.body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    const std::string name = line.substr(0, line.find_first_of(" {"));
+    EXPECT_FALSE(name.empty()) << line;
+    for (const char c : name) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':')
+          << line;
+    }
+    EXPECT_NO_THROW((void)std::stod(line.substr(sp + 1))) << line;
   }
 }
 

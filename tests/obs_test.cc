@@ -21,6 +21,7 @@
 #include "gpusim/api.h"
 #include "gpusim/host_buffer.h"
 #include "obs/heartbeat.h"
+#include "obs/prometheus.h"
 #include "obs/telemetry.h"
 #include "support/error.h"
 #include "trace/callstack.h"
@@ -593,6 +594,128 @@ TEST(ObsSchema, MetricsDocumentCarriesTheSchemaId) {
   const json::Value rt = json::parse(v.dump());
   EXPECT_EQ(rt.at("schema").as_string(), "diogenes.metrics.v1");
   t.reset();
+}
+
+// --- Pool utilization surface (fleet heartbeat section) ---------------------
+
+TEST(ObsParallel, PoolSummaryReflectsRegistryInstruments) {
+  MetricsRegistry reg;
+  const json::Value zero{parallel_pool_summary(reg)};
+  EXPECT_EQ(zero.at("tasks").as_int(), 0);
+  EXPECT_EQ(zero.at("pool_size").as_int(), 0);
+
+  reg.counter("parallel.tasks").inc(120);
+  reg.counter("parallel.batches").inc(3);
+  reg.counter("parallel.busy_ns").inc(900);
+  reg.counter("parallel.wall_ns").inc(1000);
+  reg.gauge("parallel.pool.size").set(8);
+  reg.gauge("parallel.utilization_pct").set(90);
+  const json::Value v{parallel_pool_summary(reg)};
+  if (kCompiledIn) {
+    EXPECT_EQ(v.at("tasks").as_int(), 120);
+    EXPECT_EQ(v.at("batches").as_int(), 3);
+    EXPECT_EQ(v.at("busy_ns").as_int(), 900);
+    EXPECT_EQ(v.at("wall_ns").as_int(), 1000);
+    EXPECT_EQ(v.at("pool_size").as_int(), 8);
+    EXPECT_EQ(v.at("utilization_pct").as_int(), 90);
+  } else {
+    EXPECT_EQ(v.at("tasks").as_int(), 0);
+  }
+}
+
+TEST(ObsSchema, HeartbeatLinesStayV1CompatibleAndCarryThePoolSection) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "diog_hb_pool_test.jsonl";
+  std::filesystem::remove(path);
+  {
+    HeartbeatReporter::Options opts;
+    opts.path = path.string();
+    opts.interval = std::chrono::milliseconds(60'000);
+    HeartbeatReporter hb(opts, [] { return json::Object{}; });
+    hb.emit_now();
+    hb.stop();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    const json::Value v = json::parse(line);
+    // The v1 contract a fleet tailer depends on: these fields may only
+    // ever gain siblings, never vanish or change type.
+    EXPECT_EQ(v.at("schema").as_string(), "diogenes.heartbeat.v1");
+    EXPECT_EQ(v.at("type").as_string(), "heartbeat");
+    EXPECT_NO_THROW((void)v.at("t_wall_ms").as_int());
+    EXPECT_NO_THROW((void)v.at("seq").as_int());
+    EXPECT_NO_THROW((void)v.at("stage").as_string());
+    EXPECT_NO_THROW((void)v.at("checkpoint_requests").as_int());
+    // The additive pool section, in the metrics-document shape.
+    const json::Value& p = v.at("parallel");
+    for (const char* key : {"tasks", "batches", "busy_ns", "wall_ns",
+                            "pool_size", "utilization_pct"}) {
+      EXPECT_NO_THROW((void)p.at(key).as_int()) << key;
+    }
+    ++lines;
+  }
+  EXPECT_GE(lines, 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(ObsSchema, MetricsDocumentCarriesThePoolSection) {
+  auto& t = Telemetry::global();
+  t.reset();
+  t.set_enabled(true);
+  const json::Value v = t.metrics_document();
+  const json::Value& p = v.at("parallel");
+  EXPECT_NO_THROW((void)p.at("tasks").as_int());
+  EXPECT_NO_THROW((void)p.at("utilization_pct").as_int());
+  t.reset();
+}
+
+// --- Prometheus exposition --------------------------------------------------
+
+TEST(ObsPrometheus, NamesAreSanitizedAndPrefixed) {
+  EXPECT_EQ(prometheus_name("stage2.sync_wait"),
+            "diogenes_stage2_sync_wait");
+  EXPECT_EQ(prometheus_name("parallel.pool.size"),
+            "diogenes_parallel_pool_size");
+  EXPECT_EQ(prometheus_name("weird name-with/chars"),
+            "diogenes_weird_name_with_chars");
+}
+
+TEST(ObsPrometheus, GaugeLineCarriesTypeCommentAndSample) {
+  const std::string line = prometheus_gauge_line("archive.runs", 7);
+  EXPECT_NE(line.find("# TYPE diogenes_archive_runs gauge\n"),
+            std::string::npos);
+  EXPECT_NE(line.find("diogenes_archive_runs 7\n"), std::string::npos);
+}
+
+TEST(ObsPrometheus, TextRendersEveryInstrumentFamily) {
+  MetricsRegistry reg;
+  EXPECT_EQ(prometheus_text(reg), "") << "empty registry, empty exposition";
+  if (!kCompiledIn) GTEST_SKIP() << "recording compiled out";
+
+  reg.counter("explore.requests").inc(5);
+  reg.gauge("parallel.pool.size").set(4);
+  Histogram& h = reg.histogram("explore.request_us");
+  for (int i = 1; i <= 100; ++i) h.record(Duration{i * 1000});
+
+  const std::string text = prometheus_text(reg);
+  EXPECT_NE(text.find("# TYPE diogenes_explore_requests counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("diogenes_explore_requests 5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE diogenes_parallel_pool_size gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE diogenes_explore_request_us summary\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("diogenes_explore_request_us{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("diogenes_explore_request_us_sum"), std::string::npos);
+  EXPECT_NE(text.find("diogenes_explore_request_us_count 100\n"),
+            std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+  // Two scrapes of unchanged state must be byte-identical.
+  EXPECT_EQ(prometheus_text(reg), text);
 }
 
 }  // namespace

@@ -130,5 +130,17 @@ TEST(ReportGolden, EmptyResultRendersGracefully) {
   EXPECT_NO_THROW((void)export_json(r));
 }
 
+TEST(ReportWatch, RateLineDifferencesTwoPolls) {
+  // 5000 events and 10 drops over a 2 s interval.
+  const std::string line = render_watch_rates(5000, 10, 2.0);
+  EXPECT_EQ(line, "Rate: 2500 event(s)/s, 5 drop(s)/s\n");
+  EXPECT_EQ(render_watch_rates(0, 0, 1.0), "Rate: 0 event(s)/s, 0 drop(s)/s\n");
+}
+
+TEST(ReportWatch, FirstFrameHasNoRateLine) {
+  EXPECT_EQ(render_watch_rates(100, 0, 0.0), "");
+  EXPECT_EQ(render_watch_rates(100, 0, -1.0), "");
+}
+
 }  // namespace
 }  // namespace diog::ffm

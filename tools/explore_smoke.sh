@@ -41,7 +41,22 @@ find "$SCRATCH/corpus" -name '*.dgtrace' -exec cp {} "$SERVE" \;
 cp "$SERVE/cumf_als.dgtrace" "$SERVE/torn.dgtrace"
 truncate -s -41 "$SERVE/torn.dgtrace"
 
-# 4. Serve on an ephemeral port; parse it from the banner.
+# 4. An archive next to the serve root so the fleet endpoints have
+#    history to answer from: two quiet ingests plus a drifted variant.
+"$DIOGENES" synth "$SCRATCH/fleet-a.dgtrace" --events 20000 \
+  --problem-sites 2 > /dev/null
+"$DIOGENES" synth "$SCRATCH/fleet-b.dgtrace" --events 20000 \
+  --problem-sites 2 --op-spacing-ns 1001 > /dev/null
+"$DIOGENES" synth "$SCRATCH/fleet-c.dgtrace" --events 20000 \
+  --problem-sites 6 > /dev/null
+"$DIOGENES" archive add "$SCRATCH/fleet-a.dgtrace" \
+  --root "$SERVE/archive" --ingest-wall-ms 0 > /dev/null
+"$DIOGENES" archive add "$SCRATCH/fleet-b.dgtrace" \
+  --root "$SERVE/archive" --ingest-wall-ms 0 > /dev/null
+"$DIOGENES" archive add "$SCRATCH/fleet-c.dgtrace" \
+  --root "$SERVE/archive" --ingest-wall-ms 0 > /dev/null
+
+# 5. Serve on an ephemeral port; parse it from the banner.
 "$DIOGENES" explore "$SERVE" --port 0 > "$LOG" 2>&1 &
 PID=$!
 PORT=""
@@ -65,7 +80,20 @@ fetch() {
     echo "FAIL: $target answered $code" >&2; cat "$body" >&2; exit 1
   fi
   case $target in
-    /|/index.html) ;;  # HTML page: status check only
+    /|/index.html) ;;    # HTML page: status check only
+    /metrics)            # Prometheus text: every line a comment or sample
+      if ! python3 -c '
+import re, sys
+ok = re.compile(r"^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+)$")
+lines = [l.rstrip("\n") for l in open(sys.argv[1]) if l.strip()]
+assert lines, "empty exposition"
+for l in lines:
+    assert ok.match(l), "bad line: " + l
+' "$body"; then
+        echo "FAIL: /metrics returned malformed exposition text" >&2
+        cat "$body" >&2; exit 1
+      fi
+      ;;
     *)
       python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$body" \
         || { echo "FAIL: $target returned malformed JSON" >&2
@@ -80,7 +108,7 @@ fetch /healthz > /dev/null
 fetch / > /dev/null
 RUNS_JSON=$(fetch /api/runs)
 
-# 5. Every endpoint for every discovered run (including the hostile
+# 6. Every endpoint for every discovered run (including the hostile
 #    ones), plus the explicit error-path probes.
 RUN_NAMES=$(printf '%s' "$RUNS_JSON" | python3 -c '
 import json, sys
@@ -100,5 +128,26 @@ fetch "/api/stat?run=no_such_run" > /dev/null
 fetch "/api/timeline?run=cumf_als&tracks=bogus_kind" > /dev/null
 fetch "/api/timeline?run=cumf_als&t0=9&t1=3" > /dev/null
 fetch "/no/such/endpoint" > /dev/null
+
+# 7. The fleet surface: scrapeable metrics, ingest history, and the
+#    regression sentinel (the archive seeded in step 4 guarantees a
+#    drifted workload), plus their error paths.
+fetch "/metrics" | grep -q "diogenes_archive_runs 3" \
+  || { echo "FAIL: /metrics missing archive gauges"; exit 1; }
+fetch "/api/history?workload=synthetic&px=64" | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+assert doc["schema"] == "diogenes.history.v1", doc
+assert doc["runs"] == 3, doc
+assert len(doc["bins"]) == 3, doc
+'
+fetch "/api/regressions" | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+assert doc["schema"] == "diogenes.regress.v1", doc
+assert doc["drifted_workloads"] >= 1, "seeded drift must be reported"
+'
+fetch "/api/history" > /dev/null                   # 400: workload required
+fetch "/api/history?workload=no_such" > /dev/null  # 404
 
 echo "explore smoke: all endpoints answered sub-5xx with valid JSON"
