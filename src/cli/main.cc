@@ -48,8 +48,16 @@
 //                        [--events N] [--problem-sites N]
 //                        [--op-spacing-ns N] [--workload NAME] run files
 //
+// Hub mode (streaming ingestion; see DESIGN.md "Hub"):
+//   diogenes serve <archive-root> [--port N]   trace hub daemon: accept
+//                  [--http-port N] [--max-clients N]  .dgtrace streams
+//                  [--spool DIR] [--ingest-wall-ms N] over loopback TCP,
+//                                              ingest into the archive
+//   diogenes push <run-file> [--host H]        one-shot upload of a
+//                  [--port N] [--workload NAME] finalized run file
+//
 // Fuzzing mode (the testkit subsystem; see DESIGN.md "Testkit"):
-//   diogenes fuzz <run-io|follower|ring> [--seed N] [--budget-s S]
+//   diogenes fuzz <run-io|follower|ring|hub> [--seed N] [--budget-s S]
 //                 [--corpus DIR] [--max-execs N] [--verbose]
 //   diogenes fuzz minimize <artifact.dgtrace> [--target T] [--seed N]
 //
@@ -66,6 +74,9 @@
 //                           forces an immediate checkpoint + heartbeat
 //   --heartbeat-ms <N>      heartbeat interval (default 1000)
 //   --checkpoint-ms <N>     min gap between timed checkpoints (500)
+//   --sink <tcp://H:P>      stream every live checkpoint to a trace hub
+//                           (`diogenes serve`); a completed stream is
+//                           byte-identical to the saved run file
 //   --threads <N>           analysis/save/open thread count (default:
 //                           DIOG_THREADS, else hardware concurrency;
 //                           1 = fully serial). Output is byte-identical
@@ -92,6 +103,8 @@
 #include "core/report.h"
 #include "eventstore/run_io.h"
 #include "explore/service.h"
+#include "hub/client.h"
+#include "hub/server.h"
 #include "obs/heartbeat.h"
 #include "obs/telemetry.h"
 #include "parallel/thread_pool.h"
@@ -126,7 +139,13 @@ int usage() {
       "       diogenes synth <out.dgtrace> [--events N] [--problem-sites N]\n"
       "                      [--op-spacing-ns N] [--workload NAME]\n"
       "                      [--footer-wall-ms N]\n"
-      "       diogenes fuzz <run-io|follower|ring> [--seed N] [--budget-s S]\n"
+      "       diogenes serve <archive-root> [--port N] [--http-port N]\n"
+      "                      [--max-clients N] [--spool DIR]\n"
+      "                      [--ingest-wall-ms N]\n"
+      "       diogenes push <run-file> [--host H] [--port N]\n"
+      "                     [--workload NAME]\n"
+      "       diogenes fuzz <run-io|follower|ring|hub> [--seed N]\n"
+      "                     [--budget-s S]\n"
       "                     [--corpus DIR] [--max-execs N] [--verbose]\n"
       "       diogenes fuzz minimize <artifact> [--target T] [--seed N]\n"
       "  apps: cumf_als | cuIBM | AMG | Rodinia\n"
@@ -352,6 +371,9 @@ int cmd_compare(const apps::AppPair& app, const ffm::AnalysisResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Resolve `--sink tcp://host:port` through the hub's client factory
+  // (eventstore/sink.h keeps core free of a hub dependency).
+  hub::register_tcp_sink();
   ffm::ToolConfig cfg;
   std::string telemetry_path;
   obs::Logger& log = obs::Telemetry::global().logger();
@@ -392,6 +414,9 @@ int main(int argc, char** argv) {
                arg + 1 < argc) {
       cfg.checkpoint_interval_ms =
           static_cast<std::uint32_t>(std::strtoul(argv[arg + 1], nullptr, 10));
+      arg += 2;
+    } else if (std::strcmp(argv[arg], "--sink") == 0 && arg + 1 < argc) {
+      cfg.sink = argv[arg + 1];
       arg += 2;
     } else if (std::strcmp(argv[arg], "--threads") == 0 && arg + 1 < argc) {
       par::set_threads(
@@ -725,6 +750,118 @@ int main(int argc, char** argv) {
       return 0;
     } catch (const Error& e) {
       std::fprintf(stderr, "synth failed: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  if (app_name == "serve") {
+    // Trace hub daemon: accept concurrent .dgtrace streams over loopback
+    // TCP (the wire format IS the file format), validate-and-spool each
+    // chunk, and ingest finished streams into the archive. The fleet
+    // HTTP view (/api/history, /api/regressions, /metrics) is composed
+    // here from explore::Service — the hub library never links explore.
+    if (arg >= argc) return usage();
+    hub::ServerOptions hopts;
+    hopts.archive_root = argv[arg++];
+    hopts.config = cfg;
+    std::uint16_t http_port = 0;  // ephemeral by default
+    while (arg < argc) {
+      if (std::strcmp(argv[arg], "--port") == 0 && arg + 1 < argc) {
+        hopts.port = static_cast<std::uint16_t>(
+            std::strtoul(argv[arg + 1], nullptr, 10));
+        arg += 2;
+      } else if (std::strcmp(argv[arg], "--http-port") == 0 &&
+                 arg + 1 < argc) {
+        http_port = static_cast<std::uint16_t>(
+            std::strtoul(argv[arg + 1], nullptr, 10));
+        arg += 2;
+      } else if (std::strcmp(argv[arg], "--max-clients") == 0 &&
+                 arg + 1 < argc) {
+        hopts.max_clients = static_cast<std::size_t>(
+            std::strtoul(argv[arg + 1], nullptr, 10));
+        arg += 2;
+      } else if (std::strcmp(argv[arg], "--spool") == 0 && arg + 1 < argc) {
+        hopts.spool_dir = argv[arg + 1];
+        arg += 2;
+      } else if (std::strcmp(argv[arg], "--ingest-wall-ms") == 0 &&
+                 arg + 1 < argc) {
+        hopts.ingest_wall_ms = std::strtoll(argv[arg + 1], nullptr, 10);
+        arg += 2;
+      } else {
+        return usage();
+      }
+    }
+    try {
+      const std::string archive_root = hopts.archive_root;
+      hub::HubServer server(std::move(hopts));
+      server.bind();
+      // Archived objects double as the explorer's serve root, so the
+      // timeline views work on hub-ingested runs too.
+      explore::ServiceOptions sopts;
+      sopts.root =
+          (std::filesystem::path(archive_root) / "objects").string();
+      sopts.config = cfg;
+      sopts.archive_root = archive_root;
+      explore::Service service(std::move(sopts));
+      explore::HttpServer http(
+          [&service](const explore::HttpRequest& req) {
+            return service.handle(req);
+          });
+      http.bind(http_port);
+      std::thread http_thread([&http] { http.serve(); });
+      std::printf("hub listening on tcp://127.0.0.1:%u\n",
+                  static_cast<unsigned>(server.port()));
+      std::printf("explorer at http://127.0.0.1:%u/\n",
+                  static_cast<unsigned>(http.port()));
+      std::fflush(stdout);
+      server.serve();  // blocks until stop() (or the process is killed)
+      http.stop();
+      http_thread.join();
+      return 0;
+    } catch (const Error& e) {
+      std::fprintf(stderr, "serve failed: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  if (app_name == "push") {
+    // One-shot upload of a finalized run file to a running hub. The
+    // file's bytes go over the wire unchanged; the hub re-validates
+    // every chunk before archiving.
+    if (arg >= argc) return usage();
+    const std::string file = argv[arg++];
+    hub::ClientOptions copts;
+    while (arg < argc) {
+      if (std::strcmp(argv[arg], "--host") == 0 && arg + 1 < argc) {
+        copts.host = argv[arg + 1];
+        arg += 2;
+      } else if (std::strcmp(argv[arg], "--port") == 0 && arg + 1 < argc) {
+        copts.port = static_cast<std::uint16_t>(
+            std::strtoul(argv[arg + 1], nullptr, 10));
+        arg += 2;
+      } else if (std::strcmp(argv[arg], "--workload") == 0 &&
+                 arg + 1 < argc) {
+        copts.workload = argv[arg + 1];
+        arg += 2;
+      } else {
+        return usage();
+      }
+    }
+    if (copts.port == 0) {
+      std::fprintf(stderr, "push: --port is required\n");
+      return usage();
+    }
+    try {
+      const hub::HubResponse resp = hub::push_run_file(file, copts);
+      std::printf("%s %s  %llu event(s) in %llu chunk(s)%s\n",
+                  resp.deduplicated ? "dedup   " : "archived",
+                  resp.run_id.c_str(),
+                  static_cast<unsigned long long>(resp.events),
+                  static_cast<unsigned long long>(resp.chunks),
+                  resp.drift_findings > 0 ? "  [drift]" : "");
+      return 0;
+    } catch (const Error& e) {
+      std::fprintf(stderr, "push failed: %s\n", e.what());
       return 1;
     }
   }

@@ -19,6 +19,14 @@ FlightRecorder::FlightRecorder(evstore::TraceRun& run, const ToolConfig& cfg,
     // file before the first segment seals.
     writer_->checkpoint(run_, /*force=*/true);
   }
+  if (!cfg.sink.empty()) {
+    // A bad URL or an unreachable hub throws here, before any events
+    // are collected — failing to stream is an error, not a silent drop.
+    sink_ = evstore::make_sink(cfg.sink, workload);
+    // Same first-checkpoint discipline as the file writer, so the
+    // streamed chunk layout tracks the live file's chunk for chunk.
+    sink_->checkpoint(run_, /*force=*/true);
+  }
   const std::string hb_dir =
       cfg.trace_dir.empty() ? std::string(".") : cfg.trace_dir;
   obs::HeartbeatReporter::Options hopts;
@@ -49,6 +57,7 @@ void FlightRecorder::tick() {
 
 void FlightRecorder::checkpoint(bool forced) {
   if (writer_) writer_->checkpoint(run_, forced);
+  if (sink_) sink_->checkpoint(run_, forced);
   // A SIGUSR1-forced checkpoint also wants an immediate heartbeat, so
   // "signal, then read the last line" is a complete snapshot recipe.
   if (forced && heartbeat_) heartbeat_->emit_now();
@@ -71,6 +80,7 @@ void FlightRecorder::finish() {
   finished_ = true;
   run_.store->set_segment_seal_callback(nullptr);
   if (writer_) writer_->finish(run_);
+  if (sink_) sink_->finish(run_);
   if (heartbeat_) heartbeat_->stop();
 }
 

@@ -25,6 +25,7 @@
 #include "core/tool_config.h"
 #include "eventstore/live_writer.h"
 #include "eventstore/run.h"
+#include "eventstore/sink.h"
 #include "json/json.h"
 #include "obs/heartbeat.h"
 
@@ -33,7 +34,9 @@ namespace diog::ffm {
 class FlightRecorder {
  public:
   // Starts the heartbeat stream and, when cfg.trace_dir is set, the
-  // live run file. Installs itself as the store's segment-seal
+  // live run file; when cfg.sink is set, a streaming checkpoint sink
+  // (eventstore/sink.h — resolved through the registered factory, e.g.
+  // the hub's tcp://). Installs itself as the store's segment-seal
   // callback.
   FlightRecorder(evstore::TraceRun& run, const ToolConfig& cfg,
                  const std::string& workload);
@@ -57,6 +60,9 @@ class FlightRecorder {
   [[nodiscard]] const evstore::LiveRunWriter* writer() const {
     return writer_.get();
   }
+  [[nodiscard]] const evstore::CheckpointSink* sink() const {
+    return sink_.get();
+  }
 
  private:
   json::Object heartbeat_body();
@@ -64,6 +70,7 @@ class FlightRecorder {
 
   evstore::TraceRun& run_;
   std::unique_ptr<evstore::LiveRunWriter> writer_;
+  std::unique_ptr<evstore::CheckpointSink> sink_;
   std::unique_ptr<obs::HeartbeatReporter> heartbeat_;
   std::chrono::milliseconds ckpt_interval_;
   std::chrono::steady_clock::time_point last_ckpt_;

@@ -63,6 +63,10 @@ struct ToolConfig {
   bool live = false;
   std::uint32_t heartbeat_interval_ms = 1000;
   std::uint32_t checkpoint_interval_ms = 500;
+  // Streaming checkpoint target (`--sink tcp://host:port`): every
+  // checkpoint also ships to a CheckpointSink resolved through
+  // eventstore/sink.h (the trace hub registers the tcp:// factory).
+  std::string sink;
 };
 
 }  // namespace diog::ffm

@@ -646,6 +646,95 @@ TraceRun open_run(const std::string& path, ReadMode mode,
   return parse_run(buf.data(), buf.size(), info);
 }
 
+// --- StreamParser ------------------------------------------------------------
+
+struct StreamParser::Impl : ChunkParser {};
+
+StreamParser::StreamParser() : impl_(std::make_unique<Impl>()) {}
+
+StreamParser::~StreamParser() = default;
+
+const TraceRun& StreamParser::run() const { return impl_->run; }
+
+std::uint64_t StreamParser::chunks() const { return impl_->chunks; }
+
+std::uint64_t StreamParser::events() const { return impl_->run.store->size(); }
+
+std::uint64_t StreamParser::dropped() const { return impl_->dropped_gaps; }
+
+void StreamParser::apply_header(const unsigned char* data, std::size_t n) {
+  DIOG_CHECK(!header_seen_, "stream parser: duplicate header");
+  if (n != fmt::kHeaderBytes) {
+    throw Error("run stream corrupted: header frame is " + std::to_string(n) +
+                " bytes (expected " + std::to_string(fmt::kHeaderBytes) + ")");
+  }
+  validate_header(data, n);
+  header_seen_ = true;
+}
+
+void StreamParser::apply_chunk_frame(const unsigned char* frame,
+                                     std::size_t n) {
+  DIOG_CHECK(header_seen_, "stream parser: chunk frame before header");
+  DIOG_CHECK(!clean_, "stream parser: chunk frame after footer");
+  if (n < fmt::kChunkEnvelopeBytes) {
+    throw Error("run stream corrupted: chunk frame shorter than its envelope");
+  }
+  std::uint32_t magic;
+  std::memcpy(&magic, frame, 4);
+  if (magic != fmt::kChunkMagic) {
+    throw Error("run stream corrupted: bad chunk magic");
+  }
+  std::uint64_t len;
+  std::memcpy(&len, frame + 4, 8);
+  if (len != n - fmt::kChunkEnvelopeBytes) {
+    throw Error("run stream corrupted: chunk length disagrees with frame");
+  }
+  if (len < fmt::kMinChunkPayloadBytes) {
+    throw Error("run file corrupted: undersized chunk " +
+                std::to_string(impl_->chunks) + " (payload " +
+                std::to_string(len) + " bytes, minimum " +
+                std::to_string(fmt::kMinChunkPayloadBytes) + ")");
+  }
+  const unsigned char* payload = frame + 12;
+  verify_chunk_checksum(payload, static_cast<std::size_t>(len),
+                        impl_->chunks);
+  impl_->apply(Slice{payload, static_cast<std::size_t>(len), 0});
+  impl_->finish_batch();
+}
+
+void StreamParser::apply_footer(const unsigned char* frame, std::size_t n) {
+  DIOG_CHECK(header_seen_, "stream parser: footer frame before header");
+  DIOG_CHECK(!clean_, "stream parser: duplicate footer");
+  if (n != fmt::kFooterBytes) {
+    throw Error("run stream corrupted: footer frame is " + std::to_string(n) +
+                " bytes (expected " + std::to_string(fmt::kFooterBytes) + ")");
+  }
+  std::uint32_t magic;
+  std::memcpy(&magic, frame, 4);
+  if (magic != fmt::kFooterMagic) {
+    throw Error("run stream corrupted: bad footer magic");
+  }
+  std::uint64_t stored;
+  std::memcpy(&stored, frame + 32, 8);
+  if (fmt::fnv1a(fmt::kFnvSeed, frame, 32) != stored) {
+    throw Error("run stream corrupted: footer checksum mismatch");
+  }
+  if (std::memcmp(frame + 40, fmt::kEndMagic, 8) != 0) {
+    throw Error("run stream corrupted: bad footer end magic");
+  }
+  WalkOutcome out;
+  out.saw_footer = true;
+  std::uint32_t flags;
+  std::memcpy(&flags, frame + 4, 4);
+  std::memcpy(&out.footer_events, frame + 8, 8);
+  std::memcpy(&out.footer_chunks, frame + 16, 8);
+  std::memcpy(&out.footer_wall_ms, frame + 24, 8);
+  check_footer_agreement(out, *impl_);
+  clean_ = true;
+  finalized_ = (flags & fmt::kFooterFlagFinal) != 0;
+  wall_ms_ = out.footer_wall_ms;
+}
+
 // --- RunFollower -------------------------------------------------------------
 
 struct RunFollower::Impl : ChunkParser {

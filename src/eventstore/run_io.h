@@ -133,4 +133,51 @@ class RunFollower {
   RunFileInfo info_;
 };
 
+// Frame-at-a-time validator for a run byte stream arriving over a
+// transport that is not a seekable file (the trace hub's TCP wire).
+// The caller frames the stream — 16-byte header, CHNK envelopes, the
+// 48-byte FOOT record — and hands over each frame only once it is
+// complete; the parser runs the same validation as open_run (header
+// magic+version, chunk checksum, dictionary chaining, overlap/gap
+// accounting, footer agreement), so a byte sequence is accepted here
+// exactly when open_run would accept the same bytes as a file. Every
+// method throws diog::Error on a violation; the object must not be
+// fed again after a throw.
+class StreamParser {
+ public:
+  StreamParser();
+  ~StreamParser();
+  StreamParser(const StreamParser&) = delete;
+  StreamParser& operator=(const StreamParser&) = delete;
+
+  // Exactly the 16 header bytes.
+  void apply_header(const unsigned char* data, std::size_t n);
+  // One complete chunk frame: 12-byte envelope + payload + 8-byte
+  // trailing checksum.
+  void apply_chunk_frame(const unsigned char* frame, std::size_t n);
+  // The complete 48-byte footer record. A file tail may legitimately
+  // hold a torn footer, but a *complete* footer frame on a stream with
+  // a bad checksum is corruption, so it is an error here.
+  void apply_footer(const unsigned char* frame, std::size_t n);
+
+  [[nodiscard]] const TraceRun& run() const;
+  [[nodiscard]] bool header_seen() const { return header_seen_; }
+  // A valid footer was applied (the stream is a clean prefix).
+  [[nodiscard]] bool clean() const { return clean_; }
+  // The footer carried the finalized flag (nothing more will arrive).
+  [[nodiscard]] bool finalized() const { return finalized_; }
+  [[nodiscard]] std::uint64_t chunks() const;
+  [[nodiscard]] std::uint64_t events() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::int64_t footer_wall_ms() const { return wall_ms_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  bool header_seen_ = false;
+  bool clean_ = false;
+  bool finalized_ = false;
+  std::int64_t wall_ms_ = 0;
+};
+
 }  // namespace diog::evstore

@@ -1,0 +1,29 @@
+#include "eventstore/sink.h"
+
+#include <atomic>
+
+#include "support/error.h"
+
+namespace diog::evstore {
+
+namespace {
+
+std::atomic<SinkFactory> g_factory{nullptr};
+
+}  // namespace
+
+void set_sink_factory(SinkFactory factory) {
+  g_factory.store(factory, std::memory_order_release);
+}
+
+std::unique_ptr<CheckpointSink> make_sink(const std::string& url,
+                                          const std::string& workload) {
+  SinkFactory f = g_factory.load(std::memory_order_acquire);
+  if (f == nullptr) {
+    throw Error("no checkpoint sink factory registered (cannot resolve " +
+                url + ")");
+  }
+  return f(url, workload);
+}
+
+}  // namespace diog::evstore

@@ -1,0 +1,346 @@
+#include "hub/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "eventstore/chunk_codec.h"
+#include "eventstore/run_format.h"
+#include "support/error.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DIOG_HUB_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define DIOG_HUB_HAVE_SOCKETS 0
+#endif
+
+namespace diog::hub {
+
+namespace {
+
+namespace fmt = evstore::format;
+namespace codec = evstore::codec;
+
+std::int64_t wall_clock_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+#if DIOG_HUB_HAVE_SOCKETS
+
+int connect_to(const ClientOptions& opts) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts.port);
+  if (::inet_pton(AF_INET, opts.host.c_str(), &addr.sin_addr) != 1) {
+    throw Error("hub: not a numeric IPv4 address: " + opts.host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  DIOG_CHECK(fd >= 0, "hub: socket() failed");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw Error("hub: cannot connect to " + opts.host + ":" +
+                std::to_string(opts.port) + ": " + err);
+  }
+  return fd;
+}
+
+void send_on(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t sent = ::send(fd, data + off, n - off,
+#if defined(MSG_NOSIGNAL)
+                                MSG_NOSIGNAL
+#else
+                                0
+#endif
+    );
+    if (sent <= 0) {
+      if (sent < 0 && errno == EINTR) continue;
+      throw Error(std::string("hub: send failed: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(sent);
+  }
+}
+
+// Reads the server's single-line verdict (connection closed after it).
+HubResponse read_verdict(int fd) {
+  std::string line;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("hub: recv failed: ") + std::strerror(errno));
+    }
+    if (n == 0) break;
+    line.append(buf, static_cast<std::size_t>(n));
+    if (line.find('\n') != std::string::npos) break;
+  }
+  const std::size_t eol = line.find('\n');
+  if (eol == std::string::npos) {
+    if (line.empty()) {
+      throw Error("hub: connection closed before a response");
+    }
+  } else {
+    line.resize(eol);
+  }
+  const HubResponse resp = parse_response(line);
+  if (!resp.ok) {
+    throw Error("hub rejected the run: " + resp.error);
+  }
+  return resp;
+}
+
+#endif  // DIOG_HUB_HAVE_SOCKETS
+
+std::unique_ptr<evstore::CheckpointSink> make_tcp_sink(
+    const std::string& url, const std::string& workload) {
+  return std::make_unique<HubSink>(parse_tcp_url(url, workload));
+}
+
+}  // namespace
+
+ClientOptions parse_tcp_url(const std::string& url,
+                            const std::string& workload) {
+  const std::string scheme = "tcp://";
+  if (url.rfind(scheme, 0) != 0) {
+    throw Error("hub: unsupported sink URL (expected tcp://host:port): " +
+                url);
+  }
+  const std::string rest = url.substr(scheme.size());
+  const std::size_t colon = rest.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= rest.size()) {
+    throw Error("hub: sink URL has no port: " + url);
+  }
+  ClientOptions opts;
+  opts.host = rest.substr(0, colon);
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(rest.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || port == 0 || port > 65535) {
+    throw Error("hub: sink URL has a bad port: " + url);
+  }
+  opts.port = static_cast<std::uint16_t>(port);
+  opts.workload = workload;
+  return opts;
+}
+
+#if DIOG_HUB_HAVE_SOCKETS
+
+HubResponse push_bytes(const unsigned char* data, std::size_t n,
+                       const ClientOptions& opts) {
+  const int fd = connect_to(opts);
+  struct Closer {
+    int fd;
+    ~Closer() { ::close(fd); }
+  } closer{fd};
+  const std::string hello = encode_hello(opts.workload);
+  send_on(fd, hello.data(), hello.size());
+  send_on(fd, reinterpret_cast<const char*>(data), n);
+  ::shutdown(fd, SHUT_WR);
+  return read_verdict(fd);
+}
+
+#else
+
+HubResponse push_bytes(const unsigned char*, std::size_t,
+                       const ClientOptions&) {
+  throw Error("hub: sockets unsupported on this platform");
+}
+
+#endif
+
+HubResponse push_run_file(const std::string& path, ClientOptions opts) {
+  if (opts.workload.empty()) {
+    std::string stem = std::filesystem::path(path).filename().string();
+    const std::string ext = ".dgtrace";
+    if (stem.size() > ext.size() &&
+        stem.compare(stem.size() - ext.size(), ext.size(), ext) == 0) {
+      stem.resize(stem.size() - ext.size());
+    }
+    opts.workload = stem;
+  }
+  std::ifstream in(path, std::ios::binary);
+  DIOG_CHECK(in.good(), "cannot open run file: " + path);
+  std::vector<unsigned char> buf;
+  char chunk[1 << 16];
+  while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
+    buf.insert(buf.end(), chunk, chunk + in.gcount());
+  }
+  return push_bytes(buf.data(), buf.size(), opts);
+}
+
+// --- HubSink -----------------------------------------------------------------
+
+#if DIOG_HUB_HAVE_SOCKETS
+
+HubSink::HubSink(ClientOptions copts, Options opts) : opts_(opts) {
+  fd_ = connect_to(copts);
+  try {
+    const std::string hello = encode_hello(copts.workload);
+    send_on(fd_, hello.data(), hello.size());
+    std::string header;
+    codec::put_bytes(header, fmt::kMagic, sizeof(fmt::kMagic));
+    codec::put_u32(header, evstore::kFormatVersion);
+    codec::put_u32(header, 0);  // reserved
+    send_on(fd_, header.data(), header.size());
+  } catch (...) {
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+}
+
+HubSink::~HubSink() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void HubSink::send_bytes(const std::string& bytes) {
+  send_on(fd_, bytes.data(), bytes.size());
+}
+
+#else
+
+HubSink::HubSink(ClientOptions, Options) {
+  throw Error("hub: sockets unsupported on this platform");
+}
+HubSink::~HubSink() = default;
+void HubSink::send_bytes(const std::string&) {}
+
+#endif
+
+// The LiveRunWriter high-water-mark discipline, pointed at the wire:
+// one chunk per checkpoint carrying everything appended (and every
+// dictionary entry interned) since the previous one. Returns false when
+// there was nothing new and the checkpoint was not forced.
+bool HubSink::send_delta_chunk(const evstore::TraceRun& run, bool force) {
+  const evstore::EventStore& store = *run.store;
+  const std::uint64_t first_avail = store.first_index();
+  std::uint64_t chunk_first = next_event_;
+  if (first_avail > chunk_first) {
+    dropped_ += first_avail - chunk_first;
+    chunk_first = first_avail;
+  }
+  const std::uint64_t total = store.total_appended();
+  const std::uint64_t count = total - chunk_first;
+
+  const evstore::StackDict& stacks = store.stacks();
+  const std::uint32_t frame_count = stacks.frame_count();
+  const std::uint32_t stack_count = stacks.stack_count();
+  const std::uint32_t name_count = store.name_count();
+  const bool new_dicts = frame_count > frames_written_ ||
+                         stack_count > stacks_written_ ||
+                         name_count > names_written_;
+
+  evstore::RunMeta meta = run.meta;
+  meta.dropped_events += dropped_;
+  const std::string meta_json = meta.to_json().dump();
+
+  if (count == 0 && !new_dicts && meta_json == last_meta_ && chunks_ > 0 &&
+      !force) {
+    return false;
+  }
+
+  const codec::DictRange dicts{.frames_from = frames_written_,
+                               .frames_to = frame_count,
+                               .stacks_from = stacks_written_,
+                               .stacks_to = stack_count,
+                               .names_from = names_written_,
+                               .names_to = name_count};
+  const std::string payload = codec::encode_chunk_payload(
+      store, meta_json, dicts, chunk_first, count,
+      chunk_first - first_avail);
+  std::string blob = codec::encode_chunk_envelope(payload);
+  blob += payload;
+  blob += codec::encode_chunk_checksum(payload);
+  send_bytes(blob);
+
+  next_event_ = total;
+  frames_written_ = frame_count;
+  stacks_written_ = stack_count;
+  names_written_ = name_count;
+  last_meta_ = meta_json;
+  ++chunks_;
+  return true;
+}
+
+// The save_run layout for the whole resident store: same chunk_rows
+// splits, full dictionaries on chunk 0, same meta on every chunk. Used
+// by finish() when no checkpoint ever shipped, which makes the stream
+// byte-identical to a local save_run of the same store.
+void HubSink::send_save_layout(const evstore::TraceRun& run) {
+  const evstore::EventStore& store = *run.store;
+  const std::uint64_t chunk_rows = evstore::kSegmentRows;
+  const std::uint64_t first_avail = store.first_index();
+  const std::uint64_t n = store.size();
+  const std::uint64_t chunks = n == 0 ? 1 : (n + chunk_rows - 1) / chunk_rows;
+
+  dropped_ += first_avail - next_event_;
+  evstore::RunMeta meta = run.meta;
+  meta.dropped_events += dropped_;
+  const std::string meta_json = meta.to_json().dump();
+
+  const evstore::StackDict& stacks = store.stacks();
+  const codec::DictRange all_dicts{.frames_from = 0,
+                                   .frames_to = stacks.frame_count(),
+                                   .stacks_from = 1,
+                                   .stacks_to = stacks.stack_count(),
+                                   .names_from = 1,
+                                   .names_to = store.name_count()};
+  for (std::uint64_t i = 0; i < chunks; ++i) {
+    const std::uint64_t rel_first = i * chunk_rows;
+    const std::uint64_t count = std::min<std::uint64_t>(chunk_rows, n - rel_first);
+    const std::string payload = codec::encode_chunk_payload(
+        store, meta_json, i == 0 ? all_dicts : codec::DictRange{},
+        first_avail + rel_first, count, rel_first);
+    std::string blob = codec::encode_chunk_envelope(payload);
+    blob += payload;
+    blob += codec::encode_chunk_checksum(payload);
+    send_bytes(blob);
+  }
+
+  next_event_ = first_avail + n;
+  frames_written_ = stacks.frame_count();
+  stacks_written_ = stacks.stack_count();
+  names_written_ = store.name_count();
+  last_meta_ = meta_json;
+  chunks_ += chunks;
+}
+
+void HubSink::checkpoint(const evstore::TraceRun& run, bool force) {
+  if (finished_) return;
+  send_delta_chunk(run, force || chunks_ == 0);
+}
+
+void HubSink::finish(const evstore::TraceRun& run) {
+  if (finished_) return;
+  if (chunks_ == 0) {
+    send_save_layout(run);
+  } else {
+    send_delta_chunk(run, /*force=*/true);
+  }
+  const std::int64_t wall_ms =
+      opts_.footer_wall_ms >= 0 ? opts_.footer_wall_ms : wall_clock_ms();
+  send_bytes(
+      codec::encode_footer(/*final=*/true, next_event_, chunks_, wall_ms));
+#if DIOG_HUB_HAVE_SOCKETS
+  ::shutdown(fd_, SHUT_WR);
+  response_ = read_verdict(fd_);
+  ::close(fd_);
+  fd_ = -1;
+#endif
+  finished_ = true;
+}
+
+void register_tcp_sink() { evstore::set_sink_factory(&make_tcp_sink); }
+
+}  // namespace diog::hub

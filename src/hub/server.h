@@ -1,0 +1,90 @@
+// The trace hub daemon: concurrent streaming ingestion into the fleet
+// archive over loopback TCP.
+//
+// Thread model: serve() accepts on the calling thread and hands each
+// connection to its own short-lived thread, bounded by max_clients
+// (connections beyond the bound get an immediate classified capacity
+// error). Sessions are independent — each owns its spool file and the
+// obs registry is thread-safe — except for the final ingest step:
+// archive::add + the regression sentinel serialize on one mutex,
+// because the index is an append-only file, not a concurrent structure.
+//
+// The socket half is POSIX-only (same gate as run_io's mmap); the
+// session/ingest half (everything tests need to drive the protocol) is
+// portable and socket-free.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "core/tool_config.h"
+#include "hub/session.h"
+
+namespace diog::hub {
+
+struct ServerOptions {
+  std::string archive_root;
+  // Analysis configuration for archive ingestion (digest extraction).
+  ffm::ToolConfig config;
+  std::uint16_t port = 0;  // 0 = ephemeral (report via port())
+  std::size_t max_clients = 8;
+  // Per-session spool files land here; default <archive_root>/spool.
+  std::string spool_dir;
+  // Ingest wall-clock override (ms since epoch); -1 stamps the real
+  // clock. Pin it for byte-identical index lines (archive.h contract).
+  std::int64_t ingest_wall_ms = -1;
+  std::size_t max_pending_bytes = 64ull << 20;
+  bool fsync_spool = true;
+};
+
+struct IngestOutcome {
+  std::string run_id;
+  bool deduplicated = false;
+  std::uint64_t drift_findings = 0;
+};
+
+class HubServer {
+ public:
+  explicit HubServer(ServerOptions opts);
+  ~HubServer();
+  HubServer(const HubServer&) = delete;
+  HubServer& operator=(const HubServer&) = delete;
+
+  // Socket half. bind() throws off-POSIX and on a taken port; serve()
+  // blocks until stop(), which waits for in-flight sessions to drain.
+  void bind();
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  void serve();
+  void stop();
+
+  // The spool path for the next session. Public so tests can drive
+  // Sessions through the exact path the daemon uses, without sockets.
+  std::string next_spool_path();
+
+  // Ingests a finalized session's spool into the archive and runs the
+  // regression sentinel for its workload; removes the spool on success
+  // (the archived object is the durable copy). Throws diog::Error when
+  // the session is not finalized or the archive rejects the file.
+  IngestOutcome ingest(const Session& session);
+
+  [[nodiscard]] const ServerOptions& options() const { return opts_; }
+
+ private:
+  void handle_connection(int fd);
+  static void send_all(int fd, const std::string& bytes);
+
+  ServerOptions opts_;
+  std::mutex ingest_mu_;
+  std::atomic<std::uint64_t> session_seq_{0};
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::mutex active_mu_;
+  std::condition_variable active_cv_;
+  std::size_t active_ = 0;
+};
+
+}  // namespace diog::hub

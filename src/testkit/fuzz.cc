@@ -17,6 +17,8 @@
 #include "eventstore/run_format.h"
 #include "eventstore/run_io.h"
 #include "eventstore/schema.h"
+#include "hub/protocol.h"
+#include "hub/session.h"
 #include "support/error.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -216,6 +218,73 @@ std::optional<std::string> exec_follower(const Bytes& input,
   } else {
     ++stats.clean_prefix;
   }
+  return std::nullopt;
+}
+
+// --- hub target --------------------------------------------------------------
+
+// Feeds a (possibly hostile) byte stream through a hub Session in seeded
+// random increments, exactly as the daemon's read loop would. The
+// contract has two halves: (1) every input either finalizes cleanly or
+// raises a classified diog::Error — never UB, never a crash; (2) because
+// the session validates frames before spooling them, the spool file must
+// itself always be an openable run file (or readable prefix), no matter
+// how hostile the wire bytes were.
+std::optional<std::string> exec_hub(const Bytes& input, const fs::path& dir,
+                                    std::uint64_t reveal_seed,
+                                    FuzzStats& stats,
+                                    std::set<std::string>& classes) {
+  const fs::path spool = dir / "hub-session.dgtrace";
+  std::error_code ec;
+  fs::remove(spool, ec);
+
+  diog::hub::SessionOptions sopts;
+  sopts.spool_path = spool.string();
+  sopts.fsync_spool = false;  // throughput; durability is not under test
+  diog::hub::Session session(std::move(sopts));
+
+  Rng rng(reveal_seed);
+  bool rejected = false;
+  try {
+    const std::string hello = diog::hub::encode_hello("fuzz");
+    session.feed(reinterpret_cast<const unsigned char*>(hello.data()),
+                 hello.size());
+    std::size_t revealed = 0;
+    while (revealed < input.size()) {
+      const auto span = std::max<std::uint64_t>(1, input.size() / 4);
+      std::size_t step = 1 + static_cast<std::size_t>(rng.next_below(span));
+      step = std::min(step, input.size() - revealed);
+      session.feed(input.data() + revealed, step);
+      revealed += step;
+    }
+    session.end_of_stream();
+  } catch (const Error& e) {
+    rejected = true;
+    classes.insert(error_class(e.what()));
+    ++stats.clean_errors;
+  }
+
+  if (!rejected && !session.finalized()) {
+    return "hub session ended cleanly without reporting finalized";
+  }
+  if (fs::exists(spool)) {
+    // The spool never holds an unvalidated byte; open_run must agree.
+    try {
+      evstore::RunFileInfo info;
+      const evstore::TraceRun run = evstore::open_run(
+          spool.string(), evstore::ReadMode::kAuto, &info);
+      (void)run;
+      if (!rejected && !(info.clean && info.finalized)) {
+        return "hub session finalized but its spool is not a clean "
+               "finalized run";
+      }
+    } catch (const Error& e) {
+      return std::string("hub spool unreadable after session: ") + e.what();
+    }
+  } else if (!rejected) {
+    return "hub session finalized without writing a spool";
+  }
+  if (!rejected) ++stats.clean_ok;
   return std::nullopt;
 }
 
@@ -605,6 +674,9 @@ std::optional<std::string> exec_input(const FuzzOptions& opts,
     if (opts.target == "follower") {
       return exec_follower(input, workdir, reveal_seed, stats, classes);
     }
+    if (opts.target == "hub") {
+      return exec_hub(input, workdir, reveal_seed, stats, classes);
+    }
     return exec_run_io(pin_path.string(), stats, classes);
   } catch (const std::bad_alloc&) {
     return std::string("unexpected std::bad_alloc");
@@ -646,9 +718,9 @@ void save_finding(const FuzzOptions& opts, const fs::path& artifacts,
 
 FuzzStats run_fuzzer(const FuzzOptions& opts) {
   DIOG_CHECK(opts.target == "run-io" || opts.target == "follower" ||
-                 opts.target == "ring",
+                 opts.target == "ring" || opts.target == "hub",
              "unknown fuzz target: " + opts.target +
-                 " (expected run-io | follower | ring)");
+                 " (expected run-io | follower | ring | hub)");
   FuzzStats stats;
   std::set<std::string> classes;
   Rng rng(opts.seed);

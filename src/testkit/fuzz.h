@@ -1,12 +1,16 @@
 // Seeded, structure-aware mutational fuzzing for the .dgtrace pipeline.
 //
-// Three targets, all driven by one deterministic loop:
+// Four targets, all driven by one deterministic loop:
 //   run-io    mutated run files through open_run, in BOTH read modes
 //             (mmap and stream must agree — a differential oracle);
 //   follower  mutated run files revealed to a RunFollower in random
 //             increments, including mid-follow truncation/replacement;
 //   ring      randomized mixed-kind append storms against ring
-//             retention, checking per-kind drop-counter exactness.
+//             retention, checking per-kind drop-counter exactness;
+//   hub       mutated run files fed to a hub Session in random
+//             increments, as the daemon's read loop would — hostile
+//             frames must yield a classified error and the spool must
+//             always remain an openable run file or prefix.
 //
 // The contract under fuzzing is the reader's honesty contract: every
 // input either loads (clean or readable-prefix) or raises diog::Error —
@@ -29,7 +33,7 @@
 namespace diog::testkit {
 
 struct FuzzOptions {
-  std::string target = "run-io";  // run-io | follower | ring
+  std::string target = "run-io";  // run-io | follower | ring | hub
   std::uint64_t seed = 1;
   double budget_s = 5.0;          // wall-clock budget
   std::uint64_t max_execs = 200'000;  // memory guard: interned garbage

@@ -17,6 +17,8 @@
 #include "eventstore/live_writer.h"
 #include "eventstore/run_io.h"
 #include "explore/service.h"
+#include "hub/protocol.h"
+#include "hub/session.h"
 #include "obs/telemetry.h"
 #include "parallel/thread_pool.h"
 #include "support/error.h"
@@ -288,13 +290,53 @@ OracleReport check_analysis_invariants(const evstore::TraceRun& run,
         aopts.config = opts.cfg;
         aopts.ingest_wall_ms = 0;
         archive::Archive ar(std::move(aopts));
+        bool added = false;
         try {
           (void)ar.add(path);
+          added = true;
           (void)ar.add(alt);
         } catch (const Error&) {
           // Deterministic rejection (e.g. a fuzzed run the analysis
           // refuses) — the endpoints below still must answer the same
           // bytes at every thread count.
+        }
+
+        if (added) {
+          // Hub-ingestion relation at this thread count: the pinned
+          // save streamed through a hub Session spools byte-identical
+          // bytes, and archiving the spool deduplicates against the
+          // locally-added object — wire ingestion and local save are
+          // the same archive operation.
+          const std::string spool =
+              (fs::path(opts.work_dir) /
+               ("oracle-hub-spool-" + std::to_string(tc) + ".dgtrace"))
+                  .string();
+          hub::SessionOptions hopts;
+          hopts.spool_path = spool;
+          hopts.fsync_spool = false;
+          hub::Session session(std::move(hopts));
+          const std::string hello = hub::encode_hello("oracle");
+          session.feed(
+              reinterpret_cast<const unsigned char*>(hello.data()),
+              hello.size());
+          constexpr std::size_t kStep = 4093;
+          for (std::size_t off = 0; off < bytes.size(); off += kStep) {
+            session.feed(
+                reinterpret_cast<const unsigned char*>(bytes.data()) + off,
+                std::min(kStep, bytes.size() - off));
+          }
+          session.end_of_stream();
+          check(session.finalized(),
+                "hub session did not finalize the pinned save at threads=" +
+                    std::to_string(tc));
+          check(slurp(spool) == bytes,
+                "hub spool bytes differ from the pinned save at threads=" +
+                    std::to_string(tc));
+          const auto re = ar.add(spool);
+          check(re.deduplicated,
+                "hub-ingested spool did not deduplicate against the local "
+                "add at threads=" +
+                    std::to_string(tc));
         }
 
         explore::ServiceOptions so;

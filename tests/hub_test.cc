@@ -1,0 +1,834 @@
+// The trace hub (ISSUE 9): protocol units, session streaming semantics,
+// the torn-stream matrix, and the socket end-to-end path.
+//
+// The property under test throughout is the wire-format-is-the-file-
+// format invariant: a completed stream IS a valid run file, a torn
+// connection leaves exactly the readable prefix a SIGKILL'd local
+// writer leaves, and an archived upload is byte-identical to a local
+// save of the same store. The session half runs without sockets (the
+// daemon's exact code path, driven directly); the loopback tests cover
+// the accept/read/respond plumbing and concurrent ingestion.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "archive/archive.h"
+#include "core/flight_recorder.h"
+#include "core/tool_config.h"
+#include "eventstore/event_store.h"
+#include "eventstore/live_writer.h"
+#include "eventstore/run_format.h"
+#include "eventstore/run_io.h"
+#include "eventstore/sink.h"
+#include "hub/client.h"
+#include "hub/protocol.h"
+#include "hub/server.h"
+#include "hub/session.h"
+#include "obs/telemetry.h"
+#include "support/error.h"
+#include "testkit/dgtrace_builder.h"
+#include "testkit/synth_run.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DIOG_HUB_TEST_SOCKETS 1
+#else
+#define DIOG_HUB_TEST_SOCKETS 0
+#endif
+
+namespace diog::hub {
+namespace {
+
+namespace fs = std::filesystem;
+namespace fmt = evstore::format;
+
+std::vector<unsigned char> read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<unsigned char>(std::istreambuf_iterator<char>(in),
+                                    std::istreambuf_iterator<char>());
+}
+
+std::uint64_t hub_counter(const char* name) {
+  return obs::Telemetry::global().metrics().counter(name).value();
+}
+
+class HubTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::temp_directory_path() /
+            (std::string("diog_hub_") + info->name()))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  // A deterministic run with a pinned save: the byte-identity baseline.
+  evstore::TraceRun make_run(std::uint64_t events,
+                             const std::string& workload) {
+    testkit::SynthRunOptions so;
+    so.events = events;
+    evstore::TraceRun run = testkit::make_synthetic_run(so);
+    run.meta.workload = workload;
+    return run;
+  }
+
+  std::vector<unsigned char> pinned_save_bytes(const evstore::TraceRun& run,
+                                               const std::string& name) {
+    const std::string path = dir_ + "/" + name;
+    evstore::SaveOptions so;
+    so.footer_wall_ms = 0;
+    evstore::save_run(path, run, so);
+    return read_bytes(path);
+  }
+
+  // Streams hello + `bytes` into a fresh session in fixed-size slices.
+  // Returns the session for inspection; throws whatever feed() throws.
+  std::unique_ptr<Session> stream_session(
+      const std::vector<unsigned char>& bytes, const std::string& spool,
+      std::size_t step = 799, std::size_t max_pending = 64ull << 20) {
+    SessionOptions sopts;
+    sopts.spool_path = spool;
+    sopts.max_pending_bytes = max_pending;
+    sopts.fsync_spool = false;
+    auto session = std::make_unique<Session>(std::move(sopts));
+    const std::string hello = encode_hello("hubtest");
+    session->feed(reinterpret_cast<const unsigned char*>(hello.data()),
+                  hello.size());
+    for (std::size_t off = 0; off < bytes.size(); off += step) {
+      session->feed(bytes.data() + off,
+                    std::min(step, bytes.size() - off));
+    }
+    return session;
+  }
+
+  std::string dir_;
+};
+
+// --- Protocol units ----------------------------------------------------------
+
+TEST_F(HubTest, HelloRoundTrips) {
+  const std::string hello = encode_hello("cumf_als");
+  std::size_t consumed = 0;
+  std::string workload;
+  // Incremental: every strict prefix wants more bytes.
+  for (std::size_t n = 0; n < hello.size(); ++n) {
+    EXPECT_FALSE(parse_hello(
+        reinterpret_cast<const unsigned char*>(hello.data()), n, &consumed,
+        &workload));
+  }
+  ASSERT_TRUE(parse_hello(reinterpret_cast<const unsigned char*>(hello.data()),
+                          hello.size(), &consumed, &workload));
+  EXPECT_EQ(consumed, hello.size());
+  EXPECT_EQ(workload, "cumf_als");
+}
+
+TEST_F(HubTest, HelloRejectsHostileFrames) {
+  // Wrong magic.
+  std::string bad = encode_hello("x");
+  bad[0] = 'Z';
+  std::size_t consumed = 0;
+  std::string workload;
+  EXPECT_THROW(parse_hello(reinterpret_cast<const unsigned char*>(bad.data()),
+                           bad.size(), &consumed, &workload),
+               Error);
+  // Absurd announced length must be rejected from the fixed prefix
+  // alone, before any buffering happens.
+  unsigned char huge[8];
+  std::memcpy(huge, &kHelloMagic, 4);
+  const std::uint32_t len = 1u << 30;
+  std::memcpy(huge + 4, &len, 4);
+  EXPECT_THROW(parse_hello(huge, sizeof huge, &consumed, &workload), Error);
+  // Wrong schema id.
+  const std::string wrong_schema =
+      "{\"schema\":\"diogenes.hub.v0\",\"workload\":\"x\"}";
+  std::string frame;
+  frame.append(reinterpret_cast<const char*>(&kHelloMagic), 4);
+  const std::uint32_t wlen = static_cast<std::uint32_t>(wrong_schema.size());
+  frame.append(reinterpret_cast<const char*>(&wlen), 4);
+  frame += wrong_schema;
+  EXPECT_THROW(
+      parse_hello(reinterpret_cast<const unsigned char*>(frame.data()),
+                  frame.size(), &consumed, &workload),
+      Error);
+}
+
+TEST_F(HubTest, WorkloadNamesAreFilenameSafe) {
+  EXPECT_TRUE(workload_name_ok("cumf_als"));
+  EXPECT_TRUE(workload_name_ok("run-2.1"));
+  EXPECT_FALSE(workload_name_ok(""));
+  EXPECT_FALSE(workload_name_ok("."));
+  EXPECT_FALSE(workload_name_ok(".."));
+  EXPECT_FALSE(workload_name_ok("a/b"));
+  EXPECT_FALSE(workload_name_ok("a b"));
+  EXPECT_FALSE(workload_name_ok(std::string(kMaxWorkloadChars + 1, 'a')));
+  EXPECT_THROW(encode_hello("a/b"), Error);
+}
+
+TEST_F(HubTest, PeekFrameClassifiesChunkAndFooter) {
+  const testkit::Bytes chunk = testkit::make_chunk(testkit::ChunkParams{});
+  std::size_t frame_len = 0;
+  // Every strict prefix: need more.
+  for (std::size_t n = 0; n < chunk.size(); ++n) {
+    EXPECT_EQ(peek_frame(chunk.data(), n, 1u << 20, &frame_len),
+              FrameKind::kNeedMore);
+  }
+  EXPECT_EQ(peek_frame(chunk.data(), chunk.size(), 1u << 20, &frame_len),
+            FrameKind::kChunk);
+  EXPECT_EQ(frame_len, chunk.size());
+
+  const testkit::Bytes footer = testkit::make_footer(true, 0, 1);
+  ASSERT_EQ(footer.size(), fmt::kFooterBytes);
+  EXPECT_EQ(peek_frame(footer.data(), footer.size() - 1, 1u << 20, &frame_len),
+            FrameKind::kNeedMore);
+  EXPECT_EQ(peek_frame(footer.data(), footer.size(), 1u << 20, &frame_len),
+            FrameKind::kFooter);
+  EXPECT_EQ(frame_len, static_cast<std::size_t>(fmt::kFooterBytes));
+}
+
+TEST_F(HubTest, PeekFrameRejectsUnknownMagicAndOversizedFrames) {
+  const unsigned char junk[12] = {'J', 'U', 'N', 'K', 0, 0, 0, 0, 0, 0, 0, 0};
+  std::size_t frame_len = 0;
+  EXPECT_THROW(peek_frame(junk, sizeof junk, 1u << 20, &frame_len), Error);
+
+  // The backpressure rule: an announced frame beyond the receive budget
+  // is refused from its 12-byte prefix, before any payload is buffered.
+  const testkit::Bytes chunk = testkit::make_chunk(testkit::ChunkParams{});
+  try {
+    peek_frame(chunk.data(), chunk.size(), /*budget=*/32, &frame_len);
+    FAIL() << "oversized frame accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("receive budget"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(HubTest, ResponseRoundTrips) {
+  HubResponse ok;
+  ok.ok = true;
+  ok.run_id = "abc123";
+  ok.deduplicated = true;
+  ok.events = 42;
+  ok.chunks = 3;
+  ok.dropped = 7;
+  ok.drift_findings = 1;
+  const std::string line = encode_response(ok);
+  EXPECT_EQ(line.back(), '\n');
+  const HubResponse back = parse_response(line.substr(0, line.size() - 1));
+  EXPECT_TRUE(back.ok);
+  EXPECT_EQ(back.run_id, "abc123");
+  EXPECT_TRUE(back.deduplicated);
+  EXPECT_EQ(back.events, 42u);
+  EXPECT_EQ(back.chunks, 3u);
+  EXPECT_EQ(back.dropped, 7u);
+  EXPECT_EQ(back.drift_findings, 1u);
+
+  HubResponse err;
+  err.ok = false;
+  err.error = "hub session: stream torn before a footer";
+  const std::string eline = encode_response(err);
+  const HubResponse eback = parse_response(eline.substr(0, eline.size() - 1));
+  EXPECT_FALSE(eback.ok);
+  EXPECT_EQ(eback.error, err.error);
+
+  EXPECT_THROW(parse_response("not json"), Error);
+  EXPECT_THROW(parse_response("{\"schema\":\"other\"}"), Error);
+}
+
+// --- Session streaming -------------------------------------------------------
+
+TEST_F(HubTest, SessionSpoolsACleanStreamByteForByte) {
+  const evstore::TraceRun run = make_run(3000, "clean_wl");
+  const std::vector<unsigned char> bytes = pinned_save_bytes(run, "local.dgtrace");
+  const std::string spool = dir_ + "/spool.dgtrace";
+  auto session = stream_session(bytes, spool);
+  session->end_of_stream();
+
+  EXPECT_TRUE(session->finalized());
+  EXPECT_FALSE(session->failed());
+  EXPECT_EQ(session->workload(), "hubtest");
+  EXPECT_EQ(session->stats().events, 3000u);
+  EXPECT_EQ(session->stats().spool_bytes, bytes.size());
+  // The spool is the stream is the file: byte-identical to the save.
+  EXPECT_EQ(read_bytes(spool), bytes);
+
+  evstore::RunFileInfo info;
+  const evstore::TraceRun round =
+      evstore::open_run(spool, evstore::ReadMode::kAuto, &info);
+  EXPECT_TRUE(info.clean);
+  EXPECT_TRUE(info.finalized);
+  EXPECT_EQ(round.store->size(), 3000u);
+}
+
+TEST_F(HubTest, SessionByteAtATimeStillLandsIdentical) {
+  const evstore::TraceRun run = make_run(200, "slow_wl");
+  const std::vector<unsigned char> bytes = pinned_save_bytes(run, "local.dgtrace");
+  const std::string spool = dir_ + "/spool.dgtrace";
+  auto session = stream_session(bytes, spool, /*step=*/1);
+  session->end_of_stream();
+  EXPECT_TRUE(session->finalized());
+  EXPECT_EQ(read_bytes(spool), bytes);
+}
+
+// The torn-stream matrix: kill the client mid-chunk, between chunks, and
+// mid-footer. In every case the spool must classify exactly as open_run
+// classifies a local file truncated at the same point — the crash
+// contract, transplanted onto the wire.
+TEST_F(HubTest, TornStreamMatrixMatchesLocalTruncation) {
+  const evstore::TraceRun run = make_run(3000, "torn_wl");
+  const std::vector<unsigned char> bytes = pinned_save_bytes(run, "local.dgtrace");
+  const testkit::FileShape shape =
+      testkit::scan_shape(testkit::Bytes(bytes.begin(), bytes.end()));
+  ASSERT_TRUE(shape.has_footer);
+  ASSERT_GE(shape.chunks.size(), 1u);
+
+  struct Cut {
+    const char* name;
+    std::size_t at;
+  };
+  const std::size_t chunk0_end =
+      shape.chunks[0].offset + fmt::kChunkEnvelopeBytes +
+      static_cast<std::size_t>(shape.chunks[0].payload_len);
+  const std::vector<Cut> cuts = {
+      {"mid_first_chunk", shape.chunks[0].offset + 25},
+      {"between_chunks", chunk0_end},
+      {"mid_footer", shape.footer_offset + fmt::kFooterBytes / 2},
+  };
+  for (const Cut& cut : cuts) {
+    SCOPED_TRACE(cut.name);
+    const std::vector<unsigned char> torn(bytes.begin(),
+                                          bytes.begin() + cut.at);
+    // Local ground truth: the same truncation as a file.
+    const std::string local = dir_ + "/" + cut.name + ".dgtrace";
+    {
+      std::ofstream out(local, std::ios::binary);
+      out.write(reinterpret_cast<const char*>(torn.data()),
+                static_cast<std::streamsize>(torn.size()));
+    }
+    evstore::RunFileInfo file_info;
+    (void)evstore::open_run(local, evstore::ReadMode::kAuto, &file_info);
+
+    const std::string spool = dir_ + "/" + cut.name + ".spool.dgtrace";
+    auto session = stream_session(torn, spool);
+    EXPECT_THROW(session->end_of_stream(), Error);
+    EXPECT_TRUE(session->failed());
+    EXPECT_FALSE(session->finalized());
+
+    evstore::RunFileInfo spool_info;
+    (void)evstore::open_run(spool, evstore::ReadMode::kAuto, &spool_info);
+    EXPECT_EQ(spool_info.clean, file_info.clean);
+    EXPECT_EQ(spool_info.finalized, file_info.finalized);
+    EXPECT_EQ(spool_info.events, file_info.events);
+    EXPECT_EQ(spool_info.chunks, file_info.chunks);
+    EXPECT_EQ(spool_info.dropped_before_checkpoint,
+              file_info.dropped_before_checkpoint);
+  }
+}
+
+// The committed regression inputs (tests/data/dgtrace/regression): the
+// hub_torn_* matrix must load as prefixes when streamed, and the
+// malformed suite must be rejected with a classified error — with the
+// spool always left openable.
+TEST_F(HubTest, RegressionInputsClassifyAndNeverCorruptTheSpool) {
+  const fs::path reg = fs::path(DIOG_TEST_DATA_DIR) / "dgtrace" / "regression";
+  ASSERT_TRUE(fs::is_directory(reg));
+  std::size_t seen = 0;
+  for (const auto& entry : fs::directory_iterator(reg)) {
+    if (entry.path().extension() != ".dgtrace") continue;
+    SCOPED_TRACE(entry.path().filename().string());
+    ++seen;
+    const std::vector<unsigned char> bytes = read_bytes(entry.path().string());
+    const std::string spool =
+        dir_ + "/" + entry.path().filename().string() + ".spool";
+    bool rejected = false;
+    std::unique_ptr<Session> session;
+    try {
+      session = stream_session(bytes, spool, /*step=*/61);
+      session->end_of_stream();
+    } catch (const Error&) {
+      rejected = true;
+    }
+    if (!rejected) {
+      EXPECT_TRUE(session->finalized());
+    }
+    if (fs::exists(spool)) {
+      // Validate-then-spool: whatever the wire did, the spool opens.
+      evstore::RunFileInfo info;
+      EXPECT_NO_THROW(
+          (void)evstore::open_run(spool, evstore::ReadMode::kAuto, &info));
+    }
+  }
+  EXPECT_GE(seen, 9u);
+}
+
+TEST_F(HubTest, SessionRejectsBytesAfterTheFinalFooter) {
+  const evstore::TraceRun run = make_run(100, "tail_wl");
+  std::vector<unsigned char> bytes = pinned_save_bytes(run, "local.dgtrace");
+  const std::size_t clean_size = bytes.size();
+  const unsigned char junk[] = {1, 2, 3, 4};
+  bytes.insert(bytes.end(), junk, junk + sizeof junk);
+  const std::string spool = dir_ + "/spool.dgtrace";
+  try {
+    auto session = stream_session(bytes, spool);
+    FAIL() << "bytes after the footer accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("after the final footer"),
+              std::string::npos)
+        << e.what();
+  }
+  // The validated prefix — the complete clean run — is still intact.
+  EXPECT_EQ(read_bytes(spool).size(), clean_size);
+  evstore::RunFileInfo info;
+  (void)evstore::open_run(spool, evstore::ReadMode::kAuto, &info);
+  EXPECT_TRUE(info.clean);
+}
+
+TEST_F(HubTest, SessionEnforcesTheReceiveBudget) {
+  const evstore::TraceRun run = make_run(3000, "big_wl");
+  const std::vector<unsigned char> bytes = pinned_save_bytes(run, "local.dgtrace");
+  const std::string spool = dir_ + "/spool.dgtrace";
+  try {
+    // A 4 KiB budget is below any 3000-event chunk; the announced
+    // length must be refused before the payload is buffered.
+    auto session = stream_session(bytes, spool, 799, /*max_pending=*/4096);
+    FAIL() << "oversized frame accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("receive budget"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(HubTest, SessionRejectsGarbageFrameMagic) {
+  std::vector<unsigned char> bytes;
+  const testkit::Bytes header = testkit::make_header();
+  bytes.insert(bytes.end(), header.begin(), header.end());
+  const char junk[] = "JUNKJUNKJUNK";
+  bytes.insert(bytes.end(), junk, junk + 12);
+  const std::string spool = dir_ + "/spool.dgtrace";
+  try {
+    auto session = stream_session(bytes, spool);
+    FAIL() << "garbage magic accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("frame magic"), std::string::npos)
+        << e.what();
+  }
+  // The header was validated and spooled before the garbage arrived.
+  evstore::RunFileInfo info;
+  (void)evstore::open_run(spool, evstore::ReadMode::kAuto, &info);
+  EXPECT_EQ(info.events, 0u);
+  EXPECT_FALSE(info.finalized);
+}
+
+TEST_F(HubTest, SessionRefusesStreamsEndingBeforeTheHeader) {
+  {
+    SessionOptions sopts;
+    sopts.spool_path = dir_ + "/s1.dgtrace";
+    Session session(std::move(sopts));
+    EXPECT_THROW(session.end_of_stream(), Error);  // before the hello
+  }
+  {
+    SessionOptions sopts;
+    sopts.spool_path = dir_ + "/s2.dgtrace";
+    Session session(std::move(sopts));
+    const std::string hello = encode_hello("w");
+    session.feed(reinterpret_cast<const unsigned char*>(hello.data()),
+                 hello.size());
+    EXPECT_THROW(session.end_of_stream(), Error);  // before the header
+  }
+}
+
+// --- Server ingest (socket-free) ---------------------------------------------
+
+TEST_F(HubTest, ServerIngestsAndDedupsSessions) {
+  ServerOptions sopts;
+  sopts.archive_root = dir_ + "/archive";
+  sopts.ingest_wall_ms = 0;
+  HubServer server(std::move(sopts));
+
+  const evstore::TraceRun run = make_run(2000, "ingest_wl");
+  const std::vector<unsigned char> bytes = pinned_save_bytes(run, "local.dgtrace");
+
+  auto s1 = stream_session(bytes, server.next_spool_path());
+  s1->end_of_stream();
+  const IngestOutcome o1 = server.ingest(*s1);
+  EXPECT_FALSE(o1.deduplicated);
+  ASSERT_FALSE(o1.run_id.empty());
+
+  // The archived object is byte-identical to the local save, and the
+  // spool was removed after the copy became durable.
+  const std::string object =
+      dir_ + "/archive/objects/" + o1.run_id + ".dgtrace";
+  EXPECT_EQ(read_bytes(object), bytes);
+  EXPECT_FALSE(fs::exists(s1->spool_path()));
+
+  auto s2 = stream_session(bytes, server.next_spool_path());
+  s2->end_of_stream();
+  EXPECT_NE(s1->spool_path(), s2->spool_path());
+  const IngestOutcome o2 = server.ingest(*s2);
+  EXPECT_TRUE(o2.deduplicated);
+  EXPECT_EQ(o2.run_id, o1.run_id);
+
+  archive::ArchiveOptions aopts;
+  aopts.root = dir_ + "/archive";
+  const archive::Archive ar(std::move(aopts));
+  EXPECT_EQ(ar.index().size(), 1u);
+}
+
+TEST_F(HubTest, ServerRefusesToIngestAnUnfinalizedSession) {
+  ServerOptions sopts;
+  sopts.archive_root = dir_ + "/archive";
+  HubServer server(std::move(sopts));
+  const evstore::TraceRun run = make_run(500, "torn_ingest");
+  std::vector<unsigned char> bytes = pinned_save_bytes(run, "local.dgtrace");
+  bytes.resize(bytes.size() - fmt::kFooterBytes);  // drop the footer
+  auto session = stream_session(bytes, server.next_spool_path());
+  EXPECT_THROW(session->end_of_stream(), Error);
+  EXPECT_THROW(server.ingest(*session), Error);
+  // The torn spool survives for post-mortem reads.
+  EXPECT_TRUE(fs::exists(session->spool_path()));
+}
+
+#if DIOG_HUB_TEST_SOCKETS
+
+// --- Loopback end-to-end -----------------------------------------------------
+
+class ServeGuard {
+ public:
+  explicit ServeGuard(HubServer& server) : server_(server) {
+    server_.bind();
+    thread_ = std::thread([this] { server_.serve(); });
+  }
+  ~ServeGuard() {
+    server_.stop();
+    thread_.join();
+  }
+
+ private:
+  HubServer& server_;
+  std::thread thread_;
+};
+
+TEST_F(HubTest, PushOverLoopbackArchivesByteIdentical) {
+  ServerOptions sopts;
+  sopts.archive_root = dir_ + "/archive";
+  sopts.ingest_wall_ms = 0;
+  HubServer server(std::move(sopts));
+  ServeGuard guard(server);
+
+  const evstore::TraceRun run = make_run(2000, "push_wl");
+  const std::vector<unsigned char> bytes = pinned_save_bytes(run, "local.dgtrace");
+
+  ClientOptions copts;
+  copts.port = server.port();
+  copts.workload = "push_wl";
+  const HubResponse r1 = push_bytes(bytes.data(), bytes.size(), copts);
+  EXPECT_TRUE(r1.ok);
+  EXPECT_FALSE(r1.deduplicated);
+  EXPECT_EQ(r1.events, 2000u);
+  ASSERT_FALSE(r1.run_id.empty());
+  EXPECT_EQ(read_bytes(dir_ + "/archive/objects/" + r1.run_id + ".dgtrace"),
+            bytes);
+
+  // Re-push: content-addressed dedup, nothing appended.
+  const HubResponse r2 = push_bytes(bytes.data(), bytes.size(), copts);
+  EXPECT_TRUE(r2.deduplicated);
+  EXPECT_EQ(r2.run_id, r1.run_id);
+  archive::ArchiveOptions aopts;
+  aopts.root = dir_ + "/archive";
+  const archive::Archive ar(std::move(aopts));
+  EXPECT_EQ(ar.index().size(), 1u);
+}
+
+TEST_F(HubTest, PushRunFileDefaultsWorkloadFromTheFilename) {
+  ServerOptions sopts;
+  sopts.archive_root = dir_ + "/archive";
+  sopts.ingest_wall_ms = 0;
+  HubServer server(std::move(sopts));
+  ServeGuard guard(server);
+
+  const evstore::TraceRun run = make_run(400, "file_wl");
+  (void)pinned_save_bytes(run, "file_wl.dgtrace");
+  ClientOptions copts;
+  copts.port = server.port();
+  const HubResponse r =
+      push_run_file(dir_ + "/file_wl.dgtrace", copts);
+  EXPECT_TRUE(r.ok);
+  archive::ArchiveOptions aopts;
+  aopts.root = dir_ + "/archive";
+  const archive::Archive ar(std::move(aopts));
+  ASSERT_EQ(ar.index().size(), 1u);
+  EXPECT_EQ(ar.index()[0].workload, "file_wl");
+}
+
+TEST_F(HubTest, HostileStreamGetsAClassifiedRejection) {
+  ServerOptions sopts;
+  sopts.archive_root = dir_ + "/archive";
+  HubServer server(std::move(sopts));
+  ServeGuard guard(server);
+
+  std::vector<unsigned char> bytes;
+  const testkit::Bytes header = testkit::make_header();
+  bytes.insert(bytes.end(), header.begin(), header.end());
+  const char junk[] = "JUNKJUNKJUNKJUNK";
+  bytes.insert(bytes.end(), junk, junk + 16);
+
+  ClientOptions copts;
+  copts.port = server.port();
+  copts.workload = "hostile";
+  try {
+    (void)push_bytes(bytes.data(), bytes.size(), copts);
+    FAIL() << "hostile stream accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("hub rejected the run"),
+              std::string::npos)
+        << e.what();
+  }
+  // The daemon survives and keeps serving.
+  const evstore::TraceRun run = make_run(100, "after_hostile");
+  const std::vector<unsigned char> good = pinned_save_bytes(run, "g.dgtrace");
+  copts.workload = "after_hostile";
+  EXPECT_TRUE(push_bytes(good.data(), good.size(), copts).ok);
+}
+
+TEST_F(HubTest, HubSinkFinishOnlyStreamIsByteIdenticalToSaveRun) {
+  ServerOptions sopts;
+  sopts.archive_root = dir_ + "/archive";
+  sopts.ingest_wall_ms = 0;
+  HubServer server(std::move(sopts));
+  ServeGuard guard(server);
+
+  const evstore::TraceRun run = make_run(2000, "sink_wl");
+  const std::vector<unsigned char> bytes = pinned_save_bytes(run, "local.dgtrace");
+
+  ClientOptions copts;
+  copts.port = server.port();
+  copts.workload = "sink_wl";
+  HubSink::Options hopts;
+  hopts.footer_wall_ms = 0;
+  HubSink sink(copts, hopts);
+  sink.finish(run);
+  ASSERT_TRUE(sink.finished());
+  const HubResponse& r = sink.response();
+  EXPECT_TRUE(r.ok);
+  ASSERT_FALSE(r.run_id.empty());
+  // finish() with no prior checkpoints uses the save_run layout, so the
+  // streamed bytes — and thus the archived object — are byte-identical
+  // to the local pinned save.
+  EXPECT_EQ(read_bytes(dir_ + "/archive/objects/" + r.run_id + ".dgtrace"),
+            bytes);
+}
+
+TEST_F(HubTest, CheckpointedHubSinkMatchesTheLiveWriterChunkForChunk) {
+  ServerOptions sopts;
+  sopts.archive_root = dir_ + "/archive";
+  sopts.ingest_wall_ms = 0;
+  HubServer server(std::move(sopts));
+  ServeGuard guard(server);
+
+  // Build a run incrementally, checkpointing file and wire in lockstep —
+  // the flight recorder's exact call pattern, with the wall pinned.
+  evstore::TraceRun run;
+  run.meta.workload = "lockstep_wl";
+  const auto append_events = [&run](std::uint64_t from, std::uint64_t n) {
+    for (std::uint64_t i = from; i < from + n; ++i) {
+      evstore::Event e;
+      e.kind = static_cast<evstore::EventKind>(i % evstore::kEventKindCount);
+      e.op_index = i;
+      e.t_start = static_cast<std::int64_t>(i * 2);
+      e.t_end = e.t_start + 1;
+      run.store->append(e);
+    }
+  };
+
+  const std::string local = dir_ + "/lockstep.dgtrace";
+  evstore::LiveRunWriter::Options wopts;
+  wopts.footer_wall_ms = 0;
+  evstore::LiveRunWriter writer(local, wopts);
+  ClientOptions copts;
+  copts.port = server.port();
+  copts.workload = "lockstep_wl";
+  HubSink::Options hsopts;
+  hsopts.footer_wall_ms = 0;
+  HubSink sink(copts, hsopts);
+
+  writer.checkpoint(run, /*force=*/true);
+  sink.checkpoint(run, /*force=*/true);
+  append_events(0, 700);
+  writer.checkpoint(run, /*force=*/true);
+  sink.checkpoint(run, /*force=*/true);
+  append_events(700, 1300);
+  writer.finish(run);
+  sink.finish(run);
+
+  ASSERT_TRUE(sink.response().ok);
+  EXPECT_EQ(sink.response().events, 2000u);
+  EXPECT_GE(sink.chunks_sent(), 3u);
+  // The streamed bytes equal the live file's bytes: same chunks, same
+  // dictionaries, same (pinned) footer.
+  EXPECT_EQ(
+      read_bytes(dir_ + "/archive/objects/" + sink.response().run_id +
+                 ".dgtrace"),
+      read_bytes(local));
+}
+
+TEST_F(HubTest, TornSinkLeavesACheckpointedPrefixOnTheServer) {
+  ServerOptions sopts;
+  sopts.archive_root = dir_ + "/archive";
+  HubServer server(std::move(sopts));
+  ServeGuard guard(server);
+
+  const std::uint64_t torn_before = hub_counter("hub.torn");
+  evstore::TraceRun run = make_run(1500, "torn_sink_wl");
+  {
+    ClientOptions copts;
+    copts.port = server.port();
+    copts.workload = "torn_sink_wl";
+    HubSink sink(copts);
+    sink.checkpoint(run, /*force=*/true);
+    // Destroyed without finish(): the crash contract on the wire.
+  }
+  // The server notices the torn stream when the connection drops.
+  for (int i = 0; i < 500 && hub_counter("hub.torn") == torn_before; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GT(hub_counter("hub.torn"), torn_before);
+
+  // The spool survives as a readable checkpointed prefix: all 1500
+  // events from the forced checkpoint, no footer.
+  std::vector<std::string> spools;
+  for (const auto& entry :
+       fs::directory_iterator(dir_ + "/archive/spool")) {
+    spools.push_back(entry.path().string());
+  }
+  ASSERT_EQ(spools.size(), 1u);
+  evstore::RunFileInfo info;
+  const evstore::TraceRun prefix =
+      evstore::open_run(spools[0], evstore::ReadMode::kAuto, &info);
+  EXPECT_FALSE(info.finalized);
+  EXPECT_EQ(prefix.store->size(), 1500u);
+}
+
+TEST_F(HubTest, FlightRecorderStreamsThroughTheRegisteredSinkFactory) {
+  register_tcp_sink();
+  ServerOptions sopts;
+  sopts.archive_root = dir_ + "/archive";
+  sopts.ingest_wall_ms = 0;
+  HubServer server(std::move(sopts));
+  ServeGuard guard(server);
+
+  evstore::TraceRun run = make_run(1200, "fr_wl");
+  ffm::ToolConfig cfg;
+  cfg.trace_dir = dir_ + "/traces";
+  cfg.sink = "tcp://127.0.0.1:" + std::to_string(server.port());
+  {
+    ffm::FlightRecorder rec(run, cfg, "fr_wl");
+    ASSERT_NE(rec.sink(), nullptr);
+    rec.finish();
+  }
+  archive::ArchiveOptions aopts;
+  aopts.root = dir_ + "/archive";
+  const archive::Archive ar(std::move(aopts));
+  ASSERT_EQ(ar.index().size(), 1u);
+  EXPECT_EQ(ar.index()[0].workload, "fr_wl");
+  EXPECT_EQ(ar.index()[0].events, 1200u);
+  // The streamed object opens clean and holds the full store.
+  const evstore::TraceRun round = evstore::open_run(
+      dir_ + "/archive/objects/" + ar.index()[0].run_id + ".dgtrace");
+  EXPECT_EQ(round.store->size(), 1200u);
+}
+
+TEST_F(HubTest, BadSinkUrlFailsTheRecorderBeforeCollection) {
+  register_tcp_sink();
+  evstore::TraceRun run;
+  ffm::ToolConfig cfg;
+  cfg.sink = "udp://nope";
+  EXPECT_THROW(ffm::FlightRecorder(run, cfg, "w"), Error);
+}
+
+// --- Concurrency soak --------------------------------------------------------
+
+TEST_F(HubTest, ConcurrentWritersAllLandByteIdenticalAndCountersReconcile) {
+  ServerOptions sopts;
+  sopts.archive_root = dir_ + "/archive";
+  sopts.ingest_wall_ms = 0;
+  sopts.max_clients = 16;
+  HubServer server(std::move(sopts));
+  ServeGuard guard(server);
+
+  constexpr int kWriters = 8;
+  const std::uint64_t ingested_before = hub_counter("hub.ingested");
+  const std::uint64_t dedup_before = hub_counter("hub.dedup");
+  const std::uint64_t events_before = hub_counter("hub.events");
+
+  // Distinct deterministic workloads, pinned saves as ground truth.
+  std::vector<std::vector<unsigned char>> payloads(kWriters);
+  std::uint64_t expected_events = 0;
+  for (int w = 0; w < kWriters; ++w) {
+    const std::uint64_t events = 500 + 250 * static_cast<std::uint64_t>(w);
+    evstore::TraceRun run = make_run(events, "soak_" + std::to_string(w));
+    payloads[w] = pinned_save_bytes(run, "soak_" + std::to_string(w) +
+                                             ".dgtrace");
+    expected_events += events;
+  }
+
+  // Wave 1: all archived. Wave 2: all deduplicated. Both concurrent.
+  for (const bool expect_dedup : {false, true}) {
+    std::vector<HubResponse> responses(kWriters);
+    std::vector<std::thread> writers;
+    writers.reserve(kWriters);
+    for (int w = 0; w < kWriters; ++w) {
+      writers.emplace_back([&, w] {
+        ClientOptions copts;
+        copts.port = server.port();
+        copts.workload = "soak_" + std::to_string(w);
+        responses[w] =
+            push_bytes(payloads[w].data(), payloads[w].size(), copts);
+      });
+    }
+    for (auto& t : writers) t.join();
+    for (int w = 0; w < kWriters; ++w) {
+      SCOPED_TRACE(w);
+      EXPECT_TRUE(responses[w].ok);
+      EXPECT_EQ(responses[w].deduplicated, expect_dedup);
+      EXPECT_EQ(responses[w].events, 500u + 250u * static_cast<unsigned>(w));
+      // Byte-identity holds under concurrency: every archived object
+      // equals its local pinned save.
+      EXPECT_EQ(read_bytes(dir_ + "/archive/objects/" + responses[w].run_id +
+                           ".dgtrace"),
+                payloads[w]);
+    }
+  }
+
+  archive::ArchiveOptions aopts;
+  aopts.root = dir_ + "/archive";
+  const archive::Archive ar(std::move(aopts));
+  EXPECT_EQ(ar.index().size(), static_cast<std::size_t>(kWriters));
+
+  // Per-session accounting reconciles exactly: both waves validated
+  // every chunk, so the counters advance by exactly two sweeps.
+  EXPECT_EQ(hub_counter("hub.ingested") - ingested_before,
+            2u * kWriters);
+  EXPECT_EQ(hub_counter("hub.dedup") - dedup_before,
+            static_cast<std::uint64_t>(kWriters));
+  EXPECT_EQ(hub_counter("hub.events") - events_before, 2 * expected_events);
+  // No session left behind: the gauge drains to its pre-test level and
+  // every spool was consumed by ingestion.
+  std::size_t spools = 0;
+  for (const auto& entry :
+       fs::directory_iterator(dir_ + "/archive/spool")) {
+    (void)entry;
+    ++spools;
+  }
+  EXPECT_EQ(spools, 0u);
+}
+
+#endif  // DIOG_HUB_TEST_SOCKETS
+
+}  // namespace
+}  // namespace diog::hub

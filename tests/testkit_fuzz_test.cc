@@ -213,7 +213,8 @@ TEST(DgtraceRegression, BothReadModesAgreeOnEveryRegressionInput) {
       "torn_tail.dgtrace",      "zero_len_chunk.dgtrace",
       "undersized_chunk.dgtrace", "overlap_chunks.dgtrace",
       "bad_checksum.dgtrace",   "footer_mismatch.dgtrace",
-      "truncated_header.dgtrace"};
+      "truncated_header.dgtrace", "hub_torn_mid_chunk.dgtrace",
+      "hub_torn_between_chunks.dgtrace", "hub_torn_mid_footer.dgtrace"};
   for (const char* name : names) {
     SCOPED_TRACE(name);
     std::string stream_err;

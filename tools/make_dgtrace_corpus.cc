@@ -130,6 +130,34 @@ int main(int argc, char** argv) {
     b.resize(7);  // half the magic
     write(reg, "truncated_header.dgtrace", b);
   }
+  {
+    // The hub torn-stream matrix (ISSUE 9 satellite 4): one two-chunk
+    // run cut at the three places a connection can die — mid-chunk,
+    // on a chunk boundary, and mid-footer. Each must classify exactly
+    // as open_run classifies the same local truncation, whether read
+    // from disk or streamed through a hub session.
+    Bytes b = make_header();
+    ChunkParams c1;
+    c1.event_count = 8;
+    append(b, make_chunk(c1));
+    const std::size_t chunk2_at = b.size();
+    ChunkParams c2;
+    c2.first_event_index = 8;
+    c2.event_count = 12;
+    append(b, make_chunk(c2));
+    const std::size_t footer_at = b.size();
+    append(b, make_footer(/*final=*/true, 20, 2));
+
+    write(reg, "hub_torn_mid_chunk.dgtrace",
+          Bytes(b.begin(), b.begin() + static_cast<std::ptrdiff_t>(
+                                           chunk2_at + 10)));
+    write(reg, "hub_torn_between_chunks.dgtrace",
+          Bytes(b.begin(),
+                b.begin() + static_cast<std::ptrdiff_t>(footer_at)));
+    write(reg, "hub_torn_mid_footer.dgtrace",
+          Bytes(b.begin(), b.begin() + static_cast<std::ptrdiff_t>(
+                                           footer_at + fmt::kFooterBytes / 2)));
+  }
 
   // --- corpus: seeds for the CI fuzz smoke ----------------------------------
   write(corpus, "empty_run.dgtrace", make_minimal_run(0));
