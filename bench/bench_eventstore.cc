@@ -15,6 +15,14 @@
 //                                         events, save to PATH, reopen,
 //                                         verify; exit nonzero on any
 //                                         mismatch.
+//   bench_eventstore --min-scan-speedup X --min-save-speedup Y
+//                                         CI perf bar: exit nonzero if
+//                                         the 8-thread scan (save)
+//                                         speedup over 1 thread falls
+//                                         below the floor. Only
+//                                         meaningful on multi-core
+//                                         hardware; the CI job gates on
+//                                         hardware_concurrency.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -23,6 +31,7 @@
 #include <cstring>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "eventstore/cursor.h"
@@ -309,7 +318,8 @@ ParallelResult bench_parallel(const TraceRun& run, std::size_t tc) {
   return r;
 }
 
-int run_sweep(const std::string& out_path) {
+int run_sweep(const std::string& out_path, double min_scan_speedup,
+              double min_save_speedup) {
   std::printf("event store bench: append/scan throughput, density\n");
   std::printf("%10s %12s %12s %12s %10s %10s\n", "events", "append/s",
               "scan/s", "filt scan/s", "bytes/ev", "allocs/ev");
@@ -365,15 +375,17 @@ int run_sweep(const std::string& out_path) {
   const double t0 = now_ms();
   save_run(tmp, run);
   const double save_ms = now_ms() - t0;
+  RunFileInfo finfo;
   const double t1 = now_ms();
-  const TraceRun back = open_run(tmp);
+  const TraceRun back = open_run(tmp, ReadMode::kAuto, &finfo);
   const double open_ms = now_ms() - t1;
   std::remove(tmp.c_str());
-  std::printf("1M-event run file: save %.1f ms, open %.1f ms, %s on disk\n",
+  std::printf("1M-event run file: save %.1f ms, open %.1f ms, %s on disk "
+              "(v%u, columns %.2fx compressed)\n",
               save_ms, open_ms,
-              format_bytes(static_cast<std::size_t>(
-                               back.store->bytes_reserved()))
-                  .c_str());
+              format_bytes(static_cast<std::size_t>(finfo.bytes_consumed))
+                  .c_str(),
+              finfo.format_version, finfo.compression_ratio());
 
   // Thread sweep over the same 1M-event run: parallel scan, filtered
   // scan (with pushdown counters), save, open at 1/2/8 threads.
@@ -381,9 +393,11 @@ int run_sweep(const std::string& out_path) {
   std::printf("%8s %12s %14s %10s %10s %10s\n", "threads", "scan/s",
               "filt scan/s", "seg skip", "save ms", "open ms");
   json::Array par_rows;
+  std::vector<ParallelResult> par_results;
   for (const std::size_t tc : {std::size_t{1}, std::size_t{2},
                                std::size_t{8}}) {
     const ParallelResult p = bench_parallel(run, tc);
+    par_results.push_back(p);
     std::printf("%8zu %12.3g %14.3g %10llu %10.1f %10.1f\n", p.threads,
                 events_per_s(n, p.scan_ms),
                 events_per_s(n, p.filtered_scan_ms),
@@ -405,6 +419,20 @@ int run_sweep(const std::string& out_path) {
   }
   par::set_threads(ambient);
 
+  // 8-thread speedup over the 1-thread row, for the CI perf bar. The
+  // filtered scan is too fast (pushdown skips nearly everything) to
+  // time stably, so the bar watches the full scan and the save.
+  const ParallelResult& one = par_results.front();
+  const ParallelResult& eight = par_results.back();
+  const double scan_speedup =
+      eight.scan_ms > 0 ? one.scan_ms / eight.scan_ms : 0.0;
+  const double save_speedup =
+      eight.save_ms > 0 ? one.save_ms / eight.save_ms : 0.0;
+  std::printf("8-thread speedup: scan %.2fx, save %.2fx "
+              "(%u hardware thread(s))\n",
+              scan_speedup, save_speedup,
+              std::thread::hardware_concurrency());
+
   json::Object root;
   root["bench"] = std::string("eventstore");
   root["sizes"] = std::move(sizes);
@@ -425,11 +453,34 @@ int run_sweep(const std::string& out_path) {
   io["save_ms"] = save_ms;
   io["open_ms"] = open_ms;
   io["reopened_events"] = static_cast<std::int64_t>(back.store->size());
+  io["file_bytes"] = static_cast<std::int64_t>(finfo.bytes_consumed);
+  io["format_version"] = static_cast<std::int64_t>(finfo.format_version);
+  io["compression_ratio"] = finfo.compression_ratio();
   root["run_file_1m"] = std::move(io);
   root["parallel_1m"] = std::move(par_rows);
+  json::Object sp;
+  sp["hardware_threads"] =
+      static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  sp["scan_8t"] = scan_speedup;
+  sp["save_8t"] = save_speedup;
+  root["speedup_1m"] = std::move(sp);
   json::save_file(out_path, json::Value(std::move(root)));
   std::printf("wrote %s\n", out_path.c_str());
-  return 0;
+
+  int rc = 0;
+  if (min_scan_speedup > 0 && scan_speedup < min_scan_speedup) {
+    std::fprintf(stderr,
+                 "perf bar FAILED: 8-thread scan speedup %.2fx < %.2fx\n",
+                 scan_speedup, min_scan_speedup);
+    rc = 1;
+  }
+  if (min_save_speedup > 0 && save_speedup < min_save_speedup) {
+    std::fprintf(stderr,
+                 "perf bar FAILED: 8-thread save speedup %.2fx < %.2fx\n",
+                 save_speedup, min_save_speedup);
+    rc = 1;
+  }
+  return rc;
 }
 
 // CI stress: generate + persist + reopen N events, verifying counts.
@@ -474,6 +525,8 @@ int main(int argc, char** argv) {
   std::uint64_t stress_events = 0;
   std::string stress_file;
   std::string out_path = "BENCH_eventstore.json";
+  double min_scan_speedup = 0;
+  double min_save_speedup = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
       stress_events = std::strtoull(argv[++i], nullptr, 10);
@@ -481,9 +534,16 @@ int main(int argc, char** argv) {
       stress_file = argv[++i];
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--min-scan-speedup") == 0 &&
+               i + 1 < argc) {
+      min_scan_speedup = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--min-save-speedup") == 0 &&
+               i + 1 < argc) {
+      min_save_speedup = std::strtod(argv[++i], nullptr);
     } else {
       std::fprintf(stderr,
                    "usage: bench_eventstore [--out FILE] "
+                   "[--min-scan-speedup X] [--min-save-speedup Y] "
                    "[--events N --stress-file PATH]\n");
       return 2;
     }
@@ -491,5 +551,6 @@ int main(int argc, char** argv) {
   if (stress_events > 0 && !stress_file.empty()) {
     return diog::evstore::run_stress(stress_events, stress_file);
   }
-  return diog::evstore::run_sweep(out_path);
+  return diog::evstore::run_sweep(out_path, min_scan_speedup,
+                                  min_save_speedup);
 }

@@ -58,6 +58,7 @@ json::Value RunDigest::to_json() const {
   }
   o["events_by_kind"] = std::move(by_kind);
   o["dropped_events"] = dropped_events;
+  o["compression_ratio"] = compression_ratio;
   o["sync_count"] = sync_count;
   o["unnecessary_syncs"] = unnecessary_syncs;
   o["wall_time_ns"] = wall_time_ns;
@@ -95,6 +96,9 @@ RunDigest RunDigest::from_json(const json::Value& v) {
   }
   d.dropped_events =
       static_cast<std::uint64_t>(v.at("dropped_events").as_int());
+  if (v.contains("compression_ratio")) {
+    d.compression_ratio = v.at("compression_ratio").as_double();
+  }
   d.sync_count = static_cast<std::uint64_t>(v.at("sync_count").as_int());
   d.unnecessary_syncs =
       static_cast<std::uint64_t>(v.at("unnecessary_syncs").as_int());
@@ -134,6 +138,7 @@ RunDigest digest_run(const evstore::TraceRun& run,
   // missed, so take the larger.
   d.dropped_events =
       std::max(run.meta.dropped_events, info.dropped_before_checkpoint);
+  d.compression_ratio = info.compression_ratio();
 
   d.sync_count = store.count_of(evstore::EventKind::kSyncClassification);
   evstore::sync_classifications(store).for_each(

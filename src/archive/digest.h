@@ -58,6 +58,10 @@ struct RunDigest {
   std::uint64_t events = 0;  // rows materialized from the file
   std::uint64_t events_by_kind[evstore::kEventKindCount] = {};
   std::uint64_t dropped_events = 0;  // ring-evicted before checkpoint
+  // Column-codec win of the run file (RunFileInfo::compression_ratio();
+  // 1.0 for v2/raw files). Additive v1 field: absent in older indexes,
+  // defaulted on load.
+  double compression_ratio = 1.0;
   std::uint64_t sync_count = 0;      // classified sync instances
   std::uint64_t unnecessary_syncs = 0;
 

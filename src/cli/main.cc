@@ -327,11 +327,12 @@ int cmd_archive_ls(const archive::Archive& ar, bool json_out) {
     return 0;
   }
   for (const archive::RunDigest& d : idx) {
-    std::printf("%s  %-12s  %10llu event(s)  %zu finding(s)  benefit %s\n",
-                d.run_id.c_str(), d.workload.c_str(),
-                static_cast<unsigned long long>(d.events),
-                d.findings.size(),
-                format_seconds(Duration(d.total_benefit_ns)).c_str());
+    std::printf(
+        "%s  %-12s  %10llu event(s)  %zu finding(s)  benefit %s  %.2fx\n",
+        d.run_id.c_str(), d.workload.c_str(),
+        static_cast<unsigned long long>(d.events), d.findings.size(),
+        format_seconds(Duration(d.total_benefit_ns)).c_str(),
+        d.compression_ratio);
   }
   const archive::Archive::Stats st = ar.stats();
   std::printf("%llu run(s) across %llu workload(s), %s archived in %s\n",

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "eventstore/cursor.h"
+#include "eventstore/run_format.h"
 #include "support/error.h"
 #include "support/strings.h"
 
@@ -202,6 +203,43 @@ std::string render_run_file_info(const evstore::RunFileInfo& info) {
   if (info.dropped_before_checkpoint > 0) {
     out += "  dropped before checkpoint: " +
            std::to_string(info.dropped_before_checkpoint) + " event(s)\n";
+  }
+  if (info.format_version > 0) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.2fx", info.compression_ratio());
+    out += "  format: v" + std::to_string(info.format_version) +
+           ", columns " +
+           format_bytes(static_cast<std::size_t>(info.column_bytes_stored)) +
+           " stored / " +
+           format_bytes(static_cast<std::size_t>(info.column_bytes_raw)) +
+           " raw (" + std::string(buf) + ")\n";
+    // Per-chunk encoding breakdown; long files get elided in the middle
+    // rather than scrolling the summary off screen.
+    constexpr std::size_t kMaxChunkLines = 8;
+    const std::size_t total = info.chunk_stats.size();
+    for (std::size_t i = 0; i < total; ++i) {
+      if (total > kMaxChunkLines && i == kMaxChunkLines / 2) {
+        out += "    ... " +
+               std::to_string(total - kMaxChunkLines + 1) +
+               " chunk(s) elided ...\n";
+        i = total - kMaxChunkLines / 2;
+      }
+      const evstore::ChunkEncodingStat& c = info.chunk_stats[i];
+      const double r =
+          c.column_bytes_stored > 0
+              ? static_cast<double>(c.column_bytes_raw) /
+                    static_cast<double>(c.column_bytes_stored)
+              : 1.0;
+      std::snprintf(buf, sizeof buf, "%.2fx", r);
+      out += "    chunk " + std::to_string(i) + ": " +
+             (c.encoding == evstore::format::kChunkEncodingCoded ? "coded"
+                                                                 : "raw") +
+             ", " + std::to_string(c.events) + " event(s), " +
+             format_bytes(static_cast<std::size_t>(c.column_bytes_stored)) +
+             " stored / " +
+             format_bytes(static_cast<std::size_t>(c.column_bytes_raw)) +
+             " raw (" + std::string(buf) + ")\n";
+    }
   }
   if (info.checkpoint_wall_ms > 0) {
     const auto now_ms =

@@ -1,17 +1,27 @@
 // Chunk payload/footer encoding shared by the incremental LiveRunWriter
 // and the parallel one-shot saver (run_io.cc save_run). One encoder
 // means the two writers cannot drift: a chunk is the same bytes whether
-// it was checkpointed live or encoded on a worker thread.
+// it was checkpointed live or encoded on a worker thread — which is
+// also what keeps the hub's wire-format-is-the-file-format invariant:
+// a streamed chunk and a saved chunk are literally the same encoder
+// output.
 //
 // Everything here is pure byte assembly — no I/O, no fault injection —
 // so encode_chunk_payload is safe to call concurrently for disjoint
-// chunks (it only reads the store).
+// chunks (it only reads the store). Each caller owns an EncodeArena:
+// every buffer the encoder touches lives there and is reused across
+// chunks, so steady-state encode allocates nothing. That reuse is the
+// fix for the 8-thread save regression — per-chunk std::string growth
+// serialized every worker on the allocator.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "eventstore/codecs.h"
 #include "eventstore/event_store.h"
 #include "eventstore/run_format.h"
 #include "eventstore/schema.h"
@@ -35,18 +45,60 @@ inline void put_str(std::string& buf, std::string_view s) {
   put_bytes(buf, s.data(), s.size());
 }
 
+// Reusable per-encoder buffers. One arena per writer (LiveRunWriter
+// member) or per pipeline slot (save_run); never shared between
+// threads concurrently.
+struct EncodeArena {
+  std::string payload;                  // the chunk payload being built
+  std::string blob;                     // envelope + payload + checksum
+  std::vector<unsigned char> staging;   // raw column values (copy_rows)
+  std::vector<std::uint64_t> widened;   // 8-byte view for the delta codec
+  std::vector<std::uint64_t> miniblock; // delta codec miniblock scratch
+};
+
+// One coded column entry: tag | width | codec | u64 enc_len | body.
+// The preferred codec comes from format::kColumnCodecs, but the entry
+// deterministically falls back to kCodecRaw whenever coding does not
+// shrink the body, so hostile or incompressible data never inflates a
+// chunk past its v2 size (plus the 9-byte entry overhead).
 template <typename T>
-void put_column(std::string& buf, std::uint8_t tag, const Column<T>& col,
-                std::uint64_t rel_first, std::uint64_t count) {
+void put_column_coded(EncodeArena& a, std::uint8_t tag, const Column<T>& col,
+                      std::uint64_t rel_first, std::uint64_t count) {
+  std::string& buf = a.payload;
   put_u8(buf, tag);
   put_u8(buf, static_cast<std::uint8_t>(sizeof(T)));
-  const std::size_t old = buf.size();
-  buf.resize(old + static_cast<std::size_t>(count) * sizeof(T));
-  if (count > 0) {
-    // copy_rows only memcpy's into the destination, so the unaligned
-    // in-buffer pointer is fine.
-    col.copy_rows(rel_first, count, reinterpret_cast<T*>(buf.data() + old));
+  const std::size_t codec_pos = buf.size();
+  const std::uint8_t preferred = format::kColumnCodecs[tag];
+  put_u8(buf, preferred);
+  const std::size_t len_pos = buf.size();
+  put_u64(buf, 0);  // patched below
+  const std::size_t body = buf.size();
+  const std::size_t raw_bytes = static_cast<std::size_t>(count) * sizeof(T);
+
+  a.staging.resize(raw_bytes);
+  auto* vals = reinterpret_cast<T*>(a.staging.data());
+  if (count > 0) col.copy_rows(rel_first, count, vals);
+
+  if (preferred == format::kCodecVarint) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      put_varint(buf, static_cast<std::uint64_t>(vals[i]));
+    }
+  } else if (preferred == format::kCodecDelta) {
+    if constexpr (sizeof(T) == 8) {
+      a.widened.resize(static_cast<std::size_t>(count));
+      if (count > 0) std::memcpy(a.widened.data(), vals, raw_bytes);
+      a.miniblock.resize(kDeltaMiniblock);
+      put_delta_u64(buf, a.widened.data(), count, a.miniblock.data());
+    }
   }
+
+  if (preferred == format::kCodecRaw || buf.size() - body >= raw_bytes) {
+    buf.resize(body);
+    buf[codec_pos] = static_cast<char>(format::kCodecRaw);
+    put_bytes(buf, a.staging.data(), raw_bytes);
+  }
+  const std::uint64_t enc_len = buf.size() - body;
+  std::memcpy(buf.data() + len_pos, &enc_len, 8);
 }
 
 // Dictionary entries this chunk carries: [from, to) in serialization
@@ -58,16 +110,18 @@ struct DictRange {
   std::uint32_t names_from = 1, names_to = 1;    // id 0 is implicit
 };
 
-// One chunk payload: meta + dictionary deltas + column slices for
+// One chunk payload: meta + dictionary deltas + coded column slices for
 // events [chunk_first, chunk_first + count) of the append stream, where
 // `rel_first` is that range's start row in the store's resident window.
-inline std::string encode_chunk_payload(const EventStore& store,
-                                        std::string_view meta_json,
-                                        const DictRange& dicts,
-                                        std::uint64_t chunk_first,
-                                        std::uint64_t count,
-                                        std::uint64_t rel_first) {
-  std::string payload;
+// The result is left in a.payload (cleared first, capacity retained).
+inline void encode_chunk_payload(EncodeArena& a, const EventStore& store,
+                                 std::string_view meta_json,
+                                 const DictRange& dicts,
+                                 std::uint64_t chunk_first,
+                                 std::uint64_t count,
+                                 std::uint64_t rel_first) {
+  std::string& payload = a.payload;
+  payload.clear();
   put_u64(payload, meta_json.size());
   put_bytes(payload, meta_json.data(), meta_json.size());
 
@@ -98,22 +152,22 @@ inline std::string encode_chunk_payload(const EventStore& store,
   put_u64(payload, chunk_first);
   put_u64(payload, count);
   put_u8(payload, static_cast<std::uint8_t>(format::kColumnCount));
-  put_column(payload, 0, store.col_kind(), rel_first, count);
-  put_column(payload, 1, store.col_api(), rel_first, count);
-  put_column(payload, 2, store.col_flags(), rel_first, count);
-  put_column(payload, 3, store.col_stream(), rel_first, count);
-  put_column(payload, 4, store.col_stack(), rel_first, count);
-  put_column(payload, 5, store.col_aux_stack(), rel_first, count);
-  put_column(payload, 6, store.col_name(), rel_first, count);
-  put_column(payload, 7, store.col_op_index(), rel_first, count);
-  put_column(payload, 8, store.col_t_start(), rel_first, count);
-  put_column(payload, 9, store.col_t_end(), rel_first, count);
-  put_column(payload, 10, store.col_aux_time(), rel_first, count);
-  put_column(payload, 11, store.col_gpu_time(), rel_first, count);
-  put_column(payload, 12, store.col_bytes(), rel_first, count);
-  put_column(payload, 13, store.col_value(), rel_first, count);
-  put_column(payload, 14, store.col_link(), rel_first, count);
-  return payload;
+  put_u8(payload, format::kChunkEncodingCoded);
+  put_column_coded(a, 0, store.col_kind(), rel_first, count);
+  put_column_coded(a, 1, store.col_api(), rel_first, count);
+  put_column_coded(a, 2, store.col_flags(), rel_first, count);
+  put_column_coded(a, 3, store.col_stream(), rel_first, count);
+  put_column_coded(a, 4, store.col_stack(), rel_first, count);
+  put_column_coded(a, 5, store.col_aux_stack(), rel_first, count);
+  put_column_coded(a, 6, store.col_name(), rel_first, count);
+  put_column_coded(a, 7, store.col_op_index(), rel_first, count);
+  put_column_coded(a, 8, store.col_t_start(), rel_first, count);
+  put_column_coded(a, 9, store.col_t_end(), rel_first, count);
+  put_column_coded(a, 10, store.col_aux_time(), rel_first, count);
+  put_column_coded(a, 11, store.col_gpu_time(), rel_first, count);
+  put_column_coded(a, 12, store.col_bytes(), rel_first, count);
+  put_column_coded(a, 13, store.col_value(), rel_first, count);
+  put_column_coded(a, 14, store.col_link(), rel_first, count);
 }
 
 // The 12-byte chunk envelope (magic + payload length).
@@ -130,6 +184,24 @@ inline std::string encode_chunk_checksum(const std::string& payload) {
   put_u64(tail,
           format::fnv1a(format::kFnvSeed, payload.data(), payload.size()));
   return tail;
+}
+
+// One complete chunk frame — envelope | payload | checksum — in a.blob
+// (cleared first, capacity retained). This is what save_run's pipeline
+// slots hold and what a hub stream carries per chunk.
+inline void encode_chunk_blob(EncodeArena& a, const EventStore& store,
+                              std::string_view meta_json,
+                              const DictRange& dicts,
+                              std::uint64_t chunk_first, std::uint64_t count,
+                              std::uint64_t rel_first) {
+  encode_chunk_payload(a, store, meta_json, dicts, chunk_first, count,
+                       rel_first);
+  a.blob.clear();
+  put_u32(a.blob, format::kChunkMagic);
+  put_u64(a.blob, a.payload.size());
+  a.blob += a.payload;
+  put_u64(a.blob, format::fnv1a(format::kFnvSeed, a.payload.data(),
+                                a.payload.size()));
 }
 
 inline std::string encode_footer(bool final, std::uint64_t events,

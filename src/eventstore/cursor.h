@@ -7,6 +7,14 @@
 // stats probe when the segment cannot match. This is what the analysis
 // stages, exporters, and CLI consume instead of re-walking per-stage
 // record vectors.
+//
+// Inside a block the predicates run as branch-free SoA kernels: each
+// active predicate is one tight compare loop over the block's column
+// slice (blocks never straddle segments, so every slice is contiguous),
+// writing 0/1 bytes that are then packed into a 64-words-of-64 match
+// bitmask. The loops carry no data-dependent branches, so the compiler
+// auto-vectorizes them; next() just walks set bits, and count() adds
+// popcounts without materializing events at all.
 #pragma once
 
 #include <cstdint>
@@ -62,6 +70,7 @@ class Cursor {
     begin_ = begin;
     end_ = end;
     pos_ = begin;
+    mask_base_ = mask_end_ = 0;
     return *this;
   }
 
@@ -70,17 +79,14 @@ class Cursor {
   bool next(Event& out);
   void reset() {
     pos_ = begin_;
+    mask_base_ = mask_end_ = 0;
     segments_skipped_ = 0;
     blocks_skipped_ = 0;
   }
 
-  // Consumes the remainder of the cursor.
-  std::uint64_t count() {
-    Event e;
-    std::uint64_t n = 0;
-    while (next(e)) ++n;
-    return n;
-  }
+  // Consumes the remainder of the cursor. Pure popcount over the match
+  // bitmasks — no per-row bit walk, no Event materialization.
+  std::uint64_t count();
   template <typename F>
   void for_each(F&& f) {
     Event e;
@@ -101,6 +107,13 @@ class Cursor {
  private:
   [[nodiscard]] bool segment_may_match(const EventStore::SegmentStats& st)
       const;
+  // Probes stats for the block containing pos_ and, when it survives,
+  // runs the predicate kernels over it into mask_. Returns false when
+  // the probe skipped the block/segment (pos_ already advanced past it).
+  bool fill_block(std::uint64_t n);
+  void scan_block(std::uint64_t base, std::uint64_t limit);
+
+  static constexpr std::size_t kMaskWords = kBlockRows / 64;
 
   const EventStore* store_;
   std::uint64_t pos_ = 0;
@@ -108,6 +121,12 @@ class Cursor {
   std::uint64_t end_ = std::numeric_limits<std::uint64_t>::max();
   std::uint64_t segments_skipped_ = 0;
   std::uint64_t blocks_skipped_ = 0;
+
+  // Match bitmask for rows [mask_base_, mask_end_); row r maps to bit
+  // (r - mask_base_). Equal bounds mean no block has been scanned.
+  std::uint64_t mask_base_ = 0;
+  std::uint64_t mask_end_ = 0;
+  std::uint64_t mask_[kMaskWords];
 
   std::uint32_t kinds_mask_ = ~0u;
   std::uint32_t flags_all_ = 0;

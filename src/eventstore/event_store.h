@@ -314,6 +314,16 @@ struct EventStore::BulkLoader {
                const std::int64_t* gpu_time, const std::uint64_t* bytes,
                const std::uint64_t* value, const std::uint64_t* link,
                std::uint64_t n);
+
+  // Column-at-a-time variant of load_at for the v3 decode path, where
+  // each column of a chunk decodes into one small scratch buffer before
+  // landing in the store. `c` is the format column index (run_format.h
+  // order) and `src` holds n values at the column's natural width.
+  // Same concurrency contract as load_at (disjoint row ranges only);
+  // the segment_alloc fault fires on column 0 so a chunk still trips an
+  // armed plan exactly once.
+  void load_column_at(std::size_t c, std::uint64_t row, const void* src,
+                      std::uint64_t n);
 };
 
 }  // namespace diog::evstore

@@ -7,6 +7,7 @@
 
 #include "eventstore/chunk_codec.h"
 #include "eventstore/run_format.h"
+#include "obs/span.h"
 #include "obs/telemetry.h"
 #include "support/error.h"
 #include "testkit/fault_plan.h"
@@ -70,6 +71,7 @@ void LiveRunWriter::flush(bool with_fsync) {
   DIOG_CHECK(std::fflush(f_) == 0, "flush failed for run file: " + path_);
 #if DIOG_HAVE_FSYNC
   if (with_fsync) {
+    DIOG_SPAN("evstore.save.fsync");
     if (testkit::fault_at("live_writer.fsync") != nullptr) {
       throw Error("fsync failed for run file: " + path_ + " (injected fault)");
     }
@@ -118,9 +120,12 @@ bool LiveRunWriter::write_chunk(const TraceRun& run, bool force) {
                                .stacks_to = stack_count,
                                .names_from = names_written_,
                                .names_to = name_count};
-  const std::string payload = codec::encode_chunk_payload(
-      store, meta_json, dicts, chunk_first, count,
-      chunk_first - first_avail);
+  {
+    DIOG_SPAN("evstore.save.encode");
+    codec::encode_chunk_payload(arena_, store, meta_json, dicts, chunk_first,
+                                count, chunk_first - first_avail);
+  }
+  const std::string& payload = arena_.payload;
   const std::string envelope = codec::encode_chunk_envelope(payload);
 
   DIOG_CHECK(std::fseek(f_, static_cast<long>(data_end_), SEEK_SET) == 0,
@@ -142,8 +147,11 @@ bool LiveRunWriter::write_chunk(const TraceRun& run, bool force) {
     DIOG_CHECK(std::fwrite(b.data(), 1, b.size(), f_) == b.size(),
                "write failed for run file: " + path_);
   };
-  write_all(envelope);
-  write_all(payload);
+  {
+    DIOG_SPAN("evstore.save.write");
+    write_all(envelope);
+    write_all(payload);
+  }
   const std::string tail = codec::encode_chunk_checksum(payload);
   write_all(tail);
   // The chunk must be on disk (at least in the page cache, in order)

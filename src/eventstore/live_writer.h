@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <string>
 
+#include "eventstore/chunk_codec.h"
 #include "eventstore/run.h"
 
 namespace diog::evstore {
@@ -80,6 +81,9 @@ class LiveRunWriter {
   std::uint32_t stacks_written_ = 1;  // empty stack id 0 is implicit
   std::uint32_t names_written_ = 1;   // name id 0 is implicit
   std::string last_meta_;
+  // Encode buffers reused across checkpoints: a long-lived flight
+  // recorder allocates nothing per chunk once warm.
+  codec::EncodeArena arena_;
   bool finished_ = false;
 };
 

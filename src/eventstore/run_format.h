@@ -1,4 +1,5 @@
-// Shared constants of the on-disk run format (version 2, chunked).
+// Shared constants of the on-disk run format (chunked; version 3
+// current, version 2 still readable).
 //
 // The writer (live_writer.cc) and the reader (run_io.cc) are separate
 // translation units but must agree byte-for-byte; everything they both
@@ -43,6 +44,50 @@ inline constexpr std::uint32_t kFooterFlagFinal = 1u << 0;
 inline constexpr std::uint8_t kColumnWidths[] = {1, 2, 4, 4, 4, 4, 4, 8,
                                                  8, 8, 8, 8, 8, 8, 8};
 inline constexpr std::size_t kColumnCount = sizeof(kColumnWidths);
+
+// --- Version 3: per-chunk compressed columns --------------------------------
+//
+// A v3 chunk payload carries one extra byte after the column count —
+// the chunk encoding — and its column entries depend on it:
+//
+//   kChunkEncodingRaw:   u8 tag | u8 width | raw values  (v2 entries)
+//   kChunkEncodingCoded: u8 tag | u8 width | u8 codec | u64 enc_len |
+//                        enc_len encoded bytes (codecs.h)
+//
+// The writer always emits kChunkEncodingCoded; the raw id exists so a
+// future writer can opt a pathological chunk out of coding wholesale
+// without a version bump, and the reader accepts both today.
+inline constexpr std::uint8_t kChunkEncodingRaw = 0;
+inline constexpr std::uint8_t kChunkEncodingCoded = 1;
+
+inline constexpr std::uint8_t kCodecRaw = 0;
+inline constexpr std::uint8_t kCodecVarint = 1;
+inline constexpr std::uint8_t kCodecDelta = 2;
+inline constexpr std::uint8_t kCodecCount = 3;
+
+// The codec the writer prefers per column; the encoder falls back to
+// kCodecRaw whenever the coded body would not be smaller, so the choice
+// stays deterministic (a pure function of the column bytes). Monotone
+// counters and timestamps delta-pack; interned ids, flags, and sizes
+// varint; the 1-byte kind column cannot shrink.
+inline constexpr std::uint8_t kColumnCodecs[] = {
+    kCodecRaw,     // kind
+    kCodecVarint,  // api
+    kCodecVarint,  // flags
+    kCodecVarint,  // stream
+    kCodecVarint,  // stack
+    kCodecVarint,  // aux_stack
+    kCodecVarint,  // name
+    kCodecDelta,   // op_index
+    kCodecDelta,   // t_start
+    kCodecDelta,   // t_end
+    kCodecDelta,   // aux_time
+    kCodecDelta,   // gpu_time
+    kCodecVarint,  // bytes
+    kCodecVarint,  // value
+    kCodecVarint,  // link
+};
+static_assert(sizeof(kColumnCodecs) == kColumnCount);
 
 inline constexpr std::uint64_t kFnvSeed = 0xcbf29ce484222325ULL;
 

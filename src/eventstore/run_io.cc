@@ -9,8 +9,10 @@
 #include <vector>
 
 #include "eventstore/chunk_codec.h"
+#include "eventstore/codecs.h"
 #include "eventstore/live_writer.h"
 #include "eventstore/run_format.h"
+#include "obs/span.h"
 #include "obs/telemetry.h"
 #include "parallel/thread_pool.h"
 #include "support/error.h"
@@ -75,14 +77,82 @@ struct Slice {
   }
 };
 
-// One chunk's column data, parsed but not yet copied into the store.
-// The pointers alias the mapped/buffered file, which outlives the
-// parse, so a batch of these can be loaded in parallel afterwards.
+// One column's encoded bytes inside a chunk payload and how to decode
+// them. v2 columns and v3 raw-codec columns point straight at the file
+// bytes; coded columns carry the codec id for the decode pass.
+struct ColumnSrc {
+  const unsigned char* p = nullptr;
+  std::uint64_t enc_len = 0;
+  std::uint8_t codec = fmt::kCodecRaw;
+};
+
+// One chunk's column data, parsed and validated but not yet decoded
+// into the store. The pointers alias the mapped/buffered file, which
+// outlives the parse, so a batch of these can be decoded in parallel
+// afterwards.
 struct PendingLoad {
-  const unsigned char* cols[fmt::kColumnCount] = {};
+  ColumnSrc cols[fmt::kColumnCount] = {};
   std::uint64_t count = 0;
   std::uint64_t row = 0;  // destination row in the rebuilt store
 };
+
+// Reusable decode buffers: one per decoding thread (par::worker_local
+// on the parallel open path, a parser member on the streaming path), so
+// steady-state decode allocates nothing.
+struct DecodeScratch {
+  std::vector<unsigned char> bytes;   // natural-width column values
+  std::vector<std::uint64_t> values;  // u64 staging for the delta codec
+};
+
+// Decodes one column to its natural width. Returns a pointer to
+// `count` values: the file bytes themselves for the raw codec, scratch
+// storage otherwise. Throws on any structural violation — the codec
+// byte was already validated, so this is where truncated payloads,
+// varint overruns, and value/width mismatches surface.
+const unsigned char* decode_column(std::size_t c, const ColumnSrc& src,
+                                   std::uint64_t count,
+                                   DecodeScratch& scratch) {
+  const std::size_t width = fmt::kColumnWidths[c];
+  const std::size_t raw_bytes = static_cast<std::size_t>(count) * width;
+  if (src.codec == fmt::kCodecRaw) {
+    if (src.enc_len != raw_bytes) {
+      throw Error("run file corrupted: raw column length mismatch");
+    }
+    return src.p;
+  }
+  scratch.bytes.resize(raw_bytes);
+  const unsigned char* end = src.p + src.enc_len;
+  if (src.codec == fmt::kCodecVarint) {
+    const unsigned char* p = src.p;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t v = codec::get_varint(&p, end);
+      if (width < 8 && (v >> (8 * width)) != 0) {
+        throw Error("run file corrupted: varint value overflows column");
+      }
+      std::memcpy(scratch.bytes.data() + i * width, &v, width);
+    }
+    if (p != end) {
+      throw Error("run file corrupted: trailing bytes in varint column");
+    }
+  } else {  // fmt::kCodecDelta
+    scratch.values.resize(static_cast<std::size_t>(count));
+    codec::get_delta_u64(src.p, end, scratch.values.data(), count);
+    if (width == 8) {
+      std::memcpy(scratch.bytes.data(), scratch.values.data(), raw_bytes);
+    } else {
+      // The writer only delta-packs 8-byte columns, but the codec byte
+      // is attacker-controlled; narrow with a range check.
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t v = scratch.values[i];
+        if ((v >> (8 * width)) != 0) {
+          throw Error("run file corrupted: delta value overflows column");
+        }
+        std::memcpy(scratch.bytes.data() + i * width, &v, width);
+      }
+    }
+  }
+  return scratch.bytes.data();
+}
 
 // Accumulates chunks into one TraceRun. Dictionaries and columns are
 // incremental across chunks (see run_io.h); the parser tracks where the
@@ -92,11 +162,14 @@ struct PendingLoad {
 // it is null the columns are loaded immediately (the follower path).
 struct ChunkParser {
   TraceRun run;
+  std::uint32_t version = kFormatVersion;  // header version (2 or 3)
   std::uint64_t next_expected = 0;  // absolute stream index after last chunk
   std::uint64_t dropped_gaps = 0;
   std::uint64_t chunks = 0;
   std::uint64_t resident_rows = 0;  // rows parsed so far (row offsets)
   bool dirty = false;  // columns loaded since the last finish_bulk_load
+  std::vector<ChunkEncodingStat> chunk_stats;
+  DecodeScratch scratch;  // immediate-path decode buffers, reused
 
   void apply(Slice payload, PendingLoad* pending = nullptr) {
     EventStore& store = *run.store;
@@ -165,15 +238,38 @@ struct ChunkParser {
     if (column_count != fmt::kColumnCount) {
       throw Error("run file corrupted: unexpected column count");
     }
-    const unsigned char* cols[fmt::kColumnCount];
+    std::uint8_t encoding = fmt::kChunkEncodingRaw;
+    if (version >= 3) {
+      encoding = payload.get_u8();
+      if (encoding != fmt::kChunkEncodingRaw &&
+          encoding != fmt::kChunkEncodingCoded) {
+        throw Error("run file corrupted: unknown chunk encoding " +
+                    std::to_string(encoding));
+      }
+    }
+    ColumnSrc cols[fmt::kColumnCount];
+    ChunkEncodingStat cstat{encoding, event_count, 0, 0};
     for (std::size_t c = 0; c < fmt::kColumnCount; ++c) {
       const std::uint8_t tag = payload.get_u8();
       const std::uint8_t width = payload.get_u8();
       if (tag != c || width != fmt::kColumnWidths[c]) {
         throw Error("run file corrupted: column tag/width mismatch");
       }
-      cols[c] = payload.bytes(
-          static_cast<std::size_t>(event_count) * fmt::kColumnWidths[c]);
+      ColumnSrc& cs = cols[c];
+      if (encoding == fmt::kChunkEncodingCoded) {
+        cs.codec = payload.get_u8();
+        if (cs.codec >= fmt::kCodecCount) {
+          throw Error("run file corrupted: unknown column codec " +
+                      std::to_string(cs.codec));
+        }
+        cs.enc_len = payload.get_u64();
+      } else {
+        cs.codec = fmt::kCodecRaw;
+        cs.enc_len = event_count * fmt::kColumnWidths[c];
+      }
+      cs.p = payload.bytes(static_cast<std::size_t>(cs.enc_len));
+      cstat.column_bytes_stored += cs.enc_len;
+      cstat.column_bytes_raw += event_count * fmt::kColumnWidths[c];
     }
     if (payload.off != payload.n) {
       throw Error("run file corrupted: trailing bytes after columns");
@@ -185,25 +281,21 @@ struct ChunkParser {
         pending->count = event_count;
         pending->row = resident_rows;
       } else {
-        EventStore::BulkLoader{store}.load(
-            reinterpret_cast<const std::uint8_t*>(cols[0]),
-            reinterpret_cast<const std::uint16_t*>(cols[1]),
-            reinterpret_cast<const std::uint32_t*>(cols[2]),
-            reinterpret_cast<const std::uint32_t*>(cols[3]),
-            reinterpret_cast<const std::uint32_t*>(cols[4]),
-            reinterpret_cast<const std::uint32_t*>(cols[5]),
-            reinterpret_cast<const std::uint32_t*>(cols[6]),
-            reinterpret_cast<const std::uint64_t*>(cols[7]),
-            reinterpret_cast<const std::int64_t*>(cols[8]),
-            reinterpret_cast<const std::int64_t*>(cols[9]),
-            reinterpret_cast<const std::int64_t*>(cols[10]),
-            reinterpret_cast<const std::int64_t*>(cols[11]),
-            reinterpret_cast<const std::uint64_t*>(cols[12]),
-            reinterpret_cast<const std::uint64_t*>(cols[13]),
-            reinterpret_cast<const std::uint64_t*>(cols[14]), event_count);
+        // Immediate path (follower / stream): decode one column at a
+        // time through the reusable scratch. Reserve-then-fill is the
+        // same final state as the old append_bulk load.
+        EventStore::BulkLoader loader{store};
+        const std::uint64_t row = store.size();
+        loader.reserve(event_count);
+        for (std::size_t c = 0; c < fmt::kColumnCount; ++c) {
+          const unsigned char* d =
+              decode_column(c, cols[c], event_count, scratch);
+          loader.load_column_at(c, row, d, event_count);
+        }
         dirty = true;
       }
     }
+    chunk_stats.push_back(cstat);
     resident_rows += event_count;
     next_expected = first + event_count;
     ++chunks;
@@ -218,7 +310,9 @@ struct ChunkParser {
 
 // --- Envelope walking --------------------------------------------------------
 
-void validate_header(const unsigned char* data, std::size_t size) {
+// Returns the header's format version; the reader accepts every
+// version it can still decode (v2 raw columns, v3 coded columns).
+std::uint32_t validate_header(const unsigned char* data, std::size_t size) {
   if (size < fmt::kHeaderBytes) {
     throw Error("run file truncated: shorter than the header");
   }
@@ -227,10 +321,12 @@ void validate_header(const unsigned char* data, std::size_t size) {
   }
   std::uint32_t version;
   std::memcpy(&version, data + 8, 4);
-  if (version != kFormatVersion) {
+  if (version < kMinFormatVersion || version > kFormatVersion) {
     throw Error("unsupported run file version " + std::to_string(version) +
-                " (expected " + std::to_string(kFormatVersion) + ")");
+                " (expected " + std::to_string(kMinFormatVersion) + ".." +
+                std::to_string(kFormatVersion) + ")");
   }
+  return version;
 }
 
 struct WalkOutcome {
@@ -345,7 +441,7 @@ WalkOutcome walk_chunks(const unsigned char* p, std::size_t n,
 // the bytes, are copied into pre-reserved segments in parallel.
 TraceRun parse_run(const unsigned char* data, std::size_t size,
                    RunFileInfo* info) {
-  validate_header(data, size);
+  const std::uint32_t version = validate_header(data, size);
 
   // Phase A: envelope walk.
   struct Extent {
@@ -362,56 +458,59 @@ TraceRun parse_run(const unsigned char* data, std::size_t size,
   // Phase B: parallel checksum verification. Failures are reported
   // serially so the lowest bad chunk index is thrown at any thread
   // count, same as the serial walk.
-  std::vector<std::uint8_t> checksum_ok(extents.size(), 0);
-  par::parallel_for(extents.size(), [&](std::size_t i) {
-    std::uint64_t stored;
-    std::memcpy(&stored, extents[i].payload + extents[i].len, 8);
-    checksum_ok[i] =
-        fmt::fnv1a(fmt::kFnvSeed, extents[i].payload, extents[i].len) == stored
-            ? 1
-            : 0;
-  });
-  for (std::size_t i = 0; i < extents.size(); ++i) {
-    if (checksum_ok[i] == 0) {
-      throw Error("run file corrupted: checksum mismatch in chunk " +
-                  std::to_string(i));
+  {
+    DIOG_SPAN("evstore.open.checksum");
+    std::vector<std::uint8_t> checksum_ok(extents.size(), 0);
+    par::parallel_for(extents.size(), [&](std::size_t i) {
+      std::uint64_t stored;
+      std::memcpy(&stored, extents[i].payload + extents[i].len, 8);
+      checksum_ok[i] = fmt::fnv1a(fmt::kFnvSeed, extents[i].payload,
+                                  extents[i].len) == stored
+                           ? 1
+                           : 0;
+    });
+    for (std::size_t i = 0; i < extents.size(); ++i) {
+      if (checksum_ok[i] == 0) {
+        throw Error("run file corrupted: checksum mismatch in chunk " +
+                    std::to_string(i));
+      }
     }
   }
 
   // Phase C: serial meta/dictionary parse with deferred column loads.
   ChunkParser parser;
+  parser.version = version;
   std::vector<PendingLoad> pendings(extents.size());
-  for (std::size_t i = 0; i < extents.size(); ++i) {
-    parser.apply(Slice{extents[i].payload, extents[i].len, 0}, &pendings[i]);
+  {
+    DIOG_SPAN("evstore.open.dicts");
+    for (std::size_t i = 0; i < extents.size(); ++i) {
+      parser.apply(Slice{extents[i].payload, extents[i].len, 0},
+                   &pendings[i]);
+    }
   }
   check_footer_agreement(out, parser);
 
-  // Phase D: reserve once, then copy column bytes concurrently. Each
-  // chunk fills a disjoint row range of the reserved segments.
+  // Phase D: reserve once, then decode columns concurrently. Each
+  // chunk fills a disjoint row range of the reserved segments; each
+  // thread reuses one column-sized scratch, so decode is allocation-
+  // free after warm-up. Decode errors follow parallel_for's lowest-
+  // index rule, matching what a serial decode would throw first.
   EventStore& store = *parser.run.store;
   EventStore::BulkLoader loader{store};
   loader.reserve(parser.resident_rows);
-  par::parallel_for(pendings.size(), [&](std::size_t i) {
-    const PendingLoad& pl = pendings[i];
-    if (pl.count == 0) return;
-    loader.load_at(pl.row,
-                   reinterpret_cast<const std::uint8_t*>(pl.cols[0]),
-                   reinterpret_cast<const std::uint16_t*>(pl.cols[1]),
-                   reinterpret_cast<const std::uint32_t*>(pl.cols[2]),
-                   reinterpret_cast<const std::uint32_t*>(pl.cols[3]),
-                   reinterpret_cast<const std::uint32_t*>(pl.cols[4]),
-                   reinterpret_cast<const std::uint32_t*>(pl.cols[5]),
-                   reinterpret_cast<const std::uint32_t*>(pl.cols[6]),
-                   reinterpret_cast<const std::uint64_t*>(pl.cols[7]),
-                   reinterpret_cast<const std::int64_t*>(pl.cols[8]),
-                   reinterpret_cast<const std::int64_t*>(pl.cols[9]),
-                   reinterpret_cast<const std::int64_t*>(pl.cols[10]),
-                   reinterpret_cast<const std::int64_t*>(pl.cols[11]),
-                   reinterpret_cast<const std::uint64_t*>(pl.cols[12]),
-                   reinterpret_cast<const std::uint64_t*>(pl.cols[13]),
-                   reinterpret_cast<const std::uint64_t*>(pl.cols[14]),
-                   pl.count);
-  });
+  {
+    DIOG_SPAN("evstore.open.decode");
+    par::parallel_for(pendings.size(), [&](std::size_t i) {
+      const PendingLoad& pl = pendings[i];
+      if (pl.count == 0) return;
+      DecodeScratch& scratch = par::worker_local<DecodeScratch>();
+      for (std::size_t c = 0; c < fmt::kColumnCount; ++c) {
+        const unsigned char* d = decode_column(c, pl.cols[c], pl.count,
+                                               scratch);
+        loader.load_column_at(c, pl.row, d, pl.count);
+      }
+    });
+  }
   if (parser.resident_rows > 0) store.finish_bulk_load();
 
   if (info != nullptr) {
@@ -423,6 +522,12 @@ TraceRun parse_run(const unsigned char* data, std::size_t size,
     info->bytes_consumed =
         fmt::kHeaderBytes + (out.saw_footer ? out.footer_end : out.consumed);
     info->checkpoint_wall_ms = out.footer_wall_ms;
+    info->format_version = version;
+    info->chunk_stats = std::move(parser.chunk_stats);
+    for (const ChunkEncodingStat& cs : info->chunk_stats) {
+      info->column_bytes_stored += cs.column_bytes_stored;
+      info->column_bytes_raw += cs.column_bytes_raw;
+    }
   }
   return std::move(parser.run);
 }
@@ -512,6 +617,7 @@ void save_run(const std::string& path, const TraceRun& run) {
 
 void save_run(const std::string& path, const TraceRun& run,
               const SaveOptions& opts) {
+  DIOG_SPAN("evstore.save");
   const EventStore& store = *run.store;
   const std::uint64_t chunk_rows = opts.chunk_rows == 0
                                        ? kSegmentRows
@@ -536,25 +642,9 @@ void save_run(const std::string& path, const TraceRun& run,
                                    .names_from = 1,
                                    .names_to = store.name_count()};
 
-  // Encode + checksum every chunk in parallel; chunk 0 carries the full
-  // dictionaries, later chunks only columns.
-  const std::vector<std::string> blobs = par::parallel_map<std::string>(
-      static_cast<std::size_t>(chunks), [&](std::size_t i) {
-        const std::uint64_t rel_first =
-            static_cast<std::uint64_t>(i) * chunk_rows;
-        const std::uint64_t count =
-            std::min<std::uint64_t>(chunk_rows, n - rel_first);
-        const std::string payload = codec::encode_chunk_payload(
-            store, meta_json, i == 0 ? all_dicts : codec::DictRange{},
-            first_avail + rel_first, count, rel_first);
-        std::string blob = codec::encode_chunk_envelope(payload);
-        blob += payload;
-        blob += codec::encode_chunk_checksum(payload);
-        return blob;
-      });
-
-  // Serial ordered write. Same fault sites as the live writer so the
-  // testkit drives both paths with one plan.
+  // Open the file up front: the writer thread streams chunks into it
+  // while workers are still encoding later ones. Same fault sites as
+  // the live writer so the testkit drives both paths with one plan.
   std::error_code ec;
   const std::filesystem::path parent =
       std::filesystem::path(path).parent_path();
@@ -580,22 +670,47 @@ void save_run(const std::string& path, const TraceRun& run,
   codec::put_u32(header, 0);  // reserved
   write_all(header.data(), header.size());
 
+  // Encode/checksum on the pool, write in order, overlapped: workers
+  // fill a bounded ring of reusable arenas (slot i % W) while the
+  // ordered writer drains it — encode of chunk N+k proceeds while
+  // chunk N's bytes hit the file. Chunk 0 carries the full
+  // dictionaries, later chunks only columns. The chunk layout and
+  // bytes stay a pure function of the store: the pipeline changes who
+  // encodes and when, never what.
+  const std::uint64_t window = std::min<std::uint64_t>(
+      chunks, std::max<std::uint64_t>(2, 2 * par::configured_threads()));
+  std::vector<codec::EncodeArena> slots(static_cast<std::size_t>(window));
   std::uint64_t data_bytes = 0;
-  for (const std::string& blob : blobs) {
-    if (const testkit::FaultSpec* spec =
-            testkit::fault_at("live_writer.write.chunk")) {
-      if (spec->action == testkit::FaultAction::kShortWrite) {
-        const std::size_t keep = std::min(
-            blob.size(), static_cast<std::size_t>(
-                             std::max<std::int64_t>(0, spec->magnitude)));
-        (void)std::fwrite(blob.data(), 1, keep, f);
-        (void)std::fflush(f);
-      }
-      throw Error("write failed for run file: " + path + " (injected fault)");
-    }
-    write_all(blob.data(), blob.size());
-    data_bytes += blob.size();
-  }
+  par::pipeline_ordered(
+      static_cast<std::size_t>(chunks), static_cast<std::size_t>(window),
+      [&](std::size_t i) {
+        DIOG_SPAN("evstore.save.encode");
+        const std::uint64_t rel_first =
+            static_cast<std::uint64_t>(i) * chunk_rows;
+        const std::uint64_t count =
+            std::min<std::uint64_t>(chunk_rows, n - rel_first);
+        codec::encode_chunk_blob(slots[i % slots.size()], store, meta_json,
+                                 i == 0 ? all_dicts : codec::DictRange{},
+                                 first_avail + rel_first, count, rel_first);
+      },
+      [&](std::size_t i) {
+        DIOG_SPAN("evstore.save.write");
+        const std::string& blob = slots[i % slots.size()].blob;
+        if (const testkit::FaultSpec* spec =
+                testkit::fault_at("live_writer.write.chunk")) {
+          if (spec->action == testkit::FaultAction::kShortWrite) {
+            const std::size_t keep = std::min(
+                blob.size(), static_cast<std::size_t>(
+                                 std::max<std::int64_t>(0, spec->magnitude)));
+            (void)std::fwrite(blob.data(), 1, keep, f);
+            (void)std::fflush(f);
+          }
+          throw Error("write failed for run file: " + path +
+                      " (injected fault)");
+        }
+        write_all(blob.data(), blob.size());
+        data_bytes += blob.size();
+      });
 
   if (testkit::fault_at("live_writer.footer.before") != nullptr) {
     throw Error("checkpoint failed before footer rewrite: " + path +
@@ -632,6 +747,7 @@ void save_run(const std::string& path, const TraceRun& run,
 
 TraceRun open_run(const std::string& path, ReadMode mode,
                   RunFileInfo* info) {
+  DIOG_SPAN("evstore.open");
 #if DIOG_HAVE_MMAP
   if (mode == ReadMode::kAuto || mode == ReadMode::kMmap) {
     MappedFile f(path);
@@ -668,7 +784,7 @@ void StreamParser::apply_header(const unsigned char* data, std::size_t n) {
     throw Error("run stream corrupted: header frame is " + std::to_string(n) +
                 " bytes (expected " + std::to_string(fmt::kHeaderBytes) + ")");
   }
-  validate_header(data, n);
+  impl_->version = validate_header(data, n);
   header_seen_ = true;
 }
 
@@ -765,7 +881,8 @@ std::uint64_t RunFollower::poll() {
     unsigned char hdr[fmt::kHeaderBytes];
     in.read(reinterpret_cast<char*>(hdr), sizeof(hdr));
     if (in.gcount() < static_cast<std::streamsize>(sizeof(hdr))) return 0;
-    validate_header(hdr, sizeof(hdr));
+    impl_->version = validate_header(hdr, sizeof(hdr));
+    info_.format_version = impl_->version;
     offset_ = fmt::kHeaderBytes;
 #if DIOG_HAVE_MMAP
     struct stat st{};
@@ -817,6 +934,13 @@ std::uint64_t RunFollower::poll() {
   info_.dropped_before_checkpoint = impl_->dropped_gaps;
   info_.bytes_consumed = offset_ + (out.saw_footer ? fmt::kFooterBytes : 0);
   if (out.saw_footer) info_.checkpoint_wall_ms = out.footer_wall_ms;
+  info_.chunk_stats = impl_->chunk_stats;
+  info_.column_bytes_stored = 0;
+  info_.column_bytes_raw = 0;
+  for (const ChunkEncodingStat& cs : info_.chunk_stats) {
+    info_.column_bytes_stored += cs.column_bytes_stored;
+    info_.column_bytes_raw += cs.column_bytes_raw;
+  }
   return impl_->run.store->size() - before;
 }
 

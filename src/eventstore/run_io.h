@@ -1,9 +1,10 @@
-// Versioned binary on-disk format for runs (version 2, chunked).
+// Versioned binary on-disk format for runs (chunked; version 3
+// current, version 2 still readable).
 //
 // Layout (all integers little-endian; constants in run_format.h):
 //
 //   [ 0..8)   magic "DIOGRUN\x01"
-//   [ 8..12)  u32 format version (schema.h kFormatVersion)
+//   [ 8..12)  u32 format version (schema.h; readers accept 2 and 3)
 //   [12..16)  u32 reserved (0)
 //   then zero or more chunks:
 //       u32 "CHNK"
@@ -16,7 +17,14 @@
 //           u32 new name count; per name: u32+bytes
 //           u64 first_event_index (absolute index in the append stream)
 //           u64 event count
-//           u8 column count; per column: u8 tag, u8 width, raw values
+//           u8 column count
+//           v2: per column: u8 tag, u8 width, raw values
+//           v3: u8 chunk encoding, then per column:
+//               encoding 0 (raw):   u8 tag, u8 width, raw values
+//               encoding 1 (coded): u8 tag, u8 width, u8 codec,
+//                                   u64 enc_len, encoded bytes
+//               (codec ids and per-column choices in run_format.h,
+//                bit-level codec layouts in codecs.h)
 //       u64 FNV-1a checksum of the payload
 //   footer (rewritten in place at every checkpoint):
 //       u32 "FOOT" | u32 flags (bit0 = finalized) | u64 total_events |
@@ -41,8 +49,10 @@
 // streams it through a buffer; both paths share one parser.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "eventstore/run.h"
 
@@ -58,6 +68,17 @@ enum class ReadMode {
 // a valid footer; `finalized` additionally means the writer called
 // finish() (nothing more will ever be appended). A file that is neither
 // is an in-progress or torn prefix — still loadable, just incomplete.
+// Per-chunk compression accounting (trace stat, archive digests).
+// `stored` is the column bytes as they sit in the file; `raw` is what
+// the same columns occupy decoded (count * width summed) — their ratio
+// is the codec win, file framing excluded.
+struct ChunkEncodingStat {
+  std::uint8_t encoding = 0;  // format::kChunkEncoding{Raw,Coded}
+  std::uint64_t events = 0;
+  std::uint64_t column_bytes_stored = 0;
+  std::uint64_t column_bytes_raw = 0;
+};
+
 struct RunFileInfo {
   bool clean = false;
   bool finalized = false;
@@ -68,6 +89,18 @@ struct RunFileInfo {
   std::uint64_t dropped_before_checkpoint = 0;
   std::uint64_t bytes_consumed = 0;  // header + complete chunks + footer
   std::int64_t checkpoint_wall_ms = 0;  // footer wall clock; 0 if none
+  std::uint32_t format_version = 0;     // header version (2 or 3)
+  std::uint64_t column_bytes_stored = 0;  // sum over chunk_stats
+  std::uint64_t column_bytes_raw = 0;     // sum over chunk_stats
+  std::vector<ChunkEncodingStat> chunk_stats;
+
+  // Decoded column bytes per stored column byte; 1.0 when nothing is
+  // stored (an empty run compresses to itself).
+  [[nodiscard]] double compression_ratio() const {
+    if (column_bytes_stored == 0) return 1.0;
+    return static_cast<double>(column_bytes_raw) /
+           static_cast<double>(column_bytes_stored);
+  }
 };
 
 // The run-file name for a workload inside a trace directory.

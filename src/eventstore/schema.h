@@ -22,8 +22,11 @@
 
 namespace diog::evstore {
 
-// Bumped whenever the on-disk layout of run files changes.
-inline constexpr std::uint32_t kFormatVersion = 2;
+// Bumped whenever the on-disk layout of run files changes. Readers
+// accept every version in [kMinFormatVersion, kFormatVersion]; writers
+// always emit kFormatVersion. v2 = raw columns, v3 = per-column codecs.
+inline constexpr std::uint32_t kFormatVersion = 3;
+inline constexpr std::uint32_t kMinFormatVersion = 2;
 
 enum class EventKind : std::uint8_t {
   kSyncSite = 0,            // stage 1: distinct (api, stack) sync site

@@ -256,13 +256,9 @@ bool HubSink::send_delta_chunk(const evstore::TraceRun& run, bool force) {
                                .stacks_to = stack_count,
                                .names_from = names_written_,
                                .names_to = name_count};
-  const std::string payload = codec::encode_chunk_payload(
-      store, meta_json, dicts, chunk_first, count,
-      chunk_first - first_avail);
-  std::string blob = codec::encode_chunk_envelope(payload);
-  blob += payload;
-  blob += codec::encode_chunk_checksum(payload);
-  send_bytes(blob);
+  codec::encode_chunk_blob(arena_, store, meta_json, dicts, chunk_first,
+                           count, chunk_first - first_avail);
+  send_bytes(arena_.blob);
 
   next_event_ = total;
   frames_written_ = frame_count;
@@ -299,13 +295,10 @@ void HubSink::send_save_layout(const evstore::TraceRun& run) {
   for (std::uint64_t i = 0; i < chunks; ++i) {
     const std::uint64_t rel_first = i * chunk_rows;
     const std::uint64_t count = std::min<std::uint64_t>(chunk_rows, n - rel_first);
-    const std::string payload = codec::encode_chunk_payload(
-        store, meta_json, i == 0 ? all_dicts : codec::DictRange{},
-        first_avail + rel_first, count, rel_first);
-    std::string blob = codec::encode_chunk_envelope(payload);
-    blob += payload;
-    blob += codec::encode_chunk_checksum(payload);
-    send_bytes(blob);
+    codec::encode_chunk_blob(arena_, store, meta_json,
+                             i == 0 ? all_dicts : codec::DictRange{},
+                             first_avail + rel_first, count, rel_first);
+    send_bytes(arena_.blob);
   }
 
   next_event_ = first_avail + n;

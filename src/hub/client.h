@@ -22,6 +22,7 @@
 #include <string>
 #include <utility>
 
+#include "eventstore/chunk_codec.h"
 #include "eventstore/run.h"
 #include "eventstore/sink.h"
 #include "hub/protocol.h"
@@ -84,6 +85,9 @@ class HubSink : public evstore::CheckpointSink {
   int fd_ = -1;
   bool finished_ = false;
   HubResponse response_;
+  // Reused across checkpoints; the wire chunk is the same encoder
+  // output as a saved chunk (chunk_codec.h).
+  evstore::codec::EncodeArena arena_;
   // LiveRunWriter's high-water marks into the store's append stream.
   std::uint64_t next_event_ = 0;
   std::uint64_t dropped_ = 0;

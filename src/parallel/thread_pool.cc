@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdlib>
 #include <deque>
 #include <limits>
@@ -246,6 +247,95 @@ void parallel_for(std::size_t n,
     return;
   }
   acquire_pool(threads)->run(n, fn);
+}
+
+void pipeline_ordered(std::size_t n, std::size_t window,
+                      const std::function<void(std::size_t)>& produce,
+                      const std::function<void(std::size_t)>& consume) {
+  if (n == 0) return;
+  const std::size_t threads = configured_threads();
+  if (threads <= 1 || n == 1 || t_pool_worker || window < 2) {
+    // Strict serial interleaving: this IS the pre-pipeline code path,
+    // and the order consumer-side faults fire in at any thread count.
+    for (std::size_t i = 0; i < n; ++i) {
+      produce(i);
+      consume(i);
+    }
+    return;
+  }
+
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<std::uint8_t> ready;
+    std::size_t consumed = 0;
+    bool abort = false;
+    std::exception_ptr consumer_exc;
+  } st;
+  st.ready.assign(n, 0);
+
+  std::thread consumer([&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      {
+        std::unique_lock<std::mutex> lock(st.mu);
+        st.cv.wait(lock, [&] { return st.ready[i] != 0 || st.abort; });
+        if (st.abort) return;
+      }
+      try {
+        consume(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(st.mu);
+        st.consumer_exc = std::current_exception();
+        st.abort = true;
+        st.cv.notify_all();
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(st.mu);
+        ++st.consumed;
+        st.cv.notify_all();
+      }
+    }
+  });
+
+  try {
+    parallel_for(n, [&](std::size_t i) {
+      {
+        std::unique_lock<std::mutex> lock(st.mu);
+        // Claimed indices only grow, so the indices inside the window
+        // are always already claimed by other workers (or this one):
+        // a blocked producer can never starve the window open.
+        st.cv.wait(lock,
+                   [&] { return st.abort || i < st.consumed + window; });
+        if (st.abort) return;
+      }
+      try {
+        produce(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(st.mu);
+          st.abort = true;
+        }
+        st.cv.notify_all();
+        throw;  // parallel_for keeps the lowest-index exception
+      }
+      {
+        std::lock_guard<std::mutex> lock(st.mu);
+        st.ready[i] = 1;
+        st.cv.notify_all();
+      }
+    });
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(st.mu);
+      st.abort = true;
+    }
+    st.cv.notify_all();
+    consumer.join();
+    throw;  // a producer failure wins: it is what starved the consumer
+  }
+  consumer.join();
+  if (st.consumer_exc) std::rethrow_exception(st.consumer_exc);
 }
 
 void parallel_chunks(

@@ -63,4 +63,35 @@ void parallel_chunks(
     std::size_t total, std::size_t grain,
     const std::function<void(std::size_t, std::size_t)>& fn);
 
+// Ordered producer/consumer pipeline over items 0..n-1. produce(i) runs
+// on the pool (any order, bounded lookahead); consume(i) runs strictly
+// in index order on a dedicated consumer thread, overlapped with
+// production — the run-file saver encodes chunk N+k while the writer
+// flushes chunk N. The window caps how far production may run ahead of
+// consumption: produce(i) starts only once consume(i - window) has
+// finished, so a caller owning `window` reusable slots can hand
+// produce(i) slot i % window without reuse races.
+//
+// Contract mirrors parallel_for: with 1 configured thread (or on a pool
+// worker, or window < 2) it degenerates to the strict serial
+// interleaving produce(0) consume(0) produce(1) consume(1)..., which is
+// also the order every consumer-side fault fires in, so error selection
+// is thread-count-deterministic. A consumer exception aborts remaining
+// producers and is rethrown; a producer exception follows the
+// lowest-index rule and wins over a consumer failure it caused.
+void pipeline_ordered(std::size_t n, std::size_t window,
+                      const std::function<void(std::size_t)>& produce,
+                      const std::function<void(std::size_t)>& consume);
+
+// Worker-local reusable state: one instance per OS thread (pool workers
+// and callers alike), default-constructed on first use and reused
+// across batches. This is the arena hook for parallel encode/decode —
+// scratch that would otherwise be allocated per work item lives here
+// for the thread's lifetime instead.
+template <typename T>
+T& worker_local() {
+  thread_local T v;
+  return v;
+}
+
 }  // namespace diog::par

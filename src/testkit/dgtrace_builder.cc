@@ -1,5 +1,6 @@
 #include "testkit/dgtrace_builder.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 
@@ -74,10 +75,10 @@ FileShape scan_shape(const Bytes& data) {
   return shape;
 }
 
-Bytes make_header() {
+Bytes make_header(std::uint32_t version) {
   Bytes out;
   put_bytes(out, fmt::kMagic, sizeof(fmt::kMagic));
-  put_u32(out, evstore::kFormatVersion);
+  put_u32(out, version);
   put_u32(out, 0);
   return out;
 }
@@ -101,6 +102,7 @@ Bytes make_chunk(const ChunkParams& params) {
   put_u64(payload, params.first_event_index);
   put_u64(payload, params.event_count);
   put_u8(payload, static_cast<std::uint8_t>(fmt::kColumnCount));
+  if (params.version >= 3) put_u8(payload, fmt::kChunkEncodingRaw);
   for (std::size_t c = 0; c < fmt::kColumnCount; ++c) {
     put_u8(payload, static_cast<std::uint8_t>(c));
     put_u8(payload, fmt::kColumnWidths[c]);
@@ -109,6 +111,147 @@ Bytes make_chunk(const ChunkParams& params) {
                    static_cast<std::size_t>(params.event_count) *
                        fmt::kColumnWidths[c],
                    0);
+  }
+  return make_raw_chunk(payload);
+}
+
+namespace {
+
+// Independent re-implementation of the v3 column codecs (codecs.h is
+// the production one). Varint is LEB128; delta is varint(zigzag(first))
+// followed by miniblocks of up to 128 zigzagged deltas, each a width
+// byte and LSB-first bitpacked values (width 0 = all zero, width 64 =
+// raw 8-byte deltas).
+void put_vu(Bytes& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    put_u8(out, static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  put_u8(out, static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t zigzag64(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+Bytes encode_varint_body(const std::vector<std::uint64_t>& vals) {
+  Bytes out;
+  for (const std::uint64_t v : vals) put_vu(out, v);
+  return out;
+}
+
+Bytes encode_delta_body(const std::vector<std::uint64_t>& vals) {
+  Bytes out;
+  if (vals.empty()) return out;
+  put_vu(out, zigzag64(static_cast<std::int64_t>(vals[0])));
+  std::size_t i = 1;
+  while (i < vals.size()) {
+    const std::size_t m = std::min<std::size_t>(128, vals.size() - i);
+    std::uint64_t z[128];
+    unsigned width = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      z[j] = zigzag64(
+          static_cast<std::int64_t>(vals[i + j] - vals[i + j - 1]));
+      unsigned b = 0;
+      for (std::uint64_t t = z[j]; t != 0; t >>= 1) ++b;
+      width = std::max(width, b);
+    }
+    if (width > 56) {
+      put_u8(out, 64);
+      for (std::size_t j = 0; j < m; ++j) put_bytes(out, &z[j], 8);
+    } else {
+      put_u8(out, static_cast<std::uint8_t>(width));
+      std::uint64_t acc = 0;
+      unsigned bits = 0;
+      for (std::size_t j = 0; j < m; ++j) {
+        acc |= z[j] << bits;
+        bits += width;
+        while (bits >= 8) {
+          put_u8(out, static_cast<std::uint8_t>(acc));
+          acc >>= 8;
+          bits -= 8;
+        }
+      }
+      if (bits > 0) put_u8(out, static_cast<std::uint8_t>(acc));
+    }
+    i += m;
+  }
+  return out;
+}
+
+}  // namespace
+
+Bytes make_coded_chunk(const CodedChunkParams& params) {
+  using Corruption = CodedChunkParams::Corruption;
+  Bytes payload;
+  put_u64(payload, params.meta_json.size());
+  put_bytes(payload, params.meta_json.data(), params.meta_json.size());
+  put_u32(payload, 0);  // new frames
+  put_u32(payload, 0);  // new stacks
+  put_u32(payload, 0);  // new names
+  put_u64(payload, params.first_event_index);
+  put_u64(payload, params.event_count);
+  put_u8(payload, static_cast<std::uint8_t>(fmt::kColumnCount));
+  put_u8(payload, params.encoding_byte);
+
+  const auto n = static_cast<std::size_t>(params.event_count);
+  for (std::size_t c = 0; c < fmt::kColumnCount; ++c) {
+    std::uint8_t codec = fmt::kColumnCodecs[c];
+    // Varied but in-dictionary values: kinds cycle, dictionary-id
+    // columns (stack, aux_stack, name) stay 0, counters ascend.
+    std::vector<std::uint64_t> vals(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (c == 0) {
+        vals[r] = r % 3;
+      } else if (c == 4 || c == 5 || c == 6) {
+        vals[r] = 0;
+      } else if (codec == fmt::kCodecDelta) {
+        vals[r] = 1000 * c + 7 * r;
+      } else {
+        vals[r] = (7 * r + c) % 100;
+      }
+    }
+
+    Bytes body;
+    if (codec == fmt::kCodecVarint) {
+      body = encode_varint_body(vals);
+    } else if (codec == fmt::kCodecDelta) {
+      body = encode_delta_body(vals);
+    } else {
+      for (const std::uint64_t v : vals) {
+        put_bytes(body, &v, fmt::kColumnWidths[c]);
+      }
+    }
+
+    if (c == params.corrupt_column) {
+      switch (params.corruption) {
+        case Corruption::kNone:
+          break;
+        case Corruption::kBadCodec:
+          codec = fmt::kCodecCount + 6;
+          break;
+        case Corruption::kTruncatedDelta:
+          // Chop into the bitpacked miniblock; enc_len below stays
+          // consistent with the chopped body, so only the codec's own
+          // bounds checking can catch it.
+          codec = fmt::kCodecDelta;
+          if (body.size() > 2) body.resize(body.size() - 2);
+          break;
+        case Corruption::kVarintOverrun:
+          // Every byte flags continuation: the value never terminates
+          // inside the declared body.
+          codec = fmt::kCodecVarint;
+          body.assign(3, 0xFF);
+          break;
+      }
+    }
+
+    put_u8(payload, static_cast<std::uint8_t>(c));
+    put_u8(payload, fmt::kColumnWidths[c]);
+    put_u8(payload, codec);
+    put_u64(payload, body.size());
+    put_bytes(payload, body.data(), body.size());
   }
   return make_raw_chunk(payload);
 }
@@ -140,10 +283,11 @@ void fix_chunk_checksum(Bytes& data, const ChunkSpan& span) {
   std::memcpy(data.data() + payload_off + len, &sum, 8);
 }
 
-Bytes make_minimal_run(std::uint64_t event_count) {
-  Bytes out = make_header();
+Bytes make_minimal_run(std::uint64_t event_count, std::uint32_t version) {
+  Bytes out = make_header(version);
   ChunkParams params;
   params.event_count = event_count;
+  params.version = version;
   append(out, make_chunk(params));
   append(out, make_footer(/*final=*/true, event_count, 1));
   return out;

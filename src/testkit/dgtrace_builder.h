@@ -49,12 +49,43 @@ struct ChunkParams {
       "\"transfers_hashed\":0,\"bytes_hashed\":0,\"dropped_events\":0}";
   std::uint64_t first_event_index = 0;
   std::uint64_t event_count = 0;  // events are zero-filled rows
+  // Payload shape: 2 = v2 body (no chunk-encoding byte), 3 = v3 body
+  // with the raw chunk encoding (columns identical to v2 after the
+  // byte). Must match the header version the chunk sits under.
+  std::uint32_t version = 3;
 };
 
-// 16-byte header with the current format version.
-Bytes make_header();
+// 16-byte header. Defaults to the current format version; pass 2 to
+// build legacy files the v3 reader must still open.
+Bytes make_header(std::uint32_t version = 3);
 // A complete envelope (magic | len | payload | correct checksum).
 Bytes make_chunk(const ChunkParams& params);
+
+// A v3 chunk whose columns carry the per-column production codecs
+// (varint, delta+zigzag+bitpack) — written by this file's own codec
+// implementation, not the production encoder, so the committed corpus
+// doubles as a cross-check of the codec spec. The corruption knobs
+// produce precisely malformed coded bodies (wrong codec ids, truncated
+// bitpacked miniblocks, varints whose continuation bits run past the
+// declared length) that the writer could never emit; the chunk
+// checksum is always correct so the mutation reaches the deep parser.
+struct CodedChunkParams {
+  std::string meta_json = ChunkParams{}.meta_json;
+  std::uint64_t first_event_index = 0;
+  std::uint64_t event_count = 0;  // rows get varied, compressible values
+  // The chunk-encoding byte; format::kChunkEncodingCoded unless a test
+  // wants an unknown value.
+  std::uint8_t encoding_byte = 1;
+  enum class Corruption {
+    kNone,
+    kBadCodec,         // column codec byte set past kCodecCount
+    kTruncatedDelta,   // bitpacked delta body cut short, enc_len updated
+    kVarintOverrun,    // varint continuation bits run past enc_len
+  };
+  Corruption corruption = Corruption::kNone;
+  std::uint8_t corrupt_column = 8;  // tag to corrupt (8 = t_start, delta)
+};
+Bytes make_coded_chunk(const CodedChunkParams& params);
 // An envelope wrapping arbitrary payload bytes, checksum correct.
 Bytes make_raw_chunk(const Bytes& payload);
 // A footer; `total_events`/`chunk_count` are taken at face value so
@@ -71,7 +102,8 @@ void append(Bytes& out, const Bytes& part);
 void fix_chunk_checksum(Bytes& data, const ChunkSpan& span);
 
 // A small valid file: header + one finalized chunk + footer.
-Bytes make_minimal_run(std::uint64_t event_count = 4);
+Bytes make_minimal_run(std::uint64_t event_count = 4,
+                       std::uint32_t version = 3);
 
 // File I/O for corpus handling (throws diog::Error on failure).
 Bytes read_file(const std::string& path);

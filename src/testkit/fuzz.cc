@@ -396,6 +396,26 @@ std::vector<Bytes> builtin_seeds() {
     b.insert(b.end(), next.begin(), next.begin() + 10);
     seeds.push_back(std::move(b));
   }
+  {
+    // A coded v3 chunk: payload mutations (checksum-fixed) land inside
+    // real varint and bitpacked delta bodies.
+    Bytes b = make_header();
+    CodedChunkParams c;
+    c.event_count = 160;
+    append(b, make_coded_chunk(c));
+    append(b, make_footer(/*final=*/true, 160, 1));
+    seeds.push_back(std::move(b));
+  }
+  {
+    // A v2 file keeps the legacy (no encoding byte) path under fuzz.
+    Bytes b = make_header(2);
+    ChunkParams c;
+    c.version = 2;
+    c.event_count = 12;
+    append(b, make_chunk(c));
+    append(b, make_footer(/*final=*/true, 12, 1));
+    seeds.push_back(std::move(b));
+  }
   return seeds;
 }
 

@@ -141,6 +141,25 @@ TEST_F(ArchiveTest, DigestSurvivesAJsonRoundTrip) {
     EXPECT_EQ(back.findings[i].title, d.findings[i].title);
     EXPECT_EQ(back.findings[i].benefit_ns, d.findings[i].benefit_ns);
   }
+
+  // A v3-coded run file should show its codec win in the digest, and the
+  // field must survive the round trip.
+  EXPECT_GT(d.compression_ratio, 1.0);
+  EXPECT_EQ(back.compression_ratio, d.compression_ratio);
+}
+
+TEST_F(ArchiveTest, DigestWithoutRatioFieldLoadsWithDefault) {
+  // Schema compatibility: compression_ratio is an additive v1 field. An
+  // index line written by a build that predates it must keep loading,
+  // with the neutral 1.0 default.
+  const std::string path = synth("a", {.events = 1'000});
+  archive::Archive ar = open_archive();
+  json::Value v = ar.add(path).digest.to_json();
+  json::Object o = v.as_object();
+  ASSERT_EQ(o.erase("compression_ratio"), 1u);
+  const archive::RunDigest back =
+      archive::RunDigest::from_json(json::Value(std::move(o)));
+  EXPECT_EQ(back.compression_ratio, 1.0);
 }
 
 TEST_F(ArchiveTest, RejectsAnUnfinalizedRun) {

@@ -19,6 +19,7 @@
 #include "core/diogenes.h"
 #include "core/replay.h"
 #include "core/report.h"
+#include "eventstore/codecs.h"
 #include "eventstore/cursor.h"
 #include "eventstore/event_store.h"
 #include "eventstore/live_writer.h"
@@ -369,6 +370,136 @@ TEST(Cursor, PushdownSkipsWholeSegments) {
   Cursor no_match = Cursor(store).kind(EventKind::kPageFault);
   EXPECT_EQ(no_match.count(), 0u);
   EXPECT_EQ(no_match.segments_skipped(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Column codecs (format v3). The encoders/decoders are pure byte
+// functions, so these are direct unit tests; the adversarial inputs
+// mirror what the fuzzer's corpus throws at the full reader.
+
+namespace {
+
+std::vector<std::uint64_t> delta_round_trip(
+    const std::vector<std::uint64_t>& vals) {
+  std::string enc;
+  std::vector<std::uint64_t> scratch(codec::kDeltaMiniblock);
+  codec::put_delta_u64(enc, vals.data(), vals.size(), scratch.data());
+  std::vector<std::uint64_t> out(vals.size());
+  const auto* p = reinterpret_cast<const unsigned char*>(enc.data());
+  codec::get_delta_u64(p, p + enc.size(), out.data(), vals.size());
+  return out;
+}
+
+}  // namespace
+
+TEST(Codec, VarintRoundTripsEdgeValues) {
+  const std::uint64_t cases[] = {0,
+                                 1,
+                                 127,
+                                 128,
+                                 16'383,
+                                 16'384,
+                                 (1ull << 32) - 1,
+                                 1ull << 32,
+                                 (1ull << 63) - 1,
+                                 1ull << 63,
+                                 ~0ull};
+  for (const std::uint64_t v : cases) {
+    std::string enc;
+    codec::put_varint(enc, v);
+    const auto* p = reinterpret_cast<const unsigned char*>(enc.data());
+    const unsigned char* end = p + enc.size();
+    EXPECT_EQ(codec::get_varint(&p, end), v);
+    EXPECT_EQ(p, end) << "varint for " << v << " left trailing bytes";
+  }
+}
+
+TEST(Codec, VarintRejectsOverrunAndOverflow) {
+  // Continuation bit set on the final available byte.
+  const unsigned char torn[] = {0xFF, 0xFF};
+  const unsigned char* p = torn;
+  EXPECT_THROW((void)codec::get_varint(&p, torn + sizeof(torn)), Error);
+
+  // Ten 0xFF bytes encode more than 64 bits.
+  const unsigned char wide[] = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                                0xFF, 0xFF, 0xFF, 0xFF, 0x7F};
+  p = wide;
+  EXPECT_THROW((void)codec::get_varint(&p, wide + sizeof(wide)), Error);
+}
+
+TEST(Codec, DeltaRoundTripsRepresentativeSequences) {
+  // Constant run: width-0 miniblocks, two bytes per 128 values.
+  EXPECT_EQ(delta_round_trip(std::vector<std::uint64_t>(300, 42)),
+            std::vector<std::uint64_t>(300, 42));
+
+  // Monotone timestamps with jitter (the target workload).
+  std::vector<std::uint64_t> ts;
+  std::mt19937_64 rng(7);
+  std::uint64_t t = 1'000'000;
+  for (int i = 0; i < 1'000; ++i) {
+    t += rng() % 97;
+    ts.push_back(t);
+  }
+  EXPECT_EQ(delta_round_trip(ts), ts);
+
+  // Decreasing and sign-flipping sequences exercise zigzag.
+  std::vector<std::uint64_t> swing;
+  for (int i = 0; i < 257; ++i) {
+    swing.push_back(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(i % 2 == 0 ? i : -i) * 1'000));
+  }
+  EXPECT_EQ(delta_round_trip(swing), swing);
+
+  // Deltas wider than kMaxPackedWidth force raw 8-byte miniblocks.
+  const std::vector<std::uint64_t> jumps = {0, 1ull << 60, 5, ~0ull, 7};
+  EXPECT_EQ(delta_round_trip(jumps), jumps);
+
+  // Boundary counts: empty, single, exactly one miniblock + first.
+  EXPECT_TRUE(delta_round_trip({}).empty());
+  EXPECT_EQ(delta_round_trip({99}), (std::vector<std::uint64_t>{99}));
+  std::vector<std::uint64_t> exact(1 + codec::kDeltaMiniblock);
+  for (std::size_t i = 0; i < exact.size(); ++i) exact[i] = i * 3;
+  EXPECT_EQ(delta_round_trip(exact), exact);
+}
+
+TEST(Codec, DeltaRejectsStructuralCorruption) {
+  std::vector<std::uint64_t> vals(200);
+  for (std::size_t i = 0; i < vals.size(); ++i) vals[i] = i * 5;
+  std::string enc;
+  std::vector<std::uint64_t> scratch(codec::kDeltaMiniblock);
+  codec::put_delta_u64(enc, vals.data(), vals.size(), scratch.data());
+  std::vector<std::uint64_t> out(vals.size());
+
+  const auto decode = [&](const std::string& bytes) {
+    const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+    codec::get_delta_u64(p, p + bytes.size(), out.data(), vals.size());
+  };
+
+  // Truncated mid-miniblock.
+  EXPECT_THROW(decode(enc.substr(0, enc.size() - 2)), Error);
+  // Trailing bytes after the final miniblock.
+  EXPECT_THROW(decode(enc + '\0'), Error);
+  // Invalid width 57..63 (first miniblock's width byte follows the
+  // one-byte varint of first value zigzag(0) = 0).
+  {
+    std::string bad = enc;
+    bad[1] = static_cast<char>(codec::kMaxPackedWidth + 1);
+    EXPECT_THROW(decode(bad), Error);
+  }
+  // Nonzero padding bits in a final partial byte: three width-2 deltas
+  // pack into one byte with two pad bits.
+  {
+    const std::vector<std::uint64_t> small = {0, 1, 2, 3};
+    std::string senc;
+    codec::put_delta_u64(senc, small.data(), small.size(), scratch.data());
+    std::string bad = senc;
+    bad[bad.size() - 1] = static_cast<char>(bad[bad.size() - 1] | 0x80);
+    std::vector<std::uint64_t> sout(small.size());
+    const auto* p = reinterpret_cast<const unsigned char*>(bad.data());
+    EXPECT_THROW(codec::get_delta_u64(p, p + bad.size(), sout.data(),
+                                      small.size()),
+                 Error);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -883,6 +1014,25 @@ TEST_F(RunIoTest, ReopenedRunAnalyzesByteIdentically) {
   EXPECT_EQ(ffm::render_overview(reopened), ffm::render_overview(live));
   EXPECT_EQ(ffm::render_run_stat(reopened.run),
             ffm::render_run_stat(live.run));
+}
+
+TEST_F(RunIoTest, TraceStatReportsPerChunkEncodingAndRatio) {
+  ffm::ToolConfig cfg;
+  cfg.trace_dir = dir_;
+  ffm::Diogenes tool(store_workload(), cfg);
+  (void)tool.analyze();
+
+  evstore::RunFileInfo info;
+  (void)open_run(run_file_path(dir_, "evstore_wl"),
+                 evstore::ReadMode::kAuto, &info);
+  ASSERT_EQ(info.format_version, 3u);
+  ASSERT_FALSE(info.chunk_stats.empty());
+
+  const std::string out = ffm::render_run_file_info(info);
+  EXPECT_NE(out.find("format: v3"), std::string::npos) << out;
+  EXPECT_NE(out.find("chunk 0: coded"), std::string::npos) << out;
+  EXPECT_NE(out.find(" stored / "), std::string::npos) << out;
+  EXPECT_NE(out.find("x)"), std::string::npos) << out;
 }
 
 TEST_F(RunIoTest, AnalyzeDirPrefersBinaryRun) {

@@ -128,6 +128,88 @@ TEST_F(ParallelTest, LowestIndexExceptionWinsAtAnyThreadCount) {
   }
 }
 
+TEST_F(ParallelTest, PipelineOrderedConsumesStrictlyInOrder) {
+  for (const std::size_t tc : {std::size_t{1}, std::size_t{2},
+                               std::size_t{8}}) {
+    par::set_threads(tc);
+    constexpr std::size_t kN = 200;
+    std::vector<int> produced(kN, 0);
+    std::vector<std::size_t> consumed;
+    par::pipeline_ordered(
+        kN, /*window=*/4,
+        [&](std::size_t i) { produced[i] = static_cast<int>(i) + 1; },
+        [&](std::size_t i) {
+          // Single consumer thread: no lock needed, and produce(i) must
+          // have happened-before.
+          EXPECT_EQ(produced[i], static_cast<int>(i) + 1);
+          consumed.push_back(i);
+        });
+    ASSERT_EQ(consumed.size(), kN) << "threads " << tc;
+    for (std::size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(consumed[i], i) << "threads " << tc;
+    }
+  }
+}
+
+TEST_F(ParallelTest, PipelineOrderedWindowBoundsProducerLookahead) {
+  par::set_threads(8);
+  constexpr std::size_t kWindow = 3;
+  std::atomic<std::size_t> consumed{0};
+  std::atomic<bool> violated{false};
+  par::pipeline_ordered(
+      100, kWindow,
+      [&](std::size_t i) {
+        // produce(i) may start only after consume(i - window) finished,
+        // so a slot ring of `window` arenas is reuse-race-free.
+        if (i >= kWindow && consumed.load() < i - kWindow + 1) {
+          violated = true;
+        }
+      },
+      [&](std::size_t i) { consumed.store(i + 1); });
+  EXPECT_FALSE(violated.load());
+  EXPECT_EQ(consumed.load(), 100u);
+}
+
+TEST_F(ParallelTest, PipelineOrderedProducerExceptionWinsDeterministically) {
+  for (const std::size_t tc : {std::size_t{1}, std::size_t{2},
+                               std::size_t{8}}) {
+    par::set_threads(tc);
+    std::atomic<std::size_t> consumed{0};
+    try {
+      par::pipeline_ordered(
+          50, 4,
+          [](std::size_t i) {
+            if (i == 7 || i == 30) {
+              throw Error("produce " + std::to_string(i) + " failed");
+            }
+          },
+          [&](std::size_t) {
+            consumed.fetch_add(1, std::memory_order_relaxed);
+          });
+      FAIL() << "expected an Error at threads " << tc;
+    } catch (const Error& e) {
+      EXPECT_STREQ(e.what(), "produce 7 failed") << "threads " << tc;
+    }
+    EXPECT_LT(consumed.load(), 50u);
+  }
+}
+
+TEST_F(ParallelTest, PipelineOrderedConsumerExceptionAbortsAndRethrows) {
+  for (const std::size_t tc : {std::size_t{1}, std::size_t{8}}) {
+    par::set_threads(tc);
+    try {
+      par::pipeline_ordered(
+          50, 4, [](std::size_t) {},
+          [](std::size_t i) {
+            if (i == 5) throw Error("consume 5 failed");
+          });
+      FAIL() << "expected an Error at threads " << tc;
+    } catch (const Error& e) {
+      EXPECT_STREQ(e.what(), "consume 5 failed") << "threads " << tc;
+    }
+  }
+}
+
 TEST_F(ParallelTest, NestedParallelForRunsInlineWithoutDeadlock) {
   par::set_threads(4);
   std::atomic<std::size_t> total{0};

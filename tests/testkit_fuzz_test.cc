@@ -136,7 +136,7 @@ TEST_F(FuzzTest, CommittedCorpusSeedsAreUsed) {
     fs::copy_file(ent.path(), fs::path(dir_) / ent.path().filename());
   }
   const FuzzStats stats = run_fuzzer(o);
-  EXPECT_EQ(stats.corpus_inputs, 5u);
+  EXPECT_EQ(stats.corpus_inputs, 7u);
   EXPECT_TRUE(stats.ok()) << stats.render();
 }
 
@@ -204,6 +204,107 @@ TEST(DgtraceRegression, TruncatedHeaderIsCorrupt) {
                Error);
 }
 
+// --- v3 coded chunks and v2 compatibility ------------------------------------
+
+TEST(DgtraceRegression, V2FileOpensUnderTheV3Reader) {
+  evstore::RunFileInfo info;
+  const evstore::TraceRun run =
+      evstore::open_run(data_file("v2_multichunk.dgtrace"),
+                        evstore::ReadMode::kAuto, &info);
+  EXPECT_TRUE(info.clean);
+  EXPECT_TRUE(info.finalized);
+  EXPECT_EQ(info.format_version, 2u);
+  EXPECT_EQ(run.store->size(), 20u);
+  // v2 columns are stored raw, so the compression accounting is 1:1.
+  EXPECT_DOUBLE_EQ(info.compression_ratio(), 1.0);
+}
+
+TEST(DgtraceRegression, V2FileRoundTripsThroughAV3Save) {
+  const auto dir = fs::temp_directory_path() / "diog_v2_roundtrip";
+  fs::create_directories(dir);
+  const std::string resaved = (dir / "resaved.dgtrace").string();
+
+  evstore::RunFileInfo before;
+  const evstore::TraceRun run = evstore::open_run(
+      data_file("v2_multichunk.dgtrace"), evstore::ReadMode::kAuto, &before);
+  evstore::SaveOptions sv;
+  sv.footer_wall_ms = 0;
+  evstore::save_run(resaved, run, sv);
+
+  evstore::RunFileInfo after;
+  const evstore::TraceRun again =
+      evstore::open_run(resaved, evstore::ReadMode::kAuto, &after);
+  EXPECT_EQ(after.format_version, 3u);
+  ASSERT_EQ(again.store->size(), run.store->size());
+  for (std::uint64_t i = 0; i < run.store->size(); ++i) {
+    const evstore::Event a = run.store->event(i);
+    const evstore::Event b = again.store->event(i);
+    ASSERT_EQ(a.kind, b.kind) << "row " << i;
+    ASSERT_EQ(a.op_index, b.op_index) << "row " << i;
+    ASSERT_EQ(a.t_start, b.t_start) << "row " << i;
+    ASSERT_EQ(a.t_end, b.t_end) << "row " << i;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(DgtraceRegression, CodedChunksLoadCleanly) {
+  evstore::RunFileInfo info;
+  const evstore::TraceRun run =
+      evstore::open_run(data_file("v3_coded_clean.dgtrace"),
+                        evstore::ReadMode::kAuto, &info);
+  EXPECT_TRUE(info.clean);
+  EXPECT_TRUE(info.finalized);
+  EXPECT_EQ(info.format_version, 3u);
+  ASSERT_EQ(run.store->size(), 300u);
+  // The builder's independent codec implementation must decode to the
+  // values it encoded: ascending t_start (delta), cycling kinds.
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    ASSERT_EQ(run.store->col_t_start().get(i),
+              static_cast<std::int64_t>(8000 + 7 * i))
+        << "row " << i;
+    ASSERT_EQ(run.store->col_kind().get(i), i % 3) << "row " << i;
+  }
+  // Delta/varint columns genuinely compressed: stored < raw.
+  ASSERT_EQ(info.chunk_stats.size(), 1u);
+  EXPECT_GT(info.compression_ratio(), 2.0);
+}
+
+TEST(DgtraceRegression, UnknownChunkEncodingIsCorrupt) {
+  try {
+    (void)evstore::open_run(data_file("bad_chunk_encoding.dgtrace"));
+    FAIL() << "unknown chunk encoding byte did not classify";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("chunk encoding"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(DgtraceRegression, UnknownColumnCodecIsCorrupt) {
+  try {
+    (void)evstore::open_run(data_file("bad_column_codec.dgtrace"));
+    FAIL() << "unknown column codec did not classify";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("codec"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(DgtraceRegression, TruncatedBitpackedDeltaIsCorrupt) {
+  EXPECT_THROW((void)evstore::open_run(data_file("truncated_bitpack.dgtrace")),
+               Error);
+}
+
+TEST(DgtraceRegression, VarintOverrunIsCorrupt) {
+  try {
+    (void)evstore::open_run(data_file("varint_overrun.dgtrace"));
+    FAIL() << "varint overrun did not classify";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("varint"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(DgtraceRegression, BothReadModesAgreeOnEveryRegressionInput) {
 #if !defined(__unix__) && !defined(__APPLE__)
   GTEST_SKIP() << "mmap unavailable";
@@ -214,7 +315,10 @@ TEST(DgtraceRegression, BothReadModesAgreeOnEveryRegressionInput) {
       "undersized_chunk.dgtrace", "overlap_chunks.dgtrace",
       "bad_checksum.dgtrace",   "footer_mismatch.dgtrace",
       "truncated_header.dgtrace", "hub_torn_mid_chunk.dgtrace",
-      "hub_torn_between_chunks.dgtrace", "hub_torn_mid_footer.dgtrace"};
+      "hub_torn_between_chunks.dgtrace", "hub_torn_mid_footer.dgtrace",
+      "v2_multichunk.dgtrace",  "v3_coded_clean.dgtrace",
+      "bad_chunk_encoding.dgtrace", "bad_column_codec.dgtrace",
+      "truncated_bitpack.dgtrace", "varint_overrun.dgtrace"};
   for (const char* name : names) {
     SCOPED_TRACE(name);
     std::string stream_err;

@@ -44,8 +44,11 @@ class HubFaultTest : public ::testing::Test {
     fs::remove_all(dir_);
     fs::create_directories(dir_);
 
+    // Large enough that the v3-compressed file still spans several of
+    // the server's 64 KiB reads — the read-fault test's `after` count
+    // assumes the stream cannot drain in one or two recv() calls.
     SynthRunOptions so;
-    so.events = 1000;
+    so.events = 20000;
     evstore::TraceRun run = make_synthetic_run(so);
     run.meta.workload = "hub_fault_wl";
     const std::string local = dir_ + "/local.dgtrace";
@@ -254,7 +257,7 @@ TEST_F(HubFaultTest, SessionReadFaultClassifiesAndTheRetrySucceeds) {
     const hub::HubResponse r =
         hub::push_bytes(bytes_.data(), bytes_.size(), copts);
     EXPECT_TRUE(r.ok);
-    EXPECT_EQ(r.events, 1000u);
+    EXPECT_EQ(r.events, 20000u);
     server.stop();
     serve.join();
   }

@@ -130,6 +130,74 @@ int main(int argc, char** argv) {
     b.resize(7);  // half the magic
     write(reg, "truncated_header.dgtrace", b);
   }
+
+  // --- regression: v2 compatibility and v3 coded chunks ---------------------
+  {
+    // A version-2 file (no chunk-encoding byte): the v3 reader must keep
+    // opening the previous format cleanly.
+    Bytes b = make_header(2);
+    ChunkParams c1;
+    c1.version = 2;
+    c1.event_count = 8;
+    append(b, make_chunk(c1));
+    ChunkParams c2;
+    c2.version = 2;
+    c2.first_event_index = 8;
+    c2.event_count = 12;
+    append(b, make_chunk(c2));
+    append(b, make_footer(/*final=*/true, 20, 2));
+    write(reg, "v2_multichunk.dgtrace", b);
+  }
+  {
+    // A clean v3 file whose columns genuinely use the varint and delta
+    // codecs (builder-side codec implementation — a spec cross-check of
+    // the production decoder).
+    Bytes b = make_header();
+    CodedChunkParams c;
+    c.event_count = 300;  // > one delta miniblock
+    append(b, make_coded_chunk(c));
+    append(b, make_footer(/*final=*/true, 300, 1));
+    write(reg, "v3_coded_clean.dgtrace", b);
+  }
+  {
+    // An unknown chunk-encoding byte (checksum valid, so it reaches the
+    // deep parser) must classify, never crash.
+    Bytes b = make_header();
+    CodedChunkParams c;
+    c.event_count = 16;
+    c.encoding_byte = 7;
+    append(b, make_coded_chunk(c));
+    write(reg, "bad_chunk_encoding.dgtrace", b);
+  }
+  {
+    // A column codec id past kCodecCount.
+    Bytes b = make_header();
+    CodedChunkParams c;
+    c.event_count = 16;
+    c.corruption = CodedChunkParams::Corruption::kBadCodec;
+    append(b, make_coded_chunk(c));
+    write(reg, "bad_column_codec.dgtrace", b);
+  }
+  {
+    // A bitpacked delta body cut short, with enc_len updated to match —
+    // only the codec's own bounds checks can catch it.
+    Bytes b = make_header();
+    CodedChunkParams c;
+    c.event_count = 200;
+    c.corruption = CodedChunkParams::Corruption::kTruncatedDelta;
+    append(b, make_coded_chunk(c));
+    write(reg, "truncated_bitpack.dgtrace", b);
+  }
+  {
+    // A varint whose continuation bits run past the declared body.
+    Bytes b = make_header();
+    CodedChunkParams c;
+    c.event_count = 16;
+    c.corruption = CodedChunkParams::Corruption::kVarintOverrun;
+    c.corrupt_column = 12;  // bytes column: varint-coded
+    append(b, make_coded_chunk(c));
+    write(reg, "varint_overrun.dgtrace", b);
+  }
   {
     // The hub torn-stream matrix (ISSUE 9 satellite 4): one two-chunk
     // run cut at the three places a connection can die — mid-chunk,
@@ -199,6 +267,26 @@ int main(int argc, char** argv) {
     const Bytes full = make_chunk(next);
     b.insert(b.end(), full.begin(), full.begin() + 10);
     write(corpus, "torn_tail.dgtrace", b);
+  }
+  {
+    // A coded v3 seed: mutations land inside real varint and bitpacked
+    // delta bodies, so the codec decoders see hostile bytes every run.
+    Bytes b = make_header();
+    CodedChunkParams c;
+    c.event_count = 160;  // two delta miniblocks
+    append(b, make_coded_chunk(c));
+    append(b, make_footer(/*final=*/true, 160, 1));
+    write(corpus, "coded_run.dgtrace", b);
+  }
+  {
+    // A v2 seed keeps the legacy decode path in every campaign.
+    Bytes b = make_header(2);
+    ChunkParams c;
+    c.version = 2;
+    c.event_count = 12;
+    append(b, make_chunk(c));
+    append(b, make_footer(/*final=*/true, 12, 1));
+    write(corpus, "v2_run.dgtrace", b);
   }
   return 0;
 }
